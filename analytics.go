@@ -1,0 +1,184 @@
+package probpref
+
+import (
+	"math/rand"
+
+	"probpref/internal/analytics"
+	"probpref/internal/pattern"
+	"probpref/internal/ppd"
+	"probpref/internal/rim"
+	"probpref/internal/sampling"
+)
+
+// Extended models (the paper's future-work direction of preference models
+// beyond plain Mallows).
+type (
+	// GeneralizedMallows is the Fligner-Verducci model with per-step
+	// dispersions; it is a RIM, so every exact solver applies through
+	// Model().
+	GeneralizedMallows = rim.GeneralizedMallows
+	// PlackettLuce is the Plackett-Luce choice model; it is not a RIM and is
+	// queried through sampling or enumeration.
+	PlackettLuce = rim.PlackettLuce
+	// RankModel is the interface shared by all ranking models: sampling plus
+	// pointwise probability.
+	RankModel = rim.Sampler
+	// SessionModel is the interface a model must satisfy to serve as a
+	// session distribution in a PPD (any RIM-backed model qualifies:
+	// Mallows, GeneralizedMallows, or a raw RIMModel).
+	SessionModel = rim.SessionModel
+)
+
+// NewGeneralizedMallows validates and constructs a Generalized Mallows
+// model.
+func NewGeneralizedMallows(sigma Ranking, phis []float64) (*GeneralizedMallows, error) {
+	return rim.NewGeneralizedMallows(sigma, phis)
+}
+
+// NewPlackettLuce validates and constructs a Plackett-Luce model.
+func NewPlackettLuce(weights []float64) (*PlackettLuce, error) {
+	return rim.NewPlackettLuce(weights)
+}
+
+// ConditionedRIM samples from (an approximation of) the posterior of an
+// arbitrary RIM conditioned on a partial order — the AMP sampler
+// generalized beyond Mallows.
+type ConditionedRIM = rim.ConditionedRIM
+
+// NewConditionedRIM builds a conditioned sampler for any RIM.
+func NewConditionedRIM(m *RIMModel, cons *PartialOrder) (*ConditionedRIM, error) {
+	return rim.NewConditionedRIM(m, cons)
+}
+
+// ISRIM estimates the probability that a ranking from an arbitrary RIM is
+// consistent with the sub-ranking psi, by importance sampling over the
+// conditioned-RIM proposal.
+func ISRIM(m *RIMModel, psi Ranking, n int, rng *rand.Rand) (float64, error) {
+	return sampling.ISRIM(m, psi, n, rng)
+}
+
+// MISRIM estimates the pattern-union probability for an arbitrary RIM by
+// multiple importance sampling over one conditioned proposal per
+// sub-ranking of the union's decomposition. The boolean result reports
+// whether the decomposition was truncated (in which case the estimate is a
+// lower bound).
+func MISRIM(m *RIMModel, lab *Labeling, u Union, n int, rng *rand.Rand) (float64, bool, error) {
+	return sampling.MISRIM(m, lab, u, n, rng, pattern.Limits{})
+}
+
+// RejectionSample estimates the pattern-union probability for any ranking
+// model (including non-RIMs such as Plackett-Luce) by Monte Carlo.
+func RejectionSample(mdl RankModel, lab *Labeling, u Union, n int, rng *rand.Rand) float64 {
+	return sampling.RejectionModel(mdl, lab, u, n, rng)
+}
+
+// Marginal analytics: exact polynomial-time inference over RIM models.
+
+// PositionDistribution returns the exact distribution of the final position
+// of item x under the model (position 0 most preferred).
+func PositionDistribution(m *RIMModel, x Item) ([]float64, error) {
+	return analytics.PositionDistribution(m, x)
+}
+
+// RankMarginals returns the doubly-stochastic matrix out[x][p] =
+// Pr(item x at position p).
+func RankMarginals(m *RIMModel) [][]float64 { return analytics.RankMarginals(m) }
+
+// PairwiseProb returns Pr(a preferred to b) under the model.
+func PairwiseProb(m *RIMModel, a, b Item) (float64, error) {
+	return analytics.PairwiseProb(m, a, b)
+}
+
+// PairwiseMatrix returns the matrix out[a][b] = Pr(a preferred to b).
+func PairwiseMatrix(m *RIMModel) [][]float64 { return analytics.PairwiseMatrix(m) }
+
+// TopKProb returns Pr(item x ranked among the top k positions).
+func TopKProb(m *RIMModel, x Item, k int) (float64, error) {
+	return analytics.TopKProb(m, x, k)
+}
+
+// ExpectedRank returns the expected 0-based position of item x.
+func ExpectedRank(m *RIMModel, x Item) (float64, error) {
+	return analytics.ExpectedRank(m, x)
+}
+
+// ExpectedDistanceToReference returns E[dist(sigma, tau)] for a model draw.
+func ExpectedDistanceToReference(m *RIMModel) float64 {
+	return analytics.ExpectedDistanceToReference(m)
+}
+
+// ExpectedKendall returns the expected Kendall tau distance between a model
+// draw and the fixed ranking rho.
+func ExpectedKendall(m *RIMModel, rho Ranking) (float64, error) {
+	return analytics.ExpectedKendall(m, rho)
+}
+
+// ExpectedFootrule returns the expected Spearman footrule distance between
+// a model draw and the fixed ranking rho.
+func ExpectedFootrule(m *RIMModel, rho Ranking) (float64, error) {
+	return analytics.ExpectedFootrule(m, rho)
+}
+
+// ExpectedSpearman returns the expected Spearman (squared-displacement)
+// distance between a model draw and the fixed ranking rho.
+func ExpectedSpearman(m *RIMModel, rho Ranking) (float64, error) {
+	return analytics.ExpectedSpearman(m, rho)
+}
+
+// CondorcetWinner returns the item beating every other item with pairwise
+// probability above 1/2, if one exists.
+func CondorcetWinner(pairwise [][]float64) (Item, bool) {
+	return analytics.CondorcetWinner(pairwise)
+}
+
+// CopelandScores returns per-item Copeland scores (ties count 1/2).
+func CopelandScores(pairwise [][]float64) []float64 {
+	return analytics.CopelandScores(pairwise)
+}
+
+// BordaScores returns per-item expected Borda scores.
+func BordaScores(pairwise [][]float64) []float64 {
+	return analytics.BordaScores(pairwise)
+}
+
+// MixturePairwiseMatrix returns the pairwise matrix of a Mallows mixture.
+func MixturePairwiseMatrix(mx *Mixture) [][]float64 {
+	return analytics.MixturePairwiseMatrix(mx)
+}
+
+// MixtureRankMarginals returns the rank marginals of a Mallows mixture.
+func MixtureRankMarginals(mx *Mixture) [][]float64 {
+	return analytics.MixtureRankMarginals(mx)
+}
+
+// Count-Session distributions and union queries.
+type (
+	// CountDistribution is the exact Poisson-binomial distribution of
+	// count(Q) over the sessions.
+	CountDistribution = ppd.CountDistribution
+	// UnionQuery is a union of conjunctive queries over one p-relation.
+	UnionQuery = ppd.UnionQuery
+	// UnionExplanation reports the plan of a union query.
+	UnionExplanation = ppd.UnionExplanation
+)
+
+// NewCountDistribution builds the distribution of the number of successes
+// among independent trials with the given probabilities.
+func NewCountDistribution(probs []float64) (*CountDistribution, error) {
+	return ppd.NewCountDistribution(probs)
+}
+
+// ParseUnionQuery parses a union of conjunctive queries separated by "|".
+func ParseUnionQuery(src string) (*UnionQuery, error) { return ppd.ParseUnion(src) }
+
+// PopulationPairwise returns the pairwise preference matrix of a
+// p-relation averaged over its sessions.
+func PopulationPairwise(db *DB, prefName string) ([][]float64, error) {
+	return db.PopulationPairwise(prefName)
+}
+
+// PopulationRankMarginals returns the session-averaged rank marginals of a
+// p-relation.
+func PopulationRankMarginals(db *DB, prefName string) ([][]float64, error) {
+	return db.PopulationRankMarginals(prefName)
+}

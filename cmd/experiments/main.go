@@ -1,0 +1,57 @@
+// Command experiments reproduces the tables and figures of the paper's
+// evaluation section. Each figure id maps to a driver in
+// internal/experiment that regenerates the series the paper plots.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -fig 4
+//	experiments -fig all -scale paper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"probpref/internal/experiment"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure id (4, 5, 6, 7a, 7b, 8, 9, 10a, 10b, 11, 12, 13a, 13b, 14, 15; extensions x1..x4) or 'all'")
+		scale = flag.String("scale", "small", "experiment scale: small | paper")
+		list  = flag.Bool("list", false, "list available figures and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, id := range experiment.FigureIDs {
+			fmt.Printf("  %s\n", id)
+		}
+		return
+	}
+	sc, err := experiment.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ids := experiment.FigureIDs
+	if *fig != "all" {
+		if _, ok := experiment.Figures[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; use -list\n", *fig)
+			os.Exit(2)
+		}
+		ids = []string{*fig}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := experiment.Figures[id](sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		tab.Fprint(os.Stdout)
+		fmt.Printf("  (figure %s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

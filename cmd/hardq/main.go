@@ -1,0 +1,192 @@
+// Command hardq evaluates conjunctive queries over a generated RIM-PPD.
+//
+// Usage examples:
+//
+//	hardq -dataset figure1 -query 'P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)'
+//	hardq -dataset polls -candidates 20 -voters 100 \
+//	      -query 'P(_, _; l; r), C(l, p, M, _, _, _), C(r, p, F, _, _, _)' -mode count
+//	hardq -dataset crowdrank -workers 500 -mode topk -k 5 -bound 1
+//	hardq -dataset figure1 -mode countdist
+//	hardq -dataset figure1 -query 'P(_,_; a; b), C(a,_,F,_,_,_) | P(_,_; a; b), C(a,D,_,_,JD,_)'
+//
+// The query language follows the paper's datalog notation: preference atoms
+// P(session...; left; right), ordinary atoms R(args...), and comparisons.
+// Lowercase identifiers are variables, Capitalized identifiers and quoted
+// strings are constants, "_" is a wildcard. A top-level "|" separates the
+// disjuncts of a union of conjunctive queries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"probpref/internal/dataset"
+	"probpref/internal/ppd"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hardq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hardq", flag.ContinueOnError)
+	var (
+		ds      = fs.String("dataset", "figure1", "dataset: figure1 | polls | movielens | crowdrank")
+		query   = fs.String("query", "", "conjunctive query (default: a dataset-specific demo query)")
+		method  = fs.String("method", "auto", "solver: auto | twolabel | bipartite | general | relorder | mis-adaptive | mis-lite | rejection")
+		mode    = fs.String("mode", "bool", "query mode: bool | count | countdist | topk")
+		k       = fs.Int("k", 3, "k for -mode topk")
+		bound   = fs.Int("bound", 1, "upper-bound edges for topk (0 = naive)")
+		seed    = fs.Int64("seed", 1, "generator seed")
+		cands   = fs.Int("candidates", 20, "polls: number of candidates")
+		voters  = fs.Int("voters", 100, "polls: number of voters")
+		movies  = fs.Int("movies", 120, "movielens: catalog size")
+		workers = fs.Int("workers", 500, "crowdrank: number of workers")
+		verbose = fs.Bool("v", false, "print per-session probabilities")
+		explain = fs.Bool("explain", false, "print the query plan instead of evaluating")
+		par     = fs.Int("parallel", 1, "worker goroutines for group solving")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	db, defQuery, err := buildDB(*ds, *seed, *cands, *voters, *movies, *workers)
+	if err != nil {
+		return err
+	}
+	src := *query
+	if src == "" {
+		src = defQuery
+	}
+	uq, err := ppd.ParseUnion(src)
+	if err != nil {
+		return err
+	}
+	q := uq.Disjuncts[0]
+	m, err := parseMethod(*method)
+	if err != nil {
+		return err
+	}
+	eng := &ppd.Engine{DB: db, Method: m, Rng: rand.New(rand.NewSource(*seed)), Workers: *par}
+
+	fmt.Fprintf(out, "dataset : %s (m=%d items, %d sessions)\n", *ds, db.M(), len(db.Prefs[q.Prefs[0].Rel].Sessions))
+	fmt.Fprintf(out, "query   : %s\n", uq)
+	fmt.Fprintf(out, "method  : %s\n", m)
+
+	if *explain {
+		if len(uq.Disjuncts) > 1 {
+			ex, err := eng.ExplainUnion(uq)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, ex)
+			return nil
+		}
+		ex, err := eng.Explain(q)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, ex)
+		return nil
+	}
+
+	start := time.Now()
+	switch *mode {
+	case "bool", "count":
+		res, err := eng.EvalUnion(uq)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "elapsed : %v\n", time.Since(start).Round(time.Microsecond))
+		fmt.Fprintf(out, "Pr(Q|D)        = %.6g\n", res.Prob)
+		fmt.Fprintf(out, "count(Q)       = %.6g (expected sessions satisfying Q)\n", res.Count)
+		fmt.Fprintf(out, "live sessions  = %d, solver calls = %d (grouping)\n", len(res.PerSession), res.Solves)
+		if *verbose {
+			for _, sp := range res.PerSession {
+				fmt.Fprintf(out, "  session %v: %.6g\n", sp.Session.Key, sp.Prob)
+			}
+		}
+	case "countdist":
+		dist, err := eng.CountDistributionUnion(uq)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "elapsed : %v\n", time.Since(start).Round(time.Microsecond))
+		fmt.Fprintf(out, "count(Q) distribution over %d sessions:\n", dist.N())
+		fmt.Fprintf(out, "  mean %.6g  stddev %.6g  mode %d  median %d\n",
+			dist.Mean(), dist.StdDev(), dist.Mode(), dist.Quantile(0.5))
+		lo, hi := dist.Quantile(0.025), dist.Quantile(0.975)
+		fmt.Fprintf(out, "  95%% interval [%d, %d]\n", lo, hi)
+		if *verbose {
+			for kk, p := range dist.PMF {
+				if p > 1e-9 {
+					fmt.Fprintf(out, "  Pr(count = %d) = %.6g\n", kk, p)
+				}
+			}
+		}
+	case "topk":
+		top, diag, err := eng.TopKUnion(uq, *k, *bound)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "elapsed : %v\n", time.Since(start).Round(time.Microsecond))
+		fmt.Fprintf(out, "top-%d sessions (bound edges = %d):\n", *k, *bound)
+		for i, sp := range top {
+			fmt.Fprintf(out, "  %2d. %v  Pr = %.6g\n", i+1, sp.Session.Key, sp.Prob)
+		}
+		fmt.Fprintf(out, "bound solves = %d, exact solves = %d, sessions evaluated = %d\n",
+			diag.BoundSolves, diag.ExactSolves, diag.SessionsEvaluated)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	return nil
+}
+
+func buildDB(name string, seed int64, cands, voters, movies, workers int) (*ppd.DB, string, error) {
+	switch strings.ToLower(name) {
+	case "figure1":
+		db, err := dataset.Figure1()
+		return db, `P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`, err
+	case "polls":
+		db, err := dataset.Polls(dataset.PollsConfig{Candidates: cands, Voters: voters, Seed: seed})
+		return db, `P(_, _; l; r), C(l, p, M, _, _, _), C(r, p, F, _, _, _)`, err
+	case "movielens":
+		db, err := dataset.MovieLens(dataset.MovieLensConfig{Movies: movies, Seed: seed})
+		return db, dataset.MovieLensQueryText(), err
+	case "crowdrank":
+		db, err := dataset.CrowdRank(dataset.CrowdRankConfig{Workers: workers, Seed: seed})
+		return db, dataset.CrowdRankQuery, err
+	}
+	return nil, "", fmt.Errorf("unknown dataset %q", name)
+}
+
+func parseMethod(s string) (ppd.Method, error) {
+	switch strings.ToLower(s) {
+	case "auto":
+		return ppd.MethodAuto, nil
+	case "twolabel", "two-label":
+		return ppd.MethodTwoLabel, nil
+	case "bipartite":
+		return ppd.MethodBipartite, nil
+	case "general":
+		return ppd.MethodGeneral, nil
+	case "relorder":
+		return ppd.MethodRelOrder, nil
+	case "mis-adaptive", "adaptive":
+		return ppd.MethodMISAdaptive, nil
+	case "mis-lite", "lite":
+		return ppd.MethodMISLite, nil
+	case "rejection", "rs":
+		return ppd.MethodRejection, nil
+	}
+	return 0, fmt.Errorf("unknown method %q", s)
+}

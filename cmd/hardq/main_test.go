@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runOut(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestRunBoolMode(t *testing.T) {
+	out := runOut(t, "-dataset", "figure1", "-v")
+	for _, want := range []string{"Pr(Q|D)", "count(Q)", "session [Ann 5/5]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCountDistMode(t *testing.T) {
+	out := runOut(t, "-dataset", "figure1", "-mode", "countdist", "-v")
+	for _, want := range []string{"distribution over 3 sessions", "mean", "95% interval", "Pr(count = 3)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTopKMode(t *testing.T) {
+	out := runOut(t, "-dataset", "figure1", "-mode", "topk", "-k", "2", "-bound", "1")
+	if !strings.Contains(out, "top-2 sessions") || !strings.Contains(out, "bound solves") {
+		t.Errorf("unexpected topk output:\n%s", out)
+	}
+}
+
+func TestRunUnionQuery(t *testing.T) {
+	out := runOut(t, "-dataset", "figure1", "-query",
+		`P(_,_; a; b), C(a,_,F,_,_,_), C(b,_,M,_,_,_) | P(_,_; a; b), C(a,D,_,_,JD,_), C(b,R,_,_,_,_)`)
+	if !strings.Contains(out, " | ") {
+		t.Errorf("union separator missing from echo:\n%s", out)
+	}
+	if !strings.Contains(out, "Pr(Q|D)") {
+		t.Errorf("missing result:\n%s", out)
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	out := runOut(t, "-dataset", "figure1", "-explain", "-query",
+		`P(_, _; c1; c2), C(c1, D, _, _, e, _), C(c2, R, _, _, e, _)`)
+	if !strings.Contains(out, "two-label") {
+		t.Errorf("explain output missing recommendation:\n%s", out)
+	}
+}
+
+func TestRunExplainUnion(t *testing.T) {
+	out := runOut(t, "-dataset", "figure1", "-explain", "-query",
+		`P(_,_; a; b), C(a,_,F,_,_,_), C(b,_,M,_,_,_) | P(_,_; a; b), C(a,D,_,_,e,_), C(b,R,_,_,e,_)`)
+	for _, want := range []string{"union of 2 disjuncts", "-- merged --", "recommended"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain-union output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-dataset", "nope"},
+		{"-dataset", "figure1", "-mode", "nope"},
+		{"-dataset", "figure1", "-method", "nope"},
+		{"-dataset", "figure1", "-query", "not a query("},
+		{"-bogusflag"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+	}
+}
+
+func TestRunMethodsProduceSameAnswer(t *testing.T) {
+	extract := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "Pr(Q|D)") {
+				return line
+			}
+		}
+		return ""
+	}
+	ref := extract(runOut(t, "-dataset", "figure1", "-method", "auto"))
+	if ref == "" {
+		t.Fatal("no Pr(Q|D) line")
+	}
+	for _, m := range []string{"bipartite", "general", "relorder"} {
+		got := extract(runOut(t, "-dataset", "figure1", "-method", m))
+		if got != ref {
+			t.Errorf("method %s: %q != %q", m, got, ref)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+// Package analytics provides exact marginal analytics over Repeated
+// Insertion Models: position (rank) distributions of single items, pairwise
+// preference probabilities, expected ranks and Kendall tau distances, and
+// the social-choice summaries built on them (Condorcet winner, Copeland and
+// Borda scores).
+//
+// These are the "preference analysis" primitives the paper's introduction
+// motivates (who is ahead, where is the consensus), computed in polynomial
+// time directly from the RIM insertion algebra rather than through pattern
+// solvers:
+//
+//   - the position of one item after every insertion step follows an O(m^2)
+//     dynamic program — inserting a later item at or before the tracked
+//     position shifts it down by one;
+//   - the relative order of two items is decided exactly once, when the
+//     later of the two (in reference order) is inserted, so a pairwise
+//     marginal needs only the earlier item's position distribution at that
+//     step.
+//
+// All probabilities are exact (no sampling). Positions are 0-based
+// throughout, consistent with package rank; position 0 is the most
+// preferred.
+package analytics
+
+import (
+	"fmt"
+
+	"probpref/internal/rank"
+	"probpref/internal/rim"
+)
+
+// positionDist returns the distribution of the position of item sigma[ix]
+// after insertion step upto (0-based, upto >= ix): a slice q of length
+// upto+1 with q[p] = Pr(position = p among the first upto+1 items).
+func positionDist(mdl *rim.Model, ix, upto int) []float64 {
+	q := make([]float64, ix+1, upto+1)
+	for j := 0; j <= ix; j++ {
+		q[j] = mdl.Pi(ix, j)
+	}
+	for i := ix + 1; i <= upto; i++ {
+		q = advancePosition(mdl, q, i)
+	}
+	return q
+}
+
+// advancePosition pushes a position distribution through insertion step i:
+// the new item lands at j <= p with probability head(p), shifting the
+// tracked item from p to p+1, and after it otherwise. len(q) = i on entry,
+// i+1 on return.
+func advancePosition(mdl *rim.Model, q []float64, i int) []float64 {
+	head := 0.0 // sum_{j <= p} Pi(i, j), built incrementally
+	next := make([]float64, i+1)
+	for p := 0; p < i; p++ {
+		head += mdl.Pi(i, p)
+		next[p] += q[p] * (1 - head)
+		next[p+1] += q[p] * head
+	}
+	return next
+}
+
+// PositionDistribution returns the exact distribution of the final position
+// of item x: a slice q of length m with q[p] = Pr(x at position p). O(m^2).
+func PositionDistribution(mdl *rim.Model, x rank.Item) ([]float64, error) {
+	ix := mdl.Sigma().Position(x)
+	if ix < 0 {
+		return nil, fmt.Errorf("analytics: item %d not in the model's universe", int(x))
+	}
+	return positionDist(mdl, ix, mdl.M()-1), nil
+}
+
+// RankMarginals returns the m-by-m matrix of rank marginals:
+// out[x][p] = Pr(item x at position p). Every row and every column sums to
+// 1 (the matrix is doubly stochastic). O(m^3).
+func RankMarginals(mdl *rim.Model) [][]float64 {
+	m := mdl.M()
+	out := make([][]float64, m)
+	for _, x := range mdl.Sigma() {
+		q, _ := PositionDistribution(mdl, x)
+		out[x] = q
+	}
+	return out
+}
+
+// TopKProb returns Pr(item x is ranked among the top k positions). O(m^2).
+func TopKProb(mdl *rim.Model, x rank.Item, k int) (float64, error) {
+	q, err := PositionDistribution(mdl, x)
+	if err != nil {
+		return 0, err
+	}
+	if k > len(q) {
+		k = len(q)
+	}
+	p := 0.0
+	for i := 0; i < k; i++ {
+		p += q[i]
+	}
+	return p, nil
+}
+
+// ExpectedRank returns the expected (0-based) position of item x. O(m^2).
+func ExpectedRank(mdl *rim.Model, x rank.Item) (float64, error) {
+	q, err := PositionDistribution(mdl, x)
+	if err != nil {
+		return 0, err
+	}
+	e := 0.0
+	for p, w := range q {
+		e += float64(p) * w
+	}
+	return e, nil
+}
+
+// PairwiseProb returns Pr(a preferred to b) under the model. The relative
+// order of a and b is decided when the later of the two (in reference
+// order) is inserted, so the computation needs only the earlier item's
+// position distribution at that step. O(m^2).
+func PairwiseProb(mdl *rim.Model, a, b rank.Item) (float64, error) {
+	if a == b {
+		return 0, fmt.Errorf("analytics: pairwise probability of an item against itself")
+	}
+	ia, ib := mdl.Sigma().Position(a), mdl.Sigma().Position(b)
+	if ia < 0 || ib < 0 {
+		return 0, fmt.Errorf("analytics: items %d, %d not both in the model's universe", int(a), int(b))
+	}
+	if ia > ib {
+		p, err := PairwiseProb(mdl, b, a)
+		return 1 - p, err
+	}
+	q := positionDist(mdl, ia, ib-1)
+	return laterAfter(mdl, q, ib), nil
+}
+
+// laterAfter returns the probability that the item inserted at step i lands
+// strictly after the tracked item, given the tracked item's position
+// distribution q after step i-1.
+func laterAfter(mdl *rim.Model, q []float64, i int) float64 {
+	// Pr(insert at j > p) for each tracked position p.
+	head := 0.0
+	p := 0.0
+	for pos, w := range q {
+		head += mdl.Pi(i, pos)
+		p += w * (1 - head)
+	}
+	return p
+}
+
+// PairwiseMatrix returns the m-by-m matrix with out[a][b] = Pr(a preferred
+// to b) and zero diagonal. The matrix satisfies
+// out[a][b] + out[b][a] = 1 for a != b. O(m^3): one position DP per
+// reference index, with a pairwise readout at every later step.
+func PairwiseMatrix(mdl *rim.Model) [][]float64 {
+	m := mdl.M()
+	sigma := mdl.Sigma()
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = make([]float64, m)
+	}
+	for ia := 0; ia < m-1; ia++ {
+		a := sigma[ia]
+		q := make([]float64, ia+1)
+		for j := 0; j <= ia; j++ {
+			q[j] = mdl.Pi(ia, j)
+		}
+		for ib := ia + 1; ib < m; ib++ {
+			b := sigma[ib]
+			p := laterAfter(mdl, q, ib)
+			out[a][b] = p
+			out[b][a] = 1 - p
+			q = advancePosition(mdl, q, ib)
+		}
+	}
+	return out
+}
+
+// ExpectedDistanceToReference returns E[dist(sigma, tau)], the expected
+// Kendall tau distance of a model draw to its own reference ranking. It is
+// the sum over insertion steps of the expected insertion offset:
+// sum_i sum_j (i-j) Pi(i, j). O(m^2).
+func ExpectedDistanceToReference(mdl *rim.Model) float64 {
+	e := 0.0
+	for i := 1; i < mdl.M(); i++ {
+		for j := 0; j <= i; j++ {
+			e += float64(i-j) * mdl.Pi(i, j)
+		}
+	}
+	return e
+}
+
+// ExpectedKendall returns E[dist(rho, tau)] for an arbitrary fixed ranking
+// rho: the expected number of item pairs on which a model draw disagrees
+// with rho. O(m^3) through the pairwise matrix.
+func ExpectedKendall(mdl *rim.Model, rho rank.Ranking) (float64, error) {
+	if len(rho) != mdl.M() || !rho.IsPermutation() {
+		return 0, fmt.Errorf("analytics: rho %v is not a permutation of the model's universe", rho)
+	}
+	pm := PairwiseMatrix(mdl)
+	e := 0.0
+	for i := 0; i < len(rho); i++ {
+		for j := i + 1; j < len(rho); j++ {
+			// rho prefers rho[i] to rho[j]; disagreement has probability
+			// Pr(rho[j] preferred to rho[i]).
+			e += pm[rho[j]][rho[i]]
+		}
+	}
+	return e, nil
+}
+
+// tieTol absorbs floating-point noise around exact pairwise ties: a
+// probability within tieTol of 1/2 counts as a tie for the social-choice
+// summaries.
+const tieTol = 1e-9
+
+// ExpectedFootrule returns E[F(rho, tau)] for a fixed ranking rho, where F
+// is the Spearman footrule distance sum_x |pos_tau(x) - pos_rho(x)|.
+// O(m^2) through per-item position distributions.
+func ExpectedFootrule(mdl *rim.Model, rho rank.Ranking) (float64, error) {
+	if len(rho) != mdl.M() || !rho.IsPermutation() {
+		return 0, fmt.Errorf("analytics: rho %v is not a permutation of the model's universe", rho)
+	}
+	e := 0.0
+	for _, x := range mdl.Sigma() {
+		q, err := PositionDistribution(mdl, x)
+		if err != nil {
+			return 0, err
+		}
+		r := rho.Position(x)
+		for p, w := range q {
+			d := p - r
+			if d < 0 {
+				d = -d
+			}
+			e += float64(d) * w
+		}
+	}
+	return e, nil
+}
+
+// ExpectedSpearman returns E[S(rho, tau)] for a fixed ranking rho, where S
+// is the Spearman distance sum_x (pos_tau(x) - pos_rho(x))^2. O(m^2).
+func ExpectedSpearman(mdl *rim.Model, rho rank.Ranking) (float64, error) {
+	if len(rho) != mdl.M() || !rho.IsPermutation() {
+		return 0, fmt.Errorf("analytics: rho %v is not a permutation of the model's universe", rho)
+	}
+	e := 0.0
+	for _, x := range mdl.Sigma() {
+		q, err := PositionDistribution(mdl, x)
+		if err != nil {
+			return 0, err
+		}
+		r := rho.Position(x)
+		for p, w := range q {
+			d := float64(p - r)
+			e += d * d * w
+		}
+	}
+	return e, nil
+}
+
+// CondorcetWinner returns the item that beats every other item with
+// pairwise probability strictly above 1/2 (beyond floating-point noise), if
+// one exists. The input is a pairwise matrix as produced by PairwiseMatrix.
+func CondorcetWinner(pairwise [][]float64) (rank.Item, bool) {
+	for a := range pairwise {
+		wins := true
+		for b := range pairwise {
+			if a == b {
+				continue
+			}
+			if pairwise[a][b] <= 0.5+tieTol {
+				wins = false
+				break
+			}
+		}
+		if wins {
+			return rank.Item(a), true
+		}
+	}
+	return 0, false
+}
+
+// CopelandScores returns, per item, the number of opponents it beats with
+// pairwise probability above 1/2, counting ties (probabilities within
+// floating-point noise of 1/2) as half a win — the standard Copeland 1/2
+// convention.
+func CopelandScores(pairwise [][]float64) []float64 {
+	out := make([]float64, len(pairwise))
+	for a := range pairwise {
+		for b := range pairwise {
+			if a == b {
+				continue
+			}
+			switch {
+			case pairwise[a][b] > 0.5+tieTol:
+				out[a]++
+			case pairwise[a][b] >= 0.5-tieTol:
+				out[a] += 0.5
+			}
+		}
+	}
+	return out
+}
+
+// BordaScores returns, per item, its expected Borda score: the expected
+// number of items ranked below it, sum_b Pr(a preferred to b). An item's
+// score equals (m-1) minus its expected rank, and the scores sum to
+// m(m-1)/2 exactly.
+func BordaScores(pairwise [][]float64) []float64 {
+	out := make([]float64, len(pairwise))
+	for a := range pairwise {
+		for b := range pairwise {
+			if a != b {
+				out[a] += pairwise[a][b]
+			}
+		}
+	}
+	return out
+}
+
+// MixturePairwiseMatrix returns the pairwise matrix of a Mallows mixture:
+// the weight-averaged pairwise matrices of the components.
+func MixturePairwiseMatrix(mx *rim.Mixture) [][]float64 {
+	m := mx.M()
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = make([]float64, m)
+	}
+	for k, comp := range mx.Components {
+		pm := PairwiseMatrix(comp.Model())
+		w := mx.Weights[k]
+		for a := 0; a < m; a++ {
+			for b := 0; b < m; b++ {
+				out[a][b] += w * pm[a][b]
+			}
+		}
+	}
+	return out
+}
+
+// MixtureRankMarginals returns the rank-marginal matrix of a Mallows
+// mixture: the weight-averaged marginals of the components.
+func MixtureRankMarginals(mx *rim.Mixture) [][]float64 {
+	m := mx.M()
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = make([]float64, m)
+	}
+	for k, comp := range mx.Components {
+		rm := RankMarginals(comp.Model())
+		w := mx.Weights[k]
+		for a := 0; a < m; a++ {
+			for p := 0; p < m; p++ {
+				out[a][p] += w * rm[a][p]
+			}
+		}
+	}
+	return out
+}

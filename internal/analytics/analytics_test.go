@@ -1,0 +1,473 @@
+package analytics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probpref/internal/label"
+	"probpref/internal/pattern"
+	"probpref/internal/rank"
+	"probpref/internal/rim"
+	"probpref/internal/solver"
+)
+
+// randomRIM builds a RIM over m items with a random reference ranking and a
+// random row-stochastic insertion matrix.
+func randomRIM(m int, rng *rand.Rand) *rim.Model {
+	sigma := rank.Identity(m)
+	rng.Shuffle(m, func(i, j int) { sigma[i], sigma[j] = sigma[j], sigma[i] })
+	pi := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		row := make([]float64, i+1)
+		sum := 0.0
+		for j := range row {
+			row[j] = rng.Float64() + 0.01
+			sum += row[j]
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+		pi[i] = row
+	}
+	return rim.MustNew(sigma, pi)
+}
+
+// brutePositionDist enumerates all rankings to compute the position
+// distribution of item x.
+func brutePositionDist(mdl *rim.Model, x rank.Item) []float64 {
+	q := make([]float64, mdl.M())
+	rank.ForEachPermutation(mdl.M(), func(tau rank.Ranking) bool {
+		q[tau.Position(x)] += mdl.Prob(tau)
+		return true
+	})
+	return q
+}
+
+// brutePairwise enumerates all rankings to compute Pr(a preferred to b).
+func brutePairwise(mdl *rim.Model, a, b rank.Item) float64 {
+	p := 0.0
+	rank.ForEachPermutation(mdl.M(), func(tau rank.Ranking) bool {
+		if tau.Prefers(a, b) {
+			p += mdl.Prob(tau)
+		}
+		return true
+	})
+	return p
+}
+
+func TestPositionDistributionMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		m := 3 + rng.Intn(4) // 3..6
+		mdl := randomRIM(m, rng)
+		for x := 0; x < m; x++ {
+			got, err := PositionDistribution(mdl, rank.Item(x))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := brutePositionDist(mdl, rank.Item(x))
+			for p := range want {
+				if math.Abs(got[p]-want[p]) > 1e-10 {
+					t.Fatalf("trial %d item %d pos %d: got %v, want %v", trial, x, p, got[p], want[p])
+				}
+			}
+		}
+	}
+}
+
+func TestPositionDistributionUnknownItem(t *testing.T) {
+	mdl := rim.MustMallows(rank.Identity(4), 0.5).Model()
+	if _, err := PositionDistribution(mdl, 9); err == nil {
+		t.Fatal("want error for unknown item")
+	}
+	if _, err := ExpectedRank(mdl, -1); err == nil {
+		t.Fatal("want error for negative item")
+	}
+	if _, err := TopKProb(mdl, 42, 2); err == nil {
+		t.Fatal("want error for unknown item in TopKProb")
+	}
+}
+
+func TestRankMarginalsDoublyStochastic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mdl := randomRIM(7, rng)
+	rm := RankMarginals(mdl)
+	m := mdl.M()
+	for x := 0; x < m; x++ {
+		row := 0.0
+		for p := 0; p < m; p++ {
+			row += rm[x][p]
+			if rm[x][p] < -1e-12 || rm[x][p] > 1+1e-12 {
+				t.Fatalf("marginal out of range: rm[%d][%d] = %v", x, p, rm[x][p])
+			}
+		}
+		if math.Abs(row-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", x, row)
+		}
+	}
+	for p := 0; p < m; p++ {
+		col := 0.0
+		for x := 0; x < m; x++ {
+			col += rm[x][p]
+		}
+		if math.Abs(col-1) > 1e-9 {
+			t.Fatalf("column %d sums to %v", p, col)
+		}
+	}
+}
+
+func TestPairwiseProbMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		m := 3 + rng.Intn(4)
+		mdl := randomRIM(m, rng)
+		for a := 0; a < m; a++ {
+			for b := 0; b < m; b++ {
+				if a == b {
+					continue
+				}
+				got, err := PairwiseProb(mdl, rank.Item(a), rank.Item(b))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := brutePairwise(mdl, rank.Item(a), rank.Item(b))
+				if math.Abs(got-want) > 1e-10 {
+					t.Fatalf("trial %d Pr(%d>%d): got %v, want %v", trial, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPairwiseProbErrors(t *testing.T) {
+	mdl := rim.MustMallows(rank.Identity(3), 0.4).Model()
+	if _, err := PairwiseProb(mdl, 1, 1); err == nil {
+		t.Fatal("want error for a == b")
+	}
+	if _, err := PairwiseProb(mdl, 0, 7); err == nil {
+		t.Fatal("want error for unknown item")
+	}
+}
+
+func TestPairwiseMatrixAgreesWithPairwiseProb(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	mdl := randomRIM(8, rng)
+	pm := PairwiseMatrix(mdl)
+	for a := 0; a < 8; a++ {
+		if pm[a][a] != 0 {
+			t.Fatalf("diagonal pm[%d][%d] = %v, want 0", a, a, pm[a][a])
+		}
+		for b := 0; b < 8; b++ {
+			if a == b {
+				continue
+			}
+			want, err := PairwiseProb(mdl, rank.Item(a), rank.Item(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(pm[a][b]-want) > 1e-10 {
+				t.Fatalf("pm[%d][%d] = %v, PairwiseProb %v", a, b, pm[a][b], want)
+			}
+			if math.Abs(pm[a][b]+pm[b][a]-1) > 1e-10 {
+				t.Fatalf("pm[%d][%d] + pm[%d][%d] = %v, want 1", a, b, b, a, pm[a][b]+pm[b][a])
+			}
+		}
+	}
+}
+
+// PairwiseProb must agree with the paper's two-label solver when labels are
+// singletons: Pr(a > b) is the probability of the pattern {la > lb} with
+// lambda(a) = {la}, lambda(b) = {lb}.
+func TestPairwiseProbMatchesTwoLabelSolver(t *testing.T) {
+	ml := rim.MustMallows(rank.Ranking{3, 1, 4, 0, 2, 5}, 0.45)
+	mdl := ml.Model()
+	for a := 0; a < 6; a++ {
+		for b := 0; b < 6; b++ {
+			if a == b {
+				continue
+			}
+			lab := label.NewLabeling()
+			lab.Add(rank.Item(a), 0)
+			lab.Add(rank.Item(b), 1)
+			u := pattern.Union{pattern.TwoLabel(label.NewSet(0), label.NewSet(1))}
+			want, err := solver.TwoLabel(mdl, lab, u, solver.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := PairwiseProb(mdl, rank.Item(a), rank.Item(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-10 {
+				t.Fatalf("Pr(%d>%d): analytics %v, two-label solver %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestUniformMallowsPairwiseIsHalf(t *testing.T) {
+	mdl := rim.MustMallows(rank.Identity(5), 1).Model()
+	pm := PairwiseMatrix(mdl)
+	for a := 0; a < 5; a++ {
+		for b := 0; b < 5; b++ {
+			if a == b {
+				continue
+			}
+			if math.Abs(pm[a][b]-0.5) > 1e-10 {
+				t.Fatalf("uniform model: pm[%d][%d] = %v, want 0.5", a, b, pm[a][b])
+			}
+		}
+	}
+}
+
+func TestDegenerateMallowsPairwiseFollowsCenter(t *testing.T) {
+	sigma := rank.Ranking{2, 0, 1}
+	mdl := rim.MustMallows(sigma, 0).Model()
+	pm := PairwiseMatrix(mdl)
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if p := pm[sigma[i]][sigma[j]]; math.Abs(p-1) > 1e-12 {
+				t.Fatalf("phi=0: Pr(%d>%d) = %v, want 1", sigma[i], sigma[j], p)
+			}
+		}
+	}
+}
+
+func TestExpectedRankAndBordaConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mdl := randomRIM(6, rng)
+	pm := PairwiseMatrix(mdl)
+	borda := BordaScores(pm)
+	sum := 0.0
+	for x := 0; x < 6; x++ {
+		er, err := ExpectedRank(mdl, rank.Item(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Expected rank = number of opponents expected above = sum of losing
+		// probabilities = (m-1) - Borda score.
+		if math.Abs(er-(5-borda[x])) > 1e-9 {
+			t.Fatalf("item %d: expected rank %v, 5 - borda %v", x, er, 5-borda[x])
+		}
+		sum += borda[x]
+	}
+	if math.Abs(sum-15) > 1e-9 { // m(m-1)/2 = 15
+		t.Fatalf("Borda scores sum to %v, want 15", sum)
+	}
+}
+
+func TestTopKProb(t *testing.T) {
+	mdl := rim.MustMallows(rank.Identity(4), 0.3).Model()
+	for x := 0; x < 4; x++ {
+		p0, err := TopKProb(mdl, rank.Item(x), 0)
+		if err != nil || p0 != 0 {
+			t.Fatalf("top-0 prob = %v err %v, want 0", p0, err)
+		}
+		pm, err := TopKProb(mdl, rank.Item(x), 4)
+		if err != nil || math.Abs(pm-1) > 1e-9 {
+			t.Fatalf("top-m prob = %v err %v, want 1", pm, err)
+		}
+		pover, err := TopKProb(mdl, rank.Item(x), 99)
+		if err != nil || math.Abs(pover-1) > 1e-9 {
+			t.Fatalf("top-99 prob = %v err %v, want 1", pover, err)
+		}
+	}
+	// Center's first item is the most likely top item under small phi.
+	p0, _ := TopKProb(mdl, 0, 1)
+	p3, _ := TopKProb(mdl, 3, 1)
+	if p0 <= p3 {
+		t.Fatalf("top-1 prob of center head %v <= tail %v", p0, p3)
+	}
+}
+
+func TestExpectedDistanceToReference(t *testing.T) {
+	// Closed form vs enumeration on a random RIM.
+	rng := rand.New(rand.NewSource(6))
+	mdl := randomRIM(5, rng)
+	want := 0.0
+	rank.ForEachPermutation(5, func(tau rank.Ranking) bool {
+		want += float64(rank.KendallTau(mdl.Sigma(), tau)) * mdl.Prob(tau)
+		return true
+	})
+	got := ExpectedDistanceToReference(mdl)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("expected distance %v, enumeration %v", got, want)
+	}
+}
+
+func TestExpectedDistanceUniformMallows(t *testing.T) {
+	// phi = 1: E[dist] = m(m-1)/4 (uniform over rankings).
+	m := 6
+	mdl := rim.MustMallows(rank.Identity(m), 1).Model()
+	want := float64(m*(m-1)) / 4
+	if got := ExpectedDistanceToReference(mdl); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("uniform E[dist] = %v, want %v", got, want)
+	}
+}
+
+func TestExpectedKendall(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mdl := randomRIM(5, rng)
+	rho := rank.Ranking{4, 2, 0, 3, 1}
+	want := 0.0
+	rank.ForEachPermutation(5, func(tau rank.Ranking) bool {
+		want += float64(rank.KendallTau(rho, tau)) * mdl.Prob(tau)
+		return true
+	})
+	got, err := ExpectedKendall(mdl, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ExpectedKendall %v, enumeration %v", got, want)
+	}
+	// Against the reference itself it must agree with the closed form.
+	gotRef, err := ExpectedKendall(mdl, mdl.Sigma())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(gotRef - ExpectedDistanceToReference(mdl)); diff > 1e-9 {
+		t.Fatalf("ExpectedKendall(sigma) differs from closed form by %v", diff)
+	}
+	if _, err := ExpectedKendall(mdl, rank.Ranking{0, 1}); err == nil {
+		t.Fatal("want error for wrong-length rho")
+	}
+}
+
+func TestExpectedFootruleAndSpearman(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	mdl := randomRIM(5, rng)
+	rho := rank.Ranking{3, 1, 4, 0, 2}
+	var wantF, wantS float64
+	rank.ForEachPermutation(5, func(tau rank.Ranking) bool {
+		p := mdl.Prob(tau)
+		for _, x := range tau {
+			d := tau.Position(x) - rho.Position(x)
+			if d < 0 {
+				wantF -= float64(d) * p
+			} else {
+				wantF += float64(d) * p
+			}
+			wantS += float64(d*d) * p
+		}
+		return true
+	})
+	gotF, err := ExpectedFootrule(mdl, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotF-wantF) > 1e-9 {
+		t.Fatalf("ExpectedFootrule %v, enumeration %v", gotF, wantF)
+	}
+	gotS, err := ExpectedSpearman(mdl, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotS-wantS) > 1e-9 {
+		t.Fatalf("ExpectedSpearman %v, enumeration %v", gotS, wantS)
+	}
+	// Diaconis-Graham: Kendall <= Footrule <= 2*Kendall, preserved in
+	// expectation.
+	ek, err := ExpectedKendall(mdl, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotF < ek-1e-9 || gotF > 2*ek+1e-9 {
+		t.Fatalf("Diaconis-Graham violated in expectation: K=%v F=%v", ek, gotF)
+	}
+	// Degenerate model: distance to its own center is zero.
+	point := rim.MustMallows(rho, 0).Model()
+	if f, _ := ExpectedFootrule(point, rho); f != 0 {
+		t.Fatalf("point mass footrule to center = %v", f)
+	}
+	if _, err := ExpectedFootrule(mdl, rank.Ranking{0, 1}); err == nil {
+		t.Fatal("want error for wrong-length rho (footrule)")
+	}
+	if _, err := ExpectedSpearman(mdl, rank.Ranking{0, 0, 1, 2, 3}); err == nil {
+		t.Fatal("want error for non-permutation rho (spearman)")
+	}
+}
+
+func TestCondorcetWinner(t *testing.T) {
+	// Small phi: the center's head item beats everyone.
+	sigma := rank.Ranking{2, 0, 1}
+	pm := PairwiseMatrix(rim.MustMallows(sigma, 0.2).Model())
+	w, ok := CondorcetWinner(pm)
+	if !ok || w != 2 {
+		t.Fatalf("Condorcet winner = %v ok=%v, want item 2", w, ok)
+	}
+	// Uniform model: every pairwise is exactly 1/2, no strict winner.
+	pmU := PairwiseMatrix(rim.MustMallows(sigma, 1).Model())
+	if _, ok := CondorcetWinner(pmU); ok {
+		t.Fatal("uniform model must not have a strict Condorcet winner")
+	}
+}
+
+func TestCopelandScores(t *testing.T) {
+	pm := PairwiseMatrix(rim.MustMallows(rank.Ranking{0, 1, 2, 3}, 0.3).Model())
+	cs := CopelandScores(pm)
+	// Under a single Mallows model the Copeland order follows the center.
+	for i := 0; i < 3; i++ {
+		if cs[i] <= cs[i+1] {
+			t.Fatalf("Copeland scores not decreasing along the center: %v", cs)
+		}
+	}
+	// Uniform: every pairwise tie scores 1/2 per opponent.
+	csU := CopelandScores(PairwiseMatrix(rim.MustMallows(rank.Identity(4), 1).Model()))
+	for i, s := range csU {
+		if math.Abs(s-1.5) > 1e-12 {
+			t.Fatalf("uniform Copeland score %d = %v, want 1.5", i, s)
+		}
+	}
+}
+
+func TestMixturePairwiseMatrix(t *testing.T) {
+	a := rim.MustMallows(rank.Ranking{0, 1, 2}, 0.1)
+	b := rim.MustMallows(rank.Ranking{2, 1, 0}, 0.1)
+	mx, err := rim.NewMixture([]*rim.Mallows{a, b}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := MixturePairwiseMatrix(mx)
+	// Symmetric mixture of opposite centers: every pairwise is 1/2.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i == j {
+				continue
+			}
+			if math.Abs(pm[i][j]-0.5) > 1e-10 {
+				t.Fatalf("pm[%d][%d] = %v, want 0.5", i, j, pm[i][j])
+			}
+		}
+	}
+	// And the mixture pairwise must match enumeration over the mixture law.
+	want := 0.0
+	rank.ForEachPermutation(3, func(tau rank.Ranking) bool {
+		if tau.Prefers(0, 2) {
+			want += mx.Prob(tau)
+		}
+		return true
+	})
+	if math.Abs(pm[0][2]-want) > 1e-10 {
+		t.Fatalf("mixture Pr(0>2) = %v, enumeration %v", pm[0][2], want)
+	}
+}
+
+func TestMixtureRankMarginals(t *testing.T) {
+	a := rim.MustMallows(rank.Ranking{0, 1, 2}, 0)
+	b := rim.MustMallows(rank.Ranking{2, 1, 0}, 0)
+	mx, err := rim.NewMixture([]*rim.Mallows{a, b}, []float64{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := MixtureRankMarginals(mx)
+	// Item 0 is at position 0 with probability 0.25 (component a) and at
+	// position 2 with probability 0.75.
+	if math.Abs(rm[0][0]-0.25) > 1e-12 || math.Abs(rm[0][2]-0.75) > 1e-12 {
+		t.Fatalf("rm[0] = %v, want [0.25 0 0.75]", rm[0])
+	}
+	if math.Abs(rm[1][1]-1) > 1e-12 {
+		t.Fatalf("rm[1][1] = %v, want 1", rm[1][1])
+	}
+}

@@ -1,0 +1,201 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"probpref/internal/label"
+	"probpref/internal/pattern"
+	"probpref/internal/rank"
+	"probpref/internal/rim"
+)
+
+// BenchmarkA generates the 33 pattern unions of Benchmark-A (Section 6.1):
+// model MAL(<s1..s15>, 0.1); each union has the 3 bipartite patterns
+// {A>C, A>D, B>D}; the three patterns share the items of labels B and D;
+// every label holds 3 items; labels A and B favor low-ranked items
+// (p_i ∝ i^1.5), labels C and D favor high-ranked items (p_i ∝ (16-i)^1.5),
+// making the unions low-probability.
+func BenchmarkA(seed int64) []Instance {
+	const (
+		m        = 15
+		phi      = 0.1
+		unions   = 33
+		perLabel = 3
+	)
+	rng := rand.New(rand.NewSource(seed))
+	low := func(i int) float64 { return math.Pow(float64(i+1), 1.5) }        // 1-based i^1.5
+	high := func(i int) float64 { return math.Pow(float64(m+1-(i+1)), 1.5) } // (16-i)^1.5
+	out := make([]Instance, 0, unions)
+	for u := 0; u < unions; u++ {
+		model := rim.MustMallows(rank.Identity(m), phi)
+		lab := label.NewLabeling()
+		var next label.Label
+		// Shared labels B and D.
+		bSet := attach(lab, &next, sampleWeightedItems(rng, m, perLabel, low))
+		dSet := attach(lab, &next, sampleWeightedItems(rng, m, perLabel, high))
+		var union pattern.Union
+		for p := 0; p < 3; p++ {
+			aSet := attach(lab, &next, sampleWeightedItems(rng, m, perLabel, low))
+			cSet := attach(lab, &next, sampleWeightedItems(rng, m, perLabel, high))
+			g := pattern.MustNew(
+				[]pattern.Node{nodeOf(aSet), nodeOf(bSet), nodeOf(cSet), nodeOf(dSet)},
+				[][2]int{{0, 2}, {0, 3}, {1, 3}}, // A>C, A>D, B>D
+			)
+			union = append(union, g)
+		}
+		out = append(out, Instance{
+			Name:   fmt.Sprintf("benchA#%d", u),
+			Model:  model,
+			Lab:    lab,
+			Union:  union,
+			Params: map[string]int{"m": m, "z": 3, "q": 4, "items": perLabel},
+		})
+	}
+	return out
+}
+
+// BenchmarkB generates the 1080 instances of Benchmark-B: m in
+// {20,50,100,200}, phi = 0.1, 1-3 patterns per union, 3-5 labels per
+// pattern, 3/5/7 items per label, 10 instances per combination. Within a
+// union all patterns share the same random partial-order edge structure
+// over their labels.
+func BenchmarkB(seed int64) []Instance {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Instance
+	for _, m := range []int{20, 50, 100, 200} {
+		for _, z := range []int{1, 2, 3} {
+			for _, q := range []int{3, 4, 5} {
+				for _, items := range []int{3, 5, 7} {
+					for i := 0; i < 10; i++ {
+						out = append(out, randomUnionInstance(rng, "benchB", m, 0.1, z, q, items, false, len(out)))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BenchmarkC generates the 1080 instances of Benchmark-C: bipartite pattern
+// unions over smaller models, m in {10,12,14,16}, phi = 0.1, 1-3 patterns,
+// 2-4 labels per pattern, 1/3/5 items per label, 10 instances per
+// combination.
+func BenchmarkC(seed int64) []Instance {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Instance
+	for _, m := range []int{10, 12, 14, 16} {
+		for _, z := range []int{1, 2, 3} {
+			for _, q := range []int{2, 3, 4} {
+				for _, items := range []int{1, 3, 5} {
+					for i := 0; i < 10; i++ {
+						out = append(out, randomUnionInstance(rng, "benchC", m, 0.1, z, q, items, true, len(out)))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BenchmarkCSlice returns the Benchmark-C instances with the given
+// parameters (patterns per union, labels per pattern, items per label),
+// mirroring the per-configuration slices plotted in Figures 7, 10b and 12.
+func BenchmarkCSlice(seed int64, z, q, items int) []Instance {
+	all := BenchmarkC(seed)
+	var out []Instance
+	for _, in := range all {
+		p := in.Params
+		if (z == 0 || p["z"] == z) && (q == 0 || p["q"] == q) && (items == 0 || p["items"] == items) {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// BenchmarkD generates the 600 two-label instances of Benchmark-D: m in
+// {20,30,40,50,60}, phi = 0.5, 2-5 patterns per union, 3/5/7 items per
+// label, 10 random instances per combination.
+func BenchmarkD(seed int64) []Instance {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Instance
+	for _, m := range []int{20, 30, 40, 50, 60} {
+		for _, z := range []int{2, 3, 4, 5} {
+			for _, items := range []int{3, 5, 7} {
+				for i := 0; i < 10; i++ {
+					model := rim.MustMallows(randPerm(rng, m), 0.5)
+					lab := label.NewLabeling()
+					var next label.Label
+					var union pattern.Union
+					for p := 0; p < z; p++ {
+						l := attach(lab, &next, sampleUniformItems(rng, m, items))
+						r := attach(lab, &next, sampleUniformItems(rng, m, items))
+						union = append(union, pattern.TwoLabel(l, r))
+					}
+					out = append(out, Instance{
+						Name:   fmt.Sprintf("benchD[m=%d,z=%d,items=%d]#%d", m, z, items, len(out)),
+						Model:  model,
+						Lab:    lab,
+						Union:  union,
+						Params: map[string]int{"m": m, "z": z, "q": 2, "items": items},
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// randomUnionInstance builds one Benchmark-B/C style instance: z patterns
+// sharing a random edge structure over q label slots, each pattern with its
+// own labels holding `items` uniformly sampled items. With bipartite=true
+// the edge structure is a random bipartite DAG; otherwise a random partial
+// order.
+func randomUnionInstance(rng *rand.Rand, prefix string, m int, phi float64, z, q, items int, bipartite bool, idx int) Instance {
+	model := rim.MustMallows(randPerm(rng, m), phi)
+	lab := label.NewLabeling()
+	var next label.Label
+	// Shared edge structure.
+	var edges [][2]int
+	if bipartite {
+		nl := 1 + rng.Intn(q-1) // at least one source and one sink
+		for a := 0; a < nl; a++ {
+			for b := nl; b < q; b++ {
+				if rng.Float64() < 0.6 {
+					edges = append(edges, [2]int{a, b})
+				}
+			}
+		}
+		if len(edges) == 0 {
+			edges = append(edges, [2]int{0, nl})
+		}
+	} else {
+		for a := 0; a < q; a++ {
+			for b := a + 1; b < q; b++ {
+				if rng.Float64() < 0.5 {
+					edges = append(edges, [2]int{a, b})
+				}
+			}
+		}
+		if len(edges) == 0 {
+			edges = append(edges, [2]int{0, q - 1})
+		}
+	}
+	var union pattern.Union
+	for p := 0; p < z; p++ {
+		nodes := make([]pattern.Node, q)
+		for v := 0; v < q; v++ {
+			nodes[v] = nodeOf(attach(lab, &next, sampleUniformItems(rng, m, items)))
+		}
+		union = append(union, pattern.MustNew(nodes, edges))
+	}
+	params := map[string]int{"m": m, "z": z, "q": q, "items": items}
+	return Instance{
+		Name:   nameOf(prefix, params, idx),
+		Model:  model,
+		Lab:    lab,
+		Union:  union,
+		Params: params,
+	}
+}

@@ -1,0 +1,101 @@
+// Package dataset generates the six experimental workloads of Section 6.1:
+// the Polls synthetic polling database, the pattern-union micro-benchmarks
+// A-D, and offline stand-ins for the MovieLens and CrowdRank datasets (see
+// DESIGN.md, substitutions S2 and S3). All generators are deterministic
+// given their seed.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"probpref/internal/label"
+	"probpref/internal/pattern"
+	"probpref/internal/rank"
+	"probpref/internal/rim"
+)
+
+// Instance is one micro-benchmark unit: a labeled Mallows model and a
+// pattern union to infer over it.
+type Instance struct {
+	// Name identifies the instance and its parameters.
+	Name string
+	// Model is the Mallows model.
+	Model *rim.Mallows
+	// Lab labels the model's items.
+	Lab *label.Labeling
+	// Union is the pattern union whose marginal probability is sought.
+	Union pattern.Union
+	// Params records generator parameters (m, patterns, labels, items).
+	Params map[string]int
+}
+
+// randPerm returns a random permutation ranking of m items.
+func randPerm(rng *rand.Rand, m int) rank.Ranking {
+	r := make(rank.Ranking, m)
+	for i, v := range rng.Perm(m) {
+		r[i] = rank.Item(v)
+	}
+	return r
+}
+
+// sampleWeightedItems draws k distinct items with probability proportional
+// to weight(item).
+func sampleWeightedItems(rng *rand.Rand, m, k int, weight func(int) float64) []rank.Item {
+	chosen := make(map[int]bool, k)
+	out := make([]rank.Item, 0, k)
+	for len(out) < k && len(out) < m {
+		total := 0.0
+		for i := 0; i < m; i++ {
+			if !chosen[i] {
+				total += weight(i)
+			}
+		}
+		u := rng.Float64() * total
+		acc := 0.0
+		pick := -1
+		for i := 0; i < m; i++ {
+			if chosen[i] {
+				continue
+			}
+			acc += weight(i)
+			if u < acc {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 { // numerical fallback
+			for i := m - 1; i >= 0; i-- {
+				if !chosen[i] {
+					pick = i
+					break
+				}
+			}
+		}
+		chosen[pick] = true
+		out = append(out, rank.Item(pick))
+	}
+	return out
+}
+
+// sampleUniformItems draws k distinct items uniformly.
+func sampleUniformItems(rng *rand.Rand, m, k int) []rank.Item {
+	return sampleWeightedItems(rng, m, k, func(int) float64 { return 1 })
+}
+
+// attach registers a fresh label carrying the given items and returns it.
+func attach(lab *label.Labeling, next *label.Label, items []rank.Item) label.Set {
+	l := *next
+	*next++
+	for _, it := range items {
+		lab.Add(it, l)
+	}
+	return label.NewSet(l)
+}
+
+func nodeOf(s label.Set) pattern.Node { return pattern.Node{Labels: s} }
+
+func nameOf(prefix string, params map[string]int, idx int) string {
+	return fmt.Sprintf("%s[m=%d,z=%d,q=%d,i=%d]#%d",
+		prefix, params["m"], params["z"], params["q"], params["items"], idx)
+}

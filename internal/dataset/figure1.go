@@ -1,0 +1,58 @@
+package dataset
+
+import (
+	"probpref/internal/ppd"
+	"probpref/internal/rank"
+	"probpref/internal/rim"
+)
+
+// Figure1 builds the running example of the paper (Figure 1): the polling
+// RIM-PPD with candidates Trump, Clinton, Sanders, Rubio, voters Ann, Bob,
+// Dave, and one Mallows-model poll session per voter. Item ids follow tuple
+// order: Trump=0, Clinton=1, Sanders=2, Rubio=3.
+func Figure1() (*ppd.DB, error) {
+	cands, err := ppd.NewRelation("C",
+		[]string{"candidate", "party", "sex", "age", "edu", "reg"},
+		[][]string{
+			{"Trump", "R", "M", "70", "BS", "NE"},
+			{"Clinton", "D", "F", "69", "JD", "NE"},
+			{"Sanders", "D", "M", "75", "BS", "NE"},
+			{"Rubio", "R", "M", "45", "JD", "S"},
+		})
+	if err != nil {
+		return nil, err
+	}
+	db, err := ppd.NewDB(cands)
+	if err != nil {
+		return nil, err
+	}
+	voters, err := ppd.NewRelation("V",
+		[]string{"voter", "sex", "age", "edu"},
+		[][]string{
+			{"Ann", "F", "20", "BS"},
+			{"Bob", "M", "30", "BS"},
+			{"Dave", "M", "50", "MS"},
+		})
+	if err != nil {
+		return nil, err
+	}
+	if err := db.AddRelation(voters); err != nil {
+		return nil, err
+	}
+	err = db.AddPrefRelation(&ppd.PrefRelation{
+		Name:         "P",
+		SessionAttrs: []string{"voter", "date"},
+		Sessions: []*ppd.Session{
+			// <Clinton, Sanders, Rubio, Trump>, phi = 0.3
+			{Key: []string{"Ann", "5/5"}, Model: rim.MustMallows(rank.Ranking{1, 2, 3, 0}, 0.3)},
+			// <Trump, Rubio, Sanders, Clinton>, phi = 0.3
+			{Key: []string{"Bob", "5/5"}, Model: rim.MustMallows(rank.Ranking{0, 3, 2, 1}, 0.3)},
+			// <Clinton, Sanders, Rubio, Trump>, phi = 0.5
+			{Key: []string{"Dave", "6/5"}, Model: rim.MustMallows(rank.Ranking{1, 2, 3, 0}, 0.5)},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}

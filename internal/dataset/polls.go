@@ -1,0 +1,118 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"probpref/internal/ppd"
+	"probpref/internal/rim"
+)
+
+// PollsConfig parameterizes the Polls generator.
+type PollsConfig struct {
+	// Candidates is the number of candidates (paper: 16-30). Default 20.
+	Candidates int
+	// Voters is the number of voters (paper: 1000). Default 1000.
+	Voters int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c PollsConfig) withDefaults() PollsConfig {
+	if c.Candidates == 0 {
+		c.Candidates = 20
+	}
+	if c.Voters == 0 {
+		c.Voters = 1000
+	}
+	return c
+}
+
+var (
+	pollsParties = []string{"D", "R"}
+	pollsSexes   = []string{"F", "M"}
+	pollsEdus    = []string{"HS", "BA", "BS", "MS", "JD", "PhD"}
+	pollsRegs    = []string{"NE", "S", "MW", "W", "SW", "NW"}
+	pollsAges    = []string{"20", "30", "40", "50", "60", "70"}
+	pollsDates   = []string{"5/5", "6/5"}
+)
+
+// Polls generates the synthetic polling database of Section 6.1, modeled on
+// the 2016 US presidential election and the schema of Figure 1: candidates
+// with party, sex, age bracket, education and region; voters in 72
+// demographic groups (sex x age x edu); per group, 9 Mallows models (3
+// random reference rankings x dispersions {0.2, 0.5, 0.8}); each voter is
+// assigned a random model from their group and a random poll date.
+func Polls(cfg PollsConfig) (*ppd.DB, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	tuples := make([][]string, cfg.Candidates)
+	for i := range tuples {
+		tuples[i] = []string{
+			fmt.Sprintf("cand%02d", i),
+			pollsParties[rng.Intn(len(pollsParties))],
+			pollsSexes[rng.Intn(len(pollsSexes))],
+			pollsAges[rng.Intn(len(pollsAges))],
+			pollsEdus[rng.Intn(len(pollsEdus))],
+			pollsRegs[rng.Intn(len(pollsRegs))],
+		}
+	}
+	cands, err := ppd.NewRelation("C",
+		[]string{"candidate", "party", "sex", "age", "edu", "reg"}, tuples)
+	if err != nil {
+		return nil, err
+	}
+	db, err := ppd.NewDB(cands)
+	if err != nil {
+		return nil, err
+	}
+
+	// 72 demographic groups with 9 Mallows models each.
+	type group struct{ sex, age, edu string }
+	models := make(map[group][]*rim.Mallows)
+	for _, sex := range pollsSexes {
+		for _, age := range pollsAges {
+			for _, edu := range pollsEdus {
+				g := group{sex, age, edu}
+				for r := 0; r < 3; r++ {
+					sigma := randPerm(rng, cfg.Candidates)
+					for _, phi := range []float64{0.2, 0.5, 0.8} {
+						models[g] = append(models[g], rim.MustMallows(sigma, phi))
+					}
+				}
+			}
+		}
+	}
+
+	voterTuples := make([][]string, cfg.Voters)
+	sessions := make([]*ppd.Session, cfg.Voters)
+	for i := 0; i < cfg.Voters; i++ {
+		g := group{
+			sex: pollsSexes[rng.Intn(len(pollsSexes))],
+			age: pollsAges[rng.Intn(len(pollsAges))],
+			edu: pollsEdus[rng.Intn(len(pollsEdus))],
+		}
+		name := fmt.Sprintf("voter%04d", i)
+		voterTuples[i] = []string{name, g.sex, g.age, g.edu}
+		sessions[i] = &ppd.Session{
+			Key:   []string{name, pollsDates[rng.Intn(len(pollsDates))]},
+			Model: models[g][rng.Intn(len(models[g]))],
+		}
+	}
+	voters, err := ppd.NewRelation("V", []string{"voter", "sex", "age", "edu"}, voterTuples)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.AddRelation(voters); err != nil {
+		return nil, err
+	}
+	if err := db.AddPrefRelation(&ppd.PrefRelation{
+		Name:         "P",
+		SessionAttrs: []string{"voter", "date"},
+		Sessions:     sessions,
+	}); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

@@ -1,0 +1,71 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"probpref/internal/solver"
+)
+
+func TestSymmetricUnions(t *testing.T) {
+	ins := SymmetricUnions(7, 4, 10, 3, 0.2)
+	if len(ins) != 4 {
+		t.Fatalf("got %d instances, want 4", len(ins))
+	}
+	for _, in := range ins {
+		if in.Model.M() != 10 {
+			t.Fatalf("m = %d, want 10", in.Model.M())
+		}
+		if len(in.Union) != 3 {
+			t.Fatalf("union size %d, want 3", len(in.Union))
+		}
+		if !in.Union.AllTwoLabel() {
+			t.Fatal("symmetric union not two-label")
+		}
+		// Every component is an adjacent swap of the center: each alone has
+		// the same exact probability by symmetry of the Mallows insertion
+		// weights.
+		var first float64
+		for z := range in.Union {
+			p, err := solver.TwoLabel(in.Model.Model(), in.Lab, in.Union[z:z+1], solver.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if z == 0 {
+				first = p
+				continue
+			}
+			if math.Abs(p-first) > 1e-9 {
+				t.Fatalf("component %d probability %v != component 0 %v", z, p, first)
+			}
+		}
+	}
+}
+
+func TestSymmetricUnionsPanicsOnTooManyComponents(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for 2z > m")
+		}
+	}()
+	SymmetricUnions(1, 1, 4, 3, 0.5)
+}
+
+func TestFigure1Dataset(t *testing.T) {
+	db, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.M() != 4 {
+		t.Fatalf("m = %d, want 4", db.M())
+	}
+	if len(db.Prefs["P"].Sessions) != 3 {
+		t.Fatalf("sessions = %d, want 3", len(db.Prefs["P"].Sessions))
+	}
+	if _, ok := db.Relations["V"]; !ok {
+		t.Fatal("voters relation missing")
+	}
+	if _, ok := db.ItemID("Clinton"); !ok {
+		t.Fatal("Clinton not in item catalog")
+	}
+}

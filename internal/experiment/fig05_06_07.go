@@ -1,0 +1,197 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"probpref/internal/dataset"
+	"probpref/internal/pattern"
+	"probpref/internal/solver"
+)
+
+// RunFig05 reproduces Figure 5: the general solver's per-conjunction cost on
+// Benchmark-A grows exponentially with the number of patterns in the
+// conjunction. For each union g1 ∪ g2 ∪ g3 the inclusion-exclusion
+// expansion solves conjunctions of size 1, 2 and 3; the table reports the
+// single-pattern solver time per conjunction size.
+func RunFig05(scale Scale) (*Table, error) {
+	unions := 3
+	if scale == Paper {
+		unions = 33
+	}
+	insts := dataset.BenchmarkA(41)[:unions]
+	times := map[int]*stats{1: {}, 2: {}, 3: {}}
+	for _, in := range insts {
+		for mask := 1; mask < 8; mask++ {
+			var members pattern.Union
+			for b := 0; b < 3; b++ {
+				if mask&(1<<b) != 0 {
+					members = append(members, in.Union[b])
+				}
+			}
+			conj := pattern.Conjoin(members...)
+			d, err := timeIt(func() error {
+				_, e := solver.SinglePattern(in.Model.Model(), in.Lab, conj, solver.Options{})
+				return e
+			})
+			if err != nil {
+				return nil, err
+			}
+			times[len(members)].add(d.Seconds())
+		}
+	}
+	t := &Table{
+		Title:   "Figure 5: general solver time vs #patterns in conjunction (Benchmark-A)",
+		Columns: []string{"conjPatterns", "median", "mean", "max"},
+	}
+	for _, z := range []int{1, 2, 3} {
+		st := times[z]
+		t.Add(z,
+			time.Duration(st.median()*float64(time.Second)),
+			time.Duration(st.mean()*float64(time.Second)),
+			time.Duration(st.quantile(1)*float64(time.Second)))
+	}
+	t.Notes = append(t.Notes, "target shape: exponential growth with conjunction size")
+	return t, nil
+}
+
+// RunFig06 reproduces Figure 6: the proportion of Benchmark-D instances the
+// two-label solver finishes within the timeout, per (m, patterns-per-union).
+// The paper uses a 10-minute budget; the small scale shrinks it
+// proportionally, preserving the completion gradient.
+func RunFig06(scale Scale) (*Table, error) {
+	perCell := 2
+	timeout := 300 * time.Millisecond
+	ms := []int{20, 30, 40}
+	zs := []int{2, 3, 4}
+	if scale == Paper {
+		perCell = 10
+		timeout = 10 * time.Minute
+		ms = []int{20, 30, 40, 50, 60}
+		zs = []int{2, 3, 4, 5}
+	}
+	all := dataset.BenchmarkD(42)
+	t := &Table{
+		Title:   "Figure 6: % Benchmark-D instances finished by the two-label solver in time",
+		Columns: []string{"patterns", "m", "finished", "total", "pct"},
+	}
+	for _, z := range zs {
+		for _, m := range ms {
+			finished, total := 0, 0
+			for _, in := range all {
+				if in.Params["m"] != m || in.Params["z"] != z {
+					continue
+				}
+				if total >= perCell*3 { // across the three items/label values
+					break
+				}
+				total++
+				ctx, cancel := context.WithTimeout(context.Background(), timeout)
+				_, err := solver.TwoLabel(in.Model.Model(), in.Lab, in.Union, solver.Options{Ctx: ctx})
+				cancel()
+				switch {
+				case err == nil:
+					finished++
+				case errors.Is(err, context.DeadlineExceeded):
+				default:
+					return nil, err
+				}
+			}
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(finished) / float64(total)
+			}
+			t.Add(z, m, finished, total, pct)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"target shape: completion rate decreases with both m and #patterns (paper Figure 6 heatmap)")
+	return t, nil
+}
+
+// RunFig07a reproduces Figure 7a: bipartite solver time vs m and labels per
+// pattern, with 3 patterns per union and 3 items per label (Benchmark-C).
+func RunFig07a(scale Scale) (*Table, error) {
+	return runFig07(scale, true)
+}
+
+// RunFig07b reproduces Figure 7b: bipartite solver time vs m and patterns
+// per union, with 3 labels per pattern and 3 items per label.
+func RunFig07b(scale Scale) (*Table, error) {
+	return runFig07(scale, false)
+}
+
+func runFig07(scale Scale, byLabels bool) (*Table, error) {
+	perCell := 2
+	ms := []int{10, 12, 14}
+	timeout := 2 * time.Second
+	if scale == Paper {
+		perCell = 10
+		ms = []int{10, 12, 14, 16}
+		timeout = 10 * time.Minute
+	}
+	all := dataset.BenchmarkC(43)
+	var varName string
+	var varVals []int
+	if byLabels {
+		varName = "labels"
+		varVals = []int{2, 3, 4}
+	} else {
+		varName = "patterns"
+		varVals = []int{1, 2, 3}
+	}
+	title := "Figure 7a: bipartite solver time vs m and labels/pattern (3 patterns, 3 items/label)"
+	if !byLabels {
+		title = "Figure 7b: bipartite solver time vs m and patterns/union (3 labels, 3 items/label)"
+	}
+	t := &Table{
+		Title:   title,
+		Columns: []string{varName, "m", "median", "mean", "timeouts"},
+	}
+	for _, v := range varVals {
+		for _, m := range ms {
+			st := &stats{}
+			timeouts := 0
+			count := 0
+			for _, in := range all {
+				if in.Params["m"] != m || in.Params["items"] != 3 {
+					continue
+				}
+				if byLabels {
+					if in.Params["q"] != v || in.Params["z"] != 3 {
+						continue
+					}
+				} else {
+					if in.Params["z"] != v || in.Params["q"] != 3 {
+						continue
+					}
+				}
+				if count >= perCell {
+					break
+				}
+				count++
+				ctx, cancel := context.WithTimeout(context.Background(), timeout)
+				d, err := timeIt(func() error {
+					_, e := solver.Bipartite(in.Model.Model(), in.Lab, in.Union, solver.Options{Ctx: ctx})
+					return e
+				})
+				cancel()
+				switch {
+				case err == nil:
+					st.add(d.Seconds())
+				case errors.Is(err, context.DeadlineExceeded):
+					timeouts++
+				default:
+					return nil, err
+				}
+			}
+			t.Add(v, m,
+				time.Duration(st.median()*float64(time.Second)),
+				time.Duration(st.mean()*float64(time.Second)),
+				timeouts)
+		}
+	}
+	t.Notes = append(t.Notes, "target shape: steep growth with m and with the varied parameter")
+	return t, nil
+}

@@ -1,0 +1,247 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"probpref/internal/dataset"
+	"probpref/internal/sampling"
+	"probpref/internal/solver"
+)
+
+// liteErrors runs MIS-AMP-lite with each proposal count over the instances
+// and returns per-d relative-error statistics against the exact bipartite
+// solver.
+func liteErrors(insts []dataset.Instance, ds []int, samples int, compensate bool, seed int64) (map[int]*stats, error) {
+	out := map[int]*stats{}
+	for _, d := range ds {
+		out[d] = &stats{}
+	}
+	for i, in := range insts {
+		truth, err := solver.Bipartite(in.Model.Model(), in.Lab, in.Union, solver.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if truth == 0 {
+			continue
+		}
+		est, err := sampling.NewEstimator(in.Model, in.Lab, in.Union, sampling.Config{})
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range ds {
+			rng := rand.New(rand.NewSource(seed + int64(1000*i+d)))
+			p, err := est.Estimate(d, samples, rng, compensate)
+			if err != nil {
+				return nil, err
+			}
+			out[d].add(relErr(p, truth))
+		}
+	}
+	return out, nil
+}
+
+// RunFig10a reproduces Figure 10a: the distribution of MIS-AMP-lite
+// relative errors on Benchmark-A as the number of proposal distributions
+// grows.
+func RunFig10a(scale Scale) (*Table, error) {
+	n := 6
+	samples := 400
+	if scale == Paper {
+		n = 33
+		samples = 1000
+	}
+	insts := dataset.BenchmarkA(101)[:n]
+	return liteTable("Figure 10a: MIS-AMP-lite relative error vs #proposals (Benchmark-A)",
+		insts, samples, 102)
+}
+
+// RunFig10b reproduces Figure 10b: the same sweep on the Benchmark-C slice
+// with 3 patterns/union, 3 labels/pattern, 3 items/label.
+func RunFig10b(scale Scale) (*Table, error) {
+	insts := dataset.BenchmarkCSlice(103, 3, 3, 3)
+	samples := 400
+	if scale != Paper {
+		insts = insts[:6]
+	} else {
+		samples = 1000
+	}
+	return liteTable("Figure 10b: MIS-AMP-lite relative error vs #proposals (Benchmark-C 3/3/3)",
+		insts, samples, 104)
+}
+
+func liteTable(title string, insts []dataset.Instance, samples int, seed int64) (*Table, error) {
+	ds := []int{1, 2, 5, 10, 20}
+	errs, err := liteErrors(insts, ds, samples, true, seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   title,
+		Columns: []string{"proposals", "medianRelErr", "meanRelErr", "p90RelErr", "instances"},
+	}
+	for _, d := range ds {
+		st := errs[d]
+		t.Add(d, st.median(), st.mean(), st.quantile(0.9), st.n())
+	}
+	t.Notes = append(t.Notes, "target shape: error decreases with #proposals, plateauing near 20")
+	return t, nil
+}
+
+// RunFig11 reproduces Figure 11: MIS-AMP-lite accuracy on a typical and an
+// atypical Benchmark-A instance, with and without compensation. On the
+// typical instance more proposals improve accuracy; on the atypical
+// instance compensation does most of the work (11b), and removing it
+// restores the monotone improvement (11c).
+func RunFig11(scale Scale) (*Table, error) {
+	insts := dataset.BenchmarkA(111)
+	samples := 500
+	runs := 3
+	if scale == Paper {
+		samples = 1500
+		runs = 10
+	}
+	ds := []int{1, 5, 10, 20}
+	// Pick the typical/atypical instances by the raw (uncompensated) d=1
+	// error against the exact probability: the atypical instance is the
+	// one whose dominant components the single proposal misses, which is
+	// exactly where compensation does the work (paper Section 6.3).
+	typical, atypical := insts[0], insts[0]
+	bestRaw, worstRaw := 1e18, -1.0
+	for _, in := range insts[:10] {
+		truth, err := solver.Bipartite(in.Model.Model(), in.Lab, in.Union, solver.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if truth < 1e-9 {
+			continue
+		}
+		est, err := sampling.NewEstimator(in.Model, in.Lab, in.Union, sampling.Config{})
+		if err != nil {
+			return nil, err
+		}
+		without, err := est.Estimate(1, 200, rand.New(rand.NewSource(7)), false)
+		if err != nil {
+			return nil, err
+		}
+		raw := relErr(without, truth)
+		if raw < bestRaw {
+			bestRaw, typical = raw, in
+		}
+		if raw > worstRaw {
+			worstRaw, atypical = raw, in
+		}
+	}
+	t := &Table{
+		Title:   "Figure 11: MIS-AMP-lite on a typical vs atypical Benchmark-A instance",
+		Columns: []string{"instance", "compensation", "proposals", "meanRelErr"},
+	}
+	for _, row := range []struct {
+		name string
+		in   dataset.Instance
+		comp bool
+	}{
+		{"typical", typical, true},
+		{"atypical", atypical, true},
+		{"atypical", atypical, false},
+	} {
+		truth, err := solver.Bipartite(row.in.Model.Model(), row.in.Lab, row.in.Union, solver.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range ds {
+			st := &stats{}
+			for r := 0; r < runs; r++ {
+				est, err := sampling.NewEstimator(row.in.Model, row.in.Lab, row.in.Union, sampling.Config{})
+				if err != nil {
+					return nil, err
+				}
+				rng := rand.New(rand.NewSource(int64(1000*r + d)))
+				p, err := est.Estimate(d, samples, rng, row.comp)
+				if err != nil {
+					return nil, err
+				}
+				st.add(relErr(p, truth))
+			}
+			t.Add(row.name, row.comp, d, st.mean())
+		}
+	}
+	t.Notes = append(t.Notes,
+		"target shape: typical instance improves with proposals; atypical instance relies on compensation (11b); without compensation improvement is monotone again (11c)")
+	return t, nil
+}
+
+// RunFig12 reproduces Figure 12: the effect of compensation for MIS-AMP-lite
+// with one proposal. Two workloads are reported: the random Benchmark-C
+// instances, and symmetric multi-component instances (equally-distant
+// disjoint rare components, each with a unique modal) — the regime the
+// compensation mechanism targets, where a single proposal can only ever see
+// one component.
+func RunFig12(scale Scale) (*Table, error) {
+	n := 20
+	samples := 100
+	if scale == Paper {
+		n = 200
+	}
+	t := &Table{
+		Title:   "Figure 12: compensation effect for MIS-AMP-lite (d=1)",
+		Columns: []string{"workload", "instances", "improved", "worsened", "meanRelErrWith", "meanRelErrWithout"},
+	}
+	row, err := fig12Row("benchmark-C", dataset.BenchmarkC(121), n, samples)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, row)
+	row, err = fig12Row("symmetric", dataset.SymmetricUnions(122, 30, 12, 3, 0.1), n, samples)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, row)
+	t.Notes = append(t.Notes,
+		"target shape (paper): most instances improve; near-100% errors collapse",
+		"reproduction finding: on random Benchmark-C instances the nearest sub-ranking dominates the",
+		"union probability and the mixture estimator is already unbiased, so compensation overcorrects;",
+		"on symmetric multi-component instances compensation restores the pruned components as intended")
+	return t, nil
+}
+
+func fig12Row(name string, insts []dataset.Instance, n, samples int) ([]string, error) {
+	improved, worsened := 0, 0
+	withSt, withoutSt := &stats{}, &stats{}
+	used := 0
+	for i := 0; i < len(insts) && used < n; i++ {
+		in := insts[i]
+		truth, err := solver.Bipartite(in.Model.Model(), in.Lab, in.Union, solver.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if truth < 1e-9 {
+			continue
+		}
+		est, err := sampling.NewEstimator(in.Model, in.Lab, in.Union, sampling.Config{})
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(int64(i)))
+		with, err := est.Estimate(1, samples, rng, true)
+		if err != nil {
+			return nil, err
+		}
+		rng = rand.New(rand.NewSource(int64(i)))
+		without, err := est.Estimate(1, samples, rng, false)
+		if err != nil {
+			return nil, err
+		}
+		used++
+		ew, ewo := relErr(with, truth), relErr(without, truth)
+		withSt.add(ew)
+		withoutSt.add(ewo)
+		if ew < ewo {
+			improved++
+		} else if ew > ewo {
+			worsened++
+		}
+	}
+	return []string{name, fmt.Sprintf("%d", used), fmt.Sprintf("%d", improved),
+		fmt.Sprintf("%d", worsened), fmtFloat(withSt.mean()), fmtFloat(withoutSt.mean())}, nil
+}

@@ -1,0 +1,156 @@
+package label
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"probpref/internal/rank"
+)
+
+func TestVocabIntern(t *testing.T) {
+	v := NewVocab()
+	a := v.Intern("sex=F")
+	b := v.Intern("sex=M")
+	if a == b {
+		t.Fatal("distinct strings must get distinct ids")
+	}
+	if again := v.Intern("sex=F"); again != a {
+		t.Fatal("interning twice must return the same id")
+	}
+	if v.Name(a) != "sex=F" {
+		t.Fatalf("Name = %q", v.Name(a))
+	}
+	if _, ok := v.Lookup("missing"); ok {
+		t.Fatal("Lookup of missing label should fail")
+	}
+	if v.Len() != 2 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+}
+
+func TestVocabNameOutOfRange(t *testing.T) {
+	v := NewVocab()
+	if got := v.Name(Label(42)); got != "label#42" {
+		t.Fatalf("Name(42) = %q", got)
+	}
+}
+
+func TestNewSetDedup(t *testing.T) {
+	s := NewSet(3, 1, 3, 2, 1)
+	if !s.Equal(Set{1, 2, 3}) {
+		t.Fatalf("NewSet = %v", s)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	s := NewSet(1, 3)
+	u := s.Union(NewSet(2, 3))
+	if !u.Equal(Set{1, 2, 3}) {
+		t.Fatalf("Union = %v", u)
+	}
+	if !s.Contains(3) || s.Contains(2) {
+		t.Fatal("Contains wrong")
+	}
+	if !NewSet(1).SubsetOf(s) || NewSet(2).SubsetOf(s) {
+		t.Fatal("SubsetOf wrong")
+	}
+	if !Set(nil).SubsetOf(s) {
+		t.Fatal("empty set is a subset of everything")
+	}
+	if s.Key() != "1,3" {
+		t.Fatalf("Key = %q", s.Key())
+	}
+}
+
+// Property: union is commutative, associative, idempotent; subset relation
+// agrees with a map-based implementation.
+func TestSetUnionProperties(t *testing.T) {
+	gen := func(vals []uint8) Set {
+		ls := make([]Label, len(vals))
+		for i, v := range vals {
+			ls[i] = Label(v % 16)
+		}
+		return NewSet(ls...)
+	}
+	f := func(a, b, c []uint8) bool {
+		x, y, z := gen(a), gen(b), gen(c)
+		if !x.Union(y).Equal(y.Union(x)) {
+			return false
+		}
+		if !x.Union(y).Union(z).Equal(x.Union(y.Union(z))) {
+			return false
+		}
+		if !x.Union(x).Equal(x) {
+			return false
+		}
+		return x.SubsetOf(x.Union(y))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsetOfMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		mk := func() Set {
+			n := rng.Intn(6)
+			ls := make([]Label, n)
+			for i := range ls {
+				ls[i] = Label(rng.Intn(8))
+			}
+			return NewSet(ls...)
+		}
+		s, u := mk(), mk()
+		naive := true
+		for _, l := range s {
+			found := false
+			for _, x := range u {
+				if x == l {
+					found = true
+				}
+			}
+			if !found {
+				naive = false
+			}
+		}
+		if s.SubsetOf(u) != naive {
+			t.Fatalf("SubsetOf(%v, %v) = %v, want %v", s, u, s.SubsetOf(u), naive)
+		}
+	}
+}
+
+func TestLabeling(t *testing.T) {
+	lb := NewLabeling()
+	lb.Add(0, 1)
+	lb.Add(0, 2)
+	lb.Add(1, 2)
+	if !lb.Has(0, 1) || lb.Has(1, 1) {
+		t.Fatal("Has wrong")
+	}
+	if !lb.HasAll(0, NewSet(1, 2)) {
+		t.Fatal("HasAll wrong")
+	}
+	if lb.HasAll(1, NewSet(1, 2)) {
+		t.Fatal("HasAll should fail when a label is missing")
+	}
+	if !lb.HasAll(1, nil) {
+		t.Fatal("empty requirement matches any item")
+	}
+	items := lb.ItemsWithLabel(2, 3)
+	if len(items) != 2 || items[0] != 0 || items[1] != 1 {
+		t.Fatalf("ItemsWithLabel = %v", items)
+	}
+	if got := lb.ItemsWith(NewSet(1, 2), 3); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("ItemsWith = %v", got)
+	}
+}
+
+func TestLabelingAddAll(t *testing.T) {
+	lb := NewLabeling()
+	lb.AddAll(5, NewSet(4, 2))
+	if !lb.Of(rank.Item(5)).Equal(Set{2, 4}) {
+		t.Fatalf("Of = %v", lb.Of(5))
+	}
+}

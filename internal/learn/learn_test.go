@@ -1,0 +1,339 @@
+package learn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"probpref/internal/rank"
+	"probpref/internal/rim"
+)
+
+func TestFitMallowsValidation(t *testing.T) {
+	good := []rank.Ranking{{0, 1, 2}, {1, 0, 2}}
+	cases := []struct {
+		name    string
+		data    []rank.Ranking
+		weights []float64
+		m       int
+	}{
+		{"empty", nil, nil, 3},
+		{"wrong length", []rank.Ranking{{0, 1}}, nil, 3},
+		{"not a permutation", []rank.Ranking{{0, 0, 2}}, nil, 3},
+		{"weight arity", good, []float64{1}, 3},
+		{"negative weight", good, []float64{1, -1}, 3},
+		{"zero weight sum", good, []float64{0, 0}, 3},
+	}
+	for _, tc := range cases {
+		if _, err := FitMallows(tc.data, tc.weights, tc.m); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+func TestFitMallowsRecoversParameters(t *testing.T) {
+	truth := rim.MustMallows(rank.Ranking{3, 0, 5, 1, 4, 2, 7, 6}, 0.35)
+	rng := rand.New(rand.NewSource(11))
+	data := make([]rank.Ranking, 3000)
+	for i := range data {
+		data[i] = truth.Sample(rng)
+	}
+	fit, err := FitMallows(data, nil, truth.M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fit.Model.Sigma.Equal(truth.Sigma) {
+		t.Fatalf("center %v, want %v", fit.Model.Sigma, truth.Sigma)
+	}
+	if math.Abs(fit.Model.Phi-truth.Phi) > 0.05 {
+		t.Fatalf("phi %v, want ~%v", fit.Model.Phi, truth.Phi)
+	}
+}
+
+func TestFitMallowsDegenerateData(t *testing.T) {
+	// All rankings identical: phi must be 0, center the common ranking.
+	tau := rank.Ranking{2, 0, 1}
+	data := []rank.Ranking{tau, tau.Clone(), tau.Clone()}
+	fit, err := FitMallows(data, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fit.Model.Sigma.Equal(tau) {
+		t.Fatalf("center %v, want %v", fit.Model.Sigma, tau)
+	}
+	if fit.Model.Phi != 0 {
+		t.Fatalf("phi %v, want 0", fit.Model.Phi)
+	}
+	if fit.MeanDistance != 0 {
+		t.Fatalf("mean distance %v, want 0", fit.MeanDistance)
+	}
+}
+
+func TestFitMallowsUniformData(t *testing.T) {
+	// Uniform rankings: the fitted phi must approach 1.
+	rng := rand.New(rand.NewSource(12))
+	uniform := rim.MustMallows(rank.Identity(6), 1)
+	data := make([]rank.Ranking, 4000)
+	for i := range data {
+		data[i] = uniform.Sample(rng)
+	}
+	fit, err := FitMallows(data, nil, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Model.Phi < 0.9 {
+		t.Fatalf("phi %v, want near 1 for uniform data", fit.Model.Phi)
+	}
+}
+
+func TestFitMallowsWeighted(t *testing.T) {
+	// With all weight on the second half of the data, the fit must ignore
+	// the first half.
+	a := rim.MustMallows(rank.Ranking{0, 1, 2, 3, 4}, 0.2)
+	b := rim.MustMallows(rank.Ranking{4, 3, 2, 1, 0}, 0.2)
+	rng := rand.New(rand.NewSource(13))
+	var data []rank.Ranking
+	var weights []float64
+	for i := 0; i < 500; i++ {
+		data = append(data, a.Sample(rng))
+		weights = append(weights, 0)
+	}
+	for i := 0; i < 500; i++ {
+		data = append(data, b.Sample(rng))
+		weights = append(weights, 1)
+	}
+	fit, err := FitMallows(data, weights, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fit.Model.Sigma.Equal(b.Sigma) {
+		t.Fatalf("weighted center %v, want %v", fit.Model.Sigma, b.Sigma)
+	}
+}
+
+func TestExpectedDistanceMonotone(t *testing.T) {
+	m := 7
+	prev := -1.0
+	for phi := 0.0; phi <= 1.0001; phi += 0.05 {
+		e := ExpectedDistance(m, phi)
+		if e < prev {
+			t.Fatalf("ExpectedDistance not monotone at phi=%v: %v < %v", phi, e, prev)
+		}
+		prev = e
+	}
+	if got, want := ExpectedDistance(m, 1), float64(m*(m-1))/4; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ExpectedDistance(m,1) = %v, want %v", got, want)
+	}
+	if ExpectedDistance(m, 0) != 0 {
+		t.Fatal("ExpectedDistance(m,0) != 0")
+	}
+}
+
+func TestExpectedDistanceMatchesAnalyticRIM(t *testing.T) {
+	// Against enumeration on a small model.
+	for _, phi := range []float64{0.2, 0.6, 1} {
+		ml := rim.MustMallows(rank.Identity(5), phi)
+		want := 0.0
+		rank.ForEachPermutation(5, func(tau rank.Ranking) bool {
+			want += float64(rank.KendallTau(ml.Sigma, tau)) * ml.Prob(tau)
+			return true
+		})
+		if got := ExpectedDistance(5, phi); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("phi=%v: ExpectedDistance %v, enumeration %v", phi, got, want)
+		}
+	}
+}
+
+func TestSolvePhiInvertsExpectedDistance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 3 + rng.Intn(10)
+		phi := 0.05 + 0.9*rng.Float64()
+		dbar := ExpectedDistance(m, phi)
+		return math.Abs(SolvePhi(m, dbar)-phi) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolvePhiClamps(t *testing.T) {
+	if p := SolvePhi(5, -1); p != 0 {
+		t.Errorf("SolvePhi(5,-1) = %v, want 0", p)
+	}
+	if p := SolvePhi(5, 99); p != 1 {
+		t.Errorf("SolvePhi(5,99) = %v, want 1", p)
+	}
+}
+
+func TestKemenyLocalSearchNeverWorseThanBorda(t *testing.T) {
+	cost := func(center rank.Ranking, n [][]float64) float64 {
+		c := 0.0
+		for p := 0; p < len(center); p++ {
+			for q := p + 1; q < len(center); q++ {
+				c += n[center[q]][center[p]]
+			}
+		}
+		return c
+	}
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 30; trial++ {
+		m := 4 + rng.Intn(4)
+		truth := rim.MustMallows(rank.Identity(m), 0.3+0.6*rng.Float64())
+		data := make([]rank.Ranking, 60)
+		for i := range data {
+			data[i] = truth.Sample(rng)
+		}
+		n := pairwiseCounts(data, nil, m)
+		borda := bordaCenter(n, m)
+		refined := kemenyLocalSearch(borda, n)
+		if cost(refined, n) > cost(borda, n)+1e-9 {
+			t.Fatalf("trial %d: local search worsened cost: %v > %v",
+				trial, cost(refined, n), cost(borda, n))
+		}
+		// Local optimality: no adjacent swap improves.
+		for p := 0; p+1 < m; p++ {
+			a, b := refined[p], refined[p+1]
+			if n[a][b]-n[b][a] < -1e-9 {
+				t.Fatalf("trial %d: improving adjacent swap left at %d", trial, p)
+			}
+		}
+	}
+}
+
+func TestFitMixtureRecoversComponents(t *testing.T) {
+	// Two well-separated components.
+	a := rim.MustMallows(rank.Ranking{0, 1, 2, 3, 4, 5}, 0.25)
+	b := rim.MustMallows(rank.Ranking{5, 4, 3, 2, 1, 0}, 0.25)
+	rng := rand.New(rand.NewSource(15))
+	var data []rank.Ranking
+	for i := 0; i < 700; i++ {
+		data = append(data, a.Sample(rng))
+	}
+	for i := 0; i < 300; i++ {
+		data = append(data, b.Sample(rng))
+	}
+	fit, err := FitMixture(data, 2, 6, MixtureConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := fit.Mixture
+	// Identify components by center.
+	var ia, ib = -1, -1
+	for c, comp := range mix.Components {
+		if comp.Sigma.Equal(a.Sigma) {
+			ia = c
+		}
+		if comp.Sigma.Equal(b.Sigma) {
+			ib = c
+		}
+	}
+	if ia < 0 || ib < 0 {
+		t.Fatalf("centers not recovered: %v, %v", mix.Components[0].Sigma, mix.Components[1].Sigma)
+	}
+	if math.Abs(mix.Weights[ia]-0.7) > 0.05 || math.Abs(mix.Weights[ib]-0.3) > 0.05 {
+		t.Fatalf("weights %v, want ~[0.7 0.3]", mix.Weights)
+	}
+	if math.Abs(mix.Components[ia].Phi-0.25) > 0.08 || math.Abs(mix.Components[ib].Phi-0.25) > 0.08 {
+		t.Fatalf("phis %v / %v, want ~0.25", mix.Components[ia].Phi, mix.Components[ib].Phi)
+	}
+}
+
+func TestFitMixtureLogLikelihoodNonDecreasing(t *testing.T) {
+	a := rim.MustMallows(rank.Ranking{0, 1, 2, 3, 4}, 0.4)
+	b := rim.MustMallows(rank.Ranking{4, 3, 2, 1, 0}, 0.4)
+	rng := rand.New(rand.NewSource(16))
+	var data []rank.Ranking
+	for i := 0; i < 200; i++ {
+		data = append(data, a.Sample(rng), b.Sample(rng))
+	}
+	fit, err := FitMixture(data, 2, 5, MixtureConfig{MaxIter: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(fit.History); i++ {
+		// The approximate center search can in principle lose a little; EM
+		// with exact M-steps must not lose more than numerical noise.
+		if fit.History[i] < fit.History[i-1]-1e-6 {
+			t.Fatalf("log-likelihood decreased at round %d: %v -> %v",
+				i, fit.History[i-1], fit.History[i])
+		}
+	}
+}
+
+func TestFitMixtureSingleComponentMatchesFitMallows(t *testing.T) {
+	truth := rim.MustMallows(rank.Ranking{2, 0, 3, 1}, 0.3)
+	rng := rand.New(rand.NewSource(17))
+	data := make([]rank.Ranking, 800)
+	for i := range data {
+		data[i] = truth.Sample(rng)
+	}
+	single, err := FitMallows(data, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixFit, err := FitMixture(data, 1, 4, MixtureConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := mixFit.Mixture.Components[0]
+	if !comp.Sigma.Equal(single.Model.Sigma) {
+		t.Fatalf("k=1 center %v != FitMallows center %v", comp.Sigma, single.Model.Sigma)
+	}
+	if math.Abs(comp.Phi-single.Model.Phi) > 1e-3 {
+		t.Fatalf("k=1 phi %v != FitMallows phi %v", comp.Phi, single.Model.Phi)
+	}
+}
+
+func TestFitMixtureValidation(t *testing.T) {
+	data := []rank.Ranking{{0, 1, 2}, {1, 0, 2}}
+	if _, err := FitMixture(data, 0, 3, MixtureConfig{}); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := FitMixture(data, 3, 3, MixtureConfig{}); err == nil {
+		t.Error("k > n: want error")
+	}
+	if _, err := FitMixture([]rank.Ranking{{0, 0, 1}}, 1, 3, MixtureConfig{}); err == nil {
+		t.Error("bad ranking: want error")
+	}
+}
+
+func TestFitMixtureDeterministic(t *testing.T) {
+	truth := rim.MustMallows(rank.Identity(5), 0.5)
+	rng := rand.New(rand.NewSource(18))
+	data := make([]rank.Ranking, 100)
+	for i := range data {
+		data[i] = truth.Sample(rng)
+	}
+	f1, err := FitMixture(data, 2, 5, MixtureConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := FitMixture(data, 2, 5, MixtureConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.LogLikelihood != f2.LogLikelihood || f1.Iterations != f2.Iterations {
+		t.Fatalf("same seed, different fits: %v/%d vs %v/%d",
+			f1.LogLikelihood, f1.Iterations, f2.LogLikelihood, f2.Iterations)
+	}
+	for c := range f1.Mixture.Components {
+		if !f1.Mixture.Components[c].Sigma.Equal(f2.Mixture.Components[c].Sigma) {
+			t.Fatal("same seed, different centers")
+		}
+	}
+}
+
+func TestLogLikelihoodHelper(t *testing.T) {
+	ml := rim.MustMallows(rank.Identity(4), 0.5)
+	mix, err := rim.NewMixture([]*rim.Mallows{ml}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []rank.Ranking{{0, 1, 2, 3}, {1, 0, 2, 3}}
+	want := ml.LogProb(data[0]) + ml.LogProb(data[1])
+	if got := LogLikelihood(mix, data); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("LogLikelihood = %v, want %v", got, want)
+	}
+}

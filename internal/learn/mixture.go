@@ -1,0 +1,207 @@
+package learn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"probpref/internal/rank"
+	"probpref/internal/rim"
+)
+
+// MixtureConfig tunes FitMixture. The zero value uses the defaults noted on
+// each field.
+type MixtureConfig struct {
+	// MaxIter bounds the EM iterations (default 50).
+	MaxIter int
+	// Tol stops EM when the per-observation log-likelihood improves by less
+	// than Tol (default 1e-6).
+	Tol float64
+	// Seed drives the deterministic center initialization (default 1).
+	Seed int64
+	// MinPhi keeps component dispersions away from the degenerate phi = 0,
+	// where a component assigns zero likelihood to every ranking but its
+	// center and EM responsibilities collapse (default 1e-3).
+	MinPhi float64
+}
+
+func (c MixtureConfig) withDefaults() MixtureConfig {
+	if c.MaxIter == 0 {
+		c.MaxIter = 50
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-6
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MinPhi == 0 {
+		c.MinPhi = 1e-3
+	}
+	return c
+}
+
+// MixtureFit is a fitted Mallows mixture with EM diagnostics.
+type MixtureFit struct {
+	Mixture *rim.Mixture
+	// LogLikelihood is the final data log-likelihood.
+	LogLikelihood float64
+	// Iterations is the number of EM rounds executed.
+	Iterations int
+	// History records the log-likelihood after every round.
+	History []float64
+}
+
+// FitMixture fits a k-component Mallows mixture to rankings over m items by
+// expectation-maximization: the E-step computes exact component posteriors,
+// the M-step refits every component with FitMallows under the posterior
+// weights. Centers are initialized from k distinct data points chosen by a
+// farthest-point heuristic (k-means++ style) on the Kendall distance.
+func FitMixture(data []rank.Ranking, k, m int, cfg MixtureConfig) (*MixtureFit, error) {
+	cfg = cfg.withDefaults()
+	if k <= 0 {
+		return nil, fmt.Errorf("learn: k = %d must be positive", k)
+	}
+	if len(data) < k {
+		return nil, fmt.Errorf("learn: %d rankings for %d components", len(data), k)
+	}
+	if err := validateData(data, nil, m); err != nil {
+		return nil, err
+	}
+
+	comps := initComponents(data, k, m, cfg)
+	weights := make([]float64, k)
+	for c := range weights {
+		weights[c] = 1 / float64(k)
+	}
+
+	fit := &MixtureFit{}
+	prevLL := math.Inf(-1)
+	resp := make([][]float64, len(data)) // responsibilities per observation
+	for i := range resp {
+		resp[i] = make([]float64, k)
+	}
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		// E-step: resp[i][c] = Pr(component c | tau_i), via log-sum-exp.
+		ll := 0.0
+		for i, tau := range data {
+			maxLog := math.Inf(-1)
+			logs := resp[i]
+			for c := 0; c < k; c++ {
+				logs[c] = math.Log(weights[c]) + comps[c].LogProb(tau)
+				if logs[c] > maxLog {
+					maxLog = logs[c]
+				}
+			}
+			sum := 0.0
+			for c := 0; c < k; c++ {
+				logs[c] = math.Exp(logs[c] - maxLog)
+				sum += logs[c]
+			}
+			for c := 0; c < k; c++ {
+				logs[c] /= sum
+			}
+			ll += maxLog + math.Log(sum)
+		}
+		fit.Iterations = iter + 1
+		fit.History = append(fit.History, ll)
+
+		// M-step: refit each component under its responsibilities.
+		for c := 0; c < k; c++ {
+			w := make([]float64, len(data))
+			total := 0.0
+			for i := range data {
+				w[i] = resp[i][c]
+				total += w[i]
+			}
+			weights[c] = total / float64(len(data))
+			if total <= 1e-12 {
+				continue // dead component: keep its parameters
+			}
+			f, err := FitMallows(data, w, m)
+			if err != nil {
+				return nil, err
+			}
+			phi := f.Model.Phi
+			if phi < cfg.MinPhi {
+				phi = cfg.MinPhi
+			}
+			comps[c], err = rim.NewMallows(f.Model.Sigma, phi)
+			if err != nil {
+				return nil, err
+			}
+		}
+		normalize(weights)
+
+		if ll-prevLL < cfg.Tol*float64(len(data)) && iter > 0 {
+			prevLL = ll
+			break
+		}
+		prevLL = ll
+	}
+
+	mix, err := rim.NewMixture(comps, weights)
+	if err != nil {
+		return nil, err
+	}
+	fit.Mixture = mix
+	fit.LogLikelihood = prevLL
+	return fit, nil
+}
+
+// initComponents picks k centers by a farthest-point heuristic over the
+// data (first center random, each next center the ranking maximizing the
+// minimum Kendall distance to the chosen ones) and pairs each with a
+// moderate dispersion.
+func initComponents(data []rank.Ranking, k, m int, cfg MixtureConfig) []*rim.Mallows {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	chosen := []int{rng.Intn(len(data))}
+	minDist := make([]int, len(data))
+	for i := range minDist {
+		minDist[i] = rank.KendallTau(data[i], data[chosen[0]])
+	}
+	for len(chosen) < k {
+		best, bestD := -1, -1
+		for i, d := range minDist {
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		chosen = append(chosen, best)
+		for i := range minDist {
+			if d := rank.KendallTau(data[i], data[best]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	comps := make([]*rim.Mallows, k)
+	for c, idx := range chosen {
+		comps[c] = rim.MustMallows(data[idx], 0.5)
+	}
+	return comps
+}
+
+func normalize(w []float64) {
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	if total == 0 {
+		for i := range w {
+			w[i] = 1 / float64(len(w))
+		}
+		return
+	}
+	for i := range w {
+		w[i] /= total
+	}
+}
+
+// LogLikelihood returns the data log-likelihood under a mixture.
+func LogLikelihood(mix *rim.Mixture, data []rank.Ranking) float64 {
+	ll := 0.0
+	for _, tau := range data {
+		ll += mix.LogProb(tau)
+	}
+	return ll
+}

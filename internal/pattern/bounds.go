@@ -1,0 +1,69 @@
+package pattern
+
+import (
+	"sort"
+
+	"probpref/internal/label"
+	"probpref/internal/rank"
+)
+
+// Ease estimates how easy the edge (u, v) of pattern g is to satisfy by a
+// random permutation from a Mallows model centered at sigma (Section 3.2):
+//
+//	ease(l, l' | sigma) = beta(l' | sigma) - alpha(l | sigma)
+//
+// Larger values are easier. Edges whose endpoint labels have no items get
+// the most negative ease so they are selected first (they make the pattern
+// unsatisfiable, which is the tightest possible bound).
+func Ease(g *Pattern, edge [2]int, sigma rank.Ranking, lab *label.Labeling) int {
+	a := MinPos(sigma, lab, g.Node(edge[0]).Labels)
+	b := MaxPos(sigma, lab, g.Node(edge[1]).Labels)
+	return b - a
+}
+
+// BoundPattern builds the upper-bound pattern for g used by the top-k
+// optimization (Section 4.3.2): take the transitive closure of g, rank the
+// closure edges by ease with respect to sigma, and keep the k hardest
+// (smallest-ease) edges. The resulting pattern must be evaluated under
+// constraint (min/max) semantics, under which it is an upper bound of g:
+// any ranking matching g satisfies all closure constraints, hence the
+// selected subset.
+func BoundPattern(g *Pattern, sigma rank.Ranking, lab *label.Labeling, k int) *Pattern {
+	tc := g.TransitiveClosure()
+	edges := append([][2]int(nil), tc.Edges()...)
+	if len(edges) == 0 {
+		return g
+	}
+	sort.SliceStable(edges, func(i, j int) bool {
+		return Ease(tc, edges[i], sigma, lab) < Ease(tc, edges[j], sigma, lab)
+	})
+	if k > len(edges) {
+		k = len(edges)
+	}
+	selected := edges[:k]
+	// Rebuild with only the nodes referenced by the selected edges.
+	remap := make(map[int]int)
+	var nodes []Node
+	mapped := make([][2]int, 0, len(selected))
+	for _, e := range selected {
+		for _, v := range [2]int{e[0], e[1]} {
+			if _, ok := remap[v]; !ok {
+				remap[v] = len(nodes)
+				nodes = append(nodes, tc.Node(v))
+			}
+		}
+		mapped = append(mapped, [2]int{remap[e[0]], remap[e[1]]})
+	}
+	return MustNew(nodes, mapped)
+}
+
+// BoundUnion applies BoundPattern to every member. With k = 1 the result is
+// a union of two-label patterns; with larger k a union of constraint
+// patterns for the bipartite solver (Section 3.2).
+func BoundUnion(u Union, sigma rank.Ranking, lab *label.Labeling, k int) Union {
+	out := make(Union, len(u))
+	for i, g := range u {
+		out[i] = BoundPattern(g, sigma, lab, k)
+	}
+	return out
+}

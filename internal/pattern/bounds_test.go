@@ -1,0 +1,96 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+
+	"probpref/internal/label"
+	"probpref/internal/rank"
+)
+
+func TestEase(t *testing.T) {
+	lab := label.NewLabeling()
+	lab.Add(0, 0) // label 0 on top item
+	lab.Add(3, 1) // label 1 on bottom item
+	lab.Add(1, 1)
+	sigma := rank.Identity(4)
+	g := TwoLabel(label.NewSet(0), label.NewSet(1))
+	// alpha(l0)=0, beta(l1)=3 -> ease 3 (easy).
+	if got := Ease(g, g.Edges()[0], sigma, lab); got != 3 {
+		t.Fatalf("ease = %d, want 3", got)
+	}
+	rev := TwoLabel(label.NewSet(1), label.NewSet(0))
+	// alpha(l1)=1, beta(l0)=0 -> ease -1 (hard).
+	if got := Ease(rev, rev.Edges()[0], sigma, lab); got != -1 {
+		t.Fatalf("ease = %d, want -1", got)
+	}
+}
+
+// BoundPattern with k=1 must produce a two-label pattern; with k=2 a
+// pattern with two constraint edges.
+func TestBoundPatternShape(t *testing.T) {
+	lab := label.NewLabeling()
+	lab.Add(0, 0)
+	lab.Add(1, 1)
+	lab.Add(2, 2)
+	chain := MustNew(
+		[]Node{{Labels: label.NewSet(0)}, {Labels: label.NewSet(1)}, {Labels: label.NewSet(2)}},
+		[][2]int{{0, 1}, {1, 2}},
+	)
+	sigma := rank.Identity(3)
+	b1 := BoundPattern(chain, sigma, lab, 1)
+	if !b1.IsTwoLabel() {
+		t.Fatalf("k=1 bound is not two-label: %v", b1)
+	}
+	b2 := BoundPattern(chain, sigma, lab, 2)
+	if len(b2.Edges()) != 2 {
+		t.Fatalf("k=2 bound has %d edges", len(b2.Edges()))
+	}
+}
+
+// Property: the bound pattern (constraint semantics) is implied by the
+// original pattern (embedding semantics) on every ranking — the foundation
+// of the top-k optimization (Pr(G') >= Pr(G)).
+func TestBoundDominates(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 300; trial++ {
+		m := 3 + rng.Intn(4)
+		w := randomWorld(rng, m, 4)
+		g := randomPattern(rng, 2+rng.Intn(3), 4)
+		if len(g.Edges()) == 0 {
+			continue
+		}
+		sigma := make(rank.Ranking, m)
+		for i, v := range rng.Perm(m) {
+			sigma[i] = rank.Item(v)
+		}
+		for _, k := range []int{1, 2} {
+			bound := BoundPattern(g, sigma, w.lab, k)
+			rank.ForEachPermutation(m, func(tau rank.Ranking) bool {
+				tr := make(rank.Ranking, m)
+				for i, v := range tau {
+					tr[i] = rank.Item(v)
+				}
+				if g.Matches(tr, w.lab) && !bound.MatchesConstraints(tr, w.lab) {
+					t.Fatalf("trial %d k=%d: bound violated\n g=%v\n bound=%v\n tau=%v",
+						trial, k, g, bound, tr)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func TestBoundUnion(t *testing.T) {
+	lab := label.NewLabeling()
+	lab.Add(0, 0)
+	lab.Add(1, 1)
+	u := Union{
+		TwoLabel(label.NewSet(0), label.NewSet(1)),
+		TwoLabel(label.NewSet(1), label.NewSet(0)),
+	}
+	b := BoundUnion(u, rank.Identity(2), lab, 1)
+	if len(b) != 2 || !b.AllTwoLabel() {
+		t.Fatalf("BoundUnion = %v", b)
+	}
+}

@@ -1,0 +1,197 @@
+package pattern
+
+import (
+	"fmt"
+
+	"probpref/internal/label"
+	"probpref/internal/rank"
+)
+
+// Limits bounds the decomposition enumeration. Zero values mean the
+// corresponding default.
+type Limits struct {
+	// MaxEmbeddings caps the number of node->item assignments enumerated per
+	// pattern (default 100000).
+	MaxEmbeddings int
+	// MaxSubRankings caps the total number of distinct sub-rankings produced
+	// (default 100000).
+	MaxSubRankings int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxEmbeddings == 0 {
+		l.MaxEmbeddings = 100000
+	}
+	if l.MaxSubRankings == 0 {
+		l.MaxSubRankings = 100000
+	}
+	return l
+}
+
+// Decomposition is the result of decomposing a pattern union with respect to
+// a labeling: first into item-level partial orders (one per embedding of a
+// member pattern, Section 5.2), then into the union of sub-rankings
+// consistent with those partial orders (Figure 3). A ranking matches the
+// union iff it is consistent with at least one sub-ranking.
+type Decomposition struct {
+	// PartialOrders is Delta(g, lambda) unioned over members, deduplicated.
+	PartialOrders []*rank.PartialOrder
+	// SubRankings is the union of Delta(upsilon) over the partial orders,
+	// deduplicated. Each sub-ranking is a total order over its item set.
+	SubRankings []rank.Ranking
+	// Truncated reports whether any enumeration limit was hit, in which case
+	// the decomposition is a subset of the full one.
+	Truncated bool
+}
+
+// Decompose computes the sub-ranking decomposition of a pattern union over
+// items 0..m-1 labeled by lab.
+func Decompose(u Union, lab *label.Labeling, m int, limits Limits) (*Decomposition, error) {
+	limits = limits.withDefaults()
+	d := &Decomposition{}
+	seenPO := make(map[string]bool)
+	seenSub := make(map[string]bool)
+	for _, g := range u {
+		pos, truncated, err := embeddingsOf(g, lab, m, limits.MaxEmbeddings)
+		if err != nil {
+			return nil, err
+		}
+		if truncated {
+			d.Truncated = true
+		}
+		for _, po := range pos {
+			key := po.String()
+			if seenPO[key] {
+				continue
+			}
+			seenPO[key] = true
+			d.PartialOrders = append(d.PartialOrders, po)
+			subs, subTrunc := po.SubRankings(limits.MaxSubRankings - len(d.SubRankings) + 1)
+			if subTrunc {
+				d.Truncated = true
+			}
+			for _, s := range subs {
+				k := s.Key()
+				if seenSub[k] {
+					continue
+				}
+				if len(d.SubRankings) >= limits.MaxSubRankings {
+					d.Truncated = true
+					break
+				}
+				seenSub[k] = true
+				d.SubRankings = append(d.SubRankings, s)
+			}
+		}
+	}
+	return d, nil
+}
+
+// embeddingsOf enumerates Delta(g, lambda): for every assignment of nodes to
+// items with matching labels, the induced item-level partial order
+// {item(u) > item(v) : (u,v) edge}. Assignments mapping both endpoints of an
+// edge to the same item, and assignments inducing a cyclic order, are
+// skipped. Deduplication happens at the caller.
+func embeddingsOf(g *Pattern, lab *label.Labeling, m int, maxEmb int) ([]*rank.PartialOrder, bool, error) {
+	q := g.NumNodes()
+	candidates := make([][]rank.Item, q)
+	for v := 0; v < q; v++ {
+		candidates[v] = lab.ItemsWith(g.Node(v).Labels, m)
+		if len(candidates[v]) == 0 {
+			return nil, false, nil // node unmatched: no embeddings
+		}
+	}
+	truncated := false
+	var out []*rank.PartialOrder
+	assign := make([]rank.Item, q)
+	count := 0
+	var rec func(v int) error
+	rec = func(v int) error {
+		if count > maxEmb {
+			truncated = true
+			return nil
+		}
+		if v == q {
+			count++
+			po := rank.NewPartialOrder()
+			valid := true
+			for _, e := range g.Edges() {
+				a, b := assign[e[0]], assign[e[1]]
+				if a == b {
+					valid = false
+					break
+				}
+				po.Add(a, b)
+			}
+			if valid && !po.HasCycle() {
+				out = append(out, po)
+			}
+			return nil
+		}
+		for _, it := range candidates[v] {
+			assign[v] = it
+			if err := rec(v + 1); err != nil {
+				return err
+			}
+			if truncated {
+				return nil
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, truncated, err
+	}
+	return out, truncated, nil
+}
+
+// NumEmbeddings returns the number of label-respecting node->item
+// assignments of g (before edge/cycle filtering), capped at limit.
+func NumEmbeddings(g *Pattern, lab *label.Labeling, m int, limit int) int {
+	total := 1
+	for v := 0; v < g.NumNodes(); v++ {
+		c := len(lab.ItemsWith(g.Node(v).Labels, m))
+		if c == 0 {
+			return 0
+		}
+		if total > limit/c {
+			return limit
+		}
+		total *= c
+	}
+	return total
+}
+
+// InvolvedItems returns the sorted set of items that can match at least one
+// node of at least one member of the union. Only these items are relevant to
+// whether a ranking matches the union.
+func InvolvedItems(u Union, lab *label.Labeling, m int) []rank.Item {
+	seen := make(map[rank.Item]bool)
+	var out []rank.Item
+	for _, g := range u {
+		for v := 0; v < g.NumNodes(); v++ {
+			for _, it := range lab.ItemsWith(g.Node(v).Labels, m) {
+				if !seen[it] {
+					seen[it] = true
+					out = append(out, it)
+				}
+			}
+		}
+	}
+	// Sort ascending.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Validate checks that a decomposition is usable for sampling: it must be
+// non-empty.
+func (d *Decomposition) Validate() error {
+	if len(d.SubRankings) == 0 {
+		return fmt.Errorf("pattern: decomposition has no sub-rankings (pattern unsatisfiable)")
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+
+	"probpref/internal/label"
+	"probpref/internal/rank"
+)
+
+// Figure 3 of the paper: a union of two patterns decomposes into three
+// partial orders and six sub-rankings. We reconstruct the figure: items
+// 1,2,3,4 (0-based 0..3); g1 has nodes {1} > {2,3} meaning one node matched
+// by item 1 preferred to a node matched by items 2 or 3, and {1} > {4}...
+// The figure is abstract; here we verify the counts on an equivalent
+// concrete instance: g1 = A>B with A={0}, B={1,2} plus A>C with C={3};
+// g2 = D>C with D={0,1}.
+func TestDecomposeCounts(t *testing.T) {
+	const (
+		lA = label.Label(0)
+		lB = label.Label(1)
+		lC = label.Label(2)
+		lD = label.Label(3)
+	)
+	lab := label.NewLabeling()
+	lab.Add(0, lA)
+	lab.Add(1, lB)
+	lab.Add(2, lB)
+	lab.Add(3, lC)
+	lab.Add(0, lD)
+	lab.Add(1, lD)
+	g1 := MustNew(
+		[]Node{{Labels: label.NewSet(lA)}, {Labels: label.NewSet(lB)}, {Labels: label.NewSet(lC)}},
+		[][2]int{{0, 1}, {0, 2}},
+	)
+	g2 := TwoLabel(label.NewSet(lD), label.NewSet(lC))
+	d, err := Decompose(Union{g1, g2}, lab, 4, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g1 embeddings: A->0, B->{1,2}, C->3 => 2 partial orders
+	// g2 embeddings: D->{0,1}, C->3 => 2 partial orders, one ({0>3}) is new,
+	// the other {1>3}. Total distinct: 4.
+	if len(d.PartialOrders) != 4 {
+		t.Fatalf("got %d partial orders: %v", len(d.PartialOrders), d.PartialOrders)
+	}
+	if d.Truncated {
+		t.Fatal("unexpected truncation")
+	}
+	if len(d.SubRankings) == 0 {
+		t.Fatal("no sub-rankings")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (Section 5.2): tau |= G iff tau is consistent with at least one
+// sub-ranking of the decomposition.
+func TestDecompositionEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		m := 3 + rng.Intn(3)
+		w := randomWorld(rng, m, 3)
+		u := Union{randomPattern(rng, 1+rng.Intn(3), 3)}
+		if rng.Float64() < 0.5 {
+			u = append(u, randomPattern(rng, 1+rng.Intn(2), 3))
+		}
+		d, err := Decompose(u, w.lab, m, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Truncated {
+			t.Fatal("unexpected truncation on tiny instance")
+		}
+		rank.ForEachPermutation(m, func(tau rank.Ranking) bool {
+			matches := u.Matches(tau, w.lab)
+			viaSub := false
+			for _, psi := range d.SubRankings {
+				if tau.ConsistentWith(psi) {
+					viaSub = true
+					break
+				}
+			}
+			if matches != viaSub {
+				t.Fatalf("trial %d: tau=%v matches=%v viaSub=%v (union %v)",
+					trial, tau, matches, viaSub, u)
+			}
+			return true
+		})
+	}
+}
+
+func TestDecomposeTruncation(t *testing.T) {
+	lab := label.NewLabeling()
+	for i := 0; i < 8; i++ {
+		lab.Add(rank.Item(i), 0)
+		lab.Add(rank.Item(i), 1)
+	}
+	g := TwoLabel(label.NewSet(0), label.NewSet(1))
+	d, err := Decompose(Union{g}, lab, 8, Limits{MaxSubRankings: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Truncated {
+		t.Fatal("expected truncation")
+	}
+	if len(d.SubRankings) > 5 {
+		t.Fatalf("limit exceeded: %d", len(d.SubRankings))
+	}
+}
+
+func TestDecomposeUnsatisfiable(t *testing.T) {
+	lab := label.NewLabeling()
+	lab.Add(0, 0)
+	g := TwoLabel(label.NewSet(0), label.NewSet(7))
+	d, err := Decompose(Union{g}, lab, 2, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.SubRankings) != 0 {
+		t.Fatal("unsatisfiable pattern should yield no sub-rankings")
+	}
+	if d.Validate() == nil {
+		t.Fatal("Validate should fail on empty decomposition")
+	}
+}
+
+// An edge whose two endpoints can only map to the same item yields no
+// embedding (positions must be strictly increasing).
+func TestDecomposeSameItemEdge(t *testing.T) {
+	lab := label.NewLabeling()
+	lab.Add(0, 0)
+	lab.Add(0, 1)
+	g := TwoLabel(label.NewSet(0), label.NewSet(1))
+	d, err := Decompose(Union{g}, lab, 1, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.PartialOrders) != 0 {
+		t.Fatalf("expected no valid embeddings, got %v", d.PartialOrders)
+	}
+}
+
+func TestInvolvedItems(t *testing.T) {
+	lab := label.NewLabeling()
+	lab.Add(0, 0)
+	lab.Add(2, 0)
+	lab.Add(3, 1)
+	u := Union{TwoLabel(label.NewSet(0), label.NewSet(1))}
+	got := InvolvedItems(u, lab, 5)
+	want := []rank.Item{0, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("InvolvedItems = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("InvolvedItems = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNumEmbeddings(t *testing.T) {
+	lab := label.NewLabeling()
+	for i := 0; i < 4; i++ {
+		lab.Add(rank.Item(i), 0)
+	}
+	lab.Add(0, 1)
+	lab.Add(1, 1)
+	g := TwoLabel(label.NewSet(0), label.NewSet(1))
+	if got := NumEmbeddings(g, lab, 4, 1000); got != 8 {
+		t.Fatalf("NumEmbeddings = %d, want 8", got)
+	}
+	if got := NumEmbeddings(g, lab, 4, 3); got != 3 {
+		t.Fatalf("capped NumEmbeddings = %d, want 3", got)
+	}
+	empty := TwoLabel(label.NewSet(7), label.NewSet(0))
+	if got := NumEmbeddings(empty, lab, 4, 1000); got != 0 {
+		t.Fatalf("NumEmbeddings with unmatched node = %d, want 0", got)
+	}
+}

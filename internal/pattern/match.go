@@ -1,0 +1,114 @@
+package pattern
+
+import (
+	"probpref/internal/label"
+	"probpref/internal/rank"
+)
+
+// Matches reports whether (tau, lambda) |= g: there exists an embedding of
+// the pattern nodes into positions of tau such that labels and edges match
+// (Section 2.3).
+//
+// The test computes the greedy earliest embedding: processing nodes in
+// topological order, each node takes the earliest position whose item carries
+// the node's labels and that lies strictly after every predecessor's
+// position. By a standard exchange argument the greedy positions are a lower
+// bound on any valid embedding, so an embedding exists iff the greedy
+// embedding completes. Runs in O(q * m).
+func (p *Pattern) Matches(tau rank.Ranking, lab *label.Labeling) bool {
+	_, ok := p.GreedyEmbedding(tau, lab)
+	return ok
+}
+
+// GreedyEmbedding returns the earliest embedding positions (0-based, indexed
+// by node), or ok=false when no embedding exists.
+func (p *Pattern) GreedyEmbedding(tau rank.Ranking, lab *label.Labeling) ([]int, bool) {
+	preds := p.Preds()
+	pos := make([]int, len(p.nodes))
+	for _, v := range p.TopoOrder() {
+		lowest := 0 // earliest admissible position
+		for _, u := range preds[v] {
+			if pos[u]+1 > lowest {
+				lowest = pos[u] + 1
+			}
+		}
+		found := -1
+		for q := lowest; q < len(tau); q++ {
+			if lab.HasAll(tau[q], p.nodes[v].Labels) {
+				found = q
+				break
+			}
+		}
+		if found < 0 {
+			return nil, false
+		}
+		pos[v] = found
+	}
+	return pos, true
+}
+
+// Matches reports whether tau matches at least one pattern of the union.
+func (u Union) Matches(tau rank.Ranking, lab *label.Labeling) bool {
+	for _, g := range u {
+		if g.Matches(tau, lab) {
+			return true
+		}
+	}
+	return false
+}
+
+// MinPos returns alpha(labels | tau): the minimum (0-based) position of an
+// item of tau carrying all the given labels, or len(tau) when none does.
+func MinPos(tau rank.Ranking, lab *label.Labeling, labels label.Set) int {
+	for q, it := range tau {
+		if lab.HasAll(it, labels) {
+			return q
+		}
+	}
+	return len(tau)
+}
+
+// MaxPos returns beta(labels | tau): the maximum position of an item of tau
+// carrying all the given labels, or -1 when none does.
+func MaxPos(tau rank.Ranking, lab *label.Labeling, labels label.Set) int {
+	for q := len(tau) - 1; q >= 0; q-- {
+		if lab.HasAll(tau[q], labels) {
+			return q
+		}
+	}
+	return -1
+}
+
+// MatchesConstraints reports whether tau satisfies the min/max position
+// relaxation of the pattern: for every edge (u, v), alpha(u) < beta(v), and
+// every isolated node has at least one matching item. For bipartite patterns
+// this coincides with Matches; for general patterns it is an upper bound
+// (Section 4.3.2, Example 4.4).
+func (p *Pattern) MatchesConstraints(tau rank.Ranking, lab *label.Labeling) bool {
+	touched := make([]bool, len(p.nodes))
+	for _, e := range p.edges {
+		touched[e[0]], touched[e[1]] = true, true
+		a := MinPos(tau, lab, p.nodes[e[0]].Labels)
+		b := MaxPos(tau, lab, p.nodes[e[1]].Labels)
+		if a >= b || a >= len(tau) || b < 0 {
+			return false
+		}
+	}
+	for i, n := range p.nodes {
+		if !touched[i] && MinPos(tau, lab, n.Labels) >= len(tau) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchesConstraints reports whether tau satisfies the constraint relaxation
+// of at least one member.
+func (u Union) MatchesConstraints(tau rank.Ranking, lab *label.Labeling) bool {
+	for _, g := range u {
+		if g.MatchesConstraints(tau, lab) {
+			return true
+		}
+	}
+	return false
+}

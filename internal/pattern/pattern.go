@@ -1,0 +1,335 @@
+// Package pattern implements label patterns — partial orders over sets of
+// labels — and pattern unions, the core objects of the paper's inference
+// problem: given a labeled RIM model and a union G = g1 ∪ ... ∪ gz, compute
+// the marginal probability that a random ranking matches at least one gi.
+//
+// A pattern is a DAG whose nodes carry label sets. A ranking tau matches a
+// pattern (w.r.t. a labeling lambda) when there is an embedding delta mapping
+// every node to a position such that the item at that position carries all of
+// the node's labels and every edge (u, v) maps to strictly increasing
+// positions. Non-adjacent nodes may share a position.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"probpref/internal/label"
+)
+
+// Node is a pattern node: the matched item must carry every label in Labels.
+// An empty label set matches any item.
+type Node struct {
+	Labels label.Set
+}
+
+// Pattern is a directed acyclic graph over nodes, where an edge (u, v) means
+// "the item matching u is preferred to the item matching v".
+type Pattern struct {
+	nodes []Node
+	edges [][2]int // node indices, u -> v
+}
+
+// New constructs a pattern and validates acyclicity.
+func New(nodes []Node, edges [][2]int) (*Pattern, error) {
+	p := &Pattern{nodes: append([]Node(nil), nodes...), edges: append([][2]int(nil), edges...)}
+	for _, e := range p.edges {
+		if e[0] < 0 || e[0] >= len(nodes) || e[1] < 0 || e[1] >= len(nodes) {
+			return nil, fmt.Errorf("pattern: edge %v out of range", e)
+		}
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("pattern: self-loop on node %d", e[0])
+		}
+	}
+	if p.hasCycle() {
+		return nil, fmt.Errorf("pattern: cycle detected")
+	}
+	p.normalize()
+	return p, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(nodes []Node, edges [][2]int) *Pattern {
+	p, err := New(nodes, edges)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TwoLabel builds the two-label pattern {l > r}.
+func TwoLabel(l, r label.Set) *Pattern {
+	return MustNew([]Node{{Labels: l}, {Labels: r}}, [][2]int{{0, 1}})
+}
+
+// normalize sorts and deduplicates the edge list.
+func (p *Pattern) normalize() {
+	sort.Slice(p.edges, func(i, j int) bool {
+		if p.edges[i][0] != p.edges[j][0] {
+			return p.edges[i][0] < p.edges[j][0]
+		}
+		return p.edges[i][1] < p.edges[j][1]
+	})
+	out := p.edges[:0]
+	for i, e := range p.edges {
+		if i == 0 || e != p.edges[i-1] {
+			out = append(out, e)
+		}
+	}
+	p.edges = out
+}
+
+func (p *Pattern) hasCycle() bool {
+	adj := make([][]int, len(p.nodes))
+	for _, e := range p.edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(p.nodes))
+	var visit func(int) bool
+	visit = func(u int) bool {
+		color[u] = gray
+		for _, v := range adj[u] {
+			if color[v] == gray || (color[v] == white && visit(v)) {
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := range p.nodes {
+		if color[u] == white && visit(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// NumNodes returns the number of nodes (the paper's q).
+func (p *Pattern) NumNodes() int { return len(p.nodes) }
+
+// Node returns node i.
+func (p *Pattern) Node(i int) Node { return p.nodes[i] }
+
+// Edges returns the edge list in canonical order (shared; do not modify).
+func (p *Pattern) Edges() [][2]int { return p.edges }
+
+// Preds returns, per node, the list of predecessor node indices.
+func (p *Pattern) Preds() [][]int {
+	preds := make([][]int, len(p.nodes))
+	for _, e := range p.edges {
+		preds[e[1]] = append(preds[e[1]], e[0])
+	}
+	return preds
+}
+
+// TopoOrder returns a topological order of the node indices.
+func (p *Pattern) TopoOrder() []int {
+	indeg := make([]int, len(p.nodes))
+	adj := make([][]int, len(p.nodes))
+	for _, e := range p.edges {
+		indeg[e[1]]++
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	var queue []int
+	for u := range p.nodes {
+		if indeg[u] == 0 {
+			queue = append(queue, u)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range adj[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	return order
+}
+
+// TransitiveClosure returns a pattern with every implied edge added.
+func (p *Pattern) TransitiveClosure() *Pattern {
+	n := len(p.nodes)
+	reach := make([][]bool, n)
+	for i := range reach {
+		reach[i] = make([]bool, n)
+	}
+	for _, e := range p.edges {
+		reach[e[0]][e[1]] = true
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !reach[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if reach[k][j] {
+					reach[i][j] = true
+				}
+			}
+		}
+	}
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if reach[i][j] {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return MustNew(p.nodes, edges)
+}
+
+// IsTwoLabel reports whether the pattern is a two-label pattern {l > r}.
+func (p *Pattern) IsTwoLabel() bool {
+	return len(p.nodes) == 2 && len(p.edges) == 1
+}
+
+// IsBipartite reports whether every node is a pure source or a pure sink
+// (no node has both incoming and outgoing edges). Isolated nodes count as
+// sources. For bipartite patterns the min/max position semantics of the
+// bipartite solver coincides with embedding semantics.
+func (p *Pattern) IsBipartite() bool {
+	hasIn := make([]bool, len(p.nodes))
+	hasOut := make([]bool, len(p.nodes))
+	for _, e := range p.edges {
+		hasOut[e[0]] = true
+		hasIn[e[1]] = true
+	}
+	for i := range p.nodes {
+		if hasIn[i] && hasOut[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Conjoin returns the conjunction of patterns: a pattern containing all
+// nodes and edges of each operand (disjoint union of the DAGs, per the
+// inclusion-exclusion construction of Section 4.1). Identical operand
+// patterns are conjoined as-is; the result is satisfied exactly when every
+// operand is satisfied.
+func Conjoin(patterns ...*Pattern) *Pattern {
+	var nodes []Node
+	var edges [][2]int
+	for _, g := range patterns {
+		base := len(nodes)
+		nodes = append(nodes, g.nodes...)
+		for _, e := range g.edges {
+			edges = append(edges, [2]int{e[0] + base, e[1] + base})
+		}
+	}
+	return MustNew(nodes, edges)
+}
+
+// Key returns a canonical string identifying the pattern (for grouping and
+// deduplication).
+func (p *Pattern) Key() string {
+	var b strings.Builder
+	for i, n := range p.nodes {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(n.Labels.Key())
+	}
+	b.WriteByte('|')
+	for i, e := range p.edges {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%d>%d", e[0], e[1])
+	}
+	return b.String()
+}
+
+// String renders the pattern for debugging.
+func (p *Pattern) String() string {
+	var b strings.Builder
+	b.WriteString("pattern{")
+	for i, n := range p.nodes {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "n%d[%s]", i, n.Labels.Key())
+	}
+	b.WriteString(" |")
+	for _, e := range p.edges {
+		fmt.Fprintf(&b, " %d>%d", e[0], e[1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Union is a union of patterns; a ranking matches the union when it matches
+// at least one member.
+type Union []*Pattern
+
+// Key returns a canonical key for the union (member order-insensitive).
+func (u Union) Key() string {
+	keys := make([]string, len(u))
+	for i, g := range u {
+		keys[i] = g.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "||")
+}
+
+// Merge returns the deduplicated union of the given unions: one pattern per
+// distinct canonical key, in first-seen order. Rankings match the merged
+// union exactly when they match at least one of the inputs, so Merge is the
+// pattern-level counterpart of a union of conjunctive queries.
+func Merge(unions ...Union) Union {
+	var out Union
+	seen := make(map[string]bool)
+	for _, u := range unions {
+		for _, g := range u {
+			k := g.Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, g)
+			}
+		}
+	}
+	return out
+}
+
+// MaxNodes returns the largest node count among members.
+func (u Union) MaxNodes() int {
+	q := 0
+	for _, g := range u {
+		if g.NumNodes() > q {
+			q = g.NumNodes()
+		}
+	}
+	return q
+}
+
+// AllTwoLabel reports whether every member is a two-label pattern.
+func (u Union) AllTwoLabel() bool {
+	for _, g := range u {
+		if !g.IsTwoLabel() {
+			return false
+		}
+	}
+	return true
+}
+
+// AllBipartite reports whether every member is bipartite.
+func (u Union) AllBipartite() bool {
+	for _, g := range u {
+		if !g.IsBipartite() {
+			return false
+		}
+	}
+	return true
+}

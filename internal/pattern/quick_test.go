@@ -1,0 +1,119 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"probpref/internal/label"
+	"probpref/internal/rank"
+)
+
+// Property: matching is monotone under insertion — if a ranking matches a
+// pattern, any ranking obtained by inserting one more item still matches
+// (relative order of existing items is preserved and candidates only grow).
+// This property underpins the absorbing-accept optimization of the
+// relative-order solver.
+func TestMatchingMonotoneUnderInsertion(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 300; trial++ {
+		m := 3 + rng.Intn(4)
+		w := randomWorld(rng, m+1, 4)
+		g := randomPattern(rng, 1+rng.Intn(3), 4)
+		tau := make(rank.Ranking, m)
+		for i, v := range rng.Perm(m) {
+			tau[i] = rank.Item(v)
+		}
+		if !g.Matches(tau, w.lab) {
+			continue
+		}
+		ext := tau.Insert(rank.Item(m), rng.Intn(m+1))
+		if !g.Matches(ext, w.lab) {
+			t.Fatalf("trial %d: match lost after insertion\n g=%v\n tau=%v ext=%v",
+				trial, g, tau, ext)
+		}
+	}
+}
+
+// Property (testing/quick): union matching equals the disjunction of member
+// matching.
+func TestUnionMatchesQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	w := randomWorld(rng, 5, 4)
+	g1 := randomPattern(rng, 2, 4)
+	g2 := randomPattern(rng, 2, 4)
+	u := Union{g1, g2}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tau := make(rank.Ranking, 5)
+		for i, v := range r.Perm(5) {
+			tau[i] = rank.Item(v)
+		}
+		return u.Matches(tau, w.lab) == (g1.Matches(tau, w.lab) || g2.Matches(tau, w.lab))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transitive closure never changes matching semantics.
+func TestClosureSemanticsInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 200; trial++ {
+		m := 3 + rng.Intn(4)
+		w := randomWorld(rng, m, 4)
+		g := randomPattern(rng, 2+rng.Intn(3), 4)
+		tc := g.TransitiveClosure()
+		tau := make(rank.Ranking, m)
+		for i, v := range rng.Perm(m) {
+			tau[i] = rank.Item(v)
+		}
+		if g.Matches(tau, w.lab) != tc.Matches(tau, w.lab) {
+			t.Fatalf("trial %d: closure changed semantics for %v on %v", trial, g, tau)
+		}
+	}
+}
+
+// Property: the pattern key is a faithful identity — equal keys imply equal
+// structure, and key generation is deterministic.
+func TestPatternKeyDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for trial := 0; trial < 100; trial++ {
+		g := randomPattern(rng, 1+rng.Intn(4), 4)
+		if g.Key() != g.Key() {
+			t.Fatal("key not deterministic")
+		}
+		clone := MustNew(
+			append([]Node(nil), mustNodes(g)...),
+			append([][2]int(nil), g.Edges()...),
+		)
+		if clone.Key() != g.Key() {
+			t.Fatalf("clone key differs: %q vs %q", clone.Key(), g.Key())
+		}
+	}
+}
+
+func mustNodes(g *Pattern) []Node {
+	nodes := make([]Node, g.NumNodes())
+	for i := range nodes {
+		nodes[i] = g.Node(i)
+	}
+	return nodes
+}
+
+// Property: a pattern with an unmatchable node matches nothing.
+func TestUnmatchableNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	w := randomWorld(rng, 5, 3)
+	nodes := []Node{
+		{Labels: label.NewSet(9)}, // label 9 exists on no item
+		{Labels: label.NewSet(0)},
+	}
+	g := MustNew(nodes, [][2]int{{0, 1}})
+	rank.ForEachPermutation(5, func(tau rank.Ranking) bool {
+		if g.Matches(tau, w.lab) {
+			t.Fatalf("pattern with unmatchable node matched %v", tau)
+		}
+		return true
+	})
+}

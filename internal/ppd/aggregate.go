@@ -1,0 +1,82 @@
+package ppd
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// AggregateResult reports an aggregation query over the sessions satisfying
+// a Boolean CQ (the paper's future-work extension of Section 7, e.g. "the
+// average age of voters who prefer a Republican to a Democrat").
+//
+// Under possible-world semantics the set of satisfying sessions is random.
+// Sum and Count are exact expectations (by linearity); Avg is the ratio
+// Sum/Count, the standard first-order estimate of the expected average.
+type AggregateResult struct {
+	// Sum is E[sum of the attribute over satisfying sessions].
+	Sum float64
+	// Count is E[number of satisfying sessions] (the Count-Session answer).
+	Count float64
+	// Avg is Sum / Count (NaN when Count is 0).
+	Avg float64
+	// Sessions is the number of sessions with a defined attribute value.
+	Sessions int
+}
+
+// Aggregate evaluates sum/avg of a numeric attribute over the sessions
+// satisfying q. The attribute is looked up in the o-relation rel: the row
+// whose key (first attribute) equals the session's first key value provides
+// the value of attr. Sessions without a matching row or with a non-numeric
+// value are skipped.
+func (e *Engine) Aggregate(q *Query, rel, attr string) (*AggregateResult, error) {
+	r, ok := e.DB.Relations[rel]
+	if !ok {
+		return nil, fmt.Errorf("ppd: unknown relation %q", rel)
+	}
+	col := r.AttrIndex(attr)
+	if col < 0 {
+		return nil, fmt.Errorf("ppd: relation %q has no attribute %q", rel, attr)
+	}
+	byKey := make(map[string]float64)
+	for _, row := range r.Tuples {
+		if v, err := strconv.ParseFloat(row[col], 64); err == nil {
+			byKey[row[0]] = v
+		}
+	}
+	g, err := NewGrounder(e.DB, q)
+	if err != nil {
+		return nil, err
+	}
+	res := &AggregateResult{}
+	cache := make(map[string]float64)
+	for _, s := range g.Pref().Sessions {
+		if len(s.Key) == 0 {
+			continue
+		}
+		v, ok := byKey[s.Key[0]]
+		if !ok {
+			continue
+		}
+		gq, err := g.GroundSession(s)
+		if err != nil {
+			return nil, err
+		}
+		if len(gq.Union) == 0 {
+			continue
+		}
+		p, err := e.sessionProb(s, gq.Union, cache, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.Sessions++
+		res.Sum += p * v
+		res.Count += p
+	}
+	if res.Count > 0 {
+		res.Avg = res.Sum / res.Count
+	} else {
+		res.Avg = math.NaN()
+	}
+	return res, nil
+}

@@ -1,0 +1,79 @@
+package ppd
+
+import (
+	"fmt"
+
+	"probpref/internal/analytics"
+)
+
+// PopulationPairwise returns the pairwise preference matrix of the named
+// p-relation averaged over its sessions: out[a][b] is the probability that
+// a session drawn uniformly at random prefers item a to item b in its
+// random ranking. It is the population-level "who is ahead" summary the
+// paper's introduction motivates, computed exactly (no sampling) in
+// O(n m^3) for n sessions over m items, with identical models shared.
+func (db *DB) PopulationPairwise(prefName string) ([][]float64, error) {
+	pref, ok := db.Prefs[prefName]
+	if !ok {
+		return nil, fmt.Errorf("ppd: unknown p-relation %q", prefName)
+	}
+	if len(pref.Sessions) == 0 {
+		return nil, fmt.Errorf("ppd: p-relation %q has no sessions", prefName)
+	}
+	m := db.M()
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = make([]float64, m)
+	}
+	// Identical models produce identical matrices; compute each once.
+	byModel := make(map[string][][]float64)
+	w := 1 / float64(len(pref.Sessions))
+	for _, s := range pref.Sessions {
+		key := s.Model.Rehash()
+		pm, ok := byModel[key]
+		if !ok {
+			pm = analytics.PairwiseMatrix(s.Model.Model())
+			byModel[key] = pm
+		}
+		for a := 0; a < m; a++ {
+			for b := 0; b < m; b++ {
+				out[a][b] += w * pm[a][b]
+			}
+		}
+	}
+	return out, nil
+}
+
+// PopulationRankMarginals returns the rank-marginal matrix of the named
+// p-relation averaged over its sessions: out[x][p] is the probability that
+// a uniformly random session ranks item x at position p.
+func (db *DB) PopulationRankMarginals(prefName string) ([][]float64, error) {
+	pref, ok := db.Prefs[prefName]
+	if !ok {
+		return nil, fmt.Errorf("ppd: unknown p-relation %q", prefName)
+	}
+	if len(pref.Sessions) == 0 {
+		return nil, fmt.Errorf("ppd: p-relation %q has no sessions", prefName)
+	}
+	m := db.M()
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = make([]float64, m)
+	}
+	byModel := make(map[string][][]float64)
+	w := 1 / float64(len(pref.Sessions))
+	for _, s := range pref.Sessions {
+		key := s.Model.Rehash()
+		rm, ok := byModel[key]
+		if !ok {
+			rm = analytics.RankMarginals(s.Model.Model())
+			byModel[key] = rm
+		}
+		for x := 0; x < m; x++ {
+			for p := 0; p < m; p++ {
+				out[x][p] += w * rm[x][p]
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,505 @@
+package ppd
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"probpref/internal/pattern"
+	"probpref/internal/rim"
+	"probpref/internal/sampling"
+	"probpref/internal/solver"
+)
+
+// Method selects the inference solver used per session.
+type Method int
+
+const (
+	// MethodAuto dispatches to the most specific exact solver.
+	MethodAuto Method = iota
+	// MethodTwoLabel forces Algorithm 3 (two-label unions only).
+	MethodTwoLabel
+	// MethodBipartite forces Algorithm 4.
+	MethodBipartite
+	// MethodGeneral forces the inclusion-exclusion baseline.
+	MethodGeneral
+	// MethodRelOrder forces the relative-order solver.
+	MethodRelOrder
+	// MethodMISAdaptive uses MIS-AMP-adaptive.
+	MethodMISAdaptive
+	// MethodMISLite uses MIS-AMP-lite with Engine.LiteD proposals.
+	MethodMISLite
+	// MethodRejection uses rejection sampling with Engine.RejectionN samples.
+	MethodRejection
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodAuto:
+		return "auto"
+	case MethodTwoLabel:
+		return "two-label"
+	case MethodBipartite:
+		return "bipartite"
+	case MethodGeneral:
+		return "general"
+	case MethodRelOrder:
+		return "relorder"
+	case MethodMISAdaptive:
+		return "mis-amp-adaptive"
+	case MethodMISLite:
+		return "mis-amp-lite"
+	case MethodRejection:
+		return "rejection"
+	}
+	return fmt.Sprintf("method(%d)", int(m))
+}
+
+// Engine evaluates queries over a RIM-PPD.
+type Engine struct {
+	DB     *DB
+	Method Method
+
+	// SolverOpts applies to exact solvers.
+	SolverOpts solver.Options
+	// SamplerCfg applies to MIS estimators.
+	SamplerCfg sampling.Config
+	// Adaptive configures MethodMISAdaptive.
+	Adaptive sampling.AdaptiveConfig
+	// LiteD and LiteN configure MethodMISLite (proposals, samples/proposal).
+	LiteD, LiteN int
+	// RejectionN configures MethodRejection.
+	RejectionN int
+	// Rng seeds the samplers; nil uses a fixed seed.
+	Rng *rand.Rand
+	// DisableGrouping turns off identical-request grouping (Section 6.4).
+	DisableGrouping bool
+	// Workers > 1 solves distinct session groups concurrently. Sampler
+	// methods derive an independent seeded RNG per group so results stay
+	// deterministic for a fixed worker-independent seed.
+	Workers int
+}
+
+func (e *Engine) rng() *rand.Rand {
+	if e.Rng == nil {
+		e.Rng = rand.New(rand.NewSource(1))
+	}
+	return e.Rng
+}
+
+// SessionProb pairs a session with the probability that the query holds on
+// it.
+type SessionProb struct {
+	Session *Session
+	Prob    float64
+}
+
+// EvalResult reports a full evaluation.
+type EvalResult struct {
+	// Prob is Pr(Q | D) = 1 - prod_s (1 - Pr(Q | s)) over the independent
+	// sessions (Boolean semantics).
+	Prob float64
+	// Count is the Count-Session expectation sum_s Pr(Q | s).
+	Count float64
+	// PerSession holds the per-session probabilities in p-relation order.
+	PerSession []SessionProb
+	// Solves counts inference invocations after grouping identical
+	// requests; without grouping it equals the number of live sessions.
+	Solves int
+}
+
+// Eval grounds and evaluates the query on every session, computing both the
+// Boolean confidence and the Count-Session expectation. With Workers > 1,
+// distinct (model, union) groups are solved concurrently.
+func (e *Engine) Eval(q *Query) (*EvalResult, error) {
+	g, err := NewGrounder(e.DB, q)
+	if err != nil {
+		return nil, err
+	}
+	return e.evalGrounded(g.Pref().Sessions, func(s *Session) (pattern.Union, error) {
+		gq, err := g.GroundSession(s)
+		if err != nil {
+			return nil, err
+		}
+		return gq.Union, nil
+	})
+}
+
+// evalGrounded runs the shared per-session evaluation loop — grounding,
+// identical-request grouping, optional parallel solving, and the Boolean /
+// Count-Session aggregation — for any grounding function (a plain CQ's
+// grounder, or the merged grounders of a union query).
+func (e *Engine) evalGrounded(sessions []*Session, ground func(*Session) (pattern.Union, error)) (*EvalResult, error) {
+	type liveSession struct {
+		s     *Session
+		u     pattern.Union
+		group int
+	}
+	var live []liveSession
+	groupOf := make(map[string]int)
+	type group struct {
+		s *Session
+		u pattern.Union
+	}
+	var groups []group
+	for si, s := range sessions {
+		u, err := ground(s)
+		if err != nil {
+			return nil, err
+		}
+		if len(u) == 0 {
+			continue
+		}
+		key := s.Model.Rehash() + "||" + u.Key()
+		if e.DisableGrouping {
+			key = fmt.Sprintf("#%d", si)
+		}
+		gi, ok := groupOf[key]
+		if !ok {
+			gi = len(groups)
+			groupOf[key] = gi
+			groups = append(groups, group{s: s, u: u})
+		}
+		live = append(live, liveSession{s: s, u: u, group: gi})
+	}
+
+	probs := make([]float64, len(groups))
+	if workers := e.Workers; workers > 1 && len(groups) > 1 {
+		if workers > len(groups) {
+			workers = len(groups)
+		}
+		var (
+			wg     sync.WaitGroup
+			mu     sync.Mutex
+			solveE error
+			next   int64 = -1
+		)
+		baseSeed := int64(1)
+		if e.Rng != nil {
+			baseSeed = e.Rng.Int63()
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					gi := int(atomic.AddInt64(&next, 1))
+					if gi >= len(groups) {
+						return
+					}
+					sub := e.withRng(rand.New(rand.NewSource(baseSeed + int64(gi))))
+					p, err := sub.solve(groups[gi].s.Model, groups[gi].u)
+					if err != nil {
+						mu.Lock()
+						if solveE == nil {
+							solveE = err
+						}
+						mu.Unlock()
+						return
+					}
+					probs[gi] = p
+				}
+			}()
+		}
+		wg.Wait()
+		if solveE != nil {
+			return nil, solveE
+		}
+	} else {
+		for gi := range groups {
+			p, err := e.solve(groups[gi].s.Model, groups[gi].u)
+			if err != nil {
+				return nil, err
+			}
+			probs[gi] = p
+		}
+	}
+
+	res := &EvalResult{Solves: len(groups)}
+	oneMinus := 1.0
+	for _, ls := range live {
+		p := probs[ls.group]
+		res.PerSession = append(res.PerSession, SessionProb{Session: ls.s, Prob: p})
+		res.Count += p
+		oneMinus *= 1 - p
+	}
+	res.Prob = 1 - oneMinus
+	return res, nil
+}
+
+// withRng returns a shallow copy of the engine using the given RNG; used by
+// parallel workers so sampler and statistics state is not shared.
+func (e *Engine) withRng(rng *rand.Rand) *Engine {
+	clone := *e
+	clone.Rng = rng
+	clone.SolverOpts.Stats = nil // not aggregated across workers
+	return &clone
+}
+
+// sessionProb computes Pr(Q | s) for a grounded union, consulting the
+// identical-request cache keyed by (model, union).
+func (e *Engine) sessionProb(s *Session, u pattern.Union, cache map[string]float64, res *EvalResult) (float64, error) {
+	var key string
+	if !e.DisableGrouping && cache != nil {
+		key = s.Model.Rehash() + "||" + u.Key()
+		if p, ok := cache[key]; ok {
+			return p, nil
+		}
+	}
+	p, err := e.solve(s.Model, u)
+	if err != nil {
+		return 0, err
+	}
+	if res != nil {
+		res.Solves++
+	}
+	if key != "" {
+		cache[key] = p
+	}
+	return p, nil
+}
+
+// solve runs the configured inference method. Exact methods apply to any
+// RIM-backed session model through its materialization; the MIS-AMP
+// estimators are Mallows-specific and fall back to the model-generic MISRIM
+// estimator for other session models (e.g. Generalized Mallows).
+func (e *Engine) solve(sm rim.SessionModel, u pattern.Union) (float64, error) {
+	lab := e.DB.Labeling()
+	switch e.Method {
+	case MethodAuto:
+		return solver.Auto(sm.Model(), lab, u, e.SolverOpts)
+	case MethodTwoLabel:
+		return solver.TwoLabel(sm.Model(), lab, u, e.SolverOpts)
+	case MethodBipartite:
+		return solver.Bipartite(sm.Model(), lab, u, e.SolverOpts)
+	case MethodGeneral:
+		return solver.General(sm.Model(), lab, u, e.SolverOpts)
+	case MethodRelOrder:
+		return solver.RelOrder(sm.Model(), lab, u, e.SolverOpts)
+	case MethodMISAdaptive:
+		ml, ok := sm.(*rim.Mallows)
+		if !ok {
+			return e.solveMISRIM(sm, u)
+		}
+		est, err := sampling.NewEstimator(ml, lab, u, e.SamplerCfg)
+		if err != nil {
+			return 0, err
+		}
+		cfg := e.Adaptive
+		cfg.Compensate = true
+		r, err := est.EstimateAdaptive(cfg, e.rng())
+		if err != nil {
+			return 0, err
+		}
+		return clamp01(r.Estimate), nil
+	case MethodMISLite:
+		ml, ok := sm.(*rim.Mallows)
+		if !ok {
+			return e.solveMISRIM(sm, u)
+		}
+		est, err := sampling.NewEstimator(ml, lab, u, e.SamplerCfg)
+		if err != nil {
+			return 0, err
+		}
+		d, n := e.LiteD, e.LiteN
+		if d == 0 {
+			d = 5
+		}
+		if n == 0 {
+			n = 500
+		}
+		p, err := est.Estimate(d, n, e.rng(), true)
+		if err != nil {
+			return 0, err
+		}
+		return clamp01(p), nil
+	case MethodRejection:
+		n := e.RejectionN
+		if n == 0 {
+			n = 10000
+		}
+		return sampling.RejectionModel(sm, lab, u, n, e.rng()), nil
+	}
+	return 0, fmt.Errorf("ppd: unknown method %v", e.Method)
+}
+
+// solveMISRIM is the sampling fallback for non-Mallows session models.
+func (e *Engine) solveMISRIM(sm rim.SessionModel, u pattern.Union) (float64, error) {
+	n := e.LiteN
+	if n == 0 {
+		n = 500
+	}
+	p, _, err := sampling.MISRIM(sm.Model(), e.DB.Labeling(), u, n, e.rng(), e.SamplerCfg.Limits)
+	if err != nil {
+		return 0, err
+	}
+	return clamp01(p), nil
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// CountSession answers the Count-Session query count(Q): the expected
+// number of sessions satisfying Q under possible-world semantics
+// (Section 3.2).
+func (e *Engine) CountSession(q *Query) (float64, error) {
+	res, err := e.Eval(q)
+	if err != nil {
+		return 0, err
+	}
+	return res.Count, nil
+}
+
+// MostProbableSession answers top(Q, k) with the 1-edge upper-bound
+// optimization; use TopK directly to control the bound edges or force the
+// naive strategy.
+func (e *Engine) MostProbableSession(q *Query, k int) ([]SessionProb, error) {
+	top, _, err := e.TopK(q, k, 1)
+	return top, err
+}
+
+// TopKDiag reports the work done by a Most-Probable-Session evaluation.
+type TopKDiag struct {
+	// BoundSolves counts upper-bound inference calls (0 for the naive
+	// strategy).
+	BoundSolves int
+	// ExactSolves counts exact per-session inference calls (after
+	// grouping).
+	ExactSolves int
+	// SessionsEvaluated counts sessions whose exact probability was
+	// computed.
+	SessionsEvaluated int
+}
+
+// TopK answers the Most-Probable-Session query top(Q, k): the k sessions
+// satisfying Q with the highest probability (Section 3.2).
+//
+// With boundEdges == 0 it uses the naive strategy: evaluate every session
+// exactly and sort. With boundEdges >= 1 it applies the top-k optimization:
+// cheap upper bounds from the hardest boundEdges transitive-closure edges of
+// each pattern (Section 4.3.2) prioritize sessions, and exact evaluation
+// stops once k sessions are at least as probable as every remaining bound.
+func (e *Engine) TopK(q *Query, k int, boundEdges int) ([]SessionProb, *TopKDiag, error) {
+	g, err := NewGrounder(e.DB, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.topKGrounded(g.Pref().Sessions, func(s *Session) (pattern.Union, error) {
+		gq, err := g.GroundSession(s)
+		if err != nil {
+			return nil, err
+		}
+		return gq.Union, nil
+	}, k, boundEdges)
+}
+
+// TopKUnion answers top(Q, k) for a union of conjunctive queries: per
+// session the disjuncts' grounded unions are merged, then the standard
+// top-k machinery (including the upper-bound optimization) applies.
+func (e *Engine) TopKUnion(uq *UnionQuery, k int, boundEdges int) ([]SessionProb, *TopKDiag, error) {
+	if err := uq.Validate(); err != nil {
+		return nil, nil, err
+	}
+	grounders := make([]*Grounder, len(uq.Disjuncts))
+	for i, q := range uq.Disjuncts {
+		g, err := NewGrounder(e.DB, q)
+		if err != nil {
+			return nil, nil, fmt.Errorf("ppd: disjunct %d: %w", i+1, err)
+		}
+		grounders[i] = g
+		if g.Pref() != grounders[0].Pref() {
+			return nil, nil, fmt.Errorf("ppd: disjuncts ground over different p-relations")
+		}
+	}
+	return e.topKGrounded(grounders[0].Pref().Sessions, func(s *Session) (pattern.Union, error) {
+		unions := make([]pattern.Union, 0, len(grounders))
+		for _, g := range grounders {
+			gq, err := g.GroundSession(s)
+			if err != nil {
+				return nil, err
+			}
+			unions = append(unions, gq.Union)
+		}
+		return pattern.Merge(unions...), nil
+	}, k, boundEdges)
+}
+
+// topKGrounded is the shared Most-Probable-Session loop for any grounding
+// function.
+func (e *Engine) topKGrounded(sessions []*Session, ground func(*Session) (pattern.Union, error), k, boundEdges int) ([]SessionProb, *TopKDiag, error) {
+	diag := &TopKDiag{}
+	type cand struct {
+		s  *Session
+		u  pattern.Union
+		ub float64
+	}
+	var cands []cand
+	boundCache := make(map[string]float64)
+	for _, s := range sessions {
+		u, err := ground(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(u) == 0 {
+			continue
+		}
+		c := cand{s: s, u: u, ub: 1}
+		if boundEdges > 0 {
+			bu := pattern.BoundUnion(u, s.Model.Reference(), e.DB.Labeling(), boundEdges)
+			key := s.Model.Rehash() + "||" + bu.Key()
+			ub, ok := boundCache[key]
+			if !ok {
+				// Bound patterns are constraint sets; the bipartite solver
+				// evaluates them directly and its satisfied-state pruning
+				// makes it the cheapest choice for the (easy-to-satisfy)
+				// relaxations, including the two-label case.
+				ub, err = solver.Bipartite(s.Model.Model(), e.DB.Labeling(), bu, e.SolverOpts)
+				if err != nil {
+					return nil, nil, err
+				}
+				boundCache[key] = ub
+				diag.BoundSolves++
+			}
+			c.ub = ub
+		}
+		cands = append(cands, c)
+	}
+	// Highest upper bound first.
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].ub > cands[j].ub })
+
+	exactCache := make(map[string]float64)
+	var out []SessionProb
+	kth := func() float64 {
+		if len(out) < k {
+			return -1
+		}
+		return out[len(out)-1].Prob // out kept sorted descending, trimmed to k
+	}
+	res := &EvalResult{}
+	for _, c := range cands {
+		if len(out) >= k && kth() >= c.ub {
+			break // every remaining bound is dominated
+		}
+		p, err := e.sessionProb(c.s, c.u, exactCache, res)
+		if err != nil {
+			return nil, nil, err
+		}
+		diag.SessionsEvaluated++
+		out = append(out, SessionProb{Session: c.s, Prob: p})
+		sort.SliceStable(out, func(a, b int) bool { return out[a].Prob > out[b].Prob })
+		if len(out) > k {
+			out = out[:k]
+		}
+	}
+	diag.ExactSolves = res.Solves
+	return out, diag, nil
+}

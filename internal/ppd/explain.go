@@ -1,0 +1,147 @@
+package ppd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"probpref/internal/pattern"
+)
+
+// Explanation reports how a query will be evaluated: its classification
+// (itemwise vs. hard), the variables that force grounding, per-session
+// pattern-union sizes, and the distinct request groups the solvers will
+// actually process.
+type Explanation struct {
+	// Query is the parsed query text.
+	Query string
+	// PrefRelation is the queried p-relation.
+	PrefRelation string
+	// Sessions is the total number of sessions.
+	Sessions int
+	// LiveSessions is the number of sessions passing session filters.
+	LiveSessions int
+	// Itemwise reports whether every live session reduced to a single
+	// pattern without grounding (the tractable class).
+	Itemwise bool
+	// GroundVars lists the variables instantiated by Algorithm 2 (V+),
+	// unioned over sessions.
+	GroundVars []string
+	// MinUnion and MaxUnion are the smallest and largest per-session
+	// pattern-union sizes.
+	MinUnion, MaxUnion int
+	// DistinctGroups is the number of distinct (model, union) requests
+	// after grouping.
+	DistinctGroups int
+	// AllTwoLabel and AllBipartite classify the grounded unions.
+	AllTwoLabel, AllBipartite bool
+	// Recommended is the suggested evaluation method.
+	Recommended Method
+}
+
+// Explain analyzes the query against the database without solving any
+// inference problem.
+func (e *Engine) Explain(q *Query) (*Explanation, error) {
+	g, err := NewGrounder(e.DB, q)
+	if err != nil {
+		return nil, err
+	}
+	ex := &Explanation{
+		Query:        q.String(),
+		PrefRelation: g.Pref().Name,
+		Sessions:     len(g.Pref().Sessions),
+		Itemwise:     true,
+		AllTwoLabel:  true,
+		AllBipartite: true,
+	}
+	groundVars := map[string]bool{}
+	groups := map[string]bool{}
+	for _, s := range g.Pref().Sessions {
+		gq, err := g.GroundSession(s)
+		if err != nil {
+			return nil, err
+		}
+		if len(gq.Union) == 0 {
+			continue
+		}
+		ex.LiveSessions++
+		if !gq.Itemwise {
+			ex.Itemwise = false
+		}
+		if ex.MinUnion == 0 || len(gq.Union) < ex.MinUnion {
+			ex.MinUnion = len(gq.Union)
+		}
+		if len(gq.Union) > ex.MaxUnion {
+			ex.MaxUnion = len(gq.Union)
+		}
+		if !gq.Union.AllTwoLabel() {
+			ex.AllTwoLabel = false
+		}
+		if !gq.Union.AllBipartite() {
+			ex.AllBipartite = false
+		}
+		groups[s.Model.Rehash()+"||"+gq.Union.Key()] = true
+		for v := range g.varComps {
+			groundVars[v] = true
+		}
+		env := map[string]string{}
+		vplus, _, err := g.domains(env)
+		if err == nil {
+			for _, v := range vplus {
+				groundVars[v] = true
+			}
+		}
+	}
+	ex.DistinctGroups = len(groups)
+	for v := range groundVars {
+		ex.GroundVars = append(ex.GroundVars, v)
+	}
+	sort.Strings(ex.GroundVars)
+	switch {
+	case ex.AllTwoLabel:
+		ex.Recommended = MethodTwoLabel
+	case ex.AllBipartite:
+		ex.Recommended = MethodBipartite
+	default:
+		ex.Recommended = MethodRelOrder
+		// Large involved-item sets make exact relative-order inference
+		// infeasible; recommend sampling instead.
+		for _, s := range g.Pref().Sessions {
+			gq, err := g.GroundSession(s)
+			if err != nil || len(gq.Union) == 0 {
+				continue
+			}
+			if len(pattern.InvolvedItems(gq.Union, e.DB.Labeling(), e.DB.M())) > 10 {
+				ex.Recommended = MethodMISAdaptive
+			}
+			break
+		}
+	}
+	return ex, nil
+}
+
+// String renders the explanation.
+func (ex *Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query        : %s\n", ex.Query)
+	fmt.Fprintf(&b, "p-relation   : %s (%d sessions, %d live)\n", ex.PrefRelation, ex.Sessions, ex.LiveSessions)
+	class := "hard (non-itemwise)"
+	if ex.Itemwise {
+		class = "itemwise (tractable)"
+	}
+	fmt.Fprintf(&b, "class        : %s\n", class)
+	if len(ex.GroundVars) > 0 {
+		fmt.Fprintf(&b, "grounded vars: %s\n", strings.Join(ex.GroundVars, ", "))
+	}
+	fmt.Fprintf(&b, "union sizes  : %d..%d patterns/session\n", ex.MinUnion, ex.MaxUnion)
+	shape := "general"
+	if ex.AllTwoLabel {
+		shape = "two-label"
+	} else if ex.AllBipartite {
+		shape = "bipartite"
+	}
+	fmt.Fprintf(&b, "shape        : %s\n", shape)
+	fmt.Fprintf(&b, "groups       : %d distinct (model, union) requests\n", ex.DistinctGroups)
+	fmt.Fprintf(&b, "recommended  : %s\n", ex.Recommended)
+	return b.String()
+}

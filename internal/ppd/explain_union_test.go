@@ -1,0 +1,88 @@
+package ppd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainUnion(t *testing.T) {
+	db := figure1DB(t)
+	eng := &Engine{DB: db}
+	uq := MustParseUnion(
+		`P(_, _; c1; c2), C(c1, _, "F", _, _, _), C(c2, _, "M", _, _, _)` +
+			` | P(_, _; c1; c2), C(c1, "D", _, _, e, _), C(c2, "R", _, _, e, _)`)
+	ex, err := eng.ExplainUnion(uq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Disjuncts) != 2 {
+		t.Fatalf("disjuncts = %d, want 2", len(ex.Disjuncts))
+	}
+	if ex.Sessions != 3 || ex.LiveSessions != 3 {
+		t.Fatalf("sessions = %d live = %d, want 3/3", ex.Sessions, ex.LiveSessions)
+	}
+	// First disjunct is itemwise, second is hard with grounded variable e.
+	if !ex.Disjuncts[0].Itemwise {
+		t.Error("first disjunct should be itemwise")
+	}
+	if ex.Disjuncts[1].Itemwise {
+		t.Error("second disjunct should be hard")
+	}
+	if len(ex.Disjuncts[1].GroundVars) != 1 || ex.Disjuncts[1].GroundVars[0] != "e" {
+		t.Errorf("ground vars = %v, want [e]", ex.Disjuncts[1].GroundVars)
+	}
+	// Both disjuncts produce two-label patterns, so the merged union is
+	// two-label and the merged size is 1 (F>M) + 2 (e in {BS, JD}) = 3.
+	if !ex.AllTwoLabel {
+		t.Error("merged union should be two-label")
+	}
+	if ex.MaxUnion != 3 {
+		t.Errorf("max merged union = %d, want 3", ex.MaxUnion)
+	}
+	if ex.Recommended != MethodTwoLabel {
+		t.Errorf("recommended = %v, want two-label", ex.Recommended)
+	}
+	s := ex.String()
+	for _, want := range []string{"union of 2 disjuncts", "-- merged --", "two-label"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestExplainUnionConsistentWithEval(t *testing.T) {
+	db := figure1DB(t)
+	eng := &Engine{DB: db, Method: MethodAuto}
+	uq := MustParseUnion(
+		`P(_, _; c1; c2), C(c1, _, "F", _, _, _), C(c2, _, M, _, _, _)` +
+			` | P(_, _; c1; c2), C(c1, "D", _, _, "JD", _), C(c2, "R", _, _, _, _)`)
+	ex, err := eng.ExplainUnion(uq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.EvalUnion(uq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.DistinctGroups != res.Solves {
+		t.Fatalf("explain groups %d != eval solves %d", ex.DistinctGroups, res.Solves)
+	}
+	if ex.LiveSessions != len(res.PerSession) {
+		t.Fatalf("explain live %d != eval sessions %d", ex.LiveSessions, len(res.PerSession))
+	}
+}
+
+func TestExplainUnionErrors(t *testing.T) {
+	db := figure1DB(t)
+	eng := &Engine{DB: db}
+	if _, err := eng.ExplainUnion(&UnionQuery{}); err == nil {
+		t.Error("empty union accepted")
+	}
+	uq := &UnionQuery{Disjuncts: []*Query{
+		MustParse(`P(_, _; c1; c2), C(c1, _, "F", _, _, _)`),
+		MustParse(`Nope(_, _; c1; c2), C(c1, _, "F", _, _, _)`),
+	}}
+	if _, err := eng.ExplainUnion(uq); err == nil {
+		t.Error("unknown p-relation accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package ppd
+
+import (
+	"testing"
+
+	"probpref/internal/rank"
+	"probpref/internal/rim"
+)
+
+// figure1DB reproduces the RIM-PPD instance of Figure 1 of the paper:
+// candidates Trump(0), Clinton(1), Sanders(2), Rubio(3); voters Ann, Bob,
+// Dave; polls with Mallows models.
+func figure1DB(t *testing.T) *DB {
+	t.Helper()
+	cands, err := NewRelation("C",
+		[]string{"candidate", "party", "sex", "age", "edu", "reg"},
+		[][]string{
+			{"Trump", "R", "M", "70", "BS", "NE"},
+			{"Clinton", "D", "F", "69", "JD", "NE"},
+			{"Sanders", "D", "M", "75", "BS", "NE"},
+			{"Rubio", "R", "M", "45", "JD", "S"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDB(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	voters, err := NewRelation("V",
+		[]string{"voter", "sex", "age", "edu"},
+		[][]string{
+			{"Ann", "F", "20", "BS"},
+			{"Bob", "M", "30", "BS"},
+			{"Dave", "M", "50", "MS"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddRelation(voters); err != nil {
+		t.Fatal(err)
+	}
+	// Centers use item ids: Trump=0, Clinton=1, Sanders=2, Rubio=3.
+	polls := &PrefRelation{
+		Name:         "P",
+		SessionAttrs: []string{"voter", "date"},
+		Sessions: []*Session{
+			{Key: []string{"Ann", "5/5"}, Model: rim.MustMallows(rank.Ranking{1, 2, 3, 0}, 0.3)},
+			{Key: []string{"Bob", "5/5"}, Model: rim.MustMallows(rank.Ranking{0, 3, 2, 1}, 0.3)},
+			{Key: []string{"Dave", "6/5"}, Model: rim.MustMallows(rank.Ranking{1, 2, 3, 0}, 0.5)},
+		},
+	}
+	if err := db.AddPrefRelation(polls); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}

@@ -1,0 +1,240 @@
+package ppd
+
+import (
+	"testing"
+
+	"probpref/internal/label"
+)
+
+func TestGroundQ0Itemwise(t *testing.T) {
+	db := figure1DB(t)
+	q := MustParse(`P(Ann, "5/5"; Trump; Clinton), P(Ann, "5/5"; Trump; Rubio)`)
+	g, err := NewGrounder(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := db.Prefs["P"].Sessions[0]
+	gq, err := g.GroundSession(ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gq.Union) != 1 || !gq.Itemwise {
+		t.Fatalf("union=%d itemwise=%v", len(gq.Union), gq.Itemwise)
+	}
+	pat := gq.Union[0]
+	if pat.NumNodes() != 3 || len(pat.Edges()) != 2 {
+		t.Fatalf("pattern = %v", pat)
+	}
+	// Node 0 must carry the Trump identity label.
+	l, ok := db.Vocab().Lookup("candidate=Trump")
+	if !ok || !pat.Node(0).Labels.Contains(l) {
+		t.Fatalf("node 0 labels = %v", pat.Node(0).Labels)
+	}
+	// Other sessions are filtered out by the session constants.
+	bob := db.Prefs["P"].Sessions[1]
+	gq, err = g.GroundSession(bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gq.Union) != 0 {
+		t.Fatal("Bob's session should not match session constants (Ann)")
+	}
+}
+
+func TestGroundQ1Labels(t *testing.T) {
+	db := figure1DB(t)
+	q := MustParse(`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
+	g, err := NewGrounder(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range db.Prefs["P"].Sessions {
+		gq, err := g.GroundSession(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gq.Union) != 1 || !gq.Itemwise {
+			t.Fatalf("union=%d itemwise=%v", len(gq.Union), gq.Itemwise)
+		}
+		pat := gq.Union[0]
+		f, _ := db.Vocab().Lookup("sex=F")
+		m, _ := db.Vocab().Lookup("sex=M")
+		if !pat.Node(0).Labels.Equal(label.NewSet(f)) {
+			t.Fatalf("node 0 labels = %v", pat.Node(0).Labels)
+		}
+		if !pat.Node(1).Labels.Equal(label.NewSet(m)) {
+			t.Fatalf("node 1 labels = %v", pat.Node(1).Labels)
+		}
+	}
+}
+
+// Q2 of the paper: the shared education variable e is non-itemwise; it is
+// grounded over the active domain {BS, JD}, yielding a union of two
+// two-label patterns.
+func TestGroundQ2NonItemwise(t *testing.T) {
+	db := figure1DB(t)
+	q := MustParse(`P(_, _; c1; c2), C(c1, D, _, _, e, _), C(c2, R, _, _, e, _)`)
+	g, err := NewGrounder(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gq, err := g.GroundSession(db.Prefs["P"].Sessions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gq.Itemwise {
+		t.Fatal("Q2 must not be itemwise")
+	}
+	if len(gq.Union) != 2 || gq.Groundings != 2 {
+		t.Fatalf("union=%d groundings=%d, want 2 and 2", len(gq.Union), gq.Groundings)
+	}
+	// Each member is a two-label pattern {D,e} > {R,e}.
+	for _, pat := range gq.Union {
+		if !pat.IsTwoLabel() {
+			t.Fatalf("pattern %v is not two-label", pat)
+		}
+		d, _ := db.Vocab().Lookup("party=D")
+		if !pat.Node(0).Labels.Contains(d) {
+			t.Fatalf("left node misses party=D: %v", pat.Node(0).Labels)
+		}
+		if len(pat.Node(0).Labels) != 2 {
+			t.Fatalf("left node should have party and edu labels: %v", pat.Node(0).Labels)
+		}
+	}
+}
+
+// Comparisons on grounded variables restrict the domain.
+func TestGroundComparisonRestrictsDomain(t *testing.T) {
+	db := figure1DB(t)
+	q := MustParse(`P(_, _; c1; c2), C(c1, D, _, _, e, _), C(c2, R, _, _, e, _), e = BS`)
+	g, err := NewGrounder(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gq, err := g.GroundSession(db.Prefs["P"].Sessions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gq.Union) != 1 {
+		t.Fatalf("union=%d, want 1 (only e=BS)", len(gq.Union))
+	}
+}
+
+// Session comparisons filter sessions.
+func TestGroundSessionComparison(t *testing.T) {
+	db := figure1DB(t)
+	q := MustParse(`P(v, date; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _), date = "6/5"`)
+	g, err := NewGrounder(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live int
+	for _, s := range db.Prefs["P"].Sessions {
+		gq, err := g.GroundSession(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gq.Union) > 0 {
+			live++
+			if s.Key[1] != "6/5" {
+				t.Fatalf("session %v passed the date filter", s.Key)
+			}
+		}
+	}
+	if live != 1 {
+		t.Fatalf("live sessions = %d, want 1", live)
+	}
+}
+
+// Context atoms join per session: the voter's own attributes parameterize
+// the item constraints (the Figure 15 query shape).
+func TestGroundContextJoin(t *testing.T) {
+	db := figure1DB(t)
+	// "Voter v prefers a candidate of v's sex to a candidate of different
+	// sex with v's education."
+	q := MustParse(`P(v, _; c1; c2), V(v, s, _, _), C(c1, _, s, _, _, _), C(c2, D, _, _, _, _)`)
+	g, err := NewGrounder(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := db.Prefs["P"].Sessions[0] // Ann is female
+	gq, err := g.GroundSession(ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gq.Union) != 1 {
+		t.Fatalf("union=%d", len(gq.Union))
+	}
+	f, _ := db.Vocab().Lookup("sex=F")
+	if !gq.Union[0].Node(0).Labels.Contains(f) {
+		t.Fatalf("Ann's pattern should require sex=F, got %v", gq.Union[0].Node(0).Labels)
+	}
+	bob := db.Prefs["P"].Sessions[1] // Bob is male
+	gq, err = g.GroundSession(bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := db.Vocab().Lookup("sex=M")
+	if !gq.Union[0].Node(0).Labels.Contains(m) {
+		t.Fatalf("Bob's pattern should require sex=M, got %v", gq.Union[0].Node(0).Labels)
+	}
+}
+
+// Existence-only item atoms become isolated pattern nodes.
+func TestGroundExistenceAtom(t *testing.T) {
+	db := figure1DB(t)
+	q := MustParse(`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _), C(x, _, _, _, MS, _)`)
+	g, err := NewGrounder(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gq, err := g.GroundSession(db.Prefs["P"].Sessions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gq.Union) != 1 {
+		t.Fatalf("union=%d", len(gq.Union))
+	}
+	if gq.Union[0].NumNodes() != 3 {
+		t.Fatalf("nodes=%d, want 3 (c1, c2 and the existence node)", gq.Union[0].NumNodes())
+	}
+}
+
+func TestGrounderErrors(t *testing.T) {
+	db := figure1DB(t)
+	cases := []string{
+		`X(_, _; c1; c2)`,           // unknown p-relation
+		`P(_; c1; c2)`,              // wrong session arity
+		`P(_, _; c1; c2), Z(c1)`,    // unknown relation
+		`P(_, _; c1; c2), C(c1, _)`, // wrong atom arity
+		`P(_, _; c1; c2), C(c1, p, _, _, _, _), c1 = Trump`, // comparison on item var
+		`P(v, _; v; c2)`, // session var as item
+	}
+	for _, src := range cases {
+		q, err := Parse(src)
+		if err != nil {
+			continue // parse-level rejection also acceptable
+		}
+		if _, err := NewGrounder(db, q); err == nil {
+			t.Errorf("NewGrounder(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// A singleton unbound variable acts as a wildcard (projected out), not a
+// grounding variable.
+func TestGroundSingletonVarIsWildcard(t *testing.T) {
+	db := figure1DB(t)
+	q := MustParse(`P(_, _; c1; c2), C(c1, p1, F, _, _, _), C(c2, _, M, _, _, _)`)
+	g, err := NewGrounder(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gq, err := g.GroundSession(db.Prefs["P"].Sessions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gq.Union) != 1 || gq.Groundings != 1 {
+		t.Fatalf("union=%d groundings=%d, want 1 and 1", len(gq.Union), gq.Groundings)
+	}
+}

@@ -1,0 +1,121 @@
+package ppd
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"probpref/internal/rank"
+	"probpref/internal/rim"
+)
+
+// LoadRelationCSV reads an o-relation from CSV: the first record holds the
+// attribute names, each following record one tuple.
+func LoadRelationCSV(name string, r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("ppd: reading %s: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("ppd: relation %s has no header", name)
+	}
+	return NewRelation(name, records[0], records[1:])
+}
+
+// WriteCSV writes the relation as CSV with a header record.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Attrs); err != nil {
+		return err
+	}
+	for _, t := range r.Tuples {
+		if err := cw.Write(t); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// prefJSON is the serialized form of a preference relation: one Mallows
+// model per session, centers as item-id sequences.
+type prefJSON struct {
+	Name         string        `json:"name"`
+	SessionAttrs []string      `json:"session_attrs"`
+	Sessions     []sessionJSON `json:"sessions"`
+}
+
+type sessionJSON struct {
+	Key   []string `json:"key"`
+	Sigma []int    `json:"sigma"`
+	// Phi parameterizes a Mallows session; Phis (when present) a
+	// Generalized Mallows session.
+	Phi  float64   `json:"phi,omitempty"`
+	Phis []float64 `json:"phis,omitempty"`
+}
+
+// WriteJSON serializes the p-relation. Mallows and Generalized Mallows
+// sessions are supported (general RIM insertion matrices are not
+// serialized).
+func (p *PrefRelation) WriteJSON(w io.Writer) error {
+	out := prefJSON{Name: p.Name, SessionAttrs: p.SessionAttrs}
+	for i, s := range p.Sessions {
+		sigma := make([]int, s.Model.M())
+		for j, it := range s.Model.Reference() {
+			sigma[j] = int(it)
+		}
+		sj := sessionJSON{Key: s.Key, Sigma: sigma}
+		switch m := s.Model.(type) {
+		case *rim.Mallows:
+			sj.Phi = m.Phi
+		case *rim.GeneralizedMallows:
+			sj.Phis = m.Phis
+		default:
+			return fmt.Errorf("ppd: session %d: cannot serialize model type %T", i, s.Model)
+		}
+		out.Sessions = append(out.Sessions, sj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadPrefJSON deserializes a p-relation written by WriteJSON. Sessions
+// with identical parameters share one model instance, preserving the
+// grouping behavior of the evaluator.
+func LoadPrefJSON(r io.Reader) (*PrefRelation, error) {
+	var in prefJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("ppd: decoding p-relation: %w", err)
+	}
+	p := &PrefRelation{Name: in.Name, SessionAttrs: in.SessionAttrs}
+	shared := make(map[string]rim.SessionModel)
+	for i, s := range in.Sessions {
+		sigma := make(rank.Ranking, len(s.Sigma))
+		for j, it := range s.Sigma {
+			sigma[j] = rank.Item(it)
+		}
+		var (
+			sm  rim.SessionModel
+			err error
+		)
+		if len(s.Phis) > 0 {
+			sm, err = rim.NewGeneralizedMallows(sigma, s.Phis)
+		} else {
+			sm, err = rim.NewMallows(sigma, s.Phi)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ppd: session %d: %w", i, err)
+		}
+		if prev, ok := shared[sm.Rehash()]; ok {
+			sm = prev
+		} else {
+			shared[sm.Rehash()] = sm
+		}
+		p.Sessions = append(p.Sessions, &Session{Key: s.Key, Model: sm})
+	}
+	return p, nil
+}

@@ -1,0 +1,266 @@
+package ppd
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a conjunctive query in the paper's datalog-style notation:
+//
+//	Q() <- P(v, d; c1; c2), C(c1, D, _, _, e, _), C(c2, R, _, _, e, _), d = "5/5"
+//
+// Conventions:
+//   - relation names precede "(";
+//   - lowercase identifiers are variables, Capitalized identifiers, quoted
+//     strings and numbers are constants, "_" is a wildcard;
+//   - preference atoms separate the session terms and the two item terms
+//     with ";";
+//   - comparisons are "variable OP constant" with OP in = != < <= > >=.
+//
+// The head "Q() <-" (or ":-") is optional.
+func Parse(src string) (*Query, error) {
+	p := &parser{src: src}
+	q, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("ppd: parse error at offset %d: %w", p.pos, err)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error; for tests and fixed queries.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) parse() (*Query, error) {
+	p.skipSpace()
+	// Optional head: ident '(' ')' ('<-' | ':-')
+	save := p.pos
+	if name := p.peekIdent(); name != "" {
+		p.readIdent()
+		p.skipSpace()
+		if p.eat("()") {
+			p.skipSpace()
+			if !p.eat("<-") && !p.eat(":-") {
+				return nil, fmt.Errorf("expected <- after head")
+			}
+		} else {
+			p.pos = save
+		}
+	}
+	q := &Query{}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			break
+		}
+		if err := p.parseLiteral(q); err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if !p.eat(",") {
+			break
+		}
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("unexpected trailing input %q", p.src[p.pos:])
+	}
+	return q, nil
+}
+
+func (p *parser) parseLiteral(q *Query) error {
+	save := p.pos
+	ident := p.readIdent()
+	if ident == "" {
+		return fmt.Errorf("expected atom or comparison")
+	}
+	p.skipSpace()
+	if p.peekByte() == '(' {
+		return p.parseAtom(q, ident)
+	}
+	// Comparison: ident OP value.
+	p.pos = save
+	return p.parseCompare(q)
+}
+
+func (p *parser) parseAtom(q *Query, rel string) error {
+	if !p.eat("(") {
+		return fmt.Errorf("expected ( after %s", rel)
+	}
+	var groups [][]Term
+	cur := []Term{}
+	for {
+		p.skipSpace()
+		if p.peekByte() == ')' {
+			p.pos++
+			groups = append(groups, cur)
+			break
+		}
+		t, err := p.readTerm()
+		if err != nil {
+			return err
+		}
+		cur = append(cur, t)
+		p.skipSpace()
+		switch p.peekByte() {
+		case ',':
+			p.pos++
+		case ';':
+			p.pos++
+			groups = append(groups, cur)
+			cur = []Term{}
+		case ')':
+			p.pos++
+			groups = append(groups, cur)
+			goto done
+		default:
+			return fmt.Errorf("expected , ; or ) in atom %s", rel)
+		}
+	}
+done:
+	switch len(groups) {
+	case 1:
+		q.Rels = append(q.Rels, RelAtom{Rel: rel, Args: groups[0]})
+		return nil
+	case 3:
+		if len(groups[1]) != 1 || len(groups[2]) != 1 {
+			return fmt.Errorf("preference atom %s must have single left and right items", rel)
+		}
+		q.Prefs = append(q.Prefs, PrefAtom{
+			Rel:     rel,
+			Session: groups[0],
+			Left:    groups[1][0],
+			Right:   groups[2][0],
+		})
+		return nil
+	default:
+		return fmt.Errorf("atom %s has %d ;-groups, want 1 (ordinary) or 3 (preference)", rel, len(groups))
+	}
+}
+
+func (p *parser) parseCompare(q *Query) error {
+	left, err := p.readTerm()
+	if err != nil {
+		return err
+	}
+	p.skipSpace()
+	var op string
+	for _, cand := range []string{"<=", ">=", "!=", "=", "<", ">"} {
+		if p.eat(cand) {
+			op = cand
+			break
+		}
+	}
+	if op == "" {
+		return fmt.Errorf("expected comparison operator")
+	}
+	p.skipSpace()
+	right, err := p.readTerm()
+	if err != nil {
+		return err
+	}
+	q.Comps = append(q.Comps, Compare{Left: left, Op: op, Right: right})
+	return nil
+}
+
+func (p *parser) readTerm() (Term, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return Term{}, fmt.Errorf("expected term")
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '_':
+		p.pos++
+		return W(), nil
+	case c == '"' || c == '\'':
+		quote := c
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != quote {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return Term{}, fmt.Errorf("unterminated string")
+		}
+		v := p.src[start:p.pos]
+		p.pos++
+		return C(v), nil
+	case c >= '0' && c <= '9' || c == '-':
+		start := p.pos
+		p.pos++
+		for p.pos < len(p.src) && (p.src[p.pos] >= '0' && p.src[p.pos] <= '9' || p.src[p.pos] == '.') {
+			p.pos++
+		}
+		return C(p.src[start:p.pos]), nil
+	default:
+		id := p.readIdent()
+		if id == "" {
+			return Term{}, fmt.Errorf("expected term, found %q", p.src[p.pos:])
+		}
+		if unicode.IsUpper(rune(id[0])) {
+			return C(id), nil
+		}
+		return V(id), nil
+	}
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		break
+	}
+}
+
+func (p *parser) eat(s string) bool {
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *parser) peekByte() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) peekIdent() string {
+	save := p.pos
+	id := p.readIdent()
+	p.pos = save
+	return id
+}
+
+func (p *parser) readIdent() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || c == '_' && p.pos > start || unicode.IsDigit(c) && p.pos > start {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}

@@ -1,0 +1,122 @@
+package ppd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseQ0(t *testing.T) {
+	q, err := Parse(`Q() <- P(Ann, "5/5"; Trump; Clinton), P(Ann, "5/5"; Trump; Rubio)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Prefs) != 2 || len(q.Rels) != 0 {
+		t.Fatalf("parsed %d prefs, %d rels", len(q.Prefs), len(q.Rels))
+	}
+	a := q.Prefs[0]
+	if a.Rel != "P" || a.Left != C("Trump") || a.Right != C("Clinton") {
+		t.Fatalf("atom = %+v", a)
+	}
+	if a.Session[0] != C("Ann") || a.Session[1] != C("5/5") {
+		t.Fatalf("session = %v", a.Session)
+	}
+}
+
+func TestParseQ1(t *testing.T) {
+	q, err := Parse(`Q() <- P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Prefs) != 1 || len(q.Rels) != 2 {
+		t.Fatalf("prefs=%d rels=%d", len(q.Prefs), len(q.Rels))
+	}
+	if q.Prefs[0].Left != V("c1") || q.Prefs[0].Right != V("c2") {
+		t.Fatalf("items = %v %v", q.Prefs[0].Left, q.Prefs[0].Right)
+	}
+	if q.Rels[0].Args[2] != C("F") {
+		t.Fatalf("expected constant F, got %v", q.Rels[0].Args[2])
+	}
+	if q.Rels[0].Args[1].Kind != Wild {
+		t.Fatalf("expected wildcard, got %v", q.Rels[0].Args[1])
+	}
+}
+
+func TestParseComparisons(t *testing.T) {
+	q, err := Parse(`P(_, date; c1; c2), C(c1, p, _, age, _, _), date = "5/5", age >= 50, p != R`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Comps) != 3 {
+		t.Fatalf("comps = %v", q.Comps)
+	}
+	if q.Comps[1].Op != ">=" || q.Comps[1].Right != C("50") {
+		t.Fatalf("comp = %v", q.Comps[1])
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	q, err := Parse(`P(_; 223; 111), M(x, _, year1, _), year1 >= 1990`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Prefs[0].Left != C("223") || q.Prefs[0].Right != C("111") {
+		t.Fatalf("items = %v %v", q.Prefs[0].Left, q.Prefs[0].Right)
+	}
+}
+
+func TestParseHeadless(t *testing.T) {
+	if _, err := Parse(`P(_; a1; b1)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(`Q() :- P(_; a1; b1)`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,                          // empty
+		`P(a; b)`,                   // two groups
+		`P(a; b; c; d)`,             // four groups
+		`P(s; x; y,z)`,              // multi-item group
+		`P(s; x; y) extra`,          // trailing garbage
+		`P(s; x; y), C(c1`,          // unterminated atom
+		`P(s; x; y), age >`,         // missing operand
+		`P(s; x; y), "lit" = age`,   // constant on left
+		`C(c1, _)`,                  // no preference atom
+		`P(s; x; y), R(s; a; b; c)`, // bad group count
+		`P(s; x; x)`,                // self-comparison
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseNonSessionwise(t *testing.T) {
+	if _, err := Parse(`P(s1; a1; b1), P(s2; a1; c1)`); err == nil ||
+		!strings.Contains(err.Error(), "sessionwise") {
+		t.Fatalf("expected sessionwise error, got %v", err)
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := MustParse(`P(v, d; c1; c2), C(c1, D, _, _, e, _), d = "5/5"`)
+	s := q.String()
+	for _, want := range []string{"P(v, d; c1; c2)", `"D"`, `d = "5/5"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestParseQuotedSingle(t *testing.T) {
+	q, err := Parse(`P(_, '6/5'; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Prefs[0].Session[1] != C("6/5") {
+		t.Fatalf("session = %v", q.Prefs[0].Session)
+	}
+}

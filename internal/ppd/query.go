@@ -1,0 +1,147 @@
+package ppd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind distinguishes query term types.
+type TermKind int
+
+const (
+	// Const is a constant value (quoted, numeric, or Capitalized).
+	Const TermKind = iota
+	// Var is a variable (lowercase identifier).
+	Var
+	// Wild is the anonymous wildcard "_".
+	Wild
+)
+
+// Term is a constant, variable or wildcard in a query atom.
+type Term struct {
+	Kind  TermKind
+	Value string
+}
+
+// C builds a constant term.
+func C(v string) Term { return Term{Kind: Const, Value: v} }
+
+// V builds a variable term.
+func V(name string) Term { return Term{Kind: Var, Value: name} }
+
+// W builds a wildcard term.
+func W() Term { return Term{Kind: Wild} }
+
+func (t Term) String() string {
+	switch t.Kind {
+	case Wild:
+		return "_"
+	case Const:
+		return fmt.Sprintf("%q", t.Value)
+	default:
+		return t.Value
+	}
+}
+
+// PrefAtom is a preference atom P(session...; left; right): in the order of
+// the given session, the left item is preferred to the right item.
+type PrefAtom struct {
+	Rel     string
+	Session []Term
+	Left    Term
+	Right   Term
+}
+
+func (a PrefAtom) String() string {
+	parts := make([]string, len(a.Session))
+	for i, t := range a.Session {
+		parts[i] = t.String()
+	}
+	return fmt.Sprintf("%s(%s; %s; %s)", a.Rel, strings.Join(parts, ", "), a.Left, a.Right)
+}
+
+// RelAtom is an ordinary relation atom R(t1, ..., tn).
+type RelAtom struct {
+	Rel  string
+	Args []Term
+}
+
+func (a RelAtom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return fmt.Sprintf("%s(%s)", a.Rel, strings.Join(parts, ", "))
+}
+
+// Compare is a comparison predicate between a variable and a constant,
+// e.g. age >= 50 or date = "5/5".
+type Compare struct {
+	Left  Term
+	Op    string // =, !=, <, <=, >, >=
+	Right Term
+}
+
+func (c Compare) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+
+// Query is a Boolean conjunctive query over a RIM-PPD.
+type Query struct {
+	Prefs []PrefAtom
+	Rels  []RelAtom
+	Comps []Compare
+}
+
+func (q *Query) String() string {
+	var parts []string
+	for _, a := range q.Prefs {
+		parts = append(parts, a.String())
+	}
+	for _, a := range q.Rels {
+		parts = append(parts, a.String())
+	}
+	for _, c := range q.Comps {
+		parts = append(parts, c.String())
+	}
+	return "Q() <- " + strings.Join(parts, ", ")
+}
+
+// Validate performs structural checks: at least one preference atom, all
+// preference atoms over the same relation with identical session terms
+// (sessionwise CQ), and comparisons of supported shape.
+func (q *Query) Validate() error {
+	if len(q.Prefs) == 0 {
+		return fmt.Errorf("ppd: query has no preference atom")
+	}
+	first := q.Prefs[0]
+	for _, a := range q.Prefs[1:] {
+		if a.Rel != first.Rel {
+			return fmt.Errorf("ppd: preference atoms over different relations %q and %q", first.Rel, a.Rel)
+		}
+		if len(a.Session) != len(first.Session) {
+			return fmt.Errorf("ppd: preference atoms with different session arity")
+		}
+		for i := range a.Session {
+			if a.Session[i] != first.Session[i] {
+				return fmt.Errorf("ppd: non-sessionwise query: session terms %v vs %v", a.Session, first.Session)
+			}
+		}
+	}
+	for _, a := range q.Prefs {
+		if a.Left == a.Right && a.Left.Kind != Wild {
+			return fmt.Errorf("ppd: preference atom %s compares an item with itself", a)
+		}
+	}
+	for _, c := range q.Comps {
+		if c.Left.Kind != Var || c.Right.Kind != Const {
+			return fmt.Errorf("ppd: comparison %s must be variable OP constant", c)
+		}
+		switch c.Op {
+		case "=", "!=", "<", "<=", ">", ">=":
+		default:
+			return fmt.Errorf("ppd: unsupported comparison operator %q", c.Op)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package ppd
+
+import (
+	"fmt"
+	"strings"
+
+	"probpref/internal/pattern"
+)
+
+// UnionQuery is a union of conjunctive queries (UCQ): it holds in a possible
+// world when at least one disjunct holds. Per session, grounding each
+// disjunct yields a pattern union, and the UCQ is equivalent to the merged
+// union, so evaluation reuses the pattern-union inference machinery
+// unchanged — the disjuncts are neither disjoint nor independent, exactly as
+// for the pattern unions produced by DecomposeQuery.
+//
+// All disjuncts must range over the same preference relation; unions across
+// p-relations would require joint inference over distinct session spaces,
+// which the framework (and the paper) does not define.
+type UnionQuery struct {
+	Disjuncts []*Query
+}
+
+// ParseUnion reads a union of conjunctive queries: disjunct bodies in the
+// notation of Parse, separated by top-level "|" characters:
+//
+//	P(_, _; c1; c2), C(c1, _, F, _, _, _) | P(_, _; c1; c2), C(c1, D, _, _, _, _)
+//
+// "|" inside quoted strings does not split. A source with no "|" yields a
+// single-disjunct union.
+func ParseUnion(src string) (*UnionQuery, error) {
+	parts, err := splitDisjuncts(src)
+	if err != nil {
+		return nil, err
+	}
+	uq := &UnionQuery{}
+	for i, part := range parts {
+		q, err := Parse(part)
+		if err != nil {
+			return nil, fmt.Errorf("ppd: disjunct %d: %w", i+1, err)
+		}
+		uq.Disjuncts = append(uq.Disjuncts, q)
+	}
+	if err := uq.Validate(); err != nil {
+		return nil, err
+	}
+	return uq, nil
+}
+
+// MustParseUnion is ParseUnion but panics on error.
+func MustParseUnion(src string) *UnionQuery {
+	uq, err := ParseUnion(src)
+	if err != nil {
+		panic(err)
+	}
+	return uq
+}
+
+// splitDisjuncts splits src on "|" outside quoted strings.
+func splitDisjuncts(src string) ([]string, error) {
+	var parts []string
+	var quote byte
+	start := 0
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '|':
+			parts = append(parts, src[start:i])
+			start = i + 1
+		}
+	}
+	if quote != 0 {
+		return nil, fmt.Errorf("ppd: unterminated string in union query")
+	}
+	parts = append(parts, src[start:])
+	for i, p := range parts {
+		if strings.TrimSpace(p) == "" {
+			return nil, fmt.Errorf("ppd: empty disjunct %d in union query", i+1)
+		}
+	}
+	return parts, nil
+}
+
+// Validate checks that the union has at least one disjunct, that every
+// disjunct is itself valid, and that all disjuncts query the same
+// p-relation.
+func (uq *UnionQuery) Validate() error {
+	if len(uq.Disjuncts) == 0 {
+		return fmt.Errorf("ppd: union query has no disjuncts")
+	}
+	for i, q := range uq.Disjuncts {
+		if err := q.Validate(); err != nil {
+			return fmt.Errorf("ppd: disjunct %d: %w", i+1, err)
+		}
+	}
+	rel := uq.Disjuncts[0].Prefs[0].Rel
+	for i, q := range uq.Disjuncts[1:] {
+		if q.Prefs[0].Rel != rel {
+			return fmt.Errorf("ppd: disjunct %d queries p-relation %q, disjunct 1 queries %q",
+				i+2, q.Prefs[0].Rel, rel)
+		}
+	}
+	return nil
+}
+
+func (uq *UnionQuery) String() string {
+	parts := make([]string, len(uq.Disjuncts))
+	for i, q := range uq.Disjuncts {
+		parts[i] = strings.TrimPrefix(q.String(), "Q() <- ")
+	}
+	return "Q() <- " + strings.Join(parts, " | ")
+}
+
+// EvalUnion evaluates a union of conjunctive queries: per session, the
+// grounded pattern unions of all disjuncts are merged (deduplicated) and
+// solved as one inference request, sharing the engine's solver selection,
+// identical-request grouping and parallelism.
+func (e *Engine) EvalUnion(uq *UnionQuery) (*EvalResult, error) {
+	if err := uq.Validate(); err != nil {
+		return nil, err
+	}
+	grounders := make([]*Grounder, len(uq.Disjuncts))
+	for i, q := range uq.Disjuncts {
+		g, err := NewGrounder(e.DB, q)
+		if err != nil {
+			return nil, fmt.Errorf("ppd: disjunct %d: %w", i+1, err)
+		}
+		grounders[i] = g
+		if g.Pref() != grounders[0].Pref() {
+			return nil, fmt.Errorf("ppd: disjuncts ground over different p-relations")
+		}
+	}
+	sessions := grounders[0].Pref().Sessions
+	return e.evalGrounded(sessions, func(s *Session) (pattern.Union, error) {
+		unions := make([]pattern.Union, 0, len(grounders))
+		for _, g := range grounders {
+			gq, err := g.GroundSession(s)
+			if err != nil {
+				return nil, err
+			}
+			unions = append(unions, gq.Union)
+		}
+		return pattern.Merge(unions...), nil
+	})
+}
+
+// CountDistributionUnion returns the exact Poisson-binomial distribution of
+// the number of sessions satisfying the union query (see CountDistribution).
+func (e *Engine) CountDistributionUnion(uq *UnionQuery) (*CountDistribution, error) {
+	res, err := e.EvalUnion(uq)
+	if err != nil {
+		return nil, err
+	}
+	g, err := NewGrounder(e.DB, uq.Disjuncts[0])
+	if err != nil {
+		return nil, err
+	}
+	probs := make([]float64, 0, len(g.Pref().Sessions))
+	for _, sp := range res.PerSession {
+		probs = append(probs, sp.Prob)
+	}
+	for len(probs) < len(g.Pref().Sessions) {
+		probs = append(probs, 0)
+	}
+	return NewCountDistribution(probs)
+}

@@ -1,0 +1,72 @@
+package ppd
+
+import (
+	"math/rand"
+
+	"probpref/internal/rank"
+)
+
+// World is one possible world of a RIM-PPD: a deterministic ranking per
+// session, drawn from the stored models. Under possible-world semantics the
+// probability of a Boolean query is the probability that it holds in a
+// random world (Section 1).
+type World struct {
+	// Rankings holds one ranking per session, in p-relation order, keyed by
+	// p-relation name.
+	Rankings map[string][]rank.Ranking
+}
+
+// SampleWorld draws a possible world: one ranking per session of every
+// p-relation.
+func (db *DB) SampleWorld(rng *rand.Rand) *World {
+	w := &World{Rankings: make(map[string][]rank.Ranking, len(db.Prefs))}
+	for name, p := range db.Prefs {
+		rs := make([]rank.Ranking, len(p.Sessions))
+		for i, s := range p.Sessions {
+			rs[i] = s.Model.Sample(rng)
+		}
+		w.Rankings[name] = rs
+	}
+	return w
+}
+
+// HoldsIn reports whether the query holds in the given world: some session
+// whose grounded pattern union matches the session's ranking. It evaluates
+// the same grounding the probabilistic evaluator uses, so Monte Carlo over
+// worlds converges to Engine.Eval's Boolean answer.
+func (g *Grounder) HoldsIn(w *World) (bool, error) {
+	rs := w.Rankings[g.pref.Name]
+	for si, s := range g.pref.Sessions {
+		gq, err := g.GroundSession(s)
+		if err != nil {
+			return false, err
+		}
+		if len(gq.Union) == 0 {
+			continue
+		}
+		if gq.Union.Matches(rs[si], g.db.Labeling()) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// CountIn returns the number of sessions satisfying the query in the world
+// (the deterministic count whose expectation Count-Session computes).
+func (g *Grounder) CountIn(w *World) (int, error) {
+	rs := w.Rankings[g.pref.Name]
+	count := 0
+	for si, s := range g.pref.Sessions {
+		gq, err := g.GroundSession(s)
+		if err != nil {
+			return 0, err
+		}
+		if len(gq.Union) == 0 {
+			continue
+		}
+		if gq.Union.Matches(rs[si], g.db.Labeling()) {
+			count++
+		}
+	}
+	return count, nil
+}

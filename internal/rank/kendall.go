@@ -1,0 +1,87 @@
+package rank
+
+// KendallTau returns the Kendall tau distance between two rankings over the
+// same item set: the number of item pairs on whose relative order the two
+// rankings disagree. It runs in O(m log m) via inversion counting.
+func KendallTau(a, b Ranking) int {
+	if len(a) != len(b) {
+		panic("rank: KendallTau requires rankings of equal length")
+	}
+	// Map each item to its position in b, then count inversions of the
+	// sequence of b-positions read in a-order.
+	posB := make(map[Item]int, len(b))
+	for p, it := range b {
+		posB[it] = p
+	}
+	seq := make([]int, len(a))
+	for i, it := range a {
+		p, ok := posB[it]
+		if !ok {
+			panic("rank: KendallTau requires rankings over the same items")
+		}
+		seq[i] = p
+	}
+	return countInversions(seq)
+}
+
+// KendallTauSub returns the number of item pairs that appear in both psi and
+// sigma and whose relative order disagrees. This is the distance used by
+// GreedyModals and ApproximateDistance when comparing a sub-ranking against a
+// full reference ranking.
+func KendallTauSub(psi, sigma Ranking) int {
+	pos := make(map[Item]int, len(sigma))
+	for p, it := range sigma {
+		pos[it] = p
+	}
+	seq := make([]int, 0, len(psi))
+	for _, it := range psi {
+		if p, ok := pos[it]; ok {
+			seq = append(seq, p)
+		}
+	}
+	return countInversions(seq)
+}
+
+// countInversions counts pairs i<j with seq[i] > seq[j] by merge sort.
+func countInversions(seq []int) int {
+	if len(seq) < 2 {
+		return 0
+	}
+	buf := make([]int, len(seq))
+	work := make([]int, len(seq))
+	copy(work, seq)
+	return mergeCount(work, buf)
+}
+
+func mergeCount(a, buf []int) int {
+	n := len(a)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	inv := mergeCount(a[:mid], buf[:mid]) + mergeCount(a[mid:], buf[mid:])
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if a[i] <= a[j] {
+			buf[k] = a[i]
+			i++
+		} else {
+			buf[k] = a[j]
+			j++
+			inv += mid - i
+		}
+		k++
+	}
+	for i < mid {
+		buf[k] = a[i]
+		i++
+		k++
+	}
+	for j < n {
+		buf[k] = a[j]
+		j++
+		k++
+	}
+	copy(a, buf[:n])
+	return inv
+}

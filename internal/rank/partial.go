@@ -1,0 +1,292 @@
+package rank
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PartialOrder is a strict partial order over items, represented as a set of
+// directed edges a -> b meaning "a is preferred to b". The structure does not
+// require the edge set to be transitively closed; use TransitiveClosure when
+// closure is needed.
+type PartialOrder struct {
+	succ map[Item]map[Item]bool
+}
+
+// NewPartialOrder returns an empty partial order.
+func NewPartialOrder() *PartialOrder {
+	return &PartialOrder{succ: make(map[Item]map[Item]bool)}
+}
+
+// FromPairs builds a partial order from preference pairs.
+func FromPairs(pairs [][2]Item) *PartialOrder {
+	po := NewPartialOrder()
+	for _, p := range pairs {
+		po.Add(p[0], p[1])
+	}
+	return po
+}
+
+// ChainOrder builds the partial order induced by a sub-ranking: each item is
+// preferred to every later item (the transitive closure of the chain).
+func ChainOrder(psi Ranking) *PartialOrder {
+	po := NewPartialOrder()
+	for i := 0; i < len(psi); i++ {
+		for j := i + 1; j < len(psi); j++ {
+			po.Add(psi[i], psi[j])
+		}
+	}
+	return po
+}
+
+// Add inserts the preference a -> b. Self-loops are rejected.
+func (po *PartialOrder) Add(a, b Item) {
+	if a == b {
+		panic(fmt.Sprintf("rank: self-loop %d in partial order", int(a)))
+	}
+	m := po.succ[a]
+	if m == nil {
+		m = make(map[Item]bool)
+		po.succ[a] = m
+	}
+	m[b] = true
+}
+
+// Has reports whether the edge a -> b is present.
+func (po *PartialOrder) Has(a, b Item) bool { return po.succ[a][b] }
+
+// Items returns the sorted set of items mentioned by the order (A(upsilon)).
+func (po *PartialOrder) Items() []Item {
+	set := make(map[Item]bool)
+	for a, ss := range po.succ {
+		set[a] = true
+		for b := range ss {
+			set[b] = true
+		}
+	}
+	out := make([]Item, 0, len(set))
+	for it := range set {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges returns all edges in deterministic order.
+func (po *PartialOrder) Edges() [][2]Item {
+	var out [][2]Item
+	for a, ss := range po.succ {
+		for b := range ss {
+			out = append(out, [2]Item{a, b})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Len returns the number of edges.
+func (po *PartialOrder) Len() int {
+	n := 0
+	for _, ss := range po.succ {
+		n += len(ss)
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (po *PartialOrder) Clone() *PartialOrder {
+	c := NewPartialOrder()
+	for a, ss := range po.succ {
+		for b := range ss {
+			c.Add(a, b)
+		}
+	}
+	return c
+}
+
+// Merge adds all edges of other into po.
+func (po *PartialOrder) Merge(other *PartialOrder) {
+	for a, ss := range other.succ {
+		for b := range ss {
+			po.Add(a, b)
+		}
+	}
+}
+
+// TransitiveClosure returns a new partial order containing every implied
+// edge (the paper's tc(upsilon)).
+func (po *PartialOrder) TransitiveClosure() *PartialOrder {
+	items := po.Items()
+	idx := make(map[Item]int, len(items))
+	for i, it := range items {
+		idx[it] = i
+	}
+	n := len(items)
+	reach := make([][]bool, n)
+	for i := range reach {
+		reach[i] = make([]bool, n)
+	}
+	for a, ss := range po.succ {
+		for b := range ss {
+			reach[idx[a]][idx[b]] = true
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !reach[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if reach[k][j] {
+					reach[i][j] = true
+				}
+			}
+		}
+	}
+	out := NewPartialOrder()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if reach[i][j] && i != j {
+				out.Add(items[i], items[j])
+			}
+		}
+	}
+	return out
+}
+
+// HasCycle reports whether the directed graph contains a cycle, in which case
+// it is not a valid strict partial order.
+func (po *PartialOrder) HasCycle() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[Item]int)
+	var visit func(Item) bool
+	visit = func(u Item) bool {
+		color[u] = gray
+		for v := range po.succ[u] {
+			switch color[v] {
+			case gray:
+				return true
+			case white:
+				if visit(v) {
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for _, it := range po.Items() {
+		if color[it] == white && visit(it) {
+			return true
+		}
+	}
+	return false
+}
+
+// Consistent reports whether ranking tau is consistent with the partial
+// order: for every edge a -> b with both items ranked, a precedes b. When tau
+// ranks every item of po, this is the paper's "tau in Omega(upsilon)" (for
+// full tau) or "sub-ranking consistent with upsilon".
+func (po *PartialOrder) Consistent(tau Ranking) bool {
+	pos := make(map[Item]int, len(tau))
+	for p, it := range tau {
+		pos[it] = p
+	}
+	for a, ss := range po.succ {
+		pa, oka := pos[a]
+		if !oka {
+			continue
+		}
+		for b := range ss {
+			pb, okb := pos[b]
+			if okb && pa >= pb {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SubRankings enumerates Delta(upsilon): every total order of Items() that is
+// consistent with the order. The enumeration is deterministic. If limit > 0,
+// at most limit sub-rankings are produced and the boolean result reports
+// whether the enumeration was truncated.
+func (po *PartialOrder) SubRankings(limit int) ([]Ranking, bool) {
+	items := po.Items()
+	// Precompute predecessor counts over the given (not necessarily closed)
+	// edge set; topological enumeration only needs direct edges.
+	preds := make(map[Item]map[Item]bool)
+	for _, it := range items {
+		preds[it] = make(map[Item]bool)
+	}
+	for a, ss := range po.succ {
+		for b := range ss {
+			preds[b][a] = true
+		}
+	}
+	var (
+		out       []Ranking
+		cur       = make(Ranking, 0, len(items))
+		used      = make(map[Item]bool)
+		truncated bool
+	)
+	var rec func()
+	rec = func() {
+		if truncated {
+			return
+		}
+		if len(cur) == len(items) {
+			out = append(out, cur.Clone())
+			if limit > 0 && len(out) >= limit {
+				truncated = true
+			}
+			return
+		}
+		for _, it := range items {
+			if used[it] {
+				continue
+			}
+			ready := true
+			for p := range preds[it] {
+				if !used[p] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			used[it] = true
+			cur = append(cur, it)
+			rec()
+			cur = cur[:len(cur)-1]
+			used[it] = false
+		}
+	}
+	rec()
+	return out, truncated
+}
+
+// String renders the edge set deterministically.
+func (po *PartialOrder) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, e := range po.Edges() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d>%d", int(e[0]), int(e[1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}

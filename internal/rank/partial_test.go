@@ -1,0 +1,166 @@
+package rank
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPartialOrderBasics(t *testing.T) {
+	po := NewPartialOrder()
+	po.Add(0, 1)
+	po.Add(1, 2)
+	if !po.Has(0, 1) || po.Has(1, 0) {
+		t.Fatal("edge membership wrong")
+	}
+	if got := po.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	items := po.Items()
+	if len(items) != 3 || items[0] != 0 || items[2] != 2 {
+		t.Fatalf("Items = %v", items)
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	po := FromPairs([][2]Item{{0, 1}, {1, 2}, {2, 3}})
+	tc := po.TransitiveClosure()
+	want := [][2]Item{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	got := tc.Edges()
+	if len(got) != len(want) {
+		t.Fatalf("tc edges = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tc edges = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHasCycle(t *testing.T) {
+	acyclic := FromPairs([][2]Item{{0, 1}, {1, 2}, {0, 2}})
+	if acyclic.HasCycle() {
+		t.Error("acyclic order flagged as cyclic")
+	}
+	cyclic := FromPairs([][2]Item{{0, 1}, {1, 2}, {2, 0}})
+	if !cyclic.HasCycle() {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestConsistent(t *testing.T) {
+	po := FromPairs([][2]Item{{2, 0}})
+	if po.Consistent(Ranking{0, 1, 2}) {
+		t.Error("<0,1,2> should violate 2>0")
+	}
+	if !po.Consistent(Ranking{2, 1, 0}) {
+		t.Error("<2,1,0> should satisfy 2>0")
+	}
+	// Unranked items are ignored.
+	if !po.Consistent(Ranking{1}) {
+		t.Error("ranking without constrained items is vacuously consistent")
+	}
+}
+
+func TestSubRankings(t *testing.T) {
+	// upsilon = {a>c, b>c} over items a=0,b=1,c=2 has exactly two
+	// consistent total orders: <0,1,2> and <1,0,2> (paper section 5.2).
+	po := FromPairs([][2]Item{{0, 2}, {1, 2}})
+	subs, truncated := po.SubRankings(0)
+	if truncated {
+		t.Fatal("unexpected truncation")
+	}
+	if len(subs) != 2 {
+		t.Fatalf("got %d sub-rankings, want 2: %v", len(subs), subs)
+	}
+	keys := map[string]bool{subs[0].Key(): true, subs[1].Key(): true}
+	if !keys["0,1,2"] || !keys["1,0,2"] {
+		t.Fatalf("sub-rankings = %v", subs)
+	}
+	for _, s := range subs {
+		if !po.Consistent(s) {
+			t.Fatalf("enumerated sub-ranking %v inconsistent", s)
+		}
+	}
+}
+
+func TestSubRankingsLimit(t *testing.T) {
+	po := NewPartialOrder()
+	// Five incomparable... partial order needs edges to have items; build a
+	// star so that 4 items are free: 0>9 with 1,2,3 unconstrained is not
+	// expressible without mentioning them, so use pairs far apart.
+	po.Add(0, 9)
+	po.Add(1, 8)
+	po.Add(2, 7)
+	subs, truncated := po.SubRankings(5)
+	if !truncated {
+		t.Fatal("expected truncation")
+	}
+	if len(subs) != 5 {
+		t.Fatalf("got %d sub-rankings, want 5", len(subs))
+	}
+}
+
+// Property: every enumerated sub-ranking is consistent, and the count matches
+// a brute-force count over all permutations of the involved items.
+func TestSubRankingsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(3) // 3..5 items
+		po := NewPartialOrder()
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if rng.Float64() < 0.4 {
+					po.Add(Item(a), Item(b)) // edges a<b keep it acyclic
+				}
+			}
+		}
+		if po.Len() == 0 {
+			continue
+		}
+		items := po.Items()
+		subs, truncated := po.SubRankings(0)
+		if truncated {
+			t.Fatal("unexpected truncation")
+		}
+		// Brute force over permutations of the involved items.
+		count := 0
+		ForEachPermutation(len(items), func(p Ranking) bool {
+			r := make(Ranking, len(items))
+			for i, pi := range p {
+				r[i] = items[pi]
+			}
+			if po.Consistent(r) {
+				count++
+			}
+			return true
+		})
+		if count != len(subs) {
+			t.Fatalf("trial %d: enumeration found %d, brute force %d", trial, len(subs), count)
+		}
+	}
+}
+
+func TestChainOrder(t *testing.T) {
+	po := ChainOrder(Ranking{3, 1, 2})
+	for _, e := range [][2]Item{{3, 1}, {3, 2}, {1, 2}} {
+		if !po.Has(e[0], e[1]) {
+			t.Errorf("missing edge %v", e)
+		}
+	}
+	if po.Len() != 3 {
+		t.Errorf("Len = %d, want 3", po.Len())
+	}
+}
+
+func TestMergeClone(t *testing.T) {
+	a := FromPairs([][2]Item{{0, 1}})
+	b := FromPairs([][2]Item{{1, 2}})
+	c := a.Clone()
+	c.Merge(b)
+	if !c.Has(0, 1) || !c.Has(1, 2) {
+		t.Fatal("merge lost edges")
+	}
+	if a.Has(1, 2) {
+		t.Fatal("clone aliases original")
+	}
+}

@@ -1,0 +1,57 @@
+package rank
+
+// Factorial returns n! as an int. It panics for n > 20 (overflow).
+func Factorial(n int) int {
+	if n > 20 {
+		panic("rank: factorial overflow")
+	}
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}
+
+// ForEachPermutation invokes fn for every permutation of 0..m-1 (Heap's
+// algorithm). The slice passed to fn is reused between invocations; clone it
+// if it must be retained. If fn returns false the enumeration stops early.
+func ForEachPermutation(m int, fn func(Ranking) bool) {
+	perm := Identity(m)
+	c := make([]int, m)
+	if !fn(perm) {
+		return
+	}
+	i := 0
+	for i < m {
+		if c[i] < i {
+			if i%2 == 0 {
+				perm[0], perm[i] = perm[i], perm[0]
+			} else {
+				perm[c[i]], perm[i] = perm[i], perm[c[i]]
+			}
+			if !fn(perm) {
+				return
+			}
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+}
+
+// Binomial returns C(n, k) as an int.
+func Binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1
+	for i := 1; i <= k; i++ {
+		r = r * (n - k + i) / i
+	}
+	return r
+}

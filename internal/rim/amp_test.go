@@ -1,0 +1,148 @@
+package rim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probpref/internal/rank"
+)
+
+func TestNewAMPValidation(t *testing.T) {
+	if _, err := NewAMP(rank.Identity(3), 0, nil); err == nil {
+		t.Error("phi=0 must be rejected")
+	}
+	cyc := rank.FromPairs([][2]rank.Item{{0, 1}, {1, 0}})
+	if _, err := NewAMP(rank.Identity(3), 0.5, cyc); err == nil {
+		t.Error("cyclic constraints must be rejected")
+	}
+	bad := rank.FromPairs([][2]rank.Item{{0, 7}})
+	if _, err := NewAMP(rank.Identity(3), 0.5, bad); err == nil {
+		t.Error("constraints over unknown items must be rejected")
+	}
+}
+
+// Example 2.2 of the paper: AMP(<a,b,c>, phi, {c > a}) samples <b,c,a> with
+// probability phi/(1+phi)^2.
+func TestAMPExample22(t *testing.T) {
+	phi := 0.3
+	cons := rank.FromPairs([][2]rank.Item{{2, 0}}) // c preferred to a
+	amp := MustAMP(rank.Identity(3), phi, cons)
+	tau := rank.Ranking{1, 2, 0} // <b, c, a>
+	logq, ok := amp.LogDensity(tau)
+	if !ok {
+		t.Fatal("tau should be reachable")
+	}
+	want := phi / ((1 + phi) * (1 + phi))
+	if got := math.Exp(logq); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("density = %v, want %v", got, want)
+	}
+}
+
+// Every AMP sample must be consistent with the constraints, and empirical
+// frequencies must match LogDensity.
+func TestAMPSampleMatchesDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cons := rank.FromPairs([][2]rank.Item{{3, 0}, {2, 1}})
+	amp := MustAMP(rank.Identity(4), 0.5, cons)
+	const n = 200000
+	counts := make(map[string]int)
+	for i := 0; i < n; i++ {
+		tau, logq := amp.Sample(rng)
+		if !amp.Constraints().Consistent(tau) {
+			t.Fatalf("sample %v violates constraints", tau)
+		}
+		// The log density returned by Sample must agree with LogDensity.
+		ld, ok := amp.LogDensity(tau)
+		if !ok || math.Abs(ld-logq) > 1e-9 {
+			t.Fatalf("sample logq %v != LogDensity %v (ok=%v)", logq, ld, ok)
+		}
+		counts[tau.Key()]++
+	}
+	total := 0.0
+	rank.ForEachPermutation(4, func(tau rank.Ranking) bool {
+		logq, ok := amp.LogDensity(tau)
+		if !ok {
+			if counts[tau.Key()] > 0 {
+				t.Fatalf("unreachable tau %v was sampled", tau)
+			}
+			return true
+		}
+		q := math.Exp(logq)
+		total += q
+		emp := float64(counts[tau.Key()]) / n
+		if math.Abs(q-emp) > 0.01 {
+			t.Fatalf("tau=%v: density %v, empirical %v", tau, q, emp)
+		}
+		return true
+	})
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("AMP densities sum to %v over consistent rankings", total)
+	}
+}
+
+// With no constraints AMP must coincide exactly with the Mallows model.
+func TestAMPUnconstrainedEqualsMallows(t *testing.T) {
+	for _, phi := range []float64{0.2, 1.0} {
+		amp := MustAMP(rank.Identity(4), phi, nil)
+		ml := MustMallows(rank.Identity(4), phi)
+		rank.ForEachPermutation(4, func(tau rank.Ranking) bool {
+			logq, ok := amp.LogDensity(tau)
+			if !ok {
+				t.Fatalf("tau %v unreachable without constraints", tau)
+			}
+			if math.Abs(math.Exp(logq)-ml.Prob(tau)) > 1e-10 {
+				t.Fatalf("phi=%v tau=%v: AMP %v != Mallows %v", phi, tau, math.Exp(logq), ml.Prob(tau))
+			}
+			return true
+		})
+	}
+}
+
+// LogDensity must reject rankings that violate the constraints.
+func TestAMPLogDensityInconsistent(t *testing.T) {
+	cons := rank.FromPairs([][2]rank.Item{{2, 0}})
+	amp := MustAMP(rank.Identity(3), 0.5, cons)
+	if _, ok := amp.LogDensity(rank.Ranking{0, 1, 2}); ok {
+		t.Fatal("inconsistent ranking should be unreachable")
+	}
+	if _, ok := amp.LogDensity(rank.Ranking{0, 1}); ok {
+		t.Fatal("wrong length should be unreachable")
+	}
+}
+
+// AMP densities over the consistent rankings are proportional to the Mallows
+// posterior exactly when the constraint is a chain that is "insertion
+// compatible"; in general AMP is approximate. Here we only check they are a
+// proper distribution over consistent rankings for random partial orders.
+func TestAMPDensityNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		m := 3 + rng.Intn(3)
+		cons := rank.NewPartialOrder()
+		for a := 0; a < m; a++ {
+			for b := 0; b < m; b++ {
+				if a != b && rng.Float64() < 0.25 {
+					cons.Add(rank.Item(a), rank.Item(b))
+				}
+			}
+		}
+		if cons.HasCycle() {
+			continue
+		}
+		amp := MustAMP(rank.Identity(m), 0.3+0.5*rng.Float64(), cons)
+		total := 0.0
+		rank.ForEachPermutation(m, func(tau rank.Ranking) bool {
+			if logq, ok := amp.LogDensity(tau); ok {
+				total += math.Exp(logq)
+				if !amp.Constraints().Consistent(tau) {
+					t.Fatalf("reachable tau %v inconsistent", tau)
+				}
+			}
+			return true
+		})
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("trial %d: densities sum to %v", trial, total)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package rim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"probpref/internal/rank"
+)
+
+func TestConditionedRIMMatchesAMPOnMallows(t *testing.T) {
+	ml := MustMallows(rank.Ranking{2, 0, 3, 1}, 0.4)
+	cons := rank.NewPartialOrder()
+	cons.Add(3, 2)
+	cons.Add(1, 0)
+	amp := MustAMP(ml.Sigma, ml.Phi, cons)
+	cond, err := NewConditionedRIM(ml.Model(), cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank.ForEachPermutation(4, func(tau rank.Ranking) bool {
+		la, oka := amp.LogDensity(tau)
+		lc, okc := cond.LogDensity(tau)
+		if oka != okc {
+			t.Fatalf("tau=%v: AMP ok=%v, conditioned ok=%v", tau, oka, okc)
+		}
+		if oka && math.Abs(la-lc) > 1e-9 {
+			t.Fatalf("tau=%v: AMP log density %v, conditioned %v", tau, la, lc)
+		}
+		return true
+	})
+}
+
+func TestConditionedRIMDensitySumsToOne(t *testing.T) {
+	gm := MustGeneralizedMallows(rank.Ranking{1, 3, 0, 2}, []float64{1, 0.2, 0.8, 0.5})
+	cons := rank.NewPartialOrder()
+	cons.Add(2, 1)
+	cond, err := NewConditionedRIM(gm.Model(), cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	rank.ForEachPermutation(4, func(tau rank.Ranking) bool {
+		if lq, ok := cond.LogDensity(tau); ok {
+			if !tau.Prefers(2, 1) {
+				t.Fatalf("support includes %v which violates the constraint", tau)
+			}
+			total += math.Exp(lq)
+		}
+		return true
+	})
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("conditioned densities sum to %v, want 1", total)
+	}
+}
+
+func TestConditionedRIMSampleConsistency(t *testing.T) {
+	gm := MustGeneralizedMallows(rank.Identity(5), []float64{0.5, 0.9, 0.1, 0.7, 0.3})
+	cons := rank.NewPartialOrder()
+	cons.Add(4, 0)
+	cons.Add(3, 1)
+	cond, err := NewConditionedRIM(gm.Model(), cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 200; i++ {
+		tau, logq, err := cond.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tau.Prefers(4, 0) || !tau.Prefers(3, 1) {
+			t.Fatalf("sample %v violates constraints", tau)
+		}
+		got, ok := cond.LogDensity(tau)
+		if !ok || math.Abs(got-logq) > 1e-9 {
+			t.Fatalf("LogDensity %v ok=%v, sampling reported %v", got, ok, logq)
+		}
+	}
+}
+
+func TestConditionedRIMValidation(t *testing.T) {
+	mdl := MustMallows(rank.Identity(3), 0.5).Model()
+	cyc := rank.NewPartialOrder()
+	cyc.Add(0, 1)
+	cyc.Add(1, 0)
+	if _, err := NewConditionedRIM(mdl, cyc); err == nil {
+		t.Error("cycle accepted")
+	}
+	oob := rank.NewPartialOrder()
+	oob.Add(0, 7)
+	if _, err := NewConditionedRIM(mdl, oob); err == nil {
+		t.Error("out-of-range item accepted")
+	}
+	if _, err := NewConditionedRIM(mdl, nil); err != nil {
+		t.Errorf("nil constraints rejected: %v", err)
+	}
+}
+
+func TestConditionedRIMInfeasible(t *testing.T) {
+	// phi = 0 concentrates each insertion at the bottom position; forcing
+	// item 2 before item 0 leaves a feasible range with zero mass.
+	mdl := MustMallows(rank.Identity(3), 0).Model()
+	cons := rank.NewPartialOrder()
+	cons.Add(2, 0)
+	cond, err := NewConditionedRIM(mdl, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	if _, _, err := cond.Sample(rng); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	if _, ok := cond.LogDensity(rank.Ranking{2, 0, 1}); ok {
+		t.Error("zero-mass path reported as in-support")
+	}
+}
+
+func TestModelLogProb(t *testing.T) {
+	gm := MustGeneralizedMallows(rank.Identity(4), []float64{1, 0.3, 0.6, 0.9})
+	mdl := gm.Model()
+	rank.ForEachPermutation(4, func(tau rank.Ranking) bool {
+		p := mdl.Prob(tau)
+		lp := mdl.LogProb(tau)
+		if math.Abs(math.Exp(lp)-p) > 1e-12 {
+			t.Fatalf("tau=%v: exp(LogProb)=%v, Prob=%v", tau, math.Exp(lp), p)
+		}
+		return true
+	})
+	if lp := mdl.LogProb(rank.Ranking{0, 1}); !math.IsInf(lp, -1) {
+		t.Errorf("LogProb of short ranking = %v, want -Inf", lp)
+	}
+	// Zero-probability path under phi = 0.
+	point := MustMallows(rank.Identity(3), 0).Model()
+	if lp := point.LogProb(rank.Ranking{1, 0, 2}); !math.IsInf(lp, -1) {
+		t.Errorf("LogProb of unreachable ranking = %v, want -Inf", lp)
+	}
+}

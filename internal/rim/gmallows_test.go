@@ -1,0 +1,173 @@
+package rim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"probpref/internal/rank"
+)
+
+func TestGeneralizedMallowsValidation(t *testing.T) {
+	sigma := rank.Identity(3)
+	cases := []struct {
+		name  string
+		sigma rank.Ranking
+		phis  []float64
+	}{
+		{"not a permutation", rank.Ranking{0, 0, 2}, []float64{0.5, 0.5, 0.5}},
+		{"arity mismatch", sigma, []float64{0.5, 0.5}},
+		{"negative phi", sigma, []float64{0.5, -0.1, 0.5}},
+		{"phi above one", sigma, []float64{0.5, 1.5, 0.5}},
+		{"NaN phi", sigma, []float64{0.5, math.NaN(), 0.5}},
+	}
+	for _, tc := range cases {
+		if _, err := NewGeneralizedMallows(tc.sigma, tc.phis); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+	if _, err := NewGeneralizedMallows(sigma, []float64{0, 0.3, 1}); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+}
+
+func TestGeneralizedMallowsReducesToMallows(t *testing.T) {
+	sigma := rank.Ranking{2, 0, 3, 1}
+	for _, phi := range []float64{0, 0.1, 0.5, 1} {
+		phis := []float64{phi, phi, phi, phi}
+		gm := MustGeneralizedMallows(sigma, phis)
+		ml := MustMallows(sigma, phi)
+		rank.ForEachPermutation(4, func(tau rank.Ranking) bool {
+			pg, pm := gm.Prob(tau), ml.Prob(tau)
+			if math.Abs(pg-pm) > 1e-12 {
+				t.Fatalf("phi=%v tau=%v: GM prob %v != Mallows prob %v", phi, tau, pg, pm)
+			}
+			return true
+		})
+	}
+}
+
+func TestGeneralizedMallowsProbSumsToOne(t *testing.T) {
+	sigma := rank.Identity(5)
+	phis := []float64{0.9, 0.1, 0.7, 0.3, 0.5}
+	gm := MustGeneralizedMallows(sigma, phis)
+	total := 0.0
+	rank.ForEachPermutation(5, func(tau rank.Ranking) bool {
+		total += gm.Prob(tau)
+		return true
+	})
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v, want 1", total)
+	}
+}
+
+func TestGeneralizedMallowsModelEquivalence(t *testing.T) {
+	sigma := rank.Ranking{1, 3, 0, 2}
+	phis := []float64{1, 0.2, 0.8, 0.4}
+	gm := MustGeneralizedMallows(sigma, phis)
+	mdl := gm.Model()
+	rank.ForEachPermutation(4, func(tau rank.Ranking) bool {
+		pg, pm := gm.Prob(tau), mdl.Prob(tau)
+		if math.Abs(pg-pm) > 1e-12 {
+			t.Fatalf("tau=%v: direct prob %v != RIM prob %v", tau, pg, pm)
+		}
+		return true
+	})
+}
+
+func TestGeneralizedMallowsZeroDispersionPins(t *testing.T) {
+	// Phis[i] = 0 forces sigma[i] to stay at the bottom of the prefix: with
+	// every dispersion zero, only sigma itself has positive probability.
+	sigma := rank.Ranking{2, 1, 0}
+	gm := MustGeneralizedMallows(sigma, []float64{0, 0, 0})
+	if p := gm.Prob(sigma); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("Prob(sigma) = %v, want 1", p)
+	}
+	if p := gm.Prob(rank.Ranking{0, 1, 2}); p != 0 {
+		t.Fatalf("Prob(reverse) = %v, want 0", p)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		if tau := gm.Sample(rng); !tau.Equal(sigma) {
+			t.Fatalf("sample %v, want sigma %v", tau, sigma)
+		}
+	}
+}
+
+func TestGeneralizedMallowsStageDistances(t *testing.T) {
+	sigma := rank.Identity(4)
+	gm := MustGeneralizedMallows(sigma, []float64{0.5, 0.5, 0.5, 0.5})
+	tau := rank.Ranking{1, 3, 0, 2}
+	v, ok := gm.StageDistances(tau)
+	if !ok {
+		t.Fatal("StageDistances rejected a valid permutation")
+	}
+	sum := 0
+	for _, vi := range v {
+		sum += vi
+	}
+	if want := rank.KendallTau(sigma, tau); sum != want {
+		t.Fatalf("sum of stage distances %d != Kendall tau %d", sum, want)
+	}
+	if _, ok := gm.StageDistances(rank.Ranking{0, 0, 1, 2}); ok {
+		t.Fatal("StageDistances accepted a non-permutation")
+	}
+}
+
+func TestGeneralizedMallowsStageDistancesQuick(t *testing.T) {
+	sigma := rank.Ranking{3, 0, 4, 1, 2}
+	gm := MustGeneralizedMallows(sigma, []float64{0.3, 0.9, 0.1, 0.6, 0.8})
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tau := gm.Sample(rng)
+		v, ok := gm.StageDistances(tau)
+		if !ok {
+			return false
+		}
+		sum := 0
+		for _, vi := range v {
+			sum += vi
+		}
+		return sum == rank.KendallTau(sigma, tau)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneralizedMallowsSamplingFrequencies(t *testing.T) {
+	sigma := rank.Identity(3)
+	gm := MustGeneralizedMallows(sigma, []float64{1, 0.3, 0.7})
+	rng := rand.New(rand.NewSource(42))
+	const n = 200000
+	counts := make(map[string]int)
+	for i := 0; i < n; i++ {
+		counts[gm.Sample(rng).Key()]++
+	}
+	rank.ForEachPermutation(3, func(tau rank.Ranking) bool {
+		want := gm.Prob(tau)
+		got := float64(counts[tau.Key()]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("tau=%v: empirical %v, exact %v", tau, got, want)
+		}
+		return true
+	})
+}
+
+func TestGeneralizedMallowsRehash(t *testing.T) {
+	sigma := rank.Identity(3)
+	a := MustGeneralizedMallows(sigma, []float64{0.5, 0.5, 0.5})
+	b := MustGeneralizedMallows(sigma, []float64{0.5, 0.5, 0.5})
+	c := MustGeneralizedMallows(sigma, []float64{0.5, 0.5, 0.6})
+	if a.Rehash() != b.Rehash() {
+		t.Error("identical models hash differently")
+	}
+	if a.Rehash() == c.Rehash() {
+		t.Error("distinct models hash identically")
+	}
+	ml := MustMallows(sigma, 0.5)
+	if a.Rehash() == ml.Rehash() {
+		t.Error("GM and Mallows share a hash")
+	}
+}

@@ -1,0 +1,165 @@
+package rim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"probpref/internal/rank"
+)
+
+// Mallows is the Mallows model MAL(sigma, phi) with center ranking sigma and
+// dispersion phi in [0, 1]. Pr(tau) is proportional to phi^dist(sigma, tau)
+// where dist is the Kendall tau distance. phi = 0 concentrates all mass on
+// sigma; phi = 1 is uniform over rankings.
+type Mallows struct {
+	Sigma rank.Ranking
+	Phi   float64
+
+	logZ   float64
+	geom   []float64 // geom[k] = 1 + phi + ... + phi^k
+	model  *Model
+	logPhi float64
+}
+
+// NewMallows validates and constructs a Mallows model.
+func NewMallows(sigma rank.Ranking, phi float64) (*Mallows, error) {
+	if !sigma.IsPermutation() {
+		return nil, fmt.Errorf("rim: sigma %v is not a permutation", sigma)
+	}
+	if phi < 0 || phi > 1 || math.IsNaN(phi) {
+		return nil, fmt.Errorf("rim: phi = %v out of [0,1]", phi)
+	}
+	m := &Mallows{Sigma: sigma.Clone(), Phi: phi}
+	m.geom = geometricSums(phi, len(sigma))
+	m.logPhi = math.Log(phi)
+	for i := 1; i < len(sigma); i++ {
+		m.logZ += math.Log(m.geom[i])
+	}
+	return m, nil
+}
+
+// MustMallows is NewMallows but panics on error.
+func MustMallows(sigma rank.Ranking, phi float64) *Mallows {
+	m, err := NewMallows(sigma, phi)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// geometricSums returns s with s[k] = 1 + phi + ... + phi^k for k < n.
+func geometricSums(phi float64, n int) []float64 {
+	s := make([]float64, n)
+	if n == 0 {
+		return s
+	}
+	s[0] = 1
+	pk := 1.0
+	for k := 1; k < n; k++ {
+		pk *= phi
+		s[k] = s[k-1] + pk
+	}
+	return s
+}
+
+// M returns the number of items.
+func (ml *Mallows) M() int { return len(ml.Sigma) }
+
+// Model materializes the equivalent RIM(sigma, Pi) with
+// Pi[i][j] = phi^(i-j) / (1 + phi + ... + phi^i) (Doignon et al.).
+// The result is cached.
+func (ml *Mallows) Model() *Model {
+	if ml.model != nil {
+		return ml.model
+	}
+	m := len(ml.Sigma)
+	pi := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		row := make([]float64, i+1)
+		if ml.Phi == 0 {
+			row[i] = 1
+		} else {
+			norm := ml.geom[i]
+			w := 1.0 // phi^(i-j) for j=i
+			for j := i; j >= 0; j-- {
+				row[j] = w / norm
+				w *= ml.Phi
+			}
+		}
+		pi[i] = row
+	}
+	ml.model = MustNew(ml.Sigma, pi)
+	return ml.model
+}
+
+// LogZ returns the log of the Mallows normalization constant
+// Z = prod_{i=1}^{m-1} (1 + phi + ... + phi^i).
+func (ml *Mallows) LogZ() float64 { return ml.logZ }
+
+// LogProb returns log Pr(tau | sigma, phi). For phi = 0 it returns 0 for
+// tau = sigma and -Inf otherwise.
+func (ml *Mallows) LogProb(tau rank.Ranking) float64 {
+	d := rank.KendallTau(ml.Sigma, tau)
+	if ml.Phi == 0 {
+		if d == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return float64(d)*ml.logPhi - ml.logZ
+}
+
+// Prob returns Pr(tau | sigma, phi) = phi^dist(sigma,tau) / Z.
+func (ml *Mallows) Prob(tau rank.Ranking) float64 {
+	return math.Exp(ml.LogProb(tau))
+}
+
+// Sample draws a ranking via the RIM representation.
+func (ml *Mallows) Sample(rng *rand.Rand) rank.Ranking {
+	if ml.Phi == 0 {
+		return ml.Sigma.Clone()
+	}
+	return ml.sampleDirect(rng)
+}
+
+// sampleDirect draws without materializing the full Pi matrix: at step i the
+// insertion offset t = i - j follows the truncated geometric distribution
+// with weights phi^t / geom[i].
+func (ml *Mallows) sampleDirect(rng *rand.Rand) rank.Ranking {
+	m := len(ml.Sigma)
+	tau := make(rank.Ranking, 0, m)
+	for i, item := range ml.Sigma {
+		t := sampleTruncGeom(rng, ml.Phi, i, ml.geom[i])
+		j := i - t
+		tau = append(tau, 0)
+		copy(tau[j+1:], tau[j:])
+		tau[j] = item
+	}
+	return tau
+}
+
+// sampleTruncGeom draws t in [0, maxT] with probability phi^t / norm where
+// norm = 1 + phi + ... + phi^maxT.
+func sampleTruncGeom(rng *rand.Rand, phi float64, maxT int, norm float64) int {
+	u := rng.Float64() * norm
+	acc := 0.0
+	w := 1.0
+	for t := 0; t <= maxT; t++ {
+		acc += w
+		if u < acc {
+			return t
+		}
+		w *= phi
+	}
+	return maxT
+}
+
+// Rehash returns a deterministic content key for grouping identical models
+// (same center and dispersion) during query evaluation.
+func (ml *Mallows) Rehash() string {
+	return fmt.Sprintf("%s|%.12g", ml.Sigma.Key(), ml.Phi)
+}
+
+// Reference returns the center ranking (shared; do not modify).
+func (ml *Mallows) Reference() rank.Ranking { return ml.Sigma }

@@ -1,0 +1,144 @@
+package rim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probpref/internal/rank"
+)
+
+func TestNewMallowsValidation(t *testing.T) {
+	if _, err := NewMallows(rank.Ranking{0, 0}, 0.5); err == nil {
+		t.Error("expected error for non-permutation")
+	}
+	if _, err := NewMallows(rank.Identity(3), -0.1); err == nil {
+		t.Error("expected error for phi < 0")
+	}
+	if _, err := NewMallows(rank.Identity(3), 1.1); err == nil {
+		t.Error("expected error for phi > 1")
+	}
+}
+
+// The Mallows closed form phi^dist/Z must equal the RIM representation with
+// Pi(i,j) = phi^(i-j)/(1+phi+...+phi^(i-1)) for every ranking (Doignon et
+// al., cited as the basis of Section 2.2).
+func TestMallowsEqualsRIM(t *testing.T) {
+	for _, phi := range []float64{0.05, 0.3, 0.5, 0.9, 1.0} {
+		for m := 1; m <= 5; m++ {
+			ml := MustMallows(rank.Identity(m), phi)
+			model := ml.Model()
+			rank.ForEachPermutation(m, func(tau rank.Ranking) bool {
+				a, b := ml.Prob(tau), model.Prob(tau)
+				if math.Abs(a-b) > 1e-10 {
+					t.Fatalf("phi=%v m=%d tau=%v: closed form %v, RIM %v", phi, m, tau, a, b)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func TestMallowsProbSumsToOne(t *testing.T) {
+	for _, phi := range []float64{0.1, 0.5, 1.0} {
+		ml := MustMallows(rank.Identity(5), phi)
+		sum := 0.0
+		rank.ForEachPermutation(5, func(tau rank.Ranking) bool {
+			sum += ml.Prob(tau)
+			return true
+		})
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("phi=%v: sum %v", phi, sum)
+		}
+	}
+}
+
+func TestMallowsPhiZero(t *testing.T) {
+	ml := MustMallows(rank.Identity(4), 0)
+	if p := ml.Prob(rank.Identity(4)); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("Pr(sigma) = %v, want 1", p)
+	}
+	if p := ml.Prob(rank.Ranking{1, 0, 2, 3}); p != 0 {
+		t.Fatalf("Pr(non-sigma) = %v, want 0", p)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if !ml.Sample(rng).Equal(ml.Sigma) {
+			t.Fatal("phi=0 must always sample sigma")
+		}
+	}
+}
+
+func TestMallowsPhiOneUniform(t *testing.T) {
+	ml := MustMallows(rank.Identity(4), 1)
+	want := 1.0 / 24
+	rank.ForEachPermutation(4, func(tau rank.Ranking) bool {
+		if p := ml.Prob(tau); math.Abs(p-want) > 1e-12 {
+			t.Fatalf("Pr(%v) = %v, want uniform %v", tau, p, want)
+		}
+		return true
+	})
+}
+
+// Empirical frequencies of the direct sampler must match the closed form.
+func TestMallowsSampleMatchesProb(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ml := MustMallows(rank.Ranking{2, 0, 1, 3}, 0.4)
+	const n = 200000
+	counts := make(map[string]int)
+	for i := 0; i < n; i++ {
+		counts[ml.Sample(rng).Key()]++
+	}
+	rank.ForEachPermutation(4, func(tau rank.Ranking) bool {
+		p := ml.Prob(tau)
+		emp := float64(counts[tau.Key()]) / n
+		if math.Abs(p-emp) > 0.01 {
+			t.Fatalf("tau=%v: exact %v, empirical %v", tau, p, emp)
+		}
+		return true
+	})
+}
+
+// LogZ must equal log(sum over rankings of phi^dist).
+func TestMallowsLogZ(t *testing.T) {
+	for _, phi := range []float64{0.2, 0.7, 1.0} {
+		ml := MustMallows(rank.Identity(5), phi)
+		z := 0.0
+		rank.ForEachPermutation(5, func(tau rank.Ranking) bool {
+			z += math.Pow(phi, float64(rank.KendallTau(ml.Sigma, tau)))
+			return true
+		})
+		if math.Abs(ml.LogZ()-math.Log(z)) > 1e-9 {
+			t.Fatalf("phi=%v: LogZ = %v, want %v", phi, ml.LogZ(), math.Log(z))
+		}
+	}
+}
+
+// Large-m log probabilities must stay finite (no underflow in log space).
+func TestMallowsLogProbLargeM(t *testing.T) {
+	m := 200
+	ml := MustMallows(rank.Identity(m), 0.1)
+	rev := make(rank.Ranking, m)
+	for i := range rev {
+		rev[i] = rank.Item(m - 1 - i)
+	}
+	lp := ml.LogProb(rev)
+	if math.IsInf(lp, 0) || math.IsNaN(lp) {
+		t.Fatalf("LogProb overflowed: %v", lp)
+	}
+	if lp >= 0 {
+		t.Fatalf("LogProb = %v, want negative", lp)
+	}
+}
+
+func TestRehashDistinguishesModels(t *testing.T) {
+	a := MustMallows(rank.Identity(3), 0.5)
+	b := MustMallows(rank.Identity(3), 0.6)
+	c := MustMallows(rank.Ranking{1, 0, 2}, 0.5)
+	if a.Rehash() == b.Rehash() || a.Rehash() == c.Rehash() {
+		t.Fatal("Rehash collisions")
+	}
+	if a.Rehash() != MustMallows(rank.Identity(3), 0.5).Rehash() {
+		t.Fatal("Rehash must be deterministic")
+	}
+}

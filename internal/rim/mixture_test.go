@@ -1,0 +1,105 @@
+package rim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probpref/internal/rank"
+)
+
+func TestNewMixtureValidation(t *testing.T) {
+	a := MustMallows(rank.Identity(3), 0.3)
+	b := MustMallows(rank.Identity(3), 0.7)
+	if _, err := NewMixture(nil, nil); err == nil {
+		t.Error("empty mixture accepted")
+	}
+	if _, err := NewMixture([]*Mallows{a, b}, []float64{1}); err == nil {
+		t.Error("weight arity mismatch accepted")
+	}
+	if _, err := NewMixture([]*Mallows{a, b}, []float64{0.6, 0.6}); err == nil {
+		t.Error("non-normalized weights accepted")
+	}
+	if _, err := NewMixture([]*Mallows{a, b}, []float64{-0.5, 1.5}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	c := MustMallows(rank.Identity(4), 0.3)
+	if _, err := NewMixture([]*Mallows{a, c}, []float64{0.5, 0.5}); err == nil {
+		t.Error("mismatched item counts accepted")
+	}
+	if _, err := NewMixture([]*Mallows{a, b}, []float64{0.4, 0.6}); err != nil {
+		t.Errorf("valid mixture rejected: %v", err)
+	}
+}
+
+// Mixture probability must be the weighted sum of component probabilities
+// and sum to 1 over all rankings.
+func TestMixtureProb(t *testing.T) {
+	a := MustMallows(rank.Identity(4), 0.2)
+	b := MustMallows(rank.Ranking{3, 2, 1, 0}, 0.6)
+	mx, err := NewMixture([]*Mallows{a, b}, []float64{0.3, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	rank.ForEachPermutation(4, func(tau rank.Ranking) bool {
+		p := mx.Prob(tau)
+		want := 0.3*a.Prob(tau) + 0.7*b.Prob(tau)
+		if math.Abs(p-want) > 1e-12 {
+			t.Fatalf("Prob(%v) = %v, want %v", tau, p, want)
+		}
+		if lp := mx.LogProb(tau); math.Abs(math.Exp(lp)-p) > 1e-12 {
+			t.Fatalf("LogProb inconsistent: exp(%v) != %v", lp, p)
+		}
+		total += p
+		return true
+	})
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("mixture probabilities sum to %v", total)
+	}
+}
+
+func TestMixtureSampleMatchesProb(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := MustMallows(rank.Identity(3), 0.2)
+	b := MustMallows(rank.Ranking{2, 1, 0}, 0.2)
+	mx, err := UniformMixture(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		counts[mx.Sample(rng).Key()]++
+	}
+	rank.ForEachPermutation(3, func(tau rank.Ranking) bool {
+		emp := float64(counts[tau.Key()]) / n
+		if math.Abs(emp-mx.Prob(tau)) > 0.01 {
+			t.Fatalf("tau=%v: empirical %v, exact %v", tau, emp, mx.Prob(tau))
+		}
+		return true
+	})
+}
+
+// The posterior over components must be a distribution and concentrate on
+// the component whose center matches the observation.
+func TestMixturePosterior(t *testing.T) {
+	a := MustMallows(rank.Identity(5), 0.1)
+	rev := rank.Ranking{4, 3, 2, 1, 0}
+	b := MustMallows(rev, 0.1)
+	mx, err := UniformMixture(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := mx.Posterior(rank.Identity(5))
+	if math.Abs(post[0]+post[1]-1) > 1e-12 {
+		t.Fatalf("posterior not normalized: %v", post)
+	}
+	if post[0] < 0.99 {
+		t.Fatalf("posterior should concentrate on component 0: %v", post)
+	}
+	post = mx.Posterior(rev)
+	if post[1] < 0.99 {
+		t.Fatalf("posterior should concentrate on component 1: %v", post)
+	}
+}

@@ -1,0 +1,169 @@
+package rim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"probpref/internal/rank"
+)
+
+func TestPlackettLuceValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights []float64
+	}{
+		{"empty", nil},
+		{"zero weight", []float64{1, 0, 2}},
+		{"negative weight", []float64{1, -2, 3}},
+		{"NaN weight", []float64{1, math.NaN()}},
+		{"infinite weight", []float64{1, math.Inf(1)}},
+	}
+	for _, tc := range cases {
+		if _, err := NewPlackettLuce(tc.weights); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+	if _, err := NewPlackettLuce([]float64{0.5, 2, 1e-9}); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+}
+
+func TestPlackettLuceProbSumsToOne(t *testing.T) {
+	pl := MustPlackettLuce([]float64{4, 1, 2, 0.5, 3})
+	total := 0.0
+	rank.ForEachPermutation(5, func(tau rank.Ranking) bool {
+		total += pl.Prob(tau)
+		return true
+	})
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v, want 1", total)
+	}
+}
+
+func TestPlackettLuceProbHandComputed(t *testing.T) {
+	pl := MustPlackettLuce([]float64{3, 2, 1})
+	// Pr(<0,1,2>) = 3/6 * 2/3 * 1 = 1/3.
+	if p := pl.Prob(rank.Ranking{0, 1, 2}); math.Abs(p-1.0/3) > 1e-12 {
+		t.Errorf("Prob(<0,1,2>) = %v, want 1/3", p)
+	}
+	// Pr(<2,1,0>) = 1/6 * 2/5 * 1 = 1/15.
+	if p := pl.Prob(rank.Ranking{2, 1, 0}); math.Abs(p-1.0/15) > 1e-12 {
+		t.Errorf("Prob(<2,1,0>) = %v, want 1/15", p)
+	}
+	if p := pl.Prob(rank.Ranking{0, 1}); p != 0 {
+		t.Errorf("Prob of short ranking = %v, want 0", p)
+	}
+	if p := pl.Prob(rank.Ranking{0, 0, 1}); p != 0 {
+		t.Errorf("Prob of non-permutation = %v, want 0", p)
+	}
+}
+
+func TestPlackettLuceUniform(t *testing.T) {
+	pl := MustPlackettLuce([]float64{2, 2, 2, 2})
+	want := 1.0 / 24
+	rank.ForEachPermutation(4, func(tau rank.Ranking) bool {
+		if p := pl.Prob(tau); math.Abs(p-want) > 1e-12 {
+			t.Fatalf("uniform PL: Prob(%v) = %v, want %v", tau, p, want)
+		}
+		return true
+	})
+}
+
+func TestPlackettLuceMode(t *testing.T) {
+	pl := MustPlackettLuce([]float64{1, 5, 3, 5})
+	mode := pl.Mode()
+	// Descending worth with ties broken by item id: 1, 3, 2, 0.
+	want := rank.Ranking{1, 3, 2, 0}
+	if !mode.Equal(want) {
+		t.Fatalf("Mode() = %v, want %v", mode, want)
+	}
+	// The mode must be at least as probable as every other ranking.
+	pm := pl.Prob(mode)
+	rank.ForEachPermutation(4, func(tau rank.Ranking) bool {
+		if pl.Prob(tau) > pm+1e-12 {
+			t.Fatalf("ranking %v more probable than mode %v", tau, mode)
+		}
+		return true
+	})
+}
+
+func TestPlackettLuceTopAndPairwise(t *testing.T) {
+	pl := MustPlackettLuce([]float64{1, 3})
+	if p := pl.TopProb(1); math.Abs(p-0.75) > 1e-12 {
+		t.Errorf("TopProb(1) = %v, want 0.75", p)
+	}
+	if p := pl.PairwiseProb(1, 0); math.Abs(p-0.75) > 1e-12 {
+		t.Errorf("PairwiseProb(1,0) = %v, want 0.75", p)
+	}
+	if p := pl.PairwiseProb(0, 0); p != 0 {
+		t.Errorf("PairwiseProb(0,0) = %v, want 0", p)
+	}
+	if p := pl.TopProb(5); p != 0 {
+		t.Errorf("TopProb out of range = %v, want 0", p)
+	}
+}
+
+func TestPlackettLucePairwiseMatchesEnumeration(t *testing.T) {
+	pl := MustPlackettLuce([]float64{2, 1, 4, 3})
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			if a == b {
+				continue
+			}
+			exact := 0.0
+			rank.ForEachPermutation(4, func(tau rank.Ranking) bool {
+				if tau.Prefers(rank.Item(a), rank.Item(b)) {
+					exact += pl.Prob(tau)
+				}
+				return true
+			})
+			got := pl.PairwiseProb(rank.Item(a), rank.Item(b))
+			if math.Abs(got-exact) > 1e-10 {
+				t.Errorf("PairwiseProb(%d,%d) = %v, enumeration %v", a, b, got, exact)
+			}
+		}
+	}
+}
+
+func TestPlackettLuceSamplingFrequencies(t *testing.T) {
+	pl := MustPlackettLuce([]float64{5, 1, 2})
+	rng := rand.New(rand.NewSource(3))
+	const n = 200000
+	counts := make(map[string]int)
+	for i := 0; i < n; i++ {
+		counts[pl.Sample(rng).Key()]++
+	}
+	rank.ForEachPermutation(3, func(tau rank.Ranking) bool {
+		want := pl.Prob(tau)
+		got := float64(counts[tau.Key()]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("tau=%v: empirical %v, exact %v", tau, got, want)
+		}
+		return true
+	})
+}
+
+func TestPlackettLuceSampleIsPermutationQuick(t *testing.T) {
+	pl := MustPlackettLuce([]float64{1, 2, 3, 4, 5, 6})
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		return pl.Sample(rng).IsPermutation()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlackettLuceRehash(t *testing.T) {
+	a := MustPlackettLuce([]float64{1, 2})
+	b := MustPlackettLuce([]float64{1, 2})
+	c := MustPlackettLuce([]float64{2, 1})
+	if a.Rehash() != b.Rehash() {
+		t.Error("identical models hash differently")
+	}
+	if a.Rehash() == c.Rehash() {
+		t.Error("distinct models hash identically")
+	}
+}

@@ -1,0 +1,124 @@
+package rim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"probpref/internal/rank"
+)
+
+// Property: for phi < 1, Mallows probability is strictly decreasing in
+// Kendall tau distance; rankings at equal distance have equal probability.
+func TestMallowsMonotoneInDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		m := 3 + rng.Intn(4)
+		phi := 0.1 + 0.8*rng.Float64()
+		ml := MustMallows(rank.Identity(m), phi)
+		perm := func() rank.Ranking {
+			r := make(rank.Ranking, m)
+			for i, v := range rng.Perm(m) {
+				r[i] = rank.Item(v)
+			}
+			return r
+		}
+		a, b := perm(), perm()
+		da, db := rank.KendallTau(ml.Sigma, a), rank.KendallTau(ml.Sigma, b)
+		pa, pb := ml.Prob(a), ml.Prob(b)
+		switch {
+		case da < db && pa <= pb:
+			t.Fatalf("d=%d prob %v vs d=%d prob %v", da, pa, db, pb)
+		case da == db && !almostEq(pa, pb):
+			t.Fatalf("equal distance, different probs: %v vs %v", pa, pb)
+		}
+	}
+}
+
+func almostEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := a
+	if b > a {
+		scale = b
+	}
+	return d <= 1e-12*scale
+}
+
+// Property (testing/quick): the insertion-position reconstruction is the
+// inverse of replaying insertions, for arbitrary insertion vectors.
+func TestInsertionRoundTripQuick(t *testing.T) {
+	ml := MustMallows(rank.Identity(6), 0.5)
+	model := ml.Model()
+	f := func(raw [6]uint8) bool {
+		tau := rank.Ranking{}
+		for i := 0; i < 6; i++ {
+			j := int(raw[i]) % (i + 1)
+			tau = tau.Insert(model.Sigma()[i], j)
+		}
+		js, ok := model.InsertionPositions(tau)
+		if !ok {
+			return false
+		}
+		rebuilt := rank.Ranking{}
+		for i, j := range js {
+			rebuilt = rebuilt.Insert(model.Sigma()[i], j)
+		}
+		return rebuilt.Equal(tau)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (testing/quick): AMP density of any consistent ranking is
+// positive and at most 1; inconsistent rankings are unreachable.
+func TestAMPDensityBoundsQuick(t *testing.T) {
+	cons := rank.FromPairs([][2]rank.Item{{3, 1}, {2, 0}})
+	amp := MustAMP(rank.Identity(5), 0.4, cons)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		perm := make(rank.Ranking, 5)
+		for i, v := range rng.Perm(5) {
+			perm[i] = rank.Item(v)
+		}
+		logq, ok := amp.LogDensity(perm)
+		if amp.Constraints().Consistent(perm) != ok {
+			return false
+		}
+		if ok && (logq > 1e-12 || logq != logq) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Mallows sampling never produces rankings outside the item set,
+// and the sampled distance distribution has the right mean ordering: lower
+// phi concentrates closer to sigma.
+func TestMallowsDispersionOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := 8
+	meanDist := func(phi float64) float64 {
+		ml := MustMallows(rank.Identity(m), phi)
+		total := 0
+		const n = 3000
+		for i := 0; i < n; i++ {
+			tau := ml.Sample(rng)
+			if !tau.IsPermutation() {
+				t.Fatalf("invalid sample %v", tau)
+			}
+			total += rank.KendallTau(ml.Sigma, tau)
+		}
+		return float64(total) / n
+	}
+	d2, d5, d9 := meanDist(0.2), meanDist(0.5), meanDist(0.9)
+	if !(d2 < d5 && d5 < d9) {
+		t.Fatalf("mean distances not ordered: %v %v %v", d2, d5, d9)
+	}
+}

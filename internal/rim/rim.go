@@ -1,0 +1,186 @@
+// Package rim implements the Repeated Insertion Model (RIM) of Doignon,
+// Pekec and Regenwetter, the Mallows model as its special case, and the AMP
+// sampler of Lu and Boutilier for drawing from a Mallows posterior
+// conditioned on a partial order.
+//
+// A RIM(sigma, Pi) inserts the items of the reference ranking sigma one by
+// one: item sigma[i] (0-based) is inserted into the current partial ranking
+// at position j in [0, i] with probability Pi[i][j]. The Mallows model
+// MAL(sigma, phi) is RIM with Pi[i][j] = phi^(i-j) / (1 + phi + ... + phi^i).
+package rim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"probpref/internal/rank"
+)
+
+// Model is a Repeated Insertion Model RIM(sigma, Pi).
+type Model struct {
+	sigma rank.Ranking
+	pi    [][]float64
+}
+
+// New validates and constructs a RIM model. pi[i] must have i+1 entries that
+// are non-negative and sum to 1 (within tolerance).
+func New(sigma rank.Ranking, pi [][]float64) (*Model, error) {
+	if !sigma.IsPermutation() {
+		return nil, fmt.Errorf("rim: sigma %v is not a permutation of 0..%d", sigma, len(sigma)-1)
+	}
+	if len(pi) != len(sigma) {
+		return nil, fmt.Errorf("rim: Pi has %d rows, want %d", len(pi), len(sigma))
+	}
+	for i, row := range pi {
+		if len(row) != i+1 {
+			return nil, fmt.Errorf("rim: Pi row %d has %d entries, want %d", i, len(row), i+1)
+		}
+		sum := 0.0
+		for j, p := range row {
+			if p < 0 || math.IsNaN(p) {
+				return nil, fmt.Errorf("rim: Pi[%d][%d] = %v is invalid", i, j, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return nil, fmt.Errorf("rim: Pi row %d sums to %v, want 1", i, sum)
+		}
+	}
+	return &Model{sigma: sigma.Clone(), pi: pi}, nil
+}
+
+// MustNew is New but panics on error; for tests and literals.
+func MustNew(sigma rank.Ranking, pi [][]float64) *Model {
+	m, err := New(sigma, pi)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// M returns the number of items.
+func (m *Model) M() int { return len(m.sigma) }
+
+// Sigma returns the reference ranking (shared; do not modify).
+func (m *Model) Sigma() rank.Ranking { return m.sigma }
+
+// Reference returns the reference ranking; it makes *Model usable wherever
+// a SessionModel is expected.
+func (m *Model) Reference() rank.Ranking { return m.sigma }
+
+// Model returns the model itself: a RIM is its own materialization.
+func (m *Model) Model() *Model { return m }
+
+// Rehash returns a deterministic content key over sigma and the full
+// insertion matrix, for grouping identical models during query evaluation.
+func (m *Model) Rehash() string {
+	var b strings.Builder
+	b.WriteString("rim|")
+	b.WriteString(m.sigma.Key())
+	for _, row := range m.pi {
+		b.WriteByte('|')
+		for j, p := range row {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%.12g", p)
+		}
+	}
+	return b.String()
+}
+
+// Pi returns the insertion probability Pi[i][j] (0-based).
+func (m *Model) Pi(i, j int) float64 { return m.pi[i][j] }
+
+// Sample draws a ranking using Algorithm 1 of the paper.
+func (m *Model) Sample(rng *rand.Rand) rank.Ranking {
+	tau := make(rank.Ranking, 0, len(m.sigma))
+	for i, item := range m.sigma {
+		j := sampleIndex(rng, m.pi[i])
+		// In-place insert.
+		tau = append(tau, 0)
+		copy(tau[j+1:], tau[j:])
+		tau[j] = item
+	}
+	return tau
+}
+
+// Prob returns the probability that the model generates tau. Every ranking
+// has exactly one generating insertion sequence: item sigma[i] must be
+// inserted at the position it occupies among sigma[0..i] in tau's relative
+// order.
+func (m *Model) Prob(tau rank.Ranking) float64 {
+	js, ok := m.InsertionPositions(tau)
+	if !ok {
+		return 0
+	}
+	p := 1.0
+	for i, j := range js {
+		p *= m.pi[i][j]
+	}
+	return p
+}
+
+// LogProb returns log Prob(tau), or -Inf when tau is outside the support.
+// It avoids the underflow of multiplying m per-step probabilities.
+func (m *Model) LogProb(tau rank.Ranking) float64 {
+	js, ok := m.InsertionPositions(tau)
+	if !ok {
+		return math.Inf(-1)
+	}
+	lp := 0.0
+	for i, j := range js {
+		p := m.pi[i][j]
+		if p == 0 {
+			return math.Inf(-1)
+		}
+		lp += math.Log(p)
+	}
+	return lp
+}
+
+// InsertionPositions returns, for each step i, the position at which
+// sigma[i] was inserted to produce tau, or ok=false if tau is not a
+// permutation of the same items.
+func (m *Model) InsertionPositions(tau rank.Ranking) ([]int, bool) {
+	if len(tau) != len(m.sigma) {
+		return nil, false
+	}
+	pos := make([]int, len(tau))
+	for i := range pos {
+		pos[i] = -1
+	}
+	for p, it := range tau {
+		if int(it) < 0 || int(it) >= len(pos) || pos[it] >= 0 {
+			return nil, false
+		}
+		pos[it] = p
+	}
+	js := make([]int, len(m.sigma))
+	for i, item := range m.sigma {
+		j := 0
+		for k := 0; k < i; k++ {
+			if pos[m.sigma[k]] < pos[item] {
+				j++
+			}
+		}
+		js[i] = j
+	}
+	return js, true
+}
+
+// sampleIndex draws an index from the distribution given by weights that sum
+// to 1.
+func sampleIndex(rng *rand.Rand, probs []float64) int {
+	u := rng.Float64()
+	acc := 0.0
+	for j, p := range probs {
+		acc += p
+		if u < acc {
+			return j
+		}
+	}
+	return len(probs) - 1
+}

@@ -1,0 +1,58 @@
+package rim
+
+import (
+	"math/rand"
+
+	"probpref/internal/rank"
+)
+
+// Sampler is the minimal interface shared by the ranking models of this
+// package: a probability distribution over the rankings of a fixed item
+// universe 0..M()-1 that supports drawing samples and evaluating the
+// probability of a given ranking.
+//
+// Exact pattern-union inference (package solver) is specific to RIM-shaped
+// models, but any Sampler can be queried approximately through rejection
+// sampling (sampling.RejectionModel) and exactly on tiny universes through
+// enumeration (solver.BruteModel). This is the extension point for the
+// paper's future-work direction of preference models beyond RIM.
+type Sampler interface {
+	// M returns the number of items.
+	M() int
+	// Sample draws a ranking.
+	Sample(rng *rand.Rand) rank.Ranking
+	// Prob returns the probability of tau, or 0 when tau is not a
+	// permutation of 0..M()-1.
+	Prob(tau rank.Ranking) float64
+}
+
+// SessionModel is the interface a ranking model must satisfy to serve as a
+// session distribution in a RIM-PPD: a RIM materialization (so the exact
+// solvers apply), a reference ranking (for the top-k ease heuristic), a
+// content key (for identical-request grouping), plus the Sampler
+// operations. Mallows and GeneralizedMallows satisfy it; models outside
+// the RIM family (e.g. PlackettLuce) do not, because exact pattern-union
+// inference is not available for them.
+type SessionModel interface {
+	Sampler
+	// Reference returns the model's reference (center) ranking.
+	Reference() rank.Ranking
+	// Model materializes the equivalent RIM.
+	Model() *Model
+	// Rehash returns a deterministic content key for grouping identical
+	// models during query evaluation.
+	Rehash() string
+}
+
+// Compile-time interface checks for every model in the package.
+var (
+	_ Sampler = (*Model)(nil)
+	_ Sampler = (*Mallows)(nil)
+	_ Sampler = (*Mixture)(nil)
+	_ Sampler = (*GeneralizedMallows)(nil)
+	_ Sampler = (*PlackettLuce)(nil)
+
+	_ SessionModel = (*Mallows)(nil)
+	_ SessionModel = (*GeneralizedMallows)(nil)
+	_ SessionModel = (*Model)(nil)
+)

@@ -1,0 +1,110 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probpref/internal/label"
+	"probpref/internal/pattern"
+	"probpref/internal/rank"
+	"probpref/internal/rim"
+	"probpref/internal/solver"
+)
+
+// When the proposal budget covers every sub-ranking and every modal, the
+// compensation factors are exactly 1 (nothing was pruned) and the MIS
+// estimator is unbiased for the full union probability: the mixture of AMP
+// proposals covers the entire satisfying set.
+
+func coverageFixture() (*rim.Mallows, *label.Labeling, pattern.Union) {
+	ml := rim.MustMallows(rank.Ranking{2, 0, 3, 1, 4}, 0.3)
+	lab := label.NewLabeling()
+	lab.Add(0, 0)
+	lab.Add(4, 0)
+	lab.Add(1, 1)
+	lab.Add(3, 2)
+	u := pattern.Union{
+		pattern.TwoLabel(label.NewSet(0), label.NewSet(1)),
+		pattern.TwoLabel(label.NewSet(2), label.NewSet(0)),
+	}
+	return ml, lab, u
+}
+
+func TestFullCoverageCompensationIsIdentity(t *testing.T) {
+	ml, lab, u := coverageFixture()
+	est, err := NewEstimator(ml, lab, u, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Truncated() {
+		t.Fatal("fixture unexpectedly truncated")
+	}
+	const d = 1000 // far above any possible pool size
+	rng1 := rand.New(rand.NewSource(31))
+	withComp, err := est.Estimate(d, 200, rng1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng2 := rand.New(rand.NewSource(31))
+	withoutComp, err := est.Estimate(d, 200, rng2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(withComp-withoutComp) > 1e-12 {
+		t.Fatalf("full coverage: compensation changed the estimate: %v vs %v", withComp, withoutComp)
+	}
+}
+
+func TestFullCoverageUnbiased(t *testing.T) {
+	ml, lab, u := coverageFixture()
+	truth := solver.Brute(ml.Model(), lab, u)
+	est, err := NewEstimator(ml, lab, u, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average many independent runs: the mean must converge to the truth
+	// (unbiasedness), and each run must already be close (low variance with
+	// full proposal coverage).
+	const runs, n = 30, 2000
+	sum := 0.0
+	for r := 0; r < runs; r++ {
+		p, err := est.Estimate(1000, n, rand.New(rand.NewSource(int64(100+r))), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p-truth) > 0.25*truth {
+			t.Fatalf("run %d: estimate %v too far from truth %v", r, p, truth)
+		}
+		sum += p
+	}
+	mean := sum / runs
+	if math.Abs(mean-truth) > 0.02*truth {
+		t.Fatalf("mean of %d runs = %v, truth = %v", runs, mean, truth)
+	}
+}
+
+func TestPartialCoverageUnderestimatesWithoutCompensation(t *testing.T) {
+	// With a single proposal and no compensation, the estimator targets only
+	// the probability mass of the covered sub-ranking: it must (statistically)
+	// underestimate the union.
+	ml, lab, u := coverageFixture()
+	truth := solver.Brute(ml.Model(), lab, u)
+	est, err := NewEstimator(ml, lab, u, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs, n = 20, 2000
+	sum := 0.0
+	for r := 0; r < runs; r++ {
+		p, err := est.Estimate(1, n, rand.New(rand.NewSource(int64(300+r))), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += p
+	}
+	mean := sum / runs
+	if mean >= truth {
+		t.Fatalf("single uncompensated proposal mean %v >= truth %v", mean, truth)
+	}
+}

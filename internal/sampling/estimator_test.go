@@ -1,0 +1,347 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probpref/internal/label"
+	"probpref/internal/pattern"
+	"probpref/internal/rank"
+	"probpref/internal/rim"
+	"probpref/internal/solver"
+)
+
+// exactSubRanking computes Pr(tau consistent with psi) by enumeration.
+func exactSubRanking(ml *rim.Mallows, psi rank.Ranking) float64 {
+	total := 0.0
+	rank.ForEachPermutation(ml.M(), func(tau rank.Ranking) bool {
+		if tau.ConsistentWith(psi) {
+			total += ml.Prob(tau)
+		}
+		return true
+	})
+	return total
+}
+
+func TestRejectionConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ml := rim.MustMallows(rank.Identity(5), 0.6)
+	lab := label.NewLabeling()
+	lab.Add(0, 0)
+	lab.Add(3, 1)
+	lab.Add(4, 1)
+	u := pattern.Union{pattern.TwoLabel(label.NewSet(0), label.NewSet(1))}
+	truth := solver.Brute(ml.Model(), lab, u)
+	est := Rejection(ml, lab, u, 100000, rng)
+	if math.Abs(est-truth) > 0.01 {
+		t.Fatalf("rejection est %v, truth %v", est, truth)
+	}
+}
+
+func TestRejectionUntilStops(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ml := rim.MustMallows(rank.Identity(4), 0.8)
+	lab := label.NewLabeling()
+	lab.Add(1, 0)
+	lab.Add(2, 1)
+	u := pattern.Union{pattern.TwoLabel(label.NewSet(0), label.NewSet(1))}
+	truth := solver.Brute(ml.Model(), lab, u)
+	est, n := RejectionUntil(ml, lab, u, truth, 0.02, 500, 1_000_000, rng)
+	if n >= 1_000_000 {
+		t.Fatalf("did not stop early (n=%d)", n)
+	}
+	if math.Abs(est-truth) > 0.03*truth {
+		t.Fatalf("est %v vs truth %v after %d samples", est, truth, n)
+	}
+}
+
+// ISAMP is unbiased for a single sub-ranking with a well-behaved posterior.
+func TestISAMPUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ml := rim.MustMallows(rank.Identity(5), 0.5)
+	psi := rank.Ranking{3, 1}
+	truth := exactSubRanking(ml, psi)
+	est, err := ISAMP(ml, psi, 60000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-truth) > 0.05*truth {
+		t.Fatalf("ISAMP est %v, truth %v", est, truth)
+	}
+}
+
+// Examples 5.1/5.2 of the paper: with small phi and psi0 = <s3, s1>, the
+// posterior is bimodal. IS-AMP reaches the second modal only through a
+// low-probability, huge-weight path, giving it far higher variance than
+// MIS-AMP, whose greedy-modal proposals cover both peaks.
+func TestMISAMPBeatsISAMPOnBimodal(t *testing.T) {
+	phi := 0.001
+	ml := rim.MustMallows(rank.Identity(3), phi)
+	psi := rank.Ranking{2, 0}
+	truth := exactSubRanking(ml, psi)
+
+	const runs, n = 25, 1500
+	var isEsts, misEsts []float64
+	for r := 0; r < runs; r++ {
+		isEst, err := ISAMP(ml, psi, n, rand.New(rand.NewSource(int64(400+r))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		misEst, err := MISAMP(ml, psi, 0, n, rand.New(rand.NewSource(int64(800+r))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		isEsts = append(isEsts, isEst)
+		misEsts = append(misEsts, misEst)
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	std := func(xs []float64) float64 {
+		mu, s := mean(xs), 0.0
+		for _, x := range xs {
+			s += (x - mu) * (x - mu)
+		}
+		return math.Sqrt(s / float64(len(xs)))
+	}
+	// MIS-AMP is accurate in every run; IS-AMP has much higher dispersion.
+	if math.Abs(mean(misEsts)-truth) > 0.05*truth {
+		t.Fatalf("MIS-AMP mean %v, truth %v", mean(misEsts), truth)
+	}
+	if std(isEsts) < 3*std(misEsts) {
+		t.Fatalf("IS-AMP std %v not dominating MIS-AMP std %v (truth %v)",
+			std(isEsts), std(misEsts), truth)
+	}
+}
+
+// buildWorld constructs a deterministic instance whose union components are
+// nearly disjoint rare events — the regime the compensation mechanism of
+// MIS-AMP-lite is designed for (Section 5.5).
+func buildWorld() (*rim.Mallows, *label.Labeling, pattern.Union, float64) {
+	ml := rim.MustMallows(rank.Identity(6), 0.3)
+	lab := label.NewLabeling()
+	lab.Add(5, 0) // singleton labels on individual items
+	lab.Add(0, 1)
+	lab.Add(4, 2)
+	lab.Add(1, 3)
+	u := pattern.Union{
+		pattern.TwoLabel(label.NewSet(0), label.NewSet(1)), // item5 > item0: rare
+		pattern.TwoLabel(label.NewSet(2), label.NewSet(3)), // item4 > item1: rare
+	}
+	truth := solver.Brute(ml.Model(), lab, u)
+	return ml, lab, u, truth
+}
+
+// buildOverlapWorld constructs an instance whose union components overlap
+// heavily; full proposal coverage must still be exact in expectation.
+func buildOverlapWorld() (*rim.Mallows, *label.Labeling, pattern.Union, float64) {
+	ml := rim.MustMallows(rank.Identity(6), 0.4)
+	lab := label.NewLabeling()
+	lab.Add(4, 0)
+	lab.Add(5, 0)
+	lab.Add(0, 1)
+	lab.Add(1, 1)
+	lab.Add(2, 2)
+	lab.Add(5, 3)
+	u := pattern.Union{
+		pattern.TwoLabel(label.NewSet(0), label.NewSet(1)), // {4,5} > {0,1}
+		pattern.TwoLabel(label.NewSet(3), label.NewSet(2)), // item5 > item2
+	}
+	truth := solver.Brute(ml.Model(), lab, u)
+	return ml, lab, u, truth
+}
+
+// With every sub-ranking covered by a proposal, the balance-heuristic
+// mixture estimates Pr(G) without double counting, even for heavily
+// overlapping unions (compensation factors are 1 at full coverage).
+func TestEstimatorOverlapFullCoverage(t *testing.T) {
+	ml, lab, u, truth := buildOverlapWorld()
+	e, err := NewEstimator(ml, lab, u, Config{MaxModalsPerSub: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	est, err := e.Estimate(1000, 3000, rng, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-truth) > 0.15*truth {
+		t.Fatalf("full-coverage est %v, truth %v", est, truth)
+	}
+}
+
+func TestEstimatorLiteAccuracy(t *testing.T) {
+	ml, lab, u, truth := buildWorld()
+	e, err := NewEstimator(ml, lab, u, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumSubRankings() == 0 {
+		t.Fatal("no sub-rankings")
+	}
+	rng := rand.New(rand.NewSource(6))
+	est, err := e.Estimate(10, 4000, rng, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth <= 0 {
+		t.Fatalf("degenerate truth %v", truth)
+	}
+	if math.Abs(est-truth) > 0.2*truth {
+		t.Fatalf("lite est %v, truth %v (rel err %.2f)", est, truth, math.Abs(est-truth)/truth)
+	}
+	if e.Overhead() <= 0 {
+		t.Fatal("overhead not recorded")
+	}
+	if e.SamplingTime() <= 0 {
+		t.Fatal("sampling time not recorded")
+	}
+}
+
+// With a single proposal in the rare-event regime (small phi, separated
+// posterior peaks — the Benchmark-A/C setting of Figure 12), compensation
+// must recover the probability mass of the pruned sub-rankings and modals.
+func TestCompensationImproves(t *testing.T) {
+	// Two adjacent-swap components, each with a unique greedy modal, in
+	// disjoint regions of sigma: with d = 1 only one component is sampled
+	// and c_psi = 2 restores the pruned component's mass.
+	ml := rim.MustMallows(rank.Identity(6), 0.05)
+	lab := label.NewLabeling()
+	lab.Add(1, 0)
+	lab.Add(0, 1)
+	lab.Add(3, 2)
+	lab.Add(2, 3)
+	u := pattern.Union{
+		pattern.TwoLabel(label.NewSet(0), label.NewSet(1)), // item1 > item0
+		pattern.TwoLabel(label.NewSet(2), label.NewSet(3)), // item3 > item2
+	}
+	truth := solver.Brute(ml.Model(), lab, u)
+	errWith, errWithout := 0.0, 0.0
+	const runs = 12
+	for r := 0; r < runs; r++ {
+		e, err := NewEstimator(ml, lab, u, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(100 + r)))
+		withC, err := e.Estimate(1, 1500, rng, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng2 := rand.New(rand.NewSource(int64(100 + r)))
+		withoutC, err := e.Estimate(1, 1500, rng2, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errWith += math.Abs(withC - truth)
+		errWithout += math.Abs(withoutC - truth)
+	}
+	if errWith >= errWithout {
+		t.Fatalf("compensation did not improve: with=%v without=%v (truth=%v)",
+			errWith/runs, errWithout/runs, truth)
+	}
+}
+
+func TestEstimatorAdaptive(t *testing.T) {
+	ml, lab, u, truth := buildWorld()
+	e, err := NewEstimator(ml, lab, u, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	res, err := e.EstimateAdaptive(AdaptiveConfig{Samples: 3000, Compensate: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 1 || len(res.History) != res.Rounds {
+		t.Fatalf("bad diagnostics: %+v", res)
+	}
+	if math.Abs(res.Estimate-truth) > 0.25*truth {
+		t.Fatalf("adaptive est %v, truth %v", res.Estimate, truth)
+	}
+}
+
+func TestEstimatorUnsatisfiable(t *testing.T) {
+	ml := rim.MustMallows(rank.Identity(3), 0.5)
+	lab := label.NewLabeling()
+	u := pattern.Union{pattern.TwoLabel(label.NewSet(0), label.NewSet(1))}
+	e, err := NewEstimator(ml, lab, u, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := e.Estimate(5, 100, rand.New(rand.NewSource(1)), true)
+	if err != nil || est != 0 {
+		t.Fatalf("est=%v err=%v, want 0", est, err)
+	}
+	res, err := e.EstimateAdaptive(AdaptiveConfig{}, rand.New(rand.NewSource(1)))
+	if err != nil || res.Estimate != 0 {
+		t.Fatalf("adaptive est=%v err=%v, want 0", res.Estimate, err)
+	}
+}
+
+func TestEstimatorRejectsPhiZero(t *testing.T) {
+	ml := rim.MustMallows(rank.Identity(3), 0)
+	if _, err := NewEstimator(ml, label.NewLabeling(), nil, Config{}); err == nil {
+		t.Fatal("expected error for phi=0")
+	}
+}
+
+func TestEstimatorInvalidArgs(t *testing.T) {
+	ml, lab, u, _ := buildWorld()
+	e, err := NewEstimator(ml, lab, u, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Estimate(0, 100, rand.New(rand.NewSource(1)), true); err == nil {
+		t.Fatal("d=0 must be rejected")
+	}
+	if _, err := e.Estimate(1, 0, rand.New(rand.NewSource(1)), true); err == nil {
+		t.Fatal("n=0 must be rejected")
+	}
+}
+
+// The mixture estimator must be exact in expectation: with all sub-rankings
+// covered by proposals, the estimate converges to Pr(G).
+func TestEstimatorFullCoverageUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 5; trial++ {
+		m := 4 + rng.Intn(2)
+		sigma := make(rank.Ranking, m)
+		for i, v := range rng.Perm(m) {
+			sigma[i] = rank.Item(v)
+		}
+		ml := rim.MustMallows(sigma, 0.2+0.5*rng.Float64())
+		lab := label.NewLabeling()
+		for it := 0; it < m; it++ {
+			if rng.Float64() < 0.5 {
+				lab.Add(rank.Item(it), label.Label(rng.Intn(3)))
+			}
+		}
+		u := pattern.Union{pattern.TwoLabel(
+			label.NewSet(label.Label(rng.Intn(3))),
+			label.NewSet(label.Label(rng.Intn(3))))}
+		truth := solver.Brute(ml.Model(), lab, u)
+		if truth < 1e-6 {
+			continue
+		}
+		e, err := NewEstimator(ml, lab, u, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.NumSubRankings() == 0 {
+			continue
+		}
+		est, err := e.Estimate(1000, 2000, rng, true) // d > pool: use all proposals
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est-truth) > 0.25*truth+0.01 {
+			t.Fatalf("trial %d: est %v, truth %v", trial, est, truth)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probpref/internal/label"
+	"probpref/internal/pattern"
+	"probpref/internal/rank"
+	"probpref/internal/rim"
+	"probpref/internal/solver"
+)
+
+// exactSubRankingModel computes Pr(tau consistent with psi) for any RIM by
+// enumeration.
+func exactSubRankingModel(mdl *rim.Model, psi rank.Ranking) float64 {
+	total := 0.0
+	rank.ForEachPermutation(mdl.M(), func(tau rank.Ranking) bool {
+		if tau.ConsistentWith(psi) {
+			total += mdl.Prob(tau)
+		}
+		return true
+	})
+	return total
+}
+
+func TestISRIMMatchesBruteOnGeneralizedMallows(t *testing.T) {
+	gm := rim.MustGeneralizedMallows(rank.Ranking{2, 0, 3, 1, 4}, []float64{1, 0.2, 0.7, 0.4, 0.9})
+	psi := rank.Ranking{4, 2}
+	truth := exactSubRankingModel(gm.Model(), psi)
+	rng := rand.New(rand.NewSource(51))
+	est, err := ISRIM(gm.Model(), psi, 60000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-truth) > 0.03*truth {
+		t.Fatalf("ISRIM est %v, truth %v", est, truth)
+	}
+}
+
+func TestISRIMMatchesISAMPOnMallows(t *testing.T) {
+	// On a plain Mallows model, the generic estimator targets the same
+	// quantity as IS-AMP; both converge to the enumeration truth.
+	ml := rim.MustMallows(rank.Identity(5), 0.5)
+	psi := rank.Ranking{3, 1}
+	truth := exactSubRankingModel(ml.Model(), psi)
+	rng := rand.New(rand.NewSource(52))
+	est, err := ISRIM(ml.Model(), psi, 60000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-truth) > 0.05*truth {
+		t.Fatalf("ISRIM est %v, truth %v", est, truth)
+	}
+}
+
+func TestISRIMErrors(t *testing.T) {
+	ml := rim.MustMallows(rank.Identity(3), 0.5)
+	if _, err := ISRIM(ml.Model(), rank.Ranking{2, 0}, 0, nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestMISRIMMatchesBruteOnGeneralizedMallows(t *testing.T) {
+	gm := rim.MustGeneralizedMallows(rank.Identity(5), []float64{1, 0.3, 0.8, 0.2, 0.6})
+	lab := label.NewLabeling()
+	lab.Add(0, 0)
+	lab.Add(4, 0)
+	lab.Add(1, 1)
+	lab.Add(3, 2)
+	u := pattern.Union{
+		pattern.TwoLabel(label.NewSet(0), label.NewSet(1)),
+		pattern.TwoLabel(label.NewSet(2), label.NewSet(0)),
+	}
+	truth := solver.BruteModel(gm.Model(), lab, u)
+	rng := rand.New(rand.NewSource(53))
+	est, truncated, err := MISRIM(gm.Model(), lab, u, 4000, rng, pattern.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Fatal("decomposition unexpectedly truncated")
+	}
+	if math.Abs(est-truth) > 0.05*truth {
+		t.Fatalf("MISRIM est %v, truth %v", est, truth)
+	}
+}
+
+func TestMISRIMAgreesWithExactSolverOnGM(t *testing.T) {
+	// Generalized Mallows is a RIM, so the two-label solver gives the exact
+	// answer; MISRIM must converge to it.
+	gm := rim.MustGeneralizedMallows(rank.Identity(6), []float64{1, 0.1, 0.9, 0.3, 0.7, 0.5})
+	lab := label.NewLabeling()
+	lab.Add(5, 0)
+	lab.Add(0, 1)
+	u := pattern.Union{pattern.TwoLabel(label.NewSet(0), label.NewSet(1))}
+	want, err := solver.TwoLabel(gm.Model(), lab, u, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(54))
+	est, _, err := MISRIM(gm.Model(), lab, u, 8000, rng, pattern.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-want) > 0.1*want+0.002 {
+		t.Fatalf("MISRIM est %v, exact %v", est, want)
+	}
+}
+
+func TestMISRIMUnsatisfiableUnion(t *testing.T) {
+	gm := rim.MustGeneralizedMallows(rank.Identity(3), []float64{1, 0.5, 0.5})
+	lab := label.NewLabeling()
+	lab.Add(0, 0) // label 1 unassigned: pattern unsatisfiable
+	u := pattern.Union{pattern.TwoLabel(label.NewSet(0), label.NewSet(1))}
+	rng := rand.New(rand.NewSource(55))
+	est, _, err := MISRIM(gm.Model(), lab, u, 100, rng, pattern.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 0 {
+		t.Fatalf("unsatisfiable union estimated at %v", est)
+	}
+}
+
+func TestMISRIMErrors(t *testing.T) {
+	gm := rim.MustGeneralizedMallows(rank.Identity(3), []float64{1, 0.5, 0.5})
+	lab := label.NewLabeling()
+	lab.Add(0, 0)
+	lab.Add(1, 1)
+	u := pattern.Union{pattern.TwoLabel(label.NewSet(0), label.NewSet(1))}
+	if _, _, err := MISRIM(gm.Model(), lab, u, 0, nil, pattern.Limits{}); err == nil {
+		t.Error("n=0 accepted")
+	}
+}

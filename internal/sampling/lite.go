@@ -1,0 +1,308 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"probpref/internal/label"
+	"probpref/internal/pattern"
+	"probpref/internal/rank"
+	"probpref/internal/rim"
+)
+
+// Config tunes estimator construction.
+type Config struct {
+	// Limits bounds the pattern decomposition (see pattern.Limits).
+	Limits pattern.Limits
+	// MaxModalsPerSub caps Algorithm 5 branching per sub-ranking (default 16).
+	MaxModalsPerSub int
+}
+
+func (c Config) maxModalsPerSub() int {
+	if c.MaxModalsPerSub == 0 {
+		return 16
+	}
+	return c.MaxModalsPerSub
+}
+
+// Estimator prepares and runs MIS-AMP-lite and MIS-AMP-adaptive (Section
+// 5.5) for one labeled Mallows model and one pattern union. Construction
+// performs the proposal-distribution overhead work (decomposition into
+// sub-rankings, Algorithm 6 distances, Algorithm 5 modals); Estimate runs
+// the sampling phase. The two phases are timed separately, which is what
+// the Figure 13 experiment reports.
+type Estimator struct {
+	ML  *rim.Mallows
+	Lab *label.Labeling
+	U   pattern.Union
+
+	cfg       Config
+	subs      []subEntry
+	truncated bool
+	unsat     bool
+
+	pool       []candidate
+	poolSubs   int // number of subs whose modals have been generated
+	poolSeen   map[string]bool
+	amps       map[string]*rim.AMP
+	overhead   time.Duration
+	sampleTime time.Duration
+}
+
+type subEntry struct {
+	psi  rank.Ranking
+	dist int // ApproximateDistance to the Mallows center
+}
+
+type candidate struct {
+	subIdx int
+	modal  rank.Ranking
+	dist   int // exact Kendall tau distance of the modal to the center
+}
+
+// NewEstimator decomposes the union and computes sub-ranking distances.
+// An unsatisfiable union yields an estimator that always returns 0.
+func NewEstimator(ml *rim.Mallows, lab *label.Labeling, u pattern.Union, cfg Config) (*Estimator, error) {
+	start := time.Now()
+	e := &Estimator{
+		ML: ml, Lab: lab, U: u, cfg: cfg,
+		poolSeen: make(map[string]bool),
+		amps:     make(map[string]*rim.AMP),
+	}
+	if ml.Phi <= 0 {
+		return nil, fmt.Errorf("sampling: estimator requires phi in (0,1], got %v", ml.Phi)
+	}
+	dec, err := pattern.Decompose(u, lab, ml.M(), cfg.Limits)
+	if err != nil {
+		return nil, err
+	}
+	e.truncated = dec.Truncated
+	if len(dec.SubRankings) == 0 {
+		e.unsat = true
+		e.overhead = time.Since(start)
+		return e, nil
+	}
+	e.subs = make([]subEntry, len(dec.SubRankings))
+	for i, psi := range dec.SubRankings {
+		e.subs[i] = subEntry{psi: psi, dist: ApproximateDistance(psi, ml.Sigma)}
+	}
+	sort.SliceStable(e.subs, func(i, j int) bool {
+		if e.subs[i].dist != e.subs[j].dist {
+			return e.subs[i].dist < e.subs[j].dist
+		}
+		return e.subs[i].psi.Key() < e.subs[j].psi.Key()
+	})
+	e.overhead = time.Since(start)
+	return e, nil
+}
+
+// Truncated reports whether the decomposition hit an enumeration limit, in
+// which case compensation numerators are computed over the enumerated subset.
+func (e *Estimator) Truncated() bool { return e.truncated }
+
+// NumSubRankings returns the number of sub-rankings in the decomposition.
+func (e *Estimator) NumSubRankings() int { return len(e.subs) }
+
+// Overhead returns the accumulated proposal-construction time.
+func (e *Estimator) Overhead() time.Duration { return e.overhead }
+
+// SamplingTime returns the accumulated sampling time.
+func (e *Estimator) SamplingTime() time.Duration { return e.sampleTime }
+
+// ensurePool extends the modal candidate pool, sub-ranking by sub-ranking in
+// ascending distance order, until it holds at least want candidates or every
+// sub-ranking has been processed.
+func (e *Estimator) ensurePool(want int) {
+	start := time.Now()
+	for len(e.pool) < want && e.poolSubs < len(e.subs) {
+		se := e.subs[e.poolSubs]
+		for _, modal := range GreedyModals(se.psi, e.ML.Sigma, e.cfg.maxModalsPerSub()) {
+			key := modal.Key() + "|" + se.psi.Key()
+			if e.poolSeen[key] {
+				continue
+			}
+			e.poolSeen[key] = true
+			e.pool = append(e.pool, candidate{
+				subIdx: e.poolSubs,
+				modal:  modal,
+				dist:   rank.KendallTau(modal, e.ML.Sigma),
+			})
+		}
+		e.poolSubs++
+	}
+	e.overhead += time.Since(start)
+}
+
+// selectProposals returns the d pool candidates whose modals are closest to
+// the center, with their AMP samplers (built lazily and cached).
+func (e *Estimator) selectProposals(d int) ([]candidate, []*rim.AMP) {
+	e.ensurePool(d)
+	start := time.Now()
+	selected := append([]candidate(nil), e.pool...)
+	sort.SliceStable(selected, func(i, j int) bool { return selected[i].dist < selected[j].dist })
+	if d < len(selected) {
+		selected = selected[:d]
+	}
+	amps := make([]*rim.AMP, len(selected))
+	for i, c := range selected {
+		key := c.modal.Key() + "|" + e.subs[c.subIdx].psi.Key()
+		a, ok := e.amps[key]
+		if !ok {
+			a = rim.MustAMP(c.modal, e.ML.Phi, rank.ChainOrder(e.subs[c.subIdx].psi))
+			e.amps[key] = a
+		}
+		amps[i] = a
+	}
+	e.overhead += time.Since(start)
+	return selected, amps
+}
+
+// compensation returns the sub-ranking and modal compensation factors
+// c_psi and c_r for the given selection (Section 5.5): each is the ratio of
+// total phi^distance mass to selected mass, estimating the portion of the
+// posterior represented by the pruned proposals.
+func (e *Estimator) compensation(selected []candidate) (cPsi, cR float64) {
+	phi := e.ML.Phi
+	var numPsi, denPsi float64
+	selSubs := make(map[int]bool)
+	for _, c := range selected {
+		selSubs[c.subIdx] = true
+	}
+	for i, se := range e.subs {
+		w := math.Pow(phi, float64(se.dist))
+		numPsi += w
+		if selSubs[i] {
+			denPsi += w
+		}
+	}
+	var numR, denR float64
+	selModal := make(map[string]bool)
+	for _, c := range selected {
+		selModal[c.modal.Key()+"|"+e.subs[c.subIdx].psi.Key()] = true
+	}
+	for _, c := range e.pool {
+		w := math.Pow(phi, float64(c.dist))
+		numR += w
+		if selModal[c.modal.Key()+"|"+e.subs[c.subIdx].psi.Key()] {
+			denR += w
+		}
+	}
+	cPsi, cR = 1, 1
+	if denPsi > 0 {
+		cPsi = numPsi / denPsi
+	}
+	if denR > 0 {
+		cR = numR / denR
+	}
+	return cPsi, cR
+}
+
+// Estimate runs MIS-AMP-lite with d proposal distributions and n samples per
+// proposal. When compensate is true the result is scaled by the compensation
+// factors c_psi * c_r for the pruned sub-rankings and modals.
+func (e *Estimator) Estimate(d, n int, rng *rand.Rand, compensate bool) (float64, error) {
+	if e.unsat || len(e.U) == 0 {
+		return 0, nil
+	}
+	if d <= 0 || n <= 0 {
+		return 0, fmt.Errorf("sampling: d and n must be positive (d=%d n=%d)", d, n)
+	}
+	selected, amps := e.selectProposals(d)
+	if len(selected) == 0 {
+		return 0, fmt.Errorf("sampling: no proposals available")
+	}
+	start := time.Now()
+	est := misEstimate(e.ML, amps, n, rng)
+	e.sampleTime += time.Since(start)
+	if compensate {
+		cPsi, cR := e.compensation(selected)
+		est *= cPsi * cR
+	}
+	return est, nil
+}
+
+// AdaptiveConfig tunes MIS-AMP-adaptive.
+type AdaptiveConfig struct {
+	// InitD is the starting number of proposals (default 1).
+	InitD int
+	// DeltaD is the increment per round (default 2).
+	DeltaD int
+	// MaxD bounds the number of proposals (default 32).
+	MaxD int
+	// Samples per proposal per round (default 300).
+	Samples int
+	// Tol is the relative-change convergence threshold (default 0.05).
+	Tol float64
+	// Compensate enables the compensation factors (default in callers: true).
+	Compensate bool
+}
+
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if c.InitD == 0 {
+		c.InitD = 1
+	}
+	if c.DeltaD == 0 {
+		c.DeltaD = 2
+	}
+	if c.MaxD == 0 {
+		c.MaxD = 32
+	}
+	if c.Samples == 0 {
+		c.Samples = 300
+	}
+	if c.Tol == 0 {
+		c.Tol = 0.05
+	}
+	return c
+}
+
+// AdaptiveResult reports an adaptive run.
+type AdaptiveResult struct {
+	Estimate float64
+	D        int       // proposals used in the final round
+	Rounds   int       // lite rounds executed
+	History  []float64 // estimate after each round
+}
+
+// EstimateAdaptive runs MIS-AMP-adaptive: MIS-AMP-lite with an increasing
+// number of proposal distributions until the estimate stabilizes (relative
+// change below Tol) or the proposal budget is exhausted.
+func (e *Estimator) EstimateAdaptive(cfg AdaptiveConfig, rng *rand.Rand) (AdaptiveResult, error) {
+	cfg = cfg.withDefaults()
+	var res AdaptiveResult
+	if e.unsat || len(e.U) == 0 {
+		return res, nil
+	}
+	prev := math.NaN()
+	prevD := -1
+	for d := cfg.InitD; d <= cfg.MaxD; d += cfg.DeltaD {
+		est, err := e.Estimate(d, cfg.Samples, rng, cfg.Compensate)
+		if err != nil {
+			return res, err
+		}
+		res.Rounds++
+		res.History = append(res.History, est)
+		res.Estimate = est
+		e.ensurePool(d)
+		dUsed := d
+		if len(e.pool) < d {
+			dUsed = len(e.pool)
+		}
+		res.D = dUsed
+		if !math.IsNaN(prev) {
+			scale := math.Max(math.Abs(est), math.Abs(prev))
+			if scale == 0 || math.Abs(est-prev) <= cfg.Tol*scale {
+				return res, nil
+			}
+		}
+		if dUsed == prevD {
+			// Pool exhausted: more rounds cannot add proposals.
+			return res, nil
+		}
+		prev, prevD = est, dUsed
+	}
+	return res, nil
+}

@@ -1,0 +1,109 @@
+package sampling
+
+import (
+	"probpref/internal/rank"
+)
+
+// GreedyModals implements Algorithm 5 of the paper: starting from the
+// sub-ranking psi, insert every item of sigma not in psi at the positions
+// that minimize the Kendall tau distance to sigma, branching on ties. The
+// returned full rankings approximate the modals of the Mallows posterior
+// conditioned on psi — the consistent completions closest to the center.
+//
+// maxModals caps the branching (0 means 64); the cap keeps the first
+// candidates in deterministic insertion order.
+func GreedyModals(psi rank.Ranking, sigma rank.Ranking, maxModals int) []rank.Ranking {
+	if maxModals <= 0 {
+		maxModals = 64
+	}
+	inPsi := psi.ItemSet()
+	frontier := []rank.Ranking{psi.Clone()}
+	for _, x := range sigma {
+		if inPsi[x] {
+			continue
+		}
+		var next []rank.Ranking
+		seen := make(map[string]bool)
+		for _, cur := range frontier {
+			_, argmin := minInsertDistances(cur, x, sigma)
+			for _, j := range argmin {
+				cand := cur.Insert(x, j)
+				k := cand.Key()
+				if !seen[k] {
+					seen[k] = true
+					next = append(next, cand)
+				}
+				if len(next) >= maxModals {
+					break
+				}
+			}
+			if len(next) >= maxModals {
+				break
+			}
+		}
+		frontier = next
+	}
+	return frontier
+}
+
+// ApproximateDistance implements Algorithm 6 of the paper: complete psi to a
+// full ranking by greedily inserting the missing items of sigma at
+// distance-minimizing positions (taking the first position on ties), and
+// return the Kendall tau distance of the completion to sigma. This estimates
+// the distance between the sub-ranking and the Mallows center — the distance
+// of the nearest modal contained in psi, whose exact computation is
+// intractable.
+func ApproximateDistance(psi rank.Ranking, sigma rank.Ranking) int {
+	inPsi := psi.ItemSet()
+	tau := psi.Clone()
+	for _, x := range sigma {
+		if inPsi[x] {
+			continue
+		}
+		_, argmin := minInsertDistances(tau, x, sigma)
+		tau = tau.Insert(x, argmin[0])
+	}
+	return rank.KendallTau(tau, sigma)
+}
+
+// minInsertDistances returns the minimal Kendall-tau-to-sigma distance over
+// all insertion positions of x into cur, and every argmin position. The
+// incremental distance of inserting at position j differs from inserting at
+// j+1 by whether cur[j] and x agree with sigma, so a single O(k) sweep
+// suffices.
+func minInsertDistances(cur rank.Ranking, x rank.Item, sigma rank.Ranking) (int, []int) {
+	posSigma := make(map[rank.Item]int, len(sigma))
+	for p, it := range sigma {
+		posSigma[it] = p
+	}
+	px := posSigma[x]
+	// delta[j] = number of disagreements x introduces when inserted at j:
+	// items before it that sigma places after x, plus items after it that
+	// sigma places before x.
+	k := len(cur)
+	// Start at j = 0: everything is after x.
+	d := 0
+	for _, y := range cur {
+		if posSigma[y] < px {
+			d++
+		}
+	}
+	best := d
+	argmin := []int{0}
+	for j := 1; j <= k; j++ {
+		y := cur[j-1] // item that moves from "after x" to "before x"
+		if posSigma[y] < px {
+			d--
+		} else {
+			d++
+		}
+		if d < best {
+			best = d
+			argmin = argmin[:0]
+			argmin = append(argmin, j)
+		} else if d == best {
+			argmin = append(argmin, j)
+		}
+	}
+	return best, argmin
+}

@@ -1,0 +1,52 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+
+	"probpref/internal/label"
+	"probpref/internal/pattern"
+	"probpref/internal/rim"
+)
+
+// RejectionModel estimates the pattern-union probability Pr(G) for any
+// ranking model by drawing n rankings and counting matches. It is the only
+// generally applicable estimator for models that are not RIMs (e.g.
+// Plackett-Luce); for Mallows models prefer the MIS-AMP estimators, which
+// resolve rare events with far fewer samples.
+func RejectionModel(mdl rim.Sampler, lab *label.Labeling, u pattern.Union, n int, rng *rand.Rand) float64 {
+	if n <= 0 {
+		return 0
+	}
+	hits := 0
+	for i := 0; i < n; i++ {
+		if u.Matches(mdl.Sample(rng), lab) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n)
+}
+
+// RejectionModelCI estimates Pr(G) as RejectionModel does and returns the
+// half-width of the normal-approximation confidence interval at the given
+// z-score (z = 1.96 for 95%). The half-width is conservative (Wald interval
+// with a half-count continuity floor) so callers can report uncertainty next
+// to the point estimate.
+func RejectionModelCI(mdl rim.Sampler, lab *label.Labeling, u pattern.Union, n int, z float64, rng *rand.Rand) (est, halfWidth float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	hits := 0
+	for i := 0; i < n; i++ {
+		if u.Matches(mdl.Sample(rng), lab) {
+			hits++
+		}
+	}
+	est = float64(hits) / float64(n)
+	p := est
+	if hits == 0 || hits == n {
+		p = (float64(hits) + 0.5) / (float64(n) + 1) // continuity floor
+	}
+	halfWidth = z * math.Sqrt(p*(1-p)/float64(n))
+	return est, halfWidth
+}

@@ -1,0 +1,125 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probpref/internal/label"
+	"probpref/internal/pattern"
+	"probpref/internal/rank"
+	"probpref/internal/rim"
+	"probpref/internal/solver"
+)
+
+// modelFixture builds a labeling and a two-label union over 5 items:
+// {a-labeled item preferred to a b-labeled item}.
+func modelFixture() (*label.Labeling, pattern.Union) {
+	lab := label.NewLabeling()
+	lab.Add(0, 0)
+	lab.Add(2, 0)
+	lab.Add(3, 1)
+	lab.Add(4, 1)
+	u := pattern.Union{pattern.TwoLabel(label.NewSet(0), label.NewSet(1))}
+	return lab, u
+}
+
+func TestRejectionModelMatchesBruteForPlackettLuce(t *testing.T) {
+	lab, u := modelFixture()
+	pl := rim.MustPlackettLuce([]float64{5, 1, 0.5, 2, 3})
+	truth := solver.BruteModel(pl, lab, u)
+	rng := rand.New(rand.NewSource(11))
+	est := RejectionModel(pl, lab, u, 120000, rng)
+	if math.Abs(est-truth) > 0.01 {
+		t.Fatalf("RejectionModel est %v, brute truth %v", est, truth)
+	}
+}
+
+func TestRejectionModelMatchesBruteForGeneralizedMallows(t *testing.T) {
+	lab, u := modelFixture()
+	gm := rim.MustGeneralizedMallows(rank.Identity(5), []float64{1, 0.2, 0.9, 0.4, 0.7})
+	truth := solver.BruteModel(gm, lab, u)
+	rng := rand.New(rand.NewSource(12))
+	est := RejectionModel(gm, lab, u, 120000, rng)
+	if math.Abs(est-truth) > 0.01 {
+		t.Fatalf("RejectionModel est %v, brute truth %v", est, truth)
+	}
+}
+
+func TestBruteModelAgreesWithBruteOnRIM(t *testing.T) {
+	// For a RIM model, the generic enumerator must agree with the RIM-specific
+	// one exactly.
+	lab, u := modelFixture()
+	ml := rim.MustMallows(rank.Ranking{4, 2, 0, 3, 1}, 0.35)
+	got := solver.BruteModel(ml.Model(), lab, u)
+	want := solver.Brute(ml.Model(), lab, u)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("BruteModel %v != Brute %v", got, want)
+	}
+}
+
+func TestGeneralizedMallowsExactSolversApply(t *testing.T) {
+	// GeneralizedMallows is a RIM: the exact two-label solver applied to its
+	// materialized model must match enumeration.
+	lab, u := modelFixture()
+	gm := rim.MustGeneralizedMallows(rank.Identity(5), []float64{0.5, 0.1, 1, 0.3, 0.8})
+	want := solver.BruteModel(gm, lab, u)
+	got, err := solver.TwoLabel(gm.Model(), lab, u, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-10 {
+		t.Fatalf("two-label solver on GM model: %v, enumeration %v", got, want)
+	}
+}
+
+func TestRejectionModelEdgeCases(t *testing.T) {
+	lab, u := modelFixture()
+	pl := rim.MustPlackettLuce([]float64{1, 1, 1, 1, 1})
+	rng := rand.New(rand.NewSource(13))
+	if est := RejectionModel(pl, lab, u, 0, rng); est != 0 {
+		t.Errorf("n=0: est %v, want 0", est)
+	}
+	if est := RejectionModel(pl, lab, nil, 1000, rng); est != 0 {
+		t.Errorf("empty union: est %v, want 0", est)
+	}
+}
+
+func TestRejectionModelCI(t *testing.T) {
+	lab, u := modelFixture()
+	pl := rim.MustPlackettLuce([]float64{5, 1, 0.5, 2, 3})
+	truth := solver.BruteModel(pl, lab, u)
+	rng := rand.New(rand.NewSource(14))
+	misses := 0
+	const runs = 40
+	for r := 0; r < runs; r++ {
+		est, hw := RejectionModelCI(pl, lab, u, 4000, 1.96, rng)
+		if hw <= 0 {
+			t.Fatalf("half-width %v not positive", hw)
+		}
+		if math.Abs(est-truth) > hw {
+			misses++
+		}
+	}
+	// A 95% interval should cover the truth in all but a few of 40 runs.
+	if misses > 6 {
+		t.Fatalf("truth outside CI in %d/%d runs", misses, runs)
+	}
+}
+
+func TestRejectionModelCIDegenerate(t *testing.T) {
+	// A union no ranking satisfies: zero hits must still yield a positive,
+	// sub-one half-width (continuity floor).
+	lab := label.NewLabeling()
+	lab.Add(0, 0) // no item carries label 1 => pattern unsatisfiable
+	u := pattern.Union{pattern.TwoLabel(label.NewSet(0), label.NewSet(1))}
+	pl := rim.MustPlackettLuce([]float64{1, 1, 1})
+	rng := rand.New(rand.NewSource(15))
+	est, hw := RejectionModelCI(pl, lab, u, 1000, 1.96, rng)
+	if est != 0 {
+		t.Errorf("est %v, want 0", est)
+	}
+	if hw <= 0 || hw >= 1 {
+		t.Errorf("half-width %v out of (0,1)", hw)
+	}
+}

@@ -1,0 +1,41 @@
+// Package sampling implements the paper's approximate solvers (Section 5)
+// for the labeled RIM pattern-union inference problem over Mallows models:
+//
+//   - Rejection: plain Monte Carlo over MAL(sigma, phi); the baseline that
+//     fails on rare events (Section 5.1, Figure 9).
+//   - ISAMP: importance sampling for a single sub-ranking with one AMP
+//     proposal centered at sigma (Section 5.3).
+//   - MISAMP: multiple importance sampling for a single sub-ranking with
+//     AMP proposals centered at the greedy modals (Section 5.4).
+//   - Estimator (MIS-AMP-lite / MIS-AMP-adaptive): the full pattern-union
+//     estimators with sub-ranking and modal pruning plus compensation
+//     factors (Section 5.5).
+//
+// All estimators work in log space; importance weights use the balance
+// heuristic of Veach and Guibas (Equations 5-7).
+package sampling
+
+import (
+	"math"
+)
+
+// logSumExp returns log(sum(exp(xs))) stably, ignoring -Inf entries. Returns
+// -Inf when all entries are -Inf.
+func logSumExp(xs []float64) float64 {
+	max := math.Inf(-1)
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	if math.IsInf(max, -1) {
+		return max
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if !math.IsInf(x, -1) {
+			sum += math.Exp(x - max)
+		}
+	}
+	return max + math.Log(sum)
+}

@@ -1,0 +1,321 @@
+package solver
+
+import (
+	"fmt"
+
+	"probpref/internal/label"
+	"probpref/internal/pattern"
+	"probpref/internal/rim"
+)
+
+// Bipartite implements Algorithm 4 of the paper: exact inference for a union
+// of bipartite patterns. Each edge (l, r) is the constraint alpha(l) <
+// beta(r) on the minimum position of items carrying l and the maximum
+// position of items carrying r; for bipartite patterns satisfying all edge
+// constraints is equivalent to matching the pattern. States track Min/Max
+// positions per (label set, role); edges and patterns move monotonically
+// through the situations {uncertain, satisfied, violated}, and the solver
+// only tracks labels appearing in uncertain edges of uncertain patterns
+// (the paper's pruning optimization). Complexity O(m^(qz)).
+//
+// The solver accepts any DAG pattern and evaluates it under constraint
+// semantics; for non-bipartite patterns the result is the upper bound used
+// by the Most-Probable-Session optimization (Section 4.3.2), not the exact
+// match probability.
+func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Options) (float64, error) {
+	if len(u) == 0 {
+		return 0, nil
+	}
+	if len(u) > 32 {
+		return 0, fmt.Errorf("%w: Bipartite supports at most 32 patterns", ErrShape)
+	}
+	ctx := opts.ctx()
+	m := model.M()
+
+	// Trackers: one per distinct (label set, role). Role min tracks alpha,
+	// role max tracks beta.
+	type roleKey struct {
+		key   string
+		isMin bool
+	}
+	slotOf := make(map[roleKey]int)
+	var slotLabels []label.Set
+	var slotIsMin []bool
+	slot := func(ls label.Set, isMin bool) int {
+		rk := roleKey{ls.Key(), isMin}
+		if s, ok := slotOf[rk]; ok {
+			return s
+		}
+		s := len(slotLabels)
+		slotOf[rk] = s
+		slotLabels = append(slotLabels, ls)
+		slotIsMin = append(slotIsMin, isMin)
+		return s
+	}
+
+	// Constraints: edges (alpha(u) < beta(v)) and existence constraints for
+	// isolated nodes. Each gets a global bit.
+	type constraint struct {
+		isEdge   bool
+		lSlot    int       // edge: alpha slot
+		rSlot    int       // edge: beta slot
+		existSet label.Set // existence: required labels
+		setIdx   int       // index into label-set census (for remaining counts)
+	}
+	var cons []constraint
+	setIdxOf := make(map[string]int)
+	var setList []label.Set
+	censusIdx := func(ls label.Set) int {
+		if i, ok := setIdxOf[ls.Key()]; ok {
+			return i
+		}
+		i := len(setList)
+		setIdxOf[ls.Key()] = i
+		setList = append(setList, ls)
+		return i
+	}
+	patBits := make([][]int, len(u)) // per pattern, constraint indices
+	for pi, g := range u {
+		touched := make([]bool, g.NumNodes())
+		for _, e := range g.Edges() {
+			touched[e[0]], touched[e[1]] = true, true
+			c := constraint{
+				isEdge: true,
+				lSlot:  slot(g.Node(e[0]).Labels, true),
+				rSlot:  slot(g.Node(e[1]).Labels, false),
+			}
+			cons = append(cons, c)
+			patBits[pi] = append(patBits[pi], len(cons)-1)
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if !touched[v] {
+				c := constraint{existSet: g.Node(v).Labels, setIdx: censusIdx(g.Node(v).Labels)}
+				cons = append(cons, c)
+				patBits[pi] = append(patBits[pi], len(cons)-1)
+			}
+		}
+		if len(patBits[pi]) == 0 {
+			return 1, nil // empty pattern matches every ranking
+		}
+	}
+	if len(cons) > 64 {
+		return 0, fmt.Errorf("%w: union has %d constraints (max 64)", ErrShape, len(cons))
+	}
+	nSlots := len(slotLabels)
+	if nSlots > 64 {
+		return 0, fmt.Errorf("%w: union has %d tracked label roles (max 64)", ErrShape, nSlots)
+	}
+
+	// Census: remaining[s][i] = number of items sigma[i..m-1] matching set s.
+	// Slots and existence sets share the census via setIdx.
+	for s := 0; s < nSlots; s++ {
+		censusIdx(slotLabels[s])
+	}
+	remaining := make([][]int, len(setList))
+	for si, ls := range setList {
+		row := make([]int, m+1)
+		for i := m - 1; i >= 0; i-- {
+			row[i] = row[i+1]
+			if lab.HasAll(model.Sigma()[i], ls) {
+				row[i]++
+			}
+		}
+		remaining[si] = row
+	}
+	slotCensus := make([]int, nSlots)
+	for s := 0; s < nSlots; s++ {
+		slotCensus[s] = setIdxOf[slotLabels[s].Key()]
+	}
+
+	// Per step: which slots does the inserted item feed, and which existence
+	// constraints does it satisfy?
+	slotMatch := make([][]int, m)
+	for i := 0; i < m; i++ {
+		it := model.Sigma()[i]
+		for s := 0; s < nSlots; s++ {
+			if lab.HasAll(it, slotLabels[s]) {
+				slotMatch[i] = append(slotMatch[i], s)
+			}
+		}
+	}
+
+	const (
+		absent  = int16(-1)
+		dropped = int16(-2)
+	)
+	type header struct {
+		sat  uint64
+		dead uint32
+	}
+	enc := func(h header, vals []int16) string {
+		b := make([]byte, 12+2*len(vals))
+		for k := 0; k < 8; k++ {
+			b[k] = byte(h.sat >> (8 * k))
+		}
+		for k := 0; k < 4; k++ {
+			b[8+k] = byte(h.dead >> (8 * k))
+		}
+		for i, v := range vals {
+			b[12+2*i] = byte(v)
+			b[13+2*i] = byte(uint16(v) >> 8)
+		}
+		return string(b)
+	}
+	dec := func(key string, vals []int16) header {
+		var h header
+		for k := 0; k < 8; k++ {
+			h.sat |= uint64(key[k]) << (8 * k)
+		}
+		for k := 0; k < 4; k++ {
+			h.dead |= uint32(key[8+k]) << (8 * k)
+		}
+		for i := range vals {
+			vals[i] = int16(uint16(key[12+2*i]) | uint16(key[13+2*i])<<8)
+		}
+		return h
+	}
+
+	allSat := make([]uint64, len(u))
+	for pi, bits := range patBits {
+		for _, b := range bits {
+			allSat[pi] |= 1 << uint(b)
+		}
+	}
+	allDead := uint32(1)<<uint(len(u)) - 1
+
+	init := make([]int16, nSlots)
+	for i := range init {
+		init[i] = absent
+	}
+	cur := map[string]float64{enc(header{}, init): 1}
+	prob := 0.0
+	vals := make([]int16, nSlots)
+	next := make([]int16, nSlots)
+
+	checkEvery := 0
+	for i := 0; i < m; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		nxt := make(map[string]float64, len(cur))
+		rem := func(setIdx int) int { return remaining[setIdx][i+1] }
+		itemMatchesSet := make(map[int]bool)
+		for si, ls := range setList {
+			if lab.HasAll(model.Sigma()[i], ls) {
+				itemMatchesSet[si] = true
+			}
+		}
+		for key, q := range cur {
+			if checkEvery++; checkEvery&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
+			h := dec(key, vals)
+			for j := 0; j <= i; j++ {
+				jj := int16(j)
+				copy(next, vals)
+				for s := 0; s < nSlots; s++ {
+					if next[s] >= 0 && next[s] >= jj {
+						next[s]++
+					}
+				}
+				for _, s := range slotMatch[i] {
+					if next[s] == dropped {
+						continue
+					}
+					if slotIsMin[s] {
+						if next[s] == absent || jj < next[s] {
+							next[s] = jj
+						}
+					} else {
+						if next[s] == absent || jj > next[s] {
+							next[s] = jj
+						}
+					}
+				}
+				nh := h
+				// Re-evaluate uncertain constraints of alive patterns.
+				for pi, bits := range patBits {
+					if nh.dead&(1<<uint(pi)) != 0 {
+						continue
+					}
+					for _, bi := range bits {
+						if nh.sat&(1<<uint(bi)) != 0 {
+							continue
+						}
+						c := cons[bi]
+						if !c.isEdge {
+							if itemMatchesSet[c.setIdx] {
+								nh.sat |= 1 << uint(bi)
+							} else if rem(c.setIdx) == 0 {
+								nh.dead |= 1 << uint(pi)
+								break
+							}
+							continue
+						}
+						va, vb := next[c.lSlot], next[c.rSlot]
+						remL, remR := rem(slotCensus[c.lSlot]), rem(slotCensus[c.rSlot])
+						switch {
+						case va >= 0 && vb >= 0 && va < vb:
+							nh.sat |= 1 << uint(bi)
+						case va < 0 && remL == 0, vb < 0 && remR == 0,
+							va >= 0 && vb >= 0 && remL == 0 && remR == 0:
+							nh.dead |= 1 << uint(pi)
+						}
+						if nh.dead&(1<<uint(pi)) != 0 {
+							break
+						}
+					}
+				}
+				p := q * model.Pi(i, j)
+				if p == 0 {
+					continue
+				}
+				done := false
+				for pi := range u {
+					if nh.dead&(1<<uint(pi)) == 0 && nh.sat&allSat[pi] == allSat[pi] {
+						prob += p
+						done = true
+						break
+					}
+				}
+				if done {
+					continue
+				}
+				if nh.dead == allDead {
+					continue
+				}
+				// Drop trackers not used by any uncertain edge of an alive
+				// pattern (the paper's onlyTrackLabelsFor).
+				if !opts.NoTrackerDrop {
+					var live [64]bool
+					for pi, bits := range patBits {
+						if nh.dead&(1<<uint(pi)) != 0 {
+							continue
+						}
+						for _, bi := range bits {
+							if nh.sat&(1<<uint(bi)) != 0 || !cons[bi].isEdge {
+								continue
+							}
+							live[cons[bi].lSlot] = true
+							live[cons[bi].rSlot] = true
+						}
+					}
+					for s := 0; s < nSlots; s++ {
+						if !live[s] {
+							next[s] = dropped
+						}
+					}
+				}
+				nxt[enc(nh, next)] += p
+			}
+		}
+		opts.note(len(nxt))
+		if err := opts.checkStates(len(nxt)); err != nil {
+			return 0, err
+		}
+		cur = nxt
+	}
+	return prob, nil
+}

@@ -1,0 +1,169 @@
+package solver
+
+import (
+	"fmt"
+
+	"probpref/internal/label"
+	"probpref/internal/pattern"
+	"probpref/internal/rim"
+)
+
+// BipartiteBasic is the basic version of the bipartite solver described in
+// Section 4.3.1 of the paper: a dynamic program that tracks the minimum
+// positions of all L-type label sets and the maximum positions of all
+// R-type label sets through the whole insertion process, then enumerates
+// the final states and sums the probability of those satisfying at least
+// one pattern. It performs no satisfied/violated pruning and no tracker
+// dropping, so its state space is the full O(m^(qz)); it exists as the
+// ablation baseline for the optimized Bipartite solver.
+func BipartiteBasic(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Options) (float64, error) {
+	if len(u) == 0 {
+		return 0, nil
+	}
+	ctx := opts.ctx()
+	m := model.M()
+
+	type roleKey struct {
+		key   string
+		isMin bool
+	}
+	slotOf := make(map[roleKey]int)
+	var slotLabels []label.Set
+	var slotIsMin []bool
+	slot := func(ls label.Set, isMin bool) int {
+		rk := roleKey{ls.Key(), isMin}
+		if s, ok := slotOf[rk]; ok {
+			return s
+		}
+		s := len(slotLabels)
+		slotOf[rk] = s
+		slotLabels = append(slotLabels, ls)
+		slotIsMin = append(slotIsMin, isMin)
+		return s
+	}
+	type edge struct{ l, r int }
+	patEdges := make([][]edge, len(u))
+	patExists := make([][]label.Set, len(u))
+	for pi, g := range u {
+		touched := make([]bool, g.NumNodes())
+		for _, e := range g.Edges() {
+			touched[e[0]], touched[e[1]] = true, true
+			patEdges[pi] = append(patEdges[pi], edge{
+				l: slot(g.Node(e[0]).Labels, true),
+				r: slot(g.Node(e[1]).Labels, false),
+			})
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if !touched[v] {
+				patExists[pi] = append(patExists[pi], g.Node(v).Labels)
+				// Track existence through a min-position slot.
+				slot(g.Node(v).Labels, true)
+			}
+		}
+		if len(patEdges[pi]) == 0 && len(patExists[pi]) == 0 {
+			return 1, nil
+		}
+	}
+	n := len(slotLabels)
+	if n > 64 {
+		return 0, fmt.Errorf("%w: %d tracked label roles (max 64)", ErrShape, n)
+	}
+
+	slotMatch := make([][]int, m)
+	for i := 0; i < m; i++ {
+		it := model.Sigma()[i]
+		for s := 0; s < n; s++ {
+			if lab.HasAll(it, slotLabels[s]) {
+				slotMatch[i] = append(slotMatch[i], s)
+			}
+		}
+	}
+
+	const absent = int16(-1)
+	enc := func(vals []int16) string {
+		b := make([]byte, 2*len(vals))
+		for i, v := range vals {
+			b[2*i] = byte(uint16(v))
+			b[2*i+1] = byte(uint16(v) >> 8)
+		}
+		return string(b)
+	}
+	dec := func(key string, vals []int16) {
+		for i := range vals {
+			vals[i] = int16(uint16(key[2*i]) | uint16(key[2*i+1])<<8)
+		}
+	}
+
+	init := make([]int16, n)
+	for i := range init {
+		init[i] = absent
+	}
+	cur := map[string]float64{enc(init): 1}
+	vals := make([]int16, n)
+	next := make([]int16, n)
+	for i := 0; i < m; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		nxt := make(map[string]float64, len(cur))
+		for key, q := range cur {
+			dec(key, vals)
+			for j := 0; j <= i; j++ {
+				jj := int16(j)
+				copy(next, vals)
+				for s := 0; s < n; s++ {
+					if next[s] >= 0 && next[s] >= jj {
+						next[s]++
+					}
+				}
+				for _, s := range slotMatch[i] {
+					if slotIsMin[s] {
+						if next[s] == absent || jj < next[s] {
+							next[s] = jj
+						}
+					} else {
+						if next[s] == absent || jj > next[s] {
+							next[s] = jj
+						}
+					}
+				}
+				nxt[enc(next)] += q * model.Pi(i, j)
+			}
+		}
+		opts.note(len(nxt))
+		if err := opts.checkStates(len(nxt)); err != nil {
+			return 0, err
+		}
+		cur = nxt
+	}
+
+	// Enumerate the final states: satisfied iff some pattern has every edge
+	// alpha(l) < beta(r) and every isolated node present.
+	prob := 0.0
+	existSlot := func(ls label.Set) int { return slotOf[roleKey{ls.Key(), true}] }
+	for key, q := range cur {
+		dec(key, vals)
+		for pi := range u {
+			ok := true
+			for _, e := range patEdges[pi] {
+				if vals[e.l] < 0 || vals[e.r] < 0 || vals[e.l] >= vals[e.r] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, ls := range patExists[pi] {
+					if vals[existSlot(ls)] < 0 {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				prob += q
+				break
+			}
+		}
+	}
+	return prob, nil
+}

@@ -1,0 +1,213 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probpref/internal/pattern"
+)
+
+// Randomized cross-solver agreement: every exact solver must compute the
+// same probability on any instance of the pattern family it supports.
+// The per-solver tests in solver_test.go check each solver against the m!
+// enumerator on its own; the tests here check the solvers against each
+// other — including on instances too large to enumerate — and check
+// structural properties of the probabilities.
+
+func TestRandomTwoLabelCrossSolverAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 30; trial++ {
+		m := 4 + rng.Intn(3) // 4..6: brute-checkable
+		mdl := randModel(rng, m)
+		lab := randWorld(rng, m, 3)
+		u := randTwoLabelUnion(rng, 1+rng.Intn(2), 3)
+
+		want := Brute(mdl, lab, u)
+		two, err := TwoLabel(mdl, lab, u, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: two-label: %v", trial, err)
+		}
+		bip, err := Bipartite(mdl, lab, u, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: bipartite: %v", trial, err)
+		}
+		gen, err := General(mdl, lab, u, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: general: %v", trial, err)
+		}
+		rel, err := RelOrder(mdl, lab, u, Options{MaxInvolved: 16})
+		if err != nil {
+			t.Fatalf("trial %d: relorder: %v", trial, err)
+		}
+		for name, got := range map[string]float64{
+			"two-label": two, "bipartite": bip, "general": gen, "relorder": rel,
+		} {
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: %s = %v, brute = %v", trial, name, got, want)
+			}
+		}
+	}
+}
+
+func TestRandomTwoLabelAgreementLargerM(t *testing.T) {
+	// Beyond brute range: solvers must still agree with each other.
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 10; trial++ {
+		m := 9 + rng.Intn(4) // 9..12
+		mdl := randModel(rng, m)
+		lab := randWorld(rng, m, 3)
+		u := randTwoLabelUnion(rng, 2, 3)
+
+		two, err := TwoLabel(mdl, lab, u, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bip, err := Bipartite(mdl, lab, u, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(two-bip) > 1e-9 {
+			t.Fatalf("trial %d (m=%d): two-label %v != bipartite %v", trial, m, two, bip)
+		}
+	}
+}
+
+func TestRandomBipartiteCrossSolverAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 25; trial++ {
+		m := 4 + rng.Intn(3)
+		mdl := randModel(rng, m)
+		lab := randWorld(rng, m, 4)
+		u := randBipartiteUnion(rng, 1+rng.Intn(2), 4)
+
+		want := Brute(mdl, lab, u)
+		bip, err := Bipartite(mdl, lab, u, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		basic, err := BipartiteBasic(mdl, lab, u, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		gen, err := General(mdl, lab, u, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for name, got := range map[string]float64{
+			"bipartite": bip, "bipartite-basic": basic, "general": gen,
+		} {
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: %s = %v, brute = %v", trial, name, got, want)
+			}
+		}
+	}
+}
+
+func TestRandomDAGCrossSolverAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	for trial := 0; trial < 20; trial++ {
+		m := 4 + rng.Intn(2) // 4..5
+		mdl := randModel(rng, m)
+		lab := randWorld(rng, m, 3)
+		u := randDAGUnion(rng, 1+rng.Intn(2), 3)
+
+		want := Brute(mdl, lab, u)
+		rel, err := RelOrder(mdl, lab, u, Options{MaxInvolved: 16})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		gen, err := General(mdl, lab, u, Options{MaxInvolved: 16})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(rel-want) > 1e-9 {
+			t.Fatalf("trial %d: relorder %v, brute %v", trial, rel, want)
+		}
+		if math.Abs(gen-want) > 1e-9 {
+			t.Fatalf("trial %d: general %v, brute %v", trial, gen, want)
+		}
+	}
+}
+
+func TestRandomAutoAlwaysAgreesWithBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	for trial := 0; trial < 20; trial++ {
+		m := 4 + rng.Intn(3)
+		mdl := randModel(rng, m)
+		lab := randWorld(rng, m, 3)
+		var u pattern.Union
+		switch trial % 3 {
+		case 0:
+			u = randTwoLabelUnion(rng, 2, 3)
+		case 1:
+			u = randBipartiteUnion(rng, 2, 3)
+		default:
+			u = randDAGUnion(rng, 1, 3)
+		}
+		want := Brute(mdl, lab, u)
+		got, err := Auto(mdl, lab, u, Options{MaxInvolved: 16})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: auto %v, brute %v", trial, got, want)
+		}
+	}
+}
+
+// Probabilities are monotone under union growth: adding a pattern can only
+// increase the marginal probability.
+func TestRandomUnionMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	for trial := 0; trial < 20; trial++ {
+		m := 5 + rng.Intn(3)
+		mdl := randModel(rng, m)
+		lab := randWorld(rng, m, 3)
+		u := randBipartiteUnion(rng, 3, 3)
+		prev := 0.0
+		for z := 1; z <= len(u); z++ {
+			p, err := Bipartite(mdl, lab, u[:z], Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p < prev-1e-9 {
+				t.Fatalf("trial %d: Pr shrank from %v to %v when adding pattern %d", trial, prev, p, z)
+			}
+			if p < -1e-12 || p > 1+1e-9 {
+				t.Fatalf("trial %d: Pr out of range: %v", trial, p)
+			}
+			prev = p
+		}
+	}
+}
+
+// Merged unions (the UCQ path) solve to the same probability as the
+// concatenated union with duplicates.
+func TestRandomMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 15; trial++ {
+		m := 4 + rng.Intn(3)
+		mdl := randModel(rng, m)
+		lab := randWorld(rng, m, 3)
+		u1 := randBipartiteUnion(rng, 2, 3)
+		u2 := append(pattern.Union{u1[0]}, randBipartiteUnion(rng, 1, 3)...)
+		merged := pattern.Merge(u1, u2)
+		concat := append(append(pattern.Union{}, u1...), u2...)
+
+		pm, err := Bipartite(mdl, lab, merged, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, err := Bipartite(mdl, lab, concat, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pm-pc) > 1e-9 {
+			t.Fatalf("trial %d: merged %v != concatenated %v", trial, pm, pc)
+		}
+		if len(merged) >= len(concat) {
+			t.Fatalf("trial %d: merge did not deduplicate (%d >= %d)", trial, len(merged), len(concat))
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package solver
+
+import (
+	"fmt"
+
+	"probpref/internal/label"
+	"probpref/internal/pattern"
+	"probpref/internal/rank"
+	"probpref/internal/rim"
+)
+
+// RelOrder computes Pr(G) exactly for an arbitrary pattern union by dynamic
+// programming over the positions of the involved items — the items that can
+// match at least one pattern node. Whether a ranking matches the union
+// depends only on the relative order of these items, so states are
+// (position vector of inserted involved items); inserting a non-involved
+// item only shifts positions, and all insertion slots inside the same gap
+// between involved items are merged. A state whose arrangement already
+// matches the union is absorbed into the answer immediately (matching is
+// monotone under insertion).
+//
+// This solver substitutes for the LTM engine of Cohen et al. in the general
+// solver (DESIGN.md, substitution S1). It is exponential in the number of
+// involved items (O(C(m, t) * t!) states in the worst case) and rejects
+// instances with more than Options.MaxInvolved involved items.
+func RelOrder(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Options) (float64, error) {
+	if len(u) == 0 {
+		return 0, nil
+	}
+	ctx := opts.ctx()
+	m := model.M()
+	for _, g := range u {
+		if g.NumNodes() == 0 {
+			return 1, nil
+		}
+	}
+	involved := pattern.InvolvedItems(u, lab, m)
+	if len(involved) > opts.maxInvolved() {
+		return 0, fmt.Errorf("%w: %d involved items (limit %d)", ErrTooLarge, len(involved), opts.maxInvolved())
+	}
+	tIdx := make(map[rank.Item]int, len(involved))
+	for i, it := range involved {
+		tIdx[it] = i
+	}
+
+	// State encoding: entries sorted by position; 3 bytes per entry
+	// (involved-item index, position lo, position hi).
+	type entry struct {
+		item rank.Item
+		pos  int16
+	}
+	enc := func(es []entry) string {
+		b := make([]byte, 3*len(es))
+		for i, e := range es {
+			b[3*i] = byte(tIdx[e.item])
+			b[3*i+1] = byte(uint16(e.pos))
+			b[3*i+2] = byte(uint16(e.pos) >> 8)
+		}
+		return string(b)
+	}
+	dec := func(key string) []entry {
+		es := make([]entry, len(key)/3)
+		for i := range es {
+			es[i] = entry{
+				item: involved[key[3*i]],
+				pos:  int16(uint16(key[3*i+1]) | uint16(key[3*i+2])<<8),
+			}
+		}
+		return es
+	}
+
+	matchCache := make(map[string]bool)
+	matches := func(es []entry) bool {
+		kb := make([]byte, len(es))
+		for i, e := range es {
+			kb[i] = byte(tIdx[e.item])
+		}
+		k := string(kb)
+		if v, ok := matchCache[k]; ok {
+			return v
+		}
+		mini := make(rank.Ranking, len(es))
+		for i, e := range es {
+			mini[i] = e.item
+		}
+		v := u.Matches(mini, lab)
+		matchCache[k] = v
+		return v
+	}
+
+	cur := map[string]float64{"": 1}
+	prob := 0.0
+	piPrefix := make([]float64, m+2)
+
+	for i := 0; i < m; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		x := model.Sigma()[i]
+		_, isInvolved := tIdx[x]
+		nxt := make(map[string]float64, len(cur))
+		// Prefix sums of the insertion row for gap merging.
+		piPrefix[0] = 0
+		for j := 0; j <= i; j++ {
+			piPrefix[j+1] = piPrefix[j] + model.Pi(i, j)
+		}
+		rangeWeight := func(lo, hi int) float64 { return piPrefix[hi+1] - piPrefix[lo] }
+
+		for key, q := range cur {
+			es := dec(key)
+			if isInvolved {
+				for j := 0; j <= i; j++ {
+					ne := make([]entry, 0, len(es)+1)
+					inserted := false
+					for _, e := range es {
+						p := e.pos
+						if p >= int16(j) {
+							p++
+						}
+						if !inserted && p > int16(j) {
+							ne = append(ne, entry{item: x, pos: int16(j)})
+							inserted = true
+						}
+						ne = append(ne, entry{item: e.item, pos: p})
+					}
+					if !inserted {
+						ne = append(ne, entry{item: x, pos: int16(j)})
+					}
+					p := q * model.Pi(i, j)
+					if p == 0 {
+						continue
+					}
+					if matches(ne) {
+						prob += p
+						continue
+					}
+					nxt[enc(ne)] += p
+				}
+				continue
+			}
+			// Non-involved item: merge insertion slots per gap.
+			// Gap g in [0, len(es)]: positions in (es[g-1].pos, es[g].pos]
+			// shift entries g..end by one.
+			lo := 0
+			for g := 0; g <= len(es); g++ {
+				hi := i
+				if g < len(es) {
+					hi = int(es[g].pos)
+				}
+				if lo > hi {
+					continue
+				}
+				w := rangeWeight(lo, hi)
+				if w > 0 {
+					ne := make([]entry, len(es))
+					copy(ne, es)
+					for k := g; k < len(ne); k++ {
+						ne[k].pos++
+					}
+					nxt[enc(ne)] += q * w
+				}
+				if g < len(es) {
+					lo = int(es[g].pos) + 1
+				}
+			}
+		}
+		opts.note(len(nxt))
+		if err := opts.checkStates(len(nxt)); err != nil {
+			return 0, err
+		}
+		cur = nxt
+	}
+	return prob, nil
+}

@@ -1,0 +1,112 @@
+// Package solver implements the exact solvers of the paper for the labeled
+// RIM pattern-union inference problem (Equation 2): given RIM_L(sigma, Pi,
+// lambda) and a pattern union G = g1 ∪ ... ∪ gz, compute Pr(G | sigma, Pi,
+// lambda), the probability that a random ranking matches at least one
+// pattern.
+//
+// Solvers:
+//
+//   - Brute: enumerates all m! rankings; ground truth for tests (m <= 8).
+//   - TwoLabel: Algorithm 3, for unions of two-label patterns; O(m^(2z+1)).
+//   - Bipartite: Algorithm 4, for unions of bipartite patterns (and, under
+//     constraint semantics, for the upper-bound patterns of the top-k
+//     optimization); O(m^(qz)).
+//   - General: inclusion-exclusion over pattern conjunctions (Equation 3);
+//     the paper's baseline.
+//   - RelOrder: exact inference for arbitrary DAG patterns by dynamic
+//     programming over the relative order of the items involved in the
+//     union; substitutes for the LTM engine of Cohen et al. (see DESIGN.md,
+//     substitution S1).
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"probpref/internal/label"
+	"probpref/internal/pattern"
+	"probpref/internal/rim"
+)
+
+// ErrShape is returned when a solver is given a union outside the pattern
+// family it supports.
+var ErrShape = errors.New("solver: pattern union has unsupported shape")
+
+// ErrTooLarge is returned when a state-space bound would be exceeded.
+var ErrTooLarge = errors.New("solver: state space exceeds configured limit")
+
+// Options tunes a solver invocation. The zero value is ready to use.
+type Options struct {
+	// Ctx cancels long-running solves; nil means context.Background().
+	Ctx context.Context
+	// MaxStates aborts with ErrTooLarge when a DP layer would exceed this
+	// many states. 0 means no bound.
+	MaxStates int
+	// MaxInvolved bounds the number of involved items RelOrder will track
+	// (default 12).
+	MaxInvolved int
+	// NoTrackerDrop disables the bipartite solver's
+	// only-track-uncertain-labels optimization (ablation; results are
+	// unchanged, state spaces grow).
+	NoTrackerDrop bool
+	// Stats, when non-nil, receives execution statistics.
+	Stats *Stats
+}
+
+// Stats reports solver effort.
+type Stats struct {
+	// PeakStates is the largest DP layer encountered.
+	PeakStates int
+	// TotalStates is the sum of DP layer sizes across steps.
+	TotalStates int
+	// Subproblems counts single-pattern solves (General solver).
+	Subproblems int
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
+}
+
+func (o Options) maxInvolved() int {
+	if o.MaxInvolved == 0 {
+		return 12
+	}
+	return o.MaxInvolved
+}
+
+func (o Options) note(layer int) {
+	if o.Stats == nil {
+		return
+	}
+	o.Stats.TotalStates += layer
+	if layer > o.Stats.PeakStates {
+		o.Stats.PeakStates = layer
+	}
+}
+
+func (o Options) checkStates(layer int) error {
+	if o.MaxStates > 0 && layer > o.MaxStates {
+		return fmt.Errorf("%w: %d states (limit %d)", ErrTooLarge, layer, o.MaxStates)
+	}
+	return nil
+}
+
+// Auto dispatches to the most specific exact solver that supports the union:
+// TwoLabel for two-label unions, Bipartite for bipartite unions, RelOrder
+// otherwise.
+func Auto(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Options) (float64, error) {
+	switch {
+	case len(u) == 0:
+		return 0, nil
+	case u.AllTwoLabel():
+		return TwoLabel(model, lab, u, opts)
+	case u.AllBipartite():
+		return Bipartite(model, lab, u, opts)
+	default:
+		return RelOrder(model, lab, u, opts)
+	}
+}

@@ -1,0 +1,156 @@
+package solver
+
+import (
+	"fmt"
+
+	"probpref/internal/label"
+	"probpref/internal/pattern"
+	"probpref/internal/rim"
+)
+
+// TwoLabel implements Algorithm 3 of the paper: exact inference for a union
+// of two-label patterns G = U_i {l_i > r_i}. It computes the complementary
+// event by dynamic programming over RIM insertions: states track the minimum
+// position of each L-type label set (alpha) and the maximum position of each
+// R-type label set (beta); a state violates pattern i while alpha(l_i) >=
+// beta(r_i), and only violating states are kept. The answer is one minus the
+// surviving probability mass. Complexity O(m^(2z+1)).
+func TwoLabel(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Options) (float64, error) {
+	if !u.AllTwoLabel() {
+		return 0, fmt.Errorf("%w: TwoLabel requires two-label patterns", ErrShape)
+	}
+	if len(u) == 0 {
+		return 0, nil
+	}
+	ctx := opts.ctx()
+
+	// Deduplicate trackers: one slot per distinct (label set, role).
+	type role struct {
+		key   string
+		isMin bool
+	}
+	slotOf := make(map[role]int)
+	var slotLabels []label.Set
+	var slotIsMin []bool
+	slot := func(ls label.Set, isMin bool) int {
+		r := role{ls.Key(), isMin}
+		if s, ok := slotOf[r]; ok {
+			return s
+		}
+		s := len(slotLabels)
+		slotOf[r] = s
+		slotLabels = append(slotLabels, ls)
+		slotIsMin = append(slotIsMin, isMin)
+		return s
+	}
+	type pat struct{ l, r int } // slot indices
+	pats := make([]pat, len(u))
+	for i, g := range u {
+		e := g.Edges()[0]
+		pats[i] = pat{
+			l: slot(g.Node(e[0]).Labels, true),
+			r: slot(g.Node(e[1]).Labels, false),
+		}
+	}
+	n := len(slotLabels)
+	m := model.M()
+
+	// Per insertion step, which slots does the inserted item feed?
+	matches := make([][]int, m)
+	for i := 0; i < m; i++ {
+		it := model.Sigma()[i]
+		for s := 0; s < n; s++ {
+			if lab.HasAll(it, slotLabels[s]) {
+				matches[i] = append(matches[i], s)
+			}
+		}
+	}
+
+	const absent = int16(-1)
+	enc := func(vals []int16) string {
+		b := make([]byte, 2*len(vals))
+		for i, v := range vals {
+			b[2*i] = byte(v)
+			b[2*i+1] = byte(v >> 8)
+		}
+		return string(b)
+	}
+	dec := func(key string, vals []int16) {
+		for i := range vals {
+			vals[i] = int16(key[2*i]) | int16(key[2*i+1])<<8
+		}
+	}
+
+	satisfied := func(vals []int16) bool {
+		for _, p := range pats {
+			a, b := vals[p.l], vals[p.r]
+			if a != absent && b != absent && a < b {
+				return true
+			}
+		}
+		return false
+	}
+
+	init := make([]int16, n)
+	for i := range init {
+		init[i] = absent
+	}
+	cur := map[string]float64{enc(init): 1}
+	vals := make([]int16, n)
+	next := make([]int16, n)
+	checkEvery := 0
+	for i := 0; i < m; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		nxt := make(map[string]float64, len(cur))
+		for key, q := range cur {
+			if checkEvery++; checkEvery&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
+			dec(key, vals)
+			for j := 0; j <= i; j++ {
+				jj := int16(j)
+				copy(next, vals)
+				// Shift positions at or after the insertion point.
+				for s := 0; s < n; s++ {
+					if next[s] != absent && next[s] >= jj {
+						next[s]++
+					}
+				}
+				// Apply the inserted item's label memberships.
+				for _, s := range matches[i] {
+					if slotIsMin[s] {
+						if next[s] == absent || jj < next[s] {
+							next[s] = jj
+						}
+					} else {
+						if next[s] == absent || jj > next[s] {
+							next[s] = jj
+						}
+					}
+				}
+				if satisfied(next) {
+					continue // pruned: this state satisfies G forever
+				}
+				nxt[enc(next)] += q * model.Pi(i, j)
+			}
+		}
+		opts.note(len(nxt))
+		if err := opts.checkStates(len(nxt)); err != nil {
+			return 0, err
+		}
+		cur = nxt
+	}
+	violate := 0.0
+	for _, q := range cur {
+		violate += q
+	}
+	p := 1 - violate
+	if p < 0 {
+		p = 0
+	}
+	return p, nil
+}

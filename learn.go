@@ -1,0 +1,43 @@
+package probpref
+
+import (
+	"probpref/internal/learn"
+	"probpref/internal/rank"
+)
+
+// Learning: fitting Mallows models and mixtures to observed rankings (the
+// step the paper delegates to the external miner of [26]).
+type (
+	// MallowsFit is a fitted single Mallows model with diagnostics.
+	MallowsFit = learn.Fit
+	// MixtureFit is a fitted Mallows mixture with EM diagnostics.
+	MixtureFit = learn.MixtureFit
+	// MixtureConfig tunes FitMixture.
+	MixtureConfig = learn.MixtureConfig
+)
+
+// FitMallows fits a single Mallows model to rankings over m items: weighted
+// Kemeny center search plus the exact exponential-family MLE for the
+// dispersion. weights may be nil for uniform.
+func FitMallows(data []Ranking, weights []float64, m int) (*MallowsFit, error) {
+	return learn.FitMallows(toRank(data), weights, m)
+}
+
+// FitMixture fits a k-component Mallows mixture by EM.
+func FitMixture(data []Ranking, k, m int, cfg MixtureConfig) (*MixtureFit, error) {
+	return learn.FitMixture(toRank(data), k, m, cfg)
+}
+
+// MixtureLogLikelihood returns the log-likelihood of rankings under a
+// mixture.
+func MixtureLogLikelihood(mix *Mixture, data []Ranking) float64 {
+	return learn.LogLikelihood(mix, toRank(data))
+}
+
+func toRank(data []Ranking) []rank.Ranking {
+	out := make([]rank.Ranking, len(data))
+	for i, r := range data {
+		out[i] = rank.Ranking(r)
+	}
+	return out
+}

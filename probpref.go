@@ -1,0 +1,267 @@
+// Package probpref supports hard queries over probabilistic preferences: it
+// is a from-scratch Go implementation of the RIM-PPD framework of Ping,
+// Stoyanovich and Kimelfeld, "Supporting Hard Queries over Probabilistic
+// Preferences" (PVLDB 13(7), 2020).
+//
+// A probabilistic preference database (PPD) combines ordinary relations
+// with preference relations whose sessions carry statistical ranking models
+// — Mallows models, and more generally Repeated Insertion Models (RIM).
+// Query evaluation under possible-world semantics reduces to an inference
+// problem: computing the marginal probability that a random ranking matches
+// a union of label patterns. This package exposes:
+//
+//   - the ranking substrate: rankings, partial orders, Kendall tau
+//     (Ranking, PartialOrder, KendallTau);
+//   - the generative models: RIM, Mallows, and the AMP posterior sampler
+//     (RIMModel, Mallows, AMP);
+//   - label patterns and pattern unions (Pattern, Union);
+//   - the exact solvers of the paper — two-label (Algorithm 3), bipartite
+//     (Algorithm 4), general inclusion-exclusion, and a relative-order
+//     solver for arbitrary patterns (SolveTwoLabel, SolveBipartite,
+//     SolveGeneral, SolveRelOrder, SolveAuto);
+//   - the approximate solvers — rejection sampling, IS-AMP, MIS-AMP, and
+//     the MIS-AMP-lite/-adaptive estimators with sub-ranking and modal
+//     compensation (Rejection, NewEstimator);
+//   - the database layer: schema, the datalog-style conjunctive query
+//     parser, the grounding procedure for hard (non-itemwise) queries, and
+//     the evaluator for Boolean, Count-Session and Most-Probable-Session
+//     queries (DB, ParseQuery, Engine);
+//   - deterministic generators for the paper's experimental workloads
+//     (package internal/dataset, surfaced through the examples and the
+//     cmd/experiments tool);
+//   - exact marginal analytics — position distributions, pairwise
+//     preference matrices, Condorcet/Copeland/Borda summaries
+//     (PairwiseMatrix, RankMarginals, CondorcetWinner);
+//   - Count-Session distributions (Engine.CountDistribution), union
+//     queries (ParseUnionQuery, Engine.EvalUnion, Engine.TopKUnion);
+//   - preference models beyond plain Mallows — GeneralizedMallows (a RIM;
+//     exact solvers apply) and PlackettLuce (queried through sampling);
+//   - learning: FitMallows and FitMixture recover Mallows models and
+//     mixtures from observed rankings by Kemeny search and EM.
+//
+// # Quick start
+//
+//	db, _ := probpref.Figure1()
+//	eng := &probpref.Engine{DB: db, Method: probpref.MethodAuto}
+//	q, _ := probpref.ParseQuery(
+//		`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
+//	res, _ := eng.Eval(q)
+//	fmt.Println(res.Prob) // probability a female candidate is preferred to a male one
+//
+// See the examples directory for end-to-end programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the reproduction of every figure
+// of the paper's evaluation.
+package probpref
+
+import (
+	"probpref/internal/dataset"
+	"probpref/internal/label"
+	"probpref/internal/pattern"
+	"probpref/internal/ppd"
+	"probpref/internal/rank"
+	"probpref/internal/rim"
+	"probpref/internal/sampling"
+	"probpref/internal/solver"
+)
+
+// Ranking substrate.
+type (
+	// Item identifies a ranked item.
+	Item = rank.Item
+	// Ranking is a linear order of items (position 0 most preferred).
+	Ranking = rank.Ranking
+	// PartialOrder is a strict partial order over items.
+	PartialOrder = rank.PartialOrder
+)
+
+// Identity returns the ranking <0, 1, ..., m-1>.
+func Identity(m int) Ranking { return rank.Identity(m) }
+
+// KendallTau returns the Kendall tau distance between two rankings.
+func KendallTau(a, b Ranking) int { return rank.KendallTau(a, b) }
+
+// NewPartialOrder returns an empty partial order.
+func NewPartialOrder() *PartialOrder { return rank.NewPartialOrder() }
+
+// Models.
+type (
+	// RIMModel is a Repeated Insertion Model RIM(sigma, Pi).
+	RIMModel = rim.Model
+	// Mallows is the Mallows model MAL(sigma, phi).
+	Mallows = rim.Mallows
+	// AMP samples from a Mallows posterior conditioned on a partial order.
+	AMP = rim.AMP
+)
+
+// NewRIM validates and constructs a RIM model.
+func NewRIM(sigma Ranking, pi [][]float64) (*RIMModel, error) { return rim.New(sigma, pi) }
+
+// NewMallows validates and constructs a Mallows model.
+func NewMallows(sigma Ranking, phi float64) (*Mallows, error) { return rim.NewMallows(sigma, phi) }
+
+// Mixture is a finite mixture of Mallows models.
+type Mixture = rim.Mixture
+
+// NewMixture validates and constructs a Mallows mixture.
+func NewMixture(components []*Mallows, weights []float64) (*Mixture, error) {
+	return rim.NewMixture(components, weights)
+}
+
+// NewAMP builds an AMP sampler conditioned on cons.
+func NewAMP(center Ranking, phi float64, cons *PartialOrder) (*AMP, error) {
+	return rim.NewAMP(center, phi, cons)
+}
+
+// Labels and patterns.
+type (
+	// Label is an interned label id.
+	Label = label.Label
+	// LabelSet is a sorted set of labels.
+	LabelSet = label.Set
+	// Labeling maps items to label sets.
+	Labeling = label.Labeling
+	// Pattern is a label pattern: a DAG over label-set nodes.
+	Pattern = pattern.Pattern
+	// PatternNode is one pattern node.
+	PatternNode = pattern.Node
+	// Union is a union of patterns.
+	Union = pattern.Union
+)
+
+// NewLabeling returns an empty labeling function.
+func NewLabeling() *Labeling { return label.NewLabeling() }
+
+// NewPattern constructs a pattern and validates acyclicity.
+func NewPattern(nodes []PatternNode, edges [][2]int) (*Pattern, error) {
+	return pattern.New(nodes, edges)
+}
+
+// TwoLabelPattern builds the two-label pattern {l > r}.
+func TwoLabelPattern(l, r LabelSet) *Pattern { return pattern.TwoLabel(l, r) }
+
+// Exact solvers.
+type (
+	// SolverOptions tunes exact solver invocations.
+	SolverOptions = solver.Options
+	// SolverStats reports solver effort.
+	SolverStats = solver.Stats
+)
+
+// SolveAuto dispatches to the most specific exact solver for the union.
+func SolveAuto(m *RIMModel, lab *Labeling, u Union, opts SolverOptions) (float64, error) {
+	return solver.Auto(m, lab, u, opts)
+}
+
+// SolveTwoLabel runs Algorithm 3 on a union of two-label patterns.
+func SolveTwoLabel(m *RIMModel, lab *Labeling, u Union, opts SolverOptions) (float64, error) {
+	return solver.TwoLabel(m, lab, u, opts)
+}
+
+// SolveBipartite runs Algorithm 4 on a union of bipartite patterns.
+func SolveBipartite(m *RIMModel, lab *Labeling, u Union, opts SolverOptions) (float64, error) {
+	return solver.Bipartite(m, lab, u, opts)
+}
+
+// SolveGeneral runs the inclusion-exclusion general solver.
+func SolveGeneral(m *RIMModel, lab *Labeling, u Union, opts SolverOptions) (float64, error) {
+	return solver.General(m, lab, u, opts)
+}
+
+// SolveRelOrder runs the relative-order solver for arbitrary patterns.
+func SolveRelOrder(m *RIMModel, lab *Labeling, u Union, opts SolverOptions) (float64, error) {
+	return solver.RelOrder(m, lab, u, opts)
+}
+
+// Approximate solvers.
+type (
+	// Estimator runs MIS-AMP-lite and MIS-AMP-adaptive.
+	Estimator = sampling.Estimator
+	// EstimatorConfig tunes estimator construction.
+	EstimatorConfig = sampling.Config
+	// AdaptiveConfig tunes MIS-AMP-adaptive.
+	AdaptiveConfig = sampling.AdaptiveConfig
+)
+
+// NewEstimator prepares MIS-AMP proposals for one model and union.
+func NewEstimator(ml *Mallows, lab *Labeling, u Union, cfg EstimatorConfig) (*Estimator, error) {
+	return sampling.NewEstimator(ml, lab, u, cfg)
+}
+
+// Database layer.
+type (
+	// DB is a RIM-PPD instance.
+	DB = ppd.DB
+	// Relation is an ordinary relation.
+	Relation = ppd.Relation
+	// PrefRelation is a preference relation.
+	PrefRelation = ppd.PrefRelation
+	// Session is one preference session.
+	Session = ppd.Session
+	// Query is a parsed conjunctive query.
+	Query = ppd.Query
+	// Engine evaluates queries.
+	Engine = ppd.Engine
+	// EvalResult reports an evaluation.
+	EvalResult = ppd.EvalResult
+	// SessionProb pairs a session with its probability.
+	SessionProb = ppd.SessionProb
+	// Method selects the per-session solver.
+	Method = ppd.Method
+	// Explanation reports a query plan (classification, grounding,
+	// grouping, recommended method).
+	Explanation = ppd.Explanation
+	// AggregateResult reports an aggregation over satisfying sessions.
+	AggregateResult = ppd.AggregateResult
+	// TopKDiag reports the work of a Most-Probable-Session evaluation.
+	TopKDiag = ppd.TopKDiag
+)
+
+// Solver methods.
+const (
+	MethodAuto        = ppd.MethodAuto
+	MethodTwoLabel    = ppd.MethodTwoLabel
+	MethodBipartite   = ppd.MethodBipartite
+	MethodGeneral     = ppd.MethodGeneral
+	MethodRelOrder    = ppd.MethodRelOrder
+	MethodMISAdaptive = ppd.MethodMISAdaptive
+	MethodMISLite     = ppd.MethodMISLite
+	MethodRejection   = ppd.MethodRejection
+)
+
+// NewDB builds a database around an item relation.
+func NewDB(items *Relation) (*DB, error) { return ppd.NewDB(items) }
+
+// NewRelation validates and constructs an ordinary relation.
+func NewRelation(name string, attrs []string, tuples [][]string) (*Relation, error) {
+	return ppd.NewRelation(name, attrs, tuples)
+}
+
+// ParseQuery parses a conjunctive query in the paper's datalog notation.
+func ParseQuery(src string) (*Query, error) { return ppd.Parse(src) }
+
+// Datasets.
+
+// Figure1 builds the running example of the paper (Figure 1).
+func Figure1() (*DB, error) { return dataset.Figure1() }
+
+// Polls generates the synthetic polling database of Section 6.1.
+func Polls(candidates, voters int, seed int64) (*DB, error) {
+	return dataset.Polls(dataset.PollsConfig{Candidates: candidates, Voters: voters, Seed: seed})
+}
+
+// MovieLens generates the MovieLens-like catalog and mixture sessions.
+func MovieLens(movies int, seed int64) (*DB, error) {
+	return dataset.MovieLens(dataset.MovieLensConfig{Movies: movies, Seed: seed})
+}
+
+// CrowdRank generates the CrowdRank-like HIT, workers and sessions with
+// the paper's HIT size (20 movies).
+func CrowdRank(workers int, seed int64) (*DB, error) {
+	return dataset.CrowdRank(dataset.CrowdRankConfig{Workers: workers, Seed: seed})
+}
+
+// CrowdRankHIT is CrowdRank with an explicit HIT size (number of movies,
+// minimum 6). Smaller HITs keep the per-session exact inference cheap.
+func CrowdRankHIT(workers, movies int, seed int64) (*DB, error) {
+	return dataset.CrowdRank(dataset.CrowdRankConfig{Workers: workers, Movies: movies, Seed: seed})
+}
