@@ -22,11 +22,11 @@ import (
 	"io"
 	"math/rand"
 	"os"
-	"strings"
 	"time"
 
 	"probpref/internal/dataset"
 	"probpref/internal/ppd"
+	"probpref/internal/server"
 )
 
 func main() {
@@ -53,13 +53,17 @@ func run(args []string, out io.Writer) error {
 		verbose = fs.Bool("v", false, "print per-session probabilities")
 		explain = fs.Bool("explain", false, "print the query plan instead of evaluating")
 		par     = fs.Int("parallel", 1, "worker goroutines for group solving")
+		cache   = fs.Int("cache", 0, "solve-cache capacity in entries (0 = off); prints a stats line, and with -repeat > 1 later evaluations hit the cache")
+		repeat  = fs.Int("repeat", 1, "evaluate the query N times; the printed timing covers the last run (pair with -cache to measure warm-cache latency)")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	db, defQuery, err := buildDB(*ds, *seed, *cands, *voters, *movies, *workers)
+	db, defQuery, err := dataset.Build(dataset.BuildConfig{
+		Name: *ds, Seed: *seed, Candidates: *cands, Voters: *voters, Movies: *movies, Workers: *workers,
+	})
 	if err != nil {
 		return err
 	}
@@ -72,11 +76,16 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	q := uq.Disjuncts[0]
-	m, err := parseMethod(*method)
+	m, err := ppd.ParseMethod(*method)
 	if err != nil {
 		return err
 	}
 	eng := &ppd.Engine{DB: db, Method: m, Rng: rand.New(rand.NewSource(*seed)), Workers: *par}
+	var solveCache *server.Cache
+	if *cache > 0 {
+		solveCache = server.NewCache(*cache)
+		eng.Cache = solveCache
+	}
 
 	fmt.Fprintf(out, "dataset : %s (m=%d items, %d sessions)\n", *ds, db.M(), len(db.Prefs[q.Prefs[0].Rel].Sessions))
 	fmt.Fprintf(out, "query   : %s\n", uq)
@@ -97,6 +106,23 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprint(out, ex)
 		return nil
+	}
+
+	// Warm-up evaluations: all but the last run, so the timed run below
+	// reports warm-cache latency when -cache is set.
+	for i := 1; i < *repeat; i++ {
+		var err error
+		switch *mode {
+		case "bool", "count":
+			_, err = eng.EvalUnion(uq)
+		case "countdist":
+			_, err = eng.CountDistributionUnion(uq)
+		case "topk":
+			_, _, err = eng.TopKUnion(uq, *k, *bound)
+		}
+		if err != nil {
+			return err
+		}
 	}
 
 	start := time.Now()
@@ -148,45 +174,11 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
+	if solveCache != nil {
+		st := solveCache.Stats()
+		fmt.Fprintf(out, "cache   : hits=%d misses=%d evictions=%d entries=%d/%d\n",
+			st.Hits, st.Misses, st.Evictions, st.Entries, st.Capacity)
+	}
 	return nil
 }
 
-func buildDB(name string, seed int64, cands, voters, movies, workers int) (*ppd.DB, string, error) {
-	switch strings.ToLower(name) {
-	case "figure1":
-		db, err := dataset.Figure1()
-		return db, `P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`, err
-	case "polls":
-		db, err := dataset.Polls(dataset.PollsConfig{Candidates: cands, Voters: voters, Seed: seed})
-		return db, `P(_, _; l; r), C(l, p, M, _, _, _), C(r, p, F, _, _, _)`, err
-	case "movielens":
-		db, err := dataset.MovieLens(dataset.MovieLensConfig{Movies: movies, Seed: seed})
-		return db, dataset.MovieLensQueryText(), err
-	case "crowdrank":
-		db, err := dataset.CrowdRank(dataset.CrowdRankConfig{Workers: workers, Seed: seed})
-		return db, dataset.CrowdRankQuery, err
-	}
-	return nil, "", fmt.Errorf("unknown dataset %q", name)
-}
-
-func parseMethod(s string) (ppd.Method, error) {
-	switch strings.ToLower(s) {
-	case "auto":
-		return ppd.MethodAuto, nil
-	case "twolabel", "two-label":
-		return ppd.MethodTwoLabel, nil
-	case "bipartite":
-		return ppd.MethodBipartite, nil
-	case "general":
-		return ppd.MethodGeneral, nil
-	case "relorder":
-		return ppd.MethodRelOrder, nil
-	case "mis-adaptive", "adaptive":
-		return ppd.MethodMISAdaptive, nil
-	case "mis-lite", "lite":
-		return ppd.MethodMISLite, nil
-	case "rejection", "rs":
-		return ppd.MethodRejection, nil
-	}
-	return 0, fmt.Errorf("unknown method %q", s)
-}

@@ -2,9 +2,79 @@ package main
 
 import (
 	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+var elapsedRe = regexp.MustCompile(`(?m)^elapsed : .*$`)
+
+// checkGolden compares output (with the wall-clock line normalized) to
+// testdata/<name>.golden; -update rewrites the files.
+func checkGolden(t *testing.T, name, out string) {
+	t.Helper()
+	got := []byte(elapsedRe.ReplaceAllString(out, "elapsed : <elapsed>"))
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run %s -update): %v", t.Name(), err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n-- got --\n%s\n-- want --\n%s", path, got, want)
+	}
+}
+
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"bool", []string{"-dataset", "figure1", "-v"}},
+		{"count", []string{"-dataset", "figure1", "-mode", "count"}},
+		{"countdist", []string{"-dataset", "figure1", "-mode", "countdist"}},
+		{"topk", []string{"-dataset", "figure1", "-mode", "topk", "-k", "2", "-bound", "1"}},
+		{"bool_cache", []string{"-dataset", "figure1", "-cache", "1024"}},
+		{"bool_cache_repeat", []string{"-dataset", "figure1", "-cache", "1024", "-repeat", "3"}},
+		{"topk_cache", []string{"-dataset", "figure1", "-mode", "topk", "-k", "2", "-cache", "8"}},
+		{"union", []string{"-dataset", "figure1", "-query",
+			`P(_,_; a; b), C(a,_,F,_,_,_), C(b,_,M,_,_,_) | P(_,_; a; b), C(a,D,_,_,JD,_), C(b,R,_,_,_,_)`}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkGolden(t, tc.name, runOut(t, tc.args...))
+		})
+	}
+}
+
+func TestRunCacheStatsLine(t *testing.T) {
+	out := runOut(t, "-dataset", "figure1", "-cache", "1024")
+	if !strings.Contains(out, "cache   : hits=0 misses=3 evictions=0 entries=3/1024") {
+		t.Errorf("missing or wrong cache stats line:\n%s", out)
+	}
+	// With -repeat the warmed cache serves the timed run entirely.
+	out = runOut(t, "-dataset", "figure1", "-cache", "1024", "-repeat", "2")
+	if !strings.Contains(out, "solver calls = 0") || !strings.Contains(out, "hits=3") {
+		t.Errorf("warm repeat run should be all cache hits:\n%s", out)
+	}
+	// Without -cache no stats line appears.
+	if out := runOut(t, "-dataset", "figure1"); strings.Contains(out, "cache   :") {
+		t.Errorf("unexpected cache line without -cache:\n%s", out)
+	}
+}
 
 func runOut(t *testing.T, args ...string) string {
 	t.Helper()

@@ -1,0 +1,115 @@
+// Command hardqd serves hard queries over a RIM-PPD as an HTTP/JSON daemon:
+// it loads one of the paper's datasets, wraps it in the concurrent query
+// service of internal/server (shared solve cache, batch dedup, bounded
+// worker pool), and exposes:
+//
+//	GET  /eval?q=Q[&sessions=1]   evaluate one query
+//	POST /eval                    {"queries": [...]} batch with cross-query dedup
+//	GET  /topk?q=Q&k=K&bound=B    Most-Probable-Session
+//	POST /topk                    {"queries": [{"query","k","bound"}, ...]}
+//	GET  /stats                   service and cache statistics
+//	GET  /healthz                 liveness probe
+//
+// Usage examples:
+//
+//	hardqd -dataset figure1 -addr :8080
+//	hardqd -dataset polls -candidates 20 -voters 200 -cache 65536 -parallel 8
+//	curl 'localhost:8080/eval?q=P(_,_;a;b),C(a,_,F,_,_,_),C(b,_,M,_,_,_)'
+//	curl -d '{"queries":["...","..."]}' localhost:8080/eval
+//	curl localhost:8080/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"probpref/internal/dataset"
+	"probpref/internal/ppd"
+	"probpref/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hardqd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	svc, addr, err := setup(args, out)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "listening on %s\n", ln.Addr())
+	srv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+	}
+	return srv.Serve(ln)
+}
+
+// setup parses flags, builds the dataset and wraps it in a Service; split
+// from run so tests can drive the handler without binding a port.
+func setup(args []string, out io.Writer) (*server.Service, string, error) {
+	fs := flag.NewFlagSet("hardqd", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8080", "listen address")
+		ds      = fs.String("dataset", "figure1", "dataset: figure1 | polls | movielens | crowdrank")
+		method  = fs.String("method", "auto", "solver: auto | twolabel | bipartite | general | relorder | mis-adaptive | mis-lite | rejection")
+		cache   = fs.Int("cache", server.DefaultCacheSize, "solve-cache capacity in entries (0 disables)")
+		par     = fs.Int("parallel", 4, "worker goroutines for batch fan-out and group solving")
+		seed    = fs.Int64("seed", 1, "generator and sampler seed")
+		cands   = fs.Int("candidates", 20, "polls: number of candidates")
+		voters  = fs.Int("voters", 100, "polls: number of voters")
+		movies  = fs.Int("movies", 120, "movielens: catalog size")
+		workers = fs.Int("workers", 500, "crowdrank: number of workers")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+
+	db, _, err := dataset.Build(dataset.BuildConfig{
+		Name: *ds, Seed: *seed, Candidates: *cands, Voters: *voters, Movies: *movies, Workers: *workers,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	m, err := ppd.ParseMethod(*method)
+	if err != nil {
+		return nil, "", err
+	}
+	size := *cache
+	if size <= 0 {
+		size = -1 // flag semantics: 0 (or negative) disables, matching hardq
+	}
+	svc := server.New(db, server.Config{
+		Method:    m,
+		Workers:   *par,
+		CacheSize: size,
+		Seed:      *seed,
+	})
+	sessions := 0
+	for _, p := range db.Prefs {
+		sessions += len(p.Sessions)
+	}
+	fmt.Fprintf(out, "dataset : %s (m=%d items, %d sessions)\n", *ds, db.M(), sessions)
+	fmt.Fprintf(out, "method  : %s\n", m)
+	if c := svc.Cache(); c != nil {
+		fmt.Fprintf(out, "cache   : %d entries capacity\n", c.Stats().Capacity)
+	} else {
+		fmt.Fprintf(out, "cache   : disabled\n")
+	}
+	return svc, *addr, nil
+}
+

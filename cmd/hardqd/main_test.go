@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const demoQuery = `P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run %s -update): %v", t.Name(), err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n-- got --\n%s\n-- want --\n%s", path, got, want)
+	}
+}
+
+func testServer(t *testing.T, args ...string) (*httptest.Server, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	svc, addr, err := setup(args, &buf)
+	if err != nil {
+		t.Fatalf("setup(%v): %v\noutput:\n%s", args, err, buf.String())
+	}
+	if addr == "" {
+		t.Fatal("empty addr")
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return srv, buf.String()
+}
+
+func getBody(t *testing.T, srv *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	return readBody(t, resp, err)
+}
+
+func postBody(t *testing.T, srv *httptest.Server, path string, reqBody []byte) []byte {
+	t.Helper()
+	resp, err := srv.Client().Post(srv.URL+path, "application/json", bytes.NewReader(reqBody))
+	return readBody(t, resp, err)
+}
+
+func readBody(t *testing.T, resp *http.Response, err error) []byte {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d:\n%s", resp.StatusCode, b)
+	}
+	return b
+}
+
+func TestSetupBannerGolden(t *testing.T) {
+	_, banner := testServer(t, "-dataset", "figure1", "-method", "auto", "-cache", "1024")
+	checkGolden(t, "banner", []byte(banner))
+}
+
+func TestEvalGolden(t *testing.T) {
+	srv, _ := testServer(t, "-dataset", "figure1")
+	b := getBody(t, srv, "/eval?q="+url.QueryEscape(demoQuery)+"&sessions=1")
+	checkGolden(t, "eval", b)
+}
+
+func TestEvalBatchGolden(t *testing.T) {
+	srv, _ := testServer(t, "-dataset", "figure1")
+	req, _ := json.Marshal(map[string]any{"queries": []string{demoQuery, demoQuery}})
+	b := postBody(t, srv, "/eval", req)
+	checkGolden(t, "evalbatch", b)
+}
+
+func TestTopKGolden(t *testing.T) {
+	srv, _ := testServer(t, "-dataset", "figure1")
+	b := getBody(t, srv, "/topk?q="+url.QueryEscape(demoQuery)+"&k=2&bound=1")
+	checkGolden(t, "topk", b)
+}
+
+func TestStatsGolden(t *testing.T) {
+	srv, _ := testServer(t, "-dataset", "figure1")
+	// A fixed request sequence makes every counter deterministic.
+	getBody(t, srv, "/eval?q="+url.QueryEscape(demoQuery))
+	getBody(t, srv, "/eval?q="+url.QueryEscape(demoQuery))
+	b := getBody(t, srv, "/stats")
+	checkGolden(t, "stats", b)
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := testServer(t, "-dataset", "figure1")
+	b := getBody(t, srv, "/healthz")
+	if strings.TrimSpace(string(b)) != "ok" {
+		t.Fatalf("healthz = %q", b)
+	}
+}
+
+func TestCacheDisabledBanner(t *testing.T) {
+	_, banner := testServer(t, "-dataset", "figure1", "-cache", "-1")
+	if !strings.Contains(banner, "cache   : disabled") {
+		t.Fatalf("banner missing disabled cache line:\n%s", banner)
+	}
+}
+
+func TestSetupErrors(t *testing.T) {
+	cases := [][]string{
+		{"-dataset", "nope"},
+		{"-method", "nope"},
+		{"-bogusflag"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if _, _, err := setup(args, &buf); err == nil {
+			t.Errorf("setup(%v): want error", args)
+		}
+	}
+}
+
+func TestCacheZeroDisables(t *testing.T) {
+	_, banner := testServer(t, "-dataset", "figure1", "-cache", "0")
+	if !strings.Contains(banner, "cache   : disabled") {
+		t.Fatalf("-cache 0 should disable the cache:\n%s", banner)
+	}
+}

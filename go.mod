@@ -1,0 +1,3 @@
+module probpref
+
+go 1.24

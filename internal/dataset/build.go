@@ -1,0 +1,48 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"probpref/internal/ppd"
+)
+
+// Figure1Query is the demo query of the Figure 1 database: is a female
+// candidate preferred to a male one in any session?
+const Figure1Query = `P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`
+
+// PollsQuery is the demo query of the Polls workload: a male candidate
+// preferred to a female candidate of the same party.
+const PollsQuery = `P(_, _; l; r), C(l, p, M, _, _, _), C(r, p, F, _, _, _)`
+
+// BuildConfig names one of the paper's datasets with its generator
+// parameters; fields irrelevant to the chosen dataset are ignored.
+type BuildConfig struct {
+	Name       string // figure1 | polls | movielens | crowdrank
+	Seed       int64
+	Candidates int // polls
+	Voters     int // polls
+	Movies     int // movielens
+	Workers    int // crowdrank
+}
+
+// Build constructs the named dataset and returns it together with its
+// dataset-specific demo query; it is the shared dataset dispatcher of the
+// cmd binaries.
+func Build(cfg BuildConfig) (*ppd.DB, string, error) {
+	switch strings.ToLower(cfg.Name) {
+	case "figure1":
+		db, err := Figure1()
+		return db, Figure1Query, err
+	case "polls":
+		db, err := Polls(PollsConfig{Candidates: cfg.Candidates, Voters: cfg.Voters, Seed: cfg.Seed})
+		return db, PollsQuery, err
+	case "movielens":
+		db, err := MovieLens(MovieLensConfig{Movies: cfg.Movies, Seed: cfg.Seed})
+		return db, MovieLensQueryText(), err
+	case "crowdrank":
+		db, err := CrowdRank(CrowdRankConfig{Workers: cfg.Workers, Seed: cfg.Seed})
+		return db, CrowdRankQuery, err
+	}
+	return nil, "", fmt.Errorf("unknown dataset %q", cfg.Name)
+}

@@ -57,6 +57,9 @@ func TestBenchmarkAShape(t *testing.T) {
 // generator biases A/B to low ranks and C/D to high ranks; the paper uses
 // these rare events to test approximate-solver accuracy).
 func TestBenchmarkALowProbability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact inference over m=30 models takes ~2s; skipped with -short")
+	}
 	insts := BenchmarkA(3)
 	low := 0
 	for _, in := range insts[:10] {

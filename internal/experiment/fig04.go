@@ -137,7 +137,7 @@ func distinctGroups(db *ppd.DB, query string, max int) ([]sessionGroup, error) {
 		if len(gq.Union) == 0 {
 			continue
 		}
-		key := s.Model.Rehash() + "||" + gq.Union.Key()
+		key := ppd.GroupKey(ppd.MethodAuto, s.Model, gq.Union)
 		if seen[key] {
 			continue
 		}

@@ -1,0 +1,75 @@
+// Package pool provides the bounded worker-pool primitive shared by the
+// query engine and the service layer.
+package pool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Run invokes work(i) for every i in [0, n) on at most workers goroutines.
+// Indices are claimed atomically in order. The first error stops further
+// claims (best-effort: in-flight work items finish) and is returned; on
+// success Run returns nil after all n items completed. A panic in a worker
+// goroutine is recovered and reported as an error, so a panicking work item
+// cannot kill the process of a server calling Run off the request goroutine;
+// with workers <= 1 the work runs on the caller's goroutine and panics
+// propagate normally.
+func Run(n, workers int, work func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := work(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		failed   atomic.Bool
+		next     atomic.Int64
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := safeWork(work, i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// safeWork runs one work item, converting a panic into an error.
+func safeWork(work func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pool: work item %d panicked: %v", i, r)
+		}
+	}()
+	return work(i)
+}

@@ -1,0 +1,76 @@
+package pool
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		var seen [50]atomic.Bool
+		if err := Run(50, workers, func(i int) error {
+			if seen[i].Swap(true) {
+				t.Errorf("workers=%d: index %d claimed twice", workers, i)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range seen {
+			if !seen[i].Load() {
+				t.Fatalf("workers=%d: index %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunZeroItems(t *testing.T) {
+	if err := Run(0, 4, func(int) error { t.Fatal("work called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	err := Run(1000, 4, func(i int) error {
+		calls.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Early stop is best-effort (workers may drain a few more items in the
+	// window before the failure flag lands), so only the error is asserted.
+}
+
+func TestRunRecoversWorkerPanic(t *testing.T) {
+	err := Run(10, 4, func(i int) error {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "pool: work item 5 panicked: kaboom" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunSerialErrorStopsImmediately(t *testing.T) {
+	boom := errors.New("boom")
+	var calls int
+	err := Run(10, 1, func(i int) error {
+		calls++
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}

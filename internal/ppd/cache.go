@@ -1,0 +1,41 @@
+package ppd
+
+import (
+	"probpref/internal/pattern"
+	"probpref/internal/rim"
+)
+
+// SolveCache memoizes inference results across Eval/TopK calls. The engine
+// consults it with GroupKey-formed keys before solving a distinct
+// (model, union) group and stores the result afterwards, so a process-wide
+// cache turns the per-call identical-request grouping of Section 6.4 into
+// cross-query memoization.
+//
+// Implementations must be safe for concurrent use: with Engine.Workers > 1
+// the engine calls Get and Put from multiple goroutines, and a single cache
+// is typically shared by many engines (see internal/server).
+//
+// Correctness caveats: entries are keyed by the solver method, the model
+// parameters and the grounded pattern union — engines with different
+// Methods can therefore safely share one cache — but sampler and solver
+// tuning (SamplerCfg, LiteD/LiteN, RejectionN, SolverOpts) is NOT part of
+// the key, so engines sharing a cache should agree on those. For the exact
+// solvers a hit is always exact; for the sampling methods (MIS-AMP,
+// rejection) a hit replays an earlier estimate instead of re-sampling, so
+// estimates become sticky for the cache lifetime. That is usually desirable
+// (stable answers, no re-inference) but means repeated queries no longer
+// average over fresh samples.
+type SolveCache interface {
+	// Get returns the cached probability for key, if present.
+	Get(key string) (float64, bool)
+	// Put stores the probability for key, evicting as needed.
+	Put(key string, p float64)
+}
+
+// GroupKey returns the memoization key of one inference request: the solver
+// method joined with the model's parameter hash and the canonical key of
+// the grounded union. It is the key used for identical-request grouping
+// inside a single evaluation and for SolveCache lookups across evaluations.
+func GroupKey(m Method, sm rim.SessionModel, u pattern.Union) string {
+	return m.String() + "|" + sm.Rehash() + "||" + u.Key()
+}

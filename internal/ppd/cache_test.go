@@ -1,0 +1,200 @@
+package ppd
+
+import (
+	"sync"
+	"testing"
+)
+
+// lockedCache is a minimal thread-safe SolveCache for tests.
+type lockedCache struct {
+	mu   sync.Mutex
+	m    map[string]float64
+	hits int
+	puts int
+}
+
+func newLockedCache() *lockedCache { return &lockedCache{m: make(map[string]float64)} }
+
+func (c *lockedCache) Get(key string) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.m[key]
+	if ok {
+		c.hits++
+	}
+	return p, ok
+}
+
+func (c *lockedCache) Put(key string, p float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	c.m[key] = p
+}
+
+func TestEvalWithCacheMatchesUncached(t *testing.T) {
+	db := figure1DB(t)
+	q, err := Parse(`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := &Engine{DB: db}
+	want, err := plain.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := newLockedCache()
+	eng := &Engine{DB: db, Cache: cache}
+	cold, err := eng.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Prob != want.Prob || cold.Count != want.Count {
+		t.Fatalf("cold cached eval: prob=%v count=%v, want %v/%v", cold.Prob, cold.Count, want.Prob, want.Count)
+	}
+	if cold.CacheHits != 0 || cold.Solves != want.Solves {
+		t.Fatalf("cold eval: solves=%d hits=%d, want solves=%d hits=0", cold.Solves, cold.CacheHits, want.Solves)
+	}
+	warm, err := eng.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Solves != 0 || warm.CacheHits != want.Solves {
+		t.Fatalf("warm eval: solves=%d hits=%d, want 0/%d", warm.Solves, warm.CacheHits, want.Solves)
+	}
+	if warm.Prob != want.Prob {
+		t.Fatalf("warm prob %v != %v", warm.Prob, want.Prob)
+	}
+}
+
+func TestEvalCacheIgnoredWhenGroupingDisabled(t *testing.T) {
+	db := figure1DB(t)
+	q, err := Parse(`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := newLockedCache()
+	eng := &Engine{DB: db, Cache: cache, DisableGrouping: true}
+	if _, err := eng.Eval(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Eval(q); err != nil {
+		t.Fatal(err)
+	}
+	if cache.hits != 0 || cache.puts != 0 {
+		t.Fatalf("cache used despite DisableGrouping: hits=%d puts=%d", cache.hits, cache.puts)
+	}
+}
+
+func TestTopKWithCache(t *testing.T) {
+	db := figure1DB(t)
+	q, err := Parse(`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := &Engine{DB: db}
+	want, _, err := plain.TopK(q, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{DB: db, Cache: newLockedCache()}
+	if _, _, err := eng.TopK(q, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, diag, err := eng.TopK(q, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.ExactSolves != 0 || diag.CacheHits == 0 {
+		t.Fatalf("warm top-k: exact=%d hits=%d", diag.ExactSolves, diag.CacheHits)
+	}
+	for i := range want {
+		if got[i].Prob != want[i].Prob {
+			t.Fatalf("rank %d: %v != %v", i, got[i].Prob, want[i].Prob)
+		}
+	}
+}
+
+// TestEvalCacheConcurrentRace hammers Engine.Eval with Workers > 1 and a
+// shared SolveCache from many goroutines; run it under -race. Every result
+// must match the serial, uncached evaluation (exact method).
+func TestEvalCacheConcurrentRace(t *testing.T) {
+	db := figure1DB(t)
+	queries := []string{
+		`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`,
+		`P(_, _; c1; c2), C(c1, D, _, _, _, _), C(c2, R, _, _, _, _)`,
+	}
+	want := make([]float64, len(queries))
+	parsed := make([]*Query, len(queries))
+	for i, src := range queries {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed[i] = q
+		res, err := (&Engine{DB: db}).Eval(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Prob
+	}
+
+	cache := newLockedCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine gets its own engine (Engine is not itself
+			// concurrency-safe) but all share one cache.
+			eng := &Engine{DB: db, Workers: 4, Cache: cache}
+			for i := 0; i < 20; i++ {
+				qi := (g + i) % len(parsed)
+				res, err := eng.Eval(parsed[qi])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Prob != want[qi] {
+					t.Errorf("query %d: prob %v, want %v", qi, res.Prob, want[qi])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if cache.hits == 0 {
+		t.Fatal("shared cache was never hit")
+	}
+}
+
+// TestCacheKeysSeparateMethods: engines with different Methods can share one
+// cache without serving each other's results — a rejection-sampling estimate
+// must not be returned as another engine's exact answer.
+func TestCacheKeysSeparateMethods(t *testing.T) {
+	db := figure1DB(t)
+	q, err := Parse(`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := (&Engine{DB: db}).Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := newLockedCache()
+	sampler := &Engine{DB: db, Method: MethodRejection, RejectionN: 50, Cache: cache}
+	if _, err := sampler.Eval(q); err != nil {
+		t.Fatal(err)
+	}
+	got, err := (&Engine{DB: db, Method: MethodAuto, Cache: cache}).Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CacheHits != 0 {
+		t.Fatalf("exact engine hit the sampler's cache entries (%d hits)", got.CacheHits)
+	}
+	if got.Prob != exact.Prob {
+		t.Fatalf("exact prob %v contaminated, want %v", got.Prob, exact.Prob)
+	}
+}

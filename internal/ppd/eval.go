@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"sync"
-	"sync/atomic"
+	"strings"
 
 	"probpref/internal/pattern"
+	"probpref/internal/pool"
 	"probpref/internal/rim"
 	"probpref/internal/sampling"
 	"probpref/internal/solver"
@@ -57,6 +57,31 @@ func (m Method) String() string {
 	return fmt.Sprintf("method(%d)", int(m))
 }
 
+// ParseMethod resolves a method name (as printed by Method.String, plus the
+// CLI short forms) to its Method; it is the shared flag parser of the cmd
+// binaries.
+func ParseMethod(s string) (Method, error) {
+	switch strings.ToLower(s) {
+	case "auto":
+		return MethodAuto, nil
+	case "twolabel", "two-label":
+		return MethodTwoLabel, nil
+	case "bipartite":
+		return MethodBipartite, nil
+	case "general":
+		return MethodGeneral, nil
+	case "relorder":
+		return MethodRelOrder, nil
+	case "mis-adaptive", "adaptive", "mis-amp-adaptive":
+		return MethodMISAdaptive, nil
+	case "mis-lite", "lite", "mis-amp-lite":
+		return MethodMISLite, nil
+	case "rejection", "rs":
+		return MethodRejection, nil
+	}
+	return 0, fmt.Errorf("unknown method %q", s)
+}
+
 // Engine evaluates queries over a RIM-PPD.
 type Engine struct {
 	DB     *DB
@@ -80,6 +105,13 @@ type Engine struct {
 	// methods derive an independent seeded RNG per group so results stay
 	// deterministic for a fixed worker-independent seed.
 	Workers int
+	// Cache, when non-nil, memoizes solved (model, union) groups across
+	// Eval/TopK calls (and across engines sharing the cache). It is
+	// consulted with GroupKey keys before each solve and updated after;
+	// see SolveCache for the concurrency and sampling caveats. Ignored
+	// when DisableGrouping is set, since per-session keys are synthetic
+	// then.
+	Cache SolveCache
 }
 
 func (e *Engine) rng() *rand.Rand {
@@ -105,9 +137,12 @@ type EvalResult struct {
 	Count float64
 	// PerSession holds the per-session probabilities in p-relation order.
 	PerSession []SessionProb
-	// Solves counts inference invocations after grouping identical
-	// requests; without grouping it equals the number of live sessions.
+	// Solves counts actual inference invocations: live sessions, minus
+	// identical-request grouping, minus Cache hits.
 	Solves int
+	// CacheHits counts groups answered from Engine.Cache without solving
+	// (always 0 when no cache is configured).
+	CacheHits int
 }
 
 // Eval grounds and evaluates the query on every session, computing both the
@@ -140,8 +175,9 @@ func (e *Engine) evalGrounded(sessions []*Session, ground func(*Session) (patter
 	var live []liveSession
 	groupOf := make(map[string]int)
 	type group struct {
-		s *Session
-		u pattern.Union
+		s   *Session
+		u   pattern.Union
+		key string
 	}
 	var groups []group
 	for si, s := range sessions {
@@ -152,7 +188,7 @@ func (e *Engine) evalGrounded(sessions []*Session, ground func(*Session) (patter
 		if len(u) == 0 {
 			continue
 		}
-		key := s.Model.Rehash() + "||" + u.Key()
+		key := GroupKey(e.Method, s.Model, u)
 		if e.DisableGrouping {
 			key = fmt.Sprintf("#%d", si)
 		}
@@ -160,73 +196,89 @@ func (e *Engine) evalGrounded(sessions []*Session, ground func(*Session) (patter
 		if !ok {
 			gi = len(groups)
 			groupOf[key] = gi
-			groups = append(groups, group{s: s, u: u})
+			groups = append(groups, group{s: s, u: u, key: key})
 		}
 		live = append(live, liveSession{s: s, u: u, group: gi})
 	}
 
+	// Resolve groups against the shared cache first; only misses are solved.
+	// With Workers > 1, pending keeps the original group indices and the
+	// parallel branch is entered whenever a cold run would enter it, so
+	// per-group sampler seeds do not depend on which groups happened to hit
+	// and a warm parallel run reproduces the cold one exactly. The serial
+	// path draws from the engine's single RNG stream, so there sampling
+	// estimates for the solved groups do depend on how many groups hit.
 	probs := make([]float64, len(groups))
-	if workers := e.Workers; workers > 1 && len(groups) > 1 {
-		if workers > len(groups) {
-			workers = len(groups)
+	cacheHits := 0
+	useCache := e.Cache != nil && !e.DisableGrouping
+	var pending []int
+	for gi := range groups {
+		if useCache {
+			if p, ok := e.Cache.Get(groups[gi].key); ok {
+				probs[gi] = p
+				cacheHits++
+				continue
+			}
 		}
-		var (
-			wg     sync.WaitGroup
-			mu     sync.Mutex
-			solveE error
-			next   int64 = -1
-		)
+		pending = append(pending, gi)
+	}
+	finish := func(gi int, p float64) {
+		probs[gi] = p
+		if useCache {
+			e.Cache.Put(groups[gi].key, p)
+		}
+	}
+
+	if workers := e.Workers; workers > 1 && len(groups) > 1 && len(pending) > 0 {
 		baseSeed := int64(1)
 		if e.Rng != nil {
 			baseSeed = e.Rng.Int63()
 		}
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					gi := int(atomic.AddInt64(&next, 1))
-					if gi >= len(groups) {
-						return
-					}
-					sub := e.withRng(rand.New(rand.NewSource(baseSeed + int64(gi))))
-					p, err := sub.solve(groups[gi].s.Model, groups[gi].u)
-					if err != nil {
-						mu.Lock()
-						if solveE == nil {
-							solveE = err
-						}
-						mu.Unlock()
-						return
-					}
-					probs[gi] = p
-				}
-			}()
-		}
-		wg.Wait()
-		if solveE != nil {
-			return nil, solveE
+		err := pool.Run(len(pending), workers, func(pi int) error {
+			gi := pending[pi]
+			sub := e.withRng(rand.New(rand.NewSource(baseSeed + int64(gi))))
+			p, err := sub.solve(groups[gi].s.Model, groups[gi].u)
+			if err != nil {
+				return err
+			}
+			finish(gi, p)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	} else {
-		for gi := range groups {
+		for _, gi := range pending {
 			p, err := e.solve(groups[gi].s.Model, groups[gi].u)
 			if err != nil {
 				return nil, err
 			}
-			probs[gi] = p
+			finish(gi, p)
 		}
 	}
 
-	res := &EvalResult{Solves: len(groups)}
+	per := make([]SessionProb, len(live))
+	for i, ls := range live {
+		per[i] = SessionProb{Session: ls.s, Prob: probs[ls.group]}
+	}
+	res := BoolAggregate(per)
+	res.Solves, res.CacheHits = len(pending), cacheHits
+	return res, nil
+}
+
+// BoolAggregate builds an EvalResult from per-session probabilities: the
+// Boolean confidence 1 - prod(1 - p) over the independent sessions and the
+// Count-Session expectation sum(p). It is the shared aggregation of
+// evalGrounded and the service layer's batch planner.
+func BoolAggregate(per []SessionProb) *EvalResult {
+	res := &EvalResult{PerSession: per}
 	oneMinus := 1.0
-	for _, ls := range live {
-		p := probs[ls.group]
-		res.PerSession = append(res.PerSession, SessionProb{Session: ls.s, Prob: p})
-		res.Count += p
-		oneMinus *= 1 - p
+	for _, sp := range per {
+		res.Count += sp.Prob
+		oneMinus *= 1 - sp.Prob
 	}
 	res.Prob = 1 - oneMinus
-	return res, nil
+	return res
 }
 
 // withRng returns a shallow copy of the engine using the given RNG; used by
@@ -239,13 +291,27 @@ func (e *Engine) withRng(rng *rand.Rand) *Engine {
 }
 
 // sessionProb computes Pr(Q | s) for a grounded union, consulting the
-// identical-request cache keyed by (model, union).
+// per-call identical-request cache and then the engine's shared SolveCache,
+// both keyed by (model, union).
 func (e *Engine) sessionProb(s *Session, u pattern.Union, cache map[string]float64, res *EvalResult) (float64, error) {
 	var key string
-	if !e.DisableGrouping && cache != nil {
-		key = s.Model.Rehash() + "||" + u.Key()
-		if p, ok := cache[key]; ok {
-			return p, nil
+	if !e.DisableGrouping {
+		key = GroupKey(e.Method, s.Model, u)
+		if cache != nil {
+			if p, ok := cache[key]; ok {
+				return p, nil
+			}
+		}
+		if e.Cache != nil {
+			if p, ok := e.Cache.Get(key); ok {
+				if res != nil {
+					res.CacheHits++
+				}
+				if cache != nil {
+					cache[key] = p
+				}
+				return p, nil
+			}
 		}
 	}
 	p, err := e.solve(s.Model, u)
@@ -256,9 +322,22 @@ func (e *Engine) sessionProb(s *Session, u pattern.Union, cache map[string]float
 		res.Solves++
 	}
 	if key != "" {
-		cache[key] = p
+		if cache != nil {
+			cache[key] = p
+		}
+		if e.Cache != nil {
+			e.Cache.Put(key, p)
+		}
 	}
 	return p, nil
+}
+
+// SolveUnion computes Pr(union | model) with the engine's configured method,
+// bypassing grounding, grouping and Engine.Cache. It is the single-group
+// primitive used by batch planners (see internal/server) that deduplicate
+// groups themselves before fanning out.
+func (e *Engine) SolveUnion(sm rim.SessionModel, u pattern.Union) (float64, error) {
+	return e.solve(sm, u)
 }
 
 // solve runs the configured inference method. Exact methods apply to any
@@ -378,6 +457,8 @@ type TopKDiag struct {
 	// SessionsEvaluated counts sessions whose exact probability was
 	// computed.
 	SessionsEvaluated int
+	// CacheHits counts exact evaluations answered from Engine.Cache.
+	CacheHits int
 }
 
 // TopK answers the Most-Probable-Session query top(Q, k): the k sessions
@@ -406,36 +487,21 @@ func (e *Engine) TopK(q *Query, k int, boundEdges int) ([]SessionProb, *TopKDiag
 // session the disjuncts' grounded unions are merged, then the standard
 // top-k machinery (including the upper-bound optimization) applies.
 func (e *Engine) TopKUnion(uq *UnionQuery, k int, boundEdges int) ([]SessionProb, *TopKDiag, error) {
-	if err := uq.Validate(); err != nil {
+	grounders, err := UnionGrounders(e.DB, uq)
+	if err != nil {
 		return nil, nil, err
 	}
-	grounders := make([]*Grounder, len(uq.Disjuncts))
-	for i, q := range uq.Disjuncts {
-		g, err := NewGrounder(e.DB, q)
-		if err != nil {
-			return nil, nil, fmt.Errorf("ppd: disjunct %d: %w", i+1, err)
-		}
-		grounders[i] = g
-		if g.Pref() != grounders[0].Pref() {
-			return nil, nil, fmt.Errorf("ppd: disjuncts ground over different p-relations")
-		}
-	}
 	return e.topKGrounded(grounders[0].Pref().Sessions, func(s *Session) (pattern.Union, error) {
-		unions := make([]pattern.Union, 0, len(grounders))
-		for _, g := range grounders {
-			gq, err := g.GroundSession(s)
-			if err != nil {
-				return nil, err
-			}
-			unions = append(unions, gq.Union)
-		}
-		return pattern.Merge(unions...), nil
+		return GroundMerged(grounders, s)
 	}, k, boundEdges)
 }
 
 // topKGrounded is the shared Most-Probable-Session loop for any grounding
 // function.
 func (e *Engine) topKGrounded(sessions []*Session, ground func(*Session) (pattern.Union, error), k, boundEdges int) ([]SessionProb, *TopKDiag, error) {
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("ppd: top-k requires k >= 1, got %d", k)
+	}
 	diag := &TopKDiag{}
 	type cand struct {
 		s  *Session
@@ -455,7 +521,7 @@ func (e *Engine) topKGrounded(sessions []*Session, ground func(*Session) (patter
 		c := cand{s: s, u: u, ub: 1}
 		if boundEdges > 0 {
 			bu := pattern.BoundUnion(u, s.Model.Reference(), e.DB.Labeling(), boundEdges)
-			key := s.Model.Rehash() + "||" + bu.Key()
+			key := GroupKey(MethodBipartite, s.Model, bu)
 			ub, ok := boundCache[key]
 			if !ok {
 				// Bound patterns are constraint sets; the bipartite solver
@@ -501,5 +567,6 @@ func (e *Engine) topKGrounded(sessions []*Session, ground func(*Session) (patter
 		}
 	}
 	diag.ExactSolves = res.Solves
+	diag.CacheHits = res.CacheHits
 	return out, diag, nil
 }

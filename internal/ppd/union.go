@@ -117,17 +117,17 @@ func (uq *UnionQuery) String() string {
 	return "Q() <- " + strings.Join(parts, " | ")
 }
 
-// EvalUnion evaluates a union of conjunctive queries: per session, the
-// grounded pattern unions of all disjuncts are merged (deduplicated) and
-// solved as one inference request, sharing the engine's solver selection,
-// identical-request grouping and parallelism.
-func (e *Engine) EvalUnion(uq *UnionQuery) (*EvalResult, error) {
+// UnionGrounders validates the union and builds one grounder per disjunct,
+// checking that every disjunct grounds over the same p-relation. It is the
+// shared grounding front end of EvalUnion, TopKUnion and the service
+// layer's batch planner.
+func UnionGrounders(db *DB, uq *UnionQuery) ([]*Grounder, error) {
 	if err := uq.Validate(); err != nil {
 		return nil, err
 	}
 	grounders := make([]*Grounder, len(uq.Disjuncts))
 	for i, q := range uq.Disjuncts {
-		g, err := NewGrounder(e.DB, q)
+		g, err := NewGrounder(db, q)
 		if err != nil {
 			return nil, fmt.Errorf("ppd: disjunct %d: %w", i+1, err)
 		}
@@ -136,17 +136,34 @@ func (e *Engine) EvalUnion(uq *UnionQuery) (*EvalResult, error) {
 			return nil, fmt.Errorf("ppd: disjuncts ground over different p-relations")
 		}
 	}
-	sessions := grounders[0].Pref().Sessions
-	return e.evalGrounded(sessions, func(s *Session) (pattern.Union, error) {
-		unions := make([]pattern.Union, 0, len(grounders))
-		for _, g := range grounders {
-			gq, err := g.GroundSession(s)
-			if err != nil {
-				return nil, err
-			}
-			unions = append(unions, gq.Union)
+	return grounders, nil
+}
+
+// GroundMerged grounds one session under every grounder and merges the
+// disjuncts' unions into the single equivalent inference request.
+func GroundMerged(grounders []*Grounder, s *Session) (pattern.Union, error) {
+	unions := make([]pattern.Union, 0, len(grounders))
+	for _, g := range grounders {
+		gq, err := g.GroundSession(s)
+		if err != nil {
+			return nil, err
 		}
-		return pattern.Merge(unions...), nil
+		unions = append(unions, gq.Union)
+	}
+	return pattern.Merge(unions...), nil
+}
+
+// EvalUnion evaluates a union of conjunctive queries: per session, the
+// grounded pattern unions of all disjuncts are merged (deduplicated) and
+// solved as one inference request, sharing the engine's solver selection,
+// identical-request grouping and parallelism.
+func (e *Engine) EvalUnion(uq *UnionQuery) (*EvalResult, error) {
+	grounders, err := UnionGrounders(e.DB, uq)
+	if err != nil {
+		return nil, err
+	}
+	return e.evalGrounded(grounders[0].Pref().Sessions, func(s *Session) (pattern.Union, error) {
+		return GroundMerged(grounders, s)
 	})
 }
 

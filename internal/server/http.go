@@ -1,0 +1,265 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"probpref/internal/ppd"
+)
+
+// SessionProbJSON is the wire form of one per-session probability.
+type SessionProbJSON struct {
+	Session []string `json:"session"`
+	Prob    float64  `json:"prob"`
+}
+
+// EvalResultJSON is the wire form of one evaluation.
+type EvalResultJSON struct {
+	Prob         float64           `json:"prob"`
+	Count        float64           `json:"count"`
+	LiveSessions int               `json:"live_sessions"`
+	Solves       int               `json:"solves"`
+	CacheHits    int               `json:"cache_hits"`
+	PerSession   []SessionProbJSON `json:"per_session,omitempty"`
+}
+
+// BatchJSON is the wire form of EvalBatch's dedup accounting.
+type BatchJSON struct {
+	Groups    int `json:"groups"`
+	Instances int `json:"instances"`
+	Solved    int `json:"solved"`
+	CacheHits int `json:"cache_hits"`
+}
+
+// EvalResponse is the wire form of POST /eval and GET /eval.
+type EvalResponse struct {
+	Results []EvalResultJSON `json:"results"`
+	Batch   BatchJSON        `json:"batch"`
+}
+
+// EvalRequest is the body of POST /eval.
+type EvalRequest struct {
+	Queries []string `json:"queries"`
+	// PerSession includes per-session probabilities in every result.
+	PerSession bool `json:"per_session,omitempty"`
+}
+
+// TopKDiagJSON is the wire form of a top-k diagnostic.
+type TopKDiagJSON struct {
+	BoundSolves       int `json:"bound_solves"`
+	ExactSolves       int `json:"exact_solves"`
+	SessionsEvaluated int `json:"sessions_evaluated"`
+	CacheHits         int `json:"cache_hits"`
+}
+
+// TopKResultJSON is the wire form of one top-k answer.
+type TopKResultJSON struct {
+	Top  []SessionProbJSON `json:"top"`
+	Diag TopKDiagJSON      `json:"diag"`
+}
+
+// TopKResponse is the wire form of /topk.
+type TopKResponse struct {
+	Results []TopKResultJSON `json:"results"`
+}
+
+// TopKRequestJSON is one query of a POST /topk batch.
+type TopKRequestJSON struct {
+	Query string `json:"query"`
+	K     int    `json:"k"`
+	Bound int    `json:"bound"`
+}
+
+// TopKBatchRequest is the body of POST /topk.
+type TopKBatchRequest struct {
+	Queries []TopKRequestJSON `json:"queries"`
+}
+
+// StatsResponse is the wire form of GET /stats.
+type StatsResponse struct {
+	Items    int   `json:"items"`
+	Sessions int   `json:"sessions"`
+	Service  Stats `json:"service"`
+}
+
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+
+// Handler returns the HTTP/JSON front end of the service:
+//
+//	GET  /eval?q=Q[&sessions=1]   evaluate one query
+//	POST /eval                    {"queries": [...]} batch with dedup
+//	GET  /topk?q=Q&k=K&bound=B    one Most-Probable-Session query
+//	POST /topk                    {"queries": [{"query","k","bound"}, ...]}
+//	GET  /stats                   service and cache statistics
+//	GET  /healthz                 liveness probe
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/eval", func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, func() (any, error) { return s.handleEval(r) })
+	})
+	mux.HandleFunc("/topk", func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, func() (any, error) { return s.handleTopK(r) })
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, func() (any, error) {
+			n := 0
+			for _, p := range s.db.Prefs {
+				n += len(p.Sessions)
+			}
+			return &StatsResponse{Items: s.db.M(), Sessions: n, Service: s.Stats()}, nil
+		})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func serveJSON(w http.ResponseWriter, fn func() (any, error)) {
+	v, err := fn()
+	if err != nil {
+		// Parse/validation failures are the client's fault (400); failures
+		// while evaluating an accepted request are ours (500).
+		status := http.StatusBadRequest
+		var he *httpError
+		var ee *evalError
+		switch {
+		case errors.As(err, &he):
+			status = he.status
+		case errors.As(err, &ee):
+			status = http.StatusInternalServerError
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Service) handleEval(r *http.Request) (*EvalResponse, error) {
+	var req EvalRequest
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			return nil, fmt.Errorf("missing q parameter")
+		}
+		req.Queries = []string{q}
+		req.PerSession = r.URL.Query().Get("sessions") != ""
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return nil, fmt.Errorf("decoding body: %w", err)
+		}
+		if len(req.Queries) == 0 {
+			return nil, fmt.Errorf("empty queries")
+		}
+	default:
+		return nil, &httpError{http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method)}
+	}
+	br, err := s.EvalBatch(req.Queries)
+	if err != nil {
+		return nil, err
+	}
+	resp := &EvalResponse{Batch: BatchJSON{
+		Groups:    br.Groups,
+		Instances: br.Instances,
+		Solved:    br.Solved,
+		CacheHits: br.CacheHits,
+	}}
+	for _, res := range br.Results {
+		resp.Results = append(resp.Results, evalResultJSON(res, req.PerSession))
+	}
+	return resp, nil
+}
+
+func evalResultJSON(res *ppd.EvalResult, perSession bool) EvalResultJSON {
+	out := EvalResultJSON{
+		Prob:         res.Prob,
+		Count:        res.Count,
+		LiveSessions: len(res.PerSession),
+		Solves:       res.Solves,
+		CacheHits:    res.CacheHits,
+	}
+	if perSession {
+		for _, sp := range res.PerSession {
+			out.PerSession = append(out.PerSession, SessionProbJSON{Session: sp.Session.Key, Prob: sp.Prob})
+		}
+	}
+	return out
+}
+
+func (s *Service) handleTopK(r *http.Request) (*TopKResponse, error) {
+	var reqs []TopKRequest
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			return nil, fmt.Errorf("missing q parameter")
+		}
+		req := TopKRequest{Query: q, K: 3, Bound: 1}
+		var err error
+		if v := r.URL.Query().Get("k"); v != "" {
+			if req.K, err = strconv.Atoi(v); err != nil {
+				return nil, fmt.Errorf("bad k: %w", err)
+			}
+		}
+		if v := r.URL.Query().Get("bound"); v != "" {
+			if req.Bound, err = strconv.Atoi(v); err != nil {
+				return nil, fmt.Errorf("bad bound: %w", err)
+			}
+		}
+		reqs = []TopKRequest{req}
+	case http.MethodPost:
+		var body TopKBatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			return nil, fmt.Errorf("decoding body: %w", err)
+		}
+		if len(body.Queries) == 0 {
+			return nil, fmt.Errorf("empty queries")
+		}
+		for _, q := range body.Queries {
+			reqs = append(reqs, TopKRequest{Query: q.Query, K: q.K, Bound: q.Bound})
+		}
+	default:
+		return nil, &httpError{http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method)}
+	}
+	for i := range reqs {
+		if reqs[i].K == 0 {
+			reqs[i].K = 3 // GET and POST share the same default
+		}
+		if reqs[i].K < 0 || reqs[i].Bound < 0 {
+			return nil, fmt.Errorf("query %d: k and bound must be non-negative", i+1)
+		}
+	}
+	results, err := s.TopKBatch(reqs)
+	if err != nil {
+		return nil, err
+	}
+	resp := &TopKResponse{}
+	for _, res := range results {
+		rj := TopKResultJSON{Diag: TopKDiagJSON{
+			BoundSolves:       res.Diag.BoundSolves,
+			ExactSolves:       res.Diag.ExactSolves,
+			SessionsEvaluated: res.Diag.SessionsEvaluated,
+			CacheHits:         res.Diag.CacheHits,
+		}}
+		for _, sp := range res.Top {
+			rj.Top = append(rj.Top, SessionProbJSON{Session: sp.Session.Key, Prob: sp.Prob})
+		}
+		resp.Results = append(resp.Results, rj)
+	}
+	return resp, nil
+}

@@ -1,0 +1,349 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"probpref/internal/pattern"
+	"probpref/internal/pool"
+	"probpref/internal/ppd"
+	"probpref/internal/rim"
+)
+
+// Config tunes a Service.
+type Config struct {
+	// Method selects the per-session inference solver (default MethodAuto).
+	Method ppd.Method
+	// Workers bounds the worker pool used for batch fan-out and for the
+	// per-engine group parallelism of single queries (default 4).
+	Workers int
+	// CacheSize is the solve-cache capacity in entries; 0 means the default
+	// (4096) and a negative value disables the cache.
+	CacheSize int
+	// Seed is the base seed for the sampling methods; per inference group
+	// the engines derive seed+groupIndex, so batch answers are deterministic
+	// for a fixed seed (default 1).
+	Seed int64
+}
+
+// DefaultCacheSize is the solve-cache capacity used when Config.CacheSize
+// is 0.
+const DefaultCacheSize = 4096
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = DefaultCacheSize
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// evalError marks a failure that happened while evaluating an already
+// parsed request, as opposed to a parse/validation failure; the HTTP layer
+// maps it to a 500 instead of a 400. (Grounding errors inside the engine —
+// e.g. a query naming an unknown relation — are conservatively classified
+// as evaluation failures too.)
+type evalError struct{ err error }
+
+func (e *evalError) Error() string { return e.err.Error() }
+func (e *evalError) Unwrap() error { return e.err }
+
+// Stats is a point-in-time snapshot of a Service's activity.
+type Stats struct {
+	// Evals counts single queries served by Eval plus queries served through
+	// EvalBatch; TopKs likewise for TopK/TopKBatch.
+	Evals uint64 `json:"evals"`
+	TopKs uint64 `json:"topks"`
+	// Batches counts EvalBatch/TopKBatch calls.
+	Batches uint64 `json:"batches"`
+	// Solves counts solver invocations performed on behalf of the service
+	// (exact and bound solves, after grouping, dedup and cache hits).
+	Solves uint64 `json:"solves"`
+	// Cache reports solve-cache effectiveness (zero when disabled).
+	Cache CacheStats `json:"cache"`
+}
+
+// Service is a concurrent query front end over one RIM-PPD: it owns the
+// database and a process-wide solve cache shared by every request, and its
+// batch APIs deduplicate inference groups across queries before fanning out
+// to a bounded worker pool. All methods are safe for concurrent use.
+type Service struct {
+	db    *ppd.DB
+	cache *Cache
+	cfg   Config
+
+	evals   atomic.Uint64
+	topks   atomic.Uint64
+	batches atomic.Uint64
+	solves  atomic.Uint64
+}
+
+// New builds a Service over db. The db must not be mutated while the
+// service is in use.
+func New(db *ppd.DB, cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{db: db, cfg: cfg}
+	if cfg.CacheSize > 0 {
+		s.cache = NewCache(cfg.CacheSize)
+	}
+	return s
+}
+
+// DB returns the served database.
+func (s *Service) DB() *ppd.DB { return s.db }
+
+// Cache returns the shared solve cache (nil when disabled).
+func (s *Service) Cache() *Cache { return s.cache }
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Evals:   s.evals.Load(),
+		TopKs:   s.topks.Load(),
+		Batches: s.batches.Load(),
+		Solves:  s.solves.Load(),
+	}
+	if s.cache != nil {
+		st.Cache = s.cache.Stats()
+	}
+	return st
+}
+
+// engine builds a request-scoped engine sharing the service cache. Engines
+// are cheap; one per request keeps RNG and solver statistics unshared.
+func (s *Service) engine(seed int64) *ppd.Engine {
+	e := &ppd.Engine{
+		DB:      s.db,
+		Method:  s.cfg.Method,
+		Rng:     rand.New(rand.NewSource(seed)),
+		Workers: s.cfg.Workers,
+	}
+	if s.cache != nil {
+		e.Cache = s.cache
+	}
+	return e
+}
+
+// Eval parses and evaluates one query (a CQ or a union of CQs), sharing the
+// service's solve cache with every other request.
+func (s *Service) Eval(query string) (*ppd.EvalResult, error) {
+	uq, err := ppd.ParseUnion(query)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.engine(s.cfg.Seed).EvalUnion(uq)
+	if err != nil {
+		return nil, &evalError{err}
+	}
+	s.evals.Add(1)
+	s.solves.Add(uint64(res.Solves))
+	return res, nil
+}
+
+// TopK parses and answers the Most-Probable-Session query top(Q, k) with
+// boundEdges upper-bound edges (0 = naive).
+func (s *Service) TopK(query string, k, boundEdges int) ([]ppd.SessionProb, *ppd.TopKDiag, error) {
+	uq, err := ppd.ParseUnion(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	top, diag, err := s.engine(s.cfg.Seed).TopKUnion(uq, k, boundEdges)
+	if err != nil {
+		return nil, nil, &evalError{err}
+	}
+	s.topks.Add(1)
+	s.solves.Add(uint64(diag.ExactSolves + diag.BoundSolves))
+	return top, diag, nil
+}
+
+// BatchResult reports an EvalBatch: one EvalResult per query (in request
+// order) plus batch-level dedup accounting.
+type BatchResult struct {
+	// Results holds one evaluation per query, in request order.
+	Results []*ppd.EvalResult
+	// Groups counts distinct (model, union) inference groups across the
+	// whole batch; Instances counts group references before cross-query
+	// dedup (Instances - Groups were saved by sharing within the batch).
+	Groups    int
+	Instances int
+	// Solved counts groups actually sent to a solver; CacheHits counts
+	// groups answered from the shared cache. Solved + CacheHits == Groups.
+	Solved    int
+	CacheHits int
+}
+
+// EvalBatch evaluates a batch of queries as one unit: every query is
+// grounded first, the per-session inference groups are deduplicated across
+// all queries of the batch (the cross-query generalization of the paper's
+// Section 6.4 grouping), cached results are taken from the shared solve
+// cache, and only the remaining distinct groups are solved by a bounded
+// worker pool. Identical or overlapping queries therefore cost one solver
+// invocation per distinct group, not per query.
+//
+// For the exact methods, per-query probabilities are identical to evaluating
+// each query alone. For the sampling methods each group's seed derives from
+// its batch-wide group index (and warm cache entries replay earlier
+// estimates), so estimates are deterministic per batch+seed but can differ
+// from a standalone evaluation of the same query. A query's
+// EvalResult.Solves / CacheHits attribute each group to the first query of
+// the batch that needed it.
+func (s *Service) EvalBatch(queries []string) (*BatchResult, error) {
+	type ref struct {
+		sess *ppd.Session
+		gi   int
+	}
+	type batchGroup struct {
+		sm    rim.SessionModel
+		u     pattern.Union
+		key   string
+		first int // index of the first query referencing the group
+	}
+	var (
+		groupOf = make(map[string]int)
+		groups  []batchGroup
+		perQ    = make([][]ref, len(queries))
+		br      = &BatchResult{Results: make([]*ppd.EvalResult, len(queries))}
+	)
+	for qi, src := range queries {
+		uq, err := ppd.ParseUnion(src)
+		if err != nil {
+			return nil, fmt.Errorf("server: query %d: %w", qi+1, err)
+		}
+		grounders, err := ppd.UnionGrounders(s.db, uq)
+		if err != nil {
+			return nil, &evalError{fmt.Errorf("server: query %d: %w", qi+1, err)}
+		}
+		for _, sess := range grounders[0].Pref().Sessions {
+			u, err := ppd.GroundMerged(grounders, sess)
+			if err != nil {
+				return nil, &evalError{fmt.Errorf("server: query %d: %w", qi+1, err)}
+			}
+			if len(u) == 0 {
+				continue
+			}
+			key := ppd.GroupKey(s.cfg.Method, sess.Model, u)
+			gi, ok := groupOf[key]
+			if !ok {
+				gi = len(groups)
+				groupOf[key] = gi
+				groups = append(groups, batchGroup{sm: sess.Model, u: u, key: key, first: qi})
+			}
+			perQ[qi] = append(perQ[qi], ref{sess: sess, gi: gi})
+			br.Instances++
+		}
+	}
+	br.Groups = len(groups)
+
+	// Resolve groups from the shared cache, then fan the misses out to the
+	// worker pool. Seeds derive from the group index so sampling answers are
+	// deterministic for a fixed Config.Seed regardless of pool scheduling.
+	probs := make([]float64, len(groups))
+	cached := make([]bool, len(groups))
+	var pending []int
+	for gi := range groups {
+		if s.cache != nil {
+			if p, ok := s.cache.Get(groups[gi].key); ok {
+				probs[gi] = p
+				cached[gi] = true
+				br.CacheHits++
+				continue
+			}
+		}
+		pending = append(pending, gi)
+	}
+	br.Solved = len(pending)
+	err := pool.Run(len(pending), s.cfg.Workers, func(pi int) error {
+		gi := pending[pi]
+		eng := s.engine(s.cfg.Seed + int64(gi))
+		eng.Workers = 1 // the pool is the parallelism
+		p, err := eng.SolveUnion(groups[gi].sm, groups[gi].u)
+		if err != nil {
+			return fmt.Errorf("server: query %d: %w", groups[gi].first+1, err)
+		}
+		probs[gi] = p
+		if s.cache != nil {
+			s.cache.Put(groups[gi].key, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, &evalError{err}
+	}
+
+	// Aggregate per query with the engine's own aggregation, attributing
+	// each group's cost to the first query that referenced it.
+	for qi := range queries {
+		per := make([]ppd.SessionProb, len(perQ[qi]))
+		for i, r := range perQ[qi] {
+			per[i] = ppd.SessionProb{Session: r.sess, Prob: probs[r.gi]}
+		}
+		br.Results[qi] = ppd.BoolAggregate(per)
+	}
+	for gi, g := range groups {
+		if cached[gi] {
+			br.Results[g.first].CacheHits++
+		} else {
+			br.Results[g.first].Solves++
+		}
+	}
+	s.batches.Add(1)
+	s.evals.Add(uint64(len(queries)))
+	s.solves.Add(uint64(br.Solved))
+	return br, nil
+}
+
+// TopKRequest is one query of a TopKBatch.
+type TopKRequest struct {
+	Query string
+	K     int
+	Bound int
+}
+
+// TopKResult is one answer of a TopKBatch.
+type TopKResult struct {
+	Top  []ppd.SessionProb
+	Diag *ppd.TopKDiag
+}
+
+// TopKBatch answers a batch of Most-Probable-Session queries on the bounded
+// worker pool. Each query runs the standard top-k machinery (its early
+// termination depends on per-query bound ordering, so exact solves are not
+// pre-deduplicated across queries); cross-query sharing still happens
+// through the shared solve cache, so repeated or overlapping queries reuse
+// each other's exact per-group results.
+func (s *Service) TopKBatch(reqs []TopKRequest) ([]*TopKResult, error) {
+	parsed := make([]*ppd.UnionQuery, len(reqs))
+	for i, r := range reqs {
+		uq, err := ppd.ParseUnion(r.Query)
+		if err != nil {
+			return nil, fmt.Errorf("server: query %d: %w", i+1, err)
+		}
+		parsed[i] = uq
+	}
+	out := make([]*TopKResult, len(reqs))
+	var total atomic.Uint64
+	err := pool.Run(len(reqs), s.cfg.Workers, func(ri int) error {
+		eng := s.engine(s.cfg.Seed + int64(ri))
+		eng.Workers = 1 // the pool is the parallelism
+		top, diag, err := eng.TopKUnion(parsed[ri], reqs[ri].K, reqs[ri].Bound)
+		if err != nil {
+			return fmt.Errorf("server: query %d: %w", ri+1, err)
+		}
+		out[ri] = &TopKResult{Top: top, Diag: diag}
+		total.Add(uint64(diag.ExactSolves + diag.BoundSolves))
+		return nil
+	})
+	if err != nil {
+		return nil, &evalError{err}
+	}
+	s.batches.Add(1)
+	s.topks.Add(uint64(len(reqs)))
+	s.solves.Add(total.Load())
+	return out, nil
+}

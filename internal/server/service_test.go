@@ -1,0 +1,303 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"probpref/internal/dataset"
+	"probpref/internal/ppd"
+)
+
+const (
+	q1 = `P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`
+	q2 = `P(_, _; c1; c2), C(c1, D, _, _, _, _), C(c2, R, _, _, _, _)`
+)
+
+func figure1Service(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	db, err := dataset.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(db, cfg)
+}
+
+func TestEvalMatchesEngine(t *testing.T) {
+	svc := figure1Service(t, Config{})
+	eng := &ppd.Engine{DB: svc.DB()}
+	want, err := eng.EvalUnion(ppd.MustParseUnion(q1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := svc.Eval(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Prob != want.Prob || got.Count != want.Count {
+		t.Fatalf("service: prob=%v count=%v, engine: prob=%v count=%v",
+			got.Prob, got.Count, want.Prob, want.Count)
+	}
+	// The second identical query is answered entirely from the cache.
+	again, err := svc.Eval(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Solves != 0 || again.CacheHits == 0 {
+		t.Fatalf("repeat: solves=%d cacheHits=%d, want 0 and >0", again.Solves, again.CacheHits)
+	}
+	if again.Prob != want.Prob {
+		t.Fatalf("cached prob %v != %v", again.Prob, want.Prob)
+	}
+}
+
+// TestEvalBatchDedupBeatsIndependentEvals is the acceptance check of the
+// service layer: a repeated-query batch performs strictly fewer solver
+// invocations than the same queries evaluated by independent engines, with
+// identical probabilities (exact method).
+func TestEvalBatchDedupBeatsIndependentEvals(t *testing.T) {
+	svc := figure1Service(t, Config{})
+	eng := &ppd.Engine{DB: svc.DB()}
+	want, err := eng.EvalUnion(ppd.MustParseUnion(q1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	independent := 2 * want.Solves // two separate uncached Eval calls
+
+	br, err := svc.EvalBatch([]string{q1, q1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Solved >= independent {
+		t.Fatalf("batch solved %d groups, independent evals solve %d", br.Solved, independent)
+	}
+	if br.Instances <= br.Groups {
+		t.Fatalf("no cross-query dedup: instances=%d groups=%d", br.Instances, br.Groups)
+	}
+	for i, res := range br.Results {
+		if res.Prob != want.Prob || res.Count != want.Count {
+			t.Fatalf("result %d: prob=%v count=%v, want prob=%v count=%v",
+				i, res.Prob, res.Count, want.Prob, want.Count)
+		}
+	}
+	if br.Results[0].Solves != want.Solves || br.Results[1].Solves != 0 {
+		t.Fatalf("attribution: q0 solves=%d (want %d), q1 solves=%d (want 0)",
+			br.Results[0].Solves, want.Solves, br.Results[1].Solves)
+	}
+
+	// A second batch over the same queries is answered from the cache alone.
+	br2, err := svc.EvalBatch([]string{q1, q1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br2.Solved != 0 || br2.CacheHits != br.Groups {
+		t.Fatalf("warm batch: solved=%d cacheHits=%d, want 0 and %d", br2.Solved, br2.CacheHits, br.Groups)
+	}
+	if br2.Results[0].Prob != want.Prob {
+		t.Fatalf("warm prob %v != %v", br2.Results[0].Prob, want.Prob)
+	}
+}
+
+func TestEvalBatchMixedQueries(t *testing.T) {
+	svc := figure1Service(t, Config{})
+	eng := &ppd.Engine{DB: svc.DB()}
+	for _, q := range []string{q1, q2} {
+		want, err := eng.EvalUnion(ppd.MustParseUnion(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		br, err := svc.EvalBatch([]string{q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := br.Results[0]; math.Abs(got.Prob-want.Prob) > 1e-12 {
+			t.Fatalf("query %q: %v != %v", q, got.Prob, want.Prob)
+		}
+	}
+}
+
+func TestEvalBatchErrors(t *testing.T) {
+	svc := figure1Service(t, Config{})
+	if _, err := svc.EvalBatch([]string{"not a query("}); err == nil {
+		t.Fatal("want parse error")
+	}
+	if _, err := svc.Eval("nope("); err == nil {
+		t.Fatal("want parse error")
+	}
+	if _, _, err := svc.TopK("nope(", 1, 1); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestTopKSharesCacheAcrossRequests(t *testing.T) {
+	svc := figure1Service(t, Config{})
+	top1, diag1, err := svc.TopK(q1, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag1.ExactSolves == 0 {
+		t.Fatal("cold top-k should solve")
+	}
+	top2, diag2, err := svc.TopK(q1, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag2.ExactSolves != 0 || diag2.CacheHits == 0 {
+		t.Fatalf("warm top-k: exact=%d cacheHits=%d", diag2.ExactSolves, diag2.CacheHits)
+	}
+	for i := range top1 {
+		if top1[i].Prob != top2[i].Prob {
+			t.Fatalf("rank %d: %v != %v", i, top1[i].Prob, top2[i].Prob)
+		}
+	}
+}
+
+func TestTopKBatch(t *testing.T) {
+	svc := figure1Service(t, Config{})
+	reqs := []TopKRequest{{Query: q1, K: 2, Bound: 1}, {Query: q1, K: 2, Bound: 1}, {Query: q2, K: 3, Bound: 0}}
+	out, err := svc.TopKBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d results", len(out))
+	}
+	if len(out[0].Top) != 2 || len(out[2].Top) != 3 {
+		t.Fatalf("k not honored: %d, %d", len(out[0].Top), len(out[2].Top))
+	}
+	for i := range out[0].Top {
+		if out[0].Top[i].Prob != out[1].Top[i].Prob {
+			t.Fatalf("identical requests disagree at rank %d", i)
+		}
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	svc := figure1Service(t, Config{CacheSize: -1})
+	if svc.Cache() != nil {
+		t.Fatal("cache should be disabled")
+	}
+	res, err := svc.Eval(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := svc.Eval(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CacheHits != 0 || res2.Solves != res.Solves {
+		t.Fatalf("disabled cache still hit: %+v", res2)
+	}
+}
+
+func TestServiceStats(t *testing.T) {
+	svc := figure1Service(t, Config{})
+	if _, err := svc.Eval(q1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.EvalBatch([]string{q1, q2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.TopK(q1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Evals != 3 || st.TopKs != 1 || st.Batches != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Solves == 0 || st.Cache.Hits == 0 {
+		t.Fatalf("expected solves and cache hits: %+v", st)
+	}
+}
+
+// TestServiceConcurrentRace hammers every service entry point from many
+// goroutines sharing one solve cache; run it under -race. Exact methods must
+// produce identical probabilities regardless of interleaving.
+func TestServiceConcurrentRace(t *testing.T) {
+	svc := figure1Service(t, Config{Workers: 4, CacheSize: 8}) // tiny cache forces evictions
+	eng := &ppd.Engine{DB: svc.DB()}
+	want := make(map[string]float64)
+	for _, q := range []string{q1, q2} {
+		res, err := eng.EvalUnion(ppd.MustParseUnion(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = res.Prob
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				q := q1
+				if (g+i)%2 == 0 {
+					q = q2
+				}
+				switch i % 3 {
+				case 0:
+					res, err := svc.Eval(q)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if res.Prob != want[q] {
+						t.Errorf("Eval(%q) = %v, want %v", q, res.Prob, want[q])
+						return
+					}
+				case 1:
+					br, err := svc.EvalBatch([]string{q1, q2, q})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if br.Results[2].Prob != want[q] {
+						t.Errorf("EvalBatch(%q) = %v, want %v", q, br.Results[2].Prob, want[q])
+						return
+					}
+				case 2:
+					if _, _, err := svc.TopK(q, 2, 1); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// Benchmarks: the cached service versus a bare engine on a repeated query.
+// The warm-cache path performs zero solver invocations per evaluation.
+
+func BenchmarkEngineEvalUncached(b *testing.B) {
+	db, err := dataset.Figure1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	uq := ppd.MustParseUnion(q1)
+	eng := &ppd.Engine{DB: db}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.EvalUnion(uq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServiceEvalCached(b *testing.B) {
+	db, err := dataset.Figure1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := New(db, Config{})
+	if _, err := svc.Eval(q1); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Eval(q1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -37,7 +37,12 @@
 //   - preference models beyond plain Mallows — GeneralizedMallows (a RIM;
 //     exact solvers apply) and PlackettLuce (queried through sampling);
 //   - learning: FitMallows and FitMixture recover Mallows models and
-//     mixtures from observed rankings by Kemeny search and EM.
+//     mixtures from observed rankings by Kemeny search and EM;
+//   - the concurrent query service layer: a process-wide sharded LRU solve
+//     cache shared across queries (NewSolveCache, Engine.Cache), and a
+//     Service with batch APIs that deduplicate inference groups across the
+//     queries of a batch and serve an HTTP/JSON front end (NewService,
+//     Service.Handler, cmd/hardqd).
 //
 // # Quick start
 //
@@ -61,6 +66,7 @@ import (
 	"probpref/internal/rank"
 	"probpref/internal/rim"
 	"probpref/internal/sampling"
+	"probpref/internal/server"
 	"probpref/internal/solver"
 )
 
@@ -227,6 +233,37 @@ const (
 	MethodMISLite     = ppd.MethodMISLite
 	MethodRejection   = ppd.MethodRejection
 )
+
+// Service layer.
+type (
+	// SolveCache memoizes (model, union) inference results across queries;
+	// set Engine.Cache to share solves between evaluations.
+	SolveCache = ppd.SolveCache
+	// Cache is the sharded LRU SolveCache of the service layer.
+	Cache = server.Cache
+	// CacheStats snapshots cache effectiveness.
+	CacheStats = server.CacheStats
+	// Service is the concurrent query front end: shared solve cache, batch
+	// dedup, bounded worker pool, HTTP handler.
+	Service = server.Service
+	// ServiceConfig tunes a Service.
+	ServiceConfig = server.Config
+	// ServiceStats snapshots a Service's counters.
+	ServiceStats = server.Stats
+	// BatchResult reports a Service.EvalBatch.
+	BatchResult = server.BatchResult
+	// TopKRequest is one query of a Service.TopKBatch.
+	TopKRequest = server.TopKRequest
+	// TopKResult is one answer of a Service.TopKBatch.
+	TopKResult = server.TopKResult
+)
+
+// NewSolveCache builds the sharded LRU solve cache holding up to capacity
+// inference results; assign it to Engine.Cache or share it across engines.
+func NewSolveCache(capacity int) *Cache { return server.NewCache(capacity) }
+
+// NewService builds the concurrent query service over db.
+func NewService(db *DB, cfg ServiceConfig) *Service { return server.New(db, cfg) }
 
 // NewDB builds a database around an item relation.
 func NewDB(items *Relation) (*DB, error) { return ppd.NewDB(items) }

@@ -1,0 +1,60 @@
+package probpref
+
+import "testing"
+
+const serviceQ = `P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`
+
+func TestServiceFacade(t *testing.T) {
+	db, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(db, ServiceConfig{Method: MethodAuto, Workers: 2})
+	br, err := svc.EvalBatch([]string{serviceQ, serviceQ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Instances <= br.Groups || br.Solved != br.Groups {
+		t.Fatalf("batch accounting: %+v", br)
+	}
+	if br.Results[0].Prob != br.Results[1].Prob {
+		t.Fatalf("identical queries disagree: %v != %v", br.Results[0].Prob, br.Results[1].Prob)
+	}
+	if _, _, err := svc.TopK(serviceQ, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Evals != 2 || st.TopKs != 1 || st.Solves == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEngineCacheFacade(t *testing.T) {
+	db, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(serviceQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewSolveCache(64)
+	eng := &Engine{DB: db, Method: MethodAuto, Cache: cache}
+	cold, err := eng.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := eng.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Solves != 0 || warm.CacheHits != cold.Solves {
+		t.Fatalf("warm eval: solves=%d hits=%d (cold solves=%d)", warm.Solves, warm.CacheHits, cold.Solves)
+	}
+	if warm.Prob != cold.Prob {
+		t.Fatalf("cached prob %v != %v", warm.Prob, cold.Prob)
+	}
+	if st := cache.Stats(); st.Hits == 0 || st.Entries == 0 {
+		t.Fatalf("cache stats = %+v", st)
+	}
+}
