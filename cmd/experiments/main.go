@@ -1,12 +1,16 @@
 // Command experiments reproduces the tables and figures of the paper's
 // evaluation section. Each figure id maps to a driver in
-// internal/experiment that regenerates the series the paper plots.
+// internal/experiment that regenerates the series the paper plots. It also
+// hosts the benchmark regression harness: -bench runs the solver/planner
+// micro-benchmarks of internal/bench and emits a machine-readable JSON
+// report for CI to archive and compare across PRs.
 //
 // Usage:
 //
 //	experiments -list
 //	experiments -fig 4
 //	experiments -fig all -scale paper
+//	experiments -bench -benchtime 100ms -benchout BENCH_PR2.json
 package main
 
 import (
@@ -15,16 +19,27 @@ import (
 	"os"
 	"time"
 
+	"probpref/internal/bench"
 	"probpref/internal/experiment"
 )
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure id (4, 5, 6, 7a, 7b, 8, 9, 10a, 10b, 11, 12, 13a, 13b, 14, 15; extensions x1..x4) or 'all'")
-		scale = flag.String("scale", "small", "experiment scale: small | paper")
-		list  = flag.Bool("list", false, "list available figures and exit")
+		fig       = flag.String("fig", "all", "figure id (4, 5, 6, 7a, 7b, 8, 9, 10a, 10b, 11, 12, 13a, 13b, 14, 15; extensions x1..x4) or 'all'")
+		scale     = flag.String("scale", "small", "experiment scale: small | paper")
+		list      = flag.Bool("list", false, "list available figures and exit")
+		runBench  = flag.Bool("bench", false, "run the benchmark regression harness instead of figures")
+		benchTime = flag.Duration("benchtime", 100*time.Millisecond, "minimum measurement time per benchmark")
+		benchOut  = flag.String("benchout", "BENCH_PR2.json", "benchmark report path ('-' for stdout)")
 	)
 	flag.Parse()
+	if *runBench {
+		if err := runBenchmarks(*benchTime, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, id := range experiment.FigureIDs {
 			fmt.Printf("  %s\n", id)
@@ -54,4 +69,29 @@ func main() {
 		tab.Fprint(os.Stdout)
 		fmt.Printf("  (figure %s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runBenchmarks measures the registered micro-benchmarks and writes the
+// JSON report, echoing a human-readable ns/op table to stdout.
+func runBenchmarks(benchTime time.Duration, out string) error {
+	rep, err := bench.Run(benchTime)
+	if err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-32s %12.0f ns/op  (n=%d)\n", r.Name, r.NsPerOp, r.N)
+	}
+	if out == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
 }

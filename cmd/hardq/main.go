@@ -17,11 +17,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"probpref/internal/dataset"
@@ -39,22 +41,23 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hardq", flag.ContinueOnError)
 	var (
-		ds      = fs.String("dataset", "figure1", "dataset: figure1 | polls | movielens | crowdrank")
-		query   = fs.String("query", "", "conjunctive query (default: a dataset-specific demo query)")
-		method  = fs.String("method", "auto", "solver: auto | twolabel | bipartite | general | relorder | mis-adaptive | mis-lite | rejection")
-		mode    = fs.String("mode", "bool", "query mode: bool | count | countdist | topk")
-		k       = fs.Int("k", 3, "k for -mode topk")
-		bound   = fs.Int("bound", 1, "upper-bound edges for topk (0 = naive)")
-		seed    = fs.Int64("seed", 1, "generator seed")
-		cands   = fs.Int("candidates", 20, "polls: number of candidates")
-		voters  = fs.Int("voters", 100, "polls: number of voters")
-		movies  = fs.Int("movies", 120, "movielens: catalog size")
-		workers = fs.Int("workers", 500, "crowdrank: number of workers")
-		verbose = fs.Bool("v", false, "print per-session probabilities")
-		explain = fs.Bool("explain", false, "print the query plan instead of evaluating")
-		par     = fs.Int("parallel", 1, "worker goroutines for group solving")
-		cache   = fs.Int("cache", 0, "solve-cache capacity in entries (0 = off); prints a stats line, and with -repeat > 1 later evaluations hit the cache")
-		repeat  = fs.Int("repeat", 1, "evaluate the query N times; the printed timing covers the last run (pair with -cache to measure warm-cache latency)")
+		ds       = fs.String("dataset", "figure1", "dataset: figure1 | polls | movielens | crowdrank")
+		query    = fs.String("query", "", "conjunctive query (default: a dataset-specific demo query)")
+		method   = fs.String("method", "auto", "solver: "+strings.Join(ppd.MethodNames(), " | "))
+		deadline = fs.Duration("deadline", 0, "per-run latency budget; implies -method adaptive (unless one is forced): groups whose predicted exact cost exceeds the remaining budget are sampled with reported error bars")
+		mode     = fs.String("mode", "bool", "query mode: bool | count | countdist | topk")
+		k        = fs.Int("k", 3, "k for -mode topk")
+		bound    = fs.Int("bound", 1, "upper-bound edges for topk (0 = naive)")
+		seed     = fs.Int64("seed", 1, "generator seed")
+		cands    = fs.Int("candidates", 20, "polls: number of candidates")
+		voters   = fs.Int("voters", 100, "polls: number of voters")
+		movies   = fs.Int("movies", 120, "movielens: catalog size")
+		workers  = fs.Int("workers", 500, "crowdrank: number of workers")
+		verbose  = fs.Bool("v", false, "print per-session probabilities")
+		explain  = fs.Bool("explain", false, "print the query plan instead of evaluating")
+		par      = fs.Int("parallel", 1, "worker goroutines for group solving")
+		cache    = fs.Int("cache", 0, "solve-cache capacity in entries (0 = off); prints a stats line, and with -repeat > 1 later evaluations hit the cache")
+		repeat   = fs.Int("repeat", 1, "evaluate the query N times; the printed timing covers the last run (pair with -cache to measure warm-cache latency)")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -80,6 +83,20 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *deadline < 0 {
+		return fmt.Errorf("-deadline must be non-negative, got %v", *deadline)
+	}
+	if *deadline > 0 && m == ppd.MethodAuto {
+		m = ppd.MethodAdaptive // a budget needs the planner to act on it
+	}
+	// Each evaluation run gets a fresh deadline: the budget is per run, and
+	// warm-up repeats should route groups the same way the timed run does.
+	runCtx := func() (context.Context, context.CancelFunc) {
+		if *deadline > 0 {
+			return context.WithTimeout(context.Background(), *deadline)
+		}
+		return context.Background(), func() {}
+	}
 	eng := &ppd.Engine{DB: db, Method: m, Rng: rand.New(rand.NewSource(*seed)), Workers: *par}
 	var solveCache *server.Cache
 	if *cache > 0 {
@@ -90,6 +107,9 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "dataset : %s (m=%d items, %d sessions)\n", *ds, db.M(), len(db.Prefs[q.Prefs[0].Rel].Sessions))
 	fmt.Fprintf(out, "query   : %s\n", uq)
 	fmt.Fprintf(out, "method  : %s\n", m)
+	if *deadline > 0 {
+		fmt.Fprintf(out, "deadline: %v\n", *deadline)
+	}
 
 	if *explain {
 		if len(uq.Disjuncts) > 1 {
@@ -111,38 +131,54 @@ func run(args []string, out io.Writer) error {
 	// Warm-up evaluations: all but the last run, so the timed run below
 	// reports warm-cache latency when -cache is set.
 	for i := 1; i < *repeat; i++ {
-		var err error
-		switch *mode {
-		case "bool", "count":
-			_, err = eng.EvalUnion(uq)
-		case "countdist":
-			_, err = eng.CountDistributionUnion(uq)
-		case "topk":
-			_, _, err = eng.TopKUnion(uq, *k, *bound)
-		}
+		err := func() error {
+			ctx, cancel := runCtx()
+			defer cancel()
+			var err error
+			switch *mode {
+			case "bool", "count":
+				_, err = eng.EvalUnionCtx(ctx, uq)
+			case "countdist":
+				_, err = eng.CountDistributionUnionCtx(ctx, uq)
+			case "topk":
+				_, _, err = eng.TopKUnionCtx(ctx, uq, *k, *bound)
+			}
+			return err
+		}()
 		if err != nil {
 			return err
 		}
 	}
 
+	ctx, cancel := runCtx()
+	defer cancel()
 	start := time.Now()
 	switch *mode {
 	case "bool", "count":
-		res, err := eng.EvalUnion(uq)
+		res, err := eng.EvalUnionCtx(ctx, uq)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "elapsed : %v\n", time.Since(start).Round(time.Microsecond))
-		fmt.Fprintf(out, "Pr(Q|D)        = %.6g\n", res.Prob)
-		fmt.Fprintf(out, "count(Q)       = %.6g (expected sessions satisfying Q)\n", res.Count)
+		probCI, countCI := "", ""
+		if p := res.Plan; p != nil && p.SampledGroups > 0 {
+			probCI = fmt.Sprintf(" ± %.3g (95%%)", p.ProbHalfWidth)
+			countCI = fmt.Sprintf(" ± %.3g (95%%)", p.CountHalfWidth)
+		}
+		fmt.Fprintf(out, "Pr(Q|D)        = %.6g%s\n", res.Prob, probCI)
+		fmt.Fprintf(out, "count(Q)       = %.6g%s (expected sessions satisfying Q)\n", res.Count, countCI)
 		fmt.Fprintf(out, "live sessions  = %d, solver calls = %d (grouping)\n", len(res.PerSession), res.Solves)
+		if p := res.Plan; p != nil {
+			fmt.Fprintf(out, "plan    : exact groups = %d, sampled = %d, samples = %d, max half-width = %.3g\n",
+				p.ExactGroups, p.SampledGroups, p.Samples, p.MaxHalfWidth)
+		}
 		if *verbose {
 			for _, sp := range res.PerSession {
 				fmt.Fprintf(out, "  session %v: %.6g\n", sp.Session.Key, sp.Prob)
 			}
 		}
 	case "countdist":
-		dist, err := eng.CountDistributionUnion(uq)
+		dist, err := eng.CountDistributionUnionCtx(ctx, uq)
 		if err != nil {
 			return err
 		}
@@ -160,7 +196,7 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	case "topk":
-		top, diag, err := eng.TopKUnion(uq, *k, *bound)
+		top, diag, err := eng.TopKUnionCtx(ctx, uq, *k, *bound)
 		if err != nil {
 			return err
 		}
@@ -171,6 +207,10 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "bound solves = %d, exact solves = %d, sessions evaluated = %d\n",
 			diag.BoundSolves, diag.ExactSolves, diag.SessionsEvaluated)
+		if p := diag.Plan; p != nil {
+			fmt.Fprintf(out, "plan    : exact groups = %d, sampled = %d, samples = %d, max half-width = %.3g\n",
+				p.ExactGroups, p.SampledGroups, p.Samples, p.MaxHalfWidth)
+		}
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -181,4 +221,3 @@ func run(args []string, out io.Writer) error {
 	}
 	return nil
 }
-

@@ -155,6 +155,47 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestGoldenMethodError pins the -method error message: it must enumerate
+// every valid method name (including the planner's "adaptive") so a user
+// typo is self-correcting.
+func TestGoldenMethodError(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-dataset", "figure1", "-method", "bogus"}, &buf)
+	if err == nil {
+		t.Fatal("want error for -method bogus")
+	}
+	checkGolden(t, "method_bogus", err.Error()+"\n")
+}
+
+// TestRunDeadlineAdaptive is the CLI acceptance path: a 1ms deadline on a
+// fixture whose exact inference cannot fit that budget returns a sampled
+// answer with a non-zero confidence half-width instead of hanging or
+// erroring. (Not a golden test: the estimates are seeded but the elapsed
+// budget at routing time is wall-clock.)
+func TestRunDeadlineAdaptive(t *testing.T) {
+	out := runOut(t, "-dataset", "crowdrank", "-workers", "12", "-deadline", "1ms")
+	for _, want := range []string{"method  : adaptive", "deadline: 1ms", "plan    :", "±", "(95%)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "sampled = 0,") {
+		t.Errorf("1ms deadline should sample the crowdrank groups:\n%s", out)
+	}
+	if strings.Contains(out, "max half-width = 0\n") {
+		t.Errorf("sampled run reports zero half-width:\n%s", out)
+	}
+}
+
+// TestRunDeadlineKeepsForcedMethod: -deadline only implies adaptive when no
+// method was forced.
+func TestRunDeadlineKeepsForcedMethod(t *testing.T) {
+	out := runOut(t, "-dataset", "figure1", "-method", "bipartite", "-deadline", "1s")
+	if !strings.Contains(out, "method  : bipartite") {
+		t.Errorf("forced method overridden:\n%s", out)
+	}
+}
+
 func TestRunMethodsProduceSameAnswer(t *testing.T) {
 	extract := func(out string) string {
 		for _, line := range strings.Split(out, "\n") {

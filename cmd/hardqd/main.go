@@ -26,6 +26,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"probpref/internal/dataset"
@@ -65,7 +66,7 @@ func setup(args []string, out io.Writer) (*server.Service, string, error) {
 	var (
 		addr    = fs.String("addr", "127.0.0.1:8080", "listen address")
 		ds      = fs.String("dataset", "figure1", "dataset: figure1 | polls | movielens | crowdrank")
-		method  = fs.String("method", "auto", "solver: auto | twolabel | bipartite | general | relorder | mis-adaptive | mis-lite | rejection")
+		method  = fs.String("method", "auto", "solver: "+strings.Join(ppd.MethodNames(), " | "))
 		cache   = fs.Int("cache", server.DefaultCacheSize, "solve-cache capacity in entries (0 disables)")
 		par     = fs.Int("parallel", 4, "worker goroutines for batch fan-out and group solving")
 		seed    = fs.Int64("seed", 1, "generator and sampler seed")
@@ -112,4 +113,3 @@ func setup(args []string, out io.Writer) (*server.Service, string, error) {
 	}
 	return svc, *addr, nil
 }
-

@@ -1,0 +1,180 @@
+// Package bench is the benchmark regression harness: a fixed set of named
+// micro-benchmarks over the solver, sampling and planner hot paths, runnable
+// outside `go test` so cmd/experiments can emit a machine-readable
+// BENCH_PR2.json for CI to archive and compare across PRs.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"probpref/internal/dataset"
+	"probpref/internal/ppd"
+	"probpref/internal/sampling"
+	"probpref/internal/solver"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	// Name identifies the benchmark (stable across PRs; comparisons key on
+	// it).
+	Name string `json:"name"`
+	// N is the number of iterations timed.
+	N int `json:"n"`
+	// NsPerOp is the measured nanoseconds per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// Report is the file format of BENCH_PR2.json.
+type Report struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	BenchTime string   `json:"bench_time"`
+	Results   []Result `json:"results"`
+}
+
+// Case is one registered micro-benchmark: Op runs the unit of work once
+// (iteration i lets samplers vary their stream without reseeding cost).
+type Case struct {
+	Name string
+	Op   func(i int) error
+}
+
+// Cases builds the benchmark registry. Fixtures are deterministic (seed 1),
+// so measurements compare the same work across runs.
+func Cases() ([]Case, error) {
+	twoLabel := dataset.BenchmarkD(1)[0]                // m=20, two-label union
+	bipartite := dataset.BenchmarkCSlice(1, 3, 3, 3)[0] // m=10, bipartite
+	general := dataset.BenchmarkA(1)[0]
+	relorder := dataset.BenchmarkCSlice(1, 1, 2, 3)[0]
+
+	db, err := dataset.Figure1()
+	if err != nil {
+		return nil, err
+	}
+	adaptiveQ := ppd.MustParseUnion(`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
+	exactEng := &ppd.Engine{DB: db, Method: ppd.MethodAdaptive, AdaptiveBudget: 1e12}
+	sampledEng := &ppd.Engine{DB: db, Method: ppd.MethodAdaptive, AdaptiveBudget: 1,
+		RejectionN: 512, Rng: rand.New(rand.NewSource(1))}
+	autoEng := &ppd.Engine{DB: db, Method: ppd.MethodAuto}
+
+	est, err := sampling.NewEstimator(general.Model, general.Lab, general.Union, sampling.Config{})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(1))
+
+	return []Case{
+		{"solver/twolabel", func(int) error {
+			_, err := solver.TwoLabel(twoLabel.Model.Model(), twoLabel.Lab, twoLabel.Union, solver.Options{})
+			return err
+		}},
+		{"solver/bipartite", func(int) error {
+			_, err := solver.Bipartite(bipartite.Model.Model(), bipartite.Lab, bipartite.Union, solver.Options{})
+			return err
+		}},
+		{"solver/general", func(int) error {
+			_, err := solver.General(general.Model.Model(), general.Lab, general.Union, solver.Options{})
+			return err
+		}},
+		{"solver/relorder", func(int) error {
+			_, err := solver.RelOrder(relorder.Model.Model(), relorder.Lab, relorder.Union, solver.Options{})
+			return err
+		}},
+		// Planner routing overhead: the pure cost-estimation step the
+		// adaptive method adds in front of every group solve.
+		{"planner/estimate-cost", func(int) error {
+			est := ppd.EstimateCost(twoLabel.Model, twoLabel.Lab, twoLabel.Union, 12)
+			if est.States <= 0 {
+				return fmt.Errorf("degenerate estimate %v", est.States)
+			}
+			return nil
+		}},
+		// Adaptive end-to-end vs the auto baseline on the same query: their
+		// ratio is the planner's full-evaluation overhead when every group
+		// routes exact.
+		{"planner/eval-adaptive-exact", func(int) error {
+			_, err := exactEng.EvalUnion(adaptiveQ)
+			return err
+		}},
+		{"planner/eval-auto-baseline", func(int) error {
+			_, err := autoEng.EvalUnion(adaptiveQ)
+			return err
+		}},
+		{"planner/eval-adaptive-sampled", func(int) error {
+			_, err := sampledEng.EvalUnion(adaptiveQ)
+			return err
+		}},
+		{"sampling/rejection-ci-512", func(int) error {
+			_, _, err := sampling.RejectionModelCICtx(context.Background(), general.Model, general.Lab, general.Union, 512, 1.96, rng)
+			return err
+		}},
+		{"sampling/mis-lite-5x100", func(int) error {
+			_, err := est.Estimate(5, 100, rng, true)
+			return err
+		}},
+	}, nil
+}
+
+// Run measures every registered case: each op is timed over batches that
+// grow until the batch takes at least benchTime.
+func Run(benchTime time.Duration) (*Report, error) {
+	cases, err := Cases()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		BenchTime: benchTime.String(),
+	}
+	for _, c := range cases {
+		res, err := measure(c, benchTime)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", c.Name, err)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+// measure times batches of growing size until one takes at least target,
+// then reports that batch's per-op time. One warm-up op runs untimed.
+func measure(c Case, target time.Duration) (Result, error) {
+	if err := c.Op(0); err != nil {
+		return Result{}, err
+	}
+	n := 1
+	for {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := c.Op(i); err != nil {
+				return Result{}, err
+			}
+		}
+		elapsed := time.Since(start)
+		if elapsed >= target || n >= 1<<30 {
+			return Result{Name: c.Name, N: n, NsPerOp: float64(elapsed.Nanoseconds()) / float64(n)}, nil
+		}
+		// Grow toward the target with headroom, at least doubling.
+		grown := int(float64(n) * 1.5 * float64(target) / float64(elapsed+1))
+		if grown < 2*n {
+			grown = 2 * n
+		}
+		n = grown
+	}
+}
+
+// WriteJSON writes the report, indented for diff-friendly archiving.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestRunSmoke runs the whole registry at a tiny measurement budget: every
+// case must produce a positive ns/op under a unique name and the report
+// must round-trip through its JSON encoding.
+func TestRunSmoke(t *testing.T) {
+	rep, err := Run(time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) == 0 {
+		t.Fatal("no results")
+	}
+	seen := make(map[string]bool)
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 || r.N <= 0 {
+			t.Fatalf("degenerate measurement %+v", r)
+		}
+		if seen[r.Name] {
+			t.Fatalf("duplicate benchmark name %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	for _, want := range []string{"solver/twolabel", "planner/estimate-cost", "planner/eval-adaptive-sampled"} {
+		if !seen[want] {
+			t.Fatalf("registry missing %q", want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(back.Results) != len(rep.Results) {
+		t.Fatalf("round-trip lost results: %d != %d", len(back.Results), len(rep.Results))
+	}
+}

@@ -3,6 +3,7 @@
 package pool
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,16 @@ import (
 // with workers <= 1 the work runs on the caller's goroutine and panics
 // propagate normally.
 func Run(n, workers int, work func(i int) error) error {
+	return RunCtx(context.Background(), n, workers, work)
+}
+
+// RunCtx is Run with cancellation: once ctx is done, no further indices are
+// claimed and RunCtx returns ctx's error after the in-flight work items
+// finish. Work items that should abort mid-item must check ctx themselves;
+// RunCtx only guarantees the fan-out stops claiming. When both a work error
+// and a context error occur, the work error wins (it happened first or
+// carries more information); a pure cancellation returns context.Cause(ctx).
+func RunCtx(ctx context.Context, n, workers int, work func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -25,6 +36,9 @@ func Run(n, workers int, work func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return context.Cause(ctx)
+			}
 			if err := work(i); err != nil {
 				return err
 			}
@@ -32,18 +46,28 @@ func Run(n, workers int, work func(i int) error) error {
 		return nil
 	}
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		failed   atomic.Bool
-		next     atomic.Int64
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		firstErr  error
+		failed    atomic.Bool
+		cancelled atomic.Bool
+		next      atomic.Int64
 	)
 	next.Store(-1)
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if done != nil {
+					select {
+					case <-done:
+						cancelled.Store(true)
+						return
+					default:
+					}
+				}
 				i := int(next.Add(1))
 				if i >= n || failed.Load() {
 					return
@@ -61,7 +85,13 @@ func Run(n, workers int, work func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	if cancelled.Load() {
+		return context.Cause(ctx)
+	}
+	return nil
 }
 
 // safeWork runs one work item, converting a panic into an error.

@@ -1,9 +1,11 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestRunCoversAllIndices(t *testing.T) {
@@ -72,5 +74,66 @@ func TestRunSerialErrorStopsImmediately(t *testing.T) {
 	})
 	if !errors.Is(err, boom) || calls != 3 {
 		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	for _, workers := range []int{1, 4} {
+		err := RunCtx(ctx, 10, workers, func(i int) error {
+			calls.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: want context.Canceled, got %v", workers, err)
+		}
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("pre-cancelled pool ran %d items", calls.Load())
+	}
+}
+
+func TestRunCtxCancelStopsClaims(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	err := RunCtx(ctx, 1000, 4, func(i int) error {
+		if calls.Add(1) == 8 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := calls.Load(); n >= 1000 {
+		t.Fatalf("cancel did not stop claims (ran %d items)", n)
+	}
+}
+
+func TestRunCtxWorkErrorWinsOverCancel(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := RunCtx(ctx, 10, 2, func(i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want work error, got %v", err)
+	}
+}
+
+func TestRunCtxCancelCause(t *testing.T) {
+	cause := errors.New("client went away")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	if err := RunCtx(ctx, 4, 2, func(int) error { return nil }); !errors.Is(err, cause) {
+		t.Fatalf("want cause error, got %v", err)
 	}
 }

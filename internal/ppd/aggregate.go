@@ -1,6 +1,7 @@
 package ppd
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -30,6 +31,11 @@ type AggregateResult struct {
 // the value of attr. Sessions without a matching row or with a non-numeric
 // value are skipped.
 func (e *Engine) Aggregate(q *Query, rel, attr string) (*AggregateResult, error) {
+	return e.AggregateCtx(context.Background(), q, rel, attr)
+}
+
+// AggregateCtx is Aggregate with cancellation and deadline awareness.
+func (e *Engine) AggregateCtx(ctx context.Context, q *Query, rel, attr string) (*AggregateResult, error) {
 	r, ok := e.DB.Relations[rel]
 	if !ok {
 		return nil, fmt.Errorf("ppd: unknown relation %q", rel)
@@ -65,7 +71,7 @@ func (e *Engine) Aggregate(q *Query, rel, attr string) (*AggregateResult, error)
 		if len(gq.Union) == 0 {
 			continue
 		}
-		p, err := e.sessionProb(s, gq.Union, cache, nil)
+		p, err := e.sessionProb(ctx, s, gq.Union, cache, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -24,7 +24,11 @@ import (
 // rejection) a hit replays an earlier estimate instead of re-sampling, so
 // estimates become sticky for the cache lifetime. That is usually desirable
 // (stable answers, no re-inference) but means repeated queries no longer
-// average over fresh samples.
+// average over fresh samples. MethodAdaptive keys its entries under
+// "adaptive|...": the budget (and hence whether an entry is an exact answer
+// or an estimate) is not part of the key, so engines sharing a cache across
+// different deadlines replay whichever answer landed first — fix
+// Engine.AdaptiveBudget (or skip the cache) when that matters.
 type SolveCache interface {
 	// Get returns the cached probability for key, if present.
 	Get(key string) (float64, bool)

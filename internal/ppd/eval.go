@@ -1,6 +1,7 @@
 package ppd
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -33,6 +34,12 @@ const (
 	MethodMISLite
 	// MethodRejection uses rejection sampling with Engine.RejectionN samples.
 	MethodRejection
+	// MethodAdaptive is the deadline-aware cost-based planner: per group it
+	// routes to the cheapest adequate exact solver when the predicted work
+	// fits the budget (Engine.AdaptiveBudget or the context deadline), and
+	// to sampling with a reported confidence half-width otherwise (see
+	// planner.go).
+	MethodAdaptive
 )
 
 func (m Method) String() string {
@@ -53,8 +60,18 @@ func (m Method) String() string {
 		return "mis-amp-lite"
 	case MethodRejection:
 		return "rejection"
+	case MethodAdaptive:
+		return "adaptive"
 	}
 	return fmt.Sprintf("method(%d)", int(m))
+}
+
+// MethodNames lists the canonical method names ParseMethod accepts, in the
+// order the CLIs document them. (ParseMethod also accepts a few aliases and
+// the exact Method.String forms.)
+func MethodNames() []string {
+	return []string{"auto", "twolabel", "bipartite", "general", "relorder",
+		"adaptive", "mis-adaptive", "mis-lite", "rejection"}
 }
 
 // ParseMethod resolves a method name (as printed by Method.String, plus the
@@ -72,14 +89,16 @@ func ParseMethod(s string) (Method, error) {
 		return MethodGeneral, nil
 	case "relorder":
 		return MethodRelOrder, nil
-	case "mis-adaptive", "adaptive", "mis-amp-adaptive":
+	case "mis-adaptive", "mis-amp-adaptive":
 		return MethodMISAdaptive, nil
 	case "mis-lite", "lite", "mis-amp-lite":
 		return MethodMISLite, nil
 	case "rejection", "rs":
 		return MethodRejection, nil
+	case "adaptive", "planner":
+		return MethodAdaptive, nil
 	}
-	return 0, fmt.Errorf("unknown method %q", s)
+	return 0, fmt.Errorf("unknown method %q (valid: %s)", s, strings.Join(MethodNames(), " | "))
 }
 
 // Engine evaluates queries over a RIM-PPD.
@@ -112,6 +131,11 @@ type Engine struct {
 	// when DisableGrouping is set, since per-session keys are synthetic
 	// then.
 	Cache SolveCache
+	// AdaptiveBudget is MethodAdaptive's per-group work budget in predicted
+	// solver state-transitions. 0 derives the budget from the context
+	// deadline (remaining time at AdaptiveStatesPerSecond) and falls back
+	// to DefaultAdaptiveBudget when the context has none.
+	AdaptiveBudget float64
 }
 
 func (e *Engine) rng() *rand.Rand {
@@ -143,17 +167,27 @@ type EvalResult struct {
 	// CacheHits counts groups answered from Engine.Cache without solving
 	// (always 0 when no cache is configured).
 	CacheHits int
+	// Plan reports MethodAdaptive's routing decisions and confidence
+	// half-widths; nil for every other method.
+	Plan *PlanStats
 }
 
 // Eval grounds and evaluates the query on every session, computing both the
 // Boolean confidence and the Count-Session expectation. With Workers > 1,
 // distinct (model, union) groups are solved concurrently.
 func (e *Engine) Eval(q *Query) (*EvalResult, error) {
+	return e.EvalCtx(context.Background(), q)
+}
+
+// EvalCtx is Eval with cancellation and deadline awareness: a done ctx
+// aborts grounding, in-flight solver layers and sampling rounds with ctx's
+// error, and MethodAdaptive budgets each group from the ctx deadline.
+func (e *Engine) EvalCtx(ctx context.Context, q *Query) (*EvalResult, error) {
 	g, err := NewGrounder(e.DB, q)
 	if err != nil {
 		return nil, err
 	}
-	return e.evalGrounded(g.Pref().Sessions, func(s *Session) (pattern.Union, error) {
+	return e.evalGrounded(ctx, g.Pref().Sessions, func(s *Session) (pattern.Union, error) {
 		gq, err := g.GroundSession(s)
 		if err != nil {
 			return nil, err
@@ -166,7 +200,7 @@ func (e *Engine) Eval(q *Query) (*EvalResult, error) {
 // identical-request grouping, optional parallel solving, and the Boolean /
 // Count-Session aggregation — for any grounding function (a plain CQ's
 // grounder, or the merged grounders of a union query).
-func (e *Engine) evalGrounded(sessions []*Session, ground func(*Session) (pattern.Union, error)) (*EvalResult, error) {
+func (e *Engine) evalGrounded(ctx context.Context, sessions []*Session, ground func(*Session) (pattern.Union, error)) (*EvalResult, error) {
 	type liveSession struct {
 		s     *Session
 		u     pattern.Union
@@ -179,8 +213,24 @@ func (e *Engine) evalGrounded(sessions []*Session, ground func(*Session) (patter
 		u   pattern.Union
 		key string
 	}
+	// With the adaptive planner an expired deadline must not abort the
+	// evaluation — the planner's contract is to degrade remaining groups to
+	// sampling — so the loop and fan-out run under a deadline-detached
+	// context (cancellation still aborts); each solve still sees the
+	// original ctx for budgeting and mid-solve deadline checks.
+	loopCtx := ctx
+	if e.Method == MethodAdaptive {
+		var cancel context.CancelFunc
+		loopCtx, cancel = DetachDeadline(ctx)
+		defer cancel()
+	}
 	var groups []group
 	for si, s := range sessions {
+		if si&63 == 0 {
+			if err := loopCtx.Err(); err != nil {
+				return nil, context.Cause(loopCtx)
+			}
+		}
 		u, err := ground(s)
 		if err != nil {
 			return nil, err
@@ -209,6 +259,7 @@ func (e *Engine) evalGrounded(sessions []*Session, ground func(*Session) (patter
 	// path draws from the engine's single RNG stream, so there sampling
 	// estimates for the solved groups do depend on how many groups hit.
 	probs := make([]float64, len(groups))
+	reports := make([]SolveReport, len(groups))
 	cacheHits := 0
 	useCache := e.Cache != nil && !e.DisableGrouping
 	var pending []int
@@ -222,8 +273,9 @@ func (e *Engine) evalGrounded(sessions []*Session, ground func(*Session) (patter
 		}
 		pending = append(pending, gi)
 	}
-	finish := func(gi int, p float64) {
+	finish := func(gi int, p float64, rep SolveReport) {
 		probs[gi] = p
+		reports[gi] = rep
 		if useCache {
 			e.Cache.Put(groups[gi].key, p)
 		}
@@ -234,14 +286,14 @@ func (e *Engine) evalGrounded(sessions []*Session, ground func(*Session) (patter
 		if e.Rng != nil {
 			baseSeed = e.Rng.Int63()
 		}
-		err := pool.Run(len(pending), workers, func(pi int) error {
+		err := pool.RunCtx(loopCtx, len(pending), workers, func(pi int) error {
 			gi := pending[pi]
 			sub := e.withRng(rand.New(rand.NewSource(baseSeed + int64(gi))))
-			p, err := sub.solve(groups[gi].s.Model, groups[gi].u)
+			p, rep, err := sub.solve(ctx, groups[gi].s.Model, groups[gi].u)
 			if err != nil {
 				return err
 			}
-			finish(gi, p)
+			finish(gi, p, rep)
 			return nil
 		})
 		if err != nil {
@@ -249,11 +301,14 @@ func (e *Engine) evalGrounded(sessions []*Session, ground func(*Session) (patter
 		}
 	} else {
 		for _, gi := range pending {
-			p, err := e.solve(groups[gi].s.Model, groups[gi].u)
+			if err := loopCtx.Err(); err != nil {
+				return nil, context.Cause(loopCtx)
+			}
+			p, rep, err := e.solve(ctx, groups[gi].s.Model, groups[gi].u)
 			if err != nil {
 				return nil, err
 			}
-			finish(gi, p)
+			finish(gi, p, rep)
 		}
 	}
 
@@ -263,6 +318,24 @@ func (e *Engine) evalGrounded(sessions []*Session, ground func(*Session) (patter
 	}
 	res := BoolAggregate(per)
 	res.Solves, res.CacheHits = len(pending), cacheHits
+	if e.Method == MethodAdaptive {
+		plan := &PlanStats{}
+		solved := make([]bool, len(groups))
+		for _, gi := range pending {
+			solved[gi] = true
+			plan.Note(reports[gi])
+		}
+		// Per-session half-widths for error propagation; cache hits replay
+		// earlier answers and contribute no width.
+		hw := make([]float64, len(live))
+		for i, ls := range live {
+			if solved[ls.group] {
+				hw[i] = reports[ls.group].HalfWidth
+			}
+		}
+		plan.propagate(per, hw)
+		res.Plan = plan
+	}
 	return res, nil
 }
 
@@ -293,7 +366,7 @@ func (e *Engine) withRng(rng *rand.Rand) *Engine {
 // sessionProb computes Pr(Q | s) for a grounded union, consulting the
 // per-call identical-request cache and then the engine's shared SolveCache,
 // both keyed by (model, union).
-func (e *Engine) sessionProb(s *Session, u pattern.Union, cache map[string]float64, res *EvalResult) (float64, error) {
+func (e *Engine) sessionProb(ctx context.Context, s *Session, u pattern.Union, cache map[string]float64, res *EvalResult) (float64, error) {
 	var key string
 	if !e.DisableGrouping {
 		key = GroupKey(e.Method, s.Model, u)
@@ -314,12 +387,18 @@ func (e *Engine) sessionProb(s *Session, u pattern.Union, cache map[string]float
 			}
 		}
 	}
-	p, err := e.solve(s.Model, u)
+	p, rep, err := e.solve(ctx, s.Model, u)
 	if err != nil {
 		return 0, err
 	}
 	if res != nil {
 		res.Solves++
+		if e.Method == MethodAdaptive {
+			if res.Plan == nil {
+				res.Plan = &PlanStats{}
+			}
+			res.Plan.Note(rep)
+		}
 	}
 	if key != "" {
 		if cache != nil {
@@ -337,50 +416,70 @@ func (e *Engine) sessionProb(s *Session, u pattern.Union, cache map[string]float
 // primitive used by batch planners (see internal/server) that deduplicate
 // groups themselves before fanning out.
 func (e *Engine) SolveUnion(sm rim.SessionModel, u pattern.Union) (float64, error) {
-	return e.solve(sm, u)
+	p, _, err := e.solve(context.Background(), sm, u)
+	return p, err
+}
+
+// SolveUnionCtx is SolveUnion with cancellation and deadline awareness,
+// reporting how the group was answered (routed solver, sample count,
+// confidence half-width) alongside the probability.
+func (e *Engine) SolveUnionCtx(ctx context.Context, sm rim.SessionModel, u pattern.Union) (float64, SolveReport, error) {
+	return e.solve(ctx, sm, u)
 }
 
 // solve runs the configured inference method. Exact methods apply to any
 // RIM-backed session model through its materialization; the MIS-AMP
 // estimators are Mallows-specific and fall back to the model-generic MISRIM
 // estimator for other session models (e.g. Generalized Mallows).
-func (e *Engine) solve(sm rim.SessionModel, u pattern.Union) (float64, error) {
+func (e *Engine) solve(ctx context.Context, sm rim.SessionModel, u pattern.Union) (float64, SolveReport, error) {
 	lab := e.DB.Labeling()
+	rep := SolveReport{Method: e.Method}
+	opts := e.SolverOpts
+	if opts.Ctx == nil {
+		opts.Ctx = ctx
+	}
+	exact := func(p float64, err error) (float64, SolveReport, error) {
+		return p, rep, err
+	}
 	switch e.Method {
 	case MethodAuto:
-		return solver.Auto(sm.Model(), lab, u, e.SolverOpts)
+		return exact(solver.Auto(sm.Model(), lab, u, opts))
 	case MethodTwoLabel:
-		return solver.TwoLabel(sm.Model(), lab, u, e.SolverOpts)
+		return exact(solver.TwoLabel(sm.Model(), lab, u, opts))
 	case MethodBipartite:
-		return solver.Bipartite(sm.Model(), lab, u, e.SolverOpts)
+		return exact(solver.Bipartite(sm.Model(), lab, u, opts))
 	case MethodGeneral:
-		return solver.General(sm.Model(), lab, u, e.SolverOpts)
+		return exact(solver.General(sm.Model(), lab, u, opts))
 	case MethodRelOrder:
-		return solver.RelOrder(sm.Model(), lab, u, e.SolverOpts)
+		return exact(solver.RelOrder(sm.Model(), lab, u, opts))
+	case MethodAdaptive:
+		return e.solveAdaptive(ctx, sm, u)
 	case MethodMISAdaptive:
+		rep.Sampled = true
 		ml, ok := sm.(*rim.Mallows)
 		if !ok {
-			return e.solveMISRIM(sm, u)
+			return e.solveMISRIM(ctx, sm, u, rep)
 		}
 		est, err := sampling.NewEstimator(ml, lab, u, e.SamplerCfg)
 		if err != nil {
-			return 0, err
+			return 0, rep, err
 		}
 		cfg := e.Adaptive
 		cfg.Compensate = true
-		r, err := est.EstimateAdaptive(cfg, e.rng())
+		r, err := est.EstimateAdaptiveCtx(ctx, cfg, e.rng())
 		if err != nil {
-			return 0, err
+			return 0, rep, err
 		}
-		return clamp01(r.Estimate), nil
+		return clamp01(r.Estimate), rep, nil
 	case MethodMISLite:
+		rep.Sampled = true
 		ml, ok := sm.(*rim.Mallows)
 		if !ok {
-			return e.solveMISRIM(sm, u)
+			return e.solveMISRIM(ctx, sm, u, rep)
 		}
 		est, err := sampling.NewEstimator(ml, lab, u, e.SamplerCfg)
 		if err != nil {
-			return 0, err
+			return 0, rep, err
 		}
 		d, n := e.LiteD, e.LiteN
 		if d == 0 {
@@ -389,32 +488,40 @@ func (e *Engine) solve(sm rim.SessionModel, u pattern.Union) (float64, error) {
 		if n == 0 {
 			n = 500
 		}
-		p, err := est.Estimate(d, n, e.rng(), true)
+		p, hw, drawn, err := est.EstimateCI(ctx, d, n, e.rng(), true, 1.96)
 		if err != nil {
-			return 0, err
+			return 0, rep, err
 		}
-		return clamp01(p), nil
+		rep.Samples, rep.HalfWidth = drawn, hw
+		return clamp01(p), rep, nil
 	case MethodRejection:
+		rep.Sampled = true
 		n := e.RejectionN
 		if n == 0 {
 			n = 10000
 		}
-		return sampling.RejectionModel(sm, lab, u, n, e.rng()), nil
+		rep.Samples = n
+		p, hw, err := sampling.RejectionModelCICtx(ctx, sm, lab, u, n, 1.96, e.rng())
+		if err != nil {
+			return 0, rep, err
+		}
+		rep.HalfWidth = hw
+		return p, rep, nil
 	}
-	return 0, fmt.Errorf("ppd: unknown method %v", e.Method)
+	return 0, rep, fmt.Errorf("ppd: unknown method %v", e.Method)
 }
 
 // solveMISRIM is the sampling fallback for non-Mallows session models.
-func (e *Engine) solveMISRIM(sm rim.SessionModel, u pattern.Union) (float64, error) {
+func (e *Engine) solveMISRIM(ctx context.Context, sm rim.SessionModel, u pattern.Union, rep SolveReport) (float64, SolveReport, error) {
 	n := e.LiteN
 	if n == 0 {
 		n = 500
 	}
-	p, _, err := sampling.MISRIM(sm.Model(), e.DB.Labeling(), u, n, e.rng(), e.SamplerCfg.Limits)
+	p, _, err := sampling.MISRIMCtx(ctx, sm.Model(), e.DB.Labeling(), u, n, e.rng(), e.SamplerCfg.Limits)
 	if err != nil {
-		return 0, err
+		return 0, rep, err
 	}
-	return clamp01(p), nil
+	return clamp01(p), rep, nil
 }
 
 func clamp01(p float64) float64 {
@@ -432,6 +539,15 @@ func clamp01(p float64) float64 {
 // (Section 3.2).
 func (e *Engine) CountSession(q *Query) (float64, error) {
 	res, err := e.Eval(q)
+	if err != nil {
+		return 0, err
+	}
+	return res.Count, nil
+}
+
+// CountSessionCtx is CountSession with cancellation and deadline awareness.
+func (e *Engine) CountSessionCtx(ctx context.Context, q *Query) (float64, error) {
+	res, err := e.EvalCtx(ctx, q)
 	if err != nil {
 		return 0, err
 	}
@@ -459,6 +575,9 @@ type TopKDiag struct {
 	SessionsEvaluated int
 	// CacheHits counts exact evaluations answered from Engine.Cache.
 	CacheHits int
+	// Plan reports MethodAdaptive's routing decisions for the per-session
+	// solves; nil for every other method.
+	Plan *PlanStats
 }
 
 // TopK answers the Most-Probable-Session query top(Q, k): the k sessions
@@ -470,11 +589,16 @@ type TopKDiag struct {
 // each pattern (Section 4.3.2) prioritize sessions, and exact evaluation
 // stops once k sessions are at least as probable as every remaining bound.
 func (e *Engine) TopK(q *Query, k int, boundEdges int) ([]SessionProb, *TopKDiag, error) {
+	return e.TopKCtx(context.Background(), q, k, boundEdges)
+}
+
+// TopKCtx is TopK with cancellation and deadline awareness.
+func (e *Engine) TopKCtx(ctx context.Context, q *Query, k int, boundEdges int) ([]SessionProb, *TopKDiag, error) {
 	g, err := NewGrounder(e.DB, q)
 	if err != nil {
 		return nil, nil, err
 	}
-	return e.topKGrounded(g.Pref().Sessions, func(s *Session) (pattern.Union, error) {
+	return e.topKGrounded(ctx, g.Pref().Sessions, func(s *Session) (pattern.Union, error) {
 		gq, err := g.GroundSession(s)
 		if err != nil {
 			return nil, err
@@ -487,18 +611,23 @@ func (e *Engine) TopK(q *Query, k int, boundEdges int) ([]SessionProb, *TopKDiag
 // session the disjuncts' grounded unions are merged, then the standard
 // top-k machinery (including the upper-bound optimization) applies.
 func (e *Engine) TopKUnion(uq *UnionQuery, k int, boundEdges int) ([]SessionProb, *TopKDiag, error) {
+	return e.TopKUnionCtx(context.Background(), uq, k, boundEdges)
+}
+
+// TopKUnionCtx is TopKUnion with cancellation and deadline awareness.
+func (e *Engine) TopKUnionCtx(ctx context.Context, uq *UnionQuery, k int, boundEdges int) ([]SessionProb, *TopKDiag, error) {
 	grounders, err := UnionGrounders(e.DB, uq)
 	if err != nil {
 		return nil, nil, err
 	}
-	return e.topKGrounded(grounders[0].Pref().Sessions, func(s *Session) (pattern.Union, error) {
+	return e.topKGrounded(ctx, grounders[0].Pref().Sessions, func(s *Session) (pattern.Union, error) {
 		return GroundMerged(grounders, s)
 	}, k, boundEdges)
 }
 
 // topKGrounded is the shared Most-Probable-Session loop for any grounding
 // function.
-func (e *Engine) topKGrounded(sessions []*Session, ground func(*Session) (pattern.Union, error), k, boundEdges int) ([]SessionProb, *TopKDiag, error) {
+func (e *Engine) topKGrounded(ctx context.Context, sessions []*Session, ground func(*Session) (pattern.Union, error), k, boundEdges int) ([]SessionProb, *TopKDiag, error) {
 	if k <= 0 {
 		return nil, nil, fmt.Errorf("ppd: top-k requires k >= 1, got %d", k)
 	}
@@ -508,8 +637,22 @@ func (e *Engine) topKGrounded(sessions []*Session, ground func(*Session) (patter
 		u  pattern.Union
 		ub float64
 	}
+	// As in evalGrounded: the adaptive planner degrades past the deadline
+	// instead of aborting, so the candidate loop (and the cheap bound
+	// solves) run deadline-detached while each exact solve still sees the
+	// original ctx.
+	loopCtx := ctx
+	if e.Method == MethodAdaptive {
+		var cancel context.CancelFunc
+		loopCtx, cancel = DetachDeadline(ctx)
+		defer cancel()
+	}
 	var cands []cand
 	boundCache := make(map[string]float64)
+	boundOpts := e.SolverOpts
+	if boundOpts.Ctx == nil {
+		boundOpts.Ctx = loopCtx
+	}
 	for _, s := range sessions {
 		u, err := ground(s)
 		if err != nil {
@@ -528,7 +671,7 @@ func (e *Engine) topKGrounded(sessions []*Session, ground func(*Session) (patter
 				// evaluates them directly and its satisfied-state pruning
 				// makes it the cheapest choice for the (easy-to-satisfy)
 				// relaxations, including the two-label case.
-				ub, err = solver.Bipartite(s.Model.Model(), e.DB.Labeling(), bu, e.SolverOpts)
+				ub, err = solver.Bipartite(s.Model.Model(), e.DB.Labeling(), bu, boundOpts)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -552,10 +695,13 @@ func (e *Engine) topKGrounded(sessions []*Session, ground func(*Session) (patter
 	}
 	res := &EvalResult{}
 	for _, c := range cands {
+		if err := loopCtx.Err(); err != nil {
+			return nil, nil, context.Cause(loopCtx)
+		}
 		if len(out) >= k && kth() >= c.ub {
 			break // every remaining bound is dominated
 		}
-		p, err := e.sessionProb(c.s, c.u, exactCache, res)
+		p, err := e.sessionProb(ctx, c.s, c.u, exactCache, res)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -568,5 +714,6 @@ func (e *Engine) topKGrounded(sessions []*Session, ground func(*Session) (patter
 	}
 	diag.ExactSolves = res.Solves
 	diag.CacheHits = res.CacheHits
+	diag.Plan = res.Plan
 	return out, diag, nil
 }

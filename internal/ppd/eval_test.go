@@ -1,6 +1,7 @@
 package ppd
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -206,7 +207,7 @@ func TestTopKBoundsDominate(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		exact, err := eng.solve(s.Model, gq.Union)
+		exact, _, err := eng.solve(context.Background(), s.Model, gq.Union)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,80 @@
+package ppd
+
+import (
+	"strings"
+	"testing"
+)
+
+// Native fuzz targets for the datalog-style query parser (go test -fuzz).
+// The invariants are crash-freedom and parse/print round-tripping: a query
+// that parses must print to a string that parses back to an equal string
+// form. Seed inputs beyond the f.Add calls live under testdata/fuzz.
+
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`,
+		`Q() <- P(v, d; l; r), C(l, p, M, _, _, _), d = "5/5"`,
+		`P(v; m1; m2), P(v; m2; m3), V(v, sex, age)`,
+		`R(x, y), x != 3, y <= "z"`,
+		`P(_;_;_)`,
+		`P(a;b;c), b = 'quoted'`,
+		``,
+		`,`,
+		`P(`,
+		`P((`,
+		`P(a; b)`,
+		`P(a; b; c; d)`,
+		`X() <- `,
+		`P(-1; -2.5; 0)`,
+		"P(\x00;\xff;a)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Round-trip: the printed form must parse to the same printed form.
+		printed := q.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q) failed: %v", printed, src, err)
+		}
+		if got := q2.String(); got != printed {
+			t.Fatalf("round-trip drift: %q -> %q (from %q)", printed, got, src)
+		}
+	})
+}
+
+func FuzzParseUnion(f *testing.F) {
+	seeds := []string{
+		`P(_,_; a; b), C(a,_,F,_,_,_) | P(_,_; a; b), C(a,D,_,_,JD,_)`,
+		`P(_;a;b) | P(_;b;a) | P(_;a;b)`,
+		`P(_;a;b), x = "a|b"`,
+		`|`,
+		`P(_;a;b) |`,
+		`'unterminated`,
+		`P(_;a;b) | R(x`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		uq, err := ParseUnion(src)
+		if err != nil {
+			return
+		}
+		printed := uq.String()
+		// The union printer emits a head; ParseUnion splits on top-level '|'
+		// only, so the printed form must stay parseable.
+		uq2, err := ParseUnion(strings.TrimPrefix(printed, "Q() <- "))
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q) failed: %v", printed, src, err)
+		}
+		if got := uq2.String(); got != printed {
+			t.Fatalf("round-trip drift: %q -> %q (from %q)", printed, got, src)
+		}
+	})
+}

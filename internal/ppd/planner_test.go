@@ -1,0 +1,251 @@
+package ppd
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"probpref/internal/solver"
+)
+
+// TestAdaptiveMatchesExactBitIdentical is the planner's core correctness
+// contract: on groups it routes to an exact solver, MethodAdaptive must
+// return the exact solver's answer bit-for-bit (same solver function, same
+// options — no drift through the planner layer).
+func TestAdaptiveMatchesExactBitIdentical(t *testing.T) {
+	db := figure1DB(t)
+	q := MustParse(`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
+	g, err := NewGrounder(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{DB: db, Method: MethodAdaptive} // default budget: exact routes
+	for _, s := range g.Pref().Sessions {
+		gq, err := g.GroundSession(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gq.Union) == 0 {
+			continue
+		}
+		got, rep, err := eng.SolveUnionCtx(context.Background(), s.Model, gq.Union)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Sampled {
+			t.Fatalf("default budget routed session %v to sampling (cost %g)", s.Key, rep.Cost)
+		}
+		var want float64
+		switch rep.Method {
+		case MethodTwoLabel:
+			want, err = solver.TwoLabel(s.Model.Model(), db.Labeling(), gq.Union, eng.SolverOpts)
+		case MethodBipartite:
+			want, err = solver.Bipartite(s.Model.Model(), db.Labeling(), gq.Union, eng.SolverOpts)
+		case MethodRelOrder:
+			want, err = solver.RelOrder(s.Model.Model(), db.Labeling(), gq.Union, eng.SolverOpts)
+		default:
+			t.Fatalf("unexpected routed method %v", rep.Method)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want { // bit-identical, not approximately equal
+			t.Fatalf("session %v: adaptive %v != %v (%v)", s.Key, got, want, rep.Method)
+		}
+	}
+}
+
+// TestAdaptiveZeroBudgetSamples: with an exhausted budget every group is
+// sampled and carries a positive confidence half-width, and the evaluation
+// still answers (degrade, don't die).
+func TestAdaptiveZeroBudgetSamples(t *testing.T) {
+	db := figure1DB(t)
+	q := MustParse(`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
+	eng := &Engine{DB: db, Method: MethodAdaptive}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // deadline certainly expired
+	res, err := eng.EvalCtx(ctx, q)
+	if err != nil {
+		t.Fatalf("adaptive eval under expired deadline: %v", err)
+	}
+	if res.Plan == nil {
+		t.Fatal("no plan attached")
+	}
+	if res.Plan.ExactGroups != 0 || res.Plan.SampledGroups != res.Solves {
+		t.Fatalf("expired budget should sample every group: %+v (solves %d)", res.Plan, res.Solves)
+	}
+	if res.Plan.MaxHalfWidth <= 0 || res.Plan.Samples == 0 {
+		t.Fatalf("sampled plan missing half-width/samples: %+v", res.Plan)
+	}
+	if res.Plan.CountHalfWidth <= 0 {
+		t.Fatalf("count half-width not propagated: %+v", res.Plan)
+	}
+	// The estimates must still be near the exact answer (figure1 groups are
+	// high-probability events; the sample floor resolves them well).
+	exact, err := (&Engine{DB: db, Method: MethodAuto}).Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Count-exact.Count) > 3*res.Plan.CountHalfWidth+0.05 {
+		t.Fatalf("sampled count %v too far from exact %v (hw %v)", res.Count, exact.Count, res.Plan.CountHalfWidth)
+	}
+}
+
+// TestAdaptiveExplicitBudgetRouting: AdaptiveBudget overrides the context
+// budget; a budget below the predicted cost samples, one above goes exact.
+func TestAdaptiveExplicitBudgetRouting(t *testing.T) {
+	db := figure1DB(t)
+	q := MustParse(`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
+
+	tiny := &Engine{DB: db, Method: MethodAdaptive, AdaptiveBudget: 1}
+	res, err := tiny.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.SampledGroups == 0 {
+		t.Fatalf("budget 1 should sample, plan %+v", res.Plan)
+	}
+
+	big := &Engine{DB: db, Method: MethodAdaptive, AdaptiveBudget: 1e12}
+	res, err = big.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.SampledGroups != 0 || res.Plan.ExactGroups == 0 {
+		t.Fatalf("budget 1e12 should go exact, plan %+v", res.Plan)
+	}
+	exact, err := (&Engine{DB: db, Method: MethodAuto}).Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prob != exact.Prob {
+		t.Fatalf("exact-routed adaptive prob %v != auto %v", res.Prob, exact.Prob)
+	}
+}
+
+// TestAdaptiveCancelAborts: outright cancellation must abort an adaptive
+// evaluation (only deadlines degrade).
+func TestAdaptiveCancelAborts(t *testing.T) {
+	db := figure1DB(t)
+	q := MustParse(`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
+	eng := &Engine{DB: db, Method: MethodAdaptive}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.EvalCtx(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestEvalCtxCancelExactMethods: cancellation aborts the exact methods too,
+// through the solver DP layers.
+func TestEvalCtxCancelExactMethods(t *testing.T) {
+	db := figure1DB(t)
+	q := MustParse(`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
+	for _, m := range []Method{MethodAuto, MethodTwoLabel, MethodBipartite, MethodGeneral, MethodRelOrder} {
+		eng := &Engine{DB: db, Method: m}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := eng.EvalCtx(ctx, q); !errors.Is(err, context.Canceled) {
+			t.Fatalf("method %v: want context.Canceled, got %v", m, err)
+		}
+	}
+}
+
+// TestEstimateCostShapes checks the estimator's routing features: two-label
+// unions get a finite two-label/bipartite cost, wider patterns cost more,
+// and the cost grows with the model size.
+func TestEstimateCostShapes(t *testing.T) {
+	db := figure1DB(t)
+	q := MustParse(`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
+	g, err := NewGrounder(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Pref().Sessions[0]
+	gq, err := g.GroundSession(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateCost(s.Model, db.Labeling(), gq.Union, 12)
+	if est.Solver != MethodTwoLabel && est.Solver != MethodBipartite && est.Solver != MethodRelOrder {
+		t.Fatalf("unexpected solver %v", est.Solver)
+	}
+	if math.IsInf(est.States, 1) || est.States <= 0 {
+		t.Fatalf("unusable cost %v", est.States)
+	}
+	// A zero-involved-items limit leaves the tracker-based solvers only.
+	est2 := EstimateCost(s.Model, db.Labeling(), gq.Union, 0)
+	if est2.Solver == MethodRelOrder {
+		t.Fatalf("relorder chosen despite zero involved-item limit")
+	}
+}
+
+// TestDetachDeadline checks the two DetachDeadline behaviors the planner
+// relies on: an expired deadline does not propagate, a cancellation does.
+func TestDetachDeadline(t *testing.T) {
+	parent, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	d, stop := DetachDeadline(parent)
+	defer stop()
+	if d.Err() != nil {
+		t.Fatalf("deadline leaked through: %v", d.Err())
+	}
+	if _, ok := d.Deadline(); ok {
+		t.Fatal("detached context still has a deadline")
+	}
+
+	parent2, cancel2 := context.WithCancel(context.Background())
+	d2, stop2 := DetachDeadline(parent2)
+	defer stop2()
+	cancel2()
+	select {
+	case <-d2.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancellation did not propagate through DetachDeadline")
+	}
+
+	// A custom cancellation cause is still an outright cancellation, not a
+	// deadline expiry.
+	parent3, cancel3 := context.WithCancelCause(context.Background())
+	d3, stop3 := DetachDeadline(parent3)
+	defer stop3()
+	cancel3(errors.New("client went away"))
+	select {
+	case <-d3.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("cause-cancellation did not propagate through DetachDeadline")
+	}
+}
+
+// TestParseMethodAdaptiveAndErrors: the new method name parses, and the
+// error of an unknown name enumerates the valid ones.
+func TestParseMethodAdaptiveAndErrors(t *testing.T) {
+	m, err := ParseMethod("adaptive")
+	if err != nil || m != MethodAdaptive {
+		t.Fatalf("ParseMethod(adaptive) = %v, %v", m, err)
+	}
+	if m.String() != "adaptive" {
+		t.Fatalf("MethodAdaptive.String() = %q", m.String())
+	}
+	if m, err := ParseMethod("mis-adaptive"); err != nil || m != MethodMISAdaptive {
+		t.Fatalf("ParseMethod(mis-adaptive) = %v, %v", m, err)
+	}
+	_, err = ParseMethod("bogus")
+	if err == nil {
+		t.Fatal("want error for bogus method")
+	}
+	for _, name := range MethodNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not enumerate %q", err.Error(), name)
+		}
+		if _, perr := ParseMethod(name); perr != nil {
+			t.Fatalf("listed name %q does not parse: %v", name, perr)
+		}
+	}
+}

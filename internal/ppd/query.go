@@ -37,6 +37,17 @@ func (t Term) String() string {
 	case Wild:
 		return "_"
 	case Const:
+		// The grammar has no escape sequences, so pick a delimiter absent
+		// from the value. A value parsed from source never contains its own
+		// delimiter, hence one of the two always round-trips; a value with
+		// both quote characters is only constructible programmatically and
+		// falls back to Go quoting (not re-parseable).
+		if !strings.Contains(t.Value, `"`) {
+			return `"` + t.Value + `"`
+		}
+		if !strings.Contains(t.Value, "'") {
+			return "'" + t.Value + "'"
+		}
 		return fmt.Sprintf("%q", t.Value)
 	default:
 		return t.Value

@@ -1,6 +1,7 @@
 package ppd
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -158,11 +159,19 @@ func GroundMerged(grounders []*Grounder, s *Session) (pattern.Union, error) {
 // solved as one inference request, sharing the engine's solver selection,
 // identical-request grouping and parallelism.
 func (e *Engine) EvalUnion(uq *UnionQuery) (*EvalResult, error) {
+	return e.EvalUnionCtx(context.Background(), uq)
+}
+
+// EvalUnionCtx is EvalUnion with cancellation and deadline awareness: a
+// done ctx aborts grounding, in-flight solver layers and sampling rounds
+// with ctx's error, and MethodAdaptive budgets each group from the ctx
+// deadline.
+func (e *Engine) EvalUnionCtx(ctx context.Context, uq *UnionQuery) (*EvalResult, error) {
 	grounders, err := UnionGrounders(e.DB, uq)
 	if err != nil {
 		return nil, err
 	}
-	return e.evalGrounded(grounders[0].Pref().Sessions, func(s *Session) (pattern.Union, error) {
+	return e.evalGrounded(ctx, grounders[0].Pref().Sessions, func(s *Session) (pattern.Union, error) {
 		return GroundMerged(grounders, s)
 	})
 }
@@ -170,7 +179,13 @@ func (e *Engine) EvalUnion(uq *UnionQuery) (*EvalResult, error) {
 // CountDistributionUnion returns the exact Poisson-binomial distribution of
 // the number of sessions satisfying the union query (see CountDistribution).
 func (e *Engine) CountDistributionUnion(uq *UnionQuery) (*CountDistribution, error) {
-	res, err := e.EvalUnion(uq)
+	return e.CountDistributionUnionCtx(context.Background(), uq)
+}
+
+// CountDistributionUnionCtx is CountDistributionUnion with cancellation and
+// deadline awareness.
+func (e *Engine) CountDistributionUnionCtx(ctx context.Context, uq *UnionQuery) (*CountDistribution, error) {
+	res, err := e.EvalUnionCtx(ctx, uq)
 	if err != nil {
 		return nil, err
 	}

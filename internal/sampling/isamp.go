@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -61,15 +62,47 @@ func MISAMP(ml *rim.Mallows, psi rank.Ranking, d, n int, rng *rand.Rand) (float6
 // with f == 1 because every proposal sample satisfies its conditioning
 // sub-ranking and hence the target event.
 func misEstimate(ml *rim.Mallows, amps []*rim.AMP, n int, rng *rand.Rand) float64 {
+	est, _, _, _ := misEstimateCI(context.Background(), ml, amps, n, 0, rng)
+	return est
+}
+
+// misEstimateCI is misEstimate with a stratified normal-approximation
+// confidence interval and mid-run cancellation. The proposals are the
+// strata: with per-proposal sample variances s_t^2 the estimator's variance
+// is (1/d^2) * sum_t s_t^2 / n_t, and the half-width is z times its square
+// root. When ctx is cancelled mid-run it returns the estimate over the
+// samples drawn so far together with ctx's error; drawn reports the total
+// number of samples used.
+func misEstimateCI(ctx context.Context, ml *rim.Mallows, amps []*rim.AMP, n int, z float64, rng *rand.Rand) (est, halfWidth float64, drawn int, err error) {
 	d := len(amps)
 	if d == 0 || n <= 0 {
-		return 0
+		return 0, 0, 0, nil
 	}
 	logD := math.Log(float64(d))
-	sum := 0.0
 	logqs := make([]float64, d)
+	done := ctx.Done()
+	var variance float64
+	sumMeans := 0.0
+	strata := 0
+sampling:
 	for _, a := range amps {
+		// Welford's online mean/M2 per stratum.
+		mean, m2 := 0.0, 0.0
+		nt := 0
 		for j := 0; j < n; j++ {
+			if done != nil && drawn&127 == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					err = context.Cause(ctx)
+					if nt > 0 {
+						sumMeans += mean
+						if nt > 1 {
+							variance += m2 / float64(nt-1) / float64(nt)
+						}
+						strata++
+					}
+					break sampling
+				}
+			}
 			x, _ := a.Sample(rng)
 			for t, other := range amps {
 				lq, ok := other.LogDensity(x)
@@ -79,8 +112,27 @@ func misEstimate(ml *rim.Mallows, amps []*rim.AMP, n int, rng *rand.Rand) float6
 				logqs[t] = lq
 			}
 			logMix := logSumExp(logqs) - logD
-			sum += math.Exp(ml.LogProb(x) - logMix)
+			w := math.Exp(ml.LogProb(x) - logMix)
+			nt++
+			drawn++
+			delta := w - mean
+			mean += delta / float64(nt)
+			m2 += delta * (w - mean)
+		}
+		if nt > 0 {
+			sumMeans += mean
+			if nt > 1 {
+				variance += m2 / float64(nt-1) / float64(nt)
+			}
+			strata++
 		}
 	}
-	return sum / float64(d*n)
+	if strata == 0 {
+		return 0, 0, 0, err
+	}
+	est = sumMeans / float64(strata)
+	if z > 0 {
+		halfWidth = z * math.Sqrt(variance) / float64(strata)
+	}
+	return est, halfWidth, drawn, err
 }

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -49,6 +50,13 @@ func ISRIM(model *rim.Model, psi rank.Ranking, n int, rng *rand.Rand) (float64, 
 // modals (the greedy-modal machinery is Mallows-specific); it trades some
 // variance for applicability to every RIM.
 func MISRIM(model *rim.Model, lab *label.Labeling, u pattern.Union, n int, rng *rand.Rand, limits pattern.Limits) (est float64, truncated bool, err error) {
+	est, truncated, err = MISRIMCtx(context.Background(), model, lab, u, n, rng, limits)
+	return est, truncated, err
+}
+
+// MISRIMCtx is MISRIM with mid-run cancellation: the sampling loop checks
+// ctx periodically and aborts with its error.
+func MISRIMCtx(ctx context.Context, model *rim.Model, lab *label.Labeling, u pattern.Union, n int, rng *rand.Rand, limits pattern.Limits) (est float64, truncated bool, err error) {
 	if n <= 0 {
 		return 0, false, fmt.Errorf("sampling: n must be positive (n=%d)", n)
 	}
@@ -70,8 +78,16 @@ func MISRIM(model *rim.Model, lab *label.Labeling, u pattern.Union, n int, rng *
 	logD := math.Log(float64(d))
 	logqs := make([]float64, d)
 	sum := 0.0
+	done := ctx.Done()
+	drawn := 0
 	for _, c := range conds {
 		for j := 0; j < n; j++ {
+			if done != nil && drawn&127 == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					return 0, dec.Truncated, context.Cause(ctx)
+				}
+			}
+			drawn++
 			x, _, err := c.Sample(rng)
 			if err != nil {
 				return 0, dec.Truncated, err

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -204,24 +205,43 @@ func (e *Estimator) compensation(selected []candidate) (cPsi, cR float64) {
 // proposal. When compensate is true the result is scaled by the compensation
 // factors c_psi * c_r for the pruned sub-rankings and modals.
 func (e *Estimator) Estimate(d, n int, rng *rand.Rand, compensate bool) (float64, error) {
+	return e.EstimateCtx(context.Background(), d, n, rng, compensate)
+}
+
+// EstimateCtx is Estimate with mid-run cancellation: the sampling loop
+// checks ctx periodically and aborts with its error.
+func (e *Estimator) EstimateCtx(ctx context.Context, d, n int, rng *rand.Rand, compensate bool) (float64, error) {
+	est, _, _, err := e.EstimateCI(ctx, d, n, rng, compensate, 0)
+	return est, err
+}
+
+// EstimateCI runs MIS-AMP-lite like Estimate and additionally returns the
+// half-width of the stratified normal-approximation confidence interval at
+// the given z-score (z = 1.96 for 95%; z <= 0 skips the interval) and the
+// number of samples drawn. Compensation scales the half-width along with the
+// estimate, so the reported interval stays an interval on the compensated
+// answer. A cancellation mid-run returns the partial estimate together with
+// ctx's error.
+func (e *Estimator) EstimateCI(ctx context.Context, d, n int, rng *rand.Rand, compensate bool, z float64) (est, halfWidth float64, drawn int, err error) {
 	if e.unsat || len(e.U) == 0 {
-		return 0, nil
+		return 0, 0, 0, nil
 	}
 	if d <= 0 || n <= 0 {
-		return 0, fmt.Errorf("sampling: d and n must be positive (d=%d n=%d)", d, n)
+		return 0, 0, 0, fmt.Errorf("sampling: d and n must be positive (d=%d n=%d)", d, n)
 	}
 	selected, amps := e.selectProposals(d)
 	if len(selected) == 0 {
-		return 0, fmt.Errorf("sampling: no proposals available")
+		return 0, 0, 0, fmt.Errorf("sampling: no proposals available")
 	}
 	start := time.Now()
-	est := misEstimate(e.ML, amps, n, rng)
+	est, halfWidth, drawn, err = misEstimateCI(ctx, e.ML, amps, n, z, rng)
 	e.sampleTime += time.Since(start)
 	if compensate {
 		cPsi, cR := e.compensation(selected)
 		est *= cPsi * cR
+		halfWidth *= cPsi * cR
 	}
-	return est, nil
+	return est, halfWidth, drawn, err
 }
 
 // AdaptiveConfig tunes MIS-AMP-adaptive.
@@ -271,6 +291,12 @@ type AdaptiveResult struct {
 // number of proposal distributions until the estimate stabilizes (relative
 // change below Tol) or the proposal budget is exhausted.
 func (e *Estimator) EstimateAdaptive(cfg AdaptiveConfig, rng *rand.Rand) (AdaptiveResult, error) {
+	return e.EstimateAdaptiveCtx(context.Background(), cfg, rng)
+}
+
+// EstimateAdaptiveCtx is EstimateAdaptive with mid-run cancellation: a done
+// ctx aborts between and inside lite rounds with ctx's error.
+func (e *Estimator) EstimateAdaptiveCtx(ctx context.Context, cfg AdaptiveConfig, rng *rand.Rand) (AdaptiveResult, error) {
 	cfg = cfg.withDefaults()
 	var res AdaptiveResult
 	if e.unsat || len(e.U) == 0 {
@@ -279,7 +305,7 @@ func (e *Estimator) EstimateAdaptive(cfg AdaptiveConfig, rng *rand.Rand) (Adapti
 	prev := math.NaN()
 	prevD := -1
 	for d := cfg.InitD; d <= cfg.MaxD; d += cfg.DeltaD {
-		est, err := e.Estimate(d, cfg.Samples, rng, cfg.Compensate)
+		est, err := e.EstimateCtx(ctx, d, cfg.Samples, rng, cfg.Compensate)
 		if err != nil {
 			return res, err
 		}

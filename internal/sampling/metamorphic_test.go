@@ -1,0 +1,221 @@
+package sampling
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"probpref/internal/label"
+	"probpref/internal/pattern"
+	"probpref/internal/rank"
+	"probpref/internal/rim"
+	"probpref/internal/solver"
+)
+
+// Cross-solver metamorphic suite: on randomized small Mallows models every
+// applicable exact method must agree to 1e-9, and the sampling estimators'
+// reported confidence half-widths must bracket the exact answer at fixed
+// seeds. This is the end-to-end counterpart of the per-solver agreement
+// tests in internal/solver — it crosses the exact/approximate boundary that
+// package can't (solver must not import sampling).
+
+const exactTol = 1e-9
+
+func metaLabeling(rng *rand.Rand, m, numLabels int) *label.Labeling {
+	lab := label.NewLabeling()
+	for it := 0; it < m; it++ {
+		n := 0
+		for l := 0; l < numLabels; l++ {
+			if rng.Float64() < 0.5 {
+				lab.Add(rank.Item(it), label.Label(l))
+				n++
+			}
+		}
+		if n == 0 { // keep every item involved in at least one label
+			lab.Add(rank.Item(it), label.Label(rng.Intn(numLabels)))
+		}
+	}
+	return lab
+}
+
+func metaSet(rng *rand.Rand, numLabels int) label.Set {
+	return label.NewSet(label.Label(rng.Intn(numLabels)))
+}
+
+func metaTwoLabelUnion(rng *rand.Rand, z, numLabels int) pattern.Union {
+	u := make(pattern.Union, z)
+	for i := range u {
+		u[i] = pattern.TwoLabel(metaSet(rng, numLabels), metaSet(rng, numLabels))
+	}
+	return u
+}
+
+func metaChainUnion(rng *rand.Rand, numLabels int) pattern.Union {
+	// A 3-node chain pattern: not two-label, exercises RelOrder vs General.
+	nodes := []pattern.Node{
+		{Labels: metaSet(rng, numLabels)},
+		{Labels: metaSet(rng, numLabels)},
+		{Labels: metaSet(rng, numLabels)},
+	}
+	g, err := pattern.New(nodes, [][2]int{{0, 1}, {1, 2}})
+	if err != nil {
+		panic(err)
+	}
+	return pattern.Union{g}
+}
+
+func metaMallows(rng *rand.Rand, m int) *rim.Mallows {
+	sigma := make(rank.Ranking, m)
+	for i, v := range rng.Perm(m) {
+		sigma[i] = rank.Item(v)
+	}
+	ml, err := rim.NewMallows(sigma, 0.3+0.6*rng.Float64())
+	if err != nil {
+		panic(err)
+	}
+	return ml
+}
+
+// TestMetamorphicExactMethodsAgree checks that on random two-label unions
+// every exact method (two-label, bipartite, general, rel-order) matches the
+// m! enumerator, and on random chain unions the applicable ones (general,
+// rel-order) do.
+func TestMetamorphicExactMethodsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7001))
+	for trial := 0; trial < 25; trial++ {
+		m := 4 + rng.Intn(3)
+		ml := metaMallows(rng, m)
+		lab := metaLabeling(rng, m, 3)
+		mdl := ml.Model()
+
+		u := metaTwoLabelUnion(rng, 1+rng.Intn(2), 3)
+		want := solver.Brute(mdl, lab, u)
+		got := map[string]func() (float64, error){
+			"two-label": func() (float64, error) { return solver.TwoLabel(mdl, lab, u, solver.Options{}) },
+			"bipartite": func() (float64, error) { return solver.Bipartite(mdl, lab, u, solver.Options{}) },
+			"general":   func() (float64, error) { return solver.General(mdl, lab, u, solver.Options{}) },
+			"relorder":  func() (float64, error) { return solver.RelOrder(mdl, lab, u, solver.Options{MaxInvolved: 16}) },
+		}
+		for name, f := range got {
+			p, err := f()
+			if err != nil {
+				t.Fatalf("trial %d: %s: %v", trial, name, err)
+			}
+			if math.Abs(p-want) > exactTol {
+				t.Fatalf("trial %d: %s = %v, brute = %v (diff %g)", trial, name, p, want, math.Abs(p-want))
+			}
+		}
+
+		cu := metaChainUnion(rng, 3)
+		cwant := solver.Brute(mdl, lab, cu)
+		for name, f := range map[string]func() (float64, error){
+			"general":  func() (float64, error) { return solver.General(mdl, lab, cu, solver.Options{}) },
+			"relorder": func() (float64, error) { return solver.RelOrder(mdl, lab, cu, solver.Options{MaxInvolved: 16}) },
+		} {
+			p, err := f()
+			if err != nil {
+				t.Fatalf("trial %d: chain %s: %v", trial, name, err)
+			}
+			if math.Abs(p-cwant) > exactTol {
+				t.Fatalf("trial %d: chain %s = %v, brute = %v", trial, name, p, cwant)
+			}
+		}
+	}
+}
+
+// TestMetamorphicRejectionCIBracketsExact checks that at fixed seeds the
+// rejection estimator's reported 95% half-width brackets the exact answer.
+// The seeds are fixed, so this is deterministic: a failure means either the
+// estimator or the interval construction regressed. The interval is given a
+// 1.5x slack so a borderline draw inside the nominal 5% miss probability
+// does not make the suite flaky across platforms.
+func TestMetamorphicRejectionCIBracketsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7002))
+	misses := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		m := 4 + rng.Intn(3)
+		ml := metaMallows(rng, m)
+		lab := metaLabeling(rng, m, 3)
+		u := metaTwoLabelUnion(rng, 1+rng.Intn(2), 3)
+		want := solver.Brute(ml.Model(), lab, u)
+
+		est, hw := RejectionModelCI(ml, lab, u, 4000, 1.96, rng)
+		if hw <= 0 {
+			t.Fatalf("trial %d: non-positive half-width %v", trial, hw)
+		}
+		if math.Abs(est-want) > 1.5*hw {
+			misses++
+			t.Logf("trial %d: rejection est %v ± %v missed exact %v", trial, est, hw, want)
+		}
+	}
+	if misses > 1 {
+		t.Fatalf("rejection CI missed the exact answer in %d/%d trials", misses, trials)
+	}
+}
+
+// TestMetamorphicMISCIBracketsExact does the same for the MIS-AMP-lite
+// estimator's stratified confidence interval. The proposal budget d covers
+// the whole candidate pool, so the compensation factors are exactly 1 and
+// the balance-heuristic estimator is unbiased — the reported half-width
+// then only has to cover sampling noise (with pruned proposals the
+// compensation adds a bias the interval deliberately does not model; that
+// regime is MethodMISLite's, not this test's).
+func TestMetamorphicMISCIBracketsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7003))
+	misses := 0
+	const trials = 15
+	for trial := 0; trial < trials; trial++ {
+		m := 4 + rng.Intn(3)
+		ml := metaMallows(rng, m)
+		lab := metaLabeling(rng, m, 3)
+		u := metaTwoLabelUnion(rng, 1, 3)
+		want := solver.Brute(ml.Model(), lab, u)
+
+		est, err := NewEstimator(ml, lab, u, Config{MaxModalsPerSub: 128})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		p, hw, drawn, err := est.EstimateCI(context.Background(), 1<<20, 400, rng, true, 1.96)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if want > exactTol && drawn == 0 {
+			t.Fatalf("trial %d: no samples drawn for satisfiable union", trial)
+		}
+		if want <= exactTol {
+			if p > 1e-6 {
+				t.Fatalf("trial %d: estimate %v for unsatisfiable union", trial, p)
+			}
+			continue
+		}
+		if hw <= 0 {
+			t.Fatalf("trial %d: non-positive half-width %v (est %v, exact %v)", trial, hw, p, want)
+		}
+		// 1.5x slack as above: fixed seeds, but keep borderline draws from
+		// flaking across platforms.
+		if math.Abs(p-want) > 1.5*hw {
+			misses++
+			t.Logf("trial %d: MIS est %v ± %v missed exact %v", trial, p, hw, want)
+		}
+	}
+	if misses > 1 {
+		t.Fatalf("MIS CI missed the exact answer in %d/%d trials", misses, trials)
+	}
+}
+
+// TestMetamorphicRejectionCtxCancel checks that a cancelled context aborts
+// the rejection loop with the cause error.
+func TestMetamorphicRejectionCtxCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7004))
+	ml := metaMallows(rng, 6)
+	lab := metaLabeling(rng, 6, 3)
+	u := metaTwoLabelUnion(rng, 1, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := RejectionModelCICtx(ctx, ml, lab, u, 1000000, 1.96, rng)
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -15,16 +16,8 @@ import (
 // Plackett-Luce); for Mallows models prefer the MIS-AMP estimators, which
 // resolve rare events with far fewer samples.
 func RejectionModel(mdl rim.Sampler, lab *label.Labeling, u pattern.Union, n int, rng *rand.Rand) float64 {
-	if n <= 0 {
-		return 0
-	}
-	hits := 0
-	for i := 0; i < n; i++ {
-		if u.Matches(mdl.Sample(rng), lab) {
-			hits++
-		}
-	}
-	return float64(hits) / float64(n)
+	est, _, _ := RejectionModelCICtx(context.Background(), mdl, lab, u, n, 1.96, rng)
+	return est
 }
 
 // RejectionModelCI estimates Pr(G) as RejectionModel does and returns the
@@ -33,20 +26,40 @@ func RejectionModel(mdl rim.Sampler, lab *label.Labeling, u pattern.Union, n int
 // with a half-count continuity floor) so callers can report uncertainty next
 // to the point estimate.
 func RejectionModelCI(mdl rim.Sampler, lab *label.Labeling, u pattern.Union, n int, z float64, rng *rand.Rand) (est, halfWidth float64) {
+	est, halfWidth, _ = RejectionModelCICtx(context.Background(), mdl, lab, u, n, z, rng)
+	return est, halfWidth
+}
+
+// RejectionModelCICtx is RejectionModelCI with mid-run cancellation: the
+// sampling loop checks ctx periodically and returns ctx's error with the
+// partial estimate over the samples drawn so far. On success err is nil and
+// the estimate covers all n samples.
+func RejectionModelCICtx(ctx context.Context, mdl rim.Sampler, lab *label.Labeling, u pattern.Union, n int, z float64, rng *rand.Rand) (est, halfWidth float64, err error) {
 	if n <= 0 {
-		return 0, 1
+		return 0, 1, nil
 	}
-	hits := 0
+	done := ctx.Done()
+	hits, drawn := 0, 0
 	for i := 0; i < n; i++ {
+		if done != nil && i&255 == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				err = context.Cause(ctx)
+				break
+			}
+		}
+		drawn++
 		if u.Matches(mdl.Sample(rng), lab) {
 			hits++
 		}
 	}
-	est = float64(hits) / float64(n)
-	p := est
-	if hits == 0 || hits == n {
-		p = (float64(hits) + 0.5) / (float64(n) + 1) // continuity floor
+	if drawn == 0 {
+		return 0, 1, err
 	}
-	halfWidth = z * math.Sqrt(p*(1-p)/float64(n))
-	return est, halfWidth
+	est = float64(hits) / float64(drawn)
+	p := est
+	if hits == 0 || hits == drawn {
+		p = (float64(hits) + 0.5) / (float64(drawn) + 1) // continuity floor
+	}
+	halfWidth = z * math.Sqrt(p*(1-p)/float64(drawn))
+	return est, halfWidth, err
 }

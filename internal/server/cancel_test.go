@@ -1,0 +1,220 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"probpref/internal/dataset"
+	"probpref/internal/ppd"
+)
+
+// Cancellation tests for the end-to-end context plumbing: a cancelled batch
+// must stop burning CPU (the worker pool drains, no goroutines leak) and
+// surface the context error, never a panic or a fabricated result. Run
+// under -race (CI does).
+
+// pollsService builds a service over a polls database large enough that a
+// batch has many distinct inference groups to fan out.
+func pollsService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	db, err := dataset.Polls(dataset.PollsConfig{Candidates: 12, Voters: 60, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(db, cfg)
+}
+
+// pollsBatch returns distinct queries so cross-query dedup leaves many
+// groups pending.
+func pollsBatch(n int) []string {
+	qs := make([]string, n)
+	parties := []string{"D", "R"}
+	sexes := []string{"M", "F"}
+	for i := range qs {
+		qs[i] = fmt.Sprintf(`P(_, _; l; r), C(l, %s, %s, _, _, _), C(r, %s, %s, _, _, _)`,
+			parties[i%2], sexes[(i/2)%2], parties[(i+1)%2], sexes[(i/2+1)%2])
+	}
+	return qs
+}
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base+slack, failing after the deadline. The slack absorbs runtime
+// housekeeping goroutines.
+func waitGoroutines(t *testing.T, base int, what string) {
+	t.Helper()
+	const slack = 3
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("%s: %d goroutines still running (baseline %d):\n%s", what, n, base, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestEvalBatchCancelDrainsPool cancels mid-EvalBatch and asserts the pool
+// drains without goroutine leaks and the error is the context error.
+func TestEvalBatchCancelDrainsPool(t *testing.T) {
+	svc := pollsService(t, Config{Workers: 4, CacheSize: -1})
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.EvalBatchCtx(ctx, pollsBatch(16))
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let the fan-out start
+	cancel()
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Log("batch finished before the cancel landed; no cancellation to assert")
+		} else if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled in error chain, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled batch did not return within 10s")
+	}
+	waitGoroutines(t, base, "after cancelled EvalBatch")
+}
+
+// TestEvalBatchPreCancelled asserts a batch under an already-cancelled
+// context returns the context error immediately, not a partial result or a
+// panic.
+func TestEvalBatchPreCancelled(t *testing.T) {
+	svc := pollsService(t, Config{Workers: 4, CacheSize: -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	br, err := svc.EvalBatchCtx(ctx, pollsBatch(4))
+	if br != nil {
+		t.Fatalf("want nil result from pre-cancelled batch, got %+v", br)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The error must map to an evaluation failure (500), not a parse error.
+	var ee *evalError
+	if !errors.As(err, &ee) {
+		t.Fatalf("want evalError wrapper, got %T: %v", err, err)
+	}
+}
+
+// TestTopKBatchCancelDrainsPool does the same for the top-k fan-out.
+func TestTopKBatchCancelDrainsPool(t *testing.T) {
+	svc := pollsService(t, Config{Workers: 4, CacheSize: -1})
+	base := runtime.NumGoroutine()
+
+	reqs := make([]TopKRequest, 8)
+	for i, q := range pollsBatch(8) {
+		reqs[i] = TopKRequest{Query: q, K: 3, Bound: 1}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.TopKBatchCtx(ctx, reqs)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled in error chain, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled top-k batch did not return within 10s")
+	}
+	waitGoroutines(t, base, "after cancelled TopKBatch")
+}
+
+// TestEvalBatchDeadlineAdaptiveDegrades asserts that with the adaptive
+// method an (effectively expired) deadline yields sampled answers with
+// non-zero reported half-widths instead of an error — the planner's
+// degrade-gracefully contract — while the exact methods abort.
+func TestEvalBatchDeadlineAdaptiveDegrades(t *testing.T) {
+	svc := pollsService(t, Config{Method: ppd.MethodAdaptive, Workers: 2, CacheSize: -1})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // ensure the deadline has passed
+	br, err := svc.EvalBatchCtx(ctx, pollsBatch(2))
+	if err != nil {
+		t.Fatalf("adaptive batch under expired deadline: %v", err)
+	}
+	for qi, res := range br.Results {
+		if res.Plan == nil {
+			t.Fatalf("query %d: no plan attached", qi)
+		}
+		if res.Plan.SampledGroups == 0 && res.Solves > 0 {
+			t.Fatalf("query %d: expired budget but %d groups solved exactly", qi, res.Plan.ExactGroups)
+		}
+		if res.Solves > 0 && res.Plan.MaxHalfWidth <= 0 {
+			t.Fatalf("query %d: sampled answers carry no half-width: %+v", qi, res.Plan)
+		}
+	}
+}
+
+// TestEvalBatchSharedGroupPlans: a group shared by several queries must
+// appear in every referencing query's plan — the batch Solves accounting
+// attributes a shared group to its first query, but each query's plan has
+// to stay consistent with its own half-widths.
+func TestEvalBatchSharedGroupPlans(t *testing.T) {
+	svc := pollsService(t, Config{Method: ppd.MethodAdaptive, Workers: 2, CacheSize: -1})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	q := pollsBatch(1)[0]
+	br, err := svc.EvalBatchCtx(ctx, []string{q, q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, second := br.Results[0], br.Results[1]
+	if first.Solves == 0 || second.Solves != 0 {
+		t.Fatalf("cost attribution changed: solves %d/%d", first.Solves, second.Solves)
+	}
+	for qi, res := range br.Results {
+		if res.Plan == nil || res.Plan.SampledGroups == 0 {
+			t.Fatalf("query %d: plan missing sampled groups: %+v", qi, res.Plan)
+		}
+		if res.Plan.CountHalfWidth <= 0 {
+			t.Fatalf("query %d: no propagated half-width: %+v", qi, res.Plan)
+		}
+	}
+	if first.Plan.SampledGroups != second.Plan.SampledGroups ||
+		first.Plan.MaxHalfWidth != second.Plan.MaxHalfWidth {
+		t.Fatalf("identical queries report different plans: %+v vs %+v", first.Plan, second.Plan)
+	}
+}
+
+// TestHTTPEvalTimeoutAdaptive drives the degrade path through the HTTP
+// front end: timeout_ms with the adaptive method returns 200 with a plan
+// reporting sampled groups.
+func TestHTTPEvalTimeoutAdaptive(t *testing.T) {
+	svc := pollsService(t, Config{Method: ppd.MethodAdaptive, Workers: 2, CacheSize: -1})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	var resp EvalResponse
+	if code := get(t, srv, "/eval?timeout_ms=1&q="+queryParam(pollsBatch(1)[0]), &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Plan == nil {
+		t.Fatalf("response missing plan: %+v", resp)
+	}
+	plan := resp.Results[0].Plan
+	if plan.SampledGroups == 0 || plan.MaxHalfWidth <= 0 {
+		t.Fatalf("1ms budget should sample with error bars, got %+v", plan)
+	}
+}

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"probpref/internal/ppd"
 )
@@ -16,6 +18,17 @@ type SessionProbJSON struct {
 	Prob    float64  `json:"prob"`
 }
 
+// PlanJSON is the wire form of the adaptive planner's routing report.
+type PlanJSON struct {
+	ExactGroups    int            `json:"exact_groups"`
+	SampledGroups  int            `json:"sampled_groups"`
+	Samples        int            `json:"samples"`
+	MaxHalfWidth   float64        `json:"max_half_width"`
+	ProbHalfWidth  float64        `json:"prob_half_width"`
+	CountHalfWidth float64        `json:"count_half_width"`
+	Methods        map[string]int `json:"methods,omitempty"`
+}
+
 // EvalResultJSON is the wire form of one evaluation.
 type EvalResultJSON struct {
 	Prob         float64           `json:"prob"`
@@ -24,6 +37,9 @@ type EvalResultJSON struct {
 	Solves       int               `json:"solves"`
 	CacheHits    int               `json:"cache_hits"`
 	PerSession   []SessionProbJSON `json:"per_session,omitempty"`
+	// Plan reports the adaptive planner's routing and confidence
+	// half-widths; present only when the service method is "adaptive".
+	Plan *PlanJSON `json:"plan,omitempty"`
 }
 
 // BatchJSON is the wire form of EvalBatch's dedup accounting.
@@ -45,6 +61,12 @@ type EvalRequest struct {
 	Queries []string `json:"queries"`
 	// PerSession includes per-session probabilities in every result.
 	PerSession bool `json:"per_session,omitempty"`
+	// TimeoutMS arms a deadline on the batch: with the adaptive method the
+	// planner budgets each group from it (degrading to sampling with error
+	// bars); with every other method the evaluation aborts when it expires.
+	// 0 means no deadline. (GET /eval accepts the same value as the
+	// timeout_ms query parameter.)
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // TopKDiagJSON is the wire form of a top-k diagnostic.
@@ -159,6 +181,13 @@ func (s *Service) handleEval(r *http.Request) (*EvalResponse, error) {
 		}
 		req.Queries = []string{q}
 		req.PerSession = r.URL.Query().Get("sessions") != ""
+		if v := r.URL.Query().Get("timeout_ms"); v != "" {
+			ms, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("bad timeout_ms: %w", err)
+			}
+			req.TimeoutMS = ms
+		}
 	case http.MethodPost:
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			return nil, fmt.Errorf("decoding body: %w", err)
@@ -169,7 +198,19 @@ func (s *Service) handleEval(r *http.Request) (*EvalResponse, error) {
 	default:
 		return nil, &httpError{http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method)}
 	}
-	br, err := s.EvalBatch(req.Queries)
+	if req.TimeoutMS < 0 {
+		return nil, fmt.Errorf("timeout_ms must be non-negative")
+	}
+	// The request context cancels the batch when the client disconnects;
+	// timeout_ms additionally arms a deadline the adaptive planner budgets
+	// against.
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	br, err := s.EvalBatchCtx(ctx, req.Queries)
 	if err != nil {
 		return nil, err
 	}
@@ -192,6 +233,17 @@ func evalResultJSON(res *ppd.EvalResult, perSession bool) EvalResultJSON {
 		LiveSessions: len(res.PerSession),
 		Solves:       res.Solves,
 		CacheHits:    res.CacheHits,
+	}
+	if res.Plan != nil {
+		out.Plan = &PlanJSON{
+			ExactGroups:    res.Plan.ExactGroups,
+			SampledGroups:  res.Plan.SampledGroups,
+			Samples:        res.Plan.Samples,
+			MaxHalfWidth:   res.Plan.MaxHalfWidth,
+			ProbHalfWidth:  res.Plan.ProbHalfWidth,
+			CountHalfWidth: res.Plan.CountHalfWidth,
+			Methods:        res.Plan.Methods,
+		}
 	}
 	if perSession {
 		for _, sp := range res.PerSession {
@@ -244,7 +296,7 @@ func (s *Service) handleTopK(r *http.Request) (*TopKResponse, error) {
 			return nil, fmt.Errorf("query %d: k and bound must be non-negative", i+1)
 		}
 	}
-	results, err := s.TopKBatch(reqs)
+	results, err := s.TopKBatchCtx(r.Context(), reqs)
 	if err != nil {
 		return nil, err
 	}

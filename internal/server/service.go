@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
@@ -133,11 +134,18 @@ func (s *Service) engine(seed int64) *ppd.Engine {
 // Eval parses and evaluates one query (a CQ or a union of CQs), sharing the
 // service's solve cache with every other request.
 func (s *Service) Eval(query string) (*ppd.EvalResult, error) {
+	return s.EvalCtx(context.Background(), query)
+}
+
+// EvalCtx is Eval with cancellation and deadline awareness: a done ctx
+// (client disconnect, deadline) aborts in-flight solver layers and sampling
+// rounds, and MethodAdaptive budgets each group from the ctx deadline.
+func (s *Service) EvalCtx(ctx context.Context, query string) (*ppd.EvalResult, error) {
 	uq, err := ppd.ParseUnion(query)
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.engine(s.cfg.Seed).EvalUnion(uq)
+	res, err := s.engine(s.cfg.Seed).EvalUnionCtx(ctx, uq)
 	if err != nil {
 		return nil, &evalError{err}
 	}
@@ -149,11 +157,16 @@ func (s *Service) Eval(query string) (*ppd.EvalResult, error) {
 // TopK parses and answers the Most-Probable-Session query top(Q, k) with
 // boundEdges upper-bound edges (0 = naive).
 func (s *Service) TopK(query string, k, boundEdges int) ([]ppd.SessionProb, *ppd.TopKDiag, error) {
+	return s.TopKCtx(context.Background(), query, k, boundEdges)
+}
+
+// TopKCtx is TopK with cancellation and deadline awareness.
+func (s *Service) TopKCtx(ctx context.Context, query string, k, boundEdges int) ([]ppd.SessionProb, *ppd.TopKDiag, error) {
 	uq, err := ppd.ParseUnion(query)
 	if err != nil {
 		return nil, nil, err
 	}
-	top, diag, err := s.engine(s.cfg.Seed).TopKUnion(uq, k, boundEdges)
+	top, diag, err := s.engine(s.cfg.Seed).TopKUnionCtx(ctx, uq, k, boundEdges)
 	if err != nil {
 		return nil, nil, &evalError{err}
 	}
@@ -194,6 +207,15 @@ type BatchResult struct {
 // EvalResult.Solves / CacheHits attribute each group to the first query of
 // the batch that needed it.
 func (s *Service) EvalBatch(queries []string) (*BatchResult, error) {
+	return s.EvalBatchCtx(context.Background(), queries)
+}
+
+// EvalBatchCtx is EvalBatch with cancellation and deadline awareness: once
+// ctx is done the worker pool stops claiming groups, in-flight solver
+// layers and sampling rounds abort, and the batch returns ctx's error; with
+// MethodAdaptive each group's exact-vs-sampling routing is budgeted from
+// the ctx deadline.
+func (s *Service) EvalBatchCtx(ctx context.Context, queries []string) (*BatchResult, error) {
 	type ref struct {
 		sess *ppd.Session
 		gi   int
@@ -210,7 +232,21 @@ func (s *Service) EvalBatch(queries []string) (*BatchResult, error) {
 		perQ    = make([][]ref, len(queries))
 		br      = &BatchResult{Results: make([]*ppd.EvalResult, len(queries))}
 	)
+	// With the adaptive method an expired deadline degrades remaining groups
+	// to sampling instead of aborting the batch: the grounding loop and the
+	// pool fan-out run deadline-detached (cancellation still aborts), while
+	// each group's solve sees the original ctx for budgeting.
+	adaptive := s.cfg.Method == ppd.MethodAdaptive
+	loopCtx := ctx
+	if adaptive {
+		var cancel context.CancelFunc
+		loopCtx, cancel = ppd.DetachDeadline(ctx)
+		defer cancel()
+	}
 	for qi, src := range queries {
+		if err := loopCtx.Err(); err != nil {
+			return nil, &evalError{context.Cause(loopCtx)}
+		}
 		uq, err := ppd.ParseUnion(src)
 		if err != nil {
 			return nil, fmt.Errorf("server: query %d: %w", qi+1, err)
@@ -244,6 +280,7 @@ func (s *Service) EvalBatch(queries []string) (*BatchResult, error) {
 	// worker pool. Seeds derive from the group index so sampling answers are
 	// deterministic for a fixed Config.Seed regardless of pool scheduling.
 	probs := make([]float64, len(groups))
+	reports := make([]ppd.SolveReport, len(groups))
 	cached := make([]bool, len(groups))
 	var pending []int
 	for gi := range groups {
@@ -258,15 +295,16 @@ func (s *Service) EvalBatch(queries []string) (*BatchResult, error) {
 		pending = append(pending, gi)
 	}
 	br.Solved = len(pending)
-	err := pool.Run(len(pending), s.cfg.Workers, func(pi int) error {
+	err := pool.RunCtx(loopCtx, len(pending), s.cfg.Workers, func(pi int) error {
 		gi := pending[pi]
 		eng := s.engine(s.cfg.Seed + int64(gi))
 		eng.Workers = 1 // the pool is the parallelism
-		p, err := eng.SolveUnion(groups[gi].sm, groups[gi].u)
+		p, rep, err := eng.SolveUnionCtx(ctx, groups[gi].sm, groups[gi].u)
 		if err != nil {
 			return fmt.Errorf("server: query %d: %w", groups[gi].first+1, err)
 		}
 		probs[gi] = p
+		reports[gi] = rep
 		if s.cache != nil {
 			s.cache.Put(groups[gi].key, p)
 		}
@@ -276,14 +314,34 @@ func (s *Service) EvalBatch(queries []string) (*BatchResult, error) {
 		return nil, &evalError{err}
 	}
 
-	// Aggregate per query with the engine's own aggregation, attributing
-	// each group's cost to the first query that referenced it.
+	// Aggregate per query with the engine's own aggregation. Solves and
+	// CacheHits attribute each group's cost to the first query that
+	// referenced it (batch accounting); the adaptive plan instead reflects
+	// each query's own view — every distinct freshly-solved group the query
+	// references counts toward its routing totals, matching the propagated
+	// half-widths, so shared groups appear in every referencing query's
+	// plan (cache hits replay a point answer and contribute no width).
 	for qi := range queries {
 		per := make([]ppd.SessionProb, len(perQ[qi]))
+		hw := make([]float64, len(perQ[qi]))
+		seen := make(map[int]bool)
 		for i, r := range perQ[qi] {
 			per[i] = ppd.SessionProb{Session: r.sess, Prob: probs[r.gi]}
+			if !cached[r.gi] {
+				hw[i] = reports[r.gi].HalfWidth
+			}
 		}
 		br.Results[qi] = ppd.BoolAggregate(per)
+		if adaptive {
+			plan := ppd.BatchPlan(per, hw)
+			for _, r := range perQ[qi] {
+				if !cached[r.gi] && !seen[r.gi] {
+					seen[r.gi] = true
+					plan.Note(reports[r.gi])
+				}
+			}
+			br.Results[qi].Plan = plan
+		}
 	}
 	for gi, g := range groups {
 		if cached[gi] {
@@ -318,6 +376,12 @@ type TopKResult struct {
 // through the shared solve cache, so repeated or overlapping queries reuse
 // each other's exact per-group results.
 func (s *Service) TopKBatch(reqs []TopKRequest) ([]*TopKResult, error) {
+	return s.TopKBatchCtx(context.Background(), reqs)
+}
+
+// TopKBatchCtx is TopKBatch with cancellation and deadline awareness (see
+// EvalBatchCtx).
+func (s *Service) TopKBatchCtx(ctx context.Context, reqs []TopKRequest) ([]*TopKResult, error) {
 	parsed := make([]*ppd.UnionQuery, len(reqs))
 	for i, r := range reqs {
 		uq, err := ppd.ParseUnion(r.Query)
@@ -326,12 +390,20 @@ func (s *Service) TopKBatch(reqs []TopKRequest) ([]*TopKResult, error) {
 		}
 		parsed[i] = uq
 	}
+	// As in EvalBatchCtx: with the adaptive method an expired deadline
+	// degrades per-query groups to sampling instead of aborting the fan-out.
+	loopCtx := ctx
+	if s.cfg.Method == ppd.MethodAdaptive {
+		var cancel context.CancelFunc
+		loopCtx, cancel = ppd.DetachDeadline(ctx)
+		defer cancel()
+	}
 	out := make([]*TopKResult, len(reqs))
 	var total atomic.Uint64
-	err := pool.Run(len(reqs), s.cfg.Workers, func(ri int) error {
+	err := pool.RunCtx(loopCtx, len(reqs), s.cfg.Workers, func(ri int) error {
 		eng := s.engine(s.cfg.Seed + int64(ri))
 		eng.Workers = 1 // the pool is the parallelism
-		top, diag, err := eng.TopKUnion(parsed[ri], reqs[ri].K, reqs[ri].Bound)
+		top, diag, err := eng.TopKUnionCtx(ctx, parsed[ri], reqs[ri].K, reqs[ri].Bound)
 		if err != nil {
 			return fmt.Errorf("server: query %d: %w", ri+1, err)
 		}

@@ -33,8 +33,12 @@ func General(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Option
 	if len(u) > 16 {
 		return 0, fmt.Errorf("%w: inclusion-exclusion over %d patterns (max 16)", ErrShape, len(u))
 	}
+	ctx := opts.ctx()
 	total := 0.0
 	for mask := 1; mask < 1<<uint(len(u)); mask++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		var members []*pattern.Pattern
 		for i := range u {
 			if mask&(1<<uint(i)) != 0 {

@@ -78,6 +78,11 @@ func (o Options) maxInvolved() int {
 	return o.MaxInvolved
 }
 
+// MaxInvolvedLimit returns the effective involved-items bound RelOrder will
+// enforce (MaxInvolved, or its default); cost-based planners use it to
+// predict whether RelOrder would accept an instance.
+func (o Options) MaxInvolvedLimit() int { return o.maxInvolved() }
+
 func (o Options) note(layer int) {
 	if o.Stats == nil {
 		return

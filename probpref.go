@@ -42,7 +42,14 @@
 //     cache shared across queries (NewSolveCache, Engine.Cache), and a
 //     Service with batch APIs that deduplicate inference groups across the
 //     queries of a batch and serve an HTTP/JSON front end (NewService,
-//     Service.Handler, cmd/hardqd).
+//     Service.Handler, cmd/hardqd);
+//   - deadline-aware adaptive planning: context-accepting variants of every
+//     evaluation entry point (Engine.EvalCtx, Service.EvalBatchCtx, ...)
+//     thread cancellation down to solver DP layers and sampling rounds, and
+//     MethodAdaptive routes each inference group to the cheapest adequate
+//     exact solver or — when the predicted cost exceeds the remaining
+//     deadline budget — to sampling with reported confidence half-widths
+//     (EstimateCost, PlanStats, EvalResult.Plan).
 //
 // # Quick start
 //
@@ -216,6 +223,14 @@ type (
 	// Explanation reports a query plan (classification, grounding,
 	// grouping, recommended method).
 	Explanation = ppd.Explanation
+	// PlanStats reports MethodAdaptive's routing decisions and confidence
+	// half-widths (EvalResult.Plan / TopKDiag.Plan).
+	PlanStats = ppd.PlanStats
+	// SolveReport describes how one inference group was answered
+	// (Engine.SolveUnionCtx).
+	SolveReport = ppd.SolveReport
+	// CostEstimate predicts the exact-inference work of one group.
+	CostEstimate = ppd.CostEstimate
 	// AggregateResult reports an aggregation over satisfying sessions.
 	AggregateResult = ppd.AggregateResult
 	// TopKDiag reports the work of a Most-Probable-Session evaluation.
@@ -232,7 +247,19 @@ const (
 	MethodMISAdaptive = ppd.MethodMISAdaptive
 	MethodMISLite     = ppd.MethodMISLite
 	MethodRejection   = ppd.MethodRejection
+	MethodAdaptive    = ppd.MethodAdaptive
 )
+
+// ParseMethod resolves a method name to its Method; the error of an unknown
+// name enumerates the valid names.
+func ParseMethod(s string) (Method, error) { return ppd.ParseMethod(s) }
+
+// EstimateCost predicts the cheapest adequate exact solver and its work for
+// one (session model, pattern union) inference group; MethodAdaptive's
+// planner routes on it.
+func EstimateCost(sm SessionModel, lab *Labeling, u Union, maxInvolved int) CostEstimate {
+	return ppd.EstimateCost(sm, lab, u, maxInvolved)
+}
 
 // Service layer.
 type (
