@@ -8,6 +8,7 @@
 //	hardq -dataset crowdrank -workers 500 -mode topk -k 5 -bound 1
 //	hardq -dataset figure1 -mode countdist
 //	hardq -dataset figure1 -query 'P(_,_; a; b), C(a,_,F,_,_,_) | P(_,_; a; b), C(a,D,_,_,JD,_)'
+//	hardq -manifest examples/registry/manifest.json -model polls-small
 //
 // The query language follows the paper's datalog notation: preference atoms
 // P(session...; left; right), ordinary atoms R(args...), and comparisons.
@@ -28,6 +29,7 @@ import (
 
 	"probpref/internal/dataset"
 	"probpref/internal/ppd"
+	"probpref/internal/registry"
 	"probpref/internal/server"
 )
 
@@ -38,10 +40,31 @@ func main() {
 	}
 }
 
+// rejectDatasetFlags fails when dataset-generator flags are combined with
+// -manifest: those parameters come from the manifest spec, and silently
+// ignoring an explicit flag would report results for a different dataset
+// than the command line suggests. (-seed stays legal: it also seeds the
+// samplers.)
+func rejectDatasetFlags(fs *flag.FlagSet) error {
+	var conflict []string
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "dataset", "candidates", "voters", "movies", "workers":
+			conflict = append(conflict, "-"+f.Name)
+		}
+	})
+	if len(conflict) > 0 {
+		return fmt.Errorf("%s cannot be combined with -manifest: dataset parameters come from the manifest", strings.Join(conflict, ", "))
+	}
+	return nil
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hardq", flag.ContinueOnError)
 	var (
-		ds       = fs.String("dataset", "figure1", "dataset: figure1 | polls | movielens | crowdrank")
+		ds       = fs.String("dataset", "figure1", "dataset: "+strings.Join(dataset.Names(), " | "))
+		manifest = fs.String("manifest", "", "model manifest file; overrides -dataset (pick the model with -model)")
+		model    = fs.String("model", "", "model name to evaluate against (requires -manifest; default: the manifest's first model)")
 		query    = fs.String("query", "", "conjunctive query (default: a dataset-specific demo query)")
 		method   = fs.String("method", "auto", "solver: "+strings.Join(ppd.MethodNames(), " | "))
 		deadline = fs.Duration("deadline", 0, "per-run latency budget; implies -method adaptive (unless one is forced): groups whose predicted exact cost exceeds the remaining budget are sampled with reported error bars")
@@ -64,11 +87,51 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	db, defQuery, err := dataset.Build(dataset.BuildConfig{
-		Name: *ds, Seed: *seed, Candidates: *cands, Voters: *voters, Movies: *movies, Workers: *workers,
-	})
-	if err != nil {
-		return err
+	var (
+		db       *ppd.DB
+		defQuery string
+		dsName   = *ds
+		err      error
+	)
+	if *manifest != "" {
+		if err := rejectDatasetFlags(fs); err != nil {
+			return err
+		}
+		man, err := registry.LoadManifest(*manifest)
+		if err != nil {
+			return err
+		}
+		spec := man.Models[0]
+		if *model != "" {
+			found := false
+			for _, s := range man.Models {
+				if s.Name == *model {
+					spec, found = s, true
+					break
+				}
+			}
+			if !found {
+				names := make([]string, len(man.Models))
+				for i, s := range man.Models {
+					names[i] = s.Name
+				}
+				return fmt.Errorf("model %q not in manifest %s (have %s)", *model, *manifest, strings.Join(names, ", "))
+			}
+		}
+		if db, defQuery, err = registry.Build(spec); err != nil {
+			return err
+		}
+		dsName = fmt.Sprintf("%s (model %s)", spec.Dataset, spec.Name)
+	} else {
+		if *model != "" {
+			return fmt.Errorf("-model requires -manifest")
+		}
+		db, defQuery, err = dataset.Build(dataset.BuildConfig{
+			Name: *ds, Seed: *seed, Candidates: *cands, Voters: *voters, Movies: *movies, Workers: *workers,
+		})
+		if err != nil {
+			return err
+		}
 	}
 	src := *query
 	if src == "" {
@@ -104,7 +167,7 @@ func run(args []string, out io.Writer) error {
 		eng.Cache = solveCache
 	}
 
-	fmt.Fprintf(out, "dataset : %s (m=%d items, %d sessions)\n", *ds, db.M(), len(db.Prefs[q.Prefs[0].Rel].Sessions))
+	fmt.Fprintf(out, "dataset : %s (m=%d items, %d sessions)\n", dsName, db.M(), len(db.Prefs[q.Prefs[0].Rel].Sessions))
 	fmt.Fprintf(out, "query   : %s\n", uq)
 	fmt.Fprintf(out, "method  : %s\n", m)
 	if *deadline > 0 {

@@ -216,3 +216,65 @@ func TestRunMethodsProduceSameAnswer(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenManifestModel evaluates against a named model picked from a
+// manifest instead of the -dataset flags.
+func TestGoldenManifestModel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-manifest", "testdata/manifest.json", "-model", "polls-small"}, &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	checkGolden(t, "manifest_model", buf.String())
+}
+
+func TestRunManifestDefaultsToFirstModel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-manifest", "testdata/manifest.json"}, &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "model figure1") {
+		t.Fatalf("expected the manifest's first model:\n%s", buf.String())
+	}
+}
+
+func TestRunManifestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-manifest", "testdata/manifest.json", "-model", "ghost"},
+		{"-manifest", "testdata/does-not-exist.json"},
+		{"-model", "figure1"}, // -model without -manifest
+		// Dataset-generator flags conflict with -manifest (the manifest
+		// spec would silently override them).
+		{"-manifest", "testdata/manifest.json", "-dataset", "polls"},
+		{"-manifest", "testdata/manifest.json", "-candidates", "5"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+	}
+}
+
+// TestHelpGolden pins the -help output to docs/hardq_help.txt so the
+// documented flag reference cannot go stale: the docs CI job fails when a
+// flag changes without regenerating the golden (go test -run Help -update).
+func TestHelpGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-help"}, &buf); err != flag.ErrHelp {
+		t.Fatalf("run(-help) = %v, want flag.ErrHelp", err)
+	}
+	path := filepath.Join("..", "..", "docs", "hardq_help.txt")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing help golden (run go test -run TestHelpGolden -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-help output differs from %s:\n-- got --\n%s\n-- want --\n%s", path, buf.Bytes(), want)
+	}
+}

@@ -1,22 +1,31 @@
-// Command hardqd serves hard queries over a RIM-PPD as an HTTP/JSON daemon:
-// it loads one of the paper's datasets, wraps it in the concurrent query
-// service of internal/server (shared solve cache, batch dedup, bounded
-// worker pool), and exposes:
+// Command hardqd serves hard queries over RIM-PPDs as an HTTP/JSON daemon:
+// it loads a catalog of models — either one of the paper's datasets
+// (-dataset, served as model "default") or a whole manifest of named
+// dataset-backed models (-manifest) — wraps it in the concurrent query
+// service of internal/server (shared solve cache namespaced per model,
+// batch dedup, bounded worker pool), and exposes:
 //
-//	GET  /eval?q=Q[&sessions=1]   evaluate one query
-//	POST /eval                    {"queries": [...]} batch with cross-query dedup
-//	GET  /topk?q=Q&k=K&bound=B    Most-Probable-Session
-//	POST /topk                    {"queries": [{"query","k","bound"}, ...]}
-//	GET  /stats                   service and cache statistics
-//	GET  /healthz                 liveness probe
+//	GET    /eval?q=Q[&sessions=1][&model=M]  evaluate one query
+//	POST   /eval                  {"queries": [...], "model": M} batch with dedup
+//	GET    /topk?q=Q&k=K&bound=B[&model=M]   Most-Probable-Session
+//	POST   /topk                  {"queries": [{"query","k","bound"}, ...], "model": M}
+//	GET    /models                list the model catalog
+//	POST   /models                register a model at runtime
+//	GET    /models/{name}         one catalog row
+//	DELETE /models/{name}         evict a model (in-flight queries finish first)
+//	GET    /stats                 service, catalog and cache statistics
+//	GET    /healthz               liveness probe
 //
 // Usage examples:
 //
 //	hardqd -dataset figure1 -addr :8080
-//	hardqd -dataset polls -candidates 20 -voters 200 -cache 65536 -parallel 8
+//	hardqd -manifest examples/registry/manifest.json -cache 65536 -parallel 8
 //	curl 'localhost:8080/eval?q=P(_,_;a;b),C(a,_,F,_,_,_),C(b,_,M,_,_,_)'
-//	curl -d '{"queries":["...","..."]}' localhost:8080/eval
-//	curl localhost:8080/stats
+//	curl -d '{"queries":["...","..."],"model":"polls-small"}' localhost:8080/eval
+//	curl localhost:8080/models
+//
+// See docs/API.md for the full endpoint reference and docs/ARCHITECTURE.md
+// for how the daemon, service, registry and engine layers fit together.
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 
 	"probpref/internal/dataset"
 	"probpref/internal/ppd"
+	"probpref/internal/registry"
 	"probpref/internal/server"
 )
 
@@ -64,28 +74,23 @@ func run(args []string, out io.Writer) error {
 func setup(args []string, out io.Writer) (*server.Service, string, error) {
 	fs := flag.NewFlagSet("hardqd", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", "127.0.0.1:8080", "listen address")
-		ds      = fs.String("dataset", "figure1", "dataset: figure1 | polls | movielens | crowdrank")
-		method  = fs.String("method", "auto", "solver: "+strings.Join(ppd.MethodNames(), " | "))
-		cache   = fs.Int("cache", server.DefaultCacheSize, "solve-cache capacity in entries (0 disables)")
-		par     = fs.Int("parallel", 4, "worker goroutines for batch fan-out and group solving")
-		seed    = fs.Int64("seed", 1, "generator and sampler seed")
-		cands   = fs.Int("candidates", 20, "polls: number of candidates")
-		voters  = fs.Int("voters", 100, "polls: number of voters")
-		movies  = fs.Int("movies", 120, "movielens: catalog size")
-		workers = fs.Int("workers", 500, "crowdrank: number of workers")
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
+		ds       = fs.String("dataset", "figure1", "dataset: "+strings.Join(dataset.Names(), " | ")+" (served as model \"default\")")
+		manifest = fs.String("manifest", "", "model manifest file; serves every named model of the catalog (overrides -dataset)")
+		method   = fs.String("method", "auto", "solver: "+strings.Join(ppd.MethodNames(), " | "))
+		cache    = fs.Int("cache", server.DefaultCacheSize, "solve-cache capacity in entries (0 disables); keys are namespaced per model")
+		par      = fs.Int("parallel", 4, "worker goroutines for batch fan-out and group solving")
+		seed     = fs.Int64("seed", 1, "generator and sampler seed")
+		cands    = fs.Int("candidates", 20, "polls: number of candidates")
+		voters   = fs.Int("voters", 100, "polls: number of voters")
+		movies   = fs.Int("movies", 120, "movielens: catalog size")
+		workers  = fs.Int("workers", 500, "crowdrank: number of workers")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
 	}
 
-	db, _, err := dataset.Build(dataset.BuildConfig{
-		Name: *ds, Seed: *seed, Candidates: *cands, Voters: *voters, Movies: *movies, Workers: *workers,
-	})
-	if err != nil {
-		return nil, "", err
-	}
 	m, err := ppd.ParseMethod(*method)
 	if err != nil {
 		return nil, "", err
@@ -94,17 +99,59 @@ func setup(args []string, out io.Writer) (*server.Service, string, error) {
 	if size <= 0 {
 		size = -1 // flag semantics: 0 (or negative) disables, matching hardq
 	}
-	svc := server.New(db, server.Config{
+	cfg := server.Config{
 		Method:    m,
 		Workers:   *par,
 		CacheSize: size,
 		Seed:      *seed,
-	})
-	sessions := 0
-	for _, p := range db.Prefs {
-		sessions += len(p.Sessions)
 	}
-	fmt.Fprintf(out, "dataset : %s (m=%d items, %d sessions)\n", *ds, db.M(), sessions)
+
+	var svc *server.Service
+	if *manifest != "" {
+		// Dataset-generator flags would be silently overridden by the
+		// manifest specs; reject the combination. (-seed stays legal: it
+		// also seeds the samplers via Config.Seed.)
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "dataset", "candidates", "voters", "movies", "workers":
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return nil, "", fmt.Errorf("%s cannot be combined with -manifest: dataset parameters come from the manifest", strings.Join(conflict, ", "))
+		}
+		man, err := registry.LoadManifest(*manifest)
+		if err != nil {
+			return nil, "", err
+		}
+		reg := registry.New()
+		if err := reg.Apply(man); err != nil {
+			return nil, "", err
+		}
+		svc = server.NewMulti(reg, cfg)
+		fmt.Fprintf(out, "manifest: %s (%d models)\n", *manifest, reg.Len())
+		for _, in := range reg.List() {
+			if in.Loaded {
+				fmt.Fprintf(out, "  %-14s %-10s loaded (m=%d items, %d sessions)\n", in.Name, in.Dataset, in.Items, in.Sessions)
+			} else {
+				fmt.Fprintf(out, "  %-14s %-10s lazy\n", in.Name, in.Dataset)
+			}
+		}
+	} else {
+		db, _, err := dataset.Build(dataset.BuildConfig{
+			Name: *ds, Seed: *seed, Candidates: *cands, Voters: *voters, Movies: *movies, Workers: *workers,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		svc = server.New(db, cfg)
+		sessions := 0
+		for _, p := range db.Prefs {
+			sessions += len(p.Sessions)
+		}
+		fmt.Fprintf(out, "dataset : %s (m=%d items, %d sessions)\n", *ds, db.M(), sessions)
+	}
 	fmt.Fprintf(out, "method  : %s\n", m)
 	if c := svc.Cache(); c != nil {
 		fmt.Fprintf(out, "cache   : %d entries capacity\n", c.Stats().Capacity)

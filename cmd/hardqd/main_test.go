@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -135,6 +136,10 @@ func TestSetupErrors(t *testing.T) {
 		{"-dataset", "nope"},
 		{"-method", "nope"},
 		{"-bogusflag"},
+		{"-manifest", "testdata/does-not-exist.json"},
+		// Dataset-generator flags conflict with -manifest.
+		{"-manifest", "testdata/manifest.json", "-dataset", "polls"},
+		{"-manifest", "testdata/manifest.json", "-voters", "5"},
 	}
 	for _, args := range cases {
 		var buf bytes.Buffer
@@ -148,5 +153,229 @@ func TestCacheZeroDisables(t *testing.T) {
 	_, banner := testServer(t, "-dataset", "figure1", "-cache", "0")
 	if !strings.Contains(banner, "cache   : disabled") {
 		t.Fatalf("-cache 0 should disable the cache:\n%s", banner)
+	}
+}
+
+// --- multi-model (manifest) tests ---
+
+const pollsDemoQuery = `P(_, _; l; r), C(l, p, M, _, _, _), C(r, p, F, _, _, _)`
+
+func manifestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, _ := testServer(t, "-manifest", "testdata/manifest.json")
+	return srv
+}
+
+func TestManifestBannerGolden(t *testing.T) {
+	_, banner := testServer(t, "-manifest", "testdata/manifest.json", "-cache", "1024")
+	checkGolden(t, "manifest_banner", []byte(banner))
+}
+
+func TestModelsGolden(t *testing.T) {
+	srv := manifestServer(t)
+	b := getBody(t, srv, "/models")
+	checkGolden(t, "models", b)
+}
+
+func TestEvalWithModelGolden(t *testing.T) {
+	srv := manifestServer(t)
+	b := getBody(t, srv, "/eval?q="+url.QueryEscape(pollsDemoQuery)+"&model=polls-small")
+	checkGolden(t, "eval_model_polls", b)
+}
+
+func TestTopKWithModel(t *testing.T) {
+	srv := manifestServer(t)
+	b := getBody(t, srv, "/topk?q="+url.QueryEscape(demoQuery)+"&k=2&bound=1&model=figure1")
+	var resp struct {
+		Results []struct {
+			Top []struct {
+				Prob float64 `json:"prob"`
+			} `json:"top"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(b, &resp); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, b)
+	}
+	if len(resp.Results) != 1 || len(resp.Results[0].Top) != 2 {
+		t.Fatalf("topk shape: %s", b)
+	}
+}
+
+func statusOf(t *testing.T, srv *httptest.Server, method, path string, body []byte) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, srv.URL+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestModelLifecycle drives the runtime catalog management surface:
+// register, inspect, query, evict, and the 404/409 error statuses.
+func TestModelLifecycle(t *testing.T) {
+	srv := manifestServer(t)
+
+	// Unknown models are 404 on every query route.
+	if code, _ := statusOf(t, srv, "GET", "/eval?q="+url.QueryEscape(demoQuery)+"&model=ghost", nil); code != http.StatusNotFound {
+		t.Fatalf("eval on unknown model: status %d, want 404", code)
+	}
+	if code, _ := statusOf(t, srv, "GET", "/models/ghost", nil); code != http.StatusNotFound {
+		t.Fatalf("GET /models/ghost: status %d, want 404", code)
+	}
+	if code, _ := statusOf(t, srv, "DELETE", "/models/ghost", nil); code != http.StatusNotFound {
+		t.Fatalf("DELETE /models/ghost: status %d, want 404", code)
+	}
+
+	// Register a new preloaded model at runtime and query it.
+	spec := []byte(`{"name": "f2", "dataset": "figure1", "preload": true}`)
+	if code, b := statusOf(t, srv, "POST", "/models", spec); code != http.StatusOK {
+		t.Fatalf("POST /models: status %d\n%s", code, b)
+	}
+	if code, b := statusOf(t, srv, "POST", "/models", spec); code != http.StatusConflict {
+		t.Fatalf("duplicate POST /models: status %d, want 409\n%s", code, b)
+	}
+	b := getBody(t, srv, "/models/f2")
+	if !strings.Contains(string(b), `"loaded": true`) {
+		t.Fatalf("GET /models/f2 not loaded:\n%s", b)
+	}
+	getBody(t, srv, "/eval?q="+url.QueryEscape(demoQuery)+"&model=f2")
+
+	// Evict it; querying again is a 404, deleting again is a 404.
+	if code, b := statusOf(t, srv, "DELETE", "/models/f2", nil); code != http.StatusOK {
+		t.Fatalf("DELETE /models/f2: status %d\n%s", code, b)
+	}
+	if code, _ := statusOf(t, srv, "GET", "/eval?q="+url.QueryEscape(demoQuery)+"&model=f2", nil); code != http.StatusNotFound {
+		t.Fatalf("eval on deleted model: status %d, want 404", code)
+	}
+	if code, _ := statusOf(t, srv, "DELETE", "/models/f2", nil); code != http.StatusNotFound {
+		t.Fatalf("second DELETE: status %d, want 404", code)
+	}
+
+	// Bad registrations are 400.
+	for _, bad := range []string{
+		`{"name": "x", "dataset": "nope"}`,
+		`{"name": "bad name", "dataset": "figure1"}`,
+		`{"name": "x", "dataset": "figure1", "typo": 1}`,
+		`{"name": "x", "dataset": "polls", "candidates": -1}`,
+	} {
+		if code, _ := statusOf(t, srv, "POST", "/models", []byte(bad)); code != http.StatusBadRequest {
+			t.Fatalf("POST /models %s: status %d, want 400", bad, code)
+		}
+	}
+}
+
+// TestManifestServesModelsConcurrently is the acceptance check that one
+// daemon serves two named dataset-backed models at the same time.
+func TestManifestServesModelsConcurrently(t *testing.T) {
+	srv := manifestServer(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q, model := demoQuery, "figure1"
+			if i%2 == 1 {
+				q, model = pollsDemoQuery, "polls-small"
+			}
+			resp, err := srv.Client().Get(srv.URL + "/eval?q=" + url.QueryEscape(q) + "&model=" + model)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(resp.Body)
+				t.Errorf("model %s: status %d\n%s", model, resp.StatusCode, b)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestHelpGolden pins the -help output to docs/hardqd_help.txt so the
+// documented flag reference cannot go stale: the docs CI job fails when a
+// flag changes without regenerating the golden (go test -run Help -update).
+func TestHelpGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if _, _, err := setup([]string{"-help"}, &buf); err != flag.ErrHelp {
+		t.Fatalf("setup(-help) = %v, want flag.ErrHelp", err)
+	}
+	path := filepath.Join("..", "..", "docs", "hardqd_help.txt")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing help golden (run go test -run TestHelpGolden -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-help output differs from %s:\n-- got --\n%s\n-- want --\n%s", path, buf.Bytes(), want)
+	}
+}
+
+// TestAPIDocEndpointsCovered verifies docs/API.md against the live
+// handler: every route the daemon serves must be documented as a
+// "## METHOD /path" section, the load-bearing field names must appear,
+// and each GET endpoint of the doc must actually respond on a test
+// server. A new route or renamed field fails this test until the doc is
+// updated.
+func TestAPIDocEndpointsCovered(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "docs", "API.md"))
+	if err != nil {
+		t.Fatalf("reading docs/API.md: %v", err)
+	}
+	text := string(doc)
+
+	// The daemon's full route table; extend this list (and API.md) when
+	// adding endpoints.
+	endpoints := []string{
+		"GET /eval",
+		"POST /eval",
+		"GET /topk",
+		"POST /topk",
+		"GET /models",
+		"POST /models",
+		"GET /models/{name}",
+		"DELETE /models/{name}",
+		"GET /stats",
+		"GET /healthz",
+	}
+	for _, ep := range endpoints {
+		if !strings.Contains(text, "## "+ep) {
+			t.Errorf("docs/API.md: missing section for %q", ep)
+		}
+	}
+	for _, field := range []string{
+		"model", "timeout_ms", "per_session", "plan", "preload",
+		"cache_hits", "loaded", "refs", "deleted",
+	} {
+		if !strings.Contains(text, "`"+field+"`") {
+			t.Errorf("docs/API.md: field %q not documented", field)
+		}
+	}
+
+	// Exercise the documented read paths against a manifest-backed server.
+	srv := manifestServer(t)
+	for _, path := range []string{
+		"/eval?q=" + url.QueryEscape(demoQuery) + "&sessions=1&model=figure1",
+		"/topk?q=" + url.QueryEscape(demoQuery) + "&k=2&bound=1&model=figure1",
+		"/models",
+		"/models/figure1",
+		"/stats",
+		"/healthz",
+	} {
+		getBody(t, srv, path)
 	}
 }

@@ -19,30 +19,67 @@ const PollsQuery = `P(_, _; l; r), C(l, p, M, _, _, _), C(r, p, F, _, _, _)`
 // parameters; fields irrelevant to the chosen dataset are ignored.
 type BuildConfig struct {
 	Name       string // figure1 | polls | movielens | crowdrank
-	Seed       int64
-	Candidates int // polls
-	Voters     int // polls
-	Movies     int // movielens
-	Workers    int // crowdrank
+	Seed       int64  // generator seed
+	Candidates int    // polls
+	Voters     int    // polls
+	Movies     int    // movielens catalog size / crowdrank HIT size
+	Workers    int    // crowdrank
+}
+
+// builders is the single source of truth for the dataset dispatcher:
+// Build, Names and Known all derive from it, so a new dataset registers
+// in one place. Order is presentation order.
+var builders = []struct {
+	name  string
+	build func(cfg BuildConfig) (*ppd.DB, string, error)
+}{
+	{"figure1", func(BuildConfig) (*ppd.DB, string, error) {
+		db, err := Figure1()
+		return db, Figure1Query, err
+	}},
+	{"polls", func(cfg BuildConfig) (*ppd.DB, string, error) {
+		db, err := Polls(PollsConfig{Candidates: cfg.Candidates, Voters: cfg.Voters, Seed: cfg.Seed})
+		return db, PollsQuery, err
+	}},
+	{"movielens", func(cfg BuildConfig) (*ppd.DB, string, error) {
+		db, err := MovieLens(MovieLensConfig{Movies: cfg.Movies, Seed: cfg.Seed})
+		return db, MovieLensQueryText(), err
+	}},
+	{"crowdrank", func(cfg BuildConfig) (*ppd.DB, string, error) {
+		db, err := CrowdRank(CrowdRankConfig{Workers: cfg.Workers, Movies: cfg.Movies, Seed: cfg.Seed})
+		return db, CrowdRankQuery, err
+	}},
+}
+
+// Names returns the dataset names Build accepts.
+func Names() []string {
+	out := make([]string, len(builders))
+	for i, b := range builders {
+		out[i] = b.name
+	}
+	return out
+}
+
+// Known reports whether name (case-insensitive) is a dataset Build accepts.
+func Known(name string) bool {
+	name = strings.ToLower(name)
+	for _, b := range builders {
+		if b.name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Build constructs the named dataset and returns it together with its
 // dataset-specific demo query; it is the shared dataset dispatcher of the
-// cmd binaries.
+// cmd binaries and of the model registry's lazy loads.
 func Build(cfg BuildConfig) (*ppd.DB, string, error) {
-	switch strings.ToLower(cfg.Name) {
-	case "figure1":
-		db, err := Figure1()
-		return db, Figure1Query, err
-	case "polls":
-		db, err := Polls(PollsConfig{Candidates: cfg.Candidates, Voters: cfg.Voters, Seed: cfg.Seed})
-		return db, PollsQuery, err
-	case "movielens":
-		db, err := MovieLens(MovieLensConfig{Movies: cfg.Movies, Seed: cfg.Seed})
-		return db, MovieLensQueryText(), err
-	case "crowdrank":
-		db, err := CrowdRank(CrowdRankConfig{Workers: cfg.Workers, Seed: cfg.Seed})
-		return db, CrowdRankQuery, err
+	name := strings.ToLower(cfg.Name)
+	for _, b := range builders {
+		if b.name == name {
+			return b.build(cfg)
+		}
 	}
 	return nil, "", fmt.Errorf("unknown dataset %q", cfg.Name)
 }

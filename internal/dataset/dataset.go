@@ -1,8 +1,11 @@
-// Package dataset generates the six experimental workloads of Section 6.1:
+// Package dataset generates the experimental workloads of Section 6.1 —
 // the Polls synthetic polling database, the pattern-union micro-benchmarks
-// A-D, and offline stand-ins for the MovieLens and CrowdRank datasets (see
-// DESIGN.md, substitutions S2 and S3). All generators are deterministic
-// given their seed.
+// A-D, and deterministic offline stand-ins for the MovieLens and CrowdRank
+// datasets — plus the Figure 1 running example. All generators are
+// deterministic given their seed, which is what lets the model registry
+// (internal/registry) rebuild any cataloged model lazily from its Spec:
+// Build is the dispatcher the registry, cmd/hardq and cmd/hardqd load
+// datasets through.
 package dataset
 
 import (

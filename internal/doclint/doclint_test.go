@@ -1,0 +1,148 @@
+// Package doclint is the documentation CI gate: a dependency-free,
+// revive-style "exported" lint that fails when an exported identifier of
+// the documented packages lacks a doc comment, plus an intra-repo markdown
+// link checker (links_test.go). It runs as ordinary `go test` so the docs
+// CI job needs no extra tooling.
+package doclint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lintedDirs are the packages whose exported surface must be fully
+// documented (repo-root relative). The facade and the serving-path
+// packages are the contract; see ISSUE/ROADMAP for why these four.
+var lintedDirs = []string{
+	".",
+	"internal/server",
+	"internal/registry",
+	"internal/dataset",
+}
+
+// repoRoot locates the repository root relative to this package.
+func repoRoot() string { return filepath.Join("..", "..") }
+
+// TestExportedIdentifiersDocumented parses every non-test file of the
+// linted packages and reports exported declarations — functions, methods,
+// types, consts, vars, struct fields and interface methods — that carry no
+// doc comment.
+func TestExportedIdentifiersDocumented(t *testing.T) {
+	for _, dir := range lintedDirs {
+		dir := dir
+		t.Run(strings.ReplaceAll(dir, "/", "_"), func(t *testing.T) {
+			var problems []string
+			fset := token.NewFileSet()
+			pkgs, err := parser.ParseDir(fset, filepath.Join(repoRoot(), dir), func(fi fs.FileInfo) bool {
+				return !strings.HasSuffix(fi.Name(), "_test.go")
+			}, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", dir, err)
+			}
+			for _, pkg := range pkgs {
+				for _, f := range pkg.Files {
+					problems = append(problems, lintFile(fset, f)...)
+				}
+			}
+			for _, p := range problems {
+				t.Errorf("%s", p)
+			}
+			if len(problems) > 0 {
+				t.Logf("%d exported identifiers without doc comments in %s", len(problems), dir)
+			}
+		})
+	}
+}
+
+// lintFile collects doc-comment violations of one file.
+func lintFile(fset *token.FileSet, f *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, what, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil && exportedRecv(d) {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				report(d.Pos(), kind, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			lintGenDecl(d, report)
+		}
+	}
+	return out
+}
+
+// exportedRecv reports whether a function's receiver type (if any) is
+// exported; methods on unexported types are internal API.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return !ok || id.IsExported()
+}
+
+// lintGenDecl checks type/const/var declarations, including the exported
+// fields of exported struct types and the methods of exported interfaces.
+// A doc comment on a grouped declaration covers every spec of the group.
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	groupDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+			if !s.Name.IsExported() {
+				continue
+			}
+			switch tt := s.Type.(type) {
+			case *ast.StructType:
+				for _, fld := range tt.Fields.List {
+					for _, n := range fld.Names {
+						if n.IsExported() && fld.Doc == nil && fld.Comment == nil {
+							report(fld.Pos(), "field", s.Name.Name+"."+n.Name)
+						}
+					}
+				}
+			case *ast.InterfaceType:
+				for _, m := range tt.Methods.List {
+					for _, n := range m.Names {
+						if n.IsExported() && m.Doc == nil && m.Comment == nil {
+							report(m.Pos(), "interface method", s.Name.Name+"."+n.Name)
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, n := range s.Names {
+				if n.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+					kind := "var"
+					if d.Tok == token.CONST {
+						kind = "const"
+					}
+					report(n.Pos(), kind, n.Name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Manifest is the startup catalog file of cmd/hardqd: the set of named
+// models a daemon serves. The on-disk form is JSON:
+//
+//	{
+//	  "models": [
+//	    {"name": "figure1", "dataset": "figure1", "preload": true},
+//	    {"name": "polls-small", "dataset": "polls",
+//	     "candidates": 10, "voters": 50, "seed": 7}
+//	  ]
+//	}
+//
+// See examples/registry/manifest.json for a runnable example.
+type Manifest struct {
+	// Models lists the specs to register, in file order.
+	Models []Spec `json:"models"`
+}
+
+// ParseManifest decodes and validates a manifest: every spec must validate
+// and names must be unique. Unknown JSON fields are rejected so typos in a
+// manifest fail at startup instead of silently taking defaults.
+func ParseManifest(r io.Reader) (*Manifest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("registry: parsing manifest: %w", err)
+	}
+	if len(m.Models) == 0 {
+		return nil, fmt.Errorf("registry: manifest lists no models")
+	}
+	seen := make(map[string]bool, len(m.Models))
+	for i, spec := range m.Models {
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("registry: manifest model %d: %w", i+1, err)
+		}
+		if seen[spec.Name] {
+			return nil, fmt.Errorf("registry: manifest model %d: duplicate name %q", i+1, spec.Name)
+		}
+		seen[spec.Name] = true
+	}
+	return &m, nil
+}
+
+// LoadManifest reads and parses the manifest file at path.
+func LoadManifest(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	defer f.Close()
+	m, err := ParseManifest(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return m, nil
+}
+
+// Apply registers every model of the manifest, building the preloaded ones
+// eagerly. On error the models registered so far stay in the catalog; the
+// error names the failing model.
+func (r *Registry) Apply(m *Manifest) error {
+	for _, spec := range m.Models {
+		if err := r.Register(spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,377 @@
+// Package registry is the model catalog layer of the serving stack: a
+// concurrent, named catalog of RIM-PPD models that one daemon serves
+// simultaneously. Each model is either a dataset-backed Spec — built lazily
+// (or eagerly, see Spec.Preload) from the generators of internal/dataset —
+// or a pre-built database registered directly (RegisterDB). Queries open a
+// model by name and hold a reference-counted Handle for their duration, so
+// Delete can evict a model from the catalog immediately while in-flight
+// queries finish against the old instance before its memory is released.
+//
+// The registry sits below internal/server: the Service routes each request
+// to a named model and namespaces its solve-cache keys by that name, and
+// cmd/hardqd populates the registry from a startup manifest file (see
+// Manifest) or at runtime through the /models endpoints.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+
+	"probpref/internal/dataset"
+	"probpref/internal/ppd"
+)
+
+// Catalog errors. Callers branch on them with errors.Is; the HTTP layer
+// maps ErrNotFound to 404 and ErrExists to 409.
+var (
+	// ErrNotFound reports an Open or Delete of a name the catalog does not
+	// hold.
+	ErrNotFound = errors.New("registry: model not found")
+	// ErrExists reports a Register of a name already in the catalog.
+	ErrExists = errors.New("registry: model already registered")
+)
+
+// nameRE restricts model names to URL-path-safe tokens so names can appear
+// verbatim in /models/{name} routes and in cache-key namespaces.
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9._-]+$`)
+
+// Spec describes one named, dataset-backed model: which generator of
+// internal/dataset builds it and with which parameters. Fields irrelevant
+// to the chosen dataset are ignored, zero-valued fields take the
+// generator's defaults. A Spec is the unit of the startup manifest and of
+// the POST /models body.
+type Spec struct {
+	// Name is the catalog name of the model (letters, digits, ".", "_",
+	// "-").
+	Name string `json:"name"`
+	// Dataset names the builder: figure1 | polls | movielens | crowdrank.
+	Dataset string `json:"dataset"`
+	// Seed is the generator seed (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Candidates is the polls candidate count.
+	Candidates int `json:"candidates,omitempty"`
+	// Voters is the polls voter count.
+	Voters int `json:"voters,omitempty"`
+	// Movies is the movielens catalog size (or the crowdrank HIT size).
+	Movies int `json:"movies,omitempty"`
+	// Workers is the crowdrank worker count.
+	Workers int `json:"workers,omitempty"`
+	// Preload builds the model at registration time (manifest load,
+	// POST /models) instead of on first use.
+	Preload bool `json:"preload,omitempty"`
+}
+
+// Validate checks the spec's name, dataset and generator parameters
+// without building anything, so malformed specs fail at registration
+// (manifest load, POST /models) instead of panicking inside a builder.
+func (s Spec) Validate() error {
+	if !nameRE.MatchString(s.Name) {
+		return fmt.Errorf("registry: invalid model name %q (want letters, digits, '.', '_', '-')", s.Name)
+	}
+	if !dataset.Known(s.Dataset) {
+		return fmt.Errorf("registry: model %q: unknown dataset %q (want one of %v)", s.Name, s.Dataset, dataset.Names())
+	}
+	for _, p := range []struct {
+		name string
+		v    int
+	}{
+		{"candidates", s.Candidates},
+		{"voters", s.Voters},
+		{"movies", s.Movies},
+		{"workers", s.Workers},
+	} {
+		if p.v < 0 {
+			return fmt.Errorf("registry: model %q: %s must be non-negative, got %d", s.Name, p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// buildConfig translates the spec to the dataset dispatcher's config,
+// applying the registry-wide default seed.
+func (s Spec) buildConfig() dataset.BuildConfig {
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return dataset.BuildConfig{
+		Name: s.Dataset, Seed: seed,
+		Candidates: s.Candidates, Voters: s.Voters,
+		Movies: s.Movies, Workers: s.Workers,
+	}
+}
+
+// Build constructs the database described by spec and returns it with the
+// dataset's demo query. It is the stateless builder behind lazy catalog
+// loads, exposed for one-shot callers (probpref.OpenDataset, cmd/hardq
+// -manifest) that need a dataset without a catalog.
+func Build(spec Spec) (*ppd.DB, string, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, "", err
+	}
+	return dataset.Build(spec.buildConfig())
+}
+
+// Info is one row of the catalog listing (GET /models): the model's spec
+// summary plus its load state. Items and Sessions are reported only once
+// the model is loaded — listing never forces a build.
+type Info struct {
+	// Name is the catalog name.
+	Name string `json:"name"`
+	// Dataset is the builder name, or "inline" for RegisterDB models.
+	Dataset string `json:"dataset"`
+	// Loaded reports whether the database is currently built and resident.
+	Loaded bool `json:"loaded"`
+	// Refs counts the open handles (in-flight queries) on the model.
+	Refs int `json:"refs"`
+	// Items is the item-domain size of a loaded model.
+	Items int `json:"items,omitempty"`
+	// Sessions is the total session count of a loaded model.
+	Sessions int `json:"sessions,omitempty"`
+}
+
+// entry is one catalog slot. The registry mutex guards refs/removed and
+// the map membership; buildMu serializes the lazy build so concurrent
+// Opens of the same cold model build it once.
+type entry struct {
+	spec Spec
+
+	refs    int
+	removed bool
+
+	buildMu  sync.Mutex
+	built    bool
+	buildErr error
+	db       *ppd.DB
+	demo     string
+	items    int
+	sessions int
+}
+
+// Registry is the concurrent catalog. The zero value is not usable; call
+// New. All methods are safe for concurrent use.
+type Registry struct {
+	mu     sync.Mutex
+	models map[string]*entry
+}
+
+// New returns an empty catalog.
+func New() *Registry {
+	return &Registry{models: make(map[string]*entry)}
+}
+
+// Register adds a dataset-backed model to the catalog. The database is
+// built lazily on first Open unless spec.Preload is set, in which case
+// Register builds it *before* touching the catalog — a failing preload
+// build registers nothing, and the half-built model is never observable
+// (nor can a rollback race with a concurrent re-registration of the name).
+func (r *Registry) Register(spec Spec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	e := &entry{spec: spec}
+	if spec.Preload {
+		db, demo, err := dataset.Build(spec.buildConfig())
+		if err != nil {
+			return fmt.Errorf("registry: building model %q: %w", spec.Name, err)
+		}
+		e.built, e.db, e.demo = true, db, demo
+		e.items, e.sessions = dbSize(db)
+	}
+	return r.add(spec.Name, e)
+}
+
+// RegisterDB adds a pre-built database under name; its Info reports
+// dataset "inline". The db must not be mutated after registration. The
+// demoQuery (may be empty) is surfaced through Handle.DemoQuery.
+func (r *Registry) RegisterDB(name string, db *ppd.DB, demoQuery string) error {
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("registry: invalid model name %q (want letters, digits, '.', '_', '-')", name)
+	}
+	if db == nil {
+		return fmt.Errorf("registry: model %q: nil database", name)
+	}
+	e := &entry{spec: Spec{Name: name, Dataset: "inline"}, built: true, db: db, demo: demoQuery}
+	e.items, e.sessions = dbSize(db)
+	return r.add(name, e)
+}
+
+func (r *Registry) add(name string, e *entry) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.models[name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	r.models[name] = e
+	return nil
+}
+
+// Open resolves name and returns a reference-counted handle on the model,
+// building the database first if this is a cold dataset-backed model.
+// Callers must Close the handle when their query finishes; until then the
+// model's database stays resident even if the model is deleted from the
+// catalog.
+func (r *Registry) Open(name string) (*Handle, error) {
+	r.mu.Lock()
+	e, ok := r.models[name]
+	if !ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	e.refs++
+	r.mu.Unlock()
+
+	err := func() error {
+		e.buildMu.Lock()
+		defer e.buildMu.Unlock() // defer: a panicking builder must not wedge the entry
+		if !e.built {
+			e.db, e.demo, e.buildErr = dataset.Build(e.spec.buildConfig())
+			if e.buildErr != nil {
+				e.buildErr = fmt.Errorf("registry: building model %q: %w", name, e.buildErr)
+			} else {
+				e.items, e.sessions = dbSize(e.db)
+			}
+			e.built = true
+		}
+		return e.buildErr
+	}()
+	if err != nil {
+		r.release(e)
+		return nil, err
+	}
+	return &Handle{r: r, e: e, name: name}, nil
+}
+
+// Delete evicts name from the catalog: subsequent Opens fail with
+// ErrNotFound immediately, while handles already open keep working until
+// closed — only when the last one closes is the database released. A
+// model with no open handles is released synchronously.
+func (r *Registry) Delete(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.models[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(r.models, name)
+	e.removed = true
+	if e.refs == 0 {
+		unload(e)
+	}
+	return nil
+}
+
+// release drops one reference and unloads a deleted model when the last
+// in-flight query finishes.
+func (r *Registry) release(e *entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e.refs--
+	if e.removed && e.refs == 0 {
+		unload(e)
+	}
+}
+
+// unload frees the built database of a removed entry. Called with the
+// registry mutex held and zero refs, so no handle can observe it.
+func unload(e *entry) {
+	e.db = nil
+	e.built = false
+	e.buildErr = nil
+}
+
+// List snapshots the catalog sorted by name.
+func (r *Registry) List() []Info {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Info, 0, len(r.models))
+	for name, e := range r.models {
+		out = append(out, r.infoLocked(name, e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the catalog row for one model.
+func (r *Registry) Lookup(name string) (Info, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.models[name]
+	if !ok {
+		return Info{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return r.infoLocked(name, e), nil
+}
+
+// infoLocked snapshots one entry; the registry mutex must be held. The
+// loaded fields race benignly with a concurrent first build (buildMu is
+// deliberately not taken — listing must never block behind a slow build),
+// so a model mid-build may briefly report Loaded=false.
+func (r *Registry) infoLocked(name string, e *entry) Info {
+	in := Info{Name: name, Dataset: e.spec.Dataset, Refs: e.refs}
+	if e.buildMu.TryLock() {
+		if e.built && e.buildErr == nil {
+			in.Loaded = true
+			in.Items = e.items
+			in.Sessions = e.sessions
+		}
+		e.buildMu.Unlock()
+	}
+	return in
+}
+
+// Len returns the number of cataloged models.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.models)
+}
+
+// Names returns the sorted catalog names.
+func (r *Registry) Names() []string {
+	infos := r.List()
+	out := make([]string, len(infos))
+	for i, in := range infos {
+		out[i] = in.Name
+	}
+	return out
+}
+
+// Handle is an open, reference-counted view of one model. It is valid
+// until Close; Close is idempotent and safe for concurrent use with the
+// accessor methods of other handles (but a single Handle must not be used
+// concurrently with its own Close).
+type Handle struct {
+	r    *Registry
+	e    *entry
+	name string
+
+	closeOnce sync.Once
+}
+
+// Name returns the catalog name the handle was opened under.
+func (h *Handle) Name() string { return h.name }
+
+// DB returns the model's database. The returned DB must not be used after
+// Close.
+func (h *Handle) DB() *ppd.DB { return h.e.db }
+
+// DemoQuery returns the dataset's demo query ("" for inline models).
+func (h *Handle) DemoQuery() string { return h.e.demo }
+
+// Close drops the handle's reference; when the model has been deleted and
+// this was the last reference, the database is released.
+func (h *Handle) Close() {
+	h.closeOnce.Do(func() { h.r.release(h.e) })
+}
+
+// dbSize computes the Info size fields of a built database.
+func dbSize(db *ppd.DB) (items, sessions int) {
+	for _, p := range db.Prefs {
+		sessions += len(p.Sessions)
+	}
+	return db.M(), sessions
+}

@@ -14,11 +14,16 @@ const defaultShards = 16
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
 type CacheStats struct {
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
+	// Hits counts Gets that found an entry, across all shards.
+	Hits uint64 `json:"hits"`
+	// Misses counts Gets that found no entry.
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries dropped by the per-shard LRU policy.
 	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
-	Capacity  int    `json:"capacity"`
+	// Entries is the current entry count across all shards.
+	Entries int `json:"entries"`
+	// Capacity is the summed shard capacities.
+	Capacity int `json:"capacity"`
 }
 
 // Cache is a sharded LRU map from inference-group keys (ppd.GroupKey) to

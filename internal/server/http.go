@@ -10,33 +10,52 @@ import (
 	"time"
 
 	"probpref/internal/ppd"
+	"probpref/internal/registry"
 )
 
 // SessionProbJSON is the wire form of one per-session probability.
 type SessionProbJSON struct {
+	// Session is the session key (the values of the session attributes).
 	Session []string `json:"session"`
-	Prob    float64  `json:"prob"`
+	// Prob is the probability the session satisfies the query.
+	Prob float64 `json:"prob"`
 }
 
 // PlanJSON is the wire form of the adaptive planner's routing report.
 type PlanJSON struct {
-	ExactGroups    int            `json:"exact_groups"`
-	SampledGroups  int            `json:"sampled_groups"`
-	Samples        int            `json:"samples"`
-	MaxHalfWidth   float64        `json:"max_half_width"`
-	ProbHalfWidth  float64        `json:"prob_half_width"`
-	CountHalfWidth float64        `json:"count_half_width"`
-	Methods        map[string]int `json:"methods,omitempty"`
+	// ExactGroups counts the inference groups routed to exact solvers.
+	ExactGroups int `json:"exact_groups"`
+	// SampledGroups counts the groups routed to sampling.
+	SampledGroups int `json:"sampled_groups"`
+	// Samples is the total number of samples drawn across sampled groups.
+	Samples int `json:"samples"`
+	// MaxHalfWidth is the widest 95% confidence half-width of any sampled
+	// group.
+	MaxHalfWidth float64 `json:"max_half_width"`
+	// ProbHalfWidth is the half-width propagated to the probability.
+	ProbHalfWidth float64 `json:"prob_half_width"`
+	// CountHalfWidth is the half-width propagated to the expected count.
+	CountHalfWidth float64 `json:"count_half_width"`
+	// Methods counts the groups routed to each named method.
+	Methods map[string]int `json:"methods,omitempty"`
 }
 
 // EvalResultJSON is the wire form of one evaluation.
 type EvalResultJSON struct {
-	Prob         float64           `json:"prob"`
-	Count        float64           `json:"count"`
-	LiveSessions int               `json:"live_sessions"`
-	Solves       int               `json:"solves"`
-	CacheHits    int               `json:"cache_hits"`
-	PerSession   []SessionProbJSON `json:"per_session,omitempty"`
+	// Prob is the marginal probability Pr(Q|D).
+	Prob float64 `json:"prob"`
+	// Count is the expected number of sessions satisfying the query.
+	Count float64 `json:"count"`
+	// LiveSessions counts sessions with a non-empty grounded union.
+	LiveSessions int `json:"live_sessions"`
+	// Solves counts the query's freshly solved groups (batch accounting
+	// attributes each group to the first query that referenced it).
+	Solves int `json:"solves"`
+	// CacheHits counts the query's groups answered from the shared cache.
+	CacheHits int `json:"cache_hits"`
+	// PerSession lists per-session probabilities (with sessions=1 /
+	// per_session).
+	PerSession []SessionProbJSON `json:"per_session,omitempty"`
 	// Plan reports the adaptive planner's routing and confidence
 	// half-widths; present only when the service method is "adaptive".
 	Plan *PlanJSON `json:"plan,omitempty"`
@@ -44,21 +63,33 @@ type EvalResultJSON struct {
 
 // BatchJSON is the wire form of EvalBatch's dedup accounting.
 type BatchJSON struct {
-	Groups    int `json:"groups"`
+	// Groups counts distinct (model, union) inference groups of the batch.
+	Groups int `json:"groups"`
+	// Instances counts group references before cross-query dedup.
 	Instances int `json:"instances"`
-	Solved    int `json:"solved"`
+	// Solved counts groups sent to a solver.
+	Solved int `json:"solved"`
+	// CacheHits counts groups answered from the shared cache.
 	CacheHits int `json:"cache_hits"`
 }
 
 // EvalResponse is the wire form of POST /eval and GET /eval.
 type EvalResponse struct {
+	// Results holds one evaluation per query, in request order.
 	Results []EvalResultJSON `json:"results"`
-	Batch   BatchJSON        `json:"batch"`
+	// Batch reports the batch-level dedup accounting.
+	Batch BatchJSON `json:"batch"`
 }
 
 // EvalRequest is the body of POST /eval.
 type EvalRequest struct {
+	// Queries are the conjunctive queries (or unions of CQs) to evaluate
+	// as one deduplicated batch.
 	Queries []string `json:"queries"`
+	// Model names the registry model the batch runs against; "" selects
+	// DefaultModel. (GET /eval accepts the same value as the model query
+	// parameter.)
+	Model string `json:"model,omitempty"`
 	// PerSession includes per-session probabilities in every result.
 	PerSession bool `json:"per_session,omitempty"`
 	// TimeoutMS arms a deadline on the batch: with the adaptive method the
@@ -71,40 +102,82 @@ type EvalRequest struct {
 
 // TopKDiagJSON is the wire form of a top-k diagnostic.
 type TopKDiagJSON struct {
-	BoundSolves       int `json:"bound_solves"`
-	ExactSolves       int `json:"exact_solves"`
+	// BoundSolves counts upper-bound relaxation solves.
+	BoundSolves int `json:"bound_solves"`
+	// ExactSolves counts exact per-session solves the bounds could not prune.
+	ExactSolves int `json:"exact_solves"`
+	// SessionsEvaluated counts sessions examined before early termination.
 	SessionsEvaluated int `json:"sessions_evaluated"`
-	CacheHits         int `json:"cache_hits"`
+	// CacheHits counts solves answered from the shared cache.
+	CacheHits int `json:"cache_hits"`
 }
 
 // TopKResultJSON is the wire form of one top-k answer.
 type TopKResultJSON struct {
-	Top  []SessionProbJSON `json:"top"`
-	Diag TopKDiagJSON      `json:"diag"`
+	// Top lists the k most probable sessions, best first.
+	Top []SessionProbJSON `json:"top"`
+	// Diag reports the work the top-k evaluation performed.
+	Diag TopKDiagJSON `json:"diag"`
 }
 
 // TopKResponse is the wire form of /topk.
 type TopKResponse struct {
+	// Results holds one answer per query, in request order.
 	Results []TopKResultJSON `json:"results"`
 }
 
 // TopKRequestJSON is one query of a POST /topk batch.
 type TopKRequestJSON struct {
+	// Query is the conjunctive query (or union of CQs).
 	Query string `json:"query"`
-	K     int    `json:"k"`
-	Bound int    `json:"bound"`
+	// K is how many sessions to return (default 3).
+	K int `json:"k"`
+	// Bound is the number of upper-bound edges (0 = naive).
+	Bound int `json:"bound"`
 }
 
 // TopKBatchRequest is the body of POST /topk.
 type TopKBatchRequest struct {
+	// Queries are the top-k requests of the batch.
 	Queries []TopKRequestJSON `json:"queries"`
+	// Model names the registry model the batch runs against; "" selects
+	// DefaultModel. (GET /topk accepts the same value as the model query
+	// parameter.)
+	Model string `json:"model,omitempty"`
 }
 
-// StatsResponse is the wire form of GET /stats.
+// StatsResponse is the wire form of GET /stats. Items and Sessions sum
+// over the currently loaded models of the catalog (lazy models not yet
+// opened contribute nothing).
 type StatsResponse struct {
-	Items    int   `json:"items"`
-	Sessions int   `json:"sessions"`
-	Service  Stats `json:"service"`
+	// Items sums item-domain sizes over the loaded models.
+	Items int `json:"items"`
+	// Sessions sums session counts over the loaded models.
+	Sessions int `json:"sessions"`
+	// Models is the catalog listing, sorted by name.
+	Models []registry.Info `json:"models"`
+	// Service snapshots the request and cache counters.
+	Service Stats `json:"service"`
+}
+
+// ModelsResponse is the wire form of GET /models: the catalog listing,
+// sorted by name.
+type ModelsResponse struct {
+	// Models is the catalog listing, sorted by name.
+	Models []registry.Info `json:"models"`
+}
+
+// ModelResponse is the wire form of POST /models and GET /models/{name}:
+// one catalog row.
+type ModelResponse struct {
+	// Model is the requested catalog row.
+	Model registry.Info `json:"model"`
+}
+
+// DeleteModelResponse is the wire form of DELETE /models/{name}.
+type DeleteModelResponse struct {
+	// Deleted is the evicted model's name.
+	Deleted string `json:"deleted"`
 }
 
 type httpError struct {
@@ -116,12 +189,18 @@ func (e *httpError) Error() string { return e.err.Error() }
 
 // Handler returns the HTTP/JSON front end of the service:
 //
-//	GET  /eval?q=Q[&sessions=1]   evaluate one query
-//	POST /eval                    {"queries": [...]} batch with dedup
-//	GET  /topk?q=Q&k=K&bound=B    one Most-Probable-Session query
-//	POST /topk                    {"queries": [{"query","k","bound"}, ...]}
-//	GET  /stats                   service and cache statistics
-//	GET  /healthz                 liveness probe
+//	GET    /eval?q=Q[&sessions=1][&model=M]   evaluate one query
+//	POST   /eval                   {"queries": [...], "model": M} batch with dedup
+//	GET    /topk?q=Q&k=K&bound=B[&model=M]    one Most-Probable-Session query
+//	POST   /topk                   {"queries": [{"query","k","bound"}, ...], "model": M}
+//	GET    /models                 list the model catalog
+//	POST   /models                 register a dataset-backed model (registry.Spec body)
+//	GET    /models/{name}          one catalog row
+//	DELETE /models/{name}          evict a model (in-flight queries finish first)
+//	GET    /stats                  service, catalog and cache statistics
+//	GET    /healthz                liveness probe
+//
+// See docs/API.md for the request/response schemas with curl examples.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/eval", func(w http.ResponseWriter, r *http.Request) {
@@ -130,13 +209,41 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/topk", func(w http.ResponseWriter, r *http.Request) {
 		serveJSON(w, func() (any, error) { return s.handleTopK(r) })
 	})
+	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, func() (any, error) {
+			return &ModelsResponse{Models: s.reg.List()}, nil
+		})
+	})
+	mux.HandleFunc("POST /models", func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, func() (any, error) { return s.handleRegisterModel(r) })
+	})
+	mux.HandleFunc("GET /models/{name}", func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, func() (any, error) {
+			info, err := s.reg.Lookup(r.PathValue("name"))
+			if err != nil {
+				return nil, err
+			}
+			return &ModelResponse{Model: info}, nil
+		})
+	})
+	mux.HandleFunc("DELETE /models/{name}", func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, func() (any, error) {
+			name := r.PathValue("name")
+			if err := s.reg.Delete(name); err != nil {
+				return nil, err
+			}
+			return &DeleteModelResponse{Deleted: name}, nil
+		})
+	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		serveJSON(w, func() (any, error) {
-			n := 0
-			for _, p := range s.db.Prefs {
-				n += len(p.Sessions)
+			models := s.reg.List()
+			items, sessions := 0, 0
+			for _, m := range models {
+				items += m.Items
+				sessions += m.Sessions
 			}
-			return &StatsResponse{Items: s.db.M(), Sessions: n, Service: s.Stats()}, nil
+			return &StatsResponse{Items: items, Sessions: sessions, Models: models, Service: s.Stats()}, nil
 		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -146,17 +253,42 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
+// handleRegisterModel serves POST /models: the body is one registry.Spec;
+// with preload set the model is built before the response is written, so a
+// 200 means the model is ready to serve.
+func (s *Service) handleRegisterModel(r *http.Request) (*ModelResponse, error) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec registry.Spec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("decoding body: %w", err)
+	}
+	if err := s.reg.Register(spec); err != nil {
+		return nil, err
+	}
+	info, err := s.reg.Lookup(spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	return &ModelResponse{Model: info}, nil
+}
+
 func serveJSON(w http.ResponseWriter, fn func() (any, error)) {
 	v, err := fn()
 	if err != nil {
 		// Parse/validation failures are the client's fault (400); failures
-		// while evaluating an accepted request are ours (500).
+		// while evaluating an accepted request are ours (500); catalog
+		// misses and collisions get their idiomatic REST statuses.
 		status := http.StatusBadRequest
 		var he *httpError
 		var ee *evalError
 		switch {
 		case errors.As(err, &he):
 			status = he.status
+		case errors.Is(err, registry.ErrNotFound):
+			status = http.StatusNotFound
+		case errors.Is(err, registry.ErrExists):
+			status = http.StatusConflict
 		case errors.As(err, &ee):
 			status = http.StatusInternalServerError
 		}
@@ -180,6 +312,7 @@ func (s *Service) handleEval(r *http.Request) (*EvalResponse, error) {
 			return nil, fmt.Errorf("missing q parameter")
 		}
 		req.Queries = []string{q}
+		req.Model = r.URL.Query().Get("model")
 		req.PerSession = r.URL.Query().Get("sessions") != ""
 		if v := r.URL.Query().Get("timeout_ms"); v != "" {
 			ms, err := strconv.Atoi(v)
@@ -210,7 +343,7 @@ func (s *Service) handleEval(r *http.Request) (*EvalResponse, error) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
-	br, err := s.EvalBatchCtx(ctx, req.Queries)
+	br, err := s.EvalBatchModelCtx(ctx, req.Model, req.Queries)
 	if err != nil {
 		return nil, err
 	}
@@ -255,12 +388,14 @@ func evalResultJSON(res *ppd.EvalResult, perSession bool) EvalResultJSON {
 
 func (s *Service) handleTopK(r *http.Request) (*TopKResponse, error) {
 	var reqs []TopKRequest
+	var model string
 	switch r.Method {
 	case http.MethodGet:
 		q := r.URL.Query().Get("q")
 		if q == "" {
 			return nil, fmt.Errorf("missing q parameter")
 		}
+		model = r.URL.Query().Get("model")
 		req := TopKRequest{Query: q, K: 3, Bound: 1}
 		var err error
 		if v := r.URL.Query().Get("k"); v != "" {
@@ -282,6 +417,7 @@ func (s *Service) handleTopK(r *http.Request) (*TopKResponse, error) {
 		if len(body.Queries) == 0 {
 			return nil, fmt.Errorf("empty queries")
 		}
+		model = body.Model
 		for _, q := range body.Queries {
 			reqs = append(reqs, TopKRequest{Query: q.Query, K: q.K, Bound: q.Bound})
 		}
@@ -296,7 +432,7 @@ func (s *Service) handleTopK(r *http.Request) (*TopKResponse, error) {
 			return nil, fmt.Errorf("query %d: k and bound must be non-negative", i+1)
 		}
 	}
-	results, err := s.TopKBatchCtx(r.Context(), reqs)
+	results, err := s.TopKBatchModelCtx(r.Context(), model, reqs)
 	if err != nil {
 		return nil, err
 	}

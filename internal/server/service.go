@@ -9,8 +9,14 @@ import (
 	"probpref/internal/pattern"
 	"probpref/internal/pool"
 	"probpref/internal/ppd"
+	"probpref/internal/registry"
 	"probpref/internal/rim"
 )
+
+// DefaultModel is the model name the single-database constructor (New)
+// registers its database under, and the name requests that leave the model
+// unspecified resolve to.
+const DefaultModel = "default"
 
 // Config tunes a Service.
 type Config struct {
@@ -58,8 +64,9 @@ func (e *evalError) Unwrap() error { return e.err }
 // Stats is a point-in-time snapshot of a Service's activity.
 type Stats struct {
 	// Evals counts single queries served by Eval plus queries served through
-	// EvalBatch; TopKs likewise for TopK/TopKBatch.
+	// EvalBatch.
 	Evals uint64 `json:"evals"`
+	// TopKs likewise counts TopK plus TopKBatch queries.
 	TopKs uint64 `json:"topks"`
 	// Batches counts EvalBatch/TopKBatch calls.
 	Batches uint64 `json:"batches"`
@@ -70,12 +77,18 @@ type Stats struct {
 	Cache CacheStats `json:"cache"`
 }
 
-// Service is a concurrent query front end over one RIM-PPD: it owns the
-// database and a process-wide solve cache shared by every request, and its
-// batch APIs deduplicate inference groups across queries before fanning out
-// to a bounded worker pool. All methods are safe for concurrent use.
+// Service is a concurrent query front end over a catalog of RIM-PPD
+// models: it owns a model registry and a process-wide solve cache shared by
+// every request (with keys namespaced per model, so tenants never observe
+// each other's entries), and its batch APIs deduplicate inference groups
+// across queries before fanning out to a bounded worker pool. All methods
+// are safe for concurrent use.
+//
+// The single-database constructor New serves one model named DefaultModel;
+// NewMulti serves every model of a registry and routes each request by its
+// model name ("" selects DefaultModel).
 type Service struct {
-	db    *ppd.DB
+	reg   *registry.Registry
 	cache *Cache
 	cfg   Config
 
@@ -85,19 +98,70 @@ type Service struct {
 	solves  atomic.Uint64
 }
 
-// New builds a Service over db. The db must not be mutated while the
-// service is in use.
+// New builds a Service over the single database db, registered under
+// DefaultModel. The db must not be mutated while the service is in use.
 func New(db *ppd.DB, cfg Config) *Service {
+	reg := registry.New()
+	if err := reg.RegisterDB(DefaultModel, db, ""); err != nil {
+		// DefaultModel is a valid name and the registry is empty; only a nil
+		// db can fail, which is a programming error at the call site.
+		panic(err)
+	}
+	return NewMulti(reg, cfg)
+}
+
+// NewMulti builds a Service over a model registry. The registry may keep
+// changing while the service runs (manifest preloads, POST /models,
+// DELETE /models/{name}); each request opens its model for the duration of
+// the evaluation, so deletions never interrupt in-flight queries.
+func NewMulti(reg *registry.Registry, cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	s := &Service{db: db, cfg: cfg}
+	s := &Service{reg: reg, cfg: cfg}
 	if cfg.CacheSize > 0 {
 		s.cache = NewCache(cfg.CacheSize)
 	}
 	return s
 }
 
-// DB returns the served database.
-func (s *Service) DB() *ppd.DB { return s.db }
+// Registry returns the served model catalog.
+func (s *Service) Registry() *registry.Registry { return s.reg }
+
+// DB returns the DefaultModel database (nil when no model of that name is
+// registered, as in manifest-driven multi-model deployments).
+func (s *Service) DB() *ppd.DB {
+	h, err := s.reg.Open(DefaultModel)
+	if err != nil {
+		return nil
+	}
+	defer h.Close()
+	return h.DB()
+}
+
+// open resolves a request's model name ("" means DefaultModel) to a
+// reference-counted handle; the caller must Close it when the evaluation
+// finishes.
+func (s *Service) open(model string) (*registry.Handle, error) {
+	if model == "" {
+		model = DefaultModel
+	}
+	return s.reg.Open(model)
+}
+
+// nsCache namespaces solve-cache keys by model name so two models never
+// share entries — even two models built from identical specs, whose
+// GroupKeys would otherwise collide by construction. It implements
+// ppd.SolveCache over the service's shared sharded Cache.
+type nsCache struct {
+	prefix string
+	c      *Cache
+}
+
+// nsSep separates the model namespace from the group key; model names are
+// restricted to URL-safe tokens, so the NUL byte cannot occur in a name.
+const nsSep = "\x00"
+
+func (n nsCache) Get(key string) (float64, bool) { return n.c.Get(n.prefix + key) }
+func (n nsCache) Put(key string, p float64)      { n.c.Put(n.prefix+key, p) }
 
 // Cache returns the shared solve cache (nil when disabled).
 func (s *Service) Cache() *Cache { return s.cache }
@@ -116,36 +180,49 @@ func (s *Service) Stats() Stats {
 	return st
 }
 
-// engine builds a request-scoped engine sharing the service cache. Engines
-// are cheap; one per request keeps RNG and solver statistics unshared.
-func (s *Service) engine(seed int64) *ppd.Engine {
+// engine builds a request-scoped engine over one opened model, sharing the
+// service cache under the model's namespace. Engines are cheap; one per
+// request keeps RNG and solver statistics unshared.
+func (s *Service) engine(seed int64, h *registry.Handle) *ppd.Engine {
 	e := &ppd.Engine{
-		DB:      s.db,
+		DB:      h.DB(),
 		Method:  s.cfg.Method,
 		Rng:     rand.New(rand.NewSource(seed)),
 		Workers: s.cfg.Workers,
 	}
 	if s.cache != nil {
-		e.Cache = s.cache
+		e.Cache = nsCache{prefix: h.Name() + nsSep, c: s.cache}
 	}
 	return e
 }
 
-// Eval parses and evaluates one query (a CQ or a union of CQs), sharing the
-// service's solve cache with every other request.
+// Eval parses and evaluates one query (a CQ or a union of CQs) against
+// DefaultModel, sharing the service's solve cache with every other request.
 func (s *Service) Eval(query string) (*ppd.EvalResult, error) {
-	return s.EvalCtx(context.Background(), query)
+	return s.EvalModelCtx(context.Background(), "", query)
 }
 
 // EvalCtx is Eval with cancellation and deadline awareness: a done ctx
 // (client disconnect, deadline) aborts in-flight solver layers and sampling
 // rounds, and MethodAdaptive budgets each group from the ctx deadline.
 func (s *Service) EvalCtx(ctx context.Context, query string) (*ppd.EvalResult, error) {
+	return s.EvalModelCtx(ctx, "", query)
+}
+
+// EvalModelCtx is EvalCtx routed to the named model ("" means
+// DefaultModel). The model stays open — immune to catalog deletion — until
+// the evaluation returns.
+func (s *Service) EvalModelCtx(ctx context.Context, model, query string) (*ppd.EvalResult, error) {
 	uq, err := ppd.ParseUnion(query)
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.engine(s.cfg.Seed).EvalUnionCtx(ctx, uq)
+	h, err := s.open(model)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+	res, err := s.engine(s.cfg.Seed, h).EvalUnionCtx(ctx, uq)
 	if err != nil {
 		return nil, &evalError{err}
 	}
@@ -154,19 +231,30 @@ func (s *Service) EvalCtx(ctx context.Context, query string) (*ppd.EvalResult, e
 	return res, nil
 }
 
-// TopK parses and answers the Most-Probable-Session query top(Q, k) with
-// boundEdges upper-bound edges (0 = naive).
+// TopK parses and answers the Most-Probable-Session query top(Q, k) against
+// DefaultModel with boundEdges upper-bound edges (0 = naive).
 func (s *Service) TopK(query string, k, boundEdges int) ([]ppd.SessionProb, *ppd.TopKDiag, error) {
-	return s.TopKCtx(context.Background(), query, k, boundEdges)
+	return s.TopKModelCtx(context.Background(), "", query, k, boundEdges)
 }
 
 // TopKCtx is TopK with cancellation and deadline awareness.
 func (s *Service) TopKCtx(ctx context.Context, query string, k, boundEdges int) ([]ppd.SessionProb, *ppd.TopKDiag, error) {
+	return s.TopKModelCtx(ctx, "", query, k, boundEdges)
+}
+
+// TopKModelCtx is TopKCtx routed to the named model ("" means
+// DefaultModel).
+func (s *Service) TopKModelCtx(ctx context.Context, model, query string, k, boundEdges int) ([]ppd.SessionProb, *ppd.TopKDiag, error) {
 	uq, err := ppd.ParseUnion(query)
 	if err != nil {
 		return nil, nil, err
 	}
-	top, diag, err := s.engine(s.cfg.Seed).TopKUnionCtx(ctx, uq, k, boundEdges)
+	h, err := s.open(model)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer h.Close()
+	top, diag, err := s.engine(s.cfg.Seed, h).TopKUnionCtx(ctx, uq, k, boundEdges)
 	if err != nil {
 		return nil, nil, &evalError{err}
 	}
@@ -181,13 +269,15 @@ type BatchResult struct {
 	// Results holds one evaluation per query, in request order.
 	Results []*ppd.EvalResult
 	// Groups counts distinct (model, union) inference groups across the
-	// whole batch; Instances counts group references before cross-query
-	// dedup (Instances - Groups were saved by sharing within the batch).
-	Groups    int
+	// whole batch.
+	Groups int
+	// Instances counts group references before cross-query dedup
+	// (Instances - Groups were saved by sharing within the batch).
 	Instances int
-	// Solved counts groups actually sent to a solver; CacheHits counts
-	// groups answered from the shared cache. Solved + CacheHits == Groups.
-	Solved    int
+	// Solved counts groups actually sent to a solver.
+	Solved int
+	// CacheHits counts groups answered from the shared cache.
+	// Solved + CacheHits == Groups.
 	CacheHits int
 }
 
@@ -207,7 +297,7 @@ type BatchResult struct {
 // EvalResult.Solves / CacheHits attribute each group to the first query of
 // the batch that needed it.
 func (s *Service) EvalBatch(queries []string) (*BatchResult, error) {
-	return s.EvalBatchCtx(context.Background(), queries)
+	return s.EvalBatchModelCtx(context.Background(), "", queries)
 }
 
 // EvalBatchCtx is EvalBatch with cancellation and deadline awareness: once
@@ -216,6 +306,18 @@ func (s *Service) EvalBatch(queries []string) (*BatchResult, error) {
 // MethodAdaptive each group's exact-vs-sampling routing is budgeted from
 // the ctx deadline.
 func (s *Service) EvalBatchCtx(ctx context.Context, queries []string) (*BatchResult, error) {
+	return s.EvalBatchModelCtx(ctx, "", queries)
+}
+
+// EvalBatchModelCtx is EvalBatchCtx routed to the named model ("" means
+// DefaultModel): the whole batch is grounded against that model's database
+// and its cache traffic stays inside the model's namespace.
+func (s *Service) EvalBatchModelCtx(ctx context.Context, model string, queries []string) (*BatchResult, error) {
+	h, err := s.open(model)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
 	type ref struct {
 		sess *ppd.Session
 		gi   int
@@ -251,7 +353,7 @@ func (s *Service) EvalBatchCtx(ctx context.Context, queries []string) (*BatchRes
 		if err != nil {
 			return nil, fmt.Errorf("server: query %d: %w", qi+1, err)
 		}
-		grounders, err := ppd.UnionGrounders(s.db, uq)
+		grounders, err := ppd.UnionGrounders(h.DB(), uq)
 		if err != nil {
 			return nil, &evalError{fmt.Errorf("server: query %d: %w", qi+1, err)}
 		}
@@ -276,16 +378,18 @@ func (s *Service) EvalBatchCtx(ctx context.Context, queries []string) (*BatchRes
 	}
 	br.Groups = len(groups)
 
-	// Resolve groups from the shared cache, then fan the misses out to the
-	// worker pool. Seeds derive from the group index so sampling answers are
-	// deterministic for a fixed Config.Seed regardless of pool scheduling.
+	// Resolve groups from the shared cache (inside the model's namespace),
+	// then fan the misses out to the worker pool. Seeds derive from the
+	// group index so sampling answers are deterministic for a fixed
+	// Config.Seed regardless of pool scheduling.
+	ns := h.Name() + nsSep
 	probs := make([]float64, len(groups))
 	reports := make([]ppd.SolveReport, len(groups))
 	cached := make([]bool, len(groups))
 	var pending []int
 	for gi := range groups {
 		if s.cache != nil {
-			if p, ok := s.cache.Get(groups[gi].key); ok {
+			if p, ok := s.cache.Get(ns + groups[gi].key); ok {
 				probs[gi] = p
 				cached[gi] = true
 				br.CacheHits++
@@ -295,9 +399,9 @@ func (s *Service) EvalBatchCtx(ctx context.Context, queries []string) (*BatchRes
 		pending = append(pending, gi)
 	}
 	br.Solved = len(pending)
-	err := pool.RunCtx(loopCtx, len(pending), s.cfg.Workers, func(pi int) error {
+	err = pool.RunCtx(loopCtx, len(pending), s.cfg.Workers, func(pi int) error {
 		gi := pending[pi]
-		eng := s.engine(s.cfg.Seed + int64(gi))
+		eng := s.engine(s.cfg.Seed+int64(gi), h)
 		eng.Workers = 1 // the pool is the parallelism
 		p, rep, err := eng.SolveUnionCtx(ctx, groups[gi].sm, groups[gi].u)
 		if err != nil {
@@ -306,7 +410,7 @@ func (s *Service) EvalBatchCtx(ctx context.Context, queries []string) (*BatchRes
 		probs[gi] = p
 		reports[gi] = rep
 		if s.cache != nil {
-			s.cache.Put(groups[gi].key, p)
+			s.cache.Put(ns+groups[gi].key, p)
 		}
 		return nil
 	})
@@ -358,14 +462,19 @@ func (s *Service) EvalBatchCtx(ctx context.Context, queries []string) (*BatchRes
 
 // TopKRequest is one query of a TopKBatch.
 type TopKRequest struct {
+	// Query is the conjunctive query (or union of CQs).
 	Query string
-	K     int
+	// K is how many sessions to return.
+	K int
+	// Bound is the number of upper-bound edges (0 = naive).
 	Bound int
 }
 
 // TopKResult is one answer of a TopKBatch.
 type TopKResult struct {
-	Top  []ppd.SessionProb
+	// Top lists the k most probable sessions, best first.
+	Top []ppd.SessionProb
+	// Diag reports the work the top-k evaluation performed.
 	Diag *ppd.TopKDiag
 }
 
@@ -376,12 +485,23 @@ type TopKResult struct {
 // through the shared solve cache, so repeated or overlapping queries reuse
 // each other's exact per-group results.
 func (s *Service) TopKBatch(reqs []TopKRequest) ([]*TopKResult, error) {
-	return s.TopKBatchCtx(context.Background(), reqs)
+	return s.TopKBatchModelCtx(context.Background(), "", reqs)
 }
 
 // TopKBatchCtx is TopKBatch with cancellation and deadline awareness (see
 // EvalBatchCtx).
 func (s *Service) TopKBatchCtx(ctx context.Context, reqs []TopKRequest) ([]*TopKResult, error) {
+	return s.TopKBatchModelCtx(ctx, "", reqs)
+}
+
+// TopKBatchModelCtx is TopKBatchCtx routed to the named model ("" means
+// DefaultModel).
+func (s *Service) TopKBatchModelCtx(ctx context.Context, model string, reqs []TopKRequest) ([]*TopKResult, error) {
+	h, err := s.open(model)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
 	parsed := make([]*ppd.UnionQuery, len(reqs))
 	for i, r := range reqs {
 		uq, err := ppd.ParseUnion(r.Query)
@@ -400,8 +520,8 @@ func (s *Service) TopKBatchCtx(ctx context.Context, reqs []TopKRequest) ([]*TopK
 	}
 	out := make([]*TopKResult, len(reqs))
 	var total atomic.Uint64
-	err := pool.RunCtx(loopCtx, len(reqs), s.cfg.Workers, func(ri int) error {
-		eng := s.engine(s.cfg.Seed + int64(ri))
+	err = pool.RunCtx(loopCtx, len(reqs), s.cfg.Workers, func(ri int) error {
+		eng := s.engine(s.cfg.Seed+int64(ri), h)
 		eng.Workers = 1 // the pool is the parallelism
 		top, diag, err := eng.TopKUnionCtx(ctx, parsed[ri], reqs[ri].K, reqs[ri].Bound)
 		if err != nil {

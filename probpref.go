@@ -49,7 +49,12 @@
 //     MethodAdaptive routes each inference group to the cheapest adequate
 //     exact solver or — when the predicted cost exceeds the remaining
 //     deadline budget — to sampling with reported confidence half-widths
-//     (EstimateCost, PlanStats, EvalResult.Plan).
+//     (EstimateCost, PlanStats, EvalResult.Plan);
+//   - the model registry: a concurrent named catalog of dataset-backed
+//     models with lazy builds, startup manifests and reference-counted
+//     eviction, served simultaneously by a multi-model Service whose
+//     shared solve cache namespaces keys per model (NewRegistry,
+//     OpenDataset, NewMultiService, cmd/hardqd -manifest).
 //
 // # Quick start
 //
@@ -60,9 +65,10 @@
 //	res, _ := eng.Eval(q)
 //	fmt.Println(res.Prob) // probability a female candidate is preferred to a male one
 //
-// See the examples directory for end-to-end programs, DESIGN.md for the
-// system inventory, and EXPERIMENTS.md for the reproduction of every figure
-// of the paper's evaluation.
+// See the examples directory for end-to-end programs, docs/ARCHITECTURE.md
+// for the layer-by-layer walkthrough of the serving stack, docs/API.md for
+// the daemon's HTTP endpoint reference, and internal/experiment for the
+// reproduction of the figures of the paper's evaluation.
 package probpref
 
 import (
@@ -71,6 +77,7 @@ import (
 	"probpref/internal/pattern"
 	"probpref/internal/ppd"
 	"probpref/internal/rank"
+	"probpref/internal/registry"
 	"probpref/internal/rim"
 	"probpref/internal/sampling"
 	"probpref/internal/server"
@@ -289,8 +296,53 @@ type (
 // inference results; assign it to Engine.Cache or share it across engines.
 func NewSolveCache(capacity int) *Cache { return server.NewCache(capacity) }
 
-// NewService builds the concurrent query service over db.
+// NewService builds the concurrent query service over the single database
+// db, registered in the service's catalog under DefaultModel.
 func NewService(db *DB, cfg ServiceConfig) *Service { return server.New(db, cfg) }
+
+// Registry layer.
+type (
+	// Registry is the concurrent named model catalog served by a
+	// multi-model Service: dataset-backed models register as ModelSpecs and
+	// build lazily, pre-built databases register with Registry.RegisterDB,
+	// and deletion is reference-counted so in-flight queries finish before
+	// a model unloads.
+	Registry = registry.Registry
+	// ModelSpec describes one named dataset-backed model (the unit of a
+	// Manifest and of the daemon's POST /models body).
+	ModelSpec = registry.Spec
+	// ModelInfo is one row of a catalog listing.
+	ModelInfo = registry.Info
+	// ModelHandle is an open, reference-counted view of one cataloged
+	// model; Close it when the query using it finishes.
+	ModelHandle = registry.Handle
+	// Manifest is the startup catalog file format of cmd/hardqd.
+	Manifest = registry.Manifest
+)
+
+// DefaultModel is the catalog name NewService registers its database under
+// and the model unqualified requests resolve to.
+const DefaultModel = server.DefaultModel
+
+// NewRegistry returns an empty model catalog.
+func NewRegistry() *Registry { return registry.New() }
+
+// NewMultiService builds the concurrent query service over a model
+// catalog: requests carry a model name ("" selects DefaultModel) and the
+// shared solve cache namespaces its keys per model.
+func NewMultiService(reg *Registry, cfg ServiceConfig) *Service { return server.NewMulti(reg, cfg) }
+
+// LoadManifest reads, parses and validates a model manifest file.
+func LoadManifest(path string) (*Manifest, error) { return registry.LoadManifest(path) }
+
+// OpenDataset builds the dataset-backed database described by spec — the
+// one-shot, catalog-free form of a registry load. The spec is validated
+// like any catalog spec, so it needs a well-formed Name and a known
+// Dataset.
+func OpenDataset(spec ModelSpec) (*DB, error) {
+	db, _, err := registry.Build(spec)
+	return db, err
+}
 
 // NewDB builds a database around an item relation.
 func NewDB(items *Relation) (*DB, error) { return ppd.NewDB(items) }
