@@ -10,7 +10,7 @@
 //	experiments -list
 //	experiments -fig 4
 //	experiments -fig all -scale paper
-//	experiments -bench -benchtime 100ms -benchout BENCH_PR2.json
+//	experiments -bench -benchtime 100ms -benchout BENCH_PR4.json
 package main
 
 import (
@@ -30,7 +30,7 @@ func main() {
 		list      = flag.Bool("list", false, "list available figures and exit")
 		runBench  = flag.Bool("bench", false, "run the benchmark regression harness instead of figures")
 		benchTime = flag.Duration("benchtime", 100*time.Millisecond, "minimum measurement time per benchmark")
-		benchOut  = flag.String("benchout", "BENCH_PR2.json", "benchmark report path ('-' for stdout)")
+		benchOut  = flag.String("benchout", "BENCH_PR4.json", "benchmark report path ('-' for stdout)")
 	)
 	flag.Parse()
 	if *runBench {

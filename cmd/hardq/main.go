@@ -7,8 +7,13 @@
 //	      -query 'P(_, _; l; r), C(l, p, M, _, _, _), C(r, p, F, _, _, _)' -mode count
 //	hardq -dataset crowdrank -workers 500 -mode topk -k 5 -bound 1
 //	hardq -dataset figure1 -mode countdist
+//	hardq -dataset figure1 -mode aggregate -agg-rel C -agg-attr age
 //	hardq -dataset figure1 -query 'P(_,_; a; b), C(a,_,F,_,_,_) | P(_,_; a; b), C(a,D,_,_,JD,_)'
 //	hardq -manifest examples/registry/manifest.json -model polls-small
+//
+// Every mode maps to one Kind of the unified query API: the CLI builds a
+// single probpref Request and answers it through Engine.Do, exactly like
+// the daemon's POST /v1/query endpoint.
 //
 // The query language follows the paper's datalog notation: preference atoms
 // P(session...; left; right), ordinary atoms R(args...), and comparisons.
@@ -68,9 +73,11 @@ func run(args []string, out io.Writer) error {
 		query    = fs.String("query", "", "conjunctive query (default: a dataset-specific demo query)")
 		method   = fs.String("method", "auto", "solver: "+strings.Join(ppd.MethodNames(), " | "))
 		deadline = fs.Duration("deadline", 0, "per-run latency budget; implies -method adaptive (unless one is forced): groups whose predicted exact cost exceeds the remaining budget are sampled with reported error bars")
-		mode     = fs.String("mode", "bool", "query mode: bool | count | countdist | topk")
+		mode     = fs.String("mode", "bool", "query kind: "+strings.Join(ppd.KindNames(), " | "))
 		k        = fs.Int("k", 3, "k for -mode topk")
 		bound    = fs.Int("bound", 1, "upper-bound edges for topk (0 = naive)")
+		aggRel   = fs.String("agg-rel", "", "aggregate: o-relation providing the aggregated attribute")
+		aggAttr  = fs.String("agg-attr", "", "aggregate: numeric attribute to aggregate")
 		seed     = fs.Int64("seed", 1, "generator seed")
 		cands    = fs.Int("candidates", 20, "polls: number of candidates")
 		voters   = fs.Int("voters", 100, "polls: number of voters")
@@ -146,6 +153,25 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	kind, err := ppd.ParseKind(*mode)
+	if err != nil {
+		return err
+	}
+	if kind == ppd.KindAggregate && (*aggRel == "" || *aggAttr == "") {
+		return fmt.Errorf("-mode aggregate requires -agg-rel and -agg-attr")
+	}
+	// The whole CLI answers through the unified request: one Do call per
+	// evaluation, whatever the kind.
+	req := &ppd.Request{Kind: kind, Queries: uq.Disjuncts}
+	switch kind {
+	case ppd.KindTopK:
+		req.K, req.BoundEdges = *k, *bound
+	case ppd.KindAggregate:
+		req.AggRel, req.AggAttr = *aggRel, *aggAttr
+	}
+	if _, err := req.Compile(); err != nil {
+		return err
+	}
 	if *deadline < 0 {
 		return fmt.Errorf("-deadline must be non-negative, got %v", *deadline)
 	}
@@ -197,15 +223,7 @@ func run(args []string, out io.Writer) error {
 		err := func() error {
 			ctx, cancel := runCtx()
 			defer cancel()
-			var err error
-			switch *mode {
-			case "bool", "count":
-				_, err = eng.EvalUnionCtx(ctx, uq)
-			case "countdist":
-				_, err = eng.CountDistributionUnionCtx(ctx, uq)
-			case "topk":
-				_, _, err = eng.TopKUnionCtx(ctx, uq, *k, *bound)
-			}
+			_, err := eng.Do(ctx, req)
 			return err
 		}()
 		if err != nil {
@@ -216,36 +234,32 @@ func run(args []string, out io.Writer) error {
 	ctx, cancel := runCtx()
 	defer cancel()
 	start := time.Now()
-	switch *mode {
-	case "bool", "count":
-		res, err := eng.EvalUnionCtx(ctx, uq)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "elapsed : %v\n", time.Since(start).Round(time.Microsecond))
+	resp, err := eng.Do(ctx, req)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "elapsed : %v\n", time.Since(start).Round(time.Microsecond))
+	switch kind {
+	case ppd.KindBool, ppd.KindCount:
 		probCI, countCI := "", ""
-		if p := res.Plan; p != nil && p.SampledGroups > 0 {
+		if p := resp.Plan; p != nil && p.SampledGroups > 0 {
 			probCI = fmt.Sprintf(" ± %.3g (95%%)", p.ProbHalfWidth)
 			countCI = fmt.Sprintf(" ± %.3g (95%%)", p.CountHalfWidth)
 		}
-		fmt.Fprintf(out, "Pr(Q|D)        = %.6g%s\n", res.Prob, probCI)
-		fmt.Fprintf(out, "count(Q)       = %.6g%s (expected sessions satisfying Q)\n", res.Count, countCI)
-		fmt.Fprintf(out, "live sessions  = %d, solver calls = %d (grouping)\n", len(res.PerSession), res.Solves)
-		if p := res.Plan; p != nil {
+		fmt.Fprintf(out, "Pr(Q|D)        = %.6g%s\n", resp.Prob, probCI)
+		fmt.Fprintf(out, "count(Q)       = %.6g%s (expected sessions satisfying Q)\n", resp.Count, countCI)
+		fmt.Fprintf(out, "live sessions  = %d, solver calls = %d (grouping)\n", len(resp.PerSession), resp.Solves)
+		if p := resp.Plan; p != nil {
 			fmt.Fprintf(out, "plan    : exact groups = %d, sampled = %d, samples = %d, max half-width = %.3g\n",
 				p.ExactGroups, p.SampledGroups, p.Samples, p.MaxHalfWidth)
 		}
 		if *verbose {
-			for _, sp := range res.PerSession {
+			for _, sp := range resp.PerSession {
 				fmt.Fprintf(out, "  session %v: %.6g\n", sp.Session.Key, sp.Prob)
 			}
 		}
-	case "countdist":
-		dist, err := eng.CountDistributionUnionCtx(ctx, uq)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "elapsed : %v\n", time.Since(start).Round(time.Microsecond))
+	case ppd.KindCountDist:
+		dist := resp.Dist
 		fmt.Fprintf(out, "count(Q) distribution over %d sessions:\n", dist.N())
 		fmt.Fprintf(out, "  mean %.6g  stddev %.6g  mode %d  median %d\n",
 			dist.Mean(), dist.StdDev(), dist.Mode(), dist.Quantile(0.5))
@@ -258,24 +272,23 @@ func run(args []string, out io.Writer) error {
 				}
 			}
 		}
-	case "topk":
-		top, diag, err := eng.TopKUnionCtx(ctx, uq, *k, *bound)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "elapsed : %v\n", time.Since(start).Round(time.Microsecond))
+	case ppd.KindTopK:
 		fmt.Fprintf(out, "top-%d sessions (bound edges = %d):\n", *k, *bound)
-		for i, sp := range top {
+		for i, sp := range resp.Top {
 			fmt.Fprintf(out, "  %2d. %v  Pr = %.6g\n", i+1, sp.Session.Key, sp.Prob)
 		}
+		diag := resp.Diag
 		fmt.Fprintf(out, "bound solves = %d, exact solves = %d, sessions evaluated = %d\n",
 			diag.BoundSolves, diag.ExactSolves, diag.SessionsEvaluated)
 		if p := diag.Plan; p != nil {
 			fmt.Fprintf(out, "plan    : exact groups = %d, sampled = %d, samples = %d, max half-width = %.3g\n",
 				p.ExactGroups, p.SampledGroups, p.Samples, p.MaxHalfWidth)
 		}
-	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+	case ppd.KindAggregate:
+		agg := resp.Agg
+		fmt.Fprintf(out, "aggregate %s.%s over satisfying sessions:\n", *aggRel, *aggAttr)
+		fmt.Fprintf(out, "  E[sum] = %.6g  E[count] = %.6g  avg = %.6g  (%d sessions carry a value)\n",
+			agg.Sum, agg.Count, agg.Avg, agg.Sessions)
 	}
 	if solveCache != nil {
 		st := solveCache.Stats()

@@ -5,10 +5,14 @@
 // service of internal/server (shared solve cache namespaced per model,
 // batch dedup, bounded worker pool), and exposes:
 //
-//	GET    /eval?q=Q[&sessions=1][&model=M]  evaluate one query
-//	POST   /eval                  {"queries": [...], "model": M} batch with dedup
-//	GET    /topk?q=Q&k=K&bound=B[&model=M]   Most-Probable-Session
-//	POST   /topk                  {"queries": [{"query","k","bound"}, ...], "model": M}
+//	POST   /v1/query              unified query endpoint: one typed request
+//	                              (kind: bool | count | topk | aggregate |
+//	                              countdist) or a {"requests": [...]} batch,
+//	                              NDJSON streaming of topk rows via "stream"
+//	GET    /eval?q=Q[&sessions=1][&model=M]  evaluate one query (legacy)
+//	POST   /eval                  {"queries": [...], "model": M} batch with dedup (legacy)
+//	GET    /topk?q=Q&k=K&bound=B[&model=M]   Most-Probable-Session (legacy)
+//	POST   /topk                  {"queries": [{"query","k","bound"}, ...], "model": M} (legacy)
 //	GET    /models                list the model catalog
 //	POST   /models                register a model at runtime
 //	GET    /models/{name}         one catalog row
@@ -20,6 +24,8 @@
 //
 //	hardqd -dataset figure1 -addr :8080
 //	hardqd -manifest examples/registry/manifest.json -cache 65536 -parallel 8
+//	curl -d '{"kind":"bool","query":"P(_,_;a;b),C(a,_,F,_,_,_),C(b,_,M,_,_,_)"}' localhost:8080/v1/query
+//	curl -d '{"kind":"topk","query":"...","k":3,"stream":true}' localhost:8080/v1/query
 //	curl 'localhost:8080/eval?q=P(_,_;a;b),C(a,_,F,_,_,_),C(b,_,M,_,_,_)'
 //	curl -d '{"queries":["...","..."],"model":"polls-small"}' localhost:8080/eval
 //	curl localhost:8080/models

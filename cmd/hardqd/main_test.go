@@ -10,6 +10,7 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -341,6 +342,7 @@ func TestAPIDocEndpointsCovered(t *testing.T) {
 	// The daemon's full route table; extend this list (and API.md) when
 	// adding endpoints.
 	endpoints := []string{
+		"POST /v1/query",
 		"GET /eval",
 		"POST /eval",
 		"GET /topk",
@@ -360,6 +362,9 @@ func TestAPIDocEndpointsCovered(t *testing.T) {
 	for _, field := range []string{
 		"model", "timeout_ms", "per_session", "plan", "preload",
 		"cache_hits", "loaded", "refs", "deleted",
+		// unified /v1/query surface
+		"kind", "query", "method", "k", "bound", "seed",
+		"agg_rel", "agg_attr", "stream", "requests",
 	} {
 		if !strings.Contains(text, "`"+field+"`") {
 			t.Errorf("docs/API.md: field %q not documented", field)
@@ -378,4 +383,33 @@ func TestAPIDocEndpointsCovered(t *testing.T) {
 	} {
 		getBody(t, srv, path)
 	}
+	// And the unified endpoint, one request per documented kind.
+	for _, body := range []string{
+		`{"kind": "bool", "query": ` + strconv.Quote(demoQuery) + `, "model": "figure1"}`,
+		`{"kind": "count", "query": ` + strconv.Quote(demoQuery) + `, "model": "figure1", "per_session": true}`,
+		`{"kind": "topk", "query": ` + strconv.Quote(demoQuery) + `, "model": "figure1", "k": 2, "bound": 1}`,
+		`{"kind": "aggregate", "query": ` + strconv.Quote(demoQuery) + `, "model": "figure1", "agg_rel": "V", "agg_attr": "age"}`,
+		`{"kind": "countdist", "query": ` + strconv.Quote(demoQuery) + `, "model": "figure1"}`,
+		`{"requests": [{"kind": "bool", "query": ` + strconv.Quote(demoQuery) + `, "model": "figure1"}]}`,
+		`{"kind": "topk", "query": ` + strconv.Quote(demoQuery) + `, "model": "figure1", "k": 2, "stream": true}`,
+	} {
+		postBody(t, srv, "/v1/query", []byte(body))
+	}
+}
+
+// TestV1QueryGolden pins the unified endpoint's single-request wire shape;
+// deterministic because the exact method answers the demo query.
+func TestV1QueryGolden(t *testing.T) {
+	srv, _ := testServer(t, "-dataset", "figure1")
+	req, _ := json.Marshal(map[string]any{"kind": "bool", "query": demoQuery, "per_session": true})
+	b := postBody(t, srv, "/v1/query", req)
+	checkGolden(t, "v1_query", b)
+}
+
+// TestV1QueryStreamGolden pins the NDJSON stream framing.
+func TestV1QueryStreamGolden(t *testing.T) {
+	srv, _ := testServer(t, "-dataset", "figure1")
+	req, _ := json.Marshal(map[string]any{"kind": "topk", "query": demoQuery, "k": 2, "bound": 1, "stream": true})
+	b := postBody(t, srv, "/v1/query", req)
+	checkGolden(t, "v1_query_stream", b)
 }

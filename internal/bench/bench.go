@@ -1,7 +1,11 @@
 // Package bench is the benchmark regression harness: a fixed set of named
-// micro-benchmarks over the solver, sampling and planner hot paths, runnable
-// outside `go test` so cmd/experiments can emit a machine-readable
-// BENCH_PR2.json for CI to archive and compare across PRs.
+// micro-benchmarks over the solver, sampling, planner and service hot
+// paths, runnable outside `go test` so cmd/experiments can emit a
+// machine-readable report (BENCH_PR4.json; earlier PRs archived
+// BENCH_PR2.json with the same format) for CI to archive and compare
+// across PRs. The do/* cases measure the unified request API against the
+// legacy entry points it wraps, so any regression from the Do indirection
+// shows up as a ratio drift between the paired cases.
 package bench
 
 import (
@@ -16,6 +20,7 @@ import (
 	"probpref/internal/dataset"
 	"probpref/internal/ppd"
 	"probpref/internal/sampling"
+	"probpref/internal/server"
 	"probpref/internal/solver"
 )
 
@@ -30,7 +35,7 @@ type Result struct {
 	NsPerOp float64 `json:"ns_per_op"`
 }
 
-// Report is the file format of BENCH_PR2.json.
+// Report is the benchmark report file format (BENCH_PR4.json).
 type Report struct {
 	GoVersion string   `json:"go_version"`
 	GOOS      string   `json:"goos"`
@@ -69,6 +74,28 @@ func Cases() ([]Case, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(1))
+
+	// Service-layer fixtures for the Do-path throughput cases: the cache is
+	// disabled so every iteration performs the full grounding + solving
+	// work, making the legacy-vs-Do ratio a pure measure of the unified
+	// API's indirection.
+	svc := server.New(db, server.Config{Workers: 4, CacheSize: -1})
+	batchQueries := []string{
+		`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`,
+		`P(_, _; c1; c2), C(c1, D, _, _, _, _), C(c2, R, _, _, _, _)`,
+		`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`,
+		`P(_, _; c1; c2), C(c1, D, _, _, JD, _), C(c2, R, _, _, _, _)`,
+		`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`,
+		`P(_, _; c1; c2), C(c1, D, _, _, _, _), C(c2, R, _, _, _, _)`,
+		`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`,
+		`P(_, _; c1; c2), C(c1, D, _, _, JD, _), C(c2, R, _, _, _, _)`,
+	}
+	batchRequests := make([]*ppd.Request, len(batchQueries))
+	for i, q := range batchQueries {
+		batchRequests[i] = &ppd.Request{Kind: ppd.KindBool, Query: q}
+	}
+	doReq := &ppd.Request{Kind: ppd.KindBool, Query: batchQueries[0]}
+	compileReq := &ppd.Request{Kind: ppd.KindTopK, Query: batchQueries[0], K: 3, BoundEdges: 1}
 
 	return []Case{
 		{"solver/twolabel", func(int) error {
@@ -117,6 +144,26 @@ func Cases() ([]Case, error) {
 		}},
 		{"sampling/mis-lite-5x100", func(int) error {
 			_, err := est.Estimate(5, 100, rng, true)
+			return err
+		}},
+		// Unified-API overhead: Compile alone, one Do-path evaluation
+		// against its auto-engine baseline (planner/eval-auto-baseline
+		// above), and batch throughput legacy vs Do — the PR 4 acceptance
+		// comparison.
+		{"do/compile", func(int) error {
+			_, err := compileReq.Compile()
+			return err
+		}},
+		{"do/engine-eval", func(int) error {
+			_, err := autoEng.Do(context.Background(), doReq)
+			return err
+		}},
+		{"do/service-batch-legacy-8", func(int) error {
+			_, err := svc.EvalBatch(batchQueries)
+			return err
+		}},
+		{"do/service-batch-8", func(int) error {
+			_, err := svc.DoBatch(context.Background(), batchRequests)
 			return err
 		}},
 	}, nil

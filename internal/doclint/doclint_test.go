@@ -18,9 +18,11 @@ import (
 
 // lintedDirs are the packages whose exported surface must be fully
 // documented (repo-root relative). The facade and the serving-path
-// packages are the contract; see ISSUE/ROADMAP for why these four.
+// packages are the contract; internal/ppd joined when the unified query
+// API (Request/Response/Do) made it part of the documented Do path.
 var lintedDirs = []string{
 	".",
+	"internal/ppd",
 	"internal/server",
 	"internal/registry",
 	"internal/dataset",

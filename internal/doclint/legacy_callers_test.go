@@ -1,0 +1,118 @@
+package doclint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// legacy_callers_test is the unified-API gate: the per-kind entry points
+// (Engine.Eval, Service.TopKBatch, ...) are the documented compatibility
+// surface, each a thin wrapper over Do, and nothing on the serving path may
+// call them — new code speaks ppd.Request / Engine.Do / Service.Do. This
+// go-vet-style check parses the serving-path packages and fails on any
+// selector call to a legacy name outside the designated compat files.
+// (Harness and demo code — internal/experiment, internal/bench, examples —
+// intentionally exercises the compatibility surface and is not checked.)
+
+// legacyEntryPoints are the method names of the compatibility surface.
+var legacyEntryPoints = map[string]bool{
+	"Eval": true, "EvalCtx": true, "EvalModelCtx": true,
+	"EvalUnion": true, "EvalUnionCtx": true,
+	"CountSession": true, "CountSessionCtx": true,
+	"MostProbableSession": true,
+	"TopK":                true, "TopKCtx": true, "TopKModelCtx": true,
+	"TopKUnion": true, "TopKUnionCtx": true,
+	"Aggregate": true, "AggregateCtx": true,
+	"CountDistribution": true, "CountDistributionUnion": true, "CountDistributionUnionCtx": true,
+	"EvalBatch": true, "EvalBatchCtx": true, "EvalBatchModelCtx": true,
+	"TopKBatch": true, "TopKBatchCtx": true, "TopKBatchModelCtx": true,
+}
+
+// servingPathDirs are the packages held to the Do-only rule (repo-root
+// relative).
+var servingPathDirs = []string{
+	".",
+	"internal/ppd",
+	"internal/server",
+	"internal/registry",
+	"cmd/hardq",
+	"cmd/hardqd",
+}
+
+// compatFiles may (and do) reference the legacy names: they implement the
+// wrappers themselves.
+var compatFiles = map[string]bool{
+	"internal/ppd/compat.go":    true,
+	"internal/server/compat.go": true,
+}
+
+// TestNoLegacyEntryPointCallers parses every non-test file of the serving
+// path and reports calls to legacy entry points outside the compat files.
+func TestNoLegacyEntryPointCallers(t *testing.T) {
+	for _, dir := range servingPathDirs {
+		dir := dir
+		t.Run(strings.ReplaceAll(dir, "/", "_"), func(t *testing.T) {
+			fset := token.NewFileSet()
+			pkgs, err := parser.ParseDir(fset, filepath.Join(repoRoot(), dir), func(fi fs.FileInfo) bool {
+				return !strings.HasSuffix(fi.Name(), "_test.go") && !compatFiles[filepath.ToSlash(filepath.Join(dir, fi.Name()))]
+			}, 0)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", dir, err)
+			}
+			for _, pkg := range pkgs {
+				for _, f := range pkg.Files {
+					for _, p := range legacyCalls(fset, f) {
+						t.Errorf("%s (use the unified Do path; only the compat wrappers may call legacy entry points)", p)
+					}
+				}
+			}
+		})
+	}
+}
+
+// legacyCalls collects the positions of legacy-entry-point calls in a file.
+func legacyCalls(fset *token.FileSet, f *ast.File) []string {
+	var out []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !legacyEntryPoints[sel.Sel.Name] {
+			return true
+		}
+		// Package-qualified calls (e.g. strings.X) cannot be methods of the
+		// engine or service; only flag selector calls whose receiver is an
+		// expression. An identifier receiver that resolves to an import is
+		// skipped conservatively by checking the file's import names.
+		if id, ok := sel.X.(*ast.Ident); ok && isImportName(f, id.Name) {
+			return true
+		}
+		p := fset.Position(call.Pos())
+		out = append(out, fmt.Sprintf("%s:%d: call to legacy entry point %s", p.Filename, p.Line, sel.Sel.Name))
+		return true
+	})
+	return out
+}
+
+// isImportName reports whether name is an import (package) name of the file.
+func isImportName(f *ast.File, name string) bool {
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		base := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			base = imp.Name.Name
+		}
+		if base == name {
+			return true
+		}
+	}
+	return false
+}

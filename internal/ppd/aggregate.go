@@ -25,17 +25,11 @@ type AggregateResult struct {
 	Sessions int
 }
 
-// Aggregate evaluates sum/avg of a numeric attribute over the sessions
-// satisfying q. The attribute is looked up in the o-relation rel: the row
-// whose key (first attribute) equals the session's first key value provides
-// the value of attr. Sessions without a matching row or with a non-numeric
-// value are skipped.
-func (e *Engine) Aggregate(q *Query, rel, attr string) (*AggregateResult, error) {
-	return e.AggregateCtx(context.Background(), q, rel, attr)
-}
-
-// AggregateCtx is Aggregate with cancellation and deadline awareness.
-func (e *Engine) AggregateCtx(ctx context.Context, q *Query, rel, attr string) (*AggregateResult, error) {
+// aggregateQuery is the aggregation core behind KindAggregate (and the
+// Aggregate compatibility wrappers): sum/avg of a numeric attribute of rel
+// over the sessions satisfying q; see Engine.Aggregate for the lookup
+// semantics.
+func (e *Engine) aggregateQuery(ctx context.Context, q *Query, rel, attr string) (*AggregateResult, error) {
 	r, ok := e.DB.Relations[rel]
 	if !ok {
 		return nil, fmt.Errorf("ppd: unknown relation %q", rel)

@@ -1,0 +1,158 @@
+package ppd
+
+import "context"
+
+// This file is the engine's compatibility surface: the per-kind entry
+// points that predate the unified request/response API, kept as thin
+// wrappers over Engine.Do so existing callers (and the facade package)
+// keep working unchanged. New code should build a Request and call Do —
+// one entry point, every query class — instead of extending this matrix;
+// internal/doclint enforces that non-wrapper serving-path code does not
+// call these. Results are byte-identical to the Do path: the equivalence
+// suite in equivalence_test.go pins that.
+
+// evalVia runs an evaluation-backed request and projects the legacy result.
+func (e *Engine) evalVia(ctx context.Context, req *Request) (*EvalResult, error) {
+	resp, err := e.Do(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return resp.EvalResult(), nil
+}
+
+// topKVia runs a topk request and projects the legacy result pair.
+func (e *Engine) topKVia(ctx context.Context, req *Request) ([]SessionProb, *TopKDiag, error) {
+	resp, err := e.Do(ctx, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Top, resp.Diag, nil
+}
+
+// Eval grounds and evaluates the query on every session, computing both the
+// Boolean confidence and the Count-Session expectation. With Workers > 1,
+// distinct (model, union) groups are solved concurrently.
+func (e *Engine) Eval(q *Query) (*EvalResult, error) {
+	return e.EvalCtx(context.Background(), q)
+}
+
+// EvalCtx is Eval with cancellation and deadline awareness: a done ctx
+// aborts grounding, in-flight solver layers and sampling rounds with ctx's
+// error, and MethodAdaptive budgets each group from the ctx deadline.
+func (e *Engine) EvalCtx(ctx context.Context, q *Query) (*EvalResult, error) {
+	return e.evalVia(ctx, &Request{Kind: KindBool, Queries: []*Query{q}})
+}
+
+// EvalUnion evaluates a union of conjunctive queries: per session, the
+// grounded pattern unions of all disjuncts are merged (deduplicated) and
+// solved as one inference request, sharing the engine's solver selection,
+// identical-request grouping and parallelism.
+func (e *Engine) EvalUnion(uq *UnionQuery) (*EvalResult, error) {
+	return e.EvalUnionCtx(context.Background(), uq)
+}
+
+// EvalUnionCtx is EvalUnion with cancellation and deadline awareness; see
+// EvalCtx.
+func (e *Engine) EvalUnionCtx(ctx context.Context, uq *UnionQuery) (*EvalResult, error) {
+	return e.evalVia(ctx, &Request{Kind: KindBool, Queries: uq.Disjuncts})
+}
+
+// CountSession answers the Count-Session query count(Q): the expected
+// number of sessions satisfying Q under possible-world semantics
+// (Section 3.2).
+func (e *Engine) CountSession(q *Query) (float64, error) {
+	return e.CountSessionCtx(context.Background(), q)
+}
+
+// CountSessionCtx is CountSession with cancellation and deadline awareness.
+func (e *Engine) CountSessionCtx(ctx context.Context, q *Query) (float64, error) {
+	res, err := e.evalVia(ctx, &Request{Kind: KindCount, Queries: []*Query{q}})
+	if err != nil {
+		return 0, err
+	}
+	return res.Count, nil
+}
+
+// MostProbableSession answers top(Q, k) with the 1-edge upper-bound
+// optimization; use TopK directly to control the bound edges or force the
+// naive strategy.
+func (e *Engine) MostProbableSession(q *Query, k int) ([]SessionProb, error) {
+	top, _, err := e.TopK(q, k, 1)
+	return top, err
+}
+
+// TopK answers the Most-Probable-Session query top(Q, k): the k sessions
+// satisfying Q with the highest probability (Section 3.2).
+//
+// With boundEdges == 0 it uses the naive strategy: evaluate every session
+// exactly and sort. With boundEdges >= 1 it applies the top-k optimization:
+// cheap upper bounds from the hardest boundEdges transitive-closure edges of
+// each pattern (Section 4.3.2) prioritize sessions, and exact evaluation
+// stops once k sessions are at least as probable as every remaining bound.
+func (e *Engine) TopK(q *Query, k int, boundEdges int) ([]SessionProb, *TopKDiag, error) {
+	return e.TopKCtx(context.Background(), q, k, boundEdges)
+}
+
+// TopKCtx is TopK with cancellation and deadline awareness.
+func (e *Engine) TopKCtx(ctx context.Context, q *Query, k int, boundEdges int) ([]SessionProb, *TopKDiag, error) {
+	return e.topKVia(ctx, &Request{Kind: KindTopK, Queries: []*Query{q}, K: k, BoundEdges: boundEdges})
+}
+
+// TopKUnion answers top(Q, k) for a union of conjunctive queries: per
+// session the disjuncts' grounded unions are merged, then the standard
+// top-k machinery (including the upper-bound optimization) applies.
+func (e *Engine) TopKUnion(uq *UnionQuery, k int, boundEdges int) ([]SessionProb, *TopKDiag, error) {
+	return e.TopKUnionCtx(context.Background(), uq, k, boundEdges)
+}
+
+// TopKUnionCtx is TopKUnion with cancellation and deadline awareness.
+func (e *Engine) TopKUnionCtx(ctx context.Context, uq *UnionQuery, k int, boundEdges int) ([]SessionProb, *TopKDiag, error) {
+	return e.topKVia(ctx, &Request{Kind: KindTopK, Queries: uq.Disjuncts, K: k, BoundEdges: boundEdges})
+}
+
+// Aggregate evaluates sum/avg of a numeric attribute over the sessions
+// satisfying q. The attribute is looked up in the o-relation rel: the row
+// whose key (first attribute) equals the session's first key value provides
+// the value of attr. Sessions without a matching row or with a non-numeric
+// value are skipped.
+func (e *Engine) Aggregate(q *Query, rel, attr string) (*AggregateResult, error) {
+	return e.AggregateCtx(context.Background(), q, rel, attr)
+}
+
+// AggregateCtx is Aggregate with cancellation and deadline awareness.
+func (e *Engine) AggregateCtx(ctx context.Context, q *Query, rel, attr string) (*AggregateResult, error) {
+	resp, err := e.Do(ctx, &Request{Kind: KindAggregate, Queries: []*Query{q}, AggRel: rel, AggAttr: attr})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Agg, nil
+}
+
+// CountDistribution evaluates Q on every session and returns the exact
+// distribution of count(Q). Sessions whose grounded union is empty can
+// never satisfy Q and enter with probability zero, so the support is
+// 0..N for N the number of sessions of the queried p-relation.
+func (e *Engine) CountDistribution(q *Query) (*CountDistribution, error) {
+	return e.countDistVia(context.Background(), &Request{Kind: KindCountDist, Queries: []*Query{q}})
+}
+
+// CountDistributionUnion returns the exact Poisson-binomial distribution of
+// the number of sessions satisfying the union query (see CountDistribution).
+func (e *Engine) CountDistributionUnion(uq *UnionQuery) (*CountDistribution, error) {
+	return e.CountDistributionUnionCtx(context.Background(), uq)
+}
+
+// CountDistributionUnionCtx is CountDistributionUnion with cancellation and
+// deadline awareness.
+func (e *Engine) CountDistributionUnionCtx(ctx context.Context, uq *UnionQuery) (*CountDistribution, error) {
+	return e.countDistVia(ctx, &Request{Kind: KindCountDist, Queries: uq.Disjuncts})
+}
+
+// countDistVia runs a countdist request and projects the distribution.
+func (e *Engine) countDistVia(ctx context.Context, req *Request) (*CountDistribution, error) {
+	resp, err := e.Do(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Dist, nil
+}

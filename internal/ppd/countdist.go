@@ -119,25 +119,3 @@ func (d *CountDistribution) Mode() int {
 	return best
 }
 
-// CountDistribution evaluates Q on every session and returns the exact
-// distribution of count(Q). Sessions whose grounded union is empty can
-// never satisfy Q and enter with probability zero, so the support is
-// 0..N for N the number of sessions of the queried p-relation.
-func (e *Engine) CountDistribution(q *Query) (*CountDistribution, error) {
-	g, err := NewGrounder(e.DB, q)
-	if err != nil {
-		return nil, err
-	}
-	res, err := e.Eval(q)
-	if err != nil {
-		return nil, err
-	}
-	probs := make([]float64, 0, len(g.Pref().Sessions))
-	for _, sp := range res.PerSession {
-		probs = append(probs, sp.Prob)
-	}
-	for len(probs) < len(g.Pref().Sessions) {
-		probs = append(probs, 0) // structurally-unsatisfiable sessions
-	}
-	return NewCountDistribution(probs)
-}

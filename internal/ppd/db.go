@@ -21,8 +21,11 @@ import (
 // Relation is an ordinary relation with named attributes and string-valued
 // tuples. The first attribute is the key.
 type Relation struct {
-	Name   string
-	Attrs  []string
+	// Name is the relation name used in query atoms.
+	Name string
+	// Attrs names the attributes; the first is the key.
+	Attrs []string
+	// Tuples holds the rows, one string value per attribute.
 	Tuples [][]string
 }
 
@@ -51,7 +54,9 @@ func (r *Relation) AttrIndex(a string) int {
 // (Mallows, Generalized Mallows) can serve as the distribution; the exact
 // solvers apply through its RIM materialization.
 type Session struct {
-	Key   []string
+	// Key holds the values of the p-relation's session attributes.
+	Key []string
+	// Model is the session's ranking distribution.
 	Model rim.SessionModel
 }
 
@@ -59,9 +64,12 @@ type Session struct {
 // (session; left item; right item), represented intensionally by one ranking
 // model per session.
 type PrefRelation struct {
-	Name         string
+	// Name is the p-relation name used in preference atoms.
+	Name string
+	// SessionAttrs names the session attributes of the relation.
 	SessionAttrs []string
-	Sessions     []*Session
+	// Sessions holds one entry per preference session.
+	Sessions []*Session
 }
 
 // DB is a RIM-PPD instance.

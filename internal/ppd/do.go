@@ -1,0 +1,190 @@
+package ppd
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"probpref/internal/pattern"
+)
+
+// Do is the engine's single entry point: it validates the request with
+// Compile and answers it according to its Kind. Every per-kind method of
+// the engine (Eval, TopK, CountSession, Aggregate, CountDistribution and
+// their Ctx/Union variants) is a thin wrapper over Do — see compat.go.
+//
+// Request.Method and Request.Seed, when set, override the engine's
+// configured method and RNG for this call only (the engine itself is not
+// mutated); Request.Deadline arms a context deadline on top of ctx. The
+// Model field is ignored at this layer: the engine serves whatever database
+// it holds, and model routing happens in internal/server.
+func (e *Engine) Do(ctx context.Context, req *Request) (*Response, error) {
+	cr, err := req.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return e.DoCompiled(ctx, cr)
+}
+
+// DoCompiled is Do for an already-compiled request; batch planners compile
+// once and execute many times (possibly against several engines).
+func (e *Engine) DoCompiled(ctx context.Context, cr *CompiledRequest) (*Response, error) {
+	eng := e
+	if cr.Method != MethodAuto && cr.Method != e.Method {
+		clone := *e
+		clone.Method = cr.Method
+		eng = &clone
+	}
+	if cr.Seed != 0 {
+		if eng == e {
+			clone := *e
+			eng = &clone
+		}
+		eng.Rng = rand.New(rand.NewSource(cr.Seed))
+	}
+	if cr.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cr.Deadline)
+		defer cancel()
+	}
+	switch cr.Kind {
+	case KindBool, KindCount:
+		res, err := eng.evalUnion(ctx, cr.Union)
+		if err != nil {
+			return nil, err
+		}
+		return evalResponse(cr.Kind, res), nil
+	case KindTopK:
+		top, diag, err := eng.topKUnion(ctx, cr.Union, cr.K, cr.BoundEdges)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{
+			Kind:      KindTopK,
+			Top:       top,
+			Diag:      diag,
+			Solves:    diag.ExactSolves + diag.BoundSolves,
+			CacheHits: diag.CacheHits,
+			Plan:      diag.Plan,
+		}, nil
+	case KindAggregate:
+		agg, err := eng.aggregateQuery(ctx, cr.Union.Disjuncts[0], cr.AggRel, cr.AggAttr)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{Kind: KindAggregate, Agg: agg, Count: agg.Count}, nil
+	case KindCountDist:
+		dist, res, err := eng.countDistUnion(ctx, cr.Union)
+		if err != nil {
+			return nil, err
+		}
+		resp := evalResponse(KindCountDist, res)
+		resp.Dist = dist
+		return resp, nil
+	}
+	return nil, fmt.Errorf("ppd: unknown kind %v", cr.Kind)
+}
+
+// evalResponse builds the unified response of an evaluation-backed kind.
+func evalResponse(k Kind, res *EvalResult) *Response {
+	return &Response{
+		Kind:       k,
+		Prob:       res.Prob,
+		Count:      res.Count,
+		PerSession: res.PerSession,
+		Solves:     res.Solves,
+		CacheHits:  res.CacheHits,
+		Plan:       res.Plan,
+	}
+}
+
+// evalUnion is the evaluation core shared by every Boolean / Count-Session
+// entry point: grounding (plain for a single CQ, merged across disjuncts
+// for a union), identical-request grouping, optional parallel solving and
+// the Boolean / Count-Session aggregation. A done ctx aborts grounding,
+// in-flight solver layers and sampling rounds with ctx's error, and
+// MethodAdaptive budgets each group from the ctx deadline.
+func (e *Engine) evalUnion(ctx context.Context, uq *UnionQuery) (*EvalResult, error) {
+	sessions, ground, err := e.unionGround(uq)
+	if err != nil {
+		return nil, err
+	}
+	return e.evalGrounded(ctx, sessions, ground)
+}
+
+// topKUnion is the Most-Probable-Session core shared by every topk entry
+// point; see evalUnion for the grounding split and TopK for the bound-edge
+// semantics.
+func (e *Engine) topKUnion(ctx context.Context, uq *UnionQuery, k, boundEdges int) ([]SessionProb, *TopKDiag, error) {
+	sessions, ground, err := e.unionGround(uq)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.topKGrounded(ctx, sessions, ground, k, boundEdges)
+}
+
+// unionGround builds the session list and grounding function for a union
+// query. A single-disjunct union grounds through one grounder directly;
+// a true union grounds every disjunct and merges the per-session pattern
+// unions into the single equivalent inference request. (GroundSession
+// already deduplicates patterns by key, so the two paths agree on
+// single-disjunct queries.)
+func (e *Engine) unionGround(uq *UnionQuery) ([]*Session, func(*Session) (pattern.Union, error), error) {
+	if len(uq.Disjuncts) == 1 {
+		g, err := NewGrounder(e.DB, uq.Disjuncts[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		return g.Pref().Sessions, func(s *Session) (pattern.Union, error) {
+			gq, err := g.GroundSession(s)
+			if err != nil {
+				return nil, err
+			}
+			return gq.Union, nil
+		}, nil
+	}
+	grounders, err := UnionGrounders(e.DB, uq)
+	if err != nil {
+		return nil, nil, err
+	}
+	return grounders[0].Pref().Sessions, func(s *Session) (pattern.Union, error) {
+		return GroundMerged(grounders, s)
+	}, nil
+}
+
+// countDistUnion is the count-distribution core: it evaluates the union and
+// extends the per-session probabilities into the exact Poisson-binomial
+// distribution of count(Q); see CountDistFromSessions for the padding
+// semantics.
+func (e *Engine) countDistUnion(ctx context.Context, uq *UnionQuery) (*CountDistribution, *EvalResult, error) {
+	res, err := e.evalUnion(ctx, uq)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := NewGrounder(e.DB, uq.Disjuncts[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	dist, err := CountDistFromSessions(res.PerSession, len(g.Pref().Sessions))
+	if err != nil {
+		return nil, nil, err
+	}
+	return dist, res, nil
+}
+
+// CountDistFromSessions builds the exact count(Q) distribution from the
+// live per-session probabilities of an evaluation, padding the
+// structurally-unsatisfiable sessions (empty grounded union, absent from
+// PerSession) with probability zero so the support is the full session
+// count of the queried p-relation. It is the shared construction of the
+// engine's countdist kind and the service layer's grouped batch path.
+func CountDistFromSessions(per []SessionProb, sessions int) (*CountDistribution, error) {
+	probs := make([]float64, 0, sessions)
+	for _, sp := range per {
+		probs = append(probs, sp.Prob)
+	}
+	for len(probs) < sessions {
+		probs = append(probs, 0) // structurally-unsatisfiable sessions
+	}
+	return NewCountDistribution(probs)
+}

@@ -1,0 +1,206 @@
+package ppd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// Equivalence suite for the unified query API: every legacy entry point of
+// the engine must return byte-identical results to the corresponding Do
+// call on the same seeded database. The wrappers in compat.go delegate to
+// Do, so this suite is the contract that keeps them honest: any drift in
+// how a wrapper builds its Request (wrong kind, dropped field, changed
+// grounding path) shows up as a serialization mismatch here.
+
+// canon serializes a result to canonical JSON; SessionProb rows project to
+// (key, prob) pairs so pointer identity does not leak into the comparison.
+func canon(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(canonValue(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func canonValue(v any) any {
+	switch x := v.(type) {
+	case []SessionProb:
+		out := make([]map[string]any, len(x))
+		for i, sp := range x {
+			out[i] = map[string]any{"key": sp.Session.Key, "prob": sp.Prob}
+		}
+		return out
+	case *EvalResult:
+		return map[string]any{
+			"prob": x.Prob, "count": x.Count, "per": canonValue(x.PerSession),
+			"solves": x.Solves, "cacheHits": x.CacheHits, "plan": x.Plan,
+		}
+	case *TopKDiag:
+		if x == nil {
+			return nil
+		}
+		return map[string]any{
+			"bound": x.BoundSolves, "exact": x.ExactSolves,
+			"sessions": x.SessionsEvaluated, "cacheHits": x.CacheHits, "plan": x.Plan,
+		}
+	case *CountDistribution:
+		return map[string]any{"pmf": x.PMF, "probs": x.Probs}
+	default:
+		return v
+	}
+}
+
+// equal asserts two canonical serializations match byte for byte.
+func equal(t *testing.T, what string, legacy, unified []byte) {
+	t.Helper()
+	if !bytes.Equal(legacy, unified) {
+		t.Errorf("%s: legacy and Do results differ\n-- legacy --\n%s\n-- do --\n%s", what, legacy, unified)
+	}
+}
+
+// equivEngine builds a fresh engine per call so RNG streams start identical
+// on both sides of a comparison.
+func equivEngine(db *DB, m Method) *Engine {
+	return &Engine{DB: db, Method: m, Rng: rand.New(rand.NewSource(1)), RejectionN: 512, LiteD: 3, LiteN: 100}
+}
+
+func TestLegacyEntryPointsMatchDo(t *testing.T) {
+	db := figure1DB(t)
+	ctx := context.Background()
+	const src = `P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`
+	const unionSrc = src + ` | P(_, _; c1; c2), C(c1, D, _, _, JD, _), C(c2, R, _, _, _, _)`
+	q := MustParseUnion(src).Disjuncts[0]
+	uq := MustParseUnion(unionSrc)
+
+	// Exact and sampling methods both: the sampling side checks that the
+	// wrappers leave the RNG stream untouched (same draws, same estimates).
+	for _, m := range []Method{MethodAuto, MethodGeneral, MethodRejection, MethodAdaptive} {
+		t.Run(m.String(), func(t *testing.T) {
+			boolReq := &Request{Kind: KindBool, Queries: []*Query{q}}
+
+			res, err := equivEngine(db, m).Eval(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := equivEngine(db, m).Do(ctx, boolReq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			equal(t, "Eval", canon(t, res), canon(t, resp.EvalResult()))
+
+			res, err = equivEngine(db, m).EvalCtx(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			equal(t, "EvalCtx", canon(t, res), canon(t, resp.EvalResult()))
+
+			unionResp, err := equivEngine(db, m).Do(ctx, &Request{Kind: KindBool, Queries: uq.Disjuncts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err = equivEngine(db, m).EvalUnion(uq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			equal(t, "EvalUnion", canon(t, res), canon(t, unionResp.EvalResult()))
+
+			count, err := equivEngine(db, m).CountSession(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			countResp, err := equivEngine(db, m).Do(ctx, &Request{Kind: KindCount, Queries: []*Query{q}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if count != countResp.Count {
+				t.Errorf("CountSession: %v != %v", count, countResp.Count)
+			}
+
+			for _, bound := range []int{0, 1} {
+				top, diag, err := equivEngine(db, m).TopK(q, 2, bound)
+				if err != nil {
+					t.Fatal(err)
+				}
+				topResp, err := equivEngine(db, m).Do(ctx, &Request{Kind: KindTopK, Queries: []*Query{q}, K: 2, BoundEdges: bound})
+				if err != nil {
+					t.Fatal(err)
+				}
+				equal(t, "TopK.top", canon(t, top), canon(t, topResp.Top))
+				equal(t, "TopK.diag", canon(t, diag), canon(t, topResp.Diag))
+			}
+
+			top, diag, err := equivEngine(db, m).TopKUnion(uq, 2, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			topResp, err := equivEngine(db, m).Do(ctx, &Request{Kind: KindTopK, Queries: uq.Disjuncts, K: 2, BoundEdges: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			equal(t, "TopKUnion.top", canon(t, top), canon(t, topResp.Top))
+			equal(t, "TopKUnion.diag", canon(t, diag), canon(t, topResp.Diag))
+
+			mps, err := equivEngine(db, m).MostProbableSession(q, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mpsResp, err := equivEngine(db, m).Do(ctx, &Request{Kind: KindTopK, Queries: []*Query{q}, K: 2, BoundEdges: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			equal(t, "MostProbableSession", canon(t, mps), canon(t, mpsResp.Top))
+
+			agg, err := equivEngine(db, m).Aggregate(q, "V", "age")
+			if err != nil {
+				t.Fatal(err)
+			}
+			aggResp, err := equivEngine(db, m).Do(ctx, &Request{Kind: KindAggregate, Queries: []*Query{q}, AggRel: "V", AggAttr: "age"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			equal(t, "Aggregate", canon(t, agg), canon(t, aggResp.Agg))
+
+			dist, err := equivEngine(db, m).CountDistribution(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			distResp, err := equivEngine(db, m).Do(ctx, &Request{Kind: KindCountDist, Queries: []*Query{q}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			equal(t, "CountDistribution", canon(t, dist), canon(t, distResp.Dist))
+
+			dist, err = equivEngine(db, m).CountDistributionUnion(uq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			distResp, err = equivEngine(db, m).Do(ctx, &Request{Kind: KindCountDist, Queries: uq.Disjuncts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			equal(t, "CountDistributionUnion", canon(t, dist), canon(t, distResp.Dist))
+		})
+	}
+}
+
+// TestDoTextualQueryMatchesPreParsed: a Request carrying the query text
+// must answer identically to one carrying the pre-parsed disjuncts.
+func TestDoTextualQueryMatchesPreParsed(t *testing.T) {
+	db := figure1DB(t)
+	ctx := context.Background()
+	const src = `P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`
+	uq := MustParseUnion(src)
+	textual, err := equivEngine(db, MethodAuto).Do(ctx, &Request{Kind: KindBool, Query: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := equivEngine(db, MethodAuto).Do(ctx, &Request{Kind: KindBool, Queries: uq.Disjuncts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equal(t, "textual vs pre-parsed", canon(t, textual.EvalResult()), canon(t, parsed.EvalResult()))
+}

@@ -42,6 +42,8 @@ const (
 	MethodAdaptive
 )
 
+// String returns the canonical method name (the form ParseMethod accepts
+// and the CLIs print).
 func (m Method) String() string {
 	switch m {
 	case MethodAuto:
@@ -103,7 +105,9 @@ func ParseMethod(s string) (Method, error) {
 
 // Engine evaluates queries over a RIM-PPD.
 type Engine struct {
-	DB     *DB
+	// DB is the queried database.
+	DB *DB
+	// Method selects the per-session inference solver.
 	Method Method
 
 	// SolverOpts applies to exact solvers.
@@ -148,8 +152,10 @@ func (e *Engine) rng() *rand.Rand {
 // SessionProb pairs a session with the probability that the query holds on
 // it.
 type SessionProb struct {
+	// Session is the session the probability refers to.
 	Session *Session
-	Prob    float64
+	// Prob is Pr(Q | session).
+	Prob float64
 }
 
 // EvalResult reports a full evaluation.
@@ -170,30 +176,6 @@ type EvalResult struct {
 	// Plan reports MethodAdaptive's routing decisions and confidence
 	// half-widths; nil for every other method.
 	Plan *PlanStats
-}
-
-// Eval grounds and evaluates the query on every session, computing both the
-// Boolean confidence and the Count-Session expectation. With Workers > 1,
-// distinct (model, union) groups are solved concurrently.
-func (e *Engine) Eval(q *Query) (*EvalResult, error) {
-	return e.EvalCtx(context.Background(), q)
-}
-
-// EvalCtx is Eval with cancellation and deadline awareness: a done ctx
-// aborts grounding, in-flight solver layers and sampling rounds with ctx's
-// error, and MethodAdaptive budgets each group from the ctx deadline.
-func (e *Engine) EvalCtx(ctx context.Context, q *Query) (*EvalResult, error) {
-	g, err := NewGrounder(e.DB, q)
-	if err != nil {
-		return nil, err
-	}
-	return e.evalGrounded(ctx, g.Pref().Sessions, func(s *Session) (pattern.Union, error) {
-		gq, err := g.GroundSession(s)
-		if err != nil {
-			return nil, err
-		}
-		return gq.Union, nil
-	})
 }
 
 // evalGrounded runs the shared per-session evaluation loop — grounding,
@@ -534,34 +516,6 @@ func clamp01(p float64) float64 {
 	return p
 }
 
-// CountSession answers the Count-Session query count(Q): the expected
-// number of sessions satisfying Q under possible-world semantics
-// (Section 3.2).
-func (e *Engine) CountSession(q *Query) (float64, error) {
-	res, err := e.Eval(q)
-	if err != nil {
-		return 0, err
-	}
-	return res.Count, nil
-}
-
-// CountSessionCtx is CountSession with cancellation and deadline awareness.
-func (e *Engine) CountSessionCtx(ctx context.Context, q *Query) (float64, error) {
-	res, err := e.EvalCtx(ctx, q)
-	if err != nil {
-		return 0, err
-	}
-	return res.Count, nil
-}
-
-// MostProbableSession answers top(Q, k) with the 1-edge upper-bound
-// optimization; use TopK directly to control the bound edges or force the
-// naive strategy.
-func (e *Engine) MostProbableSession(q *Query, k int) ([]SessionProb, error) {
-	top, _, err := e.TopK(q, k, 1)
-	return top, err
-}
-
 // TopKDiag reports the work done by a Most-Probable-Session evaluation.
 type TopKDiag struct {
 	// BoundSolves counts upper-bound inference calls (0 for the naive
@@ -578,51 +532,6 @@ type TopKDiag struct {
 	// Plan reports MethodAdaptive's routing decisions for the per-session
 	// solves; nil for every other method.
 	Plan *PlanStats
-}
-
-// TopK answers the Most-Probable-Session query top(Q, k): the k sessions
-// satisfying Q with the highest probability (Section 3.2).
-//
-// With boundEdges == 0 it uses the naive strategy: evaluate every session
-// exactly and sort. With boundEdges >= 1 it applies the top-k optimization:
-// cheap upper bounds from the hardest boundEdges transitive-closure edges of
-// each pattern (Section 4.3.2) prioritize sessions, and exact evaluation
-// stops once k sessions are at least as probable as every remaining bound.
-func (e *Engine) TopK(q *Query, k int, boundEdges int) ([]SessionProb, *TopKDiag, error) {
-	return e.TopKCtx(context.Background(), q, k, boundEdges)
-}
-
-// TopKCtx is TopK with cancellation and deadline awareness.
-func (e *Engine) TopKCtx(ctx context.Context, q *Query, k int, boundEdges int) ([]SessionProb, *TopKDiag, error) {
-	g, err := NewGrounder(e.DB, q)
-	if err != nil {
-		return nil, nil, err
-	}
-	return e.topKGrounded(ctx, g.Pref().Sessions, func(s *Session) (pattern.Union, error) {
-		gq, err := g.GroundSession(s)
-		if err != nil {
-			return nil, err
-		}
-		return gq.Union, nil
-	}, k, boundEdges)
-}
-
-// TopKUnion answers top(Q, k) for a union of conjunctive queries: per
-// session the disjuncts' grounded unions are merged, then the standard
-// top-k machinery (including the upper-bound optimization) applies.
-func (e *Engine) TopKUnion(uq *UnionQuery, k int, boundEdges int) ([]SessionProb, *TopKDiag, error) {
-	return e.TopKUnionCtx(context.Background(), uq, k, boundEdges)
-}
-
-// TopKUnionCtx is TopKUnion with cancellation and deadline awareness.
-func (e *Engine) TopKUnionCtx(ctx context.Context, uq *UnionQuery, k int, boundEdges int) ([]SessionProb, *TopKDiag, error) {
-	grounders, err := UnionGrounders(e.DB, uq)
-	if err != nil {
-		return nil, nil, err
-	}
-	return e.topKGrounded(ctx, grounders[0].Pref().Sessions, func(s *Session) (pattern.Union, error) {
-		return GroundMerged(grounders, s)
-	}, k, boundEdges)
 }
 
 // topKGrounded is the shared Most-Probable-Session loop for any grounding

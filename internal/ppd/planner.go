@@ -273,17 +273,19 @@ func DetachDeadline(parent context.Context) (context.Context, context.CancelFunc
 // PlanStats reports MethodAdaptive's routing decisions across one
 // evaluation. It is attached to EvalResult.Plan (nil for other methods).
 type PlanStats struct {
-	// ExactGroups and SampledGroups count how the solved groups were routed.
-	ExactGroups   int
+	// ExactGroups counts the solved groups routed to exact solvers.
+	ExactGroups int
+	// SampledGroups counts the solved groups routed to sampling.
 	SampledGroups int
 	// Samples is the total Monte Carlo draws across sampled groups.
 	Samples int
 	// MaxHalfWidth is the largest per-group 95% half-width.
 	MaxHalfWidth float64
-	// ProbHalfWidth and CountHalfWidth propagate the per-group half-widths
-	// to the evaluation's Boolean confidence and Count-Session expectation
-	// (first-order error propagation; 0 when every group went exact).
-	ProbHalfWidth  float64
+	// ProbHalfWidth propagates the per-group half-widths to the
+	// evaluation's Boolean confidence (first-order error propagation;
+	// 0 when every group went exact).
+	ProbHalfWidth float64
+	// CountHalfWidth likewise propagates to the Count-Session expectation.
 	CountHalfWidth float64
 	// Methods counts solved groups per routed solver name.
 	Methods map[string]int

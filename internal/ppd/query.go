@@ -19,7 +19,9 @@ const (
 
 // Term is a constant, variable or wildcard in a query atom.
 type Term struct {
-	Kind  TermKind
+	// Kind distinguishes constant, variable and wildcard terms.
+	Kind TermKind
+	// Value is the constant value or variable name (empty for wildcards).
 	Value string
 }
 
@@ -32,6 +34,7 @@ func V(name string) Term { return Term{Kind: Var, Value: name} }
 // W builds a wildcard term.
 func W() Term { return Term{Kind: Wild} }
 
+// String renders the term in the notation Parse reads.
 func (t Term) String() string {
 	switch t.Kind {
 	case Wild:
@@ -57,12 +60,17 @@ func (t Term) String() string {
 // PrefAtom is a preference atom P(session...; left; right): in the order of
 // the given session, the left item is preferred to the right item.
 type PrefAtom struct {
-	Rel     string
+	// Rel names the preference relation.
+	Rel string
+	// Session holds the session attribute terms.
 	Session []Term
-	Left    Term
-	Right   Term
+	// Left is the preferred item term.
+	Left Term
+	// Right is the less-preferred item term.
+	Right Term
 }
 
+// String renders the atom in the notation Parse reads.
 func (a PrefAtom) String() string {
 	parts := make([]string, len(a.Session))
 	for i, t := range a.Session {
@@ -73,10 +81,13 @@ func (a PrefAtom) String() string {
 
 // RelAtom is an ordinary relation atom R(t1, ..., tn).
 type RelAtom struct {
-	Rel  string
+	// Rel names the ordinary relation.
+	Rel string
+	// Args holds one term per attribute.
 	Args []Term
 }
 
+// String renders the atom in the notation Parse reads.
 func (a RelAtom) String() string {
 	parts := make([]string, len(a.Args))
 	for i, t := range a.Args {
@@ -88,22 +99,30 @@ func (a RelAtom) String() string {
 // Compare is a comparison predicate between a variable and a constant,
 // e.g. age >= 50 or date = "5/5".
 type Compare struct {
-	Left  Term
-	Op    string // =, !=, <, <=, >, >=
+	// Left is the compared variable.
+	Left Term
+	// Op is the comparison operator: =, !=, <, <=, >, >=.
+	Op string
+	// Right is the constant compared against.
 	Right Term
 }
 
+// String renders the comparison in the notation Parse reads.
 func (c Compare) String() string {
 	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
 }
 
 // Query is a Boolean conjunctive query over a RIM-PPD.
 type Query struct {
+	// Prefs holds the preference atoms (all over one p-relation).
 	Prefs []PrefAtom
-	Rels  []RelAtom
+	// Rels holds the ordinary relation atoms.
+	Rels []RelAtom
+	// Comps holds the comparison predicates.
 	Comps []Compare
 }
 
+// String renders the query in the notation Parse reads.
 func (q *Query) String() string {
 	var parts []string
 	for _, a := range q.Prefs {

@@ -1,7 +1,6 @@
 package ppd
 
 import (
-	"context"
 	"fmt"
 	"strings"
 
@@ -19,6 +18,7 @@ import (
 // p-relations would require joint inference over distinct session spaces,
 // which the framework (and the paper) does not define.
 type UnionQuery struct {
+	// Disjuncts holds the conjunctive queries of the union.
 	Disjuncts []*Query
 }
 
@@ -110,6 +110,7 @@ func (uq *UnionQuery) Validate() error {
 	return nil
 }
 
+// String renders the union in the notation ParseUnion reads.
 func (uq *UnionQuery) String() string {
 	parts := make([]string, len(uq.Disjuncts))
 	for i, q := range uq.Disjuncts {
@@ -154,51 +155,3 @@ func GroundMerged(grounders []*Grounder, s *Session) (pattern.Union, error) {
 	return pattern.Merge(unions...), nil
 }
 
-// EvalUnion evaluates a union of conjunctive queries: per session, the
-// grounded pattern unions of all disjuncts are merged (deduplicated) and
-// solved as one inference request, sharing the engine's solver selection,
-// identical-request grouping and parallelism.
-func (e *Engine) EvalUnion(uq *UnionQuery) (*EvalResult, error) {
-	return e.EvalUnionCtx(context.Background(), uq)
-}
-
-// EvalUnionCtx is EvalUnion with cancellation and deadline awareness: a
-// done ctx aborts grounding, in-flight solver layers and sampling rounds
-// with ctx's error, and MethodAdaptive budgets each group from the ctx
-// deadline.
-func (e *Engine) EvalUnionCtx(ctx context.Context, uq *UnionQuery) (*EvalResult, error) {
-	grounders, err := UnionGrounders(e.DB, uq)
-	if err != nil {
-		return nil, err
-	}
-	return e.evalGrounded(ctx, grounders[0].Pref().Sessions, func(s *Session) (pattern.Union, error) {
-		return GroundMerged(grounders, s)
-	})
-}
-
-// CountDistributionUnion returns the exact Poisson-binomial distribution of
-// the number of sessions satisfying the union query (see CountDistribution).
-func (e *Engine) CountDistributionUnion(uq *UnionQuery) (*CountDistribution, error) {
-	return e.CountDistributionUnionCtx(context.Background(), uq)
-}
-
-// CountDistributionUnionCtx is CountDistributionUnion with cancellation and
-// deadline awareness.
-func (e *Engine) CountDistributionUnionCtx(ctx context.Context, uq *UnionQuery) (*CountDistribution, error) {
-	res, err := e.EvalUnionCtx(ctx, uq)
-	if err != nil {
-		return nil, err
-	}
-	g, err := NewGrounder(e.DB, uq.Disjuncts[0])
-	if err != nil {
-		return nil, err
-	}
-	probs := make([]float64, 0, len(g.Pref().Sessions))
-	for _, sp := range res.PerSession {
-		probs = append(probs, sp.Prob)
-	}
-	for len(probs) < len(g.Pref().Sessions) {
-		probs = append(probs, 0)
-	}
-	return NewCountDistribution(probs)
-}

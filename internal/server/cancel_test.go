@@ -1,11 +1,14 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -196,6 +199,137 @@ func TestEvalBatchSharedGroupPlans(t *testing.T) {
 	if first.Plan.SampledGroups != second.Plan.SampledGroups ||
 		first.Plan.MaxHalfWidth != second.Plan.MaxHalfWidth {
 		t.Fatalf("identical queries report different plans: %+v vs %+v", first.Plan, second.Plan)
+	}
+}
+
+// TestV1StreamCancelStopsEmitting cancels a /v1/query NDJSON stream after
+// the first row and asserts the stream terminates early — the client
+// observes its context error instead of the remaining rows — and that the
+// server handler goroutine winds down without leaks. Run under -race (CI
+// does).
+func TestV1StreamCancelStopsEmitting(t *testing.T) {
+	svc := pollsService(t, Config{Workers: 2, CacheSize: -1})
+	// The hook holds the stream after each emitted row until the handler's
+	// own context reports the cancellation, so the cut-off is deterministic:
+	// exactly one row escapes, however fast the sockets drain.
+	svc.streamRowHook = func(ctx context.Context) { <-ctx.Done() }
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	base := runtime.NumGoroutine()
+
+	// Ask for every session of the polls fixture so the stream has many
+	// rows to cut short.
+	body := `{"kind":"topk","query":"P(_, _; l; r), C(l, D, M, _, _, _), C(r, R, F, _, _, _)","k":60,"bound":0,"stream":true}`
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/query", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("missing summary line")
+	}
+	if !sc.Scan() {
+		t.Fatal("missing first row")
+	}
+	rows := 1
+	cancel()
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), `"error"`) {
+			break // the stream's terminal error line, not a data row
+		}
+		rows++
+	}
+	// The client either observes its own cancellation or the server's
+	// terminal error line, depending on which side noticed first; in both
+	// cases the data rows stop immediately.
+	if err := sc.Err(); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("unexpected stream error: %v", err)
+	}
+	if rows != 1 {
+		t.Fatalf("cancelled stream delivered %d data rows, want exactly 1", rows)
+	}
+	waitGoroutines(t, base, "after cancelled /v1/query stream")
+}
+
+// TestV1StreamDeadlineMidStream: a timeout_ms deadline that expires
+// between rows ends the stream with an {"error": ...} line rather than
+// hanging or panicking. The hook holds the stream after the first row
+// until the request deadline has provably fired, so the expiry lands
+// mid-stream deterministically.
+func TestV1StreamDeadlineMidStream(t *testing.T) {
+	// The tiny figure1 fixture keeps the pre-stream evaluation in the
+	// microsecond range, so the 1s budget cannot plausibly expire before
+	// the first row even on a loaded -race runner; the hook then parks the
+	// stream after row one until the deadline fires.
+	svc := figure1Service(t, Config{Workers: 2, CacheSize: -1})
+	svc.streamRowHook = func(ctx context.Context) { <-ctx.Done() }
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	body := `{"kind":"topk","query":"P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)","k":3,"bound":1,"timeout_ms":1000,"stream":true}`
+	resp, err := srv.Client().Post(srv.URL+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	rows, errLines := 0, 0
+	var last string
+	for sc.Scan() {
+		last = sc.Text()
+		if strings.Contains(last, `"error"`) {
+			errLines++
+		} else {
+			rows++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 2 { // summary + exactly one data row before the deadline
+		t.Fatalf("got %d non-error lines, want 2", rows)
+	}
+	if errLines != 1 || !strings.Contains(last, "deadline") {
+		t.Fatalf("want a terminal deadline error line, got %q (%d error lines)", last, errLines)
+	}
+}
+
+// TestV1StreamCompletesWithoutDeadline pins the happy path: with no hook
+// and a generous timeout, every row arrives and no error line is emitted.
+func TestV1StreamCompletesWithoutDeadline(t *testing.T) {
+	svc := pollsService(t, Config{Workers: 2, CacheSize: -1})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	body := `{"kind":"topk","query":"P(_, _; l; r), C(l, D, M, _, _, _), C(r, R, F, _, _, _)","k":5,"bound":1,"timeout_ms":60000,"stream":true}`
+	resp, err := srv.Client().Post(srv.URL+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	lines := 0
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), `"error"`) {
+			t.Fatalf("unexpected error line: %s", sc.Text())
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != 6 { // summary + 5 rows
+		t.Fatalf("got %d lines, want 6", lines)
 	}
 }
 

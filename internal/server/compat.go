@@ -1,0 +1,138 @@
+package server
+
+import (
+	"context"
+
+	"probpref/internal/ppd"
+)
+
+// This file is the service's compatibility surface: the per-kind methods
+// that predate Service.Do / Service.DoBatch, kept as thin wrappers that
+// build a ppd.Request and delegate. Results, counters and error
+// classification are byte-identical to the Do path (see do_test.go's
+// equivalence suite); new code should call Do/DoBatch directly.
+
+// Eval parses and evaluates one query (a CQ or a union of CQs) against
+// DefaultModel, sharing the service's solve cache with every other request.
+func (s *Service) Eval(query string) (*ppd.EvalResult, error) {
+	return s.EvalModelCtx(context.Background(), "", query)
+}
+
+// EvalCtx is Eval with cancellation and deadline awareness: a done ctx
+// (client disconnect, deadline) aborts in-flight solver layers and sampling
+// rounds, and MethodAdaptive budgets each group from the ctx deadline.
+func (s *Service) EvalCtx(ctx context.Context, query string) (*ppd.EvalResult, error) {
+	return s.EvalModelCtx(ctx, "", query)
+}
+
+// EvalModelCtx is EvalCtx routed to the named model ("" means
+// DefaultModel). The model stays open — immune to catalog deletion — until
+// the evaluation returns.
+func (s *Service) EvalModelCtx(ctx context.Context, model, query string) (*ppd.EvalResult, error) {
+	resp, err := s.Do(ctx, &ppd.Request{Kind: ppd.KindBool, Query: query, Model: model})
+	if err != nil {
+		return nil, err
+	}
+	return resp.EvalResult(), nil
+}
+
+// TopK parses and answers the Most-Probable-Session query top(Q, k) against
+// DefaultModel with boundEdges upper-bound edges (0 = naive).
+func (s *Service) TopK(query string, k, boundEdges int) ([]ppd.SessionProb, *ppd.TopKDiag, error) {
+	return s.TopKModelCtx(context.Background(), "", query, k, boundEdges)
+}
+
+// TopKCtx is TopK with cancellation and deadline awareness.
+func (s *Service) TopKCtx(ctx context.Context, query string, k, boundEdges int) ([]ppd.SessionProb, *ppd.TopKDiag, error) {
+	return s.TopKModelCtx(ctx, "", query, k, boundEdges)
+}
+
+// TopKModelCtx is TopKCtx routed to the named model ("" means
+// DefaultModel).
+func (s *Service) TopKModelCtx(ctx context.Context, model, query string, k, boundEdges int) ([]ppd.SessionProb, *ppd.TopKDiag, error) {
+	resp, err := s.Do(ctx, &ppd.Request{Kind: ppd.KindTopK, Query: query, Model: model, K: k, BoundEdges: boundEdges})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Top, resp.Diag, nil
+}
+
+// EvalBatch evaluates a batch of queries as one unit: every query is
+// grounded first, the per-session inference groups are deduplicated across
+// all queries of the batch (the cross-query generalization of the paper's
+// Section 6.4 grouping), cached results are taken from the shared solve
+// cache, and only the remaining distinct groups are solved by a bounded
+// worker pool. Identical or overlapping queries therefore cost one solver
+// invocation per distinct group, not per query. See Service.DoBatch for
+// the seeding and accounting semantics.
+func (s *Service) EvalBatch(queries []string) (*BatchResult, error) {
+	return s.EvalBatchModelCtx(context.Background(), "", queries)
+}
+
+// EvalBatchCtx is EvalBatch with cancellation and deadline awareness: once
+// ctx is done the worker pool stops claiming groups, in-flight solver
+// layers and sampling rounds abort, and the batch returns ctx's error; with
+// MethodAdaptive each group's exact-vs-sampling routing is budgeted from
+// the ctx deadline.
+func (s *Service) EvalBatchCtx(ctx context.Context, queries []string) (*BatchResult, error) {
+	return s.EvalBatchModelCtx(ctx, "", queries)
+}
+
+// EvalBatchModelCtx is EvalBatchCtx routed to the named model ("" means
+// DefaultModel): the whole batch is grounded against that model's database
+// and its cache traffic stays inside the model's namespace.
+func (s *Service) EvalBatchModelCtx(ctx context.Context, model string, queries []string) (*BatchResult, error) {
+	reqs := make([]*ppd.Request, len(queries))
+	for i, q := range queries {
+		reqs[i] = &ppd.Request{Kind: ppd.KindBool, Query: q, Model: model}
+	}
+	br, err := s.DoBatch(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := &BatchResult{
+		Results:   make([]*ppd.EvalResult, len(queries)),
+		Groups:    br.Groups,
+		Instances: br.Instances,
+		Solved:    br.Solved,
+		CacheHits: br.CacheHits,
+	}
+	for i, resp := range br.Responses {
+		out.Results[i] = resp.EvalResult()
+	}
+	return out, nil
+}
+
+// TopKBatch answers a batch of Most-Probable-Session queries on the bounded
+// worker pool. Each query runs the standard top-k machinery (its early
+// termination depends on per-query bound ordering, so exact solves are not
+// pre-deduplicated across queries); cross-query sharing still happens
+// through the shared solve cache, so repeated or overlapping queries reuse
+// each other's exact per-group results.
+func (s *Service) TopKBatch(reqs []TopKRequest) ([]*TopKResult, error) {
+	return s.TopKBatchModelCtx(context.Background(), "", reqs)
+}
+
+// TopKBatchCtx is TopKBatch with cancellation and deadline awareness (see
+// EvalBatchCtx).
+func (s *Service) TopKBatchCtx(ctx context.Context, reqs []TopKRequest) ([]*TopKResult, error) {
+	return s.TopKBatchModelCtx(ctx, "", reqs)
+}
+
+// TopKBatchModelCtx is TopKBatchCtx routed to the named model ("" means
+// DefaultModel).
+func (s *Service) TopKBatchModelCtx(ctx context.Context, model string, reqs []TopKRequest) ([]*TopKResult, error) {
+	dreqs := make([]*ppd.Request, len(reqs))
+	for i, r := range reqs {
+		dreqs[i] = &ppd.Request{Kind: ppd.KindTopK, Query: r.Query, Model: model, K: r.K, BoundEdges: r.Bound}
+	}
+	br, err := s.DoBatch(ctx, dreqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*TopKResult, len(reqs))
+	for i, resp := range br.Responses {
+		out[i] = &TopKResult{Top: resp.Top, Diag: resp.Diag}
+	}
+	return out, nil
+}

@@ -1,0 +1,441 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"probpref/internal/pattern"
+	"probpref/internal/pool"
+	"probpref/internal/ppd"
+	"probpref/internal/registry"
+	"probpref/internal/rim"
+)
+
+// This file is the service's unified entry point: Do answers one
+// ppd.Request (routing by Request.Model through the registry) and DoBatch
+// answers many as one unit, deduplicating inference groups across the
+// requests of the batch wherever their compiled forms allow it. The legacy
+// per-kind methods in compat.go and the HTTP endpoints (legacy /eval,
+// /topk and the versioned /v1/query) all funnel through these two.
+
+// Do answers one request: the request is compiled (validated), routed to
+// its model — which stays open, immune to catalog deletion, until the
+// evaluation returns — and executed by a request-scoped engine sharing the
+// service's solve cache under the model's namespace. Request.Method and
+// Request.Seed override the service's configured method and seed for this
+// request only; Request.Deadline arms a deadline the adaptive planner
+// budgets against.
+func (s *Service) Do(ctx context.Context, req *ppd.Request) (*ppd.Response, error) {
+	cr, err := req.Compile()
+	if err != nil {
+		return nil, err
+	}
+	h, err := s.open(cr.Model)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+	resp, err := s.doCompiled(ctx, cr, h, s.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s.noteResponse(resp)
+	return resp, nil
+}
+
+// doCompiled executes one compiled request against an already-open model
+// handle. fallbackSeed seeds the samplers when the request carries no seed
+// of its own (batch fan-out derives per-request fallbacks).
+func (s *Service) doCompiled(ctx context.Context, cr *ppd.CompiledRequest, h *registry.Handle, fallbackSeed int64) (*ppd.Response, error) {
+	resp, err := s.engine(fallbackSeed, h).DoCompiled(ctx, cr)
+	if err != nil {
+		return nil, &evalError{err}
+	}
+	return resp, nil
+}
+
+// noteResponse folds one answered request into the service counters.
+func (s *Service) noteResponse(resp *ppd.Response) {
+	if resp.Kind == ppd.KindTopK {
+		s.topks.Add(1)
+	} else {
+		s.evals.Add(1)
+	}
+	s.solves.Add(uint64(resp.Solves))
+}
+
+// DoBatchResult reports a DoBatch: one Response per request (in request
+// order) plus the batch-level inference-group dedup accounting of the
+// grouped evaluation path (all four counters stay zero when the batch ran
+// on the per-request fan-out path instead).
+type DoBatchResult struct {
+	// Responses holds one response per request, in request order.
+	Responses []*ppd.Response
+	// Groups counts distinct (model, union) inference groups across the
+	// whole batch.
+	Groups int
+	// Instances counts group references before cross-request dedup
+	// (Instances - Groups were saved by sharing within the batch).
+	Instances int
+	// Solved counts groups actually sent to a solver.
+	Solved int
+	// CacheHits counts groups answered from the shared cache.
+	// Solved + CacheHits == Groups.
+	CacheHits int
+}
+
+// DoBatch answers a batch of requests as one unit.
+//
+// When every request of the batch is evaluation-backed (bool, count or
+// countdist), targets the same model and method, and carries no per-request
+// seed or deadline, the batch takes the grouped path: every request is
+// grounded first, the per-session inference groups are deduplicated across
+// all requests (the cross-query generalization of the paper's Section 6.4
+// grouping), cached results come from the shared solve cache, and only the
+// remaining distinct groups are solved by the bounded worker pool. For the
+// exact methods per-request probabilities are identical to answering each
+// request alone; for the sampling methods each group's seed derives from
+// its batch-wide group index, so answers are deterministic per batch+seed
+// but can differ from a standalone evaluation. A request's Solves /
+// CacheHits attribute each group to the first request of the batch that
+// needed it.
+//
+// Any other batch — topk or aggregate requests, mixed models or methods,
+// per-request seeds or deadlines — fans out request-by-request on the
+// worker pool. Identical requests (equal compiled Keys) are answered once
+// and share the response when their method is exact (seed-independent);
+// under a sampling method they additionally need an explicit shared seed,
+// since each request otherwise samples with its own index-derived seed.
+// Cross-request sharing still happens through the shared solve cache.
+func (s *Service) DoBatch(ctx context.Context, reqs []*ppd.Request) (*DoBatchResult, error) {
+	crs := make([]*ppd.CompiledRequest, len(reqs))
+	for i, r := range reqs {
+		cr, err := r.Compile()
+		if err != nil {
+			return nil, fmt.Errorf("server: query %d: %w", i+1, err)
+		}
+		crs[i] = cr
+	}
+	if groupable(crs, s.cfg.Method) {
+		return s.doBatchGrouped(ctx, crs)
+	}
+	return s.doBatchFanOut(ctx, crs)
+}
+
+// groupable reports whether the whole batch can take the grouped
+// evaluation path: evaluation-backed kinds only, one model, one effective
+// method, and no per-request seed or deadline (the grouped path seeds each
+// group from its batch-wide index and runs under the batch context).
+func groupable(crs []*ppd.CompiledRequest, cfgMethod ppd.Method) bool {
+	if len(crs) == 0 {
+		return false
+	}
+	for _, cr := range crs {
+		switch cr.Kind {
+		case ppd.KindBool, ppd.KindCount, ppd.KindCountDist:
+		default:
+			return false
+		}
+		if cr.Model != crs[0].Model || cr.Method != crs[0].Method ||
+			cr.Seed != 0 || cr.Deadline != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// effMethod resolves a request's effective solver method: the forced one,
+// or the service default when the request leaves it at MethodAuto.
+func (s *Service) effMethod(cr *ppd.CompiledRequest) ppd.Method {
+	if cr.Method != ppd.MethodAuto {
+		return cr.Method
+	}
+	return s.cfg.Method
+}
+
+// seedSensitive reports whether a method's answers depend on the sampler
+// seed. Exact methods are deterministic whatever the seed, so identical
+// requests can share one answer even when their derived seeds differ.
+func seedSensitive(m ppd.Method) bool {
+	switch m {
+	case ppd.MethodMISAdaptive, ppd.MethodMISLite, ppd.MethodRejection, ppd.MethodAdaptive:
+		return true
+	}
+	return false
+}
+
+// doBatchGrouped is the grouped evaluation path of DoBatch: ground every
+// request, deduplicate the (model, union) inference groups across the whole
+// batch, resolve cache hits inside the model's namespace, fan the misses
+// out to the worker pool, and re-aggregate per request.
+func (s *Service) doBatchGrouped(ctx context.Context, crs []*ppd.CompiledRequest) (*DoBatchResult, error) {
+	h, err := s.open(crs[0].Model)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+	method := s.effMethod(crs[0])
+	type ref struct {
+		sess *ppd.Session
+		gi   int
+	}
+	type batchGroup struct {
+		sm    rim.SessionModel
+		u     pattern.Union
+		key   string
+		first int // index of the first request referencing the group
+	}
+	var (
+		groupOf = make(map[string]int)
+		groups  []batchGroup
+		perQ    = make([][]ref, len(crs))
+		// nSessions records each request's total session count (live or
+		// not) so countdist responses can pad the structurally-zero tail.
+		nSessions = make([]int, len(crs))
+		br        = &DoBatchResult{Responses: make([]*ppd.Response, len(crs))}
+	)
+	// With the adaptive method an expired deadline degrades remaining groups
+	// to sampling instead of aborting the batch: the grounding loop and the
+	// pool fan-out run deadline-detached (cancellation still aborts), while
+	// each group's solve sees the original ctx for budgeting.
+	adaptive := method == ppd.MethodAdaptive
+	loopCtx := ctx
+	if adaptive {
+		var cancel context.CancelFunc
+		loopCtx, cancel = ppd.DetachDeadline(ctx)
+		defer cancel()
+	}
+	for qi, cr := range crs {
+		if err := loopCtx.Err(); err != nil {
+			return nil, &evalError{context.Cause(loopCtx)}
+		}
+		grounders, err := ppd.UnionGrounders(h.DB(), cr.Union)
+		if err != nil {
+			return nil, &evalError{fmt.Errorf("server: query %d: %w", qi+1, err)}
+		}
+		nSessions[qi] = len(grounders[0].Pref().Sessions)
+		for _, sess := range grounders[0].Pref().Sessions {
+			u, err := ppd.GroundMerged(grounders, sess)
+			if err != nil {
+				return nil, &evalError{fmt.Errorf("server: query %d: %w", qi+1, err)}
+			}
+			if len(u) == 0 {
+				continue
+			}
+			key := ppd.GroupKey(method, sess.Model, u)
+			gi, ok := groupOf[key]
+			if !ok {
+				gi = len(groups)
+				groupOf[key] = gi
+				groups = append(groups, batchGroup{sm: sess.Model, u: u, key: key, first: qi})
+			}
+			perQ[qi] = append(perQ[qi], ref{sess: sess, gi: gi})
+			br.Instances++
+		}
+	}
+	br.Groups = len(groups)
+
+	// Resolve groups from the shared cache (inside the model's namespace),
+	// then fan the misses out to the worker pool. Seeds derive from the
+	// group index so sampling answers are deterministic for a fixed
+	// Config.Seed regardless of pool scheduling.
+	ns := h.Name() + nsSep
+	probs := make([]float64, len(groups))
+	reports := make([]ppd.SolveReport, len(groups))
+	cached := make([]bool, len(groups))
+	var pending []int
+	for gi := range groups {
+		if s.cache != nil {
+			if p, ok := s.cache.Get(ns + groups[gi].key); ok {
+				probs[gi] = p
+				cached[gi] = true
+				br.CacheHits++
+				continue
+			}
+		}
+		pending = append(pending, gi)
+	}
+	br.Solved = len(pending)
+	err = pool.RunCtx(loopCtx, len(pending), s.cfg.Workers, func(pi int) error {
+		gi := pending[pi]
+		eng := s.engine(s.cfg.Seed+int64(gi), h)
+		eng.Method = method
+		eng.Workers = 1 // the pool is the parallelism
+		p, rep, err := eng.SolveUnionCtx(ctx, groups[gi].sm, groups[gi].u)
+		if err != nil {
+			return fmt.Errorf("server: query %d: %w", groups[gi].first+1, err)
+		}
+		probs[gi] = p
+		reports[gi] = rep
+		if s.cache != nil {
+			s.cache.Put(ns+groups[gi].key, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, &evalError{err}
+	}
+
+	// Aggregate per request with the engine's own aggregation. Solves and
+	// CacheHits attribute each group's cost to the first request that
+	// referenced it (batch accounting); the adaptive plan instead reflects
+	// each request's own view — every distinct freshly-solved group the
+	// request references counts toward its routing totals, matching the
+	// propagated half-widths, so shared groups appear in every referencing
+	// request's plan (cache hits replay a point answer and contribute no
+	// width).
+	solves := make([]int, len(crs))
+	cacheHits := make([]int, len(crs))
+	for gi, g := range groups {
+		if cached[gi] {
+			cacheHits[g.first]++
+		} else {
+			solves[g.first]++
+		}
+	}
+	for qi, cr := range crs {
+		per := make([]ppd.SessionProb, len(perQ[qi]))
+		hw := make([]float64, len(perQ[qi]))
+		seen := make(map[int]bool)
+		for i, r := range perQ[qi] {
+			per[i] = ppd.SessionProb{Session: r.sess, Prob: probs[r.gi]}
+			if !cached[r.gi] {
+				hw[i] = reports[r.gi].HalfWidth
+			}
+		}
+		res := ppd.BoolAggregate(per)
+		if adaptive {
+			plan := ppd.BatchPlan(per, hw)
+			for _, r := range perQ[qi] {
+				if !cached[r.gi] && !seen[r.gi] {
+					seen[r.gi] = true
+					plan.Note(reports[r.gi])
+				}
+			}
+			res.Plan = plan
+		}
+		res.Solves, res.CacheHits = solves[qi], cacheHits[qi]
+		resp := &ppd.Response{
+			Kind:       cr.Kind,
+			Prob:       res.Prob,
+			Count:      res.Count,
+			PerSession: res.PerSession,
+			Solves:     res.Solves,
+			CacheHits:  res.CacheHits,
+			Plan:       res.Plan,
+		}
+		if cr.Kind == ppd.KindCountDist {
+			dist, err := ppd.CountDistFromSessions(res.PerSession, nSessions[qi])
+			if err != nil {
+				return nil, &evalError{fmt.Errorf("server: query %d: %w", qi+1, err)}
+			}
+			resp.Dist = dist
+		}
+		br.Responses[qi] = resp
+	}
+	s.batches.Add(1)
+	s.evals.Add(uint64(len(crs)))
+	s.solves.Add(uint64(br.Solved))
+	return br, nil
+}
+
+// doBatchFanOut is the per-request path of DoBatch: every distinct request
+// runs on the worker pool through the same engine construction as Do, with
+// per-request sampler seeds derived from the request index (matching the
+// legacy TopKBatch semantics) unless the request carries its own seed.
+// Requests with identical compiled keys and seeds are answered once and
+// share the response value.
+func (s *Service) doBatchFanOut(ctx context.Context, crs []*ppd.CompiledRequest) (*DoBatchResult, error) {
+	// Open every distinct model up front so an unknown name fails the batch
+	// with its catalog error (404), and so deletions cannot unload a model
+	// mid-batch.
+	handles := make(map[string]*registry.Handle)
+	defer func() {
+		for _, h := range handles {
+			h.Close()
+		}
+	}()
+	for _, cr := range crs {
+		if _, ok := handles[cr.Model]; !ok {
+			h, err := s.open(cr.Model)
+			if err != nil {
+				return nil, err
+			}
+			handles[cr.Model] = h
+		}
+	}
+	br := &DoBatchResult{Responses: make([]*ppd.Response, len(crs))}
+	seeds := make([]int64, len(crs))
+	firstOf := make(map[string]int)
+	dupOf := make([]int, len(crs)) // -1 = unique, else index answered for us
+	var unique []int
+	for ri, cr := range crs {
+		seeds[ri] = s.cfg.Seed + int64(ri)
+		if cr.Seed != 0 {
+			seeds[ri] = cr.Seed
+		}
+		// Exact methods answer independently of the sampler seed, so
+		// identical requests share one evaluation even though their derived
+		// seeds differ; seed-sensitive methods only dedup on an explicit
+		// shared seed (matching the legacy per-index seeding).
+		key := cr.Key()
+		if seedSensitive(s.effMethod(cr)) {
+			key = fmt.Sprintf("%s#%d", key, seeds[ri])
+		}
+		if first, ok := firstOf[key]; ok {
+			dupOf[ri] = first
+			continue
+		}
+		firstOf[key] = ri
+		dupOf[ri] = -1
+		unique = append(unique, ri)
+	}
+	// As on the grouped path: with the adaptive method an expired deadline
+	// degrades per-request groups to sampling instead of aborting the
+	// fan-out.
+	adaptive := s.cfg.Method == ppd.MethodAdaptive
+	for _, cr := range crs {
+		if cr.Method == ppd.MethodAdaptive {
+			adaptive = true
+		}
+	}
+	loopCtx := ctx
+	if adaptive {
+		var cancel context.CancelFunc
+		loopCtx, cancel = ppd.DetachDeadline(ctx)
+		defer cancel()
+	}
+	err := pool.RunCtx(loopCtx, len(unique), s.cfg.Workers, func(pi int) error {
+		ri := unique[pi]
+		eng := s.engine(seeds[ri], handles[crs[ri].Model])
+		eng.Workers = 1 // the pool is the parallelism
+		resp, err := eng.DoCompiled(ctx, crs[ri])
+		if err != nil {
+			return fmt.Errorf("server: query %d: %w", ri+1, err)
+		}
+		br.Responses[ri] = resp
+		return nil
+	})
+	if err != nil {
+		return nil, &evalError{err}
+	}
+	for ri, first := range dupOf {
+		if first >= 0 {
+			br.Responses[ri] = br.Responses[first]
+		}
+	}
+	s.batches.Add(1)
+	for ri, resp := range br.Responses {
+		if resp.Kind == ppd.KindTopK {
+			s.topks.Add(1)
+		} else {
+			s.evals.Add(1)
+		}
+		// Deduplicated aliases share one evaluation; count its solver work
+		// once, not per referencing request.
+		if dupOf[ri] < 0 {
+			s.solves.Add(uint64(resp.Solves))
+		}
+	}
+	return br, nil
+}

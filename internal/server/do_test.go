@@ -1,0 +1,319 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"probpref/internal/ppd"
+)
+
+// Equivalence suite for the service layer: every legacy Service method must
+// return byte-identical results to the corresponding Do / DoBatch call on a
+// service over the same seeded database. Fresh services isolate the solve
+// cache so both sides start cold.
+
+const doDemoQuery = `P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`
+const doUnionQuery = doDemoQuery + ` | P(_, _; c1; c2), C(c1, D, _, _, JD, _), C(c2, R, _, _, _, _)`
+
+// canonJSON serializes a projection of a result for byte comparison.
+func canonJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(serverCanon(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func serverCanon(v any) any {
+	switch x := v.(type) {
+	case []ppd.SessionProb:
+		out := make([]map[string]any, len(x))
+		for i, sp := range x {
+			out[i] = map[string]any{"key": sp.Session.Key, "prob": sp.Prob}
+		}
+		return out
+	case *ppd.EvalResult:
+		return map[string]any{
+			"prob": x.Prob, "count": x.Count, "per": serverCanon(x.PerSession),
+			"solves": x.Solves, "cacheHits": x.CacheHits, "plan": x.Plan,
+		}
+	case *ppd.TopKDiag:
+		if x == nil {
+			return nil
+		}
+		return map[string]any{
+			"bound": x.BoundSolves, "exact": x.ExactSolves,
+			"sessions": x.SessionsEvaluated, "cacheHits": x.CacheHits, "plan": x.Plan,
+		}
+	case *BatchResult:
+		results := make([]any, len(x.Results))
+		for i, r := range x.Results {
+			results[i] = serverCanon(r)
+		}
+		return map[string]any{
+			"results": results, "groups": x.Groups, "instances": x.Instances,
+			"solved": x.Solved, "cacheHits": x.CacheHits,
+		}
+	default:
+		return v
+	}
+}
+
+func mustEqual(t *testing.T, what string, legacy, unified []byte) {
+	t.Helper()
+	if !bytes.Equal(legacy, unified) {
+		t.Errorf("%s: legacy and Do results differ\n-- legacy --\n%s\n-- do --\n%s", what, legacy, unified)
+	}
+}
+
+// TestServiceLegacyMatchesDo: single-query legacy methods against Do. Both
+// sides run on fresh services (cold caches) with the same seed.
+func TestServiceLegacyMatchesDo(t *testing.T) {
+	ctx := context.Background()
+	for _, query := range []string{doDemoQuery, doUnionQuery} {
+		res, err := figure1Service(t, Config{}).Eval(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := figure1Service(t, Config{}).Do(ctx, &ppd.Request{Kind: ppd.KindBool, Query: query})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqual(t, "Eval "+query, canonJSON(t, res), canonJSON(t, resp.EvalResult()))
+
+		top, diag, err := figure1Service(t, Config{}).TopK(query, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topResp, err := figure1Service(t, Config{}).Do(ctx, &ppd.Request{Kind: ppd.KindTopK, Query: query, K: 2, BoundEdges: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqual(t, "TopK.top "+query, canonJSON(t, top), canonJSON(t, topResp.Top))
+		mustEqual(t, "TopK.diag "+query, canonJSON(t, diag), canonJSON(t, topResp.Diag))
+	}
+}
+
+// TestServiceEvalBatchMatchesDo: EvalBatch must be byte-identical to the
+// corresponding DoBatch of bool requests — the grouped path underneath is
+// shared — and, with the cache disabled and an exact method, each batched
+// result must also equal the standalone Do answer of its query.
+func TestServiceEvalBatchMatchesDo(t *testing.T) {
+	ctx := context.Background()
+	queries := []string{doDemoQuery, doUnionQuery, doDemoQuery}
+
+	br, err := figure1Service(t, Config{}).EvalBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]*ppd.Request, len(queries))
+	for i, q := range queries {
+		reqs[i] = &ppd.Request{Kind: ppd.KindBool, Query: q}
+	}
+	dr, err := figure1Service(t, Config{}).DoBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := &BatchResult{
+		Results:   make([]*ppd.EvalResult, len(queries)),
+		Groups:    dr.Groups,
+		Instances: dr.Instances,
+		Solved:    dr.Solved,
+		CacheHits: dr.CacheHits,
+	}
+	for i, resp := range dr.Responses {
+		legacy.Results[i] = resp.EvalResult()
+	}
+	mustEqual(t, "EvalBatch", canonJSON(t, br), canonJSON(t, legacy))
+
+	// Cold standalone Do answers match the batched per-query results up to
+	// the batch-only accounting (cache off, exact method: probabilities and
+	// per-session rows are identical; Solves attribution is batch-scoped).
+	for i, q := range queries {
+		resp, err := figure1Service(t, Config{CacheSize: -1}).Do(ctx, &ppd.Request{Kind: ppd.KindBool, Query: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Prob != br.Results[i].Prob || resp.Count != br.Results[i].Count {
+			t.Errorf("query %d: standalone Do (%v, %v) != batched (%v, %v)",
+				i, resp.Prob, resp.Count, br.Results[i].Prob, br.Results[i].Count)
+		}
+	}
+}
+
+// TestServiceTopKBatchMatchesDo: TopKBatch must be byte-identical to the
+// corresponding DoBatch of topk requests (the per-request fan-out with
+// index-derived seeds underneath is shared).
+func TestServiceTopKBatchMatchesDo(t *testing.T) {
+	ctx := context.Background()
+	reqs := []TopKRequest{
+		{Query: doDemoQuery, K: 2, Bound: 1},
+		{Query: doUnionQuery, K: 3, Bound: 0},
+		{Query: doDemoQuery, K: 2, Bound: 1},
+	}
+	legacy, err := figure1Service(t, Config{}).TopKBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dreqs := make([]*ppd.Request, len(reqs))
+	for i, r := range reqs {
+		dreqs[i] = &ppd.Request{Kind: ppd.KindTopK, Query: r.Query, K: r.K, BoundEdges: r.Bound}
+	}
+	dr, err := figure1Service(t, Config{}).DoBatch(ctx, dreqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		mustEqual(t, "TopKBatch.top", canonJSON(t, legacy[i].Top), canonJSON(t, dr.Responses[i].Top))
+		mustEqual(t, "TopKBatch.diag", canonJSON(t, legacy[i].Diag), canonJSON(t, dr.Responses[i].Diag))
+	}
+}
+
+// TestDoBatchMixedKinds: a heterogeneous batch (every kind at once) fans
+// out and answers each request correctly against the same model.
+func TestDoBatchMixedKinds(t *testing.T) {
+	svc := figure1Service(t, Config{})
+	reqs := []*ppd.Request{
+		{Kind: ppd.KindBool, Query: doDemoQuery},
+		{Kind: ppd.KindCount, Query: doDemoQuery},
+		{Kind: ppd.KindTopK, Query: doDemoQuery, K: 2, BoundEdges: 1},
+		{Kind: ppd.KindAggregate, Query: doDemoQuery, AggRel: "V", AggAttr: "age"},
+		{Kind: ppd.KindCountDist, Query: doDemoQuery},
+	}
+	br, err := svc.DoBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Groups != 0 {
+		t.Errorf("mixed batch should not report grouped accounting, got %d groups", br.Groups)
+	}
+	for i, resp := range br.Responses {
+		if resp == nil {
+			t.Fatalf("request %d: nil response", i)
+		}
+		if resp.Kind != reqs[i].Kind {
+			t.Errorf("request %d: kind %v, want %v", i, resp.Kind, reqs[i].Kind)
+		}
+	}
+	if br.Responses[0].Prob <= 0 || br.Responses[0].Prob > 1 {
+		t.Errorf("bool prob out of range: %v", br.Responses[0].Prob)
+	}
+	if len(br.Responses[2].Top) != 2 || br.Responses[2].Diag == nil {
+		t.Errorf("topk response malformed: %+v", br.Responses[2])
+	}
+	if br.Responses[3].Agg == nil || br.Responses[3].Agg.Sessions == 0 {
+		t.Errorf("aggregate response malformed: %+v", br.Responses[3].Agg)
+	}
+	if br.Responses[4].Dist == nil || br.Responses[4].Dist.N() != 3 {
+		t.Errorf("countdist response malformed: %+v", br.Responses[4].Dist)
+	}
+	// Equal-kind bool answers from the grouped batch must agree with the
+	// mixed batch's standalone bool answer.
+	if br.Responses[0].Prob != br.Responses[1].Prob {
+		t.Errorf("bool vs count prob: %v != %v", br.Responses[0].Prob, br.Responses[1].Prob)
+	}
+}
+
+// TestDoBatchGroupedCountDist: countdist requests ride the grouped dedup
+// path alongside bool requests of the same shape and still carry the full
+// padded distribution.
+func TestDoBatchGroupedCountDist(t *testing.T) {
+	svc := figure1Service(t, Config{})
+	br, err := svc.DoBatch(context.Background(), []*ppd.Request{
+		{Kind: ppd.KindBool, Query: doDemoQuery},
+		{Kind: ppd.KindCountDist, Query: doDemoQuery},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Groups == 0 {
+		t.Fatal("homogeneous eval batch should use the grouped path")
+	}
+	if br.Responses[1].Dist == nil {
+		t.Fatal("countdist response missing distribution")
+	}
+	if got, want := br.Responses[1].Dist.Mean(), br.Responses[0].Count; got != want {
+		t.Errorf("distribution mean %v != batch count %v", got, want)
+	}
+	// The second request shares every group with the first: batch
+	// accounting attributes all solves to request 0.
+	if br.Responses[0].Solves == 0 || br.Responses[1].Solves != 0 {
+		t.Errorf("solves attribution: %d/%d", br.Responses[0].Solves, br.Responses[1].Solves)
+	}
+}
+
+// TestDoRequestOverrides: per-request model, method and seed behave at the
+// service layer — method/seed route through the engine clone, model through
+// the registry.
+func TestDoRequestOverrides(t *testing.T) {
+	svc := figure1Service(t, Config{CacheSize: -1})
+	ctx := context.Background()
+	exact, err := svc.Do(ctx, &ppd.Request{Kind: ppd.KindBool, Query: doDemoQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced, err := svc.Do(ctx, &ppd.Request{Kind: ppd.KindBool, Query: doDemoQuery, Method: ppd.MethodGeneral})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := exact.Prob - forced.Prob; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("methods disagree: %v vs %v", exact.Prob, forced.Prob)
+	}
+	a, err := svc.Do(ctx, &ppd.Request{Kind: ppd.KindBool, Query: doDemoQuery, Method: ppd.MethodRejection, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := svc.Do(ctx, &ppd.Request{Kind: ppd.KindBool, Query: doDemoQuery, Method: ppd.MethodRejection, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Prob != b.Prob {
+		t.Errorf("seeded sampling request not reproducible: %v vs %v", a.Prob, b.Prob)
+	}
+	if _, err := svc.Do(ctx, &ppd.Request{Kind: ppd.KindBool, Query: doDemoQuery, Model: "ghost"}); err == nil {
+		t.Error("unknown model should fail")
+	}
+}
+
+// TestDoBatchRequestDedup: identical exact-method requests are answered
+// once and share the response (their answers are seed-independent);
+// sampling-method requests dedup only on an explicit shared seed, since
+// each otherwise samples with its own index-derived seed.
+func TestDoBatchRequestDedup(t *testing.T) {
+	ctx := context.Background()
+	topk := func(seed int64) *ppd.Request {
+		return &ppd.Request{Kind: ppd.KindTopK, Query: doDemoQuery, K: 2, BoundEdges: 1, Seed: seed}
+	}
+
+	svc := figure1Service(t, Config{CacheSize: -1})
+	br, err := svc.DoBatch(ctx, []*ppd.Request{topk(0), topk(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Responses[0] != br.Responses[1] {
+		t.Error("identical exact-method requests should share one response")
+	}
+	br, err = svc.DoBatch(ctx, []*ppd.Request{topk(3), topk(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Responses[0] != br.Responses[1] {
+		t.Error("identical seeded requests should share one response")
+	}
+
+	// Sampling method, no explicit seed: each request keeps its own
+	// index-derived seed, so no sharing.
+	rej := func() *ppd.Request {
+		return &ppd.Request{Kind: ppd.KindTopK, Query: doDemoQuery, K: 2, BoundEdges: 1, Method: ppd.MethodRejection}
+	}
+	br, err = svc.DoBatch(ctx, []*ppd.Request{rej(), rej()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Responses[0] == br.Responses[1] {
+		t.Error("unseeded sampling requests must not share a response")
+	}
+}

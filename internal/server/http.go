@@ -189,10 +189,15 @@ func (e *httpError) Error() string { return e.err.Error() }
 
 // Handler returns the HTTP/JSON front end of the service:
 //
-//	GET    /eval?q=Q[&sessions=1][&model=M]   evaluate one query
-//	POST   /eval                   {"queries": [...], "model": M} batch with dedup
-//	GET    /topk?q=Q&k=K&bound=B[&model=M]    one Most-Probable-Session query
-//	POST   /topk                   {"queries": [{"query","k","bound"}, ...], "model": M}
+//	POST   /v1/query               unified query endpoint: one typed request
+//	                               (kind: bool | count | topk | aggregate |
+//	                               countdist) or a {"requests": [...]} batch,
+//	                               with NDJSON streaming of topk rows via
+//	                               "stream"
+//	GET    /eval?q=Q[&sessions=1][&model=M]   evaluate one query (legacy)
+//	POST   /eval                   {"queries": [...], "model": M} batch with dedup (legacy)
+//	GET    /topk?q=Q&k=K&bound=B[&model=M]    one Most-Probable-Session query (legacy)
+//	POST   /topk                   {"queries": [{"query","k","bound"}, ...], "model": M} (legacy)
 //	GET    /models                 list the model catalog
 //	POST   /models                 register a dataset-backed model (registry.Spec body)
 //	GET    /models/{name}          one catalog row
@@ -200,9 +205,12 @@ func (e *httpError) Error() string { return e.err.Error() }
 //	GET    /stats                  service, catalog and cache statistics
 //	GET    /healthz                liveness probe
 //
-// See docs/API.md for the request/response schemas with curl examples.
+// The legacy /eval and /topk endpoints are thin adapters that build
+// ppd.Requests and serve through the same Do path as /v1/query. See
+// docs/API.md for the request/response schemas with curl examples.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleV1Query)
 	mux.HandleFunc("/eval", func(w http.ResponseWriter, r *http.Request) {
 		serveJSON(w, func() (any, error) { return s.handleEval(r) })
 	})
@@ -343,7 +351,13 @@ func (s *Service) handleEval(r *http.Request) (*EvalResponse, error) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
-	br, err := s.EvalBatchModelCtx(ctx, req.Model, req.Queries)
+	// Legacy adapter: the endpoint re-expresses its queries as unified
+	// requests and serves through the same DoBatch path as /v1/query.
+	reqs := make([]*ppd.Request, len(req.Queries))
+	for i, q := range req.Queries {
+		reqs[i] = &ppd.Request{Kind: ppd.KindBool, Query: q, Model: req.Model}
+	}
+	br, err := s.DoBatch(ctx, reqs)
 	if err != nil {
 		return nil, err
 	}
@@ -353,8 +367,8 @@ func (s *Service) handleEval(r *http.Request) (*EvalResponse, error) {
 		Solved:    br.Solved,
 		CacheHits: br.CacheHits,
 	}}
-	for _, res := range br.Results {
-		resp.Results = append(resp.Results, evalResultJSON(res, req.PerSession))
+	for _, res := range br.Responses {
+		resp.Results = append(resp.Results, evalResultJSON(res.EvalResult(), req.PerSession))
 	}
 	return resp, nil
 }
@@ -432,12 +446,18 @@ func (s *Service) handleTopK(r *http.Request) (*TopKResponse, error) {
 			return nil, fmt.Errorf("query %d: k and bound must be non-negative", i+1)
 		}
 	}
-	results, err := s.TopKBatchModelCtx(r.Context(), model, reqs)
+	// Legacy adapter: the endpoint re-expresses its queries as unified
+	// requests and serves through the same DoBatch path as /v1/query.
+	dreqs := make([]*ppd.Request, len(reqs))
+	for i, tr := range reqs {
+		dreqs[i] = &ppd.Request{Kind: ppd.KindTopK, Query: tr.Query, Model: model, K: tr.K, BoundEdges: tr.Bound}
+	}
+	br, err := s.DoBatch(r.Context(), dreqs)
 	if err != nil {
 		return nil, err
 	}
 	resp := &TopKResponse{}
-	for _, res := range results {
+	for _, res := range br.Responses {
 		rj := TopKResultJSON{Diag: TopKDiagJSON{
 			BoundSolves:       res.Diag.BoundSolves,
 			ExactSolves:       res.Diag.ExactSolves,

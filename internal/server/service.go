@@ -2,15 +2,11 @@ package server
 
 import (
 	"context"
-	"fmt"
 	"math/rand"
 	"sync/atomic"
 
-	"probpref/internal/pattern"
-	"probpref/internal/pool"
 	"probpref/internal/ppd"
 	"probpref/internal/registry"
-	"probpref/internal/rim"
 )
 
 // DefaultModel is the model name the single-database constructor (New)
@@ -96,6 +92,12 @@ type Service struct {
 	topks   atomic.Uint64
 	batches atomic.Uint64
 	solves  atomic.Uint64
+
+	// streamRowHook, when non-nil, runs after every NDJSON row the /v1/query
+	// streaming path emits, with the request context. Test-only: the
+	// cancellation tests use it to hold the stream open until a cancel has
+	// provably reached the handler, making mid-stream cut-off deterministic.
+	streamRowHook func(ctx context.Context)
 }
 
 // New builds a Service over the single database db, registered under
@@ -196,73 +198,6 @@ func (s *Service) engine(seed int64, h *registry.Handle) *ppd.Engine {
 	return e
 }
 
-// Eval parses and evaluates one query (a CQ or a union of CQs) against
-// DefaultModel, sharing the service's solve cache with every other request.
-func (s *Service) Eval(query string) (*ppd.EvalResult, error) {
-	return s.EvalModelCtx(context.Background(), "", query)
-}
-
-// EvalCtx is Eval with cancellation and deadline awareness: a done ctx
-// (client disconnect, deadline) aborts in-flight solver layers and sampling
-// rounds, and MethodAdaptive budgets each group from the ctx deadline.
-func (s *Service) EvalCtx(ctx context.Context, query string) (*ppd.EvalResult, error) {
-	return s.EvalModelCtx(ctx, "", query)
-}
-
-// EvalModelCtx is EvalCtx routed to the named model ("" means
-// DefaultModel). The model stays open — immune to catalog deletion — until
-// the evaluation returns.
-func (s *Service) EvalModelCtx(ctx context.Context, model, query string) (*ppd.EvalResult, error) {
-	uq, err := ppd.ParseUnion(query)
-	if err != nil {
-		return nil, err
-	}
-	h, err := s.open(model)
-	if err != nil {
-		return nil, err
-	}
-	defer h.Close()
-	res, err := s.engine(s.cfg.Seed, h).EvalUnionCtx(ctx, uq)
-	if err != nil {
-		return nil, &evalError{err}
-	}
-	s.evals.Add(1)
-	s.solves.Add(uint64(res.Solves))
-	return res, nil
-}
-
-// TopK parses and answers the Most-Probable-Session query top(Q, k) against
-// DefaultModel with boundEdges upper-bound edges (0 = naive).
-func (s *Service) TopK(query string, k, boundEdges int) ([]ppd.SessionProb, *ppd.TopKDiag, error) {
-	return s.TopKModelCtx(context.Background(), "", query, k, boundEdges)
-}
-
-// TopKCtx is TopK with cancellation and deadline awareness.
-func (s *Service) TopKCtx(ctx context.Context, query string, k, boundEdges int) ([]ppd.SessionProb, *ppd.TopKDiag, error) {
-	return s.TopKModelCtx(ctx, "", query, k, boundEdges)
-}
-
-// TopKModelCtx is TopKCtx routed to the named model ("" means
-// DefaultModel).
-func (s *Service) TopKModelCtx(ctx context.Context, model, query string, k, boundEdges int) ([]ppd.SessionProb, *ppd.TopKDiag, error) {
-	uq, err := ppd.ParseUnion(query)
-	if err != nil {
-		return nil, nil, err
-	}
-	h, err := s.open(model)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer h.Close()
-	top, diag, err := s.engine(s.cfg.Seed, h).TopKUnionCtx(ctx, uq, k, boundEdges)
-	if err != nil {
-		return nil, nil, &evalError{err}
-	}
-	s.topks.Add(1)
-	s.solves.Add(uint64(diag.ExactSolves + diag.BoundSolves))
-	return top, diag, nil
-}
-
 // BatchResult reports an EvalBatch: one EvalResult per query (in request
 // order) plus batch-level dedup accounting.
 type BatchResult struct {
@@ -279,185 +214,6 @@ type BatchResult struct {
 	// CacheHits counts groups answered from the shared cache.
 	// Solved + CacheHits == Groups.
 	CacheHits int
-}
-
-// EvalBatch evaluates a batch of queries as one unit: every query is
-// grounded first, the per-session inference groups are deduplicated across
-// all queries of the batch (the cross-query generalization of the paper's
-// Section 6.4 grouping), cached results are taken from the shared solve
-// cache, and only the remaining distinct groups are solved by a bounded
-// worker pool. Identical or overlapping queries therefore cost one solver
-// invocation per distinct group, not per query.
-//
-// For the exact methods, per-query probabilities are identical to evaluating
-// each query alone. For the sampling methods each group's seed derives from
-// its batch-wide group index (and warm cache entries replay earlier
-// estimates), so estimates are deterministic per batch+seed but can differ
-// from a standalone evaluation of the same query. A query's
-// EvalResult.Solves / CacheHits attribute each group to the first query of
-// the batch that needed it.
-func (s *Service) EvalBatch(queries []string) (*BatchResult, error) {
-	return s.EvalBatchModelCtx(context.Background(), "", queries)
-}
-
-// EvalBatchCtx is EvalBatch with cancellation and deadline awareness: once
-// ctx is done the worker pool stops claiming groups, in-flight solver
-// layers and sampling rounds abort, and the batch returns ctx's error; with
-// MethodAdaptive each group's exact-vs-sampling routing is budgeted from
-// the ctx deadline.
-func (s *Service) EvalBatchCtx(ctx context.Context, queries []string) (*BatchResult, error) {
-	return s.EvalBatchModelCtx(ctx, "", queries)
-}
-
-// EvalBatchModelCtx is EvalBatchCtx routed to the named model ("" means
-// DefaultModel): the whole batch is grounded against that model's database
-// and its cache traffic stays inside the model's namespace.
-func (s *Service) EvalBatchModelCtx(ctx context.Context, model string, queries []string) (*BatchResult, error) {
-	h, err := s.open(model)
-	if err != nil {
-		return nil, err
-	}
-	defer h.Close()
-	type ref struct {
-		sess *ppd.Session
-		gi   int
-	}
-	type batchGroup struct {
-		sm    rim.SessionModel
-		u     pattern.Union
-		key   string
-		first int // index of the first query referencing the group
-	}
-	var (
-		groupOf = make(map[string]int)
-		groups  []batchGroup
-		perQ    = make([][]ref, len(queries))
-		br      = &BatchResult{Results: make([]*ppd.EvalResult, len(queries))}
-	)
-	// With the adaptive method an expired deadline degrades remaining groups
-	// to sampling instead of aborting the batch: the grounding loop and the
-	// pool fan-out run deadline-detached (cancellation still aborts), while
-	// each group's solve sees the original ctx for budgeting.
-	adaptive := s.cfg.Method == ppd.MethodAdaptive
-	loopCtx := ctx
-	if adaptive {
-		var cancel context.CancelFunc
-		loopCtx, cancel = ppd.DetachDeadline(ctx)
-		defer cancel()
-	}
-	for qi, src := range queries {
-		if err := loopCtx.Err(); err != nil {
-			return nil, &evalError{context.Cause(loopCtx)}
-		}
-		uq, err := ppd.ParseUnion(src)
-		if err != nil {
-			return nil, fmt.Errorf("server: query %d: %w", qi+1, err)
-		}
-		grounders, err := ppd.UnionGrounders(h.DB(), uq)
-		if err != nil {
-			return nil, &evalError{fmt.Errorf("server: query %d: %w", qi+1, err)}
-		}
-		for _, sess := range grounders[0].Pref().Sessions {
-			u, err := ppd.GroundMerged(grounders, sess)
-			if err != nil {
-				return nil, &evalError{fmt.Errorf("server: query %d: %w", qi+1, err)}
-			}
-			if len(u) == 0 {
-				continue
-			}
-			key := ppd.GroupKey(s.cfg.Method, sess.Model, u)
-			gi, ok := groupOf[key]
-			if !ok {
-				gi = len(groups)
-				groupOf[key] = gi
-				groups = append(groups, batchGroup{sm: sess.Model, u: u, key: key, first: qi})
-			}
-			perQ[qi] = append(perQ[qi], ref{sess: sess, gi: gi})
-			br.Instances++
-		}
-	}
-	br.Groups = len(groups)
-
-	// Resolve groups from the shared cache (inside the model's namespace),
-	// then fan the misses out to the worker pool. Seeds derive from the
-	// group index so sampling answers are deterministic for a fixed
-	// Config.Seed regardless of pool scheduling.
-	ns := h.Name() + nsSep
-	probs := make([]float64, len(groups))
-	reports := make([]ppd.SolveReport, len(groups))
-	cached := make([]bool, len(groups))
-	var pending []int
-	for gi := range groups {
-		if s.cache != nil {
-			if p, ok := s.cache.Get(ns + groups[gi].key); ok {
-				probs[gi] = p
-				cached[gi] = true
-				br.CacheHits++
-				continue
-			}
-		}
-		pending = append(pending, gi)
-	}
-	br.Solved = len(pending)
-	err = pool.RunCtx(loopCtx, len(pending), s.cfg.Workers, func(pi int) error {
-		gi := pending[pi]
-		eng := s.engine(s.cfg.Seed+int64(gi), h)
-		eng.Workers = 1 // the pool is the parallelism
-		p, rep, err := eng.SolveUnionCtx(ctx, groups[gi].sm, groups[gi].u)
-		if err != nil {
-			return fmt.Errorf("server: query %d: %w", groups[gi].first+1, err)
-		}
-		probs[gi] = p
-		reports[gi] = rep
-		if s.cache != nil {
-			s.cache.Put(ns+groups[gi].key, p)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, &evalError{err}
-	}
-
-	// Aggregate per query with the engine's own aggregation. Solves and
-	// CacheHits attribute each group's cost to the first query that
-	// referenced it (batch accounting); the adaptive plan instead reflects
-	// each query's own view — every distinct freshly-solved group the query
-	// references counts toward its routing totals, matching the propagated
-	// half-widths, so shared groups appear in every referencing query's
-	// plan (cache hits replay a point answer and contribute no width).
-	for qi := range queries {
-		per := make([]ppd.SessionProb, len(perQ[qi]))
-		hw := make([]float64, len(perQ[qi]))
-		seen := make(map[int]bool)
-		for i, r := range perQ[qi] {
-			per[i] = ppd.SessionProb{Session: r.sess, Prob: probs[r.gi]}
-			if !cached[r.gi] {
-				hw[i] = reports[r.gi].HalfWidth
-			}
-		}
-		br.Results[qi] = ppd.BoolAggregate(per)
-		if adaptive {
-			plan := ppd.BatchPlan(per, hw)
-			for _, r := range perQ[qi] {
-				if !cached[r.gi] && !seen[r.gi] {
-					seen[r.gi] = true
-					plan.Note(reports[r.gi])
-				}
-			}
-			br.Results[qi].Plan = plan
-		}
-	}
-	for gi, g := range groups {
-		if cached[gi] {
-			br.Results[g.first].CacheHits++
-		} else {
-			br.Results[g.first].Solves++
-		}
-	}
-	s.batches.Add(1)
-	s.evals.Add(uint64(len(queries)))
-	s.solves.Add(uint64(br.Solved))
-	return br, nil
 }
 
 // TopKRequest is one query of a TopKBatch.
@@ -478,64 +234,3 @@ type TopKResult struct {
 	Diag *ppd.TopKDiag
 }
 
-// TopKBatch answers a batch of Most-Probable-Session queries on the bounded
-// worker pool. Each query runs the standard top-k machinery (its early
-// termination depends on per-query bound ordering, so exact solves are not
-// pre-deduplicated across queries); cross-query sharing still happens
-// through the shared solve cache, so repeated or overlapping queries reuse
-// each other's exact per-group results.
-func (s *Service) TopKBatch(reqs []TopKRequest) ([]*TopKResult, error) {
-	return s.TopKBatchModelCtx(context.Background(), "", reqs)
-}
-
-// TopKBatchCtx is TopKBatch with cancellation and deadline awareness (see
-// EvalBatchCtx).
-func (s *Service) TopKBatchCtx(ctx context.Context, reqs []TopKRequest) ([]*TopKResult, error) {
-	return s.TopKBatchModelCtx(ctx, "", reqs)
-}
-
-// TopKBatchModelCtx is TopKBatchCtx routed to the named model ("" means
-// DefaultModel).
-func (s *Service) TopKBatchModelCtx(ctx context.Context, model string, reqs []TopKRequest) ([]*TopKResult, error) {
-	h, err := s.open(model)
-	if err != nil {
-		return nil, err
-	}
-	defer h.Close()
-	parsed := make([]*ppd.UnionQuery, len(reqs))
-	for i, r := range reqs {
-		uq, err := ppd.ParseUnion(r.Query)
-		if err != nil {
-			return nil, fmt.Errorf("server: query %d: %w", i+1, err)
-		}
-		parsed[i] = uq
-	}
-	// As in EvalBatchCtx: with the adaptive method an expired deadline
-	// degrades per-query groups to sampling instead of aborting the fan-out.
-	loopCtx := ctx
-	if s.cfg.Method == ppd.MethodAdaptive {
-		var cancel context.CancelFunc
-		loopCtx, cancel = ppd.DetachDeadline(ctx)
-		defer cancel()
-	}
-	out := make([]*TopKResult, len(reqs))
-	var total atomic.Uint64
-	err = pool.RunCtx(loopCtx, len(reqs), s.cfg.Workers, func(ri int) error {
-		eng := s.engine(s.cfg.Seed+int64(ri), h)
-		eng.Workers = 1 // the pool is the parallelism
-		top, diag, err := eng.TopKUnionCtx(ctx, parsed[ri], reqs[ri].K, reqs[ri].Bound)
-		if err != nil {
-			return fmt.Errorf("server: query %d: %w", ri+1, err)
-		}
-		out[ri] = &TopKResult{Top: top, Diag: diag}
-		total.Add(uint64(diag.ExactSolves + diag.BoundSolves))
-		return nil
-	})
-	if err != nil {
-		return nil, &evalError{err}
-	}
-	s.batches.Add(1)
-	s.topks.Add(uint64(len(reqs)))
-	s.solves.Add(total.Load())
-	return out, nil
-}

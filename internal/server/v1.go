@@ -1,0 +1,349 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"probpref/internal/ppd"
+)
+
+// This file is the versioned HTTP surface: POST /v1/query accepts the wire
+// form of the unified ppd.Request — one endpoint for every query kind,
+// single or batch, with NDJSON streaming of top-k session rows — and the
+// legacy /eval and /topk endpoints are thin adapters over the same path
+// (see http.go).
+
+// V1Request is the wire form of one unified query request (the body of
+// POST /v1/query, or one element of its "requests" batch).
+type V1Request struct {
+	// Kind is the query class: bool | count | topk | aggregate | countdist.
+	Kind string `json:"kind"`
+	// Query is the conjunctive query, or a "|"-union of CQs.
+	Query string `json:"query"`
+	// Model names the catalog model to run against ("" = default).
+	Model string `json:"model,omitempty"`
+	// Method forces the inference solver ("" keeps the daemon's -method).
+	Method string `json:"method,omitempty"`
+	// K is how many sessions a topk request returns (required for topk).
+	K int `json:"k,omitempty"`
+	// Bound is the number of topk upper-bound edges (0 = naive).
+	Bound int `json:"bound,omitempty"`
+	// TimeoutMS arms a per-request deadline: with the adaptive method the
+	// planner budgets each group from it (degrading to sampling with error
+	// bars); otherwise the evaluation aborts when it expires.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Seed reseeds the sampling methods for this request (0 keeps the
+	// daemon's -seed).
+	Seed int64 `json:"seed,omitempty"`
+	// AggRel names the o-relation providing the aggregated attribute
+	// (aggregate kind only).
+	AggRel string `json:"agg_rel,omitempty"`
+	// AggAttr names the numeric attribute of AggRel to aggregate
+	// (aggregate kind only).
+	AggAttr string `json:"agg_attr,omitempty"`
+	// PerSession includes per-session probabilities in the result.
+	PerSession bool `json:"per_session,omitempty"`
+	// Stream switches a single topk request to an NDJSON response that
+	// emits one session row per line (not valid in a batch).
+	Stream bool `json:"stream,omitempty"`
+}
+
+// V1Body is the body of POST /v1/query: either one request inline, or a
+// batch of requests under "requests".
+type V1Body struct {
+	V1Request
+	// Requests is the batch form; when set, the inline fields must be
+	// empty.
+	Requests []V1Request `json:"requests,omitempty"`
+}
+
+// AggregateJSON is the wire form of an aggregation answer.
+type AggregateJSON struct {
+	// Sum is E[sum of the attribute over satisfying sessions].
+	Sum float64 `json:"sum"`
+	// Count is E[number of satisfying sessions].
+	Count float64 `json:"count"`
+	// Avg is Sum / Count; omitted when Count is 0 (undefined).
+	Avg *float64 `json:"avg,omitempty"`
+	// Sessions counts sessions with a defined attribute value.
+	Sessions int `json:"sessions"`
+}
+
+// CountDistJSON is the wire form of an exact count distribution.
+type CountDistJSON struct {
+	// N is the number of sessions (the distribution's support is 0..N).
+	N int `json:"n"`
+	// Mean is the expected count (the Count-Session answer).
+	Mean float64 `json:"mean"`
+	// StdDev is the standard deviation of the count.
+	StdDev float64 `json:"stddev"`
+	// Mode is the most probable count.
+	Mode int `json:"mode"`
+	// Median is the 0.5-quantile of the count.
+	Median int `json:"median"`
+	// Lo95 is the lower bound of the central 95% interval.
+	Lo95 int `json:"lo95"`
+	// Hi95 is the upper bound of the central 95% interval.
+	Hi95 int `json:"hi95"`
+	// PMF[k] = Pr(exactly k sessions satisfy Q).
+	PMF []float64 `json:"pmf"`
+}
+
+// V1Result is the unified wire form of one /v1/query answer: the sections
+// a kind does not produce are omitted.
+type V1Result struct {
+	// Kind echoes the request's query class.
+	Kind string `json:"kind"`
+	// Prob is the Boolean confidence Pr(Q|D).
+	Prob float64 `json:"prob"`
+	// Count is the Count-Session expectation.
+	Count float64 `json:"count"`
+	// LiveSessions counts sessions with a non-empty grounded union.
+	LiveSessions int `json:"live_sessions"`
+	// Solves counts fresh solver invocations behind the answer.
+	Solves int `json:"solves"`
+	// CacheHits counts inference groups answered from the shared cache.
+	CacheHits int `json:"cache_hits"`
+	// Top lists the k most probable sessions, best first (topk kind).
+	Top []SessionProbJSON `json:"top,omitempty"`
+	// PerSession lists per-session probabilities (with per_session set).
+	PerSession []SessionProbJSON `json:"per_session,omitempty"`
+	// Diag reports the work of a topk evaluation.
+	Diag *TopKDiagJSON `json:"diag,omitempty"`
+	// Plan reports the adaptive planner's routing and confidence
+	// half-widths (method "adaptive" only).
+	Plan *PlanJSON `json:"plan,omitempty"`
+	// Aggregate is the aggregation answer (aggregate kind).
+	Aggregate *AggregateJSON `json:"aggregate,omitempty"`
+	// CountDist is the exact count distribution (countdist kind).
+	CountDist *CountDistJSON `json:"countdist,omitempty"`
+}
+
+// V1Response is the JSON (non-streaming) response of POST /v1/query.
+type V1Response struct {
+	// Result is the single-request answer.
+	Result *V1Result `json:"result,omitempty"`
+	// Results holds the batch answers, in request order.
+	Results []V1Result `json:"results,omitempty"`
+	// Batch reports the grouped path's dedup accounting (batch form only;
+	// zeroes when the batch fanned out request-by-request).
+	Batch *BatchJSON `json:"batch,omitempty"`
+}
+
+// toRequest converts the wire request into the typed ppd.Request.
+func (vr *V1Request) toRequest() (*ppd.Request, error) {
+	kind, err := ppd.ParseKind(vr.Kind)
+	if err != nil {
+		return nil, err
+	}
+	req := &ppd.Request{
+		Kind:       kind,
+		Query:      vr.Query,
+		Model:      vr.Model,
+		K:          vr.K,
+		BoundEdges: vr.Bound,
+		Seed:       vr.Seed,
+		AggRel:     vr.AggRel,
+		AggAttr:    vr.AggAttr,
+	}
+	if vr.Method != "" {
+		if req.Method, err = ppd.ParseMethod(vr.Method); err != nil {
+			return nil, err
+		}
+	}
+	if vr.TimeoutMS < 0 {
+		return nil, fmt.Errorf("timeout_ms must be non-negative")
+	}
+	req.Deadline = time.Duration(vr.TimeoutMS) * time.Millisecond
+	return req, nil
+}
+
+// v1Result converts a unified response into its wire form.
+func v1Result(resp *ppd.Response, perSession bool) V1Result {
+	out := V1Result{
+		Kind:         resp.Kind.String(),
+		Prob:         resp.Prob,
+		Count:        resp.Count,
+		LiveSessions: len(resp.PerSession),
+		Solves:       resp.Solves,
+		CacheHits:    resp.CacheHits,
+	}
+	for _, sp := range resp.Top {
+		out.Top = append(out.Top, SessionProbJSON{Session: sp.Session.Key, Prob: sp.Prob})
+	}
+	if perSession {
+		for _, sp := range resp.PerSession {
+			out.PerSession = append(out.PerSession, SessionProbJSON{Session: sp.Session.Key, Prob: sp.Prob})
+		}
+	}
+	if d := resp.Diag; d != nil {
+		out.Diag = &TopKDiagJSON{
+			BoundSolves:       d.BoundSolves,
+			ExactSolves:       d.ExactSolves,
+			SessionsEvaluated: d.SessionsEvaluated,
+			CacheHits:         d.CacheHits,
+		}
+	}
+	if p := resp.Plan; p != nil {
+		out.Plan = &PlanJSON{
+			ExactGroups:    p.ExactGroups,
+			SampledGroups:  p.SampledGroups,
+			Samples:        p.Samples,
+			MaxHalfWidth:   p.MaxHalfWidth,
+			ProbHalfWidth:  p.ProbHalfWidth,
+			CountHalfWidth: p.CountHalfWidth,
+			Methods:        p.Methods,
+		}
+	}
+	if a := resp.Agg; a != nil {
+		out.Aggregate = &AggregateJSON{Sum: a.Sum, Count: a.Count, Sessions: a.Sessions}
+		if !math.IsNaN(a.Avg) {
+			avg := a.Avg
+			out.Aggregate.Avg = &avg
+		}
+	}
+	if d := resp.Dist; d != nil {
+		out.CountDist = &CountDistJSON{
+			N:      d.N(),
+			Mean:   d.Mean(),
+			StdDev: d.StdDev(),
+			Mode:   d.Mode(),
+			Median: d.Quantile(0.5),
+			Lo95:   d.Quantile(0.025),
+			Hi95:   d.Quantile(0.975),
+			PMF:    d.PMF,
+		}
+	}
+	return out
+}
+
+// handleV1Query serves POST /v1/query: the unified query endpoint. A body
+// with "requests" answers the batch through DoBatch; an inline request
+// answers through Do, as NDJSON when "stream" is set.
+func (s *Service) handleV1Query(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var body V1Body
+	if err := dec.Decode(&body); err != nil {
+		serveJSON(w, func() (any, error) { return nil, fmt.Errorf("decoding body: %w", err) })
+		return
+	}
+	if len(body.Requests) > 0 {
+		serveJSON(w, func() (any, error) { return s.v1Batch(r.Context(), body) })
+		return
+	}
+	req, err := body.V1Request.toRequest()
+	if err != nil {
+		serveJSON(w, func() (any, error) { return nil, err })
+		return
+	}
+	if body.Stream {
+		s.v1Stream(w, r, req)
+		return
+	}
+	serveJSON(w, func() (any, error) {
+		resp, err := s.Do(r.Context(), req)
+		if err != nil {
+			return nil, err
+		}
+		res := v1Result(resp, body.PerSession)
+		return &V1Response{Result: &res}, nil
+	})
+}
+
+// v1Batch answers the batch form of POST /v1/query.
+func (s *Service) v1Batch(ctx context.Context, body V1Body) (*V1Response, error) {
+	// Any inline request field alongside "requests" is rejected rather than
+	// silently ignored: a top-level model or timeout_ms that did not apply
+	// would return well-formed but wrong answers.
+	if body.V1Request != (V1Request{}) {
+		return nil, fmt.Errorf("batch body must not mix inline request fields with requests; set fields per request")
+	}
+	reqs := make([]*ppd.Request, len(body.Requests))
+	for i := range body.Requests {
+		if body.Requests[i].Stream {
+			return nil, fmt.Errorf("query %d: stream is only valid for a single request", i+1)
+		}
+		req, err := body.Requests[i].toRequest()
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i+1, err)
+		}
+		reqs[i] = req
+	}
+	br, err := s.DoBatch(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := &V1Response{Batch: &BatchJSON{
+		Groups:    br.Groups,
+		Instances: br.Instances,
+		Solved:    br.Solved,
+		CacheHits: br.CacheHits,
+	}}
+	for i, resp := range br.Responses {
+		out.Results = append(out.Results, v1Result(resp, body.Requests[i].PerSession))
+	}
+	return out, nil
+}
+
+// v1Stream answers one request as NDJSON: the first line is the V1Result
+// summary (diagnostics and plan included, session rows elided), each
+// following line is one session row, flushed as produced so consumers read
+// results incrementally. A client disconnect (or the request deadline)
+// stops the stream between rows with a final {"error": ...} line.
+func (s *Service) v1Stream(w http.ResponseWriter, r *http.Request, req *ppd.Request) {
+	if req.Kind != ppd.KindTopK {
+		serveJSON(w, func() (any, error) {
+			return nil, fmt.Errorf("stream is only valid for kind topk, not %s", req.Kind)
+		})
+		return
+	}
+	// One deadline covers the whole exchange — evaluation and emission —
+	// so the budget is armed here instead of inside Do (whose internal
+	// deadline would end when the evaluation returns, leaving the
+	// streaming phase ungoverned).
+	ctx := r.Context()
+	if req.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Deadline)
+		defer cancel()
+		detached := *req
+		detached.Deadline = 0
+		req = &detached
+	}
+	resp, err := s.Do(ctx, req)
+	if err != nil {
+		serveJSON(w, func() (any, error) { return nil, err })
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	head := v1Result(resp, false)
+	head.Top = nil // rows follow line by line
+	enc.Encode(head)
+	flush()
+	for sp, err := range resp.Sessions(ctx) {
+		if err != nil {
+			enc.Encode(map[string]string{"error": err.Error()})
+			flush()
+			return
+		}
+		if err := enc.Encode(SessionProbJSON{Session: sp.Session.Key, Prob: sp.Prob}); err != nil {
+			return // client gone; stop emitting
+		}
+		flush()
+		if s.streamRowHook != nil {
+			s.streamRowHook(ctx)
+		}
+	}
+}

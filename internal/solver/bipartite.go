@@ -187,7 +187,8 @@ func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Opti
 	for i := range init {
 		init[i] = absent
 	}
-	cur := map[string]float64{enc(header{}, init): 1}
+	cur := newLayer(1)
+	cur.add(enc(header{}, init), 1)
 	prob := 0.0
 	vals := make([]int16, nSlots)
 	next := make([]int16, nSlots)
@@ -197,7 +198,7 @@ func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Opti
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		nxt := make(map[string]float64, len(cur))
+		nxt := newLayer(cur.len())
 		rem := func(setIdx int) int { return remaining[setIdx][i+1] }
 		itemMatchesSet := make(map[int]bool)
 		for si, ls := range setList {
@@ -205,7 +206,8 @@ func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Opti
 				itemMatchesSet[si] = true
 			}
 		}
-		for key, q := range cur {
+		for ki, key := range cur.keys {
+			q := cur.vals[ki]
 			if checkEvery++; checkEvery&1023 == 0 {
 				if err := ctx.Err(); err != nil {
 					return 0, err
@@ -308,11 +310,11 @@ func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Opti
 						}
 					}
 				}
-				nxt[enc(nh, next)] += p
+				nxt.add(enc(nh, next), p)
 			}
 		}
-		opts.note(len(nxt))
-		if err := opts.checkStates(len(nxt)); err != nil {
+		opts.note(nxt.len())
+		if err := opts.checkStates(nxt.len()); err != nil {
 			return 0, err
 		}
 		cur = nxt

@@ -98,15 +98,17 @@ func BipartiteBasic(model *rim.Model, lab *label.Labeling, u pattern.Union, opts
 	for i := range init {
 		init[i] = absent
 	}
-	cur := map[string]float64{enc(init): 1}
+	cur := newLayer(1)
+	cur.add(enc(init), 1)
 	vals := make([]int16, n)
 	next := make([]int16, n)
 	for i := 0; i < m; i++ {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		nxt := make(map[string]float64, len(cur))
-		for key, q := range cur {
+		nxt := newLayer(cur.len())
+		for ki, key := range cur.keys {
+			q := cur.vals[ki]
 			dec(key, vals)
 			for j := 0; j <= i; j++ {
 				jj := int16(j)
@@ -127,11 +129,11 @@ func BipartiteBasic(model *rim.Model, lab *label.Labeling, u pattern.Union, opts
 						}
 					}
 				}
-				nxt[enc(next)] += q * model.Pi(i, j)
+				nxt.add(enc(next), q*model.Pi(i, j))
 			}
 		}
-		opts.note(len(nxt))
-		if err := opts.checkStates(len(nxt)); err != nil {
+		opts.note(nxt.len())
+		if err := opts.checkStates(nxt.len()); err != nil {
 			return 0, err
 		}
 		cur = nxt
@@ -141,7 +143,8 @@ func BipartiteBasic(model *rim.Model, lab *label.Labeling, u pattern.Union, opts
 	// alpha(l) < beta(r) and every isolated node present.
 	prob := 0.0
 	existSlot := func(ls label.Set) int { return slotOf[roleKey{ls.Key(), true}] }
-	for key, q := range cur {
+	for ki, key := range cur.keys {
+		q := cur.vals[ki]
 		dec(key, vals)
 		for pi := range u {
 			ok := true

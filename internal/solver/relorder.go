@@ -88,7 +88,8 @@ func RelOrder(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Optio
 		return v
 	}
 
-	cur := map[string]float64{"": 1}
+	cur := newLayer(1)
+	cur.add("", 1)
 	prob := 0.0
 	piPrefix := make([]float64, m+2)
 
@@ -98,7 +99,7 @@ func RelOrder(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Optio
 		}
 		x := model.Sigma()[i]
 		_, isInvolved := tIdx[x]
-		nxt := make(map[string]float64, len(cur))
+		nxt := newLayer(cur.len())
 		// Prefix sums of the insertion row for gap merging.
 		piPrefix[0] = 0
 		for j := 0; j <= i; j++ {
@@ -106,7 +107,8 @@ func RelOrder(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Optio
 		}
 		rangeWeight := func(lo, hi int) float64 { return piPrefix[hi+1] - piPrefix[lo] }
 
-		for key, q := range cur {
+		for ki, key := range cur.keys {
+			q := cur.vals[ki]
 			es := dec(key)
 			if isInvolved {
 				for j := 0; j <= i; j++ {
@@ -134,7 +136,7 @@ func RelOrder(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Optio
 						prob += p
 						continue
 					}
-					nxt[enc(ne)] += p
+					nxt.add(enc(ne), p)
 				}
 				continue
 			}
@@ -157,15 +159,15 @@ func RelOrder(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Optio
 					for k := g; k < len(ne); k++ {
 						ne[k].pos++
 					}
-					nxt[enc(ne)] += q * w
+					nxt.add(enc(ne), q*w)
 				}
 				if g < len(es) {
 					lo = int(es[g].pos) + 1
 				}
 			}
 		}
-		opts.note(len(nxt))
-		if err := opts.checkStates(len(nxt)); err != nil {
+		opts.note(nxt.len())
+		if err := opts.checkStates(nxt.len()); err != nil {
 			return 0, err
 		}
 		cur = nxt

@@ -95,7 +95,8 @@ func TwoLabel(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Optio
 	for i := range init {
 		init[i] = absent
 	}
-	cur := map[string]float64{enc(init): 1}
+	cur := newLayer(1)
+	cur.add(enc(init), 1)
 	vals := make([]int16, n)
 	next := make([]int16, n)
 	checkEvery := 0
@@ -103,8 +104,9 @@ func TwoLabel(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Optio
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		nxt := make(map[string]float64, len(cur))
-		for key, q := range cur {
+		nxt := newLayer(cur.len())
+		for ki, key := range cur.keys {
+			q := cur.vals[ki]
 			if checkEvery++; checkEvery&1023 == 0 {
 				if err := ctx.Err(); err != nil {
 					return 0, err
@@ -135,17 +137,17 @@ func TwoLabel(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Optio
 				if satisfied(next) {
 					continue // pruned: this state satisfies G forever
 				}
-				nxt[enc(next)] += q * model.Pi(i, j)
+				nxt.add(enc(next), q*model.Pi(i, j))
 			}
 		}
-		opts.note(len(nxt))
-		if err := opts.checkStates(len(nxt)); err != nil {
+		opts.note(nxt.len())
+		if err := opts.checkStates(nxt.len()); err != nil {
 			return 0, err
 		}
 		cur = nxt
 	}
 	violate := 0.0
-	for _, q := range cur {
+	for _, q := range cur.vals {
 		violate += q
 	}
 	p := 1 - violate

@@ -54,16 +54,25 @@
 //     models with lazy builds, startup manifests and reference-counted
 //     eviction, served simultaneously by a multi-model Service whose
 //     shared solve cache namespaces keys per model (NewRegistry,
-//     OpenDataset, NewMultiService, cmd/hardqd -manifest).
+//     OpenDataset, NewMultiService, cmd/hardqd -manifest);
+//   - the unified query API: one typed Request (Kind: bool | count | topk |
+//     aggregate | countdist) validated by Request.Compile and answered
+//     through a single entry point per layer — Engine.Do, Service.Do and
+//     Service.DoBatch, and the daemon's versioned POST /v1/query endpoint
+//     with NDJSON streaming of top-k rows. The per-kind methods (Eval,
+//     TopK, CountSession, ...) remain as the documented compatibility
+//     surface, each a thin wrapper over Do with byte-identical results
+//     (Request, Response, Kind, ParseKind).
 //
 // # Quick start
 //
 //	db, _ := probpref.Figure1()
 //	eng := &probpref.Engine{DB: db, Method: probpref.MethodAuto}
-//	q, _ := probpref.ParseQuery(
-//		`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
-//	res, _ := eng.Eval(q)
-//	fmt.Println(res.Prob) // probability a female candidate is preferred to a male one
+//	resp, _ := eng.Do(context.Background(), &probpref.Request{
+//		Kind:  probpref.KindBool,
+//		Query: `P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`,
+//	})
+//	fmt.Println(resp.Prob) // probability a female candidate is preferred to a male one
 //
 // See the examples directory for end-to-end programs, docs/ARCHITECTURE.md
 // for the layer-by-layer walkthrough of the serving stack, docs/API.md for
@@ -261,6 +270,44 @@ const (
 // name enumerates the valid names.
 func ParseMethod(s string) (Method, error) { return ppd.ParseMethod(s) }
 
+// Unified query API.
+type (
+	// Request is the single typed request shape of the query API: one value
+	// describes any query class, validated by Request.Compile and answered
+	// by Engine.Do, Service.Do/DoBatch or the daemon's POST /v1/query.
+	Request = ppd.Request
+	// Response is the unified answer of the query API; the sections a Kind
+	// does not produce stay zero, and Response.Sessions streams the
+	// per-session rows as an iterator.
+	Response = ppd.Response
+	// CompiledRequest is the validated, executable form of a Request.
+	CompiledRequest = ppd.CompiledRequest
+	// Kind selects the query class of a Request.
+	Kind = ppd.Kind
+)
+
+// Query kinds of the unified API.
+const (
+	// KindBool asks for the Boolean confidence Pr(Q | D).
+	KindBool = ppd.KindBool
+	// KindCount asks for the Count-Session expectation count(Q).
+	KindCount = ppd.KindCount
+	// KindTopK asks for the Most-Probable-Session answer top(Q, k).
+	KindTopK = ppd.KindTopK
+	// KindAggregate asks for sum/avg of an attribute over satisfying
+	// sessions.
+	KindAggregate = ppd.KindAggregate
+	// KindCountDist asks for the exact distribution of count(Q).
+	KindCountDist = ppd.KindCountDist
+)
+
+// ParseKind resolves a kind name to its Kind; the error of an unknown name
+// enumerates the valid names.
+func ParseKind(s string) (Kind, error) { return ppd.ParseKind(s) }
+
+// KindNames lists the canonical kind names ParseKind accepts.
+func KindNames() []string { return ppd.KindNames() }
+
 // EstimateCost predicts the cheapest adequate exact solver and its work for
 // one (session model, pattern union) inference group; MethodAdaptive's
 // planner routes on it.
@@ -290,6 +337,9 @@ type (
 	TopKRequest = server.TopKRequest
 	// TopKResult is one answer of a Service.TopKBatch.
 	TopKResult = server.TopKResult
+	// DoBatchResult reports a Service.DoBatch: unified responses plus the
+	// grouped path's inference-dedup accounting.
+	DoBatchResult = server.DoBatchResult
 )
 
 // NewSolveCache builds the sharded LRU solve cache holding up to capacity
