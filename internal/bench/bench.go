@@ -1,11 +1,15 @@
 // Package bench is the benchmark regression harness: a fixed set of named
 // micro-benchmarks over the solver, sampling, planner and service hot
 // paths, runnable outside `go test` so cmd/experiments can emit a
-// machine-readable report (BENCH_PR4.json; earlier PRs archived
-// BENCH_PR2.json with the same format) for CI to archive and compare
-// across PRs. The do/* cases measure the unified request API against the
-// legacy entry points it wraps, so any regression from the Do indirection
-// shows up as a ratio drift between the paired cases.
+// machine-readable report (BENCH_PR5.json; earlier PRs archived
+// BENCH_PR2.json and BENCH_PR4.json with the same format) for CI to
+// archive and compare across PRs. The do/* cases measure the unified
+// request API against the legacy entry points it wraps, so any regression
+// from the Do indirection shows up as a ratio drift between the paired
+// cases; the solver/* cases gate the packed-state DP core, and every
+// measurement also reports allocations per op so steady-state allocation
+// regressions (a recycled arena that stops being recycled) fail the
+// compare step like time regressions do.
 package bench
 
 import (
@@ -14,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"path"
 	"runtime"
 	"time"
 
@@ -33,9 +39,13 @@ type Result struct {
 	N int `json:"n"`
 	// NsPerOp is the measured nanoseconds per iteration.
 	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is the measured heap allocations per iteration (averaged
+	// over the timed batch; single-threaded harness, so the runtime counter
+	// is exact up to background GC noise).
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// Report is the benchmark report file format (BENCH_PR4.json).
+// Report is the benchmark report file format (BENCH_PR5.json).
 type Report struct {
 	GoVersion string   `json:"go_version"`
 	GOOS      string   `json:"goos"`
@@ -58,6 +68,11 @@ func Cases() ([]Case, error) {
 	bipartite := dataset.BenchmarkCSlice(1, 3, 3, 3)[0] // m=10, bipartite
 	general := dataset.BenchmarkA(1)[0]
 	relorder := dataset.BenchmarkCSlice(1, 1, 2, 3)[0]
+	// A larger two-label fixture whose solve expands hundreds of thousands
+	// of transitions: its allocs/op is dominated by the fixed per-solve
+	// setup, so any per-transition allocation sneaking into the DP inner
+	// loop multiplies the number instead of nudging it.
+	allocProbe := dataset.BenchmarkD(1)[120] // m=30 slice of Benchmark-D
 
 	db, err := dataset.Figure1()
 	if err != nil {
@@ -97,6 +112,16 @@ func Cases() ([]Case, error) {
 	doReq := &ppd.Request{Kind: ppd.KindBool, Query: batchQueries[0]}
 	compileReq := &ppd.Request{Kind: ppd.KindTopK, Query: batchQueries[0], K: 3, BoundEdges: 1}
 
+	// Wide concurrent batch against a worker pool sized to the machine: the
+	// DoBatch fan-out exercises the pooled solver arenas under concurrency
+	// (every solve borrows and returns an arena), which is the serving
+	// pattern the allocation-free core exists for.
+	parSvc := server.New(db, server.Config{Workers: runtime.GOMAXPROCS(0) * 2, CacheSize: -1})
+	parRequests := make([]*ppd.Request, 16)
+	for i := range parRequests {
+		parRequests[i] = &ppd.Request{Kind: ppd.KindBool, Query: batchQueries[i%len(batchQueries)]}
+	}
+
 	return []Case{
 		{"solver/twolabel", func(int) error {
 			_, err := solver.TwoLabel(twoLabel.Model.Model(), twoLabel.Lab, twoLabel.Union, solver.Options{})
@@ -112,6 +137,14 @@ func Cases() ([]Case, error) {
 		}},
 		{"solver/relorder", func(int) error {
 			_, err := solver.RelOrder(relorder.Model.Model(), relorder.Lab, relorder.Union, solver.Options{})
+			return err
+		}},
+		// Allocation probe: a solve two orders of magnitude bigger than
+		// solver/twolabel in expansion work. Compare the two cases'
+		// allocs_per_op — near-equal means the inner loop is
+		// allocation-free and only the per-solve setup allocates.
+		{"solver/allocs", func(int) error {
+			_, err := solver.TwoLabel(allocProbe.Model.Model(), allocProbe.Lab, allocProbe.Union, solver.Options{})
 			return err
 		}},
 		// Planner routing overhead: the pure cost-estimation step the
@@ -166,6 +199,11 @@ func Cases() ([]Case, error) {
 			_, err := svc.DoBatch(context.Background(), batchRequests)
 			return err
 		}},
+		// Concurrent serving throughput over the pooled solver arenas.
+		{"service/parallel-batch", func(int) error {
+			_, err := parSvc.DoBatch(context.Background(), parRequests)
+			return err
+		}},
 	}, nil
 }
 
@@ -193,13 +231,18 @@ func Run(benchTime time.Duration) (*Report, error) {
 }
 
 // measure times batches of growing size until one takes at least target,
-// then reports that batch's per-op time. One warm-up op runs untimed.
+// then reports that batch's per-op time and allocations. One warm-up op
+// runs untimed (it also warms the solver arena pools, so the timed batch
+// sees steady-state allocation behavior).
 func measure(c Case, target time.Duration) (Result, error) {
 	if err := c.Op(0); err != nil {
 		return Result{}, err
 	}
+	var ms runtime.MemStats
 	n := 1
 	for {
+		runtime.ReadMemStats(&ms)
+		mallocs := ms.Mallocs
 		start := time.Now()
 		for i := 0; i < n; i++ {
 			if err := c.Op(i); err != nil {
@@ -207,8 +250,14 @@ func measure(c Case, target time.Duration) (Result, error) {
 			}
 		}
 		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms)
 		if elapsed >= target || n >= 1<<30 {
-			return Result{Name: c.Name, N: n, NsPerOp: float64(elapsed.Nanoseconds()) / float64(n)}, nil
+			return Result{
+				Name:        c.Name,
+				N:           n,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+				AllocsPerOp: float64(ms.Mallocs-mallocs) / float64(n),
+			}, nil
 		}
 		// Grow toward the target with headroom, at least doubling.
 		grown := int(float64(n) * 1.5 * float64(target) / float64(elapsed+1))
@@ -224,4 +273,66 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// ReadReport loads a previously archived report file.
+func ReadReport(p string) (*Report, error) {
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", p, err)
+	}
+	return &rep, nil
+}
+
+// Compare checks new against old and returns one message per regression:
+// any case matching one of the path prefixes whose ns/op grew by more than
+// maxRegress (e.g. 0.25 for +25%) regresses, as does any matching case
+// whose allocs/op grew by more than maxRegress plus an absolute floor of 8
+// allocs (absolute noise on tiny counts must not trip the gate; a true
+// 0-alloc baseline is still gated by the floor). Cases present on only one
+// side are ignored — the registry grows across PRs — and the allocation
+// gate is skipped entirely against reports from before the harness
+// recorded allocations (every case decoding as 0 allocs/op, e.g.
+// BENCH_PR2.json).
+func Compare(old, new *Report, prefixes []string, maxRegress float64) []string {
+	oldBy := make(map[string]Result, len(old.Results))
+	oldHasAllocs := false
+	for _, r := range old.Results {
+		oldBy[r.Name] = r
+		if r.AllocsPerOp > 0 {
+			oldHasAllocs = true
+		}
+	}
+	matches := func(name string) bool {
+		for _, p := range prefixes {
+			if p == "" || name == p || (len(name) > len(p) && name[:len(p)] == p && name[len(p)] == '/') {
+				return true
+			}
+			if ok, _ := path.Match(p, name); ok {
+				return true
+			}
+		}
+		return false
+	}
+	var fails []string
+	for _, nr := range new.Results {
+		or, ok := oldBy[nr.Name]
+		if !ok || !matches(nr.Name) {
+			continue
+		}
+		if or.NsPerOp > 0 && nr.NsPerOp > or.NsPerOp*(1+maxRegress) {
+			fails = append(fails, fmt.Sprintf("%s: %.0f ns/op -> %.0f ns/op (+%.0f%%, limit +%.0f%%)",
+				nr.Name, or.NsPerOp, nr.NsPerOp,
+				100*(nr.NsPerOp/or.NsPerOp-1), 100*maxRegress))
+		}
+		if oldHasAllocs && nr.AllocsPerOp > or.AllocsPerOp*(1+maxRegress)+8 {
+			fails = append(fails, fmt.Sprintf("%s: %.1f allocs/op -> %.1f allocs/op (limit +%.0f%% + 8)",
+				nr.Name, or.AllocsPerOp, nr.AllocsPerOp, 100*maxRegress))
+		}
+	}
+	return fails
 }

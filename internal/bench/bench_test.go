@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"testing"
 	"time"
 )
@@ -28,7 +29,8 @@ func TestRunSmoke(t *testing.T) {
 		}
 		seen[r.Name] = true
 	}
-	for _, want := range []string{"solver/twolabel", "planner/estimate-cost", "planner/eval-adaptive-sampled"} {
+	for _, want := range []string{"solver/twolabel", "solver/allocs", "service/parallel-batch",
+		"planner/estimate-cost", "planner/eval-adaptive-sampled"} {
 		if !seen[want] {
 			t.Fatalf("registry missing %q", want)
 		}
@@ -43,5 +45,63 @@ func TestRunSmoke(t *testing.T) {
 	}
 	if len(back.Results) != len(rep.Results) {
 		t.Fatalf("round-trip lost results: %d != %d", len(back.Results), len(rep.Results))
+	}
+}
+
+// Compare must flag only gated cases that regressed beyond the threshold,
+// on either time or allocations, and tolerate cases present on one side.
+func TestCompare(t *testing.T) {
+	old := &Report{Results: []Result{
+		{Name: "solver/twolabel", NsPerOp: 1000, AllocsPerOp: 30},
+		{Name: "do/compile", NsPerOp: 100, AllocsPerOp: 5},
+		{Name: "sampling/rejection-ci-512", NsPerOp: 1000},
+		{Name: "solver/gone", NsPerOp: 50},
+	}}
+	new := &Report{Results: []Result{
+		{Name: "solver/twolabel", NsPerOp: 1300, AllocsPerOp: 30},  // +30% time: fails
+		{Name: "do/compile", NsPerOp: 101, AllocsPerOp: 100},       // alloc blow-up: fails
+		{Name: "sampling/rejection-ci-512", NsPerOp: 9000},         // not gated
+		{Name: "solver/new-case", NsPerOp: 1, AllocsPerOp: 100000}, // no old side
+	}}
+	fails := Compare(old, new, []string{"solver/*", "do/*"}, 0.25)
+	if len(fails) != 2 {
+		t.Fatalf("want 2 regressions, got %d: %v", len(fails), fails)
+	}
+	if ok := Compare(old, old, []string{"solver/*", "do/*"}, 0.25); len(ok) != 0 {
+		t.Fatalf("self-compare must pass, got %v", ok)
+	}
+	// Old reports from before allocation recording (every case 0 allocs/op)
+	// must not produce spurious allocation regressions — only the time gate
+	// applies.
+	legacy := &Report{Results: []Result{
+		{Name: "solver/twolabel", NsPerOp: 1300},
+		{Name: "do/compile", NsPerOp: 101},
+	}}
+	if fails := Compare(legacy, new, []string{"solver/*", "do/*"}, 0.25); len(fails) != 0 {
+		t.Fatalf("legacy old report must not trigger alloc gate, got %v", fails)
+	}
+}
+
+// ReadReport round-trips what WriteJSON archives.
+func TestReadReport(t *testing.T) {
+	rep := &Report{GoVersion: "go-test", Results: []Result{{Name: "x", N: 1, NsPerOp: 2, AllocsPerOp: 3}}}
+	p := t.TempDir() + "/r.json"
+	f, err := os.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, err := ReadReport(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 1 || back.Results[0] != rep.Results[0] || back.GoVersion != "go-test" {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	if _, err := ReadReport(t.TempDir() + "/missing.json"); err == nil {
+		t.Fatal("missing file must error")
 	}
 }

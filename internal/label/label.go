@@ -11,7 +11,7 @@ package label
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 
 	"probpref/internal/rank"
 )
@@ -140,14 +140,14 @@ func (s Set) Equal(t Set) bool {
 
 // Key returns a canonical string key for the set.
 func (s Set) Key() string {
-	var b strings.Builder
+	b := make([]byte, 0, 8*len(s))
 	for i, l := range s {
 		if i > 0 {
-			b.WriteByte(',')
+			b = append(b, ',')
 		}
-		fmt.Fprintf(&b, "%d", int32(l))
+		b = strconv.AppendInt(b, int64(l), 10)
 	}
-	return b.String()
+	return string(b)
 }
 
 // Labeling maps each item to its set of labels (the paper's lambda).

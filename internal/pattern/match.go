@@ -16,8 +16,33 @@ import (
 // bound on any valid embedding, so an embedding exists iff the greedy
 // embedding completes. Runs in O(q * m).
 func (p *Pattern) Matches(tau rank.Ranking, lab *label.Labeling) bool {
-	_, ok := p.GreedyEmbedding(tau, lab)
-	return ok
+	// Allocation-free variant of GreedyEmbedding for the solver inner loops:
+	// same greedy earliest embedding, positions kept in a stack buffer.
+	var buf [16]int
+	pos := buf[:]
+	if len(p.nodes) > len(buf) {
+		pos = make([]int, len(p.nodes))
+	}
+	for _, v := range p.topo {
+		lowest := 0
+		for _, u := range p.preds[v] {
+			if pos[u]+1 > lowest {
+				lowest = pos[u] + 1
+			}
+		}
+		found := -1
+		for q := lowest; q < len(tau); q++ {
+			if lab.HasAll(tau[q], p.nodes[v].Labels) {
+				found = q
+				break
+			}
+		}
+		if found < 0 {
+			return false
+		}
+		pos[v] = found
+	}
+	return true
 }
 
 // GreedyEmbedding returns the earliest embedding positions (0-based, indexed

@@ -29,6 +29,8 @@ type Node struct {
 type Pattern struct {
 	nodes []Node
 	edges [][2]int // node indices, u -> v
+	preds [][]int  // per node, predecessor indices (computed at construction)
+	topo  []int    // topological node order (computed at construction)
 }
 
 // New constructs a pattern and validates acyclicity.
@@ -46,7 +48,40 @@ func New(nodes []Node, edges [][2]int) (*Pattern, error) {
 		return nil, fmt.Errorf("pattern: cycle detected")
 	}
 	p.normalize()
+	p.precompute()
 	return p, nil
+}
+
+// precompute derives the predecessor lists and topological order once at
+// construction; Matches sits in solver inner loops and must not rebuild
+// them per call.
+func (p *Pattern) precompute() {
+	p.preds = make([][]int, len(p.nodes))
+	indeg := make([]int, len(p.nodes))
+	adj := make([][]int, len(p.nodes))
+	for _, e := range p.edges {
+		p.preds[e[1]] = append(p.preds[e[1]], e[0])
+		indeg[e[1]]++
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	queue := make([]int, 0, len(p.nodes))
+	for u := range p.nodes {
+		if indeg[u] == 0 {
+			queue = append(queue, u)
+		}
+	}
+	p.topo = make([]int, 0, len(p.nodes))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		p.topo = append(p.topo, u)
+		for _, v := range adj[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
 }
 
 // MustNew is New but panics on error.
@@ -119,43 +154,13 @@ func (p *Pattern) Node(i int) Node { return p.nodes[i] }
 // Edges returns the edge list in canonical order (shared; do not modify).
 func (p *Pattern) Edges() [][2]int { return p.edges }
 
-// Preds returns, per node, the list of predecessor node indices.
-func (p *Pattern) Preds() [][]int {
-	preds := make([][]int, len(p.nodes))
-	for _, e := range p.edges {
-		preds[e[1]] = append(preds[e[1]], e[0])
-	}
-	return preds
-}
+// Preds returns, per node, the list of predecessor node indices (shared;
+// do not modify).
+func (p *Pattern) Preds() [][]int { return p.preds }
 
-// TopoOrder returns a topological order of the node indices.
-func (p *Pattern) TopoOrder() []int {
-	indeg := make([]int, len(p.nodes))
-	adj := make([][]int, len(p.nodes))
-	for _, e := range p.edges {
-		indeg[e[1]]++
-		adj[e[0]] = append(adj[e[0]], e[1])
-	}
-	var queue []int
-	for u := range p.nodes {
-		if indeg[u] == 0 {
-			queue = append(queue, u)
-		}
-	}
-	var order []int
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		order = append(order, u)
-		for _, v := range adj[u] {
-			indeg[v]--
-			if indeg[v] == 0 {
-				queue = append(queue, v)
-			}
-		}
-	}
-	return order
-}
+// TopoOrder returns a topological order of the node indices (shared; do not
+// modify).
+func (p *Pattern) TopoOrder() []int { return p.topo }
 
 // TransitiveClosure returns a pattern with every implied edge added.
 func (p *Pattern) TransitiveClosure() *Pattern {

@@ -27,7 +27,14 @@ import (
 // rate on commodity hardware. The constant only needs order-of-magnitude
 // accuracy — it decides which side of exact-vs-sampling a group lands on,
 // not a precise schedule.
-const AdaptiveStatesPerSecond = 20e6
+//
+// Re-calibrated for the packed-state DP core (PR 5): replacing the
+// string-keyed layer maps with packed integer keys, pooled arenas and
+// gap-merged expansion made every exact solver ~3.5-4x faster per unit of
+// predicted work (BENCH_PR4.json vs BENCH_PR5.json, same machine), so the
+// same deadline now buys proportionally more exact solving and the
+// adaptive method routes correspondingly more groups to exact answers.
+const AdaptiveStatesPerSecond = 80e6
 
 // DefaultAdaptiveBudget is the per-group work budget used by MethodAdaptive
 // when neither Engine.AdaptiveBudget nor a context deadline supplies one:

@@ -94,6 +94,10 @@ func (m *Model) Rehash() string {
 // Pi returns the insertion probability Pi[i][j] (0-based).
 func (m *Model) Pi(i, j int) float64 { return m.pi[i][j] }
 
+// PiRow returns insertion row i, Pi[i][0..i]. The solvers hoist it out of
+// their inner loops; callers must treat the row as read-only.
+func (m *Model) PiRow(i int) []float64 { return m.pi[i] }
+
 // Sample draws a ranking using Algorithm 1 of the paper.
 func (m *Model) Sample(rng *rand.Rand) rank.Ranking {
 	tau := make(rank.Ranking, 0, len(m.sigma))

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"probpref/internal/dataset"
+	"probpref/internal/ppd"
+)
+
+// Concurrent DoBatch load over the solver arena pool (run with -race):
+// every solve borrows a pooled arena with its ping-pong layers and
+// per-worker scratch, so many batches in flight at once exercise arena
+// recycling under contention. Results must be identical across all
+// concurrent callers and match a cold sequential service.
+func TestDoBatchConcurrentArenaReuse(t *testing.T) {
+	db, err := dataset.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		doDemoQuery,
+		`P(_, _; c1; c2), C(c1, D, _, _, _, _), C(c2, R, _, _, _, _)`,
+		doUnionQuery,
+		`P(_, _; c1; c2), C(c1, D, _, _, JD, _), C(c2, R, _, _, _, _)`,
+	}
+	reqs := make([]*ppd.Request, 0, 2*len(queries))
+	for _, q := range queries {
+		reqs = append(reqs, &ppd.Request{Kind: ppd.KindBool, Query: q})
+		reqs = append(reqs, &ppd.Request{Kind: ppd.KindCount, Query: q})
+	}
+
+	// Sequential reference on a cache-disabled service.
+	ref := New(db, Config{Workers: 1, CacheSize: -1})
+	want, err := ref.DoBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := canonJSON(t, want)
+
+	svc := New(db, Config{Workers: 8, CacheSize: -1})
+	const goroutines = 8
+	const rounds = 5
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				got, err := svc.DoBatch(context.Background(), reqs)
+				if err != nil {
+					t.Errorf("concurrent DoBatch: %v", err)
+					return
+				}
+				if gotJSON := canonJSON(t, got); string(gotJSON) != string(wantJSON) {
+					t.Errorf("concurrent DoBatch result diverged from sequential reference")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,251 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"probpref/internal/label"
+	"probpref/internal/pattern"
+	"probpref/internal/rank"
+	"probpref/internal/rim"
+)
+
+// Allocation-aware solver microbenchmarks. The fixtures mirror the shapes
+// of the internal/bench registry cases (which cannot be imported here —
+// internal/dataset depends on this package); the per-op alloc counts are
+// the interesting number: after the first iteration warms the arena pool,
+// the DP inner loop must not allocate, so allocs/op stays flat at the
+// small per-solve setup count no matter how many transitions a solve
+// expands.
+
+// benchTwoLabel builds an m-item Mallows model with z two-label patterns,
+// `items` items per label (the Benchmark-D shape).
+func benchTwoLabel(m, z, items int) (*rim.Model, *label.Labeling, pattern.Union) {
+	rng := rand.New(rand.NewSource(1))
+	perm := make(rank.Ranking, m)
+	for i, v := range rng.Perm(m) {
+		perm[i] = rank.Item(v)
+	}
+	ml := rim.MustMallows(perm, 0.5)
+	lab := label.NewLabeling()
+	var next label.Label
+	attach := func() label.Set {
+		l := next
+		next++
+		for _, it := range rng.Perm(m)[:items] {
+			lab.Add(rank.Item(it), l)
+		}
+		return label.NewSet(l)
+	}
+	var u pattern.Union
+	for p := 0; p < z; p++ {
+		u = append(u, pattern.TwoLabel(attach(), attach()))
+	}
+	return ml.Model(), lab, u
+}
+
+// benchDAG builds an m-item Mallows model with z patterns of q nodes each
+// sharing one random edge structure (the Benchmark-B/C shape).
+func benchDAG(m, z, q, items int, bipartite bool) (*rim.Model, *label.Labeling, pattern.Union) {
+	rng := rand.New(rand.NewSource(1))
+	perm := make(rank.Ranking, m)
+	for i, v := range rng.Perm(m) {
+		perm[i] = rank.Item(v)
+	}
+	ml := rim.MustMallows(perm, 0.1)
+	lab := label.NewLabeling()
+	var next label.Label
+	var edges [][2]int
+	if bipartite {
+		nl := 1 + q/2
+		for a := 0; a < nl; a++ {
+			for b := nl; b < q; b++ {
+				if rng.Float64() < 0.6 {
+					edges = append(edges, [2]int{a, b})
+				}
+			}
+		}
+		if len(edges) == 0 {
+			edges = append(edges, [2]int{0, nl})
+		}
+	} else {
+		for a := 0; a < q; a++ {
+			for b := a + 1; b < q; b++ {
+				if rng.Float64() < 0.5 {
+					edges = append(edges, [2]int{a, b})
+				}
+			}
+		}
+		if len(edges) == 0 {
+			edges = append(edges, [2]int{0, q - 1})
+		}
+	}
+	var u pattern.Union
+	for p := 0; p < z; p++ {
+		nodes := make([]pattern.Node, q)
+		for v := 0; v < q; v++ {
+			l := next
+			next++
+			for _, it := range rng.Perm(m)[:items] {
+				lab.Add(rank.Item(it), l)
+			}
+			nodes[v] = pattern.Node{Labels: label.NewSet(l)}
+		}
+		u = append(u, pattern.MustNew(nodes, edges))
+	}
+	return ml.Model(), lab, u
+}
+
+func benchSolve(b *testing.B, f func(*rim.Model, *label.Labeling, pattern.Union, Options) (float64, error),
+	mdl *rim.Model, lab *label.Labeling, u pattern.Union) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f(mdl, lab, u, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTwoLabel(b *testing.B) {
+	mdl, lab, u := benchTwoLabel(20, 2, 3)
+	benchSolve(b, TwoLabel, mdl, lab, u)
+}
+
+func BenchmarkBipartite(b *testing.B) {
+	mdl, lab, u := benchDAG(10, 3, 3, 3, true)
+	benchSolve(b, Bipartite, mdl, lab, u)
+}
+
+func BenchmarkBipartiteBasic(b *testing.B) {
+	mdl, lab, u := benchDAG(10, 2, 3, 3, true)
+	benchSolve(b, BipartiteBasic, mdl, lab, u)
+}
+
+func BenchmarkRelOrder(b *testing.B) {
+	mdl, lab, u := benchDAG(10, 1, 2, 3, false)
+	benchSolve(b, RelOrder, mdl, lab, u)
+}
+
+func BenchmarkGeneral(b *testing.B) {
+	mdl, lab, u := benchDAG(8, 2, 3, 2, false)
+	benchSolve(b, General, mdl, lab, u)
+}
+
+// Layer add/merge microbenchmarks: the DP inner-loop primitives. Both must
+// report 0 allocs/op — every buffer is recycled across resets.
+
+func BenchmarkLayerAddPacked(b *testing.B) {
+	const states = 4096
+	var l layerTable
+	var w [4]int16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.reset(4, states)
+		for s := 0; s < states; s++ {
+			w[0], w[1] = int16(s), int16(s>>4)
+			w[2], w[3] = int16(s&15), -1
+			l.addWords(w[:], 1.0/states)
+		}
+		if l.len() == 0 {
+			b.Fatal("empty layer")
+		}
+	}
+}
+
+func BenchmarkLayerAddWide(b *testing.B) {
+	const states = 4096
+	var l layerTable
+	var w [9]int16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.reset(9, states)
+		for s := 0; s < states; s++ {
+			for k := range w {
+				w[k] = int16(s >> uint(k&3))
+			}
+			l.addWords(w[:], 1.0/states)
+		}
+		if l.len() == 0 {
+			b.Fatal("empty layer")
+		}
+	}
+}
+
+func BenchmarkLayerMerge(b *testing.B) {
+	const states = 4096
+	var src, dst layerTable
+	src.reset(4, states)
+	var w [4]int16
+	for s := 0; s < states; s++ {
+		w[0], w[1], w[2] = int16(s), int16(s>>4), int16(s&7)
+		src.addWords(w[:], 1.0/states)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.reset(4, states)
+		dst.mergeFrom(&src)
+		if dst.len() != src.len() {
+			b.Fatalf("merge lost states: %d != %d", dst.len(), src.len())
+		}
+	}
+}
+
+// The layer primitives must be allocation-free in steady state: after a
+// warm-up pass sizes the backing arrays, add and merge allocate nothing.
+func TestLayerOpsAllocFree(t *testing.T) {
+	const states = 2048
+	var l, src, dst layerTable
+	var w [4]int16
+	fill := func(l *layerTable) {
+		l.reset(4, states)
+		for s := 0; s < states; s++ {
+			w[0], w[1], w[2] = int16(s), int16(s>>3), int16(s&31)
+			l.addWords(w[:], 0.5)
+		}
+	}
+	fill(&l) // warm up
+	if n := testing.AllocsPerRun(10, func() { fill(&l) }); n != 0 {
+		t.Fatalf("layer add allocates %v allocs/op in steady state, want 0", n)
+	}
+	fill(&src)
+	dst.reset(4, states)
+	dst.mergeFrom(&src) // warm up
+	if n := testing.AllocsPerRun(10, func() {
+		dst.reset(4, states)
+		dst.mergeFrom(&src)
+	}); n != 0 {
+		t.Fatalf("layer merge allocates %v allocs/op in steady state, want 0", n)
+	}
+}
+
+// Steady-state solves must not allocate per transition: growing the
+// instance by orders of magnitude in expansion work must not grow
+// allocations with it (the per-solve setup is the only allocating part).
+func TestSolveAllocsIndependentOfWork(t *testing.T) {
+	smallM, smallL, smallU := benchTwoLabel(10, 2, 3)
+	bigM, bigL, bigU := benchTwoLabel(30, 2, 3)
+	solve := func(mdl *rim.Model, lab *label.Labeling, u pattern.Union) func() {
+		return func() {
+			if _, err := TwoLabel(mdl, lab, u, Options{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	solve(smallM, smallL, smallU)() // warm the arena pool
+	solve(bigM, bigL, bigU)()
+	small := testing.AllocsPerRun(5, solve(smallM, smallL, smallU))
+	big := testing.AllocsPerRun(5, solve(bigM, bigL, bigU))
+	// The big instance does ~100x (hundreds of thousands) more transitions;
+	// if the inner loop allocated per transition, big would exceed small by
+	// orders of magnitude. A slack of 64 absorbs GC timing flushing the
+	// arena pool mid-measurement while still failing on any per-transition
+	// allocation.
+	if big > small+64 {
+		t.Fatalf("allocations scale with solve size: small=%v big=%v", small, big)
+	}
+}

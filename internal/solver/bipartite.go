@@ -18,6 +18,14 @@ import (
 // only tracks labels appearing in uncertain edges of uncertain patterns
 // (the paper's pruning optimization). Complexity O(m^(qz)).
 //
+// A state is a word vector: the satisfied-constraint bits and dead-pattern
+// bits packed 16 per word, followed by one position word per tracker slot.
+// Narrow unions (header + slots within four words) therefore pack into a
+// single uint64 layer key; wider ones use the arena-backed fallback of
+// state.go. Setup scratch comes from the pooled arena's bump allocators —
+// small unions solve in a few microseconds, so even setup must not churn
+// the heap.
+//
 // The solver accepts any DAG pattern and evaluates it under constraint
 // semantics; for non-bipartite patterns the result is the upper bound used
 // by the Most-Probable-Session optimization (Section 4.3.2), not the exact
@@ -31,151 +39,193 @@ func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Opti
 	}
 	ctx := opts.ctx()
 	m := model.M()
+	ar := getArena()
+	defer putArena(ar)
+
+	// One labeling lookup per item; all setup label tests run on the slices.
+	sigma := model.Sigma()
+	itemSets := ar.sets.take(m)
+	for i := range itemSets {
+		itemSets[i] = lab.Of(sigma[i])
+	}
+
+	// Setup scratch is sized exactly and bump-allocated: for a
+	// 21-transition solve the DP is trivial and heap churn would dominate.
+	totalEdges, totalNodes, maxQ := 0, 0, 0
+	for _, g := range u {
+		totalEdges += len(g.Edges())
+		totalNodes += g.NumNodes()
+		if g.NumNodes() > maxQ {
+			maxQ = g.NumNodes()
+		}
+	}
+	maxCons := totalEdges + totalNodes
+	maxSets := 2*totalEdges + 2*totalNodes
 
 	// Trackers: one per distinct (label set, role). Role min tracks alpha,
-	// role max tracks beta.
-	type roleKey struct {
-		key   string
-		isMin bool
+	// role max tracks beta. Linear scan over the few slots — no Key-string
+	// allocation.
+	// Mutated setup state lives in one struct so the helper closures box a
+	// single pointer instead of one heap cell per captured variable.
+	var sc struct {
+		slotLabels []label.Set
+		slotIsMin  []bool
+		setList    []label.Set
 	}
-	slotOf := make(map[roleKey]int)
-	var slotLabels []label.Set
-	var slotIsMin []bool
+	sc.slotLabels = ar.sets.take(2*totalEdges + totalNodes)[:0]
+	sc.slotIsMin = ar.bools.take(2*totalEdges + totalNodes)[:0]
 	slot := func(ls label.Set, isMin bool) int {
-		rk := roleKey{ls.Key(), isMin}
-		if s, ok := slotOf[rk]; ok {
-			return s
+		for s, sl := range sc.slotLabels {
+			if sc.slotIsMin[s] == isMin && sl.Equal(ls) {
+				return s
+			}
 		}
-		s := len(slotLabels)
-		slotOf[rk] = s
-		slotLabels = append(slotLabels, ls)
-		slotIsMin = append(slotIsMin, isMin)
-		return s
+		sc.slotLabels = append(sc.slotLabels, ls)
+		sc.slotIsMin = append(sc.slotIsMin, isMin)
+		return len(sc.slotLabels) - 1
 	}
 
 	// Constraints: edges (alpha(u) < beta(v)) and existence constraints for
-	// isolated nodes. Each gets a global bit.
-	type constraint struct {
-		isEdge   bool
-		lSlot    int       // edge: alpha slot
-		rSlot    int       // edge: beta slot
-		existSet label.Set // existence: required labels
-		setIdx   int       // index into label-set census (for remaining counts)
-	}
-	var cons []constraint
-	setIdxOf := make(map[string]int)
-	var setList []label.Set
+	// isolated nodes. Each gets a global bit; the parallel slices hold, per
+	// constraint, its kind, its alpha/beta slots (edges) and its label-set
+	// census index (existence).
+	consEdge := ar.bools.take(maxCons)[:0]
+	consL := ar.ints.take(maxCons)[:0]
+	consR := ar.ints.take(maxCons)[:0]
+	consSet := ar.ints.take(maxCons)[:0]
+	sc.setList = ar.sets.take(maxSets)[:0]
 	censusIdx := func(ls label.Set) int {
-		if i, ok := setIdxOf[ls.Key()]; ok {
-			return i
-		}
-		i := len(setList)
-		setIdxOf[ls.Key()] = i
-		setList = append(setList, ls)
-		return i
-	}
-	patBits := make([][]int, len(u)) // per pattern, constraint indices
-	for pi, g := range u {
-		touched := make([]bool, g.NumNodes())
-		for _, e := range g.Edges() {
-			touched[e[0]], touched[e[1]] = true, true
-			c := constraint{
-				isEdge: true,
-				lSlot:  slot(g.Node(e[0]).Labels, true),
-				rSlot:  slot(g.Node(e[1]).Labels, false),
+		for i, sl := range sc.setList {
+			if sl.Equal(ls) {
+				return i
 			}
-			cons = append(cons, c)
-			patBits[pi] = append(patBits[pi], len(cons)-1)
+		}
+		sc.setList = append(sc.setList, ls)
+		return len(sc.setList) - 1
+	}
+	patBits := ar.intSlices.take(len(u)) // per pattern, constraint indices
+	bitsBacking := ar.ints.take(maxCons)[:0]
+	touched := ar.bools.take(maxQ)
+	for pi, g := range u {
+		tch := touched[:g.NumNodes()]
+		for v := range tch {
+			tch[v] = false
+		}
+		biLo := len(bitsBacking)
+		for _, e := range g.Edges() {
+			tch[e[0]], tch[e[1]] = true, true
+			consEdge = append(consEdge, true)
+			consL = append(consL, slot(g.Node(e[0]).Labels, true))
+			consR = append(consR, slot(g.Node(e[1]).Labels, false))
+			consSet = append(consSet, 0)
+			bitsBacking = append(bitsBacking, len(consEdge)-1)
 		}
 		for v := 0; v < g.NumNodes(); v++ {
-			if !touched[v] {
-				c := constraint{existSet: g.Node(v).Labels, setIdx: censusIdx(g.Node(v).Labels)}
-				cons = append(cons, c)
-				patBits[pi] = append(patBits[pi], len(cons)-1)
+			if !tch[v] {
+				consEdge = append(consEdge, false)
+				consL = append(consL, 0)
+				consR = append(consR, 0)
+				consSet = append(consSet, censusIdx(g.Node(v).Labels))
+				bitsBacking = append(bitsBacking, len(consEdge)-1)
 			}
 		}
+		patBits[pi] = bitsBacking[biLo:len(bitsBacking):len(bitsBacking)]
 		if len(patBits[pi]) == 0 {
 			return 1, nil // empty pattern matches every ranking
 		}
 	}
-	if len(cons) > 64 {
-		return 0, fmt.Errorf("%w: union has %d constraints (max 64)", ErrShape, len(cons))
+	nCons := len(consEdge)
+	if nCons > 64 {
+		return 0, fmt.Errorf("%w: union has %d constraints (max 64)", ErrShape, nCons)
 	}
+	slotLabels, slotIsMin := sc.slotLabels, sc.slotIsMin
 	nSlots := len(slotLabels)
 	if nSlots > 64 {
 		return 0, fmt.Errorf("%w: union has %d tracked label roles (max 64)", ErrShape, nSlots)
 	}
 
-	// Census: remaining[s][i] = number of items sigma[i..m-1] matching set s.
-	// Slots and existence sets share the census via setIdx.
+	// Census: intern every slot label set, then test each (set, item) pair
+	// exactly once into one matrix; the suffix counts, the per-step feed
+	// lists and the per-step existence matches all derive from it.
 	for s := 0; s < nSlots; s++ {
 		censusIdx(slotLabels[s])
 	}
-	remaining := make([][]int, len(setList))
+	setList := sc.setList
+	nSets := len(setList)
+	slotCensus := ar.ints.take(nSlots)
+	for s := 0; s < nSlots; s++ {
+		slotCensus[s] = censusIdx(slotLabels[s])
+	}
+	// Both matrices are step-major so the solve loop rebinds one row per
+	// step instead of copying: match[i*nSets+si] reports setList[si] ⊆
+	// labels(sigma[i]); remaining[i*nSets+si] counts items of sigma[i..m-1]
+	// matching setList[si].
+	match := ar.bools.take(m * nSets)
 	for si, ls := range setList {
-		row := make([]int, m+1)
-		for i := m - 1; i >= 0; i-- {
-			row[i] = row[i+1]
-			if lab.HasAll(model.Sigma()[i], ls) {
-				row[i]++
+		for i := 0; i < m; i++ {
+			match[i*nSets+si] = ls.SubsetOf(itemSets[i])
+		}
+	}
+	remaining := ar.ints.take((m + 1) * nSets)
+	for i := m - 1; i >= 0; i-- {
+		prev := remaining[(i+1)*nSets : (i+2)*nSets]
+		row := remaining[i*nSets : (i+1)*nSets]
+		mrow := match[i*nSets : (i+1)*nSets]
+		for si := range row {
+			row[si] = prev[si]
+			if mrow[si] {
+				row[si]++
 			}
 		}
-		remaining[si] = row
-	}
-	slotCensus := make([]int, nSlots)
-	for s := 0; s < nSlots; s++ {
-		slotCensus[s] = setIdxOf[slotLabels[s].Key()]
 	}
 
-	// Per step: which slots does the inserted item feed, and which existence
-	// constraints does it satisfy?
-	slotMatch := make([][]int, m)
+	// Per step: which slots does the inserted item feed? Two passes over a
+	// single backing array.
+	slotMatch := ar.intSlices.take(m)
+	nFeed := 0
+	for s := 0; s < nSlots; s++ {
+		nFeed += remaining[slotCensus[s]]
+	}
+	feedBacking := ar.ints.take(nFeed)[:0]
 	for i := 0; i < m; i++ {
-		it := model.Sigma()[i]
+		lo := len(feedBacking)
 		for s := 0; s < nSlots; s++ {
-			if lab.HasAll(it, slotLabels[s]) {
-				slotMatch[i] = append(slotMatch[i], s)
+			if match[i*nSets+slotCensus[s]] {
+				feedBacking = append(feedBacking, s)
 			}
 		}
+		slotMatch[i] = feedBacking[lo:len(feedBacking):len(feedBacking)]
 	}
 
 	const (
 		absent  = int16(-1)
 		dropped = int16(-2)
 	)
-	type header struct {
-		sat  uint64
-		dead uint32
+	// State layout: satW words of satisfied-constraint bits, deadW words of
+	// dead-pattern bits, then nSlots position words.
+	satW := (nCons + 15) / 16
+	deadW := (len(u) + 15) / 16
+	hw := satW + deadW
+	words := hw + nSlots
+	packHeader := func(dst []int16, sat uint64, dead uint32) {
+		for k := 0; k < satW; k++ {
+			dst[k] = int16(uint16(sat >> (16 * uint(k))))
+		}
+		for k := 0; k < deadW; k++ {
+			dst[satW+k] = int16(uint16(dead >> (16 * uint(k))))
+		}
 	}
-	enc := func(h header, vals []int16) string {
-		b := make([]byte, 12+2*len(vals))
-		for k := 0; k < 8; k++ {
-			b[k] = byte(h.sat >> (8 * k))
+	unpackHeader := func(src []int16) (sat uint64, dead uint32) {
+		for k := 0; k < satW; k++ {
+			sat |= uint64(uint16(src[k])) << (16 * uint(k))
 		}
-		for k := 0; k < 4; k++ {
-			b[8+k] = byte(h.dead >> (8 * k))
+		for k := 0; k < deadW; k++ {
+			dead |= uint32(uint16(src[satW+k])) << (16 * uint(k))
 		}
-		for i, v := range vals {
-			b[12+2*i] = byte(v)
-			b[13+2*i] = byte(uint16(v) >> 8)
-		}
-		return string(b)
-	}
-	dec := func(key string, vals []int16) header {
-		var h header
-		for k := 0; k < 8; k++ {
-			h.sat |= uint64(key[k]) << (8 * k)
-		}
-		for k := 0; k < 4; k++ {
-			h.dead |= uint32(key[8+k]) << (8 * k)
-		}
-		for i := range vals {
-			vals[i] = int16(uint16(key[12+2*i]) | uint16(key[13+2*i])<<8)
-		}
-		return h
+		return sat, dead
 	}
 
-	allSat := make([]uint64, len(u))
+	allSat := ar.u64s.take(len(u))
 	for pi, bits := range patBits {
 		for _, b := range bits {
 			allSat[pi] |= 1 << uint(b)
@@ -183,141 +233,149 @@ func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Opti
 	}
 	allDead := uint32(1)<<uint(len(u)) - 1
 
-	init := make([]int16, nSlots)
-	for i := range init {
-		init[i] = absent
+	cur, nxt := &ar.layers[0], &ar.layers[1]
+	cur.reset(words, 1)
+	init := ar.workspaces(1, words, words)[0].next
+	packHeader(init, 0, 0)
+	for s := 0; s < nSlots; s++ {
+		init[hw+s] = absent
 	}
-	cur := newLayer(1)
-	cur.add(enc(header{}, init), 1)
-	prob := 0.0
-	vals := make([]int16, nSlots)
-	next := make([]int16, nSlots)
+	cur.addWords(init, 1)
 
-	checkEvery := 0
+	prob := 0.0
+	// The expand closure is built once; the step loop only rebinds the
+	// per-step state, held in one struct so the closure boxes a single
+	// pointer.
+	var stp struct {
+		piRow       []float64
+		feed        []int
+		steps       int
+		itemMatches []bool // match row of the inserted item
+		remNow      []int  // remaining row after this step
+	}
+	expand := func(ws *workspace, key []int16, q float64, em *emitter) {
+		sat, dead := unpackHeader(key)
+		vals := key[hw:]
+		next := ws.next[hw:]
+		itemMatches, remNow := stp.itemMatches, stp.remNow
+		piRow, feed, steps := stp.piRow, stp.feed, stp.steps
+		for j := 0; j < steps; j++ {
+			jj := int16(j)
+			for s, v := range vals {
+				if v >= 0 && v >= jj {
+					v++
+				}
+				next[s] = v
+			}
+			for _, s := range feed {
+				if next[s] == dropped {
+					continue
+				}
+				if slotIsMin[s] {
+					if next[s] == absent || jj < next[s] {
+						next[s] = jj
+					}
+				} else {
+					if next[s] == absent || jj > next[s] {
+						next[s] = jj
+					}
+				}
+			}
+			nSat, nDead := sat, dead
+			// Re-evaluate uncertain constraints of alive patterns.
+			for pi, bits := range patBits {
+				if nDead&(1<<uint(pi)) != 0 {
+					continue
+				}
+				for _, bi := range bits {
+					if nSat&(1<<uint(bi)) != 0 {
+						continue
+					}
+					if !consEdge[bi] {
+						if itemMatches[consSet[bi]] {
+							nSat |= 1 << uint(bi)
+						} else if remNow[consSet[bi]] == 0 {
+							nDead |= 1 << uint(pi)
+							break
+						}
+						continue
+					}
+					va, vb := next[consL[bi]], next[consR[bi]]
+					remL := remNow[slotCensus[consL[bi]]]
+					remR := remNow[slotCensus[consR[bi]]]
+					switch {
+					case va >= 0 && vb >= 0 && va < vb:
+						nSat |= 1 << uint(bi)
+					case va < 0 && remL == 0, vb < 0 && remR == 0,
+						va >= 0 && vb >= 0 && remL == 0 && remR == 0:
+						nDead |= 1 << uint(pi)
+					}
+					if nDead&(1<<uint(pi)) != 0 {
+						break
+					}
+				}
+			}
+			p := q * piRow[j]
+			if p == 0 {
+				continue
+			}
+			done := false
+			for pi := range u {
+				if nDead&(1<<uint(pi)) == 0 && nSat&allSat[pi] == allSat[pi] {
+					em.absorb(p)
+					done = true
+					break
+				}
+			}
+			if done {
+				continue
+			}
+			if nDead == allDead {
+				continue
+			}
+			// Drop trackers not used by any uncertain edge of an alive
+			// pattern (the paper's onlyTrackLabelsFor).
+			if !opts.NoTrackerDrop {
+				var live [64]bool
+				for pi, bits := range patBits {
+					if nDead&(1<<uint(pi)) != 0 {
+						continue
+					}
+					for _, bi := range bits {
+						if nSat&(1<<uint(bi)) != 0 || !consEdge[bi] {
+							continue
+						}
+						live[consL[bi]] = true
+						live[consR[bi]] = true
+					}
+				}
+				for s := range next {
+					if !live[s] {
+						next[s] = dropped
+					}
+				}
+			}
+			packHeader(ws.next, nSat, nDead)
+			em.emit(ws.next, p)
+		}
+	}
 	for i := 0; i < m; i++ {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		nxt := newLayer(cur.len())
-		rem := func(setIdx int) int { return remaining[setIdx][i+1] }
-		itemMatchesSet := make(map[int]bool)
-		for si, ls := range setList {
-			if lab.HasAll(model.Sigma()[i], ls) {
-				itemMatchesSet[si] = true
-			}
-		}
-		for ki, key := range cur.keys {
-			q := cur.vals[ki]
-			if checkEvery++; checkEvery&1023 == 0 {
-				if err := ctx.Err(); err != nil {
-					return 0, err
-				}
-			}
-			h := dec(key, vals)
-			for j := 0; j <= i; j++ {
-				jj := int16(j)
-				copy(next, vals)
-				for s := 0; s < nSlots; s++ {
-					if next[s] >= 0 && next[s] >= jj {
-						next[s]++
-					}
-				}
-				for _, s := range slotMatch[i] {
-					if next[s] == dropped {
-						continue
-					}
-					if slotIsMin[s] {
-						if next[s] == absent || jj < next[s] {
-							next[s] = jj
-						}
-					} else {
-						if next[s] == absent || jj > next[s] {
-							next[s] = jj
-						}
-					}
-				}
-				nh := h
-				// Re-evaluate uncertain constraints of alive patterns.
-				for pi, bits := range patBits {
-					if nh.dead&(1<<uint(pi)) != 0 {
-						continue
-					}
-					for _, bi := range bits {
-						if nh.sat&(1<<uint(bi)) != 0 {
-							continue
-						}
-						c := cons[bi]
-						if !c.isEdge {
-							if itemMatchesSet[c.setIdx] {
-								nh.sat |= 1 << uint(bi)
-							} else if rem(c.setIdx) == 0 {
-								nh.dead |= 1 << uint(pi)
-								break
-							}
-							continue
-						}
-						va, vb := next[c.lSlot], next[c.rSlot]
-						remL, remR := rem(slotCensus[c.lSlot]), rem(slotCensus[c.rSlot])
-						switch {
-						case va >= 0 && vb >= 0 && va < vb:
-							nh.sat |= 1 << uint(bi)
-						case va < 0 && remL == 0, vb < 0 && remR == 0,
-							va >= 0 && vb >= 0 && remL == 0 && remR == 0:
-							nh.dead |= 1 << uint(pi)
-						}
-						if nh.dead&(1<<uint(pi)) != 0 {
-							break
-						}
-					}
-				}
-				p := q * model.Pi(i, j)
-				if p == 0 {
-					continue
-				}
-				done := false
-				for pi := range u {
-					if nh.dead&(1<<uint(pi)) == 0 && nh.sat&allSat[pi] == allSat[pi] {
-						prob += p
-						done = true
-						break
-					}
-				}
-				if done {
-					continue
-				}
-				if nh.dead == allDead {
-					continue
-				}
-				// Drop trackers not used by any uncertain edge of an alive
-				// pattern (the paper's onlyTrackLabelsFor).
-				if !opts.NoTrackerDrop {
-					var live [64]bool
-					for pi, bits := range patBits {
-						if nh.dead&(1<<uint(pi)) != 0 {
-							continue
-						}
-						for _, bi := range bits {
-							if nh.sat&(1<<uint(bi)) != 0 || !cons[bi].isEdge {
-								continue
-							}
-							live[cons[bi].lSlot] = true
-							live[cons[bi].rSlot] = true
-						}
-					}
-					for s := 0; s < nSlots; s++ {
-						if !live[s] {
-							next[s] = dropped
-						}
-					}
-				}
-				nxt.add(enc(nh, next), p)
-			}
+		stp.piRow, stp.feed, stp.steps = model.PiRow(i), slotMatch[i], i+1
+		stp.itemMatches = match[i*nSets : (i+1)*nSets]
+		stp.remNow = remaining[(i+1)*nSets : (i+2)*nSets]
+		var err error
+		prob, err = runStep(ctx, ar, cur, nxt, words, opts, prob, expand)
+		if err != nil {
+			return 0, err
 		}
 		opts.note(nxt.len())
 		if err := opts.checkStates(nxt.len()); err != nil {
 			return 0, err
 		}
-		cur = nxt
+		cur, nxt = nxt, cur
 	}
 	return prob, nil
 }

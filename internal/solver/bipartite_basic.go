@@ -15,7 +15,9 @@ import (
 // the final states and sums the probability of those satisfying at least
 // one pattern. It performs no satisfied/violated pruning and no tracker
 // dropping, so its state space is the full O(m^(qz)); it exists as the
-// ablation baseline for the optimized Bipartite solver.
+// ablation baseline for the optimized Bipartite solver. States are one
+// position word per tracker slot in the packed layer representation of
+// state.go.
 func BipartiteBasic(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Options) (float64, error) {
 	if len(u) == 0 {
 		return 0, nil
@@ -23,23 +25,17 @@ func BipartiteBasic(model *rim.Model, lab *label.Labeling, u pattern.Union, opts
 	ctx := opts.ctx()
 	m := model.M()
 
-	type roleKey struct {
-		key   string
-		isMin bool
-	}
-	slotOf := make(map[roleKey]int)
 	var slotLabels []label.Set
 	var slotIsMin []bool
 	slot := func(ls label.Set, isMin bool) int {
-		rk := roleKey{ls.Key(), isMin}
-		if s, ok := slotOf[rk]; ok {
-			return s
+		for s, sl := range slotLabels {
+			if slotIsMin[s] == isMin && sl.Equal(ls) {
+				return s
+			}
 		}
-		s := len(slotLabels)
-		slotOf[rk] = s
 		slotLabels = append(slotLabels, ls)
 		slotIsMin = append(slotIsMin, isMin)
-		return s
+		return len(slotLabels) - 1
 	}
 	type edge struct{ l, r int }
 	patEdges := make([][]edge, len(u))
@@ -80,72 +76,68 @@ func BipartiteBasic(model *rim.Model, lab *label.Labeling, u pattern.Union, opts
 	}
 
 	const absent = int16(-1)
-	enc := func(vals []int16) string {
-		b := make([]byte, 2*len(vals))
-		for i, v := range vals {
-			b[2*i] = byte(uint16(v))
-			b[2*i+1] = byte(uint16(v) >> 8)
-		}
-		return string(b)
-	}
-	dec := func(key string, vals []int16) {
-		for i := range vals {
-			vals[i] = int16(uint16(key[2*i]) | uint16(key[2*i+1])<<8)
-		}
-	}
-
-	init := make([]int16, n)
+	ar := getArena()
+	defer putArena(ar)
+	cur, nxt := &ar.layers[0], &ar.layers[1]
+	cur.reset(n, 1)
+	init := ar.workspaces(1, n, n)[0].next
 	for i := range init {
 		init[i] = absent
 	}
-	cur := newLayer(1)
-	cur.add(enc(init), 1)
-	vals := make([]int16, n)
-	next := make([]int16, n)
+	cur.addWords(init, 1)
+
+	var (
+		piRow []float64
+		feed  []int
+		steps int
+	)
+	expand := func(ws *workspace, vals []int16, q float64, em *emitter) {
+		next := ws.next
+		for j := 0; j < steps; j++ {
+			jj := int16(j)
+			for s, v := range vals {
+				if v >= 0 && v >= jj {
+					v++
+				}
+				next[s] = v
+			}
+			for _, s := range feed {
+				if slotIsMin[s] {
+					if next[s] == absent || jj < next[s] {
+						next[s] = jj
+					}
+				} else {
+					if next[s] == absent || jj > next[s] {
+						next[s] = jj
+					}
+				}
+			}
+			em.emit(next, q*piRow[j])
+		}
+	}
 	for i := 0; i < m; i++ {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		nxt := newLayer(cur.len())
-		for ki, key := range cur.keys {
-			q := cur.vals[ki]
-			dec(key, vals)
-			for j := 0; j <= i; j++ {
-				jj := int16(j)
-				copy(next, vals)
-				for s := 0; s < n; s++ {
-					if next[s] >= 0 && next[s] >= jj {
-						next[s]++
-					}
-				}
-				for _, s := range slotMatch[i] {
-					if slotIsMin[s] {
-						if next[s] == absent || jj < next[s] {
-							next[s] = jj
-						}
-					} else {
-						if next[s] == absent || jj > next[s] {
-							next[s] = jj
-						}
-					}
-				}
-				nxt.add(enc(next), q*model.Pi(i, j))
-			}
+		piRow, feed, steps = model.PiRow(i), slotMatch[i], i+1
+		if _, err := runStep(ctx, ar, cur, nxt, n, opts, 0, expand); err != nil {
+			return 0, err
 		}
 		opts.note(nxt.len())
 		if err := opts.checkStates(nxt.len()); err != nil {
 			return 0, err
 		}
-		cur = nxt
+		cur, nxt = nxt, cur
 	}
 
 	// Enumerate the final states: satisfied iff some pattern has every edge
 	// alpha(l) < beta(r) and every isolated node present.
 	prob := 0.0
-	existSlot := func(ls label.Set) int { return slotOf[roleKey{ls.Key(), true}] }
-	for ki, key := range cur.keys {
+	existSlot := func(ls label.Set) int { return slot(ls, true) }
+	dec := ar.workspaces(1, n, n)[0].dec
+	for ki := 0; ki < cur.len(); ki++ {
 		q := cur.vals[ki]
-		dec(key, vals)
+		vals := cur.key(ki, dec)
 		for pi := range u {
 			ok := true
 			for _, e := range patEdges[pi] {

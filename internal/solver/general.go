@@ -35,11 +35,14 @@ func General(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Option
 	}
 	ctx := opts.ctx()
 	total := 0.0
+	// Conjoin-input scratch, allocated once and resliced per mask: the loop
+	// runs up to 2^16 times and must not re-grow a nil slice each pass.
+	members := make([]*pattern.Pattern, 0, len(u))
 	for mask := 1; mask < 1<<uint(len(u)); mask++ {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		var members []*pattern.Pattern
+		members = members[:0]
 		for i := range u {
 			if mask&(1<<uint(i)) != 0 {
 				members = append(members, u[i])

@@ -1,0 +1,312 @@
+package solver
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"probpref/internal/label"
+	"probpref/internal/rank"
+)
+
+// This file implements the shared layer-expansion driver: every DP solver's
+// insertion step is "for each state of the current layer, in order, emit
+// weighted successors (and absorb finished mass)". runStep executes that
+// fold sequentially for small layers and in parallel for large ones, with a
+// chunked schedule whose result is bit-for-bit identical to the sequential
+// fold at every worker count — see the determinism argument on runStep. All
+// buffers (the ping-pong layers, per-worker scratch, per-chunk sublayers)
+// live in a pooled arena so steady-state solves allocate nothing in the
+// inner loop.
+
+// Deterministic parallel-expansion schedule. Probability mass is folded in
+// a fixed tree: per-chunk left folds whose subtotals merge in chunk order.
+// Both the chunk boundaries (fixed size, contiguous) and the choice of
+// chunked-vs-direct fold (source layer size against parallelThreshold) are
+// functions of the layer alone — never of GOMAXPROCS or worker count — so
+// every bit of every result is identical no matter how many workers
+// execute the chunks, including one.
+var (
+	// parallelThreshold is the source-layer size at which expansion
+	// switches from the direct sequential fold to the chunked fold. The
+	// switch changes float association, so it must depend only on layer
+	// size; it is set high enough that sub-threshold solves (where chunk
+	// bookkeeping would cost more than it buys) keep the cheapest path.
+	// Tests lower it to force chunking on small instances.
+	parallelThreshold = 16384
+	// expandChunk is the number of source states per chunk.
+	expandChunk = 512
+	// testWorkers, when positive, overrides the worker count (tests force
+	// multi-worker expansion on single-CPU machines).
+	testWorkers = 0
+)
+
+func expandWorkers() int {
+	if testWorkers > 0 {
+		return testWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// workspace is per-worker scratch: decode/successor buffers plus solver
+// scratch that must not be shared across workers. Workers keep their
+// workspace across chunks and steps of a solve.
+type workspace struct {
+	dec  []int16      // decode buffer for packed source keys
+	next []int16      // successor word buffer
+	bits []uint64     // RelOrder per-position item bitmasks
+	gaps []int16      // sorted tracked-position thresholds for gap merging
+	rank rank.Ranking // RelOrder's generic-matcher fallback buffer
+	kb   []byte       // arrangement-key buffer for the fallback memo
+	// match memoizes the generic-matcher fallback per arrangement of
+	// involved items. Per-worker: workers may recompute what another worker
+	// cached, but the predicate is pure, so results are unaffected. Cleared
+	// per solve (keys are solve-specific item indices).
+	match map[string]bool
+}
+
+// ensure sizes the word buffers for a step expanding srcWords-wide states
+// into dstWords-wide successors.
+func (ws *workspace) ensure(srcWords, dstWords int) {
+	if cap(ws.dec) < srcWords {
+		ws.dec = make([]int16, srcWords)
+	}
+	ws.dec = ws.dec[:srcWords]
+	if cap(ws.next) < dstWords {
+		ws.next = make([]int16, dstWords)
+	}
+	ws.next = ws.next[:dstWords]
+}
+
+// chunkBuf holds one parallel chunk's output: the successor sublayer, the
+// absorbed contributions in emission order (recorded individually so the
+// merge can replay the sequential fold exactly), and the transition count.
+type chunkBuf struct {
+	l           layerTable
+	absorbed    []float64
+	transitions int
+}
+
+// bump is a typed bump allocator for per-solve setup scratch: take carves
+// zeroed windows off one backing slice, and reset recycles the whole
+// backing for the next solve. When the backing runs out it is abandoned to
+// the garbage collector and replaced (earlier takes keep referencing the
+// old memory), so steady-state solves of similar shape allocate nothing.
+type bump[T any] struct {
+	buf []T
+	off int
+}
+
+func (b *bump[T]) reset() { b.off = 0 }
+
+// take returns a zeroed window of n elements.
+func (b *bump[T]) take(n int) []T {
+	if b.off+n > len(b.buf) {
+		b.buf = make([]T, 2*len(b.buf)+n)
+		b.off = 0
+	}
+	s := b.buf[b.off : b.off+n : b.off+n]
+	b.off += n
+	clear(s)
+	return s
+}
+
+// arena bundles every buffer a solve needs: the ping-pong layers, the
+// sequential workspace, per-worker workspaces, per-chunk sublayers, float
+// scratch and the setup bump allocators. Arenas are pooled; a steady-state
+// solve reuses a previous solve's buffers end to end.
+type arena struct {
+	layers   [2]layerTable
+	ws       []workspace
+	chunks   []chunkBuf
+	piPrefix []float64
+
+	ints      bump[int]
+	bools     bump[bool]
+	sets      bump[label.Set]
+	u64s      bump[uint64]
+	intSlices bump[[]int]
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+// getArena fetches a recycled arena with fresh setup bumps and cleared
+// per-worker memo caches.
+func getArena() *arena {
+	ar := arenaPool.Get().(*arena)
+	ar.ints.reset()
+	ar.bools.reset()
+	ar.sets.reset()
+	ar.u64s.reset()
+	ar.intSlices.reset()
+	for i := range ar.ws {
+		clear(ar.ws[i].match)
+	}
+	return ar
+}
+
+func putArena(ar *arena) { arenaPool.Put(ar) }
+
+// workspaces returns n per-worker workspaces sized for the step.
+func (ar *arena) workspaces(n, srcWords, dstWords int) []workspace {
+	for len(ar.ws) < n {
+		ar.ws = append(ar.ws, workspace{})
+	}
+	ws := ar.ws[:n]
+	for i := range ws {
+		ws[i].ensure(srcWords, dstWords)
+	}
+	return ws
+}
+
+// emitter receives one chunk's successors. In sequential mode it targets
+// the next layer directly and folds absorbed mass inline; in parallel mode
+// it targets the chunk sublayer and records absorbed contributions for the
+// ordered merge.
+type emitter struct {
+	dst         *layerTable
+	seq         bool
+	prob        float64   // sequential absorbed fold
+	absorbed    []float64 // parallel absorbed recording
+	transitions int
+}
+
+// emit folds mass p into the successor state with word vector w.
+func (e *emitter) emit(w []int16, p float64) {
+	e.dst.addWords(w, p)
+	e.transitions++
+}
+
+// emit64 folds mass p into the successor with pre-packed key k. Only valid
+// when the destination layer is packed (dstWords <= packedWords); solvers
+// that pack inline use it to skip the addWords dispatch.
+func (e *emitter) emit64(k uint64, p float64) {
+	e.dst.add64(k, p)
+	e.transitions++
+}
+
+// absorb removes mass p from the DP: the state has satisfied the union
+// (or is otherwise finished) and its probability goes straight to the
+// answer.
+func (e *emitter) absorb(p float64) {
+	e.transitions++
+	if e.seq {
+		e.prob += p
+		return
+	}
+	e.absorbed = append(e.absorbed, p)
+}
+
+// expandFn expands one source state: decode key (srcWords wide, read-only),
+// generate successors into em using ws scratch. It must be pure given
+// (key, q) — workers run it concurrently on disjoint states.
+type expandFn func(ws *workspace, key []int16, q float64, em *emitter)
+
+// runStep expands every state of cur into nxt (reset to dstWords-wide
+// states) and returns the running absorbed probability: probIn with every
+// absorbed contribution folded in, in source order. Layers at or above
+// parallelThreshold expand through the chunked fold: the source is split
+// into fixed-size contiguous chunks, each chunk fills a private sublayer
+// (successor mass folded within the chunk), and the sublayers merge in
+// chunk order, folding each chunk's per-state subtotal into the merged
+// layer. The resulting float association — per-chunk left folds combined
+// left-to-right — is fully determined by the layer size and the chunk
+// constants, so results are bit-for-bit reproducible and independent of
+// worker count and GOMAXPROCS; the workers only decide who computes which
+// chunk, never how the numbers combine. (The path choice itself is also
+// size-gated, never worker-gated: a 1-core machine runs the same chunked
+// fold for large layers that a 64-core machine does.) Absorbed
+// contributions are recorded individually per chunk and replayed in order
+// at merge time, giving them the exact sequential ((probIn+a1)+a2)+...
+// association on every path. Stats are accumulated per-chunk and reduced
+// at merge time on the calling goroutine, never incremented from workers.
+func runStep(ctx context.Context, ar *arena, cur, nxt *layerTable, dstWords int, opts Options, probIn float64, fn expandFn) (float64, error) {
+	n := cur.len()
+	nxt.reset(dstWords, n)
+	if n < parallelThreshold {
+		ws := &ar.workspaces(1, cur.words, dstWords)[0]
+		em := emitter{dst: nxt, seq: true, prob: probIn}
+		for i := 0; i < n; i++ {
+			if i&1023 == 1023 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
+			fn(ws, cur.key(i, ws.dec), cur.vals[i], &em)
+		}
+		if opts.Stats != nil {
+			opts.Stats.Transitions += em.transitions
+		}
+		return em.prob, nil
+	}
+
+	nChunks := (n + expandChunk - 1) / expandChunk
+	workers := expandWorkers()
+	if workers > nChunks {
+		workers = nChunks
+	}
+	for len(ar.chunks) < nChunks {
+		ar.chunks = append(ar.chunks, chunkBuf{})
+	}
+	wss := ar.workspaces(workers, cur.words, dstWords)
+	var (
+		wg       sync.WaitGroup
+		nextC    atomic.Int64
+		stopped  atomic.Bool
+		hintPerC = 2 * expandChunk
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(ws *workspace) {
+			defer wg.Done()
+			for {
+				c := int(nextC.Add(1)) - 1
+				if c >= nChunks || stopped.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					stopped.Store(true)
+					return
+				}
+				cb := &ar.chunks[c]
+				cb.l.reset(dstWords, hintPerC)
+				em := emitter{dst: &cb.l, absorbed: cb.absorbed[:0]}
+				lo := c * expandChunk
+				hi := lo + expandChunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(ws, cur.key(i, ws.dec), cur.vals[i], &em)
+				}
+				cb.absorbed = em.absorbed
+				cb.transitions = em.transitions
+			}
+		}(&wss[w])
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	prob := probIn
+	for c := 0; c < nChunks; c++ {
+		cb := &ar.chunks[c]
+		for _, a := range cb.absorbed {
+			prob += a
+		}
+		nxt.mergeFrom(&cb.l)
+		if opts.Stats != nil {
+			opts.Stats.Transitions += cb.transitions
+		}
+	}
+	return prob, nil
+}
+
+// piRow exposes the arena's prefix-sum buffer sized for row length n.
+func (ar *arena) prefix(n int) []float64 {
+	if cap(ar.piPrefix) < n {
+		ar.piPrefix = make([]float64, n)
+	}
+	return ar.piPrefix[:n]
+}

@@ -19,6 +19,13 @@ import (
 // matches the union is absorbed into the answer immediately (matching is
 // monotone under insertion).
 //
+// A state is the position-sorted list of inserted involved items, one word
+// per entry ((item index << 11) | position) whenever the item index fits 5
+// bits and positions fit 11, two words otherwise; layers use the packed
+// representation of state.go, so early layers (up to four inserted involved
+// items) key as a single uint64. Union matching is precompiled to bitmask
+// probes over the patterns' cached topological orders (see matches below).
+//
 // This solver substitutes for the LTM engine of Cohen et al. in the general
 // solver (DESIGN.md, substitution S1). It is exponential in the number of
 // involved items (O(C(m, t) * t!) states in the worst case) and rejects
@@ -35,142 +42,326 @@ func RelOrder(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Optio
 		}
 	}
 	involved := pattern.InvolvedItems(u, lab, m)
-	if len(involved) > opts.maxInvolved() {
-		return 0, fmt.Errorf("%w: %d involved items (limit %d)", ErrTooLarge, len(involved), opts.maxInvolved())
+	t := len(involved)
+	if t > opts.maxInvolved() {
+		return 0, fmt.Errorf("%w: %d involved items (limit %d)", ErrTooLarge, t, opts.maxInvolved())
 	}
-	tIdx := make(map[rank.Item]int, len(involved))
+	tIdx := make(map[rank.Item]int, t)
 	for i, it := range involved {
 		tIdx[it] = i
 	}
 
-	// State encoding: entries sorted by position; 3 bytes per entry
-	// (involved-item index, position lo, position hi).
-	type entry struct {
-		item rank.Item
-		pos  int16
+	// Entry codec: one word packs (item index, position) when the index fits
+	// 5 bits and positions fit 11 — every realistic instance. The generic
+	// two-word form handles the rest.
+	oneWord := t <= 32 && m <= 2047
+	entryWords := 1
+	if !oneWord {
+		entryWords = 2
 	}
-	enc := func(es []entry) string {
-		b := make([]byte, 3*len(es))
-		for i, e := range es {
-			b[3*i] = byte(tIdx[e.item])
-			b[3*i+1] = byte(uint16(e.pos))
-			b[3*i+2] = byte(uint16(e.pos) >> 8)
+	getEntry := func(w []int16, e int) (int, int16) {
+		if oneWord {
+			v := uint16(w[e])
+			return int(v >> 11), int16(v & 0x7ff)
 		}
-		return string(b)
-	}
-	dec := func(key string) []entry {
-		es := make([]entry, len(key)/3)
-		for i := range es {
-			es[i] = entry{
-				item: involved[key[3*i]],
-				pos:  int16(uint16(key[3*i+1]) | uint16(key[3*i+2])<<8),
-			}
-		}
-		return es
+		return int(w[2*e]), w[2*e+1]
 	}
 
-	matchCache := make(map[string]bool)
-	matches := func(es []entry) bool {
-		kb := make([]byte, len(es))
-		for i, e := range es {
-			kb[i] = byte(tIdx[e.item])
+	// Matching is precompiled to integer operations: for every pattern node,
+	// a bitmask over involved-item indices of the items that can satisfy it
+	// (node labels ⊆ item labels). An arrangement matches a pattern iff the
+	// greedy earliest embedding — the exact algorithm of pattern.Matches,
+	// over the cached topological order and predecessor lists — completes,
+	// tested with bit probes instead of label-set subset checks.
+	maxNodes := 0
+	for _, g := range u {
+		if g.NumNodes() > maxNodes {
+			maxNodes = g.NumNodes()
 		}
-		k := string(kb)
-		if v, ok := matchCache[k]; ok {
+	}
+	useMasks := t <= 64 && maxNodes <= 16
+	type relPat struct {
+		topo  []int
+		preds [][]int
+		can   []uint64 // per node, bitmask over involved item indices
+	}
+	var relPats []relPat
+	if useMasks {
+		relPats = make([]relPat, len(u))
+		for gi, g := range u {
+			can := make([]uint64, g.NumNodes())
+			for v := range can {
+				nl := g.Node(v).Labels
+				for ii, it := range involved {
+					if nl.SubsetOf(lab.Of(it)) {
+						can[v] |= 1 << uint(ii)
+					}
+				}
+			}
+			relPats[gi] = relPat{topo: g.TopoOrder(), preds: g.Preds(), can: can}
+		}
+	}
+	// matches reports whether the arrangement encoded by the k-entry word
+	// vector (already position-sorted) matches the union.
+	matches := func(ws *workspace, w []int16, k int) bool {
+		if !useMasks {
+			// Oversized instance (reachable through General's conjunctions,
+			// whose node counts sum across patterns): fall back to the
+			// generic matcher, memoized per arrangement in the per-worker
+			// cache so each distinct item order runs one greedy embedding.
+			// Byte keys hold item indices; memoization is skipped on the
+			// (factorially intractable anyway) t > 255 instances where an
+			// index would not fit a byte.
+			memo := t <= 255
+			var kb []byte
+			if memo {
+				if cap(ws.kb) < k {
+					ws.kb = make([]byte, t)
+				}
+				kb = ws.kb[:k]
+				for e := 0; e < k; e++ {
+					idx, _ := getEntry(w, e)
+					kb[e] = byte(idx)
+				}
+				if v, ok := ws.match[string(kb)]; ok {
+					return v
+				}
+			}
+			if cap(ws.rank) < k {
+				ws.rank = make(rank.Ranking, t)
+			}
+			mini := ws.rank[:k]
+			for e := 0; e < k; e++ {
+				idx, _ := getEntry(w, e)
+				mini[e] = involved[idx]
+			}
+			v := u.Matches(mini, lab)
+			if memo {
+				if ws.match == nil {
+					ws.match = make(map[string]bool)
+				}
+				ws.match[string(kb)] = v
+			}
 			return v
 		}
-		mini := make(rank.Ranking, len(es))
-		for i, e := range es {
-			mini[i] = e.item
+		if cap(ws.bits) < k {
+			ws.bits = make([]uint64, t)
 		}
-		v := u.Matches(mini, lab)
-		matchCache[k] = v
-		return v
+		bits := ws.bits[:k] // bit of the item at each position
+		if oneWord {
+			for e := 0; e < k; e++ {
+				bits[e] = 1 << (uint16(w[e]) >> 11)
+			}
+		} else {
+			for e := 0; e < k; e++ {
+				bits[e] = 1 << uint(w[2*e])
+			}
+		}
+		for gi := range relPats {
+			rp := &relPats[gi]
+			var pos [16]int
+			ok := true
+			for _, v := range rp.topo {
+				lowest := 0
+				for _, pu := range rp.preds[v] {
+					if pos[pu]+1 > lowest {
+						lowest = pos[pu] + 1
+					}
+				}
+				found := -1
+				cv := rp.can[v]
+				for q := lowest; q < k; q++ {
+					if cv&bits[q] != 0 {
+						found = q
+						break
+					}
+				}
+				if found < 0 {
+					ok = false
+					break
+				}
+				pos[v] = found
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
 	}
 
-	cur := newLayer(1)
-	cur.add("", 1)
+	ar := getArena()
+	defer putArena(ar)
+	cur, nxt := &ar.layers[0], &ar.layers[1]
+	cur.reset(0, 1)
+	cur.addWords(nil, 1)
 	prob := 0.0
-	piPrefix := make([]float64, m+2)
+	piPrefix := ar.prefix(m + 2)
+	ins := 0 // involved items inserted so far
+
+	// The expand closures are built once; the step loop only rebinds the
+	// per-step variables they capture. The one-word codec gets dedicated
+	// closures operating on raw words — this loop is the solver's entire
+	// hot path.
+	var (
+		piRow []float64
+		stepI int // insertion step i
+		k     int // entries per current state
+		dstK  int // entries per successor state
+		xIdx  int // involved index of the inserted item
+	)
+	expandInvolvedFast := func(ws *workspace, key []int16, q float64, em *emitter) {
+		ne := ws.next
+		for j := 0; j <= stepI; j++ {
+			p := q * piRow[j]
+			if p == 0 {
+				continue
+			}
+			jj := uint16(j)
+			xw := int16(uint16(xIdx)<<11 | jj)
+			out := 0
+			inserted := false
+			for e := 0; e < k; e++ {
+				v := uint16(key[e])
+				pos := v & 0x7ff
+				if pos >= jj {
+					pos++
+				}
+				if !inserted && pos > jj {
+					ne[out] = xw
+					out++
+					inserted = true
+				}
+				ne[out] = int16(v&0xf800 | pos)
+				out++
+			}
+			if !inserted {
+				ne[out] = xw
+			}
+			if matches(ws, ne, dstK) {
+				em.absorb(p)
+				continue
+			}
+			em.emit(ne, p)
+		}
+	}
+	expandGapFast := func(ws *workspace, key []int16, q float64, em *emitter) {
+		ne := ws.next
+		lo := 0
+		for g := 0; g <= k; g++ {
+			hi := stepI
+			if g < k {
+				hi = int(uint16(key[g]) & 0x7ff)
+			}
+			if lo > hi {
+				continue
+			}
+			if w := piPrefix[hi+1] - piPrefix[lo]; w > 0 {
+				copy(ne, key[:k])
+				for e := g; e < k; e++ {
+					ne[e]++ // position occupies the low bits; +1 cannot carry
+				}
+				em.emit(ne, q*w)
+			}
+			if g < k {
+				lo = int(uint16(key[g])&0x7ff) + 1
+			}
+		}
+	}
+	// Generic two-word variants for oversized instances.
+	expandInvolvedWide := func(ws *workspace, key []int16, q float64, em *emitter) {
+		ne := ws.next
+		for j := 0; j <= stepI; j++ {
+			p := q * piRow[j]
+			if p == 0 {
+				continue
+			}
+			jj := int16(j)
+			out := 0
+			inserted := false
+			for e := 0; e < k; e++ {
+				idx, pos := int(key[2*e]), key[2*e+1]
+				if pos >= jj {
+					pos++
+				}
+				if !inserted && pos > jj {
+					ne[2*out], ne[2*out+1] = int16(xIdx), jj
+					out++
+					inserted = true
+				}
+				ne[2*out], ne[2*out+1] = int16(idx), pos
+				out++
+			}
+			if !inserted {
+				ne[2*out], ne[2*out+1] = int16(xIdx), jj
+			}
+			if matches(ws, ne, dstK) {
+				em.absorb(p)
+				continue
+			}
+			em.emit(ne, p)
+		}
+	}
+	expandGapWide := func(ws *workspace, key []int16, q float64, em *emitter) {
+		ne := ws.next
+		lo := 0
+		for g := 0; g <= k; g++ {
+			hi := stepI
+			if g < k {
+				hi = int(key[2*g+1])
+			}
+			if lo > hi {
+				continue
+			}
+			if w := piPrefix[hi+1] - piPrefix[lo]; w > 0 {
+				copy(ne, key[:2*k])
+				for e := g; e < k; e++ {
+					ne[2*e+1]++
+				}
+				em.emit(ne, q*w)
+			}
+			if g < k {
+				lo = int(key[2*g+1]) + 1
+			}
+		}
+	}
+	expandInvolved, expandGap := expandInvolvedWide, expandGapWide
+	if oneWord {
+		expandInvolved, expandGap = expandInvolvedFast, expandGapFast
+	}
 
 	for i := 0; i < m; i++ {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
 		x := model.Sigma()[i]
-		_, isInvolved := tIdx[x]
-		nxt := newLayer(cur.len())
-		// Prefix sums of the insertion row for gap merging.
-		piPrefix[0] = 0
-		for j := 0; j <= i; j++ {
-			piPrefix[j+1] = piPrefix[j] + model.Pi(i, j)
+		var isInvolved bool
+		xIdx, isInvolved = tIdx[x]
+		piRow, stepI, k = model.PiRow(i), i, ins
+		expand := expandGap
+		dstK = k
+		if isInvolved {
+			dstK = k + 1
+			expand = expandInvolved
+		} else {
+			// Prefix sums of the insertion row for gap merging.
+			piPrefix[0] = 0
+			for j := 0; j <= i; j++ {
+				piPrefix[j+1] = piPrefix[j] + piRow[j]
+			}
 		}
-		rangeWeight := func(lo, hi int) float64 { return piPrefix[hi+1] - piPrefix[lo] }
-
-		for ki, key := range cur.keys {
-			q := cur.vals[ki]
-			es := dec(key)
-			if isInvolved {
-				for j := 0; j <= i; j++ {
-					ne := make([]entry, 0, len(es)+1)
-					inserted := false
-					for _, e := range es {
-						p := e.pos
-						if p >= int16(j) {
-							p++
-						}
-						if !inserted && p > int16(j) {
-							ne = append(ne, entry{item: x, pos: int16(j)})
-							inserted = true
-						}
-						ne = append(ne, entry{item: e.item, pos: p})
-					}
-					if !inserted {
-						ne = append(ne, entry{item: x, pos: int16(j)})
-					}
-					p := q * model.Pi(i, j)
-					if p == 0 {
-						continue
-					}
-					if matches(ne) {
-						prob += p
-						continue
-					}
-					nxt.add(enc(ne), p)
-				}
-				continue
-			}
-			// Non-involved item: merge insertion slots per gap.
-			// Gap g in [0, len(es)]: positions in (es[g-1].pos, es[g].pos]
-			// shift entries g..end by one.
-			lo := 0
-			for g := 0; g <= len(es); g++ {
-				hi := i
-				if g < len(es) {
-					hi = int(es[g].pos)
-				}
-				if lo > hi {
-					continue
-				}
-				w := rangeWeight(lo, hi)
-				if w > 0 {
-					ne := make([]entry, len(es))
-					copy(ne, es)
-					for k := g; k < len(ne); k++ {
-						ne[k].pos++
-					}
-					nxt.add(enc(ne), q*w)
-				}
-				if g < len(es) {
-					lo = int(es[g].pos) + 1
-				}
-			}
+		var err error
+		prob, err = runStep(ctx, ar, cur, nxt, dstK*entryWords, opts, prob, expand)
+		if err != nil {
+			return 0, err
+		}
+		if isInvolved {
+			ins++
 		}
 		opts.note(nxt.len())
 		if err := opts.checkStates(nxt.len()); err != nil {
 			return 0, err
 		}
-		cur = nxt
+		cur, nxt = nxt, cur
 	}
 	return prob, nil
 }

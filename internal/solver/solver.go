@@ -54,12 +54,20 @@ type Options struct {
 	Stats *Stats
 }
 
-// Stats reports solver effort.
+// Stats reports solver effort. Under parallel layer expansion the counters
+// are accumulated per worker chunk and reduced on the solving goroutine at
+// merge time, so a Stats attached to a single solve is never written
+// concurrently; one Stats must still not be shared across concurrent
+// solves.
 type Stats struct {
 	// PeakStates is the largest DP layer encountered.
 	PeakStates int
 	// TotalStates is the sum of DP layer sizes across steps.
 	TotalStates int
+	// Transitions counts generated successor states (emitted or absorbed)
+	// across all expansion steps — the work unit the planner's cost model
+	// predicts.
+	Transitions int
 	// Subproblems counts single-pattern solves (General solver).
 	Subproblems int
 }
@@ -116,42 +124,13 @@ func Auto(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Options) 
 	}
 }
 
-// layer is an insertion-ordered DP layer: a map from state key to
-// probability mass whose iteration order is the order keys were first
-// added. The solvers fold probability mass state by state, and several
-// source states can merge into one successor; iterating a plain map would
-// add those contributions in Go's randomized map order, making the last
-// bits of the result wobble between runs. Insertion order is deterministic
-// by induction (the initial layer has one state, and each expansion step
-// visits states and insertion slots in a fixed order), so every solver's
-// answer is bit-for-bit reproducible — the property the unified query
-// API's equivalence suite and the cross-layer caches rely on — at O(1)
-// bookkeeping instead of a per-layer sort.
-type layer struct {
-	idx  map[string]int
-	keys []string
-	vals []float64
-}
-
-// newLayer returns an empty layer sized for about n states.
-func newLayer(n int) *layer {
-	return &layer{
-		idx:  make(map[string]int, n),
-		keys: make([]string, 0, n),
-		vals: make([]float64, 0, n),
-	}
-}
-
-// add folds mass p into the state key, appending the state on first touch.
-func (l *layer) add(key string, p float64) {
-	if i, ok := l.idx[key]; ok {
-		l.vals[i] += p
-		return
-	}
-	l.idx[key] = len(l.keys)
-	l.keys = append(l.keys, key)
-	l.vals = append(l.vals, p)
-}
-
-// len returns the number of states in the layer.
-func (l *layer) len() int { return len(l.keys) }
+// The DP layer representation shared by the solvers lives in state.go
+// (packed integer state keys over an insertion-ordered open-addressing
+// table) and layer.go (pooled arenas plus the sequential/parallel
+// expansion driver). Insertion order is deterministic by induction (the
+// initial layer has one state, and each expansion step visits states and
+// insertion slots in a fixed order), so every solver's answer is
+// bit-for-bit reproducible — the property the unified query API's
+// equivalence suite and the cross-layer caches rely on — and the parallel
+// driver's ordered chunk merge preserves exactly the sequential fold (see
+// runStep).

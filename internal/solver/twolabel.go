@@ -15,6 +15,10 @@ import (
 // R-type label set (beta); a state violates pattern i while alpha(l_i) >=
 // beta(r_i), and only violating states are kept. The answer is one minus the
 // surviving probability mass. Complexity O(m^(2z+1)).
+//
+// States are vectors of one position word per tracker slot (absent = -1),
+// held in the packed layer representation of state.go and expanded through
+// the shared (and, for large layers, parallel) driver of layer.go.
 func TwoLabel(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Options) (float64, error) {
 	if !u.AllTwoLabel() {
 		return 0, fmt.Errorf("%w: TwoLabel requires two-label patterns", ErrShape)
@@ -23,25 +27,22 @@ func TwoLabel(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Optio
 		return 0, nil
 	}
 	ctx := opts.ctx()
+	ar := getArena()
+	defer putArena(ar)
 
-	// Deduplicate trackers: one slot per distinct (label set, role).
-	type role struct {
-		key   string
-		isMin bool
-	}
-	slotOf := make(map[role]int)
-	var slotLabels []label.Set
-	var slotIsMin []bool
+	// Deduplicate trackers: one slot per distinct (label set, role). Linear
+	// scan over the few slots — no Key-string allocation.
+	slotLabels := ar.sets.take(2 * len(u))[:0]
+	slotIsMin := ar.bools.take(2 * len(u))[:0]
 	slot := func(ls label.Set, isMin bool) int {
-		r := role{ls.Key(), isMin}
-		if s, ok := slotOf[r]; ok {
-			return s
+		for s, sl := range slotLabels {
+			if slotIsMin[s] == isMin && sl.Equal(ls) {
+				return s
+			}
 		}
-		s := len(slotLabels)
-		slotOf[r] = s
 		slotLabels = append(slotLabels, ls)
 		slotIsMin = append(slotIsMin, isMin)
-		return s
+		return len(slotLabels) - 1
 	}
 	type pat struct{ l, r int } // slot indices
 	pats := make([]pat, len(u))
@@ -55,96 +56,183 @@ func TwoLabel(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Optio
 	n := len(slotLabels)
 	m := model.M()
 
-	// Per insertion step, which slots does the inserted item feed?
-	matches := make([][]int, m)
+	// Per insertion step, which slots does the inserted item feed? One
+	// labeling lookup per item, two passes over a single backing array, all
+	// bump-allocated from the pooled arena.
+	sigma := model.Sigma()
+	itemSets := ar.sets.take(m)
+	for i := range itemSets {
+		itemSets[i] = lab.Of(sigma[i])
+	}
+	matches := ar.intSlices.take(m)
+	nFeed := 0
 	for i := 0; i < m; i++ {
-		it := model.Sigma()[i]
 		for s := 0; s < n; s++ {
-			if lab.HasAll(it, slotLabels[s]) {
-				matches[i] = append(matches[i], s)
+			if slotLabels[s].SubsetOf(itemSets[i]) {
+				nFeed++
 			}
 		}
+	}
+	feedBacking := ar.ints.take(nFeed)[:0]
+	for i := 0; i < m; i++ {
+		lo := len(feedBacking)
+		for s := 0; s < n; s++ {
+			if slotLabels[s].SubsetOf(itemSets[i]) {
+				feedBacking = append(feedBacking, s)
+			}
+		}
+		matches[i] = feedBacking[lo:len(feedBacking):len(feedBacking)]
 	}
 
 	const absent = int16(-1)
-	enc := func(vals []int16) string {
-		b := make([]byte, 2*len(vals))
-		for i, v := range vals {
-			b[2*i] = byte(v)
-			b[2*i+1] = byte(v >> 8)
-		}
-		return string(b)
-	}
-	dec := func(key string, vals []int16) {
-		for i := range vals {
-			vals[i] = int16(key[2*i]) | int16(key[2*i+1])<<8
-		}
-	}
-
-	satisfied := func(vals []int16) bool {
-		for _, p := range pats {
-			a, b := vals[p.l], vals[p.r]
-			if a != absent && b != absent && a < b {
-				return true
-			}
-		}
-		return false
-	}
-
-	init := make([]int16, n)
+	cur, nxt := &ar.layers[0], &ar.layers[1]
+	cur.reset(n, 1)
+	init := ar.workspaces(1, n, n)[0].next
 	for i := range init {
 		init[i] = absent
 	}
-	cur := newLayer(1)
-	cur.add(enc(init), 1)
-	vals := make([]int16, n)
-	next := make([]int16, n)
-	checkEvery := 0
+	cur.addWords(init, 1)
+
+	// The expand closure is built once; the step loop only rebinds the
+	// per-step variables it captures.
+	var (
+		piRow []float64
+		feed  []int
+		steps int
+	)
+	packed := n <= packedWords
+	piPrefix := ar.prefix(m + 2)
+	expand := func(ws *workspace, vals []int16, q float64, em *emitter) {
+		next := ws.next
+		pats := pats
+		if len(feed) == 0 {
+			// The inserted item feeds no tracker, so the successor depends
+			// on the insertion point j only through which positions shift —
+			// constant between consecutive tracked positions. Merge each
+			// such gap into one emission weighted by the gap's insertion
+			// mass (same state set as per-slot expansion; relorder's gap
+			// optimization applied to tracker vectors).
+			if cap(ws.gaps) < n {
+				ws.gaps = make([]int16, n)
+			}
+			gaps := ws.gaps[:0]
+			for _, v := range vals {
+				if v == absent {
+					continue
+				}
+				at := len(gaps)
+				for at > 0 && gaps[at-1] >= v {
+					if gaps[at-1] == v {
+						at = -1
+						break
+					}
+					at--
+				}
+				if at < 0 {
+					continue // duplicate
+				}
+				gaps = append(gaps, 0)
+				copy(gaps[at+1:], gaps[at:])
+				gaps[at] = v
+			}
+			lo := 0
+			for g := 0; g <= len(gaps); g++ {
+				hi := steps - 1
+				if g < len(gaps) {
+					hi = int(gaps[g])
+				}
+				if lo > hi {
+					continue
+				}
+				jj := int16(lo)
+				for s, v := range vals {
+					if v != absent && v >= jj {
+						v++
+					}
+					next[s] = v
+				}
+				satisfied := false
+				for _, p := range pats {
+					a, b := next[p.l], next[p.r]
+					if a != absent && b != absent && a < b {
+						satisfied = true
+						break
+					}
+				}
+				lo = hi + 1
+				if satisfied {
+					continue
+				}
+				w := q * (piPrefix[hi+1] - piPrefix[jj])
+				if packed {
+					em.emit64(packWords(next), w)
+				} else {
+					em.emit(next, w)
+				}
+			}
+			return
+		}
+		for j := 0; j < steps; j++ {
+			jj := int16(j)
+			// Copy the state, shifting positions at or after the insertion
+			// point, in one pass.
+			for s, v := range vals {
+				if v != absent && v >= jj {
+					v++
+				}
+				next[s] = v
+			}
+			// Apply the inserted item's label memberships.
+			for _, s := range feed {
+				if slotIsMin[s] {
+					if next[s] == absent || jj < next[s] {
+						next[s] = jj
+					}
+				} else {
+					if next[s] == absent || jj > next[s] {
+						next[s] = jj
+					}
+				}
+			}
+			// Prune states that satisfy some pattern: they match G forever.
+			satisfied := false
+			for _, p := range pats {
+				a, b := next[p.l], next[p.r]
+				if a != absent && b != absent && a < b {
+					satisfied = true
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			if packed {
+				em.emit64(packWords(next), q*piRow[j])
+			} else {
+				em.emit(next, q*piRow[j])
+			}
+		}
+	}
 	for i := 0; i < m; i++ {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		nxt := newLayer(cur.len())
-		for ki, key := range cur.keys {
-			q := cur.vals[ki]
-			if checkEvery++; checkEvery&1023 == 0 {
-				if err := ctx.Err(); err != nil {
-					return 0, err
-				}
+		piRow, feed, steps = model.PiRow(i), matches[i], i+1
+		if len(feed) == 0 {
+			// Prefix sums of the insertion row for gap merging.
+			piPrefix[0] = 0
+			for j := 0; j < steps; j++ {
+				piPrefix[j+1] = piPrefix[j] + piRow[j]
 			}
-			dec(key, vals)
-			for j := 0; j <= i; j++ {
-				jj := int16(j)
-				copy(next, vals)
-				// Shift positions at or after the insertion point.
-				for s := 0; s < n; s++ {
-					if next[s] != absent && next[s] >= jj {
-						next[s]++
-					}
-				}
-				// Apply the inserted item's label memberships.
-				for _, s := range matches[i] {
-					if slotIsMin[s] {
-						if next[s] == absent || jj < next[s] {
-							next[s] = jj
-						}
-					} else {
-						if next[s] == absent || jj > next[s] {
-							next[s] = jj
-						}
-					}
-				}
-				if satisfied(next) {
-					continue // pruned: this state satisfies G forever
-				}
-				nxt.add(enc(next), q*model.Pi(i, j))
-			}
+		}
+		if _, err := runStep(ctx, ar, cur, nxt, n, opts, 0, expand); err != nil {
+			return 0, err
 		}
 		opts.note(nxt.len())
 		if err := opts.checkStates(nxt.len()); err != nil {
 			return 0, err
 		}
-		cur = nxt
+		cur, nxt = nxt, cur
 	}
 	violate := 0.0
 	for _, q := range cur.vals {
