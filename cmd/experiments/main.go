@@ -12,7 +12,7 @@
 //	experiments -list
 //	experiments -fig 4
 //	experiments -fig all -scale paper
-//	experiments -bench -benchtime 100ms -benchout BENCH_PR5.json
+//	experiments -bench -benchtime 100ms -benchout BENCH_PR6.json
 //	experiments -bench -benchcompare BENCH_PR4.json            # fresh run vs old report
 //	experiments -benchcompare BENCH_PR4.json,BENCH_PR5.json    # file vs file
 //	experiments -bench -cpuprofile cpu.prof -memprofile mem.prof
@@ -47,7 +47,7 @@ func main() {
 		list       = flag.Bool("list", false, "list available figures and exit")
 		runBench   = flag.Bool("bench", false, "run the benchmark regression harness instead of figures")
 		benchTime  = flag.Duration("benchtime", 100*time.Millisecond, "minimum measurement time per benchmark")
-		benchOut   = flag.String("benchout", "BENCH_PR5.json", "benchmark report path ('-' for stdout)")
+		benchOut   = flag.String("benchout", "BENCH_PR6.json", "benchmark report path ('-' for stdout)")
 		benchCmp   = flag.String("benchcompare", "", "compare benchmark reports and fail on >25% regression of solver/* or do/* cases: OLD.json (against a fresh -bench run) or OLD.json,NEW.json (file vs file)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")

@@ -1,12 +1,14 @@
 // Package bench is the benchmark regression harness: a fixed set of named
 // micro-benchmarks over the solver, sampling, planner and service hot
 // paths, runnable outside `go test` so cmd/experiments can emit a
-// machine-readable report (BENCH_PR5.json; earlier PRs archived
-// BENCH_PR2.json and BENCH_PR4.json with the same format) for CI to
-// archive and compare across PRs. The do/* cases measure the unified
-// request API against the legacy entry points it wraps, so any regression
-// from the Do indirection shows up as a ratio drift between the paired
-// cases; the solver/* cases gate the packed-state DP core, and every
+// machine-readable report (BENCH_PR6.json; earlier PRs archived
+// BENCH_PR2.json, BENCH_PR4.json and BENCH_PR5.json with the same format)
+// for CI to archive and compare across PRs. The do/* cases measure the
+// unified request API against the legacy entry points it wraps, so any
+// regression from the Do indirection shows up as a ratio drift between the
+// paired cases; the solver/* cases gate the packed-state DP core — the
+// solver/batched-* pairs additionally gate the compile-once / solve-many
+// layer, whose acceptance ratio is loop/batched — and every
 // measurement also reports allocations per op so steady-state allocation
 // regressions (a recycled arena that stops being recycled) fail the
 // compare step like time regressions do.
@@ -25,6 +27,8 @@ import (
 
 	"probpref/internal/dataset"
 	"probpref/internal/ppd"
+	"probpref/internal/rank"
+	"probpref/internal/rim"
 	"probpref/internal/sampling"
 	"probpref/internal/server"
 	"probpref/internal/solver"
@@ -45,7 +49,7 @@ type Result struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// Report is the benchmark report file format (BENCH_PR5.json).
+// Report is the benchmark report file format (BENCH_PR6.json).
 type Report struct {
 	GoVersion string   `json:"go_version"`
 	GOOS      string   `json:"goos"`
@@ -112,6 +116,38 @@ func Cases() ([]Case, error) {
 	doReq := &ppd.Request{Kind: ppd.KindBool, Query: batchQueries[0]}
 	compileReq := &ppd.Request{Kind: ppd.KindTopK, Query: batchQueries[0], K: 3, BoundEdges: 1}
 
+	// Compile-once / solve-many fixtures: one compiled plan per union shape
+	// and 64 session models sharing its reference ranking (a Mallows phi
+	// sweep, the many-sessions serving pattern of batched inference). The
+	// batched-vs-loop pairs measure the same 64 solves through one
+	// SolveSessions walk and through 64 single-session solves of the same
+	// plan; the PR 6 acceptance criterion is loop/batched >= 2.
+	mallowsSessions := func(sigma rank.Ranking, n int) []*rim.Model {
+		ms := make([]*rim.Model, n)
+		for i := range ms {
+			ms[i] = rim.MustMallows(sigma, 0.05+0.9*float64(i)/float64(n-1)).Model()
+		}
+		return ms
+	}
+	tlSigma := twoLabel.Model.Reference()
+	tlPlan, err := solver.CompilePlan(solver.AlgoTwoLabel, tlSigma, twoLabel.Lab, twoLabel.Union, solver.Options{})
+	if err != nil {
+		return nil, err
+	}
+	tlSessions := mallowsSessions(tlSigma, 64)
+	bpSigma := bipartite.Model.Reference()
+	bpPlan, err := solver.CompilePlan(solver.AlgoBipartite, bpSigma, bipartite.Lab, bipartite.Union, solver.Options{})
+	if err != nil {
+		return nil, err
+	}
+	bpSessions := mallowsSessions(bpSigma, 64)
+
+	// Plan-cache steady state: solve cache disabled so every batch re-solves
+	// its groups, plan cache enabled so every batch reuses the compiled
+	// shapes — the case measures the grouped DoBatch path at a 100%
+	// plan-cache hit rate.
+	planSvc := server.New(db, server.Config{Workers: 4, CacheSize: -1})
+
 	// Wide concurrent batch against a worker pool sized to the machine: the
 	// DoBatch fan-out exercises the pooled solver arenas under concurrency
 	// (every solve borrows and returns an arena), which is the serving
@@ -146,6 +182,38 @@ func Cases() ([]Case, error) {
 		{"solver/allocs", func(int) error {
 			_, err := solver.TwoLabel(allocProbe.Model.Model(), allocProbe.Lab, allocProbe.Union, solver.Options{})
 			return err
+		}},
+		// Compile-once / solve-many: compilation cost per union shape, then
+		// 64 sessions through one batched walk vs 64 looped single-session
+		// solves of the same compiled plan (the per-session speedup is the
+		// loop/batched ratio), for the two-label and bipartite DP cores.
+		{"solver/batched-compile", func(int) error {
+			_, err := solver.CompilePlan(solver.AlgoTwoLabel, tlSigma, twoLabel.Lab, twoLabel.Union, solver.Options{})
+			return err
+		}},
+		{"solver/batched-twolabel-64", func(int) error {
+			_, err := solver.SolveSessions(tlPlan, tlSessions, solver.Options{})
+			return err
+		}},
+		{"solver/batched-loop-twolabel-64", func(int) error {
+			for _, m := range tlSessions {
+				if _, err := tlPlan.Solve(m, solver.Options{}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"solver/batched-bipartite-64", func(int) error {
+			_, err := solver.SolveSessions(bpPlan, bpSessions, solver.Options{})
+			return err
+		}},
+		{"solver/batched-loop-bipartite-64", func(int) error {
+			for _, m := range bpSessions {
+				if _, err := bpPlan.Solve(m, solver.Options{}); err != nil {
+					return err
+				}
+			}
+			return nil
 		}},
 		// Planner routing overhead: the pure cost-estimation step the
 		// adaptive method adds in front of every group solve.
@@ -197,6 +265,12 @@ func Cases() ([]Case, error) {
 		}},
 		{"do/service-batch-8", func(int) error {
 			_, err := svc.DoBatch(context.Background(), batchRequests)
+			return err
+		}},
+		// Grouped batch at a 100% plan-cache hit rate (solve cache off, so
+		// the groups genuinely re-solve through the cached plans each op).
+		{"do/batched-plan-cache-8", func(int) error {
+			_, err := planSvc.DoBatch(context.Background(), batchRequests)
 			return err
 		}},
 		// Concurrent serving throughput over the pooled solver arenas.

@@ -1,0 +1,240 @@
+package ppd
+
+import (
+	"context"
+	"strings"
+
+	"probpref/internal/pattern"
+	"probpref/internal/rim"
+	"probpref/internal/solver"
+)
+
+// This file wires the solver's compile-once / solve-many layer (see
+// internal/solver/plan.go) into query evaluation. Grounded (model, union)
+// groups that share a canonical union shape — the same solver algorithm,
+// reference ranking and union — differ only in their sessions' insertion
+// probabilities, so one compiled Plan serves all of them and one batched
+// layer walk solves them together. Compiled plans optionally persist in a
+// PlanCache across evaluations; the service layer namespaces cache keys per
+// registry model so deleting a model invalidates its plans.
+
+// PlanCache caches compiled union plans across evaluations. Implementations
+// must be safe for concurrent use; the service layer's sharded LRU is the
+// canonical one. Plans are immutable, so a cache may hand the same *Plan to
+// any number of concurrent solves. A PlanCache must not be shared between
+// engines whose databases differ: plan keys do not encode the labeling, the
+// per-database (service-layer: per-model-namespace) cache identity does.
+type PlanCache interface {
+	// Get returns the plan compiled under key, if cached.
+	Get(key string) (*solver.Plan, bool)
+	// Put stores a compiled plan under key.
+	Put(key string, p *solver.Plan)
+}
+
+// PlanAlgo maps an evaluation method to the DP algorithm its exact solves
+// compile to, or reports that the method does not solve through compiled
+// plans (the inclusion-exclusion baseline, the samplers, and the adaptive
+// planner, whose routing is budget- and deadline-dependent).
+func PlanAlgo(m Method, u pattern.Union) (solver.Algo, bool) {
+	switch m {
+	case MethodAuto:
+		return solver.AlgoFor(u), true
+	case MethodTwoLabel:
+		return solver.AlgoTwoLabel, true
+	case MethodBipartite:
+		return solver.AlgoBipartite, true
+	case MethodRelOrder:
+		return solver.AlgoRelOrder, true
+	}
+	return 0, false
+}
+
+// PlanKey is the canonical cache key of a compiled union shape: algorithm,
+// reference ranking and union. Everything else a Plan depends on — the
+// labeling — is pinned by the cache's own identity (see PlanCache).
+func PlanKey(algo solver.Algo, sigma interface{ Key() string }, u pattern.Union) string {
+	return algo.String() + "|" + sigma.Key() + "|" + u.Key()
+}
+
+// plan returns the compiled plan for the union shape, consulting the
+// engine's PlanCache when configured. ok is false when the method does not
+// use compiled plans.
+func (e *Engine) plan(sm rim.SessionModel, u pattern.Union) (*solver.Plan, bool, error) {
+	algo, ok := PlanAlgo(e.Method, u)
+	if !ok {
+		return nil, false, nil
+	}
+	sigma := sm.Reference()
+	key := PlanKey(algo, sigma, u)
+	if e.Plans != nil {
+		if p, ok := e.Plans.Get(key); ok {
+			return p, true, nil
+		}
+	}
+	p, err := solver.CompilePlan(algo, sigma, e.DB.Labeling(), u, e.SolverOpts)
+	if err != nil {
+		return nil, false, err
+	}
+	if e.Plans != nil {
+		e.Plans.Put(key, p)
+	}
+	return p, true, nil
+}
+
+// BatchGroup is one deduplicated (session model, grounded union) group of a
+// batched solve.
+type BatchGroup struct {
+	// SM is the group's session model (its Pi rows drive one lane of the
+	// batched walk).
+	SM rim.SessionModel
+	// U is the grounded union the group evaluates.
+	U pattern.Union
+}
+
+// BatchSolveGroups solves many groups with the engine's configured method,
+// batching where the compiled-plan layer allows it: groups sharing a union
+// shape (same algorithm, reference ranking and union, differing only in
+// insertion probabilities) solve through one SolveSessions walk, and shapes
+// over the same session list whose plans share a walk schedule additionally
+// share their walk prefix (SolveSessionsShared). Groups outside the
+// compiled-plan methods fall back to per-group solves. Results are
+// positionally aligned with groups and bit-identical to solving each group
+// alone with SolveUnionCtx.
+func (e *Engine) BatchSolveGroups(ctx context.Context, groups []BatchGroup) ([]float64, []SolveReport, error) {
+	probs := make([]float64, len(groups))
+	reports := make([]SolveReport, len(groups))
+	opts := e.SolverOpts
+	if opts.Ctx == nil {
+		opts.Ctx = ctx
+	}
+
+	// Partition into plan classes: one compiled plan (and one batched walk)
+	// per canonical union shape.
+	type class struct {
+		plan    *solver.Plan
+		members []int // indices into groups
+	}
+	var classes []class
+	classOf := make(map[string]int)
+	for gi, g := range groups {
+		algo, ok := PlanAlgo(e.Method, g.U)
+		if !ok {
+			// Method outside the compiled-plan layer: solve the group alone.
+			p, rep, err := e.solve(ctx, g.SM, g.U)
+			if err != nil {
+				return nil, nil, err
+			}
+			probs[gi], reports[gi] = p, rep
+			continue
+		}
+		key := PlanKey(algo, g.SM.Reference(), g.U)
+		ci, seen := classOf[key]
+		if !seen {
+			pl, ok, err := e.plan(g.SM, g.U)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !ok { // unreachable: PlanAlgo succeeded above
+				continue
+			}
+			ci = len(classes)
+			classOf[key] = ci
+			classes = append(classes, class{plan: pl})
+		}
+		classes[ci].members = append(classes[ci].members, gi)
+		reports[gi] = SolveReport{Method: e.Method}
+	}
+
+	// Classes over the same session list whose plans share a walk schedule
+	// run through SolveSessionsShared; sessionsKey identifies the lane list.
+	sessionsKey := func(members []int) string {
+		var b strings.Builder
+		for _, gi := range members {
+			b.WriteString(groups[gi].SM.Rehash())
+			b.WriteByte('\x00')
+		}
+		return b.String()
+	}
+	type sharedGroup struct {
+		plans   []*solver.Plan
+		classes []int
+	}
+	shared := make(map[string]*sharedGroup)
+	var soloClasses []int
+	for ci := range classes {
+		p := classes[ci].plan
+		if k := p.SharedKey(); k != "" {
+			sk := k + "\x00" + sessionsKey(classes[ci].members)
+			sg, ok := shared[sk]
+			if !ok {
+				sg = &sharedGroup{}
+				shared[sk] = sg
+			}
+			sg.plans = append(sg.plans, p)
+			sg.classes = append(sg.classes, ci)
+			continue
+		}
+		soloClasses = append(soloClasses, ci)
+	}
+
+	// Class results write disjoint probs entries and no class's result
+	// depends on another's, so the order classes solve in is immaterial
+	// (the shared map's iteration order included).
+	solveClass := func(ci int, out []float64) {
+		for mi, gi := range classes[ci].members {
+			probs[gi] = out[mi]
+		}
+	}
+	models := func(ci int) []*rim.Model {
+		ms := make([]*rim.Model, len(classes[ci].members))
+		for mi, gi := range classes[ci].members {
+			ms[mi] = groups[gi].SM.Model()
+		}
+		return ms
+	}
+	for _, sg := range shared {
+		if len(sg.plans) < 2 {
+			soloClasses = append(soloClasses, sg.classes...)
+			continue
+		}
+		outs, err := solver.SolveSessionsShared(sg.plans, models(sg.classes[0]), opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i, ci := range sg.classes {
+			solveClass(ci, outs[i])
+		}
+	}
+	for _, ci := range soloClasses {
+		cl := &classes[ci]
+		if len(cl.members) == 1 {
+			p, err := cl.plan.Solve(groups[cl.members[0]].SM.Model(), opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			probs[cl.members[0]] = p
+			continue
+		}
+		out, err := solver.SolveSessions(cl.plan, models(ci), opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		solveClass(ci, out)
+	}
+	return probs, reports, nil
+}
+
+// BatchableMethod reports whether a method's grounded groups may route
+// through BatchSolveGroups: exact compiled-plan methods give bit-identical
+// results batched or alone, so batching is purely a performance decision
+// there. Sampler methods consume RNG streams per group and the adaptive
+// planner budgets per group, so they keep the per-group path.
+func BatchableMethod(m Method) bool {
+	switch m {
+	case MethodAuto, MethodTwoLabel, MethodBipartite, MethodRelOrder:
+		return true
+	}
+	return false
+}
+
+func (e *Engine) batchableMethod() bool { return BatchableMethod(e.Method) }

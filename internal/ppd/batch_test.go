@@ -1,0 +1,270 @@
+package ppd
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"probpref/internal/solver"
+)
+
+// mapPlanCache is a test PlanCache counting hits and compiles.
+type mapPlanCache struct {
+	mu   sync.Mutex
+	m    map[string]*solver.Plan
+	hits int
+	puts int
+}
+
+func newMapPlanCache() *mapPlanCache {
+	return &mapPlanCache{m: make(map[string]*solver.Plan)}
+}
+
+func (c *mapPlanCache) Get(key string) (*solver.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.m[key]
+	if ok {
+		c.hits++
+	}
+	return p, ok
+}
+
+func (c *mapPlanCache) Put(key string, p *solver.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	c.m[key] = p
+}
+
+// BatchSolveGroups must match per-group SolveUnionCtx bit-for-bit for the
+// exact compiled-plan methods — the grouped/batched path is a pure
+// performance optimization.
+func TestBatchSolveGroupsMatchesPerGroupBitwise(t *testing.T) {
+	db := figure1DB(t)
+	q := MustParse(`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
+	g, err := NewGrounder(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var groups []BatchGroup
+	for _, s := range g.Pref().Sessions {
+		gq, err := g.GroundSession(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gq.Union) == 0 {
+			continue
+		}
+		groups = append(groups, BatchGroup{SM: s.Model, U: gq.Union})
+	}
+	if len(groups) < 2 {
+		t.Fatalf("fixture produced %d groups, want >= 2", len(groups))
+	}
+	for _, method := range []Method{MethodAuto, MethodTwoLabel, MethodBipartite, MethodRelOrder} {
+		eng := &Engine{DB: db, Method: method, Plans: newMapPlanCache(),
+			SolverOpts: solver.Options{MaxInvolved: 16}}
+		probs, reps, err := eng.BatchSolveGroups(context.Background(), groups)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		for gi, bg := range groups {
+			want, wrep, err := eng.SolveUnionCtx(context.Background(), bg.SM, bg.U)
+			if err != nil {
+				t.Fatalf("%v group %d: %v", method, gi, err)
+			}
+			if math.Float64bits(probs[gi]) != math.Float64bits(want) {
+				t.Fatalf("%v group %d: batched %v != per-group %v", method, gi, probs[gi], want)
+			}
+			if reps[gi].Method != wrep.Method {
+				t.Fatalf("%v group %d: report method %v != %v", method, gi, reps[gi].Method, wrep.Method)
+			}
+		}
+	}
+}
+
+// The plan cache must be consulted and filled: a second batch over the same
+// shapes compiles nothing new.
+func TestBatchSolveGroupsUsesPlanCache(t *testing.T) {
+	db := figure1DB(t)
+	q := MustParse(`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
+	g, err := NewGrounder(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var groups []BatchGroup
+	for _, s := range g.Pref().Sessions {
+		gq, err := g.GroundSession(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gq.Union) == 0 {
+			continue
+		}
+		groups = append(groups, BatchGroup{SM: s.Model, U: gq.Union})
+	}
+	cache := newMapPlanCache()
+	eng := &Engine{DB: db, Method: MethodAuto, Plans: cache}
+	first, _, err := eng.BatchSolveGroups(context.Background(), groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.puts == 0 {
+		t.Fatal("no plans cached on first batch")
+	}
+	putsAfterFirst := cache.puts
+	second, _, err := eng.BatchSolveGroups(context.Background(), groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.puts != putsAfterFirst {
+		t.Fatalf("second batch compiled %d new plans, want 0", cache.puts-putsAfterFirst)
+	}
+	if cache.hits == 0 {
+		t.Fatal("second batch did not hit the plan cache")
+	}
+	for gi := range first {
+		if math.Float64bits(first[gi]) != math.Float64bits(second[gi]) {
+			t.Fatalf("group %d: cached-plan solve differs: %v vs %v", gi, first[gi], second[gi])
+		}
+	}
+}
+
+// Full evaluations through the batched grouped path must equal per-session
+// evaluation exactly (grouping off) for every exact method.
+func TestEvalBatchedMatchesUngrouped(t *testing.T) {
+	db := figure1DB(t)
+	q := MustParse(`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
+	for _, method := range []Method{MethodAuto, MethodTwoLabel, MethodBipartite, MethodRelOrder} {
+		batched := &Engine{DB: db, Method: method, Plans: newMapPlanCache()}
+		res, err := batched.Eval(q)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		plain := &Engine{DB: db, Method: method, DisableGrouping: true}
+		want, err := plain.Eval(q)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if math.Float64bits(res.Prob) != math.Float64bits(want.Prob) ||
+			math.Float64bits(res.Count) != math.Float64bits(want.Count) {
+			t.Fatalf("%v: batched eval (%v, %v) != ungrouped (%v, %v)",
+				method, res.Prob, res.Count, want.Prob, want.Count)
+		}
+	}
+}
+
+// PlanAlgo routes only the exact compiled-plan methods.
+func TestPlanAlgoRouting(t *testing.T) {
+	db := figure1DB(t)
+	q := MustParse(`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
+	g, err := NewGrounder(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Pref().Sessions[0]
+	gq, err := g.GroundSession(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := PlanAlgo(MethodAuto, gq.Union); !ok {
+		t.Fatal("MethodAuto should plan")
+	}
+	if algo, ok := PlanAlgo(MethodTwoLabel, gq.Union); !ok || algo != solver.AlgoTwoLabel {
+		t.Fatalf("MethodTwoLabel -> %v, %v", algo, ok)
+	}
+	for _, m := range []Method{MethodGeneral, MethodAdaptive, MethodMISLite, MethodMISAdaptive, MethodRejection} {
+		if _, ok := PlanAlgo(m, gq.Union); ok {
+			t.Fatalf("method %v should not plan", m)
+		}
+	}
+}
+
+// EstimateBatchedCost: one lane is a solo solve, and per-session cost
+// strictly improves with the batch while total cost still grows.
+func TestEstimateBatchedCost(t *testing.T) {
+	est := CostEstimate{Solver: MethodTwoLabel, States: 1e6}
+	if got := EstimateBatchedCost(est, 1); got != est {
+		t.Fatalf("one lane must be a solo solve: %+v", got)
+	}
+	prevTotal := est.States
+	for _, lanes := range []int{2, 8, 64} {
+		got := EstimateBatchedCost(est, lanes)
+		if got.States <= prevTotal {
+			t.Fatalf("total batched cost must grow with lanes: %v at %d lanes", got.States, lanes)
+		}
+		perSession := got.States / float64(lanes)
+		if perSession >= est.States {
+			t.Fatalf("per-session batched cost %v not below solo %v at %d lanes",
+				perSession, est.States, lanes)
+		}
+		prevTotal = got.States
+	}
+	// At large batches the per-session cost approaches the lane fraction.
+	big := EstimateBatchedCost(est, 1024)
+	if ratio := big.States / float64(1024) / est.States; ratio > BatchedLaneFraction+0.01 {
+		t.Fatalf("amortized per-session ratio %v exceeds lane fraction", ratio)
+	}
+	none := CostEstimate{Solver: methodNone, States: math.Inf(1)}
+	if got := EstimateBatchedCost(none, 64); got.Solver != methodNone {
+		t.Fatalf("no-solver estimate must pass through, got %+v", got)
+	}
+}
+
+// Satellite regression: an already-expired deadline must degrade an
+// adaptive solve to the minimum sampling estimate with a confidence
+// interval — never a zero-draw result or an error. (adaptiveBudget clamps
+// the remaining-time conversion at zero; without the clamp a negative
+// remaining time would produce a negative budget and a nonsensical draw
+// count.)
+func TestAdaptiveExpiredDeadlineMinimumSamplingEstimate(t *testing.T) {
+	db := figure1DB(t)
+	q := MustParse(`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
+	g, err := NewGrounder(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{DB: db, Method: MethodAdaptive}
+	deadlines := map[string]func() (context.Context, context.CancelFunc){
+		"expired": func() (context.Context, context.CancelFunc) {
+			ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+			return ctx, cancel
+		},
+		"near-zero": func() (context.Context, context.CancelFunc) {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+			time.Sleep(50 * time.Microsecond)
+			return ctx, cancel
+		},
+	}
+	for name, mk := range deadlines {
+		for _, s := range g.Pref().Sessions {
+			gq, err := g.GroundSession(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(gq.Union) == 0 {
+				continue
+			}
+			ctx, cancel := mk()
+			p, rep, err := eng.SolveUnionCtx(ctx, s.Model, gq.Union)
+			cancel()
+			if err != nil {
+				t.Fatalf("%s deadline, session %v: adaptive solve errored: %v", name, s.Key, err)
+			}
+			if !rep.Sampled {
+				t.Fatalf("%s deadline, session %v: not sampled (%+v)", name, s.Key, rep)
+			}
+			if rep.Samples < adaptiveSampleFloor/2 {
+				t.Fatalf("%s deadline, session %v: %d draws below the floor", name, s.Key, rep.Samples)
+			}
+			if rep.HalfWidth <= 0 {
+				t.Fatalf("%s deadline, session %v: no confidence half-width (%+v)", name, s.Key, rep)
+			}
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				t.Fatalf("%s deadline, session %v: estimate %v out of range", name, s.Key, p)
+			}
+		}
+	}
+}

@@ -140,6 +140,11 @@ type Engine struct {
 	// deadline (remaining time at AdaptiveStatesPerSecond) and falls back
 	// to DefaultAdaptiveBudget when the context has none.
 	AdaptiveBudget float64
+	// Plans, when non-nil, caches compiled union plans across evaluations
+	// (see PlanCache); exact-method groups sharing a union shape then skip
+	// recompilation and solve through one batched layer walk. Must not be
+	// shared between engines with different databases.
+	Plans PlanCache
 }
 
 func (e *Engine) rng() *rand.Rand {
@@ -263,7 +268,26 @@ func (e *Engine) evalGrounded(ctx context.Context, sessions []*Session, ground f
 		}
 	}
 
-	if workers := e.Workers; workers > 1 && len(groups) > 1 && len(pending) > 0 {
+	if len(pending) > 1 && e.Plans != nil && e.batchableMethod() && !e.DisableGrouping {
+		// Exact compiled-plan methods: pending groups sharing a union shape
+		// solve through one batched layer walk, bit-identical to per-group
+		// solves, so this path changes only the work done, never the answer.
+		// Gated on a configured PlanCache: without one every evaluation
+		// would recompile its plans from scratch, which costs more than
+		// batching saves on small groups (engines built by the service layer
+		// always carry the shared cache).
+		bg := make([]BatchGroup, len(pending))
+		for pi, gi := range pending {
+			bg[pi] = BatchGroup{SM: groups[gi].s.Model, U: groups[gi].u}
+		}
+		bprobs, breps, err := e.BatchSolveGroups(ctx, bg)
+		if err != nil {
+			return nil, err
+		}
+		for pi, gi := range pending {
+			finish(gi, bprobs[pi], breps[pi])
+		}
+	} else if workers := e.Workers; workers > 1 && len(groups) > 1 && len(pending) > 0 {
 		baseSeed := int64(1)
 		if e.Rng != nil {
 			baseSeed = e.Rng.Int63()

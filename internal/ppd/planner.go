@@ -108,6 +108,32 @@ func layerCost(m float64, width int) float64 {
 	return math.Exp(logCost)
 }
 
+// BatchedWalkFraction and BatchedLaneFraction model the throughput of the
+// compiled-plan batched executors (solver.SolveSessions): a batched solve
+// pays the structural layer walk — state hashing, successor construction,
+// matching — once for all lanes, and only the per-lane multiply-accumulate
+// scales with the session count. The fractions are calibrated against the
+// solver/batched-* benchmarks: walk bookkeeping is roughly 60% of a
+// single-session solve and the per-lane fold the remaining 40%, so per
+// session the batched cost approaches 40% of a solo solve as the batch
+// grows (and degenerates to exactly one solo solve at one lane).
+const (
+	BatchedWalkFraction = 0.6
+	BatchedLaneFraction = 0.4
+)
+
+// EstimateBatchedCost predicts the total exact work of solving one union
+// shape against lanes sessions in a single batched walk. The planner uses
+// it to compare "one batched walk over the class" against "lanes
+// independent solves" (est.States * lanes) when budgeting grouped requests.
+func EstimateBatchedCost(est CostEstimate, lanes int) CostEstimate {
+	if lanes <= 1 || est.Solver == methodNone {
+		return est
+	}
+	est.States = est.States * (BatchedWalkFraction + BatchedLaneFraction*float64(lanes))
+	return est
+}
+
 // trackerCount counts the distinct (label set, role) slots the
 // TwoLabel/Bipartite DP would track for the union, mirroring their slot
 // deduplication.

@@ -86,27 +86,31 @@ type DoBatchResult struct {
 
 // DoBatch answers a batch of requests as one unit.
 //
-// When every request of the batch is evaluation-backed (bool, count or
-// countdist), targets the same model and method, and carries no per-request
-// seed or deadline, the batch takes the grouped path: every request is
-// grounded first, the per-session inference groups are deduplicated across
-// all requests (the cross-query generalization of the paper's Section 6.4
-// grouping), cached results come from the shared solve cache, and only the
-// remaining distinct groups are solved by the bounded worker pool. For the
-// exact methods per-request probabilities are identical to answering each
-// request alone; for the sampling methods each group's seed derives from
-// its batch-wide group index, so answers are deterministic per batch+seed
-// but can differ from a standalone evaluation. A request's Solves /
-// CacheHits attribute each group to the first request of the batch that
-// needed it.
+// The batch is partitioned per request, not all-or-nothing: every
+// evaluation-backed request (bool, count or countdist) without a
+// per-request seed or deadline joins a grouped cluster keyed by its (model,
+// effective method) pair, and each cluster takes the grouped path — every
+// request of the cluster is grounded, the
+// per-session inference groups are deduplicated across the cluster (the
+// cross-query generalization of the paper's Section 6.4 grouping), cached
+// results come from the shared solve cache, and only the remaining distinct
+// groups are solved: through one compiled-plan batched walk for the exact
+// methods, or on the bounded worker pool otherwise. For the exact methods
+// per-request probabilities are identical to answering each request alone;
+// for the sampling methods each group's seed derives from its cluster-wide
+// group index, so answers are deterministic per batch+seed but can differ
+// from a standalone evaluation. A request's Solves / CacheHits attribute
+// each group to the first request of its cluster that needed it.
 //
-// Any other batch — topk or aggregate requests, mixed models or methods,
-// per-request seeds or deadlines — fans out request-by-request on the
-// worker pool. Identical requests (equal compiled Keys) are answered once
-// and share the response when their method is exact (seed-independent);
-// under a sampling method they additionally need an explicit shared seed,
-// since each request otherwise samples with its own index-derived seed.
-// Cross-request sharing still happens through the shared solve cache.
+// Every other request — topk or aggregate kinds, and the carve-outs
+// carrying their own seed or deadline — fans out
+// request-by-request on the worker pool; one seeded request no longer
+// forces the groupable majority off the grouped path. Identical fan-out
+// requests (equal compiled Keys) are answered once and share the response
+// when their method is exact (seed-independent); under a sampling method
+// they additionally need an explicit shared seed, since each request
+// otherwise samples with its own index-derived seed. Cross-request sharing
+// between the two paths still happens through the shared solve cache.
 func (s *Service) DoBatch(ctx context.Context, reqs []*ppd.Request) (*DoBatchResult, error) {
 	crs := make([]*ppd.CompiledRequest, len(reqs))
 	for i, r := range reqs {
@@ -116,32 +120,57 @@ func (s *Service) DoBatch(ctx context.Context, reqs []*ppd.Request) (*DoBatchRes
 		}
 		crs[i] = cr
 	}
-	if groupable(crs, s.cfg.Method) {
-		return s.doBatchGrouped(ctx, crs)
+	clusters, fanOut := s.partitionBatch(crs)
+	br := &DoBatchResult{Responses: make([]*ppd.Response, len(crs))}
+	for _, idx := range clusters {
+		if err := s.doBatchGrouped(ctx, crs, idx, br); err != nil {
+			return nil, err
+		}
 	}
-	return s.doBatchFanOut(ctx, crs)
+	if len(fanOut) > 0 {
+		if err := s.doBatchFanOut(ctx, crs, fanOut, br); err != nil {
+			return nil, err
+		}
+	}
+	s.batches.Add(1)
+	return br, nil
 }
 
-// groupable reports whether the whole batch can take the grouped
-// evaluation path: evaluation-backed kinds only, one model, one effective
-// method, and no per-request seed or deadline (the grouped path seeds each
-// group from its batch-wide index and runs under the batch context).
-func groupable(crs []*ppd.CompiledRequest, cfgMethod ppd.Method) bool {
-	if len(crs) == 0 {
+// groupEligible reports whether one request may join a grouped cluster:
+// evaluation-backed kinds only, and no per-request seed or deadline (the
+// grouped path seeds each group from its cluster-wide index and runs under
+// the batch context).
+func groupEligible(cr *ppd.CompiledRequest) bool {
+	switch cr.Kind {
+	case ppd.KindBool, ppd.KindCount, ppd.KindCountDist:
+	default:
 		return false
 	}
-	for _, cr := range crs {
-		switch cr.Kind {
-		case ppd.KindBool, ppd.KindCount, ppd.KindCountDist:
-		default:
-			return false
+	return cr.Seed == 0 && cr.Deadline == 0
+}
+
+// partitionBatch splits a compiled batch into grouped clusters (eligible
+// requests sharing a model and effective method, in request order; a
+// singleton cluster still profits from per-session group dedup and cache
+// accounting) and the fan-out remainder (ineligible requests, in request
+// order). Every request lands in exactly one partition.
+func (s *Service) partitionBatch(crs []*ppd.CompiledRequest) (clusters [][]int, fanOut []int) {
+	clusterOf := make(map[string]int)
+	for ri, cr := range crs {
+		if !groupEligible(cr) {
+			fanOut = append(fanOut, ri)
+			continue
 		}
-		if cr.Model != crs[0].Model || cr.Method != crs[0].Method ||
-			cr.Seed != 0 || cr.Deadline != 0 {
-			return false
+		key := cr.Model + nsSep + s.effMethod(cr).String()
+		ci, ok := clusterOf[key]
+		if !ok {
+			ci = len(clusters)
+			clusterOf[key] = ci
+			clusters = append(clusters, nil)
 		}
+		clusters[ci] = append(clusters[ci], ri)
 	}
-	return true
+	return clusters, fanOut
 }
 
 // effMethod resolves a request's effective solver method: the forced one,
@@ -164,17 +193,21 @@ func seedSensitive(m ppd.Method) bool {
 	return false
 }
 
-// doBatchGrouped is the grouped evaluation path of DoBatch: ground every
-// request, deduplicate the (model, union) inference groups across the whole
-// batch, resolve cache hits inside the model's namespace, fan the misses
-// out to the worker pool, and re-aggregate per request.
-func (s *Service) doBatchGrouped(ctx context.Context, crs []*ppd.CompiledRequest) (*DoBatchResult, error) {
-	h, err := s.open(crs[0].Model)
+// doBatchGrouped is the grouped evaluation path of DoBatch, run per
+// cluster: ground every request of idx (original request indices, one model
+// and effective method), deduplicate the (model, union) inference groups
+// across the cluster, resolve cache hits inside the model's namespace, and
+// solve the misses — through one compiled-plan batched walk
+// (ppd.BatchSolveGroups) for the exact methods, or fanned out to the worker
+// pool otherwise. Responses land at their original indices in br and the
+// dedup counters accumulate into it.
+func (s *Service) doBatchGrouped(ctx context.Context, crs []*ppd.CompiledRequest, idx []int, br *DoBatchResult) error {
+	h, err := s.open(crs[idx[0]].Model)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer h.Close()
-	method := s.effMethod(crs[0])
+	method := s.effMethod(crs[idx[0]])
 	type ref struct {
 		sess *ppd.Session
 		gi   int
@@ -183,16 +216,15 @@ func (s *Service) doBatchGrouped(ctx context.Context, crs []*ppd.CompiledRequest
 		sm    rim.SessionModel
 		u     pattern.Union
 		key   string
-		first int // index of the first request referencing the group
+		first int // position in idx of the first request referencing the group
 	}
 	var (
 		groupOf = make(map[string]int)
 		groups  []batchGroup
-		perQ    = make([][]ref, len(crs))
+		perQ    = make([][]ref, len(idx))
 		// nSessions records each request's total session count (live or
 		// not) so countdist responses can pad the structurally-zero tail.
-		nSessions = make([]int, len(crs))
-		br        = &DoBatchResult{Responses: make([]*ppd.Response, len(crs))}
+		nSessions = make([]int, len(idx))
 	)
 	// With the adaptive method an expired deadline degrades remaining groups
 	// to sampling instead of aborting the batch: the grounding loop and the
@@ -205,19 +237,20 @@ func (s *Service) doBatchGrouped(ctx context.Context, crs []*ppd.CompiledRequest
 		loopCtx, cancel = ppd.DetachDeadline(ctx)
 		defer cancel()
 	}
-	for qi, cr := range crs {
+	for qi, ri := range idx {
+		cr := crs[ri]
 		if err := loopCtx.Err(); err != nil {
-			return nil, &evalError{context.Cause(loopCtx)}
+			return &evalError{context.Cause(loopCtx)}
 		}
 		grounders, err := ppd.UnionGrounders(h.DB(), cr.Union)
 		if err != nil {
-			return nil, &evalError{fmt.Errorf("server: query %d: %w", qi+1, err)}
+			return &evalError{fmt.Errorf("server: query %d: %w", ri+1, err)}
 		}
 		nSessions[qi] = len(grounders[0].Pref().Sessions)
 		for _, sess := range grounders[0].Pref().Sessions {
 			u, err := ppd.GroundMerged(grounders, sess)
 			if err != nil {
-				return nil, &evalError{fmt.Errorf("server: query %d: %w", qi+1, err)}
+				return &evalError{fmt.Errorf("server: query %d: %w", ri+1, err)}
 			}
 			if len(u) == 0 {
 				continue
@@ -233,11 +266,13 @@ func (s *Service) doBatchGrouped(ctx context.Context, crs []*ppd.CompiledRequest
 			br.Instances++
 		}
 	}
-	br.Groups = len(groups)
+	br.Groups += len(groups)
 
 	// Resolve groups from the shared cache (inside the model's namespace),
-	// then fan the misses out to the worker pool. Seeds derive from the
-	// group index so sampling answers are deterministic for a fixed
+	// then solve the misses. Sampler seeds derive from the cluster-wide
+	// group index (offset by the cluster's first request index, so a batch
+	// with one cluster keeps the historical seeds and distinct clusters
+	// never share a stream) and answers are deterministic for a fixed
 	// Config.Seed regardless of pool scheduling.
 	ns := h.Name() + nsSep
 	probs := make([]float64, len(groups))
@@ -255,25 +290,50 @@ func (s *Service) doBatchGrouped(ctx context.Context, crs []*ppd.CompiledRequest
 		}
 		pending = append(pending, gi)
 	}
-	br.Solved = len(pending)
-	err = pool.RunCtx(loopCtx, len(pending), s.cfg.Workers, func(pi int) error {
-		gi := pending[pi]
-		eng := s.engine(s.cfg.Seed+int64(gi), h)
+	br.Solved += len(pending)
+	seedBase := s.cfg.Seed + int64(idx[0])
+	if len(pending) > 1 && ppd.BatchableMethod(method) {
+		// Exact compiled-plan methods: solve every pending group through one
+		// compile-once / solve-many pass. Plans come from (and fill) the
+		// model's plan-cache namespace, groups sharing a union shape fold
+		// through one batched layer walk, and results are bit-identical to
+		// per-group solves, so this changes only the cost, never the answer.
+		eng := s.engine(seedBase, h)
 		eng.Method = method
-		eng.Workers = 1 // the pool is the parallelism
-		p, rep, err := eng.SolveUnionCtx(ctx, groups[gi].sm, groups[gi].u)
+		bgs := make([]ppd.BatchGroup, len(pending))
+		for pi, gi := range pending {
+			bgs[pi] = ppd.BatchGroup{SM: groups[gi].sm, U: groups[gi].u}
+		}
+		bprobs, breps, err := eng.BatchSolveGroups(ctx, bgs)
 		if err != nil {
-			return fmt.Errorf("server: query %d: %w", groups[gi].first+1, err)
+			return &evalError{fmt.Errorf("server: query %d: %w", idx[groups[pending[0]].first]+1, err)}
 		}
-		probs[gi] = p
-		reports[gi] = rep
-		if s.cache != nil {
-			s.cache.Put(ns+groups[gi].key, p)
+		for pi, gi := range pending {
+			probs[gi], reports[gi] = bprobs[pi], breps[pi]
+			if s.cache != nil {
+				s.cache.Put(ns+groups[gi].key, bprobs[pi])
+			}
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, &evalError{err}
+	} else {
+		err = pool.RunCtx(loopCtx, len(pending), s.cfg.Workers, func(pi int) error {
+			gi := pending[pi]
+			eng := s.engine(seedBase+int64(gi), h)
+			eng.Method = method
+			eng.Workers = 1 // the pool is the parallelism
+			p, rep, err := eng.SolveUnionCtx(ctx, groups[gi].sm, groups[gi].u)
+			if err != nil {
+				return fmt.Errorf("server: query %d: %w", idx[groups[gi].first]+1, err)
+			}
+			probs[gi] = p
+			reports[gi] = rep
+			if s.cache != nil {
+				s.cache.Put(ns+groups[gi].key, p)
+			}
+			return nil
+		})
+		if err != nil {
+			return &evalError{err}
+		}
 	}
 
 	// Aggregate per request with the engine's own aggregation. Solves and
@@ -284,8 +344,8 @@ func (s *Service) doBatchGrouped(ctx context.Context, crs []*ppd.CompiledRequest
 	// propagated half-widths, so shared groups appear in every referencing
 	// request's plan (cache hits replay a point answer and contribute no
 	// width).
-	solves := make([]int, len(crs))
-	cacheHits := make([]int, len(crs))
+	solves := make([]int, len(idx))
+	cacheHits := make([]int, len(idx))
 	for gi, g := range groups {
 		if cached[gi] {
 			cacheHits[g.first]++
@@ -293,7 +353,8 @@ func (s *Service) doBatchGrouped(ctx context.Context, crs []*ppd.CompiledRequest
 			solves[g.first]++
 		}
 	}
-	for qi, cr := range crs {
+	for qi, ri := range idx {
+		cr := crs[ri]
 		per := make([]ppd.SessionProb, len(perQ[qi]))
 		hw := make([]float64, len(perQ[qi]))
 		seen := make(map[int]bool)
@@ -327,25 +388,25 @@ func (s *Service) doBatchGrouped(ctx context.Context, crs []*ppd.CompiledRequest
 		if cr.Kind == ppd.KindCountDist {
 			dist, err := ppd.CountDistFromSessions(res.PerSession, nSessions[qi])
 			if err != nil {
-				return nil, &evalError{fmt.Errorf("server: query %d: %w", qi+1, err)}
+				return &evalError{fmt.Errorf("server: query %d: %w", ri+1, err)}
 			}
 			resp.Dist = dist
 		}
-		br.Responses[qi] = resp
+		br.Responses[ri] = resp
 	}
-	s.batches.Add(1)
-	s.evals.Add(uint64(len(crs)))
-	s.solves.Add(uint64(br.Solved))
-	return br, nil
+	s.evals.Add(uint64(len(idx)))
+	s.solves.Add(uint64(len(pending)))
+	return nil
 }
 
 // doBatchFanOut is the per-request path of DoBatch: every distinct request
-// runs on the worker pool through the same engine construction as Do, with
-// per-request sampler seeds derived from the request index (matching the
-// legacy TopKBatch semantics) unless the request carries its own seed.
-// Requests with identical compiled keys and seeds are answered once and
-// share the response value.
-func (s *Service) doBatchFanOut(ctx context.Context, crs []*ppd.CompiledRequest) (*DoBatchResult, error) {
+// of idx (original request indices) runs on the worker pool through the
+// same engine construction as Do, with per-request sampler seeds derived
+// from the original request index (matching the legacy TopKBatch semantics)
+// unless the request carries its own seed. Requests with identical compiled
+// keys and seeds are answered once and share the response value. Responses
+// land at their original indices in br.
+func (s *Service) doBatchFanOut(ctx context.Context, crs []*ppd.CompiledRequest, idx []int, br *DoBatchResult) error {
 	// Open every distinct model up front so an unknown name fails the batch
 	// with its catalog error (404), and so deletions cannot unload a model
 	// mid-batch.
@@ -355,21 +416,21 @@ func (s *Service) doBatchFanOut(ctx context.Context, crs []*ppd.CompiledRequest)
 			h.Close()
 		}
 	}()
-	for _, cr := range crs {
-		if _, ok := handles[cr.Model]; !ok {
-			h, err := s.open(cr.Model)
+	for _, ri := range idx {
+		if _, ok := handles[crs[ri].Model]; !ok {
+			h, err := s.open(crs[ri].Model)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			handles[cr.Model] = h
+			handles[crs[ri].Model] = h
 		}
 	}
-	br := &DoBatchResult{Responses: make([]*ppd.Response, len(crs))}
 	seeds := make([]int64, len(crs))
 	firstOf := make(map[string]int)
 	dupOf := make([]int, len(crs)) // -1 = unique, else index answered for us
 	var unique []int
-	for ri, cr := range crs {
+	for _, ri := range idx {
+		cr := crs[ri]
 		seeds[ri] = s.cfg.Seed + int64(ri)
 		if cr.Seed != 0 {
 			seeds[ri] = cr.Seed
@@ -394,8 +455,8 @@ func (s *Service) doBatchFanOut(ctx context.Context, crs []*ppd.CompiledRequest)
 	// degrades per-request groups to sampling instead of aborting the
 	// fan-out.
 	adaptive := s.cfg.Method == ppd.MethodAdaptive
-	for _, cr := range crs {
-		if cr.Method == ppd.MethodAdaptive {
+	for _, ri := range idx {
+		if crs[ri].Method == ppd.MethodAdaptive {
 			adaptive = true
 		}
 	}
@@ -417,15 +478,15 @@ func (s *Service) doBatchFanOut(ctx context.Context, crs []*ppd.CompiledRequest)
 		return nil
 	})
 	if err != nil {
-		return nil, &evalError{err}
+		return &evalError{err}
 	}
-	for ri, first := range dupOf {
-		if first >= 0 {
+	for _, ri := range idx {
+		if first := dupOf[ri]; first >= 0 {
 			br.Responses[ri] = br.Responses[first]
 		}
 	}
-	s.batches.Add(1)
-	for ri, resp := range br.Responses {
+	for _, ri := range idx {
+		resp := br.Responses[ri]
 		if resp.Kind == ppd.KindTopK {
 			s.topks.Add(1)
 		} else {
@@ -437,5 +498,5 @@ func (s *Service) doBatchFanOut(ctx context.Context, crs []*ppd.CompiledRequest)
 			s.solves.Add(uint64(resp.Solves))
 		}
 	}
-	return br, nil
+	return nil
 }

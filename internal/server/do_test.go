@@ -172,8 +172,10 @@ func TestServiceTopKBatchMatchesDo(t *testing.T) {
 	}
 }
 
-// TestDoBatchMixedKinds: a heterogeneous batch (every kind at once) fans
-// out and answers each request correctly against the same model.
+// TestDoBatchMixedKinds: a heterogeneous batch (every kind at once)
+// answers each request correctly against the same model, and the
+// evaluation-backed majority still takes the grouped/dedup path — only the
+// topk and aggregate carve-outs fan out.
 func TestDoBatchMixedKinds(t *testing.T) {
 	svc := figure1Service(t, Config{})
 	reqs := []*ppd.Request{
@@ -187,8 +189,11 @@ func TestDoBatchMixedKinds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if br.Groups != 0 {
-		t.Errorf("mixed batch should not report grouped accounting, got %d groups", br.Groups)
+	if br.Groups == 0 {
+		t.Error("the bool/count/countdist cluster of a mixed batch should report grouped accounting")
+	}
+	if br.Instances < br.Groups {
+		t.Errorf("instances %d below groups %d", br.Instances, br.Groups)
 	}
 	for i, resp := range br.Responses {
 		if resp == nil {

@@ -237,7 +237,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /models/{name}", func(w http.ResponseWriter, r *http.Request) {
 		serveJSON(w, func() (any, error) {
 			name := r.PathValue("name")
-			if err := s.reg.Delete(name); err != nil {
+			if err := s.DeleteModel(name); err != nil {
 				return nil, err
 			}
 			return &DeleteModelResponse{Deleted: name}, nil

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"probpref/internal/solver"
+)
+
+// PlanCache is a sharded LRU map from namespaced plan keys (model namespace
+// + ppd.PlanKey) to compiled union plans. Plans are immutable, so one *Plan
+// may be handed to any number of concurrent solves; the cache only guards
+// the map itself. Like the solve Cache, keys hash to one of a fixed number
+// of independently locked shards by FNV-1a, so concurrent requests compiling
+// distinct shapes rarely contend.
+//
+// Unlike solve-cache entries — whose ppd.GroupKey embeds the session model,
+// making stale hits impossible — a plan key does not encode the model's
+// labeling; the per-model namespace does. PurgePrefix exists so the service
+// can invalidate a model's namespace when the model is deleted (see
+// Service.DeleteModel): a later model registered under the same name must
+// never inherit plans compiled against the old labeling.
+type PlanCache struct {
+	shards []*planShard
+}
+
+type planShard struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type planEntry struct {
+	key string
+	p   *solver.Plan
+}
+
+// NewPlanCache builds a plan cache holding exactly capacity entries in total
+// (minimum 1), spread over up to 16 independently locked shards.
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	shards := defaultShards
+	if capacity < shards {
+		shards = capacity
+	}
+	base, extra := capacity/shards, capacity%shards
+	c := &PlanCache{shards: make([]*planShard, shards)}
+	for i := range c.shards {
+		per := base
+		if i < extra {
+			per++
+		}
+		c.shards[i] = &planShard{
+			capacity: per,
+			ll:       list.New(),
+			items:    make(map[string]*list.Element),
+		}
+	}
+	return c
+}
+
+func (c *PlanCache) shard(key string) *planShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return c.shards[h%uint64(len(c.shards))]
+}
+
+// Get returns the cached plan for key and refreshes its recency.
+func (c *PlanCache) Get(key string) (*solver.Plan, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.ll.MoveToFront(el)
+	return el.Value.(*planEntry).p, true
+}
+
+// Put stores the plan for key, evicting the least recently used entry of the
+// key's shard when it is full.
+func (c *PlanCache) Put(key string, p *solver.Plan) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*planEntry).p = p
+		s.ll.MoveToFront(el)
+		return
+	}
+	if s.ll.Len() >= s.capacity {
+		old := s.ll.Back()
+		s.ll.Remove(old)
+		delete(s.items, old.Value.(*planEntry).key)
+		s.evictions++
+	}
+	s.items[key] = s.ll.PushFront(&planEntry{key: key, p: p})
+}
+
+// PurgePrefix drops every entry whose key starts with prefix and returns how
+// many were dropped. Purged entries count as evictions in Stats. Keys hash
+// to shards individually, so a namespace's entries spread across all shards
+// and each shard must be scanned; purging is proportional to the cache size,
+// which is fine for its one caller (model deletion, a rare admin operation).
+func (c *PlanCache) PurgePrefix(prefix string) int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; {
+			next := el.Next()
+			if e := el.Value.(*planEntry); strings.HasPrefix(e.key, prefix) {
+				s.ll.Remove(el)
+				delete(s.items, e.key)
+				s.evictions++
+				n++
+			}
+			el = next
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats sums hit/miss/eviction counters across shards.
+func (c *PlanCache) Stats() CacheStats {
+	st := CacheStats{}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		st.Entries += s.ll.Len()
+		st.Capacity += s.capacity
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// nsPlanCache namespaces plan-cache keys by model name, mirroring nsCache
+// for the solve cache. The namespace carries the labeling identity plan keys
+// themselves omit (see PlanCache). It implements ppd.PlanCache.
+type nsPlanCache struct {
+	prefix string
+	c      *PlanCache
+}
+
+func (n nsPlanCache) Get(key string) (*solver.Plan, bool) { return n.c.Get(n.prefix + key) }
+func (n nsPlanCache) Put(key string, p *solver.Plan)      { n.c.Put(n.prefix+key, p) }

@@ -24,6 +24,11 @@ type Config struct {
 	// CacheSize is the solve-cache capacity in entries; 0 means the default
 	// (4096) and a negative value disables the cache.
 	CacheSize int
+	// PlanCacheSize is the compiled-union-plan cache capacity in entries; 0
+	// means the default (512) and a negative value disables the cache.
+	// Plans are per union shape, not per session, so a modest capacity
+	// covers a large working set of queries.
+	PlanCacheSize int
 	// Seed is the base seed for the sampling methods; per inference group
 	// the engines derive seed+groupIndex, so batch answers are deterministic
 	// for a fixed seed (default 1).
@@ -34,12 +39,19 @@ type Config struct {
 // is 0.
 const DefaultCacheSize = 4096
 
+// DefaultPlanCacheSize is the compiled-plan cache capacity used when
+// Config.PlanCacheSize is 0.
+const DefaultPlanCacheSize = 512
+
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 4
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = DefaultCacheSize
+	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = DefaultPlanCacheSize
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -71,6 +83,10 @@ type Stats struct {
 	Solves uint64 `json:"solves"`
 	// Cache reports solve-cache effectiveness (zero when disabled).
 	Cache CacheStats `json:"cache"`
+	// PlanCache reports compiled-plan cache effectiveness (zero when
+	// disabled). A hit skips recompiling a union shape; the solved
+	// probabilities themselves live in Cache.
+	PlanCache CacheStats `json:"plan_cache"`
 }
 
 // Service is a concurrent query front end over a catalog of RIM-PPD
@@ -86,6 +102,7 @@ type Stats struct {
 type Service struct {
 	reg   *registry.Registry
 	cache *Cache
+	plans *PlanCache
 	cfg   Config
 
 	evals   atomic.Uint64
@@ -121,6 +138,9 @@ func NewMulti(reg *registry.Registry, cfg Config) *Service {
 	s := &Service{reg: reg, cfg: cfg}
 	if cfg.CacheSize > 0 {
 		s.cache = NewCache(cfg.CacheSize)
+	}
+	if cfg.PlanCacheSize > 0 {
+		s.plans = NewPlanCache(cfg.PlanCacheSize)
 	}
 	return s
 }
@@ -168,6 +188,27 @@ func (n nsCache) Put(key string, p float64)      { n.c.Put(n.prefix+key, p) }
 // Cache returns the shared solve cache (nil when disabled).
 func (s *Service) Cache() *Cache { return s.cache }
 
+// PlanCache returns the shared compiled-plan cache (nil when disabled).
+func (s *Service) PlanCache() *PlanCache { return s.plans }
+
+// DeleteModel evicts a model from the catalog and purges the model's
+// namespace from the compiled-plan cache: plan keys do not encode the
+// model's labeling (the namespace does), so a model later registered under
+// the same name must never inherit the old model's plans. In-flight queries
+// that already opened the model finish normally — a *Plan they hold keeps
+// working after the purge, plans are immutable. The solve cache needs no
+// purge: its ppd.GroupKey embeds the session model content, so a
+// re-registered model cannot collide with stale entries.
+func (s *Service) DeleteModel(name string) error {
+	if err := s.reg.Delete(name); err != nil {
+		return err
+	}
+	if s.plans != nil {
+		s.plans.PurgePrefix(name + nsSep)
+	}
+	return nil
+}
+
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
 	st := Stats{
@@ -178,6 +219,9 @@ func (s *Service) Stats() Stats {
 	}
 	if s.cache != nil {
 		st.Cache = s.cache.Stats()
+	}
+	if s.plans != nil {
+		st.PlanCache = s.plans.Stats()
 	}
 	return st
 }
@@ -194,6 +238,9 @@ func (s *Service) engine(seed int64, h *registry.Handle) *ppd.Engine {
 	}
 	if s.cache != nil {
 		e.Cache = nsCache{prefix: h.Name() + nsSep, c: s.cache}
+	}
+	if s.plans != nil {
+		e.Plans = nsPlanCache{prefix: h.Name() + nsSep, c: s.plans}
 	}
 	return e
 }

@@ -5,6 +5,7 @@ import (
 
 	"probpref/internal/label"
 	"probpref/internal/pattern"
+	"probpref/internal/rank"
 	"probpref/internal/rim"
 )
 
@@ -24,7 +25,9 @@ import (
 // single uint64 layer key; wider ones use the arena-backed fallback of
 // state.go. Setup scratch comes from the pooled arena's bump allocators —
 // small unions solve in a few microseconds, so even setup must not churn
-// the heap.
+// the heap. The solver is split into a session-independent compile half
+// (constraint tables, census matrices, per-step feed lists) and an executor
+// that only reads the session's Pi rows; see plan.go.
 //
 // The solver accepts any DAG pattern and evaluates it under constraint
 // semantics; for non-bipartite patterns the result is the upper bound used
@@ -34,17 +37,48 @@ func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Opti
 	if len(u) == 0 {
 		return 0, nil
 	}
-	if len(u) > 32 {
-		return 0, fmt.Errorf("%w: Bipartite supports at most 32 patterns", ErrShape)
-	}
-	ctx := opts.ctx()
-	m := model.M()
 	ar := getArena()
 	defer putArena(ar)
+	var pl bipPlan
+	if err := compileBipartite(&pl, planAlloc{ar}, model.Sigma(), lab, u); err != nil {
+		return 0, err
+	}
+	if pl.constOne {
+		return 1, nil // some pattern is empty: it matches every ranking
+	}
+	return runBipartite(ar, &pl, model, opts)
+}
+
+// bipPlan is the session-independent compilation of a bipartite union:
+// tracker slots, the constraint tables, the item-census matrices and the
+// per-step feed lists — everything the executor needs except the Pi rows.
+type bipPlan struct {
+	m, nPats     int
+	nSlots, nSets int
+	slotIsMin    []bool
+	consEdge     []bool
+	consL, consR []int
+	consSet      []int
+	slotCensus   []int
+	patBits      [][]int
+	match        []bool // step-major: match[i*nSets+si]
+	remaining    []int  // step-major suffix counts: remaining[i*nSets+si]
+	slotMatch    [][]int
+	satW, deadW  int
+	hw, words    int
+	allSat       []uint64
+	allDead      uint32
+	constOne     bool // some pattern is empty: probability is 1
+}
+
+func compileBipartite(pl *bipPlan, a planAlloc, sigma rank.Ranking, lab *label.Labeling, u pattern.Union) error {
+	if len(u) > 32 {
+		return fmt.Errorf("%w: Bipartite supports at most 32 patterns", ErrShape)
+	}
+	m := len(sigma)
 
 	// One labeling lookup per item; all setup label tests run on the slices.
-	sigma := model.Sigma()
-	itemSets := ar.sets.take(m)
+	itemSets := a.sets(m)
 	for i := range itemSets {
 		itemSets[i] = lab.Of(sigma[i])
 	}
@@ -72,8 +106,8 @@ func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Opti
 		slotIsMin  []bool
 		setList    []label.Set
 	}
-	sc.slotLabels = ar.sets.take(2*totalEdges + totalNodes)[:0]
-	sc.slotIsMin = ar.bools.take(2*totalEdges + totalNodes)[:0]
+	sc.slotLabels = a.sets(2*totalEdges + totalNodes)[:0]
+	sc.slotIsMin = a.bools(2*totalEdges + totalNodes)[:0]
 	slot := func(ls label.Set, isMin bool) int {
 		for s, sl := range sc.slotLabels {
 			if sc.slotIsMin[s] == isMin && sl.Equal(ls) {
@@ -89,11 +123,11 @@ func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Opti
 	// isolated nodes. Each gets a global bit; the parallel slices hold, per
 	// constraint, its kind, its alpha/beta slots (edges) and its label-set
 	// census index (existence).
-	consEdge := ar.bools.take(maxCons)[:0]
-	consL := ar.ints.take(maxCons)[:0]
-	consR := ar.ints.take(maxCons)[:0]
-	consSet := ar.ints.take(maxCons)[:0]
-	sc.setList = ar.sets.take(maxSets)[:0]
+	consEdge := a.bools(maxCons)[:0]
+	consL := a.ints(maxCons)[:0]
+	consR := a.ints(maxCons)[:0]
+	consSet := a.ints(maxCons)[:0]
+	sc.setList = a.sets(maxSets)[:0]
 	censusIdx := func(ls label.Set) int {
 		for i, sl := range sc.setList {
 			if sl.Equal(ls) {
@@ -103,9 +137,9 @@ func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Opti
 		sc.setList = append(sc.setList, ls)
 		return len(sc.setList) - 1
 	}
-	patBits := ar.intSlices.take(len(u)) // per pattern, constraint indices
-	bitsBacking := ar.ints.take(maxCons)[:0]
-	touched := ar.bools.take(maxQ)
+	patBits := a.intSlices(len(u)) // per pattern, constraint indices
+	bitsBacking := a.ints(maxCons)[:0]
+	touched := a.bools(maxQ)
 	for pi, g := range u {
 		tch := touched[:g.NumNodes()]
 		for v := range tch {
@@ -131,17 +165,18 @@ func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Opti
 		}
 		patBits[pi] = bitsBacking[biLo:len(bitsBacking):len(bitsBacking)]
 		if len(patBits[pi]) == 0 {
-			return 1, nil // empty pattern matches every ranking
+			pl.constOne = true // empty pattern matches every ranking
+			return nil
 		}
 	}
 	nCons := len(consEdge)
 	if nCons > 64 {
-		return 0, fmt.Errorf("%w: union has %d constraints (max 64)", ErrShape, nCons)
+		return fmt.Errorf("%w: union has %d constraints (max 64)", ErrShape, nCons)
 	}
-	slotLabels, slotIsMin := sc.slotLabels, sc.slotIsMin
+	slotLabels := sc.slotLabels
 	nSlots := len(slotLabels)
 	if nSlots > 64 {
-		return 0, fmt.Errorf("%w: union has %d tracked label roles (max 64)", ErrShape, nSlots)
+		return fmt.Errorf("%w: union has %d tracked label roles (max 64)", ErrShape, nSlots)
 	}
 
 	// Census: intern every slot label set, then test each (set, item) pair
@@ -152,7 +187,7 @@ func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Opti
 	}
 	setList := sc.setList
 	nSets := len(setList)
-	slotCensus := ar.ints.take(nSlots)
+	slotCensus := a.ints(nSlots)
 	for s := 0; s < nSlots; s++ {
 		slotCensus[s] = censusIdx(slotLabels[s])
 	}
@@ -160,13 +195,13 @@ func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Opti
 	// step instead of copying: match[i*nSets+si] reports setList[si] ⊆
 	// labels(sigma[i]); remaining[i*nSets+si] counts items of sigma[i..m-1]
 	// matching setList[si].
-	match := ar.bools.take(m * nSets)
+	match := a.bools(m * nSets)
 	for si, ls := range setList {
 		for i := 0; i < m; i++ {
 			match[i*nSets+si] = ls.SubsetOf(itemSets[i])
 		}
 	}
-	remaining := ar.ints.take((m + 1) * nSets)
+	remaining := a.ints((m + 1) * nSets)
 	for i := m - 1; i >= 0; i-- {
 		prev := remaining[(i+1)*nSets : (i+2)*nSets]
 		row := remaining[i*nSets : (i+1)*nSets]
@@ -181,12 +216,12 @@ func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Opti
 
 	// Per step: which slots does the inserted item feed? Two passes over a
 	// single backing array.
-	slotMatch := ar.intSlices.take(m)
+	slotMatch := a.intSlices(m)
 	nFeed := 0
 	for s := 0; s < nSlots; s++ {
 		nFeed += remaining[slotCensus[s]]
 	}
-	feedBacking := ar.ints.take(nFeed)[:0]
+	feedBacking := a.ints(nFeed)[:0]
 	for i := 0; i < m; i++ {
 		lo := len(feedBacking)
 		for s := 0; s < nSlots; s++ {
@@ -197,48 +232,81 @@ func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Opti
 		slotMatch[i] = feedBacking[lo:len(feedBacking):len(feedBacking)]
 	}
 
-	const (
-		absent  = int16(-1)
-		dropped = int16(-2)
-	)
 	// State layout: satW words of satisfied-constraint bits, deadW words of
 	// dead-pattern bits, then nSlots position words.
 	satW := (nCons + 15) / 16
 	deadW := (len(u) + 15) / 16
 	hw := satW + deadW
-	words := hw + nSlots
-	packHeader := func(dst []int16, sat uint64, dead uint32) {
-		for k := 0; k < satW; k++ {
-			dst[k] = int16(uint16(sat >> (16 * uint(k))))
-		}
-		for k := 0; k < deadW; k++ {
-			dst[satW+k] = int16(uint16(dead >> (16 * uint(k))))
-		}
-	}
-	unpackHeader := func(src []int16) (sat uint64, dead uint32) {
-		for k := 0; k < satW; k++ {
-			sat |= uint64(uint16(src[k])) << (16 * uint(k))
-		}
-		for k := 0; k < deadW; k++ {
-			dead |= uint32(uint16(src[satW+k])) << (16 * uint(k))
-		}
-		return sat, dead
-	}
 
-	allSat := ar.u64s.take(len(u))
+	allSat := a.u64s(len(u))
 	for pi, bits := range patBits {
 		for _, b := range bits {
 			allSat[pi] |= 1 << uint(b)
 		}
 	}
-	allDead := uint32(1)<<uint(len(u)) - 1
+
+	pl.m, pl.nPats = m, len(u)
+	pl.nSlots, pl.nSets = nSlots, nSets
+	pl.slotIsMin = sc.slotIsMin
+	pl.consEdge, pl.consL, pl.consR, pl.consSet = consEdge, consL, consR, consSet
+	pl.slotCensus = slotCensus
+	pl.patBits = patBits
+	pl.match, pl.remaining = match, remaining
+	pl.slotMatch = slotMatch
+	pl.satW, pl.deadW, pl.hw, pl.words = satW, deadW, hw, hw+nSlots
+	pl.allSat = allSat
+	pl.allDead = uint32(1)<<uint(len(u)) - 1
+	return nil
+}
+
+const (
+	bipAbsent  = int16(-1)
+	bipDropped = int16(-2)
+)
+
+func (pl *bipPlan) packHeader(dst []int16, sat uint64, dead uint32) {
+	for k := 0; k < pl.satW; k++ {
+		dst[k] = int16(uint16(sat >> (16 * uint(k))))
+	}
+	for k := 0; k < pl.deadW; k++ {
+		dst[pl.satW+k] = int16(uint16(dead >> (16 * uint(k))))
+	}
+}
+
+func (pl *bipPlan) unpackHeader(src []int16) (sat uint64, dead uint32) {
+	for k := 0; k < pl.satW; k++ {
+		sat |= uint64(uint16(src[k])) << (16 * uint(k))
+	}
+	for k := 0; k < pl.deadW; k++ {
+		dead |= uint32(uint16(src[pl.satW+k])) << (16 * uint(k))
+	}
+	return sat, dead
+}
+
+// runBipartite executes a compiled bipartite plan against one session. The
+// layer walk is structural: the constraint re-evaluation, absorption,
+// dead-state and tracker-drop decisions all depend on the state and plan
+// alone, never on the Pi values, and successors are emitted even with zero
+// mass — adding a zero contribution is bitwise neutral (all mass is
+// non-negative, so x + 0.0 == x exactly), and keeping the walk
+// Pi-independent is what lets the batched executor walk identical layers
+// for every session lane.
+func runBipartite(ar *arena, pl *bipPlan, model *rim.Model, opts Options) (float64, error) {
+	ctx := opts.ctx()
+	m, hw, words := pl.m, pl.hw, pl.words
+	nSlots := pl.nSlots
+	slotIsMin := pl.slotIsMin
+	consEdge, consL, consR, consSet := pl.consEdge, pl.consL, pl.consR, pl.consSet
+	slotCensus, patBits := pl.slotCensus, pl.patBits
+	allSat, allDead := pl.allSat, pl.allDead
+	nPats := pl.nPats
 
 	cur, nxt := &ar.layers[0], &ar.layers[1]
 	cur.reset(words, 1)
 	init := ar.workspaces(1, words, words)[0].next
-	packHeader(init, 0, 0)
+	pl.packHeader(init, 0, 0)
 	for s := 0; s < nSlots; s++ {
-		init[hw+s] = absent
+		init[hw+s] = bipAbsent
 	}
 	cur.addWords(init, 1)
 
@@ -254,7 +322,7 @@ func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Opti
 		remNow      []int  // remaining row after this step
 	}
 	expand := func(ws *workspace, key []int16, q float64, em *emitter) {
-		sat, dead := unpackHeader(key)
+		sat, dead := pl.unpackHeader(key)
 		vals := key[hw:]
 		next := ws.next[hw:]
 		itemMatches, remNow := stp.itemMatches, stp.remNow
@@ -268,15 +336,15 @@ func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Opti
 				next[s] = v
 			}
 			for _, s := range feed {
-				if next[s] == dropped {
+				if next[s] == bipDropped {
 					continue
 				}
 				if slotIsMin[s] {
-					if next[s] == absent || jj < next[s] {
+					if next[s] == bipAbsent || jj < next[s] {
 						next[s] = jj
 					}
 				} else {
-					if next[s] == absent || jj > next[s] {
+					if next[s] == bipAbsent || jj > next[s] {
 						next[s] = jj
 					}
 				}
@@ -316,11 +384,8 @@ func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Opti
 				}
 			}
 			p := q * piRow[j]
-			if p == 0 {
-				continue
-			}
 			done := false
-			for pi := range u {
+			for pi := 0; pi < nPats; pi++ {
 				if nDead&(1<<uint(pi)) == 0 && nSat&allSat[pi] == allSat[pi] {
 					em.absorb(p)
 					done = true
@@ -351,11 +416,11 @@ func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Opti
 				}
 				for s := range next {
 					if !live[s] {
-						next[s] = dropped
+						next[s] = bipDropped
 					}
 				}
 			}
-			packHeader(ws.next, nSat, nDead)
+			pl.packHeader(ws.next, nSat, nDead)
 			em.emit(ws.next, p)
 		}
 	}
@@ -363,9 +428,9 @@ func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Opti
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		stp.piRow, stp.feed, stp.steps = model.PiRow(i), slotMatch[i], i+1
-		stp.itemMatches = match[i*nSets : (i+1)*nSets]
-		stp.remNow = remaining[(i+1)*nSets : (i+2)*nSets]
+		stp.piRow, stp.feed, stp.steps = model.PiRow(i), pl.slotMatch[i], i+1
+		stp.itemMatches = pl.match[i*pl.nSets : (i+1)*pl.nSets]
+		stp.remNow = pl.remaining[(i+1)*pl.nSets : (i+2)*pl.nSets]
 		var err error
 		prob, err = runStep(ctx, ar, cur, nxt, words, opts, prob, expand)
 		if err != nil {
@@ -378,4 +443,170 @@ func Bipartite(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Opti
 		cur, nxt = nxt, cur
 	}
 	return prob, nil
+}
+
+// runBipartiteVec executes a compiled bipartite plan against many sessions
+// in one batched layer walk; out accumulates each lane's absorbed mass and
+// holds the per-session answers on return.
+func runBipartiteVec(ar *arena, pl *bipPlan, models []*rim.Model, opts Options, out []float64) error {
+	ctx := opts.ctx()
+	m, hw, words, S := pl.m, pl.hw, pl.words, len(models)
+	nSlots := pl.nSlots
+	slotIsMin := pl.slotIsMin
+	consEdge, consL, consR, consSet := pl.consEdge, pl.consL, pl.consR, pl.consSet
+	slotCensus, patBits := pl.slotCensus, pl.patBits
+	allSat, allDead := pl.allSat, pl.allDead
+	nPats := pl.nPats
+
+	cur, nxt := &ar.layers[0], &ar.layers[1]
+	cur.resetStride(words, 1, S)
+	init := ar.workspaces(1, words, words)[0].next
+	pl.packHeader(init, 0, 0)
+	for s := 0; s < nSlots; s++ {
+		init[hw+s] = bipAbsent
+	}
+	for l, w := 0, cur.valsAt(cur.slotWords(init)); l < S; l++ {
+		w[l] = 1
+	}
+	clear(out)
+
+	wbuf := ar.floats(S * (m + 1))
+	var stp struct {
+		wj          []float64 // j-major per-lane weights
+		feed        []int
+		steps       int
+		itemMatches []bool
+		remNow      []int
+	}
+	expand := func(ws *workspace, key []int16, q []float64, em *vecEmitter) {
+		sat, dead := pl.unpackHeader(key)
+		vals := key[hw:]
+		next := ws.next[hw:]
+		itemMatches, remNow := stp.itemMatches, stp.remNow
+		wj, feed, steps := stp.wj, stp.feed, stp.steps
+		for j := 0; j < steps; j++ {
+			jj := int16(j)
+			for s, v := range vals {
+				if v >= 0 && v >= jj {
+					v++
+				}
+				next[s] = v
+			}
+			for _, s := range feed {
+				if next[s] == bipDropped {
+					continue
+				}
+				if slotIsMin[s] {
+					if next[s] == bipAbsent || jj < next[s] {
+						next[s] = jj
+					}
+				} else {
+					if next[s] == bipAbsent || jj > next[s] {
+						next[s] = jj
+					}
+				}
+			}
+			nSat, nDead := sat, dead
+			for pi, bits := range patBits {
+				if nDead&(1<<uint(pi)) != 0 {
+					continue
+				}
+				for _, bi := range bits {
+					if nSat&(1<<uint(bi)) != 0 {
+						continue
+					}
+					if !consEdge[bi] {
+						if itemMatches[consSet[bi]] {
+							nSat |= 1 << uint(bi)
+						} else if remNow[consSet[bi]] == 0 {
+							nDead |= 1 << uint(pi)
+							break
+						}
+						continue
+					}
+					va, vb := next[consL[bi]], next[consR[bi]]
+					remL := remNow[slotCensus[consL[bi]]]
+					remR := remNow[slotCensus[consR[bi]]]
+					switch {
+					case va >= 0 && vb >= 0 && va < vb:
+						nSat |= 1 << uint(bi)
+					case va < 0 && remL == 0, vb < 0 && remR == 0,
+						va >= 0 && vb >= 0 && remL == 0 && remR == 0:
+						nDead |= 1 << uint(pi)
+					}
+					if nDead&(1<<uint(pi)) != 0 {
+						break
+					}
+				}
+			}
+			wrow := wj[j*S : (j+1)*S]
+			done := false
+			for pi := 0; pi < nPats; pi++ {
+				if nDead&(1<<uint(pi)) == 0 && nSat&allSat[pi] == allSat[pi] {
+					aw := em.absorbWindow()
+					for l, ql := range q {
+						aw[l] += ql * wrow[l]
+					}
+					done = true
+					break
+				}
+			}
+			if done {
+				continue
+			}
+			if nDead == allDead {
+				continue
+			}
+			if !opts.NoTrackerDrop {
+				var live [64]bool
+				for pi, bits := range patBits {
+					if nDead&(1<<uint(pi)) != 0 {
+						continue
+					}
+					for _, bi := range bits {
+						if nSat&(1<<uint(bi)) != 0 || !consEdge[bi] {
+							continue
+						}
+						live[consL[bi]] = true
+						live[consR[bi]] = true
+					}
+				}
+				for s := range next {
+					if !live[s] {
+						next[s] = bipDropped
+					}
+				}
+			}
+			pl.packHeader(ws.next, nSat, nDead)
+			dst := em.window(ws.next)
+			for l, ql := range q {
+				dst[l] += ql * wrow[l]
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		steps := i + 1
+		wj := wbuf[:steps*S]
+		for l := 0; l < S; l++ {
+			row := models[l].PiRow(i)
+			for j := 0; j < steps; j++ {
+				wj[j*S+l] = row[j]
+			}
+		}
+		stp.wj, stp.feed, stp.steps = wj, pl.slotMatch[i], steps
+		stp.itemMatches = pl.match[i*pl.nSets : (i+1)*pl.nSets]
+		stp.remNow = pl.remaining[(i+1)*pl.nSets : (i+2)*pl.nSets]
+		if err := runStepVec(ctx, ar, cur, nxt, words, S, opts, out, expand); err != nil {
+			return err
+		}
+		opts.note(nxt.len())
+		if err := opts.checkStates(nxt.len()); err != nil {
+			return err
+		}
+		cur, nxt = nxt, cur
+	}
+	return nil
 }

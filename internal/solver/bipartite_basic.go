@@ -5,6 +5,7 @@ import (
 
 	"probpref/internal/label"
 	"probpref/internal/pattern"
+	"probpref/internal/rank"
 	"probpref/internal/rim"
 )
 
@@ -22,9 +23,33 @@ func BipartiteBasic(model *rim.Model, lab *label.Labeling, u pattern.Union, opts
 	if len(u) == 0 {
 		return 0, nil
 	}
-	ctx := opts.ctx()
-	m := model.M()
+	ar := getArena()
+	defer putArena(ar)
+	var pl basicPlan
+	if err := compileBipartiteBasic(&pl, planAlloc{ar}, model.Sigma(), lab, u); err != nil {
+		return 0, err
+	}
+	if pl.constOne {
+		return 1, nil
+	}
+	return runBipartiteBasic(ar, &pl, model, opts)
+}
 
+// basicPlan is the session-independent compilation of a union for the basic
+// bipartite solver: tracker slots, per-pattern edge slot pairs, resolved
+// existence slots and per-step feed lists.
+type basicPlan struct {
+	m, n      int
+	slotIsMin []bool
+	patEdgeL  [][]int // per pattern, alpha slot of each edge
+	patEdgeR  [][]int // per pattern, beta slot of each edge
+	patExist  [][]int // per pattern, min-position slots of isolated nodes
+	slotMatch [][]int
+	constOne  bool
+}
+
+func compileBipartiteBasic(pl *basicPlan, a planAlloc, sigma rank.Ranking, lab *label.Labeling, u pattern.Union) error {
+	m := len(sigma)
 	var slotLabels []label.Set
 	var slotIsMin []bool
 	slot := func(ls label.Set, isMin bool) int {
@@ -37,47 +62,106 @@ func BipartiteBasic(model *rim.Model, lab *label.Labeling, u pattern.Union, opts
 		slotIsMin = append(slotIsMin, isMin)
 		return len(slotLabels) - 1
 	}
-	type edge struct{ l, r int }
-	patEdges := make([][]edge, len(u))
-	patExists := make([][]label.Set, len(u))
+	patEdgeL := a.intSlices(len(u))
+	patEdgeR := a.intSlices(len(u))
+	patExist := a.intSlices(len(u))
+	nEdges, nNodes := 0, 0
+	for _, g := range u {
+		nEdges += len(g.Edges())
+		nNodes += g.NumNodes()
+	}
+	edgeBacking := a.ints(2 * nEdges)[:0]
+	existBacking := a.ints(nNodes)[:0]
 	for pi, g := range u {
 		touched := make([]bool, g.NumNodes())
+		lLo := len(edgeBacking)
 		for _, e := range g.Edges() {
 			touched[e[0]], touched[e[1]] = true, true
-			patEdges[pi] = append(patEdges[pi], edge{
-				l: slot(g.Node(e[0]).Labels, true),
-				r: slot(g.Node(e[1]).Labels, false),
-			})
+			edgeBacking = append(edgeBacking, slot(g.Node(e[0]).Labels, true))
 		}
+		patEdgeL[pi] = edgeBacking[lLo:len(edgeBacking):len(edgeBacking)]
+		rLo := len(edgeBacking)
+		for _, e := range g.Edges() {
+			edgeBacking = append(edgeBacking, slot(g.Node(e[1]).Labels, false))
+		}
+		patEdgeR[pi] = edgeBacking[rLo:len(edgeBacking):len(edgeBacking)]
+		eLo := len(existBacking)
 		for v := 0; v < g.NumNodes(); v++ {
 			if !touched[v] {
-				patExists[pi] = append(patExists[pi], g.Node(v).Labels)
 				// Track existence through a min-position slot.
-				slot(g.Node(v).Labels, true)
+				existBacking = append(existBacking, slot(g.Node(v).Labels, true))
 			}
 		}
-		if len(patEdges[pi]) == 0 && len(patExists[pi]) == 0 {
-			return 1, nil
+		patExist[pi] = existBacking[eLo:len(existBacking):len(existBacking)]
+		if len(patEdgeL[pi]) == 0 && len(patExist[pi]) == 0 {
+			pl.constOne = true
+			return nil
 		}
 	}
 	n := len(slotLabels)
 	if n > 64 {
-		return 0, fmt.Errorf("%w: %d tracked label roles (max 64)", ErrShape, n)
+		return fmt.Errorf("%w: %d tracked label roles (max 64)", ErrShape, n)
 	}
 
-	slotMatch := make([][]int, m)
+	slotMatch := a.intSlices(m)
+	nFeed := 0
 	for i := 0; i < m; i++ {
-		it := model.Sigma()[i]
 		for s := 0; s < n; s++ {
-			if lab.HasAll(it, slotLabels[s]) {
-				slotMatch[i] = append(slotMatch[i], s)
+			if lab.HasAll(sigma[i], slotLabels[s]) {
+				nFeed++
 			}
 		}
 	}
+	feedBacking := a.ints(nFeed)[:0]
+	for i := 0; i < m; i++ {
+		lo := len(feedBacking)
+		for s := 0; s < n; s++ {
+			if lab.HasAll(sigma[i], slotLabels[s]) {
+				feedBacking = append(feedBacking, s)
+			}
+		}
+		slotMatch[i] = feedBacking[lo:len(feedBacking):len(feedBacking)]
+	}
+	pl.m, pl.n = m, n
+	pl.slotIsMin = slotIsMin
+	pl.patEdgeL, pl.patEdgeR, pl.patExist = patEdgeL, patEdgeR, patExist
+	pl.slotMatch = slotMatch
+	return nil
+}
+
+// satisfiedAt reports whether the final state vals satisfies some pattern:
+// every edge has alpha(l) < beta(r) and every isolated node is present.
+func (pl *basicPlan) satisfiedAt(vals []int16) bool {
+	for pi := range pl.patEdgeL {
+		ok := true
+		for ei, l := range pl.patEdgeL[pi] {
+			r := pl.patEdgeR[pi][ei]
+			if vals[l] < 0 || vals[r] < 0 || vals[l] >= vals[r] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, s := range pl.patExist[pi] {
+				if vals[s] < 0 {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func runBipartiteBasic(ar *arena, pl *basicPlan, model *rim.Model, opts Options) (float64, error) {
+	ctx := opts.ctx()
+	n, m := pl.n, pl.m
+	slotIsMin := pl.slotIsMin
 
 	const absent = int16(-1)
-	ar := getArena()
-	defer putArena(ar)
 	cur, nxt := &ar.layers[0], &ar.layers[1]
 	cur.reset(n, 1)
 	init := ar.workspaces(1, n, n)[0].next
@@ -119,7 +203,7 @@ func BipartiteBasic(model *rim.Model, lab *label.Labeling, u pattern.Union, opts
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		piRow, feed, steps = model.PiRow(i), slotMatch[i], i+1
+		piRow, feed, steps = model.PiRow(i), pl.slotMatch[i], i+1
 		if _, err := runStep(ctx, ar, cur, nxt, n, opts, 0, expand); err != nil {
 			return 0, err
 		}
@@ -133,32 +217,100 @@ func BipartiteBasic(model *rim.Model, lab *label.Labeling, u pattern.Union, opts
 	// Enumerate the final states: satisfied iff some pattern has every edge
 	// alpha(l) < beta(r) and every isolated node present.
 	prob := 0.0
-	existSlot := func(ls label.Set) int { return slot(ls, true) }
 	dec := ar.workspaces(1, n, n)[0].dec
 	for ki := 0; ki < cur.len(); ki++ {
-		q := cur.vals[ki]
-		vals := cur.key(ki, dec)
-		for pi := range u {
-			ok := true
-			for _, e := range patEdges[pi] {
-				if vals[e.l] < 0 || vals[e.r] < 0 || vals[e.l] >= vals[e.r] {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				for _, ls := range patExists[pi] {
-					if vals[existSlot(ls)] < 0 {
-						ok = false
-						break
-					}
-				}
-			}
-			if ok {
-				prob += q
-				break
-			}
+		if pl.satisfiedAt(cur.key(ki, dec)) {
+			prob += cur.vals[ki]
 		}
 	}
 	return prob, nil
+}
+
+// runBipartiteBasicVec is the batched executor: identical structural walk,
+// per-lane mass vectors, per-lane final-state enumeration in the same
+// insertion order as the scalar executor.
+func runBipartiteBasicVec(ar *arena, pl *basicPlan, models []*rim.Model, opts Options, out []float64) error {
+	ctx := opts.ctx()
+	n, m, S := pl.n, pl.m, len(models)
+	slotIsMin := pl.slotIsMin
+
+	const absent = int16(-1)
+	cur, nxt := &ar.layers[0], &ar.layers[1]
+	cur.resetStride(n, 1, S)
+	init := ar.workspaces(1, n, n)[0].next
+	for i := range init {
+		init[i] = absent
+	}
+	for l, w := 0, cur.valsAt(cur.slotWords(init)); l < S; l++ {
+		w[l] = 1
+	}
+
+	wbuf := ar.floats(S * m)
+	var (
+		wj    []float64
+		feed  []int
+		steps int
+	)
+	expand := func(ws *workspace, vals []int16, q []float64, em *vecEmitter) {
+		next := ws.next
+		for j := 0; j < steps; j++ {
+			jj := int16(j)
+			for s, v := range vals {
+				if v >= 0 && v >= jj {
+					v++
+				}
+				next[s] = v
+			}
+			for _, s := range feed {
+				if slotIsMin[s] {
+					if next[s] == absent || jj < next[s] {
+						next[s] = jj
+					}
+				} else {
+					if next[s] == absent || jj > next[s] {
+						next[s] = jj
+					}
+				}
+			}
+			dst := em.window(next)
+			wrow := wj[j*S : (j+1)*S]
+			for l, ql := range q {
+				dst[l] += ql * wrow[l]
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		steps = i + 1
+		wj = wbuf[:steps*S]
+		for l := 0; l < S; l++ {
+			row := models[l].PiRow(i)
+			for j := 0; j < steps; j++ {
+				wj[j*S+l] = row[j]
+			}
+		}
+		feed = pl.slotMatch[i]
+		if err := runStepVec(ctx, ar, cur, nxt, n, S, opts, nil, expand); err != nil {
+			return err
+		}
+		opts.note(nxt.len())
+		if err := opts.checkStates(nxt.len()); err != nil {
+			return err
+		}
+		cur, nxt = nxt, cur
+	}
+
+	clear(out)
+	dec := ar.workspaces(1, n, n)[0].dec
+	nStates := cur.len()
+	for ki := 0; ki < nStates; ki++ {
+		if pl.satisfiedAt(cur.key(ki, dec)) {
+			for l, q := range cur.valsAt(ki) {
+				out[l] += q
+			}
+		}
+	}
+	return nil
 }

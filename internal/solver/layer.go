@@ -121,6 +121,7 @@ type arena struct {
 	ws       []workspace
 	chunks   []chunkBuf
 	piPrefix []float64
+	vecw     []float64 // batched per-step weight matrix / prefix sums
 
 	ints      bump[int]
 	bools     bump[bool]
@@ -129,7 +130,13 @@ type arena struct {
 	intSlices bump[[]int]
 }
 
-var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+// arenaNews counts arenas allocated by the pool. Every solve entry point
+// borrows with getArena and returns with a deferred putArena, so the count
+// must stay bounded even when solves exit early (ctx cancellation mid-layer,
+// MaxStates, shape errors); the arena-lifecycle regression test asserts it.
+var arenaNews atomic.Int64
+
+var arenaPool = sync.Pool{New: func() any { arenaNews.Add(1); return new(arena) }}
 
 // getArena fetches a recycled arena with fresh setup bumps and cleared
 // per-worker memo caches.
@@ -309,4 +316,155 @@ func (ar *arena) prefix(n int) []float64 {
 		ar.piPrefix = make([]float64, n)
 	}
 	return ar.piPrefix[:n]
+}
+
+// floats exposes the arena's batched weight buffer sized for n values
+// (contents undefined; callers overwrite before reading).
+func (ar *arena) floats(n int) []float64 {
+	if cap(ar.vecw) < n {
+		ar.vecw = make([]float64, n)
+	}
+	return ar.vecw[:n]
+}
+
+// vecEmitter is the batched counterpart of emitter: successors carry one
+// mass value per session lane, and the expansion folds dst[l] += q[l]*w[l]
+// into the successor's value window. The window methods return the window
+// so the solver's expand closure performs the per-lane multiply-accumulate
+// itself — the fold into each lane happens at exactly the points, and in
+// exactly the order, that the scalar emitter folds the single session's
+// mass, which is what makes every lane of a batched solve bit-identical to
+// its single-session solve.
+type vecEmitter struct {
+	dst         *layerTable
+	lanes       int
+	seq         bool
+	probs       []float64 // sequential absorbed fold, one accumulator per lane
+	absorbed    []float64 // parallel absorbed recording, lanes values per event
+	transitions int
+}
+
+// window returns the successor state's per-lane value window, appending a
+// zeroed window on first touch.
+func (e *vecEmitter) window(w []int16) []float64 {
+	e.transitions++
+	i := e.dst.slotWords(w)
+	return e.dst.vals[i*e.lanes : (i+1)*e.lanes]
+}
+
+// window64 is window for a pre-packed key (destination layer packed).
+func (e *vecEmitter) window64(k uint64) []float64 {
+	e.transitions++
+	i := e.dst.slot64(k)
+	return e.dst.vals[i*e.lanes : (i+1)*e.lanes]
+}
+
+// absorbWindow returns the per-lane accumulator for absorbed mass: the
+// running answer vector in sequential mode, or a fresh per-event record in
+// parallel mode (replayed in chunk order at merge time, reproducing the
+// sequential fold per lane).
+func (e *vecEmitter) absorbWindow() []float64 {
+	e.transitions++
+	if e.seq {
+		return e.probs
+	}
+	n := len(e.absorbed)
+	for s := 0; s < e.lanes; s++ {
+		e.absorbed = append(e.absorbed, 0)
+	}
+	return e.absorbed[n : n+e.lanes]
+}
+
+// expandVecFn is the batched expandFn: one source state with a per-lane
+// mass vector q (read-only). It must be pure given (key, q).
+type expandVecFn func(ws *workspace, key []int16, q []float64, em *vecEmitter)
+
+// runStepVec drives one batched insertion step: identical chunk schedule,
+// merge order and fold points as runStep (the schedule is gated on the
+// source layer's state count, not state count x lanes), but every state
+// carries a lanes-wide mass vector and absorbed mass folds into the probs
+// vector. Per lane, the float operations and their association are exactly
+// runStep's, so lane l of the batched walk is bit-for-bit the single-session
+// walk of session l.
+func runStepVec(ctx context.Context, ar *arena, cur, nxt *layerTable, dstWords, lanes int, opts Options, probs []float64, fn expandVecFn) error {
+	n := cur.len()
+	nxt.resetStride(dstWords, n, lanes)
+	if n < parallelThreshold {
+		ws := &ar.workspaces(1, cur.words, dstWords)[0]
+		em := vecEmitter{dst: nxt, lanes: lanes, seq: true, probs: probs}
+		for i := 0; i < n; i++ {
+			if i&1023 == 1023 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			fn(ws, cur.key(i, ws.dec), cur.valsAt(i), &em)
+		}
+		if opts.Stats != nil {
+			opts.Stats.Transitions += em.transitions
+		}
+		return nil
+	}
+
+	nChunks := (n + expandChunk - 1) / expandChunk
+	workers := expandWorkers()
+	if workers > nChunks {
+		workers = nChunks
+	}
+	for len(ar.chunks) < nChunks {
+		ar.chunks = append(ar.chunks, chunkBuf{})
+	}
+	wss := ar.workspaces(workers, cur.words, dstWords)
+	var (
+		wg       sync.WaitGroup
+		nextC    atomic.Int64
+		stopped  atomic.Bool
+		hintPerC = 2 * expandChunk
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(ws *workspace) {
+			defer wg.Done()
+			for {
+				c := int(nextC.Add(1)) - 1
+				if c >= nChunks || stopped.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					stopped.Store(true)
+					return
+				}
+				cb := &ar.chunks[c]
+				cb.l.resetStride(dstWords, hintPerC, lanes)
+				em := vecEmitter{dst: &cb.l, lanes: lanes, absorbed: cb.absorbed[:0]}
+				lo := c * expandChunk
+				hi := lo + expandChunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(ws, cur.key(i, ws.dec), cur.valsAt(i), &em)
+				}
+				cb.absorbed = em.absorbed
+				cb.transitions = em.transitions
+			}
+		}(&wss[w])
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for c := 0; c < nChunks; c++ {
+		cb := &ar.chunks[c]
+		for off := 0; off < len(cb.absorbed); off += lanes {
+			for l, a := range cb.absorbed[off : off+lanes] {
+				probs[l] += a
+			}
+		}
+		nxt.mergeFromVec(&cb.l)
+		if opts.Stats != nil {
+			opts.Stats.Transitions += cb.transitions
+		}
+	}
+	return nil
 }

@@ -1,0 +1,372 @@
+package solver
+
+import (
+	"fmt"
+
+	"probpref/internal/label"
+	"probpref/internal/pattern"
+	"probpref/internal/rank"
+	"probpref/internal/rim"
+)
+
+// This file implements the compile-once / solve-many layer: a Plan is the
+// session-independent compilation of a pattern union against a reference
+// ranking and labeling — the tracker/constraint tables, item bitmasks, the
+// per-step feed and gap schedule, the state width, everything the DP layer
+// walk needs except the sessions' insertion probabilities. A Plan compiled
+// once serves any number of sessions sharing the reference ranking: Solve
+// runs the single-session executor, SolveSessions drives many sessions' Pi
+// rows through one layer walk with a per-lane mass vector per state, and
+// SolveSessionsShared additionally shares the walk prefix between plans
+// whose absorption cannot trigger before a known insertion step.
+//
+// Each of the four DP solvers is split into a compile half (compileTwoLabel,
+// compileBipartite, compileBipartiteBasic, compileRelOrder) and execute
+// halves; the public single-shot entry points (TwoLabel, Bipartite, ...)
+// compile into the pooled arena and run immediately, staying allocation-free
+// in steady state, while CompilePlan compiles onto the heap so the plan can
+// outlive the solve in a cache.
+
+// planAlloc selects where compiled-plan setup memory comes from: the pooled
+// solve arena for the compile-and-run-once path, or the heap (nil arena) for
+// plans that outlive the solve in a cache.
+type planAlloc struct{ ar *arena }
+
+func (a planAlloc) ints(n int) []int {
+	if a.ar != nil {
+		return a.ar.ints.take(n)
+	}
+	return make([]int, n)
+}
+
+func (a planAlloc) bools(n int) []bool {
+	if a.ar != nil {
+		return a.ar.bools.take(n)
+	}
+	return make([]bool, n)
+}
+
+func (a planAlloc) sets(n int) []label.Set {
+	if a.ar != nil {
+		return a.ar.sets.take(n)
+	}
+	return make([]label.Set, n)
+}
+
+func (a planAlloc) u64s(n int) []uint64 {
+	if a.ar != nil {
+		return a.ar.u64s.take(n)
+	}
+	return make([]uint64, n)
+}
+
+func (a planAlloc) intSlices(n int) [][]int {
+	if a.ar != nil {
+		return a.ar.intSlices.take(n)
+	}
+	return make([][]int, n)
+}
+
+// Algo identifies one of the exact DP solvers a Plan can compile to.
+type Algo int
+
+const (
+	AlgoTwoLabel Algo = iota
+	AlgoBipartite
+	AlgoBipartiteBasic
+	AlgoRelOrder
+)
+
+func (a Algo) String() string {
+	switch a {
+	case AlgoTwoLabel:
+		return "twolabel"
+	case AlgoBipartite:
+		return "bipartite"
+	case AlgoBipartiteBasic:
+		return "bipartite-basic"
+	case AlgoRelOrder:
+		return "relorder"
+	}
+	return fmt.Sprintf("algo(%d)", int(a))
+}
+
+// AlgoFor returns the algorithm Auto dispatches to for the union: the most
+// specific exact solver supporting its shape.
+func AlgoFor(u pattern.Union) Algo {
+	switch {
+	case u.AllTwoLabel():
+		return AlgoTwoLabel
+	case u.AllBipartite():
+		return AlgoBipartite
+	default:
+		return AlgoRelOrder
+	}
+}
+
+// Plan is a compiled union: everything session-independent about solving
+// one pattern union with one exact solver against sessions sharing a
+// reference ranking. Plans are immutable after CompilePlan and safe for
+// concurrent use by any number of solves.
+type Plan struct {
+	algo     Algo
+	m        int
+	sigma    rank.Ranking
+	isConst  bool
+	constVal float64
+
+	two   *twoLabelPlan
+	bip   *bipPlan
+	basic *basicPlan
+	rel   *relPlan
+
+	sharedKey string // non-empty iff eligible for shared-prefix solving
+}
+
+// Algo returns the solver the plan compiles to.
+func (p *Plan) Algo() Algo { return p.algo }
+
+// M returns the number of items of the plan's reference ranking.
+func (p *Plan) M() int { return p.m }
+
+// Sigma returns the reference ranking the plan was compiled against.
+// Callers must not mutate it.
+func (p *Plan) Sigma() rank.Ranking { return p.sigma }
+
+// SharedKey identifies the plan's shareable walk schedule: plans with the
+// same non-empty key (necessarily RelOrder plans over the same reference
+// ranking and involved-item schedule) can solve the same session list
+// through SolveSessionsShared with a common walk prefix. An empty key means
+// the plan is not eligible for prefix sharing.
+func (p *Plan) SharedKey() string { return p.sharedKey }
+
+// CompilePlan compiles the union once for the given algorithm, reference
+// ranking and labeling. The result is heap-allocated (independent of the
+// pooled solve arenas) so it can live in a cache; opts only contributes
+// compile-time bounds (MaxInvolved).
+func CompilePlan(algo Algo, sigma rank.Ranking, lab *label.Labeling, u pattern.Union, opts Options) (*Plan, error) {
+	p := &Plan{algo: algo, m: len(sigma), sigma: sigma}
+	if len(u) == 0 {
+		p.isConst, p.constVal = true, 0
+		return p, nil
+	}
+	heap := planAlloc{}
+	switch algo {
+	case AlgoTwoLabel:
+		p.two = new(twoLabelPlan)
+		if err := compileTwoLabel(p.two, heap, sigma, lab, u); err != nil {
+			return nil, err
+		}
+	case AlgoBipartite:
+		p.bip = new(bipPlan)
+		if err := compileBipartite(p.bip, heap, sigma, lab, u); err != nil {
+			return nil, err
+		}
+		if p.bip.constOne {
+			p.isConst, p.constVal = true, 1
+		}
+	case AlgoBipartiteBasic:
+		p.basic = new(basicPlan)
+		if err := compileBipartiteBasic(p.basic, heap, sigma, lab, u); err != nil {
+			return nil, err
+		}
+		if p.basic.constOne {
+			p.isConst, p.constVal = true, 1
+		}
+	case AlgoRelOrder:
+		p.rel = new(relPlan)
+		if err := compileRelOrder(p.rel, heap, sigma, lab, u, opts.maxInvolved()); err != nil {
+			return nil, err
+		}
+		if p.rel.constOne {
+			p.isConst, p.constVal = true, 1
+		} else if p.rel.useMasks && p.rel.activation > 0 {
+			p.sharedKey = p.rel.scheduleKey(sigma)
+		}
+	default:
+		return nil, fmt.Errorf("solver: unknown algorithm %v", algo)
+	}
+	return p, nil
+}
+
+// check verifies the model is compatible with the plan: same item count and
+// the same reference ranking (the plan's insertion-step schedule is a
+// function of sigma).
+func (p *Plan) check(mdl *rim.Model) error {
+	if mdl.M() != p.m {
+		return fmt.Errorf("solver: plan compiled for m=%d, model has m=%d", p.m, mdl.M())
+	}
+	sg := mdl.Sigma()
+	for i, it := range p.sigma {
+		if sg[i] != it {
+			return fmt.Errorf("solver: model reference ranking differs from the plan's at rank %d", i)
+		}
+	}
+	return nil
+}
+
+// Solve evaluates the plan against one session's insertion probabilities.
+// The result is bit-identical to the corresponding single-shot solver on the
+// same inputs.
+func (p *Plan) Solve(mdl *rim.Model, opts Options) (float64, error) {
+	if err := p.check(mdl); err != nil {
+		return 0, err
+	}
+	if p.isConst {
+		return p.constVal, nil
+	}
+	ar := getArena()
+	defer putArena(ar)
+	switch p.algo {
+	case AlgoTwoLabel:
+		return runTwoLabel(ar, p.two, mdl, opts)
+	case AlgoBipartite:
+		return runBipartite(ar, p.bip, mdl, opts)
+	case AlgoBipartiteBasic:
+		return runBipartiteBasic(ar, p.basic, mdl, opts)
+	default:
+		return runRelOrder(ar, p.rel, mdl, opts)
+	}
+}
+
+// SolveSessions evaluates the plan against many sessions in one layer walk.
+// All models must share the plan's reference ranking; they differ only in
+// their insertion probabilities (Pi). The walk's layer structure is a
+// function of the plan alone — every emission happens for every session, a
+// zero insertion probability merely contributes zero mass — so one walk
+// serves all sessions, folding a per-lane mass vector at each emission.
+// out[l] is bit-identical to p.Solve(models[l], opts): per lane the float
+// operations, their order, and the deterministic chunked parallel schedule
+// are exactly the single-session solver's.
+func SolveSessions(p *Plan, models []*rim.Model, opts Options) ([]float64, error) {
+	out := make([]float64, len(models))
+	if len(models) == 0 {
+		return out, nil
+	}
+	for _, mdl := range models {
+		if err := p.check(mdl); err != nil {
+			return nil, err
+		}
+	}
+	if p.isConst {
+		for l := range out {
+			out[l] = p.constVal
+		}
+		return out, nil
+	}
+	ar := getArena()
+	defer putArena(ar)
+	var err error
+	switch p.algo {
+	case AlgoTwoLabel:
+		err = runTwoLabelVec(ar, p.two, models, opts, out)
+	case AlgoBipartite:
+		err = runBipartiteVec(ar, p.bip, models, opts, out)
+	case AlgoBipartiteBasic:
+		err = runBipartiteBasicVec(ar, p.basic, models, opts, out)
+	default:
+		err = runRelOrderVec(ar, p.rel, models, opts, out)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SolveSessionsShared solves several plans against the same session list,
+// sharing work where the plans allow it. Plans with the same non-empty
+// SharedKey — RelOrder plans over the same reference ranking whose unions
+// differ but walk the same involved-item insertion schedule, e.g. unions
+// differing only in a suffix of constraints — run one common batched walk up
+// to the earliest step at which any plan's pattern could first match (its
+// activation step), snapshot the layer there, and continue separately.
+// Before its activation step a plan's walk performs no absorption and its
+// expansion does not consult the union at all, so the shared prefix is
+// bit-identical to each plan's own walk. Remaining plans are solved
+// independently. outs[i] matches SolveSessions(plans[i], models, opts)
+// bit-for-bit.
+func SolveSessionsShared(plans []*Plan, models []*rim.Model, opts Options) ([][]float64, error) {
+	outs := make([][]float64, len(plans))
+	byKey := make(map[string][]int)
+	for i, p := range plans {
+		if k := p.SharedKey(); k != "" {
+			byKey[k] = append(byKey[k], i)
+		}
+	}
+	solo := func(i int) error {
+		res, err := SolveSessions(plans[i], models, opts)
+		outs[i] = res
+		return err
+	}
+	done := make([]bool, len(plans))
+	for _, idxs := range byKey {
+		if len(idxs) < 2 {
+			continue
+		}
+		group := make([]*relPlan, len(idxs))
+		for gi, i := range idxs {
+			for _, mdl := range models {
+				if err := plans[i].check(mdl); err != nil {
+					return nil, err
+				}
+			}
+			group[gi] = plans[i].rel
+		}
+		groupOuts := make([][]float64, len(idxs))
+		for gi := range groupOuts {
+			groupOuts[gi] = make([]float64, len(models))
+		}
+		if err := solveSharedRelOrder(group, models, opts, groupOuts); err != nil {
+			return nil, err
+		}
+		for gi, i := range idxs {
+			outs[i] = groupOuts[gi]
+			done[i] = true
+		}
+	}
+	for i := range plans {
+		if !done[i] {
+			if err := solo(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return outs, nil
+}
+
+// layerSnapshot captures a layer's full contents (keys in insertion order
+// plus per-state value windows) so a shared walk prefix can be restored as
+// the starting layer of several continuation walks.
+type layerSnapshot struct {
+	words  int
+	stride int
+	packed bool
+	keys64 []uint64
+	keysW  []int16
+	vals   []float64
+}
+
+func snapshotLayer(l *layerTable) *layerSnapshot {
+	s := &layerSnapshot{words: l.words, stride: l.stride, packed: l.packed}
+	s.keys64 = append(s.keys64, l.keys64...)
+	s.keysW = append(s.keysW, l.keysW...)
+	s.vals = append(s.vals, l.vals...)
+	return s
+}
+
+// restore rebuilds the snapshot into l: states re-added in their original
+// insertion order with their exact values (each key is distinct within a
+// layer, so re-adding reproduces both the order and the bits).
+func (s *layerSnapshot) restore(l *layerTable) {
+	n := len(s.vals) / s.stride
+	l.resetStride(s.words, n, s.stride)
+	for i := 0; i < n; i++ {
+		var idx int
+		if s.packed {
+			idx = l.slot64(s.keys64[i])
+		} else {
+			idx = l.slotWords(s.keysW[i*s.words : (i+1)*s.words])
+		}
+		copy(l.vals[idx*s.stride:(idx+1)*s.stride], s.vals[i*s.stride:(i+1)*s.stride])
+	}
+}

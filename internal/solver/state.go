@@ -70,6 +70,10 @@ func hashWords(w []int16) uint64 {
 type layerTable struct {
 	words  int  // int16 words per state key
 	packed bool // words <= packedWords: keys stored as uint64
+	// stride is the number of float64 values per state: 1 for single-session
+	// layers (vals[i] is state i's mass), S for batched multi-session layers
+	// (vals[i*stride:(i+1)*stride] is state i's per-session mass vector).
+	stride int
 	// tab slots hold generation<<32 | state-index+1. A slot whose
 	// generation differs from gen is empty: reset just bumps gen instead of
 	// clearing the table, so recycling a layer is O(1) regardless of the
@@ -78,14 +82,19 @@ type layerTable struct {
 	gen    uint64
 	keys64 []uint64  // packed keys, insertion order
 	keysW  []int16   // wide-key arena: state i is keysW[i*words:(i+1)*words]
-	vals   []float64 // probability mass, insertion order
+	vals   []float64 // probability mass, insertion order, stride per state
 }
 
-// reset reconfigures the layer for a new width, keeping capacity. The
-// table is sized for about hint states before the first growth.
-func (l *layerTable) reset(words, hint int) {
+// reset reconfigures the layer for single-session states (stride 1).
+func (l *layerTable) reset(words, hint int) { l.resetStride(words, hint, 1) }
+
+// resetStride reconfigures the layer for a new width and value stride,
+// keeping capacity. The table is sized for about hint states before the
+// first growth.
+func (l *layerTable) resetStride(words, hint, stride int) {
 	l.words = words
 	l.packed = words <= packedWords
+	l.stride = stride
 	l.gen += 1 << 32
 	if l.gen == 0 { // generation counter wrapped: stale slots could alias
 		clear(l.tab)
@@ -108,7 +117,21 @@ func (l *layerTable) reset(words, hint int) {
 }
 
 // len returns the number of states in the layer.
-func (l *layerTable) len() int { return len(l.vals) }
+func (l *layerTable) len() int {
+	if l.stride > 1 {
+		return len(l.vals) / l.stride
+	}
+	return len(l.vals)
+}
+
+// valsAt returns state i's value window (one float for stride-1 layers, one
+// per session lane for strided layers).
+func (l *layerTable) valsAt(i int) []float64 {
+	if l.stride > 1 {
+		return l.vals[i*l.stride : (i+1)*l.stride]
+	}
+	return l.vals[i : i+1]
+}
 
 // keyW returns the wide key of state i as a window into the arena.
 func (l *layerTable) keyW(i int) []int16 {
@@ -130,7 +153,65 @@ func (l *layerTable) key(i int, buf []int16) []int16 {
 // genMask selects a slot's generation bits.
 const genMask = ^uint64(0xFFFFFFFF)
 
+// slot64 returns the value-window index of the packed state k, appending a
+// zeroed window on first touch. It is the strided counterpart of add64:
+// batched solvers fold per-lane mass into the returned window themselves.
+func (l *layerTable) slot64(k uint64) int {
+	if l.len() >= len(l.tab)-len(l.tab)/4 {
+		l.grow()
+	}
+	mask := uint32(len(l.tab) - 1)
+	i := uint32(hash64(k)) & mask
+	for {
+		e := l.tab[i]
+		if e&genMask != l.gen {
+			idx := l.len()
+			l.tab[i] = l.gen | uint64(idx+1)
+			l.keys64 = append(l.keys64, k)
+			for s := 0; s < l.stride; s++ {
+				l.vals = append(l.vals, 0)
+			}
+			return idx
+		}
+		if idx := uint32(e) - 1; l.keys64[idx] == k {
+			return int(idx)
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// slotWords returns the value-window index of the state with word vector w,
+// appending a zeroed window on first touch. Packed layers delegate to
+// slot64.
+func (l *layerTable) slotWords(w []int16) int {
+	if l.packed {
+		return l.slot64(packWords(w))
+	}
+	if l.len() >= len(l.tab)-len(l.tab)/4 {
+		l.grow()
+	}
+	mask := uint32(len(l.tab) - 1)
+	i := uint32(hashWords(w)) & mask
+	for {
+		e := l.tab[i]
+		if e&genMask != l.gen {
+			idx := l.len()
+			l.tab[i] = l.gen | uint64(idx+1)
+			l.keysW = append(l.keysW, w...)
+			for s := 0; s < l.stride; s++ {
+				l.vals = append(l.vals, 0)
+			}
+			return idx
+		}
+		if idx := uint32(e) - 1; wordsEqual(l.keyW(int(idx)), w) {
+			return int(idx)
+		}
+		i = (i + 1) & mask
+	}
+}
+
 // add64 folds mass p into the packed state k, appending it on first touch.
+// Only valid on stride-1 layers; strided layers use slot64.
 func (l *layerTable) add64(k uint64, p float64) {
 	if len(l.vals) >= len(l.tab)-len(l.tab)/4 {
 		l.grow()
@@ -203,7 +284,8 @@ func (l *layerTable) grow() {
 		l.tab = make([]uint64, sz)
 	}
 	mask := uint32(sz - 1)
-	for idx := range l.vals {
+	n := l.len()
+	for idx := 0; idx < n; idx++ {
 		var h uint64
 		if l.packed {
 			h = hash64(l.keys64[idx])
@@ -234,5 +316,26 @@ func (l *layerTable) mergeFrom(src *layerTable) {
 	}
 	for i := range src.vals {
 		l.addWords(src.keyW(i), src.vals[i])
+	}
+}
+
+// mergeFromVec is the strided counterpart of mergeFrom: every state of src
+// folds its per-lane value window into l element-wise, in src's insertion
+// order. Both layers must share the same stride. The per-lane fold order is
+// identical to mergeFrom's scalar fold order, so each session lane of a
+// batched solve reproduces the single-session bits exactly.
+func (l *layerTable) mergeFromVec(src *layerTable) {
+	n := src.len()
+	for i := 0; i < n; i++ {
+		var idx int
+		if src.packed {
+			idx = l.slot64(src.keys64[i])
+		} else {
+			idx = l.slotWords(src.keyW(i))
+		}
+		dst := l.vals[idx*l.stride : (idx+1)*l.stride]
+		for s, v := range src.vals[i*src.stride : (i+1)*src.stride] {
+			dst[s] += v
+		}
 	}
 }

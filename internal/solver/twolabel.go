@@ -5,6 +5,7 @@ import (
 
 	"probpref/internal/label"
 	"probpref/internal/pattern"
+	"probpref/internal/rank"
 	"probpref/internal/rim"
 )
 
@@ -18,22 +19,40 @@ import (
 //
 // States are vectors of one position word per tracker slot (absent = -1),
 // held in the packed layer representation of state.go and expanded through
-// the shared (and, for large layers, parallel) driver of layer.go.
+// the shared (and, for large layers, parallel) driver of layer.go. The
+// solver is split into a session-independent compile half (tracker slots,
+// pattern slot pairs, per-step feed lists) and an executor that only reads
+// the session's Pi rows; see plan.go.
 func TwoLabel(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Options) (float64, error) {
-	if !u.AllTwoLabel() {
-		return 0, fmt.Errorf("%w: TwoLabel requires two-label patterns", ErrShape)
-	}
 	if len(u) == 0 {
 		return 0, nil
 	}
-	ctx := opts.ctx()
 	ar := getArena()
 	defer putArena(ar)
+	var pl twoLabelPlan
+	if err := compileTwoLabel(&pl, planAlloc{ar}, model.Sigma(), lab, u); err != nil {
+		return 0, err
+	}
+	return runTwoLabel(ar, &pl, model, opts)
+}
 
+// twoLabelPlan is the session-independent compilation of a two-label union:
+// everything the executor needs except the Pi rows.
+type twoLabelPlan struct {
+	m, n       int
+	patL, patR []int  // per pattern, alpha/beta tracker slot indices
+	slotIsMin  []bool // per slot, role (min = alpha, max = beta)
+	feeds      [][]int // per insertion step, slots fed by the inserted item
+}
+
+func compileTwoLabel(pl *twoLabelPlan, a planAlloc, sigma rank.Ranking, lab *label.Labeling, u pattern.Union) error {
+	if !u.AllTwoLabel() {
+		return fmt.Errorf("%w: TwoLabel requires two-label patterns", ErrShape)
+	}
 	// Deduplicate trackers: one slot per distinct (label set, role). Linear
 	// scan over the few slots — no Key-string allocation.
-	slotLabels := ar.sets.take(2 * len(u))[:0]
-	slotIsMin := ar.bools.take(2 * len(u))[:0]
+	slotLabels := a.sets(2 * len(u))[:0]
+	slotIsMin := a.bools(2 * len(u))[:0]
 	slot := func(ls label.Set, isMin bool) int {
 		for s, sl := range slotLabels {
 			if slotIsMin[s] == isMin && sl.Equal(ls) {
@@ -44,27 +63,23 @@ func TwoLabel(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Optio
 		slotIsMin = append(slotIsMin, isMin)
 		return len(slotLabels) - 1
 	}
-	type pat struct{ l, r int } // slot indices
-	pats := make([]pat, len(u))
+	patL := a.ints(len(u))
+	patR := a.ints(len(u))
 	for i, g := range u {
 		e := g.Edges()[0]
-		pats[i] = pat{
-			l: slot(g.Node(e[0]).Labels, true),
-			r: slot(g.Node(e[1]).Labels, false),
-		}
+		patL[i] = slot(g.Node(e[0]).Labels, true)
+		patR[i] = slot(g.Node(e[1]).Labels, false)
 	}
 	n := len(slotLabels)
-	m := model.M()
+	m := len(sigma)
 
 	// Per insertion step, which slots does the inserted item feed? One
-	// labeling lookup per item, two passes over a single backing array, all
-	// bump-allocated from the pooled arena.
-	sigma := model.Sigma()
-	itemSets := ar.sets.take(m)
+	// labeling lookup per item, two passes over a single backing array.
+	itemSets := a.sets(m)
 	for i := range itemSets {
 		itemSets[i] = lab.Of(sigma[i])
 	}
-	matches := ar.intSlices.take(m)
+	feeds := a.intSlices(m)
 	nFeed := 0
 	for i := 0; i < m; i++ {
 		for s := 0; s < n; s++ {
@@ -73,7 +88,7 @@ func TwoLabel(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Optio
 			}
 		}
 	}
-	feedBacking := ar.ints.take(nFeed)[:0]
+	feedBacking := a.ints(nFeed)[:0]
 	for i := 0; i < m; i++ {
 		lo := len(feedBacking)
 		for s := 0; s < n; s++ {
@@ -81,8 +96,23 @@ func TwoLabel(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Optio
 				feedBacking = append(feedBacking, s)
 			}
 		}
-		matches[i] = feedBacking[lo:len(feedBacking):len(feedBacking)]
+		feeds[i] = feedBacking[lo:len(feedBacking):len(feedBacking)]
 	}
+	pl.m, pl.n = m, n
+	pl.patL, pl.patR = patL, patR
+	pl.slotIsMin = slotIsMin
+	pl.feeds = feeds
+	return nil
+}
+
+// runTwoLabel executes a compiled two-label plan against one session. The
+// layer walk is structural — which successors are emitted depends only on
+// the plan, never on the Pi values — so the batched executor below can walk
+// the identical layers with a mass vector per state.
+func runTwoLabel(ar *arena, pl *twoLabelPlan, model *rim.Model, opts Options) (float64, error) {
+	ctx := opts.ctx()
+	n, m := pl.n, pl.m
+	patL, patR, slotIsMin := pl.patL, pl.patR, pl.slotIsMin
 
 	const absent = int16(-1)
 	cur, nxt := &ar.layers[0], &ar.layers[1]
@@ -104,7 +134,6 @@ func TwoLabel(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Optio
 	piPrefix := ar.prefix(m + 2)
 	expand := func(ws *workspace, vals []int16, q float64, em *emitter) {
 		next := ws.next
-		pats := pats
 		if len(feed) == 0 {
 			// The inserted item feeds no tracker, so the successor depends
 			// on the insertion point j only through which positions shift —
@@ -152,8 +181,8 @@ func TwoLabel(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Optio
 					next[s] = v
 				}
 				satisfied := false
-				for _, p := range pats {
-					a, b := next[p.l], next[p.r]
+				for pi := range patL {
+					a, b := next[patL[pi]], next[patR[pi]]
 					if a != absent && b != absent && a < b {
 						satisfied = true
 						break
@@ -196,8 +225,8 @@ func TwoLabel(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Optio
 			}
 			// Prune states that satisfy some pattern: they match G forever.
 			satisfied := false
-			for _, p := range pats {
-				a, b := next[p.l], next[p.r]
+			for pi := range patL {
+				a, b := next[patL[pi]], next[patR[pi]]
 				if a != absent && b != absent && a < b {
 					satisfied = true
 					break
@@ -217,7 +246,7 @@ func TwoLabel(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Optio
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		piRow, feed, steps = model.PiRow(i), matches[i], i+1
+		piRow, feed, steps = model.PiRow(i), pl.feeds[i], i+1
 		if len(feed) == 0 {
 			// Prefix sums of the insertion row for gap merging.
 			piPrefix[0] = 0
@@ -243,4 +272,191 @@ func TwoLabel(model *rim.Model, lab *label.Labeling, u pattern.Union, opts Optio
 		p = 0
 	}
 	return p, nil
+}
+
+// runTwoLabelVec executes a compiled two-label plan against many sessions in
+// one batched layer walk: the same structural walk as runTwoLabel with a
+// per-lane mass vector per state. Per-step weights are gathered lane-major
+// into j-major matrices (wj[j*S+l] = Pi_l(i, j), prefix sums likewise) so
+// the per-lane arithmetic reproduces the scalar executor's bits exactly.
+func runTwoLabelVec(ar *arena, pl *twoLabelPlan, models []*rim.Model, opts Options, out []float64) error {
+	ctx := opts.ctx()
+	n, m, S := pl.n, pl.m, len(models)
+	patL, patR, slotIsMin := pl.patL, pl.patR, pl.slotIsMin
+
+	const absent = int16(-1)
+	cur, nxt := &ar.layers[0], &ar.layers[1]
+	cur.resetStride(n, 1, S)
+	init := ar.workspaces(1, n, n)[0].next
+	for i := range init {
+		init[i] = absent
+	}
+	for l, w := 0, cur.valsAt(cur.slotWords(init)); l < S; l++ {
+		w[l] = 1
+	}
+
+	var (
+		feed  []int
+		steps int
+		wj    []float64 // j-major per-lane weights for feed steps
+		pp    []float64 // j-major per-lane Pi prefix sums for gap steps
+	)
+	packed := n <= packedWords
+	wbuf := ar.floats(S * (m + 2))
+	expand := func(ws *workspace, vals []int16, q []float64, em *vecEmitter) {
+		next := ws.next
+		if len(feed) == 0 {
+			if cap(ws.gaps) < n {
+				ws.gaps = make([]int16, n)
+			}
+			gaps := ws.gaps[:0]
+			for _, v := range vals {
+				if v == absent {
+					continue
+				}
+				at := len(gaps)
+				for at > 0 && gaps[at-1] >= v {
+					if gaps[at-1] == v {
+						at = -1
+						break
+					}
+					at--
+				}
+				if at < 0 {
+					continue // duplicate
+				}
+				gaps = append(gaps, 0)
+				copy(gaps[at+1:], gaps[at:])
+				gaps[at] = v
+			}
+			lo := 0
+			for g := 0; g <= len(gaps); g++ {
+				hi := steps - 1
+				if g < len(gaps) {
+					hi = int(gaps[g])
+				}
+				if lo > hi {
+					continue
+				}
+				jj := int16(lo)
+				for s, v := range vals {
+					if v != absent && v >= jj {
+						v++
+					}
+					next[s] = v
+				}
+				satisfied := false
+				for pi := range patL {
+					a, b := next[patL[pi]], next[patR[pi]]
+					if a != absent && b != absent && a < b {
+						satisfied = true
+						break
+					}
+				}
+				lo = hi + 1
+				if satisfied {
+					continue
+				}
+				var dst []float64
+				if packed {
+					dst = em.window64(packWords(next))
+				} else {
+					dst = em.window(next)
+				}
+				hiRow, loRow := pp[(hi+1)*S:(hi+2)*S], pp[int(jj)*S:(int(jj)+1)*S]
+				for l, ql := range q {
+					dst[l] += ql * (hiRow[l] - loRow[l])
+				}
+			}
+			return
+		}
+		for j := 0; j < steps; j++ {
+			jj := int16(j)
+			for s, v := range vals {
+				if v != absent && v >= jj {
+					v++
+				}
+				next[s] = v
+			}
+			for _, s := range feed {
+				if slotIsMin[s] {
+					if next[s] == absent || jj < next[s] {
+						next[s] = jj
+					}
+				} else {
+					if next[s] == absent || jj > next[s] {
+						next[s] = jj
+					}
+				}
+			}
+			satisfied := false
+			for pi := range patL {
+				a, b := next[patL[pi]], next[patR[pi]]
+				if a != absent && b != absent && a < b {
+					satisfied = true
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			var dst []float64
+			if packed {
+				dst = em.window64(packWords(next))
+			} else {
+				dst = em.window(next)
+			}
+			wrow := wj[j*S : (j+1)*S]
+			for l, ql := range q {
+				dst[l] += ql * wrow[l]
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		feed, steps = pl.feeds[i], i+1
+		if len(feed) == 0 {
+			pp = wbuf[:(steps+1)*S]
+			clear(pp[:S])
+			for l := 0; l < S; l++ {
+				row := models[l].PiRow(i)
+				for j := 0; j < steps; j++ {
+					pp[(j+1)*S+l] = pp[j*S+l] + row[j]
+				}
+			}
+		} else {
+			wj = wbuf[:steps*S]
+			for l := 0; l < S; l++ {
+				row := models[l].PiRow(i)
+				for j := 0; j < steps; j++ {
+					wj[j*S+l] = row[j]
+				}
+			}
+		}
+		if err := runStepVec(ctx, ar, cur, nxt, n, S, opts, nil, expand); err != nil {
+			return err
+		}
+		opts.note(nxt.len())
+		if err := opts.checkStates(nxt.len()); err != nil {
+			return err
+		}
+		cur, nxt = nxt, cur
+	}
+	clear(out)
+	nStates := cur.len()
+	for ki := 0; ki < nStates; ki++ {
+		for l, q := range cur.valsAt(ki) {
+			out[l] += q
+		}
+	}
+	for l, violate := range out {
+		p := 1 - violate
+		if p < 0 {
+			p = 0
+		}
+		out[l] = p
+	}
+	return nil
 }
