@@ -193,7 +193,7 @@ func run(args []string, out io.Writer) error {
 		eng.Cache = solveCache
 	}
 
-	fmt.Fprintf(out, "dataset : %s (m=%d items, %d sessions)\n", dsName, db.M(), len(db.Prefs[q.Prefs[0].Rel].Sessions))
+	fmt.Fprintf(out, "dataset : %s (m=%d items, %d sessions)\n", dsName, db.M(), db.Prefs[q.Prefs[0].Rel].Sessions.Len())
 	fmt.Fprintf(out, "query   : %s\n", uq)
 	fmt.Fprintf(out, "method  : %s\n", m)
 	if *deadline > 0 {

@@ -9,6 +9,9 @@
 //	                              (kind: bool | count | topk | aggregate |
 //	                              countdist) or a {"requests": [...]} batch,
 //	                              NDJSON streaming of topk rows via "stream"
+//	POST   /v1/sessions           append sessions to a model's p-relation;
+//	                              invalidates the model's cache namespaces and,
+//	                              with -snapshot-dir, persists the growth
 //	GET    /eval?q=Q[&sessions=1][&model=M]  evaluate one query (legacy)
 //	POST   /eval                  {"queries": [...], "model": M} batch with dedup (legacy)
 //	GET    /topk?q=Q&k=K&bound=B[&model=M]   Most-Probable-Session (legacy)
@@ -24,6 +27,7 @@
 //
 //	hardqd -dataset figure1 -addr :8080
 //	hardqd -manifest examples/registry/manifest.json -cache 65536 -parallel 8
+//	hardqd -dataset polls -voters 500 -snapshot-dir /var/lib/hardqd
 //	curl -d '{"kind":"bool","query":"P(_,_;a;b),C(a,_,F,_,_,_),C(b,_,M,_,_,_)"}' localhost:8080/v1/query
 //	curl -d '{"kind":"topk","query":"...","k":3,"stream":true}' localhost:8080/v1/query
 //	curl 'localhost:8080/eval?q=P(_,_;a;b),C(a,_,F,_,_,_),C(b,_,M,_,_,_)'
@@ -83,6 +87,7 @@ func setup(args []string, out io.Writer) (*server.Service, string, error) {
 		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
 		ds       = fs.String("dataset", "figure1", "dataset: "+strings.Join(dataset.Names(), " | ")+" (served as model \"default\")")
 		manifest = fs.String("manifest", "", "model manifest file; serves every named model of the catalog (overrides -dataset)")
+		snapDir  = fs.String("snapshot-dir", "", "directory of columnar model snapshots (<model>.ppds): models cold-start from their snapshot when present, and generator builds and session ingests persist back")
 		method   = fs.String("method", "auto", "solver: "+strings.Join(ppd.MethodNames(), " | "))
 		cache    = fs.Int("cache", server.DefaultCacheSize, "solve-cache capacity in entries (0 disables); keys are namespaced per model")
 		par      = fs.Int("parallel", 4, "worker goroutines for batch fan-out and group solving")
@@ -112,6 +117,11 @@ func setup(args []string, out io.Writer) (*server.Service, string, error) {
 		Seed:      *seed,
 	}
 
+	if *snapDir != "" {
+		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
+			return nil, "", err
+		}
+	}
 	var svc *server.Service
 	if *manifest != "" {
 		// Dataset-generator flags would be silently overridden by the
@@ -132,6 +142,7 @@ func setup(args []string, out io.Writer) (*server.Service, string, error) {
 			return nil, "", err
 		}
 		reg := registry.New()
+		reg.SetSnapshotDir(*snapDir)
 		if err := reg.Apply(man); err != nil {
 			return nil, "", err
 		}
@@ -145,18 +156,25 @@ func setup(args []string, out io.Writer) (*server.Service, string, error) {
 			}
 		}
 	} else {
-		db, _, err := dataset.Build(dataset.BuildConfig{
-			Name: *ds, Seed: *seed, Candidates: *cands, Voters: *voters, Movies: *movies, Workers: *workers,
-		})
+		// The single dataset is served through the same registry build path
+		// as manifest models, so -snapshot-dir restores it from
+		// default.ppds when present and persists generator builds and
+		// ingests back.
+		reg := registry.New()
+		reg.SetSnapshotDir(*snapDir)
+		if err := reg.Register(registry.Spec{
+			Name: server.DefaultModel, Dataset: *ds, Seed: *seed,
+			Candidates: *cands, Voters: *voters, Movies: *movies, Workers: *workers,
+			Preload: true,
+		}); err != nil {
+			return nil, "", err
+		}
+		svc = server.NewMulti(reg, cfg)
+		in, err := reg.Lookup(server.DefaultModel)
 		if err != nil {
 			return nil, "", err
 		}
-		svc = server.New(db, cfg)
-		sessions := 0
-		for _, p := range db.Prefs {
-			sessions += len(p.Sessions)
-		}
-		fmt.Fprintf(out, "dataset : %s (m=%d items, %d sessions)\n", *ds, db.M(), sessions)
+		fmt.Fprintf(out, "dataset : %s (m=%d items, %d sessions)\n", *ds, in.Items, in.Sessions)
 	}
 	fmt.Fprintf(out, "method  : %s\n", m)
 	if c := svc.Cache(); c != nil {

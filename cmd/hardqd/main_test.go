@@ -343,6 +343,7 @@ func TestAPIDocEndpointsCovered(t *testing.T) {
 	// adding endpoints.
 	endpoints := []string{
 		"POST /v1/query",
+		"POST /v1/sessions",
 		"GET /eval",
 		"POST /eval",
 		"GET /topk",

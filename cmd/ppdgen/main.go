@@ -4,12 +4,17 @@
 // the loaders of the library (LoadRelationCSV, LoadPrefJSON), so a generated
 // directory is a self-contained RIM-PPD instance.
 //
+// With -o the dataset is instead (or additionally) written as one columnar
+// snapshot file in the .ppds format of internal/store, which hardqd
+// -snapshot-dir mmaps on cold start without re-running the generator.
+//
 // Usage examples:
 //
 //	ppdgen -dataset figure1 -out /tmp/figure1
 //	ppdgen -dataset polls -candidates 20 -voters 200 -seed 7 -out /tmp/polls
 //	ppdgen -dataset movielens -movies 120 -out /tmp/ml
 //	ppdgen -dataset crowdrank -workers 1000 -out /tmp/cr
+//	ppdgen -dataset polls -voters 500 -o /var/lib/hardqd/default.ppds
 package main
 
 import (
@@ -21,7 +26,7 @@ import (
 	"sort"
 
 	"probpref/internal/dataset"
-	"probpref/internal/ppd"
+	"probpref/internal/store"
 )
 
 func main() {
@@ -35,7 +40,8 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ppdgen", flag.ContinueOnError)
 	var (
 		ds      = fs.String("dataset", "figure1", "dataset: figure1 | polls | movielens | crowdrank")
-		outDir  = fs.String("out", "", "output directory (required)")
+		outDir  = fs.String("out", "", "output directory for CSV/JSON files")
+		snap    = fs.String("o", "", "write the dataset as one columnar snapshot file (<name>.ppds, see internal/store)")
 		seed    = fs.Int64("seed", 1, "generator seed")
 		cands   = fs.Int("candidates", 20, "polls: number of candidates")
 		voters  = fs.Int("voters", 100, "polls: number of voters")
@@ -46,13 +52,33 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *outDir == "" {
-		return fmt.Errorf("-out directory is required")
+	if *outDir == "" && *snap == "" {
+		return fmt.Errorf("-out directory or -o snapshot file is required")
 	}
 
-	db, err := buildDB(*ds, *seed, *cands, *voters, *movies, *workers)
+	db, demo, err := dataset.Build(dataset.BuildConfig{
+		Name: *ds, Seed: *seed, Candidates: *cands, Voters: *voters, Movies: *movies, Workers: *workers,
+	})
 	if err != nil {
 		return err
+	}
+	if *snap != "" {
+		if dir := filepath.Dir(*snap); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+		if err := store.WriteFile(*snap, db, demo); err != nil {
+			return err
+		}
+		sessions := 0
+		for _, p := range db.Prefs {
+			sessions += p.Sessions.Len()
+		}
+		fmt.Fprintf(out, "wrote %s (%d items, %d sessions)\n", *snap, db.M(), sessions)
+		if *outDir == "" {
+			return nil
+		}
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
@@ -81,7 +107,7 @@ func run(args []string, out io.Writer) error {
 		if err := writeFile(path, db.Prefs[name].WriteJSON); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "wrote %s (%d sessions)\n", path, len(db.Prefs[name].Sessions))
+		fmt.Fprintf(out, "wrote %s (%d sessions)\n", path, db.Prefs[name].Sessions.Len())
 	}
 	fmt.Fprintf(out, "dataset %s: %d items, %d o-relations, %d p-relations\n",
 		*ds, db.M(), len(db.Relations), len(db.Prefs))
@@ -98,19 +124,4 @@ func writeFile(path string, write func(io.Writer) error) error {
 		return fmt.Errorf("writing %s: %w", path, err)
 	}
 	return f.Close()
-}
-
-func buildDB(ds string, seed int64, cands, voters, movies, workers int) (*ppd.DB, error) {
-	switch ds {
-	case "figure1":
-		return dataset.Figure1()
-	case "polls":
-		return dataset.Polls(dataset.PollsConfig{Candidates: cands, Voters: voters, Seed: seed})
-	case "movielens":
-		return dataset.MovieLens(dataset.MovieLensConfig{Movies: movies, Seed: seed})
-	case "crowdrank":
-		return dataset.CrowdRank(dataset.CrowdRankConfig{Workers: workers, Seed: seed})
-	default:
-		return nil, fmt.Errorf("unknown dataset %q", ds)
-	}
 }

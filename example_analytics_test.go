@@ -14,7 +14,7 @@ func ExamplePairwiseMatrix() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ann := db.Prefs["P"].Sessions[0]
+	ann := db.Prefs["P"].Sessions.At(0)
 	pm := probpref.PairwiseMatrix(ann.Model.Model())
 	fmt.Printf("Pr(Clinton > Trump) = %.4f\n", pm[1][0])
 	if w, ok := probpref.CondorcetWinner(pm); ok {
@@ -86,8 +86,8 @@ func ExampleSessionModel() {
 		log.Fatal(err)
 	}
 	polls := db.Prefs["P"]
-	polls.Sessions = append(polls.Sessions, &probpref.Session{
-		Key: []string{"Eve", "6/5"}, Model: gm,
+	polls.Sessions = probpref.ConcatSessions(polls.Sessions, probpref.SessionSlice{
+		{Key: []string{"Eve", "6/5"}, Model: gm},
 	})
 	eng := &probpref.Engine{DB: db, Method: probpref.MethodAuto}
 	q, err := probpref.ParseQuery(

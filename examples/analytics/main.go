@@ -65,7 +65,7 @@ func main() {
 	}
 
 	// Rank marginals for Ann's session: where does each candidate land?
-	ann := polls.Sessions[0]
+	ann := polls.Sessions.At(0)
 	fmt.Printf("\nRank marginals for session (%s, %s):\n", ann.Key[0], ann.Key[1])
 	rm := probpref.RankMarginals(ann.Model.Model())
 	for i := 0; i < m; i++ {

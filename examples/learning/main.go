@@ -88,12 +88,14 @@ func main() {
 		Name:         "P",
 		SessionAttrs: []string{"cluster"},
 	}
+	var clusters probpref.SessionSlice
 	for c, comp := range fit.Mixture.Components {
-		pref.Sessions = append(pref.Sessions, &probpref.Session{
+		clusters = append(clusters, &probpref.Session{
 			Key:   []string{fmt.Sprintf("cluster%d", c)},
 			Model: comp,
 		})
 	}
+	pref.Sessions = clusters
 	if err := db.AddPrefRelation(pref); err != nil {
 		log.Fatal(err)
 	}

@@ -21,7 +21,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("polls database: %d candidates, %d poll sessions\n\n",
-		db.M(), len(db.Prefs["P"].Sessions))
+		db.M(), db.Prefs["P"].Sessions.Len())
 
 	// A hard (non-itemwise) query in the style of Figure 4: is a female
 	// candidate with a JD preferred to a male candidate with a BS of the

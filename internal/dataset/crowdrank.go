@@ -116,7 +116,7 @@ func CrowdRank(cfg CrowdRankConfig) (*ppd.DB, error) {
 	if err := db.AddPrefRelation(&ppd.PrefRelation{
 		Name:         "P",
 		SessionAttrs: []string{"worker"},
-		Sessions:     sessions,
+		Sessions:     ppd.SessionSlice(sessions),
 	}); err != nil {
 		return nil, err
 	}

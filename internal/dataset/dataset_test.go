@@ -151,7 +151,7 @@ func TestPolls(t *testing.T) {
 	if db.M() != 16 {
 		t.Fatalf("M = %d", db.M())
 	}
-	if got := len(db.Prefs["P"].Sessions); got != 200 {
+	if got := db.Prefs["P"].Sessions.Len(); got != 200 {
 		t.Fatalf("sessions = %d", got)
 	}
 	// The Figure 4 query must be evaluable and grounded per session.
@@ -160,7 +160,7 @@ func TestPolls(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gq, err := g.GroundSession(db.Prefs["P"].Sessions[0])
+	gq, err := g.GroundSession(db.Prefs["P"].Sessions.At(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestPolls(t *testing.T) {
 		t.Fatalf("grounded union: %d members, twoLabel=%v", len(gq.Union), gq.Union.AllTwoLabel())
 	}
 	// Dates restricted to the two poll dates.
-	for _, s := range db.Prefs["P"].Sessions {
+	for _, s := range db.Prefs["P"].Sessions.All() {
 		if s.Key[1] != "5/5" && s.Key[1] != "6/5" {
 			t.Fatalf("bad date %q", s.Key[1])
 		}
@@ -186,15 +186,15 @@ func TestMovieLens(t *testing.T) {
 	if _, ok := db.ItemID("111"); !ok {
 		t.Fatal("movie 111 missing")
 	}
-	if len(db.Prefs["P"].Sessions) != 16 {
-		t.Fatalf("sessions = %d", len(db.Prefs["P"].Sessions))
+	if db.Prefs["P"].Sessions.Len() != 16 {
+		t.Fatalf("sessions = %d", db.Prefs["P"].Sessions.Len())
 	}
 	q := ppd.MustParse(MovieLensQueryText())
 	g, err := ppd.NewGrounder(db, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gq, err := g.GroundSession(db.Prefs["P"].Sessions[0])
+	gq, err := g.GroundSession(db.Prefs["P"].Sessions.At(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestMovieLens(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gq2, err := g2.GroundSession(big.Prefs["P"].Sessions[0])
+	gq2, err := g2.GroundSession(big.Prefs["P"].Sessions.At(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +233,7 @@ func TestCrowdRank(t *testing.T) {
 		t.Fatal(err)
 	}
 	distinct := map[string]bool{}
-	for _, s := range db.Prefs["P"].Sessions {
+	for _, s := range db.Prefs["P"].Sessions.All() {
 		gq, err := g.GroundSession(s)
 		if err != nil {
 			t.Fatal(err)

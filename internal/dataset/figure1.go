@@ -42,7 +42,7 @@ func Figure1() (*ppd.DB, error) {
 	err = db.AddPrefRelation(&ppd.PrefRelation{
 		Name:         "P",
 		SessionAttrs: []string{"voter", "date"},
-		Sessions: []*ppd.Session{
+		Sessions: ppd.SessionSlice{
 			// <Clinton, Sanders, Rubio, Trump>, phi = 0.3
 			{Key: []string{"Ann", "5/5"}, Model: rim.MustMallows(rank.Ranking{1, 2, 3, 0}, 0.3)},
 			// <Trump, Rubio, Sanders, Clinton>, phi = 0.3

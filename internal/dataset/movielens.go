@@ -105,7 +105,7 @@ func MovieLens(cfg MovieLensConfig) (*ppd.DB, error) {
 	if err := db.AddPrefRelation(&ppd.PrefRelation{
 		Name:         "P",
 		SessionAttrs: []string{"user"},
-		Sessions:     sessions,
+		Sessions:     ppd.SessionSlice(sessions),
 	}); err != nil {
 		return nil, err
 	}

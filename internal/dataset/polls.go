@@ -110,7 +110,7 @@ func Polls(cfg PollsConfig) (*ppd.DB, error) {
 	if err := db.AddPrefRelation(&ppd.PrefRelation{
 		Name:         "P",
 		SessionAttrs: []string{"voter", "date"},
-		Sessions:     sessions,
+		Sessions:     ppd.SessionSlice(sessions),
 	}); err != nil {
 		return nil, err
 	}

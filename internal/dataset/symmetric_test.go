@@ -59,8 +59,8 @@ func TestFigure1Dataset(t *testing.T) {
 	if db.M() != 4 {
 		t.Fatalf("m = %d, want 4", db.M())
 	}
-	if len(db.Prefs["P"].Sessions) != 3 {
-		t.Fatalf("sessions = %d, want 3", len(db.Prefs["P"].Sessions))
+	if db.Prefs["P"].Sessions.Len() != 3 {
+		t.Fatalf("sessions = %d, want 3", db.Prefs["P"].Sessions.Len())
 	}
 	if _, ok := db.Relations["V"]; !ok {
 		t.Fatal("voters relation missing")

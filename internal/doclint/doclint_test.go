@@ -26,6 +26,7 @@ var lintedDirs = []string{
 	"internal/server",
 	"internal/registry",
 	"internal/dataset",
+	"internal/store",
 }
 
 // repoRoot locates the repository root relative to this package.

@@ -129,7 +129,7 @@ func distinctGroups(db *ppd.DB, query string, max int) ([]sessionGroup, error) {
 	}
 	seen := map[string]bool{}
 	var out []sessionGroup
-	for _, s := range g.Pref().Sessions {
+	for _, s := range g.Pref().Sessions.All() {
 		gq, err := g.GroundSession(s)
 		if err != nil {
 			return nil, err

@@ -150,7 +150,7 @@ func RunFig14(scale Scale) (*Table, error) {
 		st := &stats{}
 		patterns := 0
 		count := 0
-		for si, s := range g.Pref().Sessions {
+		for si, s := range g.Pref().Sessions.All() {
 			if count >= sessionsPerM {
 				break
 			}

@@ -50,7 +50,7 @@ func (e *Engine) aggregateQuery(ctx context.Context, q *Query, rel, attr string)
 	}
 	res := &AggregateResult{}
 	cache := make(map[string]float64)
-	for _, s := range g.Pref().Sessions {
+	for _, s := range g.Pref().Sessions.All() {
 		if len(s.Key) == 0 {
 			continue
 		}

@@ -17,7 +17,7 @@ func (db *DB) PopulationPairwise(prefName string) ([][]float64, error) {
 	if !ok {
 		return nil, fmt.Errorf("ppd: unknown p-relation %q", prefName)
 	}
-	if len(pref.Sessions) == 0 {
+	if pref.Sessions.Len() == 0 {
 		return nil, fmt.Errorf("ppd: p-relation %q has no sessions", prefName)
 	}
 	m := db.M()
@@ -27,8 +27,8 @@ func (db *DB) PopulationPairwise(prefName string) ([][]float64, error) {
 	}
 	// Identical models produce identical matrices; compute each once.
 	byModel := make(map[string][][]float64)
-	w := 1 / float64(len(pref.Sessions))
-	for _, s := range pref.Sessions {
+	w := 1 / float64(pref.Sessions.Len())
+	for _, s := range pref.Sessions.All() {
 		key := s.Model.Rehash()
 		pm, ok := byModel[key]
 		if !ok {
@@ -52,7 +52,7 @@ func (db *DB) PopulationRankMarginals(prefName string) ([][]float64, error) {
 	if !ok {
 		return nil, fmt.Errorf("ppd: unknown p-relation %q", prefName)
 	}
-	if len(pref.Sessions) == 0 {
+	if pref.Sessions.Len() == 0 {
 		return nil, fmt.Errorf("ppd: p-relation %q has no sessions", prefName)
 	}
 	m := db.M()
@@ -61,8 +61,8 @@ func (db *DB) PopulationRankMarginals(prefName string) ([][]float64, error) {
 		out[i] = make([]float64, m)
 	}
 	byModel := make(map[string][][]float64)
-	w := 1 / float64(len(pref.Sessions))
-	for _, s := range pref.Sessions {
+	w := 1 / float64(pref.Sessions.Len())
+	for _, s := range pref.Sessions.All() {
 		key := s.Model.Rehash()
 		rm, ok := byModel[key]
 		if !ok {

@@ -35,7 +35,7 @@ func TestPopulationPairwise(t *testing.T) {
 	// Hand-average the three session matrices.
 	pref := db.Prefs["P"]
 	want := 0.0
-	for _, s := range pref.Sessions {
+	for _, s := range pref.Sessions.All() {
 		spm := analytics.PairwiseMatrix(s.Model.Model())
 		want += spm[1][0] / 3
 	}
@@ -141,7 +141,7 @@ func TestTopKUnionRejectsMismatchedPrefRelations(t *testing.T) {
 	second := &PrefRelation{
 		Name:         "R",
 		SessionAttrs: []string{"voter", "date"},
-		Sessions:     db.Prefs["P"].Sessions[:1],
+		Sessions:     SessionSlice{db.Prefs["P"].Sessions.At(0)},
 	}
 	if err := db.AddPrefRelation(second); err != nil {
 		t.Fatal(err)

@@ -50,7 +50,7 @@ func TestBatchSolveGroupsMatchesPerGroupBitwise(t *testing.T) {
 		t.Fatal(err)
 	}
 	var groups []BatchGroup
-	for _, s := range g.Pref().Sessions {
+	for _, s := range g.Pref().Sessions.All() {
 		gq, err := g.GroundSession(s)
 		if err != nil {
 			t.Fatal(err)
@@ -95,7 +95,7 @@ func TestBatchSolveGroupsUsesPlanCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	var groups []BatchGroup
-	for _, s := range g.Pref().Sessions {
+	for _, s := range g.Pref().Sessions.All() {
 		gq, err := g.GroundSession(s)
 		if err != nil {
 			t.Fatal(err)
@@ -164,7 +164,7 @@ func TestPlanAlgoRouting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := g.Pref().Sessions[0]
+	s := g.Pref().Sessions.At(0)
 	gq, err := g.GroundSession(s)
 	if err != nil {
 		t.Fatal(err)
@@ -239,7 +239,7 @@ func TestAdaptiveExpiredDeadlineMinimumSamplingEstimate(t *testing.T) {
 		},
 	}
 	for name, mk := range deadlines {
-		for _, s := range g.Pref().Sessions {
+		for _, s := range g.Pref().Sessions.All() {
 			gq, err := g.GroundSession(s)
 			if err != nil {
 				t.Fatal(err)

@@ -68,8 +68,10 @@ type PrefRelation struct {
 	Name string
 	// SessionAttrs names the session attributes of the relation.
 	SessionAttrs []string
-	// Sessions holds one entry per preference session.
-	Sessions []*Session
+	// Sessions holds the preference sessions. RAM-built relations use a
+	// SessionSlice; snapshot-backed relations an mmap store
+	// (internal/store); ingested relations a ConcatSessions of the two.
+	Sessions SessionStore
 }
 
 // DB is a RIM-PPD instance.
@@ -131,16 +133,31 @@ func (db *DB) AddRelation(r *Relation) error {
 // AddPrefRelation registers a p-relation. Every session model must range
 // over exactly the items of the item relation.
 func (db *DB) AddPrefRelation(p *PrefRelation) error {
-	if _, dup := db.Prefs[p.Name]; dup {
-		return fmt.Errorf("ppd: p-relation %q already exists", p.Name)
+	if p.Sessions == nil {
+		p.Sessions = SessionSlice(nil)
 	}
-	for _, s := range p.Sessions {
+	for _, s := range p.Sessions.All() {
 		if len(s.Key) != len(p.SessionAttrs) {
 			return fmt.Errorf("ppd: session key %v arity mismatch in %q", s.Key, p.Name)
 		}
 		if s.Model.M() != db.M() {
 			return fmt.Errorf("ppd: session model over %d items, catalog has %d", s.Model.M(), db.M())
 		}
+	}
+	return db.AddPrefRelationUnchecked(p)
+}
+
+// AddPrefRelationUnchecked registers a p-relation without iterating its
+// sessions for validation. It exists for snapshot loaders (internal/store)
+// whose checksummed on-disk format already guarantees the per-session
+// invariants — key arity and model item count — so that opening a large
+// out-of-core store does not materialize every session up front.
+func (db *DB) AddPrefRelationUnchecked(p *PrefRelation) error {
+	if _, dup := db.Prefs[p.Name]; dup {
+		return fmt.Errorf("ppd: p-relation %q already exists", p.Name)
+	}
+	if p.Sessions == nil {
+		p.Sessions = SessionSlice(nil)
 	}
 	db.Prefs[p.Name] = p
 	return nil

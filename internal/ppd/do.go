@@ -129,7 +129,7 @@ func (e *Engine) topKUnion(ctx context.Context, uq *UnionQuery, k, boundEdges in
 // unions into the single equivalent inference request. (GroundSession
 // already deduplicates patterns by key, so the two paths agree on
 // single-disjunct queries.)
-func (e *Engine) unionGround(uq *UnionQuery) ([]*Session, func(*Session) (pattern.Union, error), error) {
+func (e *Engine) unionGround(uq *UnionQuery) (SessionStore, func(*Session) (pattern.Union, error), error) {
 	if len(uq.Disjuncts) == 1 {
 		g, err := NewGrounder(e.DB, uq.Disjuncts[0])
 		if err != nil {
@@ -165,7 +165,7 @@ func (e *Engine) countDistUnion(ctx context.Context, uq *UnionQuery) (*CountDist
 	if err != nil {
 		return nil, nil, err
 	}
-	dist, err := CountDistFromSessions(res.PerSession, len(g.Pref().Sessions))
+	dist, err := CountDistFromSessions(res.PerSession, g.Pref().Sessions.Len())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -187,7 +187,7 @@ type EvalResult struct {
 // identical-request grouping, optional parallel solving, and the Boolean /
 // Count-Session aggregation — for any grounding function (a plain CQ's
 // grounder, or the merged grounders of a union query).
-func (e *Engine) evalGrounded(ctx context.Context, sessions []*Session, ground func(*Session) (pattern.Union, error)) (*EvalResult, error) {
+func (e *Engine) evalGrounded(ctx context.Context, sessions SessionStore, ground func(*Session) (pattern.Union, error)) (*EvalResult, error) {
 	type liveSession struct {
 		s     *Session
 		u     pattern.Union
@@ -212,7 +212,7 @@ func (e *Engine) evalGrounded(ctx context.Context, sessions []*Session, ground f
 		defer cancel()
 	}
 	var groups []group
-	for si, s := range sessions {
+	for si, s := range sessions.All() {
 		if si&63 == 0 {
 			if err := loopCtx.Err(); err != nil {
 				return nil, context.Cause(loopCtx)
@@ -560,7 +560,7 @@ type TopKDiag struct {
 
 // topKGrounded is the shared Most-Probable-Session loop for any grounding
 // function.
-func (e *Engine) topKGrounded(ctx context.Context, sessions []*Session, ground func(*Session) (pattern.Union, error), k, boundEdges int) ([]SessionProb, *TopKDiag, error) {
+func (e *Engine) topKGrounded(ctx context.Context, sessions SessionStore, ground func(*Session) (pattern.Union, error), k, boundEdges int) ([]SessionProb, *TopKDiag, error) {
 	if k <= 0 {
 		return nil, nil, fmt.Errorf("ppd: top-k requires k >= 1, got %d", k)
 	}
@@ -586,7 +586,7 @@ func (e *Engine) topKGrounded(ctx context.Context, sessions []*Session, ground f
 	if boundOpts.Ctx == nil {
 		boundOpts.Ctx = loopCtx
 	}
-	for _, s := range sessions {
+	for _, s := range sessions.All() {
 		u, err := ground(s)
 		if err != nil {
 			return nil, nil, err

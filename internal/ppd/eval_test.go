@@ -21,7 +21,7 @@ func bruteEval(t *testing.T, db *DB, q *Query) (prob, count float64, perSession 
 		t.Fatal(err)
 	}
 	oneMinus := 1.0
-	for _, s := range g.Pref().Sessions {
+	for _, s := range g.Pref().Sessions.All() {
 		gq, err := g.GroundSession(s)
 		if err != nil {
 			t.Fatal(err)
@@ -113,10 +113,10 @@ func TestEvalGrouping(t *testing.T) {
 	// pattern for every session, so Ann's and Eve's requests are identical.
 	// Dave shares Ann's center but not phi, so his request is distinct.
 	polls := db.Prefs["P"]
-	polls.Sessions = append(polls.Sessions, &Session{
+	polls.Sessions = ConcatSessions(polls.Sessions, SessionSlice{{
 		Key:   []string{"Eve", "5/5"},
-		Model: polls.Sessions[0].Model,
-	})
+		Model: polls.Sessions.At(0).Model,
+	}})
 	q := MustParse(`P(_, _; c1; c2), C(c1, _, F, _, _, _), C(c2, _, M, _, _, _)`)
 	grouped := &Engine{DB: db, Method: MethodAuto}
 	res1, err := grouped.Eval(q)
@@ -202,7 +202,7 @@ func TestTopKBoundsDominate(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := &Engine{DB: db, Method: MethodAuto}
-	for _, s := range g.Pref().Sessions {
+	for _, s := range g.Pref().Sessions.All() {
 		gq, err := g.GroundSession(s)
 		if err != nil {
 			t.Fatal(err)

@@ -49,14 +49,14 @@ func (e *Engine) Explain(q *Query) (*Explanation, error) {
 	ex := &Explanation{
 		Query:        q.String(),
 		PrefRelation: g.Pref().Name,
-		Sessions:     len(g.Pref().Sessions),
+		Sessions:     g.Pref().Sessions.Len(),
 		Itemwise:     true,
 		AllTwoLabel:  true,
 		AllBipartite: true,
 	}
 	groundVars := map[string]bool{}
 	groups := map[string]bool{}
-	for _, s := range g.Pref().Sessions {
+	for _, s := range g.Pref().Sessions.All() {
 		gq, err := g.GroundSession(s)
 		if err != nil {
 			return nil, err
@@ -106,7 +106,7 @@ func (e *Engine) Explain(q *Query) (*Explanation, error) {
 		ex.Recommended = MethodRelOrder
 		// Large involved-item sets make exact relative-order inference
 		// infeasible; recommend sampling instead.
-		for _, s := range g.Pref().Sessions {
+		for _, s := range g.Pref().Sessions.All() {
 			gq, err := g.GroundSession(s)
 			if err != nil || len(gq.Union) == 0 {
 				continue

@@ -54,10 +54,10 @@ func (e *Engine) ExplainUnion(uq *UnionQuery) (*UnionExplanation, error) {
 		}
 	}
 	sessions := grounders[0].Pref().Sessions
-	ex.Sessions = len(sessions)
+	ex.Sessions = sessions.Len()
 	groups := map[string]bool{}
 	sampling := false
-	for _, s := range sessions {
+	for _, s := range sessions.All() {
 		unions := make([]pattern.Union, 0, len(grounders))
 		for _, g := range grounders {
 			gq, err := g.GroundSession(s)

@@ -44,7 +44,7 @@ func figure1DB(t *testing.T) *DB {
 	polls := &PrefRelation{
 		Name:         "P",
 		SessionAttrs: []string{"voter", "date"},
-		Sessions: []*Session{
+		Sessions: SessionSlice{
 			{Key: []string{"Ann", "5/5"}, Model: rim.MustMallows(rank.Ranking{1, 2, 3, 0}, 0.3)},
 			{Key: []string{"Bob", "5/5"}, Model: rim.MustMallows(rank.Ranking{0, 3, 2, 1}, 0.3)},
 			{Key: []string{"Dave", "6/5"}, Model: rim.MustMallows(rank.Ranking{1, 2, 3, 0}, 0.5)},

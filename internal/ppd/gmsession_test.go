@@ -18,7 +18,7 @@ func gmDB(t *testing.T) *DB {
 	db := figure1DB(t)
 	gm := rim.MustGeneralizedMallows(rank.Ranking{1, 2, 3, 0}, []float64{1, 0.1, 0.9, 0.4})
 	pref := db.Prefs["P"]
-	pref.Sessions = append(pref.Sessions, &Session{Key: []string{"Eve", "6/5"}, Model: gm})
+	pref.Sessions = ConcatSessions(pref.Sessions, SessionSlice{{Key: []string{"Eve", "6/5"}, Model: gm}})
 	return db
 }
 
@@ -39,7 +39,7 @@ func TestGeneralizedMallowsSessionExactEval(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eve := db.Prefs["P"].Sessions[3]
+	eve := db.Prefs["P"].Sessions.At(3)
 	gq, err := g.GroundSession(eve)
 	if err != nil {
 		t.Fatal(err)
@@ -116,16 +116,16 @@ func TestGeneralizedMallowsSessionJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(back.Sessions) != 4 {
-		t.Fatalf("sessions = %d, want 4", len(back.Sessions))
+	if back.Sessions.Len() != 4 {
+		t.Fatalf("sessions = %d, want 4", back.Sessions.Len())
 	}
-	for i := range back.Sessions {
-		if back.Sessions[i].Model.Rehash() != pref.Sessions[i].Model.Rehash() {
+	for i := range back.Sessions.All() {
+		if back.Sessions.At(i).Model.Rehash() != pref.Sessions.At(i).Model.Rehash() {
 			t.Fatalf("session %d model mismatch after round trip", i)
 		}
 	}
-	if _, ok := back.Sessions[3].Model.(*rim.GeneralizedMallows); !ok {
-		t.Fatalf("session 3 deserialized as %T, want GeneralizedMallows", back.Sessions[3].Model)
+	if _, ok := back.Sessions.At(3).Model.(*rim.GeneralizedMallows); !ok {
+		t.Fatalf("session 3 deserialized as %T, want GeneralizedMallows", back.Sessions.At(3).Model)
 	}
 }
 
@@ -136,7 +136,7 @@ func TestUnsupportedSessionModelJSON(t *testing.T) {
 	pref := &PrefRelation{
 		Name:         "R",
 		SessionAttrs: []string{"k"},
-		Sessions:     []*Session{{Key: []string{"x"}, Model: mdl}},
+		Sessions:     SessionSlice{{Key: []string{"x"}, Model: mdl}},
 	}
 	var buf bytes.Buffer
 	if err := pref.WriteJSON(&buf); err == nil {
@@ -149,10 +149,10 @@ func TestGeneralizedMallowsSessionGrouping(t *testing.T) {
 	db := figure1DB(t)
 	gm := rim.MustGeneralizedMallows(rank.Ranking{1, 2, 3, 0}, []float64{1, 0.2, 0.2, 0.2})
 	pref := db.Prefs["P"]
-	pref.Sessions = append(pref.Sessions,
-		&Session{Key: []string{"Eve", "6/5"}, Model: gm},
-		&Session{Key: []string{"Finn", "6/5"}, Model: gm},
-	)
+	pref.Sessions = ConcatSessions(pref.Sessions, SessionSlice{
+		{Key: []string{"Eve", "6/5"}, Model: gm},
+		{Key: []string{"Finn", "6/5"}, Model: gm},
+	})
 	eng := &Engine{DB: db, Method: MethodAuto}
 	res, err := eng.Eval(MustParse(`P(_, _; c1; c2), C(c1, _, "F", _, _, _), C(c2, _, "M", _, _, _)`))
 	if err != nil {

@@ -13,7 +13,7 @@ func TestGroundQ0Itemwise(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ann := db.Prefs["P"].Sessions[0]
+	ann := db.Prefs["P"].Sessions.At(0)
 	gq, err := g.GroundSession(ann)
 	if err != nil {
 		t.Fatal(err)
@@ -31,7 +31,7 @@ func TestGroundQ0Itemwise(t *testing.T) {
 		t.Fatalf("node 0 labels = %v", pat.Node(0).Labels)
 	}
 	// Other sessions are filtered out by the session constants.
-	bob := db.Prefs["P"].Sessions[1]
+	bob := db.Prefs["P"].Sessions.At(1)
 	gq, err = g.GroundSession(bob)
 	if err != nil {
 		t.Fatal(err)
@@ -48,7 +48,7 @@ func TestGroundQ1Labels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, s := range db.Prefs["P"].Sessions {
+	for _, s := range db.Prefs["P"].Sessions.All() {
 		gq, err := g.GroundSession(s)
 		if err != nil {
 			t.Fatal(err)
@@ -78,7 +78,7 @@ func TestGroundQ2NonItemwise(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gq, err := g.GroundSession(db.Prefs["P"].Sessions[0])
+	gq, err := g.GroundSession(db.Prefs["P"].Sessions.At(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestGroundComparisonRestrictsDomain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gq, err := g.GroundSession(db.Prefs["P"].Sessions[0])
+	gq, err := g.GroundSession(db.Prefs["P"].Sessions.At(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestGroundSessionComparison(t *testing.T) {
 		t.Fatal(err)
 	}
 	var live int
-	for _, s := range db.Prefs["P"].Sessions {
+	for _, s := range db.Prefs["P"].Sessions.All() {
 		gq, err := g.GroundSession(s)
 		if err != nil {
 			t.Fatal(err)
@@ -157,7 +157,7 @@ func TestGroundContextJoin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ann := db.Prefs["P"].Sessions[0] // Ann is female
+	ann := db.Prefs["P"].Sessions.At(0) // Ann is female
 	gq, err := g.GroundSession(ann)
 	if err != nil {
 		t.Fatal(err)
@@ -169,7 +169,7 @@ func TestGroundContextJoin(t *testing.T) {
 	if !gq.Union[0].Node(0).Labels.Contains(f) {
 		t.Fatalf("Ann's pattern should require sex=F, got %v", gq.Union[0].Node(0).Labels)
 	}
-	bob := db.Prefs["P"].Sessions[1] // Bob is male
+	bob := db.Prefs["P"].Sessions.At(1) // Bob is male
 	gq, err = g.GroundSession(bob)
 	if err != nil {
 		t.Fatal(err)
@@ -188,7 +188,7 @@ func TestGroundExistenceAtom(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gq, err := g.GroundSession(db.Prefs["P"].Sessions[0])
+	gq, err := g.GroundSession(db.Prefs["P"].Sessions.At(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func TestGroundSingletonVarIsWildcard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gq, err := g.GroundSession(db.Prefs["P"].Sessions[0])
+	gq, err := g.GroundSession(db.Prefs["P"].Sessions.At(0))
 	if err != nil {
 		t.Fatal(err)
 	}

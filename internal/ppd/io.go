@@ -62,7 +62,7 @@ type sessionJSON struct {
 // serialized).
 func (p *PrefRelation) WriteJSON(w io.Writer) error {
 	out := prefJSON{Name: p.Name, SessionAttrs: p.SessionAttrs}
-	for i, s := range p.Sessions {
+	for i, s := range p.Sessions.All() {
 		sigma := make([]int, s.Model.M())
 		for j, it := range s.Model.Reference() {
 			sigma[j] = int(it)
@@ -92,6 +92,7 @@ func LoadPrefJSON(r io.Reader) (*PrefRelation, error) {
 		return nil, fmt.Errorf("ppd: decoding p-relation: %w", err)
 	}
 	p := &PrefRelation{Name: in.Name, SessionAttrs: in.SessionAttrs}
+	var sessions SessionSlice
 	shared := make(map[string]rim.SessionModel)
 	for i, s := range in.Sessions {
 		sigma := make(rank.Ranking, len(s.Sigma))
@@ -115,7 +116,8 @@ func LoadPrefJSON(r io.Reader) (*PrefRelation, error) {
 		} else {
 			shared[sm.Rehash()] = sm
 		}
-		p.Sessions = append(p.Sessions, &Session{Key: s.Key, Model: sm})
+		sessions = append(sessions, &Session{Key: s.Key, Model: sm})
 	}
+	p.Sessions = sessions
 	return p, nil
 }

@@ -45,11 +45,11 @@ func TestPrefJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Name != "P" || len(back.Sessions) != 3 {
-		t.Fatalf("name=%q sessions=%d", back.Name, len(back.Sessions))
+	if back.Name != "P" || back.Sessions.Len() != 3 {
+		t.Fatalf("name=%q sessions=%d", back.Name, back.Sessions.Len())
 	}
-	for i, s := range back.Sessions {
-		o := orig.Sessions[i]
+	for i, s := range back.Sessions.All() {
+		o := orig.Sessions.At(i)
 		if s.Model.Rehash() != o.Model.Rehash() {
 			t.Fatalf("session %d model mismatch", i)
 		}
@@ -62,9 +62,9 @@ func TestPrefJSONRoundTrip(t *testing.T) {
 	dup := &PrefRelation{
 		Name:         "P2",
 		SessionAttrs: []string{"voter", "date"},
-		Sessions: []*Session{
-			orig.Sessions[0],
-			{Key: []string{"Eve", "5/5"}, Model: orig.Sessions[0].Model},
+		Sessions: SessionSlice{
+			orig.Sessions.At(0),
+			{Key: []string{"Eve", "5/5"}, Model: orig.Sessions.At(0).Model},
 		},
 	}
 	buf.Reset()
@@ -75,7 +75,7 @@ func TestPrefJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Sessions[0].Model != back.Sessions[1].Model {
+	if back.Sessions.At(0).Model != back.Sessions.At(1).Model {
 		t.Fatal("identical models not shared after load")
 	}
 }

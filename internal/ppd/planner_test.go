@@ -23,7 +23,7 @@ func TestAdaptiveMatchesExactBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := &Engine{DB: db, Method: MethodAdaptive} // default budget: exact routes
-	for _, s := range g.Pref().Sessions {
+	for _, s := range g.Pref().Sessions.All() {
 		gq, err := g.GroundSession(s)
 		if err != nil {
 			t.Fatal(err)
@@ -166,7 +166,7 @@ func TestEstimateCostShapes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := g.Pref().Sessions[0]
+	s := g.Pref().Sessions.At(0)
 	gq, err := g.GroundSession(s)
 	if err != nil {
 		t.Fatal(err)

@@ -145,7 +145,7 @@ func TestEvalUnionMatchesBrute(t *testing.T) {
 	}
 	pref := db.Prefs["P"]
 	oneMinus := 1.0
-	for i, s := range pref.Sessions {
+	for i, s := range pref.Sessions.All() {
 		want := bruteUnionSession(t, db, uq, s)
 		got := res.PerSession[i].Prob
 		if math.Abs(got-want) > 1e-9 {
@@ -192,7 +192,7 @@ func TestEvalUnionRejectsMismatchedPrefRelations(t *testing.T) {
 	second := &PrefRelation{
 		Name:         "R",
 		SessionAttrs: []string{"voter"},
-		Sessions: []*Session{
+		Sessions: SessionSlice{
 			{Key: []string{"Zoe"}, Model: rim.MustMallows(rank.Identity(4), 0.5)},
 		},
 	}

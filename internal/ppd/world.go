@@ -21,8 +21,8 @@ type World struct {
 func (db *DB) SampleWorld(rng *rand.Rand) *World {
 	w := &World{Rankings: make(map[string][]rank.Ranking, len(db.Prefs))}
 	for name, p := range db.Prefs {
-		rs := make([]rank.Ranking, len(p.Sessions))
-		for i, s := range p.Sessions {
+		rs := make([]rank.Ranking, p.Sessions.Len())
+		for i, s := range p.Sessions.All() {
 			rs[i] = s.Model.Sample(rng)
 		}
 		w.Rankings[name] = rs
@@ -36,7 +36,7 @@ func (db *DB) SampleWorld(rng *rand.Rand) *World {
 // worlds converges to Engine.Eval's Boolean answer.
 func (g *Grounder) HoldsIn(w *World) (bool, error) {
 	rs := w.Rankings[g.pref.Name]
-	for si, s := range g.pref.Sessions {
+	for si, s := range g.pref.Sessions.All() {
 		gq, err := g.GroundSession(s)
 		if err != nil {
 			return false, err
@@ -56,7 +56,7 @@ func (g *Grounder) HoldsIn(w *World) (bool, error) {
 func (g *Grounder) CountIn(w *World) (int, error) {
 	rs := w.Rankings[g.pref.Name]
 	count := 0
-	for si, s := range g.pref.Sessions {
+	for si, s := range g.pref.Sessions.All() {
 		gq, err := g.GroundSession(s)
 		if err != nil {
 			return 0, err

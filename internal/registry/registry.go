@@ -16,12 +16,15 @@ package registry
 import (
 	"errors"
 	"fmt"
+	"io"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"sync"
 
 	"probpref/internal/dataset"
 	"probpref/internal/ppd"
+	"probpref/internal/store"
 )
 
 // Catalog errors. Callers branch on them with errors.Is; the HTTP layer
@@ -149,18 +152,77 @@ type entry struct {
 	demo     string
 	items    int
 	sessions int
+	// closer releases the entry's backing snapshot (the mmap of an
+	// internal/store Store) at unload. Append swaps e.db without touching
+	// it: every post-append database layers a RAM tail over the same
+	// mapping, so the mapping lives exactly as long as the entry.
+	closer io.Closer
 }
 
 // Registry is the concurrent catalog. The zero value is not usable; call
 // New. All methods are safe for concurrent use.
 type Registry struct {
-	mu     sync.Mutex
-	models map[string]*entry
+	mu      sync.Mutex
+	models  map[string]*entry
+	snapDir string
 }
 
 // New returns an empty catalog.
 func New() *Registry {
 	return &Registry{models: make(map[string]*entry)}
+}
+
+// SetSnapshotDir points the catalog at a .ppds snapshot directory (see
+// internal/store). With a directory set, a model build first tries to mmap
+// dir/<name>.ppds — cold-starting without running its generator — and
+// every successful generator build or session append writes the snapshot
+// back (best-effort, atomically), so the directory behaves as a warm cache
+// across daemon restarts. An empty dir disables snapshotting.
+func (r *Registry) SetSnapshotDir(dir string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.snapDir = dir
+}
+
+// snapshotPath returns the snapshot file for name, or "" when snapshotting
+// is off.
+func (r *Registry) snapshotPath(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.snapDir == "" {
+		return ""
+	}
+	return filepath.Join(r.snapDir, name+".ppds")
+}
+
+// buildLocked loads an entry's database — snapshot first, generator
+// otherwise — and records the result. The entry's buildMu must be held.
+func (r *Registry) buildLocked(name string, e *entry) {
+	defer func() { e.built = true }()
+	if path := r.snapshotPath(name); path != "" {
+		if s, err := store.Open(path); err == nil {
+			e.db, e.demo, e.closer = s.DB(), s.Demo(), s
+			e.items, e.sessions = dbSize(e.db)
+			return
+		}
+	}
+	e.db, e.demo, e.buildErr = dataset.Build(e.spec.buildConfig())
+	if e.buildErr != nil {
+		e.buildErr = fmt.Errorf("registry: building model %q: %w", name, e.buildErr)
+		return
+	}
+	e.items, e.sessions = dbSize(e.db)
+	r.writeSnapshot(name, e.db, e.demo)
+}
+
+// writeSnapshot persists a model snapshot when a snapshot directory is
+// configured. Best-effort: serving a model must not fail because its cache
+// file cannot be written, so errors are dropped (the atomic WriteFile
+// guarantees no partial file becomes visible either way).
+func (r *Registry) writeSnapshot(name string, db *ppd.DB, demo string) {
+	if path := r.snapshotPath(name); path != "" {
+		_ = store.WriteFile(path, db, demo)
+	}
 }
 
 // Register adds a dataset-backed model to the catalog. The database is
@@ -174,14 +236,20 @@ func (r *Registry) Register(spec Spec) error {
 	}
 	e := &entry{spec: spec}
 	if spec.Preload {
-		db, demo, err := dataset.Build(spec.buildConfig())
-		if err != nil {
-			return fmt.Errorf("registry: building model %q: %w", spec.Name, err)
+		e.buildMu.Lock()
+		r.buildLocked(spec.Name, e)
+		e.buildMu.Unlock()
+		if e.buildErr != nil {
+			return e.buildErr
 		}
-		e.built, e.db, e.demo = true, db, demo
-		e.items, e.sessions = dbSize(db)
 	}
-	return r.add(spec.Name, e)
+	if err := r.add(spec.Name, e); err != nil {
+		if e.closer != nil {
+			e.closer.Close()
+		}
+		return err
+	}
+	return nil
 }
 
 // RegisterDB adds a pre-built database under name; its Info reports
@@ -224,17 +292,18 @@ func (r *Registry) Open(name string) (*Handle, error) {
 	e.refs++
 	r.mu.Unlock()
 
+	var db *ppd.DB
+	var demo string
 	err := func() error {
 		e.buildMu.Lock()
 		defer e.buildMu.Unlock() // defer: a panicking builder must not wedge the entry
 		if !e.built {
-			e.db, e.demo, e.buildErr = dataset.Build(e.spec.buildConfig())
-			if e.buildErr != nil {
-				e.buildErr = fmt.Errorf("registry: building model %q: %w", name, e.buildErr)
-			} else {
-				e.items, e.sessions = dbSize(e.db)
-			}
-			e.built = true
+			r.buildLocked(name, e)
+		}
+		if e.buildErr == nil {
+			// Capture under buildMu: Append swaps e.db for later opens, and
+			// this handle must keep answering on the version it opened.
+			db, demo = e.db, e.demo
 		}
 		return e.buildErr
 	}()
@@ -242,7 +311,7 @@ func (r *Registry) Open(name string) (*Handle, error) {
 		r.release(e)
 		return nil, err
 	}
-	return &Handle{r: r, e: e, name: name}, nil
+	return &Handle{r: r, e: e, name: name, db: db, demo: demo}, nil
 }
 
 // Delete evicts name from the catalog: subsequent Opens fail with
@@ -276,11 +345,42 @@ func (r *Registry) release(e *entry) {
 }
 
 // unload frees the built database of a removed entry. Called with the
-// registry mutex held and zero refs, so no handle can observe it.
+// registry mutex held and zero refs, so no handle can observe it (and no
+// session of a snapshot-backed database can outlive its mapping).
 func unload(e *entry) {
+	if e.closer != nil {
+		e.closer.Close()
+		e.closer = nil
+	}
 	e.db = nil
 	e.built = false
 	e.buildErr = nil
+}
+
+// Append appends sessions to the p-relation pref of the named model and
+// returns the model's new total session count. The append is a swap, not a
+// mutation: a new database layering the appended sessions over the current
+// one replaces the entry's database, handles opened before the append keep
+// answering on the version they captured, and handles opened after see the
+// new sessions. When a snapshot directory is configured the grown model is
+// re-persisted (best-effort) so the ingest survives a restart.
+func (r *Registry) Append(name, pref string, sessions []*ppd.Session) (int, error) {
+	h, err := r.Open(name) // holds a ref: a concurrent Delete cannot unload mid-append
+	if err != nil {
+		return 0, err
+	}
+	defer h.Close()
+	e := h.e
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	ndb, err := e.db.AppendSessions(pref, sessions)
+	if err != nil {
+		return 0, err
+	}
+	e.db = ndb
+	e.items, e.sessions = dbSize(ndb)
+	r.writeSnapshot(name, ndb, e.demo)
+	return e.sessions, nil
 }
 
 // List snapshots the catalog sorted by name.
@@ -348,6 +448,8 @@ type Handle struct {
 	r    *Registry
 	e    *entry
 	name string
+	db   *ppd.DB
+	demo string
 
 	closeOnce sync.Once
 }
@@ -355,12 +457,14 @@ type Handle struct {
 // Name returns the catalog name the handle was opened under.
 func (h *Handle) Name() string { return h.name }
 
-// DB returns the model's database. The returned DB must not be used after
+// DB returns the model's database as of the moment the handle was opened:
+// a concurrent Append swaps the entry's database for later opens but never
+// changes what an open handle sees. The returned DB must not be used after
 // Close.
-func (h *Handle) DB() *ppd.DB { return h.e.db }
+func (h *Handle) DB() *ppd.DB { return h.db }
 
 // DemoQuery returns the dataset's demo query ("" for inline models).
-func (h *Handle) DemoQuery() string { return h.e.demo }
+func (h *Handle) DemoQuery() string { return h.demo }
 
 // Close drops the handle's reference; when the model has been deleted and
 // this was the last reference, the database is released.
@@ -371,7 +475,7 @@ func (h *Handle) Close() {
 // dbSize computes the Info size fields of a built database.
 func dbSize(db *ppd.DB) (items, sessions int) {
 	for _, p := range db.Prefs {
-		sessions += len(p.Sessions)
+		sessions += p.Sessions.Len()
 	}
 	return db.M(), sessions
 }

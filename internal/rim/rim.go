@@ -51,6 +51,18 @@ func New(sigma rank.Ranking, pi [][]float64) (*Model, error) {
 	return &Model{sigma: sigma.Clone(), pi: pi}, nil
 }
 
+// NewUnchecked constructs a RIM around sigma and pi without validating the
+// RIM invariants and without copying sigma: both slices are adopted as-is
+// and must not be mutated afterwards. It exists for loaders that have
+// already established the invariants out of band — the columnar snapshot
+// reader of internal/store, whose checksummed format guarantees row shapes
+// and stochasticity at write time — so that opening a large store does not
+// re-validate (or copy) every session's insertion matrix. Every other
+// caller should use New.
+func NewUnchecked(sigma rank.Ranking, pi [][]float64) *Model {
+	return &Model{sigma: sigma, pi: pi}
+}
+
 // MustNew is New but panics on error; for tests and literals.
 func MustNew(sigma rank.Ranking, pi [][]float64) *Model {
 	m, err := New(sigma, pi)

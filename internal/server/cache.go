@@ -7,6 +7,7 @@ package server
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 )
 
@@ -125,6 +126,29 @@ func (c *Cache) Put(key string, p float64) {
 		s.evictions++
 	}
 	s.items[key] = s.ll.PushFront(&cacheEntry{key: key, p: p})
+}
+
+// PurgePrefix drops every entry whose key starts with prefix and returns
+// how many were dropped; purged entries count as evictions in Stats. Like
+// PlanCache.PurgePrefix it scans every shard, which is fine for its one
+// caller (session ingest, which is rare relative to queries).
+func (c *Cache) PurgePrefix(prefix string) int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; {
+			next := el.Next()
+			if e := el.Value.(*cacheEntry); strings.HasPrefix(e.key, prefix) {
+				s.ll.Remove(el)
+				delete(s.items, e.key)
+				s.evictions++
+				n++
+			}
+			el = next
+		}
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Len returns the number of cached entries.

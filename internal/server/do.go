@@ -246,8 +246,8 @@ func (s *Service) doBatchGrouped(ctx context.Context, crs []*ppd.CompiledRequest
 		if err != nil {
 			return &evalError{fmt.Errorf("server: query %d: %w", ri+1, err)}
 		}
-		nSessions[qi] = len(grounders[0].Pref().Sessions)
-		for _, sess := range grounders[0].Pref().Sessions {
+		nSessions[qi] = grounders[0].Pref().Sessions.Len()
+		for _, sess := range grounders[0].Pref().Sessions.All() {
 			u, err := ppd.GroundMerged(grounders, sess)
 			if err != nil {
 				return &evalError{fmt.Errorf("server: query %d: %w", ri+1, err)}

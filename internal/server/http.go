@@ -194,6 +194,10 @@ func (e *httpError) Error() string { return e.err.Error() }
 //	                               countdist) or a {"requests": [...]} batch,
 //	                               with NDJSON streaming of topk rows via
 //	                               "stream"
+//	POST   /v1/sessions            append sessions to a model's p-relation
+//	                               ({"model","pref","sessions":[...]}); purges
+//	                               the model's cache namespaces and, with a
+//	                               snapshot directory, persists the growth
 //	GET    /eval?q=Q[&sessions=1][&model=M]   evaluate one query (legacy)
 //	POST   /eval                   {"queries": [...], "model": M} batch with dedup (legacy)
 //	GET    /topk?q=Q&k=K&bound=B[&model=M]    one Most-Probable-Session query (legacy)
@@ -211,6 +215,9 @@ func (e *httpError) Error() string { return e.err.Error() }
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleV1Query)
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, func() (any, error) { return s.handleIngest(r) })
+	})
 	mux.HandleFunc("/eval", func(w http.ResponseWriter, r *http.Request) {
 		serveJSON(w, func() (any, error) { return s.handleEval(r) })
 	})
@@ -279,6 +286,19 @@ func (s *Service) handleRegisterModel(r *http.Request) (*ModelResponse, error) {
 		return nil, err
 	}
 	return &ModelResponse{Model: info}, nil
+}
+
+// handleIngest serves POST /v1/sessions: the body is one IngestRequest; a
+// 200 means the sessions are durably part of the model (and of its snapshot
+// when a snapshot directory is configured).
+func (s *Service) handleIngest(r *http.Request) (*IngestResponse, error) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req IngestRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decoding body: %w", err)
+	}
+	return s.IngestSessions(&req)
 }
 
 func serveJSON(w http.ResponseWriter, fn func() (any, error)) {

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"fmt"
+
+	"probpref/internal/ppd"
+	"probpref/internal/rank"
+	"probpref/internal/rim"
+)
+
+// IngestSessionJSON is the wire form of one session to ingest: a center
+// ranking over item ids plus Mallows (phi) or Generalized Mallows (phis)
+// dispersion, mirroring the p-relation JSON schema of ppdgen.
+type IngestSessionJSON struct {
+	// Key holds the session-attribute values, in the p-relation's
+	// SessionAttrs order.
+	Key []string `json:"key"`
+	// Sigma is the center (reference) ranking as item ids.
+	Sigma []int `json:"sigma"`
+	// Phi parameterizes a Mallows session.
+	Phi float64 `json:"phi,omitempty"`
+	// Phis, when present, parameterizes a Generalized Mallows session
+	// instead (one dispersion per insertion step).
+	Phis []float64 `json:"phis,omitempty"`
+}
+
+// IngestRequest is the body of POST /v1/sessions.
+type IngestRequest struct {
+	// Model names the registry model to grow; "" selects DefaultModel.
+	Model string `json:"model,omitempty"`
+	// Pref names the p-relation of the model the sessions append to.
+	Pref string `json:"pref"`
+	// Sessions are the sessions to append, in order.
+	Sessions []IngestSessionJSON `json:"sessions"`
+}
+
+// IngestResponse is the wire form of POST /v1/sessions.
+type IngestResponse struct {
+	// Model is the grown model's name (resolved, never "").
+	Model string `json:"model"`
+	// Pref is the p-relation the sessions were appended to.
+	Pref string `json:"pref"`
+	// Appended counts the sessions this request added.
+	Appended int `json:"appended"`
+	// Sessions is the model's new total session count across p-relations.
+	Sessions int `json:"sessions"`
+	// PurgedSolves counts solve-cache entries invalidated for the model.
+	PurgedSolves int `json:"purged_solves"`
+	// PurgedPlans counts compiled-plan cache entries invalidated for the
+	// model.
+	PurgedPlans int `json:"purged_plans"`
+}
+
+// IngestSessions appends sessions to a model's p-relation and invalidates
+// the model's cache namespaces. The append swaps the model's database under
+// the registry's build lock, so queries that already opened the model finish
+// on the pre-ingest snapshot while new opens see the grown database; the
+// purge then drops the model's solve- and plan-cache entries exactly once.
+// (Both key spaces are content-addressed — solve keys embed the session
+// model, plan keys the reference ranking and union shape — so stale entries
+// could never produce wrong answers; the purge reclaims capacity the grown
+// model's new working set would otherwise have to evict organically.)
+// Sessions with identical parameters share one model instance, preserving
+// the grouping behavior of the evaluator, exactly like ppd.LoadPrefJSON.
+func (s *Service) IngestSessions(req *IngestRequest) (*IngestResponse, error) {
+	model := req.Model
+	if model == "" {
+		model = DefaultModel
+	}
+	if req.Pref == "" {
+		return nil, fmt.Errorf("missing pref")
+	}
+	if len(req.Sessions) == 0 {
+		return nil, fmt.Errorf("empty sessions")
+	}
+	parsed := make([]*ppd.Session, len(req.Sessions))
+	shared := make(map[string]rim.SessionModel)
+	for i, sj := range req.Sessions {
+		sigma := make(rank.Ranking, len(sj.Sigma))
+		for j, it := range sj.Sigma {
+			sigma[j] = rank.Item(it)
+		}
+		var (
+			sm  rim.SessionModel
+			err error
+		)
+		if len(sj.Phis) > 0 {
+			sm, err = rim.NewGeneralizedMallows(sigma, sj.Phis)
+		} else {
+			sm, err = rim.NewMallows(sigma, sj.Phi)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("session %d: %w", i+1, err)
+		}
+		if prev, ok := shared[sm.Rehash()]; ok {
+			sm = prev
+		} else {
+			shared[sm.Rehash()] = sm
+		}
+		parsed[i] = &ppd.Session{Key: sj.Key, Model: sm}
+	}
+	total, err := s.reg.Append(model, req.Pref, parsed)
+	if err != nil {
+		return nil, err
+	}
+	resp := &IngestResponse{Model: model, Pref: req.Pref, Appended: len(parsed), Sessions: total}
+	ns := model + nsSep
+	if s.cache != nil {
+		resp.PurgedSolves = s.cache.PurgePrefix(ns)
+	}
+	if s.plans != nil {
+		resp.PurgedPlans = s.plans.PurgePrefix(ns)
+	}
+	if s.ingestPurgeHook != nil {
+		s.ingestPurgeHook(model)
+	}
+	return resp, nil
+}

@@ -1,0 +1,305 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"probpref/internal/ppd"
+	"probpref/internal/registry"
+)
+
+// Ingest tests: POST /v1/sessions appends sessions to a live model while
+// queries keep running. The registry swaps the model's database under its
+// build lock, so requests that already opened a handle finish on the
+// pre-ingest snapshot while later opens see the grown model; the service
+// then purges the model's cache namespaces exactly once. Run under -race
+// (CI does).
+
+// figIngest builds an ingest request appending one figure1-shaped session
+// per key (4-item Mallows center, session key (voter, day)).
+func figIngest(model string, keys ...string) *IngestRequest {
+	req := &IngestRequest{Model: model, Pref: "P"}
+	for i, k := range keys {
+		req.Sessions = append(req.Sessions, IngestSessionJSON{
+			Key:   []string{k, fmt.Sprintf("%d/7", i+7)},
+			Sigma: []int{0, 1, 2, 3},
+			Phi:   0.4,
+		})
+	}
+	return req
+}
+
+// sessionCount asks the model for every session via an exhaustive topk.
+func sessionCount(t *testing.T, svc *Service, model string) int {
+	t.Helper()
+	resp, err := svc.Do(context.Background(), &ppd.Request{
+		Kind: ppd.KindTopK, Query: q1, K: 100, Model: model,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(resp.Top)
+}
+
+func TestIngestSessionsGrowsModel(t *testing.T) {
+	svc := figure1Service(t, Config{})
+	if got := sessionCount(t, svc, ""); got != 3 {
+		t.Fatalf("fresh figure1 has %d sessions, want 3", got)
+	}
+	resp, err := svc.IngestSessions(figIngest("", "Eve", "Frank"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != DefaultModel || resp.Pref != "P" || resp.Appended != 2 || resp.Sessions != 5 {
+		t.Fatalf("ingest response %+v, want default/P 2 appended of 5", resp)
+	}
+	if got := sessionCount(t, svc, ""); got != 5 {
+		t.Fatalf("model has %d sessions after ingest, want 5", got)
+	}
+}
+
+func TestIngestValidates(t *testing.T) {
+	svc := figure1Service(t, Config{})
+	cases := []struct {
+		name string
+		req  *IngestRequest
+	}{
+		{"missing pref", &IngestRequest{Sessions: figIngest("", "Eve").Sessions}},
+		{"empty sessions", &IngestRequest{Pref: "P"}},
+		{"unknown pref", figIngestPref("nope", "Eve")},
+		{"not a permutation", &IngestRequest{Pref: "P", Sessions: []IngestSessionJSON{
+			{Key: []string{"Eve", "7/7"}, Sigma: []int{0, 0, 1, 2}, Phi: 0.4},
+		}}},
+		{"key arity", &IngestRequest{Pref: "P", Sessions: []IngestSessionJSON{
+			{Key: []string{"only-one"}, Sigma: []int{0, 1, 2, 3}, Phi: 0.4},
+		}}},
+	}
+	for _, tc := range cases {
+		if _, err := svc.IngestSessions(tc.req); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+	if _, err := svc.IngestSessions(figIngest("ghost", "Eve")); !errors.Is(err, registry.ErrNotFound) {
+		t.Errorf("unknown model: want registry.ErrNotFound, got %v", err)
+	}
+	if got := sessionCount(t, svc, ""); got != 3 {
+		t.Fatalf("rejected ingests changed the model: %d sessions", got)
+	}
+}
+
+func figIngestPref(pref string, keys ...string) *IngestRequest {
+	req := figIngest("", keys...)
+	req.Pref = pref
+	return req
+}
+
+// TestIngestPurgesNamespacesOnce: ingesting into one model must invalidate
+// exactly that model's solve- and plan-cache namespaces, exactly once — a
+// sibling model's warm entries keep hitting.
+func TestIngestPurgesNamespacesOnce(t *testing.T) {
+	reg := registry.New()
+	for _, n := range []string{"a", "b"} {
+		if err := reg.Register(registry.Spec{Name: n, Dataset: "figure1", Preload: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc := NewMulti(reg, Config{})
+	var purged []string
+	svc.ingestPurgeHook = func(model string) { purged = append(purged, model) }
+
+	warm := func(model string) {
+		t.Helper()
+		for i := 0; i < 2; i++ {
+			if _, err := svc.Do(context.Background(), &ppd.Request{Kind: ppd.KindBool, Query: q1, Model: model}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	solves := func(model string) int {
+		t.Helper()
+		resp, err := svc.Do(context.Background(), &ppd.Request{Kind: ppd.KindBool, Query: q1, Model: model})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Solves
+	}
+	warm("a")
+	warm("b")
+	if n := solves("a"); n != 0 {
+		t.Fatalf("warm model a still solves %d groups", n)
+	}
+
+	resp, err := svc.IngestSessions(figIngest("a", "Eve"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.PurgedSolves == 0 {
+		t.Fatal("ingest purged no solve-cache entries from a warm namespace")
+	}
+	if resp.PurgedPlans == 0 {
+		t.Fatal("ingest purged no plan-cache entries from a warm namespace")
+	}
+	if len(purged) != 1 || purged[0] != "a" {
+		t.Fatalf("purge hook ran %v, want exactly one purge of a", purged)
+	}
+	if n := solves("b"); n != 0 {
+		t.Fatalf("ingest into a evicted b's cache entries: %d solves", n)
+	}
+	if n := solves("a"); n == 0 {
+		t.Fatal("a's namespace was not invalidated: query served entirely from stale cache")
+	}
+}
+
+// TestIngestDuringStreamKeepsOldSnapshot holds a /v1/query NDJSON stream
+// open mid-row with the row hook, ingests through POST /v1/sessions while
+// the stream is pinned, and asserts the stream completes with the
+// pre-ingest session set while a fresh query sees the grown model.
+func TestIngestDuringStreamKeepsOldSnapshot(t *testing.T) {
+	svc := figure1Service(t, Config{Workers: 2})
+	var purges atomic.Int32
+	svc.ingestPurgeHook = func(string) { purges.Add(1) }
+	firstRow := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	svc.streamRowHook = func(context.Context) {
+		once.Do(func() { close(firstRow); <-release })
+	}
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	body := fmt.Sprintf(`{"kind":"topk","query":%q,"k":10,"bound":0,"stream":true}`, q1)
+	resp, err := srv.Client().Post(srv.URL+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("missing summary line")
+	}
+	if !sc.Scan() {
+		t.Fatal("missing first row")
+	}
+	rows := 1
+	<-firstRow // the handler is now pinned between rows
+
+	ing, err := srv.Client().Post(srv.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"pref":"P","sessions":[{"key":["Eve","7/7"],"sigma":[0,1,2,3],"phi":0.4}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir IngestResponse
+	if err := json.NewDecoder(ing.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	ing.Body.Close()
+	if ing.StatusCode != 200 || ir.Appended != 1 || ir.Sessions != 4 {
+		t.Fatalf("mid-stream ingest: status %d, response %+v", ing.StatusCode, ir)
+	}
+	if n := purges.Load(); n != 1 {
+		t.Fatalf("cache namespaces purged %d times, want exactly 1", n)
+	}
+
+	close(release)
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), `"error"`) {
+			t.Fatalf("stream ended in error: %s", sc.Text())
+		}
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 3 {
+		t.Fatalf("in-flight stream delivered %d rows, want the 3 pre-ingest sessions", rows)
+	}
+
+	after, err := srv.Client().Post(srv.URL+"/v1/query", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"kind":"topk","query":%q,"k":10,"bound":0}`, q1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer after.Body.Close()
+	var vr V1Response
+	if err := json.NewDecoder(after.Body).Decode(&vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.Result == nil || len(vr.Result.Top) != 4 {
+		t.Fatalf("post-ingest query: %+v, want 4 topk rows", vr.Result)
+	}
+}
+
+// TestConcurrentIngestAndQueries hammers Append swaps against query opens:
+// 4 ingest goroutines grow the model while 8 query goroutines evaluate.
+// Correctness here is the race detector plus the final census.
+func TestConcurrentIngestAndQueries(t *testing.T) {
+	svc := figure1Service(t, Config{Workers: 4})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				if _, err := svc.IngestSessions(figIngest("", fmt.Sprintf("W%d-%d", g, i))); err != nil {
+					errCh <- err
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := svc.Do(ctx, &ppd.Request{Kind: ppd.KindBool, Query: q1}); err != nil {
+					errCh <- err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if got := sessionCount(t, svc, ""); got != 3+4*3 {
+		t.Fatalf("final model has %d sessions, want %d", got, 3+4*3)
+	}
+}
+
+// TestIngestHTTPErrors pins the endpoint's status mapping: unknown model
+// 404, malformed body and validation failures 400.
+func TestIngestHTTPErrors(t *testing.T) {
+	svc := figure1Service(t, Config{})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"unknown model", `{"model":"ghost","pref":"P","sessions":[{"key":["E","7/7"],"sigma":[0,1,2,3],"phi":0.4}]}`, 404},
+		{"missing pref", `{"sessions":[{"key":["E","7/7"],"sigma":[0,1,2,3],"phi":0.4}]}`, 400},
+		{"unknown field", `{"pref":"P","nope":1,"sessions":[]}`, 400},
+		{"bad sigma", `{"pref":"P","sessions":[{"key":["E","7/7"],"sigma":[9,9,9,9],"phi":0.4}]}`, 400},
+	}
+	for _, tc := range cases {
+		resp, err := srv.Client().Post(srv.URL+"/v1/sessions", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+	}
+}

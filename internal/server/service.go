@@ -115,6 +115,12 @@ type Service struct {
 	// cancellation tests use it to hold the stream open until a cancel has
 	// provably reached the handler, making mid-stream cut-off deterministic.
 	streamRowHook func(ctx context.Context)
+
+	// ingestPurgeHook, when non-nil, runs after IngestSessions has swapped
+	// the model and purged its cache namespaces, with the resolved model
+	// name. Test-only: the concurrent-ingest tests use it to count purges
+	// and to order queries around the swap deterministically.
+	ingestPurgeHook func(model string)
 }
 
 // New builds a Service over the single database db, registered under
@@ -280,4 +286,3 @@ type TopKResult struct {
 	// Diag reports the work the top-k evaluation performed.
 	Diag *ppd.TopKDiag
 }
-

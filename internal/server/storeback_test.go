@@ -1,0 +1,112 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"probpref/internal/dataset"
+	"probpref/internal/ppd"
+	"probpref/internal/registry"
+	"probpref/internal/store"
+)
+
+// TestStoreBackedBatchBitIdentical runs one mixed-kind DoBatch — bool,
+// count, topk, aggregate and countdist, with enough repeated unions that
+// the batched SolveSessions lanes and cross-request dedup engage — against
+// a RAM-built figure1 service and against a service whose model was
+// restored from a .ppds snapshot, and demands bit-identical responses and
+// identical dedup accounting. A marker demo query planted in the snapshot
+// proves the second service really decoded the file instead of rebuilding.
+func TestStoreBackedBatchBitIdentical(t *testing.T) {
+	db, _, err := dataset.Build(dataset.BuildConfig{Name: "figure1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const marker = "snapshot-restored"
+	dir := t.TempDir()
+	if err := store.WriteFile(filepath.Join(dir, "default.ppds"), db, marker); err != nil {
+		t.Fatal(err)
+	}
+	ram := New(db, Config{})
+	reg := registry.New()
+	reg.SetSnapshotDir(dir)
+	if err := reg.Register(registry.Spec{Name: DefaultModel, Dataset: "figure1", Preload: true}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := reg.Open(DefaultModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.DemoQuery() != marker {
+		t.Fatalf("demo %q: model was rebuilt by the generator, not restored from the snapshot", h.DemoQuery())
+	}
+	h.Close()
+	disk := NewMulti(reg, Config{})
+
+	reqs := []*ppd.Request{
+		{Kind: ppd.KindBool, Query: q1},
+		{Kind: ppd.KindCount, Query: q2},
+		{Kind: ppd.KindTopK, Query: q1, K: 3, BoundEdges: 1},
+		{Kind: ppd.KindAggregate, Query: q1, AggRel: "V", AggAttr: "age"},
+		{Kind: ppd.KindCountDist, Query: q2},
+		{Kind: ppd.KindBool, Query: q2}, // shares q2's union with the count request
+	}
+	ctx := context.Background()
+	want, err := ram.DoBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := disk.DoBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Groups != got.Groups || want.Instances != got.Instances ||
+		want.Solved != got.Solved || want.CacheHits != got.CacheHits {
+		t.Fatalf("dedup accounting differs: ram %d/%d/%d/%d, store %d/%d/%d/%d",
+			want.Groups, want.Instances, want.Solved, want.CacheHits,
+			got.Groups, got.Instances, got.Solved, got.CacheHits)
+	}
+	for i := range reqs {
+		w, g := canonResponse(t, want.Responses[i]), canonResponse(t, got.Responses[i])
+		if w != g {
+			t.Errorf("request %d (%v): responses differ\n-- ram --\n%s\n-- store --\n%s", i, reqs[i].Kind, w, g)
+		}
+	}
+}
+
+// canonResponse projects a response to JSON with floats as their exact
+// bit patterns, so equality means bit-identical answers.
+func canonResponse(t *testing.T, r *ppd.Response) string {
+	t.Helper()
+	bits := func(f float64) uint64 { return math.Float64bits(f) }
+	rows := func(sps []ppd.SessionProb) []map[string]any {
+		out := make([]map[string]any, len(sps))
+		for i, sp := range sps {
+			out[i] = map[string]any{"key": sp.Session.Key, "prob": bits(sp.Prob)}
+		}
+		return out
+	}
+	v := map[string]any{
+		"kind": r.Kind, "prob": bits(r.Prob), "count": bits(r.Count),
+		"per": rows(r.PerSession), "top": rows(r.Top),
+		"solves": r.Solves, "cacheHits": r.CacheHits,
+	}
+	if r.Agg != nil {
+		v["agg"] = []uint64{bits(r.Agg.Sum), bits(r.Agg.Count), bits(r.Agg.Avg), uint64(r.Agg.Sessions)}
+	}
+	if r.Dist != nil {
+		pmf := make([]uint64, len(r.Dist.PMF))
+		for i, p := range r.Dist.PMF {
+			pmf[i] = bits(p)
+		}
+		v["pmf"] = pmf
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -1,0 +1,55 @@
+package store_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"probpref/internal/dataset"
+	"probpref/internal/store"
+)
+
+// Cold-start benchmarks: generator build vs snapshot open for the same
+// model. The numbers back the README's cold-start table — regenerate them
+// with `go test -bench BenchmarkColdStart ./internal/store`.
+
+func coldStartConfig(b *testing.B) dataset.BuildConfig {
+	b.Helper()
+	return dataset.BuildConfig{Name: "crowdrank", Workers: 2000, Seed: 7}
+}
+
+func BenchmarkColdStartGenerator(b *testing.B) {
+	cfg := coldStartConfig(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dataset.Build(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColdStartSnapshot(b *testing.B) {
+	db, demo, err := dataset.Build(coldStartConfig(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "model.ppds")
+	if err := store.WriteFile(path, db, demo); err != nil {
+		b.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err == nil {
+		b.Logf("snapshot size: %d bytes", fi.Size())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := store.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Sessions() == 0 {
+			b.Fatal("empty store")
+		}
+		s.Close()
+	}
+}

@@ -1,0 +1,139 @@
+// Package store implements the .ppds columnar snapshot format for RIM-PPD
+// models: a versioned, checksummed, mmap-able on-disk layout holding the
+// o-relations, the p-relation catalog and every session's RIM
+// materialization (reference ranking and packed float64 insertion matrix)
+// in columnar sections.
+//
+// A file is little-endian throughout and laid out as
+//
+//	[0,8)    magic "PPDSTOR1"
+//	[8,12)   version   uint32 (currently 1)
+//	[12,16)  flags     uint32 (bit 0: payload is little-endian; always set)
+//	[16,24)  file size uint64 (must equal the real size — detects truncation)
+//	[24,28)  section count uint32
+//	[28,32)  reserved  uint32 (zero)
+//	[32,40)  header CRC-64/ECMA over bytes [0,32) and the section table
+//	[40,..)  section table: count entries of 32 bytes each
+//	         {id uint32, reserved uint32, offset uint64, length uint64, crc64}
+//	[..,EOF) section payloads, each starting at an 8-byte-aligned offset and
+//	         zero-padded to the next multiple of 8 (the CRC covers only the
+//	         declared length)
+//
+// Version 1 defines exactly five sections, each present exactly once:
+//
+//	meta    (1): JSON header — item count m, demo query, o-relations,
+//	             p-relation names/attrs/session counts
+//	sigma   (2): int32 column, m values per session: the reference ranking
+//	pi      (3): float64 column, m(m+1)/2 values per session: the insertion
+//	             matrix rows Pi[0..m-1] concatenated
+//	keyoff  (4): uint32 column, one offset per session-key string plus a
+//	             terminator, indexing into keydat
+//	keydat  (5): raw bytes of all session-key strings, concatenated
+//
+// Sessions are stored across p-relations in p-relation name order, then
+// session index order, so each p-relation owns a contiguous window of every
+// column. The 8-byte alignment lets the reader serve sigma and pi as
+// zero-copy views straight over the mapping on little-endian hosts; other
+// hosts fall back to a decoded copy.
+package store
+
+import (
+	"errors"
+	"hash/crc64"
+)
+
+// Magic is the 8-byte signature opening every .ppds file.
+const Magic = "PPDSTOR1"
+
+// Version is the format version this package reads and writes.
+const Version = 1
+
+const (
+	headerSize = 40
+	entrySize  = 32
+
+	// flagLittleEndian marks the payload byte order. Writers always set it;
+	// the reader rejects files without it rather than guess.
+	flagLittleEndian = 1 << 0
+	knownFlags       = flagLittleEndian
+
+	offVersion  = 8
+	offFlags    = 12
+	offFileSize = 16
+	offCount    = 24
+	offReserved = 28
+	offCRC      = 32
+)
+
+// Section ids of format version 1.
+const (
+	secMeta   = 1
+	secSigma  = 2
+	secPi     = 3
+	secKeyOff = 4
+	secKeyDat = 5
+	nSections = 5
+)
+
+// Decoder hard limits. They bound allocation before any size cross-check,
+// so a hostile header can never make Open allocate more than a small
+// multiple of the input length.
+const (
+	maxM        = 1 << 15 // items per model
+	maxSessions = 1 << 31 // sessions per file
+	maxAttrs    = 1 << 12 // session attributes per p-relation
+)
+
+// Typed decode errors. Every failure of Open/OpenBytes wraps exactly one of
+// these, so callers (and the corruption tests) can classify with errors.Is.
+var (
+	// ErrBadMagic reports a file that does not start with Magic.
+	ErrBadMagic = errors.New("store: bad magic")
+	// ErrVersion reports an unsupported format version or unknown flags.
+	ErrVersion = errors.New("store: unsupported version")
+	// ErrChecksum reports a header or section CRC mismatch.
+	ErrChecksum = errors.New("store: checksum mismatch")
+	// ErrTruncated reports a file shorter than its declared sizes.
+	ErrTruncated = errors.New("store: truncated file")
+	// ErrFormat reports any other structural violation: overlapping or
+	// misaligned sections, inconsistent counts, invalid meta, non-stochastic
+	// insertion rows.
+	ErrFormat = errors.New("store: malformed file")
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// metaJSON is the decoded meta section.
+type metaJSON struct {
+	// M is the item count; every session model ranges over 0..M-1.
+	M int `json:"m"`
+	// Demo is the model's demo query, free-form (may be empty).
+	Demo string `json:"demo,omitempty"`
+	// Items names the item relation among Relations.
+	Items string `json:"items"`
+	// Relations holds every o-relation, item relation first, rest sorted by
+	// name.
+	Relations []relationJSON `json:"relations"`
+	// Prefs holds every p-relation sorted by name; the order fixes each
+	// relation's window in the session columns.
+	Prefs []prefJSON `json:"prefs"`
+}
+
+type relationJSON struct {
+	Name   string     `json:"name"`
+	Attrs  []string   `json:"attrs"`
+	Tuples [][]string `json:"tuples"`
+}
+
+type prefJSON struct {
+	Name         string   `json:"name"`
+	SessionAttrs []string `json:"attrs"`
+	Sessions     int      `json:"sessions"`
+}
+
+// tri returns the number of packed insertion-matrix entries per session,
+// 1+2+...+m.
+func tri(m int) int { return m * (m + 1) / 2 }
+
+// align8 rounds n up to the next multiple of 8.
+func align8(n uint64) uint64 { return (n + 7) &^ 7 }

@@ -1,0 +1,72 @@
+package store_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"probpref/internal/dataset"
+	"probpref/internal/store"
+)
+
+// FuzzStoreOpen throws arbitrary bytes at the snapshot decoder. The
+// contract under fuzzing: OpenBytes never panics, never allocates
+// unboundedly, and every failure classifies as exactly one of the typed
+// format errors. When a mutated input does decode, walking every session of
+// the resulting database must be safe too — the decoder's structural checks
+// (permutation references, monotone key offsets, stochastic rows) are what
+// make that true.
+//
+// The committed corpus under testdata/fuzz/FuzzStoreOpen (regenerate with
+// `go run ./internal/store/testdata/gen_corpus.go`) seeds the mutator with
+// a valid snapshot and targeted corruptions of each header field; f.Add
+// contributes degenerate prefixes.
+func FuzzStoreOpen(f *testing.F) {
+	db, demo, err := dataset.Build(dataset.BuildConfig{Name: "figure1"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.Write(&buf, db, demo); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add([]byte{})
+	f.Add([]byte(store.Magic))
+	f.Add(valid[:20])
+	f.Add(bytes.Clone(valid))
+	short := bytes.Clone(valid)
+	binary.LittleEndian.PutUint64(short[16:], 1<<40) // absurd declared size
+	f.Add(short)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := store.OpenBytes(data)
+		if err != nil {
+			for _, sentinel := range []error{
+				store.ErrBadMagic, store.ErrVersion, store.ErrChecksum,
+				store.ErrTruncated, store.ErrFormat,
+			} {
+				if errors.Is(err, sentinel) {
+					return
+				}
+			}
+			t.Fatalf("untyped decode error: %v", err)
+		}
+		// A successful decode must yield a fully walkable database.
+		d := s.DB()
+		if d == nil || d.M() < 1 {
+			t.Fatal("decoded store has no database")
+		}
+		for _, p := range d.Prefs {
+			for _, sess := range p.Sessions.All() {
+				if sess.Model == nil || sess.Model.M() != d.M() {
+					t.Fatal("decoded session model inconsistent with catalog")
+				}
+				_ = sess.Model.Rehash()
+				_ = sess.Key
+			}
+		}
+	})
+}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// mmapFile reads path into memory on platforms without a POSIX mmap.
+func mmapFile(path string) ([]byte, func() error, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, nil, nil
+}

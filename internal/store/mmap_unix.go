@@ -1,0 +1,41 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only and returns the bytes plus an unmap
+// function. When the mapping fails (filesystem without mmap support) it
+// falls back to reading the file into memory.
+func mmapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil, nil
+	}
+	if size > math.MaxInt {
+		return nil, nil, fmt.Errorf("store: %s is %d bytes, too large to map", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		b, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		return b, nil, nil
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

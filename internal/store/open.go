@@ -1,0 +1,432 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc64"
+	"iter"
+	"math"
+	"sort"
+	"sync"
+	"unsafe"
+
+	"probpref/internal/ppd"
+	"probpref/internal/rank"
+	"probpref/internal/rim"
+)
+
+// Store is an opened .ppds snapshot. Its database serves sessions directly
+// from the underlying mapping: the sigma and pi columns are zero-copy views
+// on little-endian hosts, and each Session is reconstructed on demand by
+// the p-relation's SessionStore. The database — and every Session obtained
+// from it — is valid only until Close.
+type Store struct {
+	db       *ppd.DB
+	demo     string
+	sessions int
+	data     []byte
+	unmap    func() error
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Open maps the file at path and decodes it, verifying the header and every
+// section checksum plus the structural invariants the query engine relies
+// on (permutation references, stochastic insertion rows, monotone key
+// offsets). On platforms without mmap support the file is read into memory
+// instead.
+func Open(path string) (*Store, error) {
+	data, unmap, err := mmapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := decode(data)
+	if err != nil {
+		if unmap != nil {
+			unmap()
+		}
+		return nil, err
+	}
+	s.unmap = unmap
+	return s, nil
+}
+
+// OpenBytes decodes an in-memory .ppds image with the same verification as
+// Open. It never panics on arbitrary input and never allocates more than a
+// small multiple of len(data); every failure wraps one of the typed errors.
+func OpenBytes(data []byte) (*Store, error) {
+	return decode(data)
+}
+
+// DB returns the snapshot's database. Valid until Close.
+func (s *Store) DB() *ppd.DB { return s.db }
+
+// Demo returns the demo query recorded in the snapshot (may be empty).
+func (s *Store) Demo() string { return s.demo }
+
+// Sessions returns the total session count across all p-relations.
+func (s *Store) Sessions() int { return s.sessions }
+
+// Close releases the mapping. After Close the store's database and any
+// Session values obtained from it must not be used.
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() {
+		if s.unmap != nil {
+			s.closeErr = s.unmap()
+			s.unmap = nil
+		}
+	})
+	return s.closeErr
+}
+
+// section is one parsed section-table entry.
+type section struct {
+	id     uint32
+	offset uint64
+	length uint64
+	crc    uint64
+}
+
+// decode parses, verifies and wires a .ppds image into a Store.
+func decode(data []byte) (*Store, error) {
+	if len(data) < len(Magic) {
+		return nil, fmt.Errorf("%w: %d bytes, shorter than the magic", ErrTruncated, len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("%w: %q", ErrBadMagic, data[:len(Magic)])
+	}
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes, shorter than the header", ErrTruncated, len(data))
+	}
+	if v := binary.LittleEndian.Uint32(data[offVersion:]); v != Version {
+		return nil, fmt.Errorf("%w: version %d, support %d", ErrVersion, v, Version)
+	}
+	flags := binary.LittleEndian.Uint32(data[offFlags:])
+	if flags&flagLittleEndian == 0 || flags&^uint32(knownFlags) != 0 {
+		return nil, fmt.Errorf("%w: flags %#x", ErrVersion, flags)
+	}
+	if fileSize := binary.LittleEndian.Uint64(data[offFileSize:]); fileSize != uint64(len(data)) {
+		if fileSize > uint64(len(data)) {
+			return nil, fmt.Errorf("%w: header declares %d bytes, have %d", ErrTruncated, fileSize, len(data))
+		}
+		return nil, fmt.Errorf("%w: %d trailing bytes past declared size %d", ErrFormat, uint64(len(data))-fileSize, fileSize)
+	}
+	if r := binary.LittleEndian.Uint32(data[offReserved:]); r != 0 {
+		return nil, fmt.Errorf("%w: reserved header field %#x", ErrFormat, r)
+	}
+	count := binary.LittleEndian.Uint32(data[offCount:])
+	if count != nSections {
+		return nil, fmt.Errorf("%w: %d sections, version %d defines %d", ErrFormat, count, Version, nSections)
+	}
+	tableEnd := uint64(headerSize) + uint64(count)*entrySize
+	if tableEnd > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: section table extends past end of file", ErrTruncated)
+	}
+
+	h := crc64.New(crcTable)
+	h.Write(data[:offCRC])
+	h.Write(data[headerSize:tableEnd])
+	if got, want := h.Sum64(), binary.LittleEndian.Uint64(data[offCRC:]); got != want {
+		return nil, fmt.Errorf("%w: header CRC %#x, computed %#x", ErrChecksum, want, got)
+	}
+
+	var secs [nSections]section
+	var seen [nSections]bool
+	for i := uint32(0); i < count; i++ {
+		e := data[headerSize+uint64(i)*entrySize:]
+		s := section{
+			id:     binary.LittleEndian.Uint32(e),
+			offset: binary.LittleEndian.Uint64(e[8:]),
+			length: binary.LittleEndian.Uint64(e[16:]),
+			crc:    binary.LittleEndian.Uint64(e[24:]),
+		}
+		if s.id < 1 || s.id > nSections {
+			return nil, fmt.Errorf("%w: unknown section id %d", ErrFormat, s.id)
+		}
+		if seen[s.id-1] {
+			return nil, fmt.Errorf("%w: duplicate section id %d", ErrFormat, s.id)
+		}
+		seen[s.id-1] = true
+		if s.offset%8 != 0 || s.offset < tableEnd {
+			return nil, fmt.Errorf("%w: section %d at misplaced offset %d", ErrFormat, s.id, s.offset)
+		}
+		if s.length > uint64(len(data)) || s.offset > uint64(len(data))-s.length {
+			return nil, fmt.Errorf("%w: section %d extends past end of file", ErrTruncated, s.id)
+		}
+		secs[s.id-1] = s
+	}
+	// All five present (count==nSections plus uniqueness implies it, but be
+	// explicit) and non-overlapping.
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("%w: missing section id %d", ErrFormat, i+1)
+		}
+	}
+	byOff := secs
+	sort.Slice(byOff[:], func(i, j int) bool { return byOff[i].offset < byOff[j].offset })
+	for i := 1; i < nSections; i++ {
+		if byOff[i].offset < byOff[i-1].offset+byOff[i-1].length {
+			return nil, fmt.Errorf("%w: sections %d and %d overlap", ErrFormat, byOff[i-1].id, byOff[i].id)
+		}
+	}
+	for _, s := range secs {
+		body := data[s.offset : s.offset+s.length]
+		if got := crc64.Checksum(body, crcTable); got != s.crc {
+			return nil, fmt.Errorf("%w: section %d CRC %#x, computed %#x", ErrChecksum, s.id, s.crc, got)
+		}
+	}
+
+	var meta metaJSON
+	if err := json.Unmarshal(data[secs[secMeta-1].offset:secs[secMeta-1].offset+secs[secMeta-1].length], &meta); err != nil {
+		return nil, fmt.Errorf("%w: meta section: %v", ErrFormat, err)
+	}
+	return wire(&meta, secs, data)
+}
+
+// wire cross-checks the meta header against the column sections and builds
+// the snapshot-backed database.
+func wire(meta *metaJSON, secs [nSections]section, data []byte) (*Store, error) {
+	m := meta.M
+	if m < 1 || m > maxM {
+		return nil, fmt.Errorf("%w: item count %d out of range [1,%d]", ErrFormat, m, maxM)
+	}
+	t := tri(m)
+	var total, totalKeys uint64
+	for _, p := range meta.Prefs {
+		if p.Sessions < 0 || uint64(p.Sessions) > maxSessions || len(p.SessionAttrs) > maxAttrs {
+			return nil, fmt.Errorf("%w: p-relation %q session/attr counts out of range", ErrFormat, p.Name)
+		}
+		total += uint64(p.Sessions)
+		totalKeys += uint64(p.Sessions) * uint64(len(p.SessionAttrs))
+	}
+	if total > maxSessions {
+		return nil, fmt.Errorf("%w: %d sessions exceed the format limit", ErrFormat, total)
+	}
+	if want, got := total*uint64(m)*4, secs[secSigma-1].length; want != got {
+		return nil, fmt.Errorf("%w: sigma section is %d bytes, meta implies %d", ErrFormat, got, want)
+	}
+	if want, got := total*uint64(t)*8, secs[secPi-1].length; want != got {
+		return nil, fmt.Errorf("%w: pi section is %d bytes, meta implies %d", ErrFormat, got, want)
+	}
+	if want, got := (totalKeys+1)*4, secs[secKeyOff-1].length; want != got {
+		return nil, fmt.Errorf("%w: keyoff section is %d bytes, meta implies %d", ErrFormat, got, want)
+	}
+
+	body := func(id int) []byte {
+		s := secs[id-1]
+		return data[s.offset : s.offset+s.length]
+	}
+	sigma := viewInt32(body(secSigma), int(total)*m)
+	pi := viewFloat64(body(secPi), int(total)*t)
+	keyOff := viewUint32(body(secKeyOff), int(totalKeys)+1)
+	keyDat := body(secKeyDat)
+
+	for i, off := range keyOff {
+		if uint64(off) > secs[secKeyDat-1].length || (i > 0 && off < keyOff[i-1]) {
+			return nil, fmt.Errorf("%w: key offset %d out of order or out of range", ErrFormat, i)
+		}
+	}
+	if uint64(keyOff[len(keyOff)-1]) != secs[secKeyDat-1].length {
+		return nil, fmt.Errorf("%w: key offsets account for %d of %d key bytes", ErrFormat, keyOff[len(keyOff)-1], secs[secKeyDat-1].length)
+	}
+	if err := verifySessions(sigma, pi, int(total), m); err != nil {
+		return nil, err
+	}
+
+	// Relations. The item relation must exist and every tuple must match its
+	// relation's arity (ppd.NewDB indexes tuples by attribute position).
+	var itemRel *ppd.Relation
+	rels := make([]*ppd.Relation, 0, len(meta.Relations))
+	for _, rj := range meta.Relations {
+		r, err := ppd.NewRelation(rj.Name, rj.Attrs, rj.Tuples)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		if rj.Name == meta.Items {
+			if itemRel != nil {
+				return nil, fmt.Errorf("%w: duplicate item relation %q", ErrFormat, rj.Name)
+			}
+			if len(rj.Attrs) == 0 {
+				return nil, fmt.Errorf("%w: item relation %q has no attributes", ErrFormat, rj.Name)
+			}
+			itemRel = r
+			continue
+		}
+		rels = append(rels, r)
+	}
+	if itemRel == nil {
+		return nil, fmt.Errorf("%w: item relation %q not among relations", ErrFormat, meta.Items)
+	}
+	if len(itemRel.Tuples) != m {
+		return nil, fmt.Errorf("%w: item relation has %d tuples, meta declares m=%d", ErrFormat, len(itemRel.Tuples), m)
+	}
+	db, err := ppd.NewDB(itemRel)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	for _, r := range rels {
+		if err := db.AddRelation(r); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+	}
+
+	var sessBase, keyBase int
+	for _, pj := range meta.Prefs {
+		n, attrs := pj.Sessions, len(pj.SessionAttrs)
+		ps := &prefStore{
+			m: m, tri: t, n: n, attrs: attrs,
+			sigma:  sigma[sessBase*m : (sessBase+n)*m],
+			pi:     pi[sessBase*t : (sessBase+n)*t],
+			keyOff: keyOff[keyBase : keyBase+n*attrs+1],
+			keyDat: keyDat,
+		}
+		sessBase += n
+		keyBase += n * attrs
+		err := db.AddPrefRelationUnchecked(&ppd.PrefRelation{
+			Name:         pj.Name,
+			SessionAttrs: pj.SessionAttrs,
+			Sessions:     ps,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+	}
+	return &Store{db: db, demo: meta.Demo, sessions: int(total), data: data}, nil
+}
+
+// verifySessions checks the structural invariants the solvers rely on:
+// every reference column is a permutation of 0..m-1 and every insertion row
+// is non-negative and sums to 1.
+func verifySessions(sigma []int32, pi []float64, total, m int) error {
+	mark := make([]int, m) // mark[v] == s+1 iff v seen in session s
+	for s := 0; s < total; s++ {
+		row := sigma[s*m : (s+1)*m]
+		for _, v := range row {
+			if v < 0 || int(v) >= m || mark[v] == s+1 {
+				return fmt.Errorf("%w: session %d reference is not a permutation", ErrFormat, s)
+			}
+			mark[v] = s + 1
+		}
+	}
+	t := tri(m)
+	for s := 0; s < total; s++ {
+		rows := pi[s*t : (s+1)*t]
+		off := 0
+		for j := 0; j < m; j++ {
+			sum := 0.0
+			for _, p := range rows[off : off+j+1] {
+				if p < 0 || math.IsNaN(p) {
+					return fmt.Errorf("%w: session %d Pi row %d has invalid entry", ErrFormat, s, j)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				return fmt.Errorf("%w: session %d Pi row %d sums to %v", ErrFormat, s, j, sum)
+			}
+			off += j + 1
+		}
+	}
+	return nil
+}
+
+// prefStore serves one p-relation's sessions straight from the snapshot
+// columns. Sessions are reconstructed on demand: the key strings are copied
+// out of the mapping, the insertion rows stay zero-copy views.
+type prefStore struct {
+	m, tri, n, attrs int
+	sigma            []int32
+	pi               []float64
+	keyOff           []uint32 // n*attrs+1 entries, global offsets into keyDat
+	keyDat           []byte
+}
+
+// Len returns the number of sessions.
+func (ps *prefStore) Len() int { return ps.n }
+
+// At reconstructs session i from the columns.
+func (ps *prefStore) At(i int) *ppd.Session {
+	sig := make(rank.Ranking, ps.m)
+	for j, v := range ps.sigma[i*ps.m : (i+1)*ps.m] {
+		sig[j] = rank.Item(v)
+	}
+	rows := make([][]float64, ps.m)
+	base := i * ps.tri
+	off := 0
+	for j := 0; j < ps.m; j++ {
+		rows[j] = ps.pi[base+off : base+off+j+1 : base+off+j+1]
+		off += j + 1
+	}
+	key := make([]string, ps.attrs)
+	kb := i * ps.attrs
+	for a := range key {
+		key[a] = string(ps.keyDat[ps.keyOff[kb+a]:ps.keyOff[kb+a+1]])
+	}
+	return &ppd.Session{Key: key, Model: rim.NewUnchecked(sig, rows)}
+}
+
+// All iterates the sessions in index order.
+func (ps *prefStore) All() iter.Seq2[int, *ppd.Session] {
+	return func(yield func(int, *ppd.Session) bool) {
+		for i := 0; i < ps.n; i++ {
+			if !yield(i, ps.At(i)) {
+				return
+			}
+		}
+	}
+}
+
+// hostLittleEndian reports whether the running CPU stores integers
+// little-endian, i.e. matches the on-disk payload order.
+var hostLittleEndian = func() bool {
+	var x uint16 = 0x0102
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// viewInt32 returns b's n int32 values: a zero-copy view when the host is
+// little-endian and b is 4-byte aligned, a decoded copy otherwise.
+func viewInt32(b []byte, n int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// viewUint32 is viewInt32 for uint32 values.
+func viewUint32(b []byte, n int) []uint32 {
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return out
+}
+
+// viewFloat64 returns b's n float64 values: a zero-copy view when the host
+// is little-endian and b is 8-byte aligned, a decoded copy otherwise.
+func viewFloat64(b []byte, n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}

@@ -1,0 +1,314 @@
+package store_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"probpref/internal/dataset"
+	"probpref/internal/ppd"
+	"probpref/internal/store"
+)
+
+// fixture is one generator output to round-trip.
+type fixture struct {
+	name   string
+	db     *ppd.DB
+	demo   string
+	aggRel string // "" = skip the aggregate kind
+}
+
+// fixtures builds every dataset generator at a small size.
+func fixtures(t *testing.T) []fixture {
+	t.Helper()
+	cfgs := []dataset.BuildConfig{
+		{Name: "figure1"},
+		{Name: "polls", Seed: 7, Candidates: 5, Voters: 6},
+		{Name: "movielens", Seed: 11, Movies: 8},
+		{Name: "crowdrank", Seed: 13, Workers: 4, Movies: 6},
+	}
+	aggRels := map[string]string{"figure1": "V", "polls": "V", "crowdrank": "V"}
+	var out []fixture
+	for _, cfg := range cfgs {
+		db, demo, err := dataset.Build(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		out = append(out, fixture{name: cfg.Name, db: db, demo: demo, aggRel: aggRels[cfg.Name]})
+	}
+	return out
+}
+
+// reopen serializes db and decodes it back in memory.
+func reopen(t *testing.T, db *ppd.DB, demo string) *store.Store {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := store.Write(&buf, db, demo); err != nil {
+		t.Fatal(err)
+	}
+	s, err := store.OpenBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRoundTripColumns checks that every relation, session key, reference
+// ranking and insertion-matrix entry survives Write→Open bit-identically.
+func TestRoundTripColumns(t *testing.T) {
+	for _, fx := range fixtures(t) {
+		t.Run(fx.name, func(t *testing.T) {
+			s := reopen(t, fx.db, fx.demo)
+			got := s.DB()
+			if s.Demo() != fx.demo {
+				t.Errorf("demo %q, want %q", s.Demo(), fx.demo)
+			}
+			if got.M() != fx.db.M() {
+				t.Fatalf("m = %d, want %d", got.M(), fx.db.M())
+			}
+			if len(got.Relations) != len(fx.db.Relations) {
+				t.Fatalf("relations = %d, want %d", len(got.Relations), len(fx.db.Relations))
+			}
+			for name, want := range fx.db.Relations {
+				gr, ok := got.Relations[name]
+				if !ok {
+					t.Fatalf("relation %q missing", name)
+				}
+				wb, _ := json.Marshal(want)
+				gb, _ := json.Marshal(gr)
+				if !bytes.Equal(wb, gb) {
+					t.Errorf("relation %q differs", name)
+				}
+			}
+			if len(got.Prefs) != len(fx.db.Prefs) {
+				t.Fatalf("prefs = %d, want %d", len(got.Prefs), len(fx.db.Prefs))
+			}
+			total := 0
+			for name, want := range fx.db.Prefs {
+				gp, ok := got.Prefs[name]
+				if !ok {
+					t.Fatalf("p-relation %q missing", name)
+				}
+				if gp.Sessions.Len() != want.Sessions.Len() {
+					t.Fatalf("%s sessions = %d, want %d", name, gp.Sessions.Len(), want.Sessions.Len())
+				}
+				total += gp.Sessions.Len()
+				for i, ws := range want.Sessions.All() {
+					gs := gp.Sessions.At(i)
+					if len(gs.Key) != len(ws.Key) {
+						t.Fatalf("%s session %d key arity", name, i)
+					}
+					for a := range ws.Key {
+						if gs.Key[a] != ws.Key[a] {
+							t.Fatalf("%s session %d key %q, want %q", name, i, gs.Key[a], ws.Key[a])
+						}
+					}
+					wm, gm := ws.Model.Model(), gs.Model.Model()
+					for j, it := range wm.Sigma() {
+						if gm.Sigma()[j] != it {
+							t.Fatalf("%s session %d sigma[%d] = %d, want %d", name, i, j, gm.Sigma()[j], it)
+						}
+					}
+					for j := 0; j < wm.M(); j++ {
+						wr, gr := wm.PiRow(j), gm.PiRow(j)
+						for k := range wr {
+							if math.Float64bits(wr[k]) != math.Float64bits(gr[k]) {
+								t.Fatalf("%s session %d Pi[%d][%d] = %x, want %x",
+									name, i, j, k, math.Float64bits(gr[k]), math.Float64bits(wr[k]))
+							}
+						}
+					}
+					if wm.Rehash() != gm.Rehash() {
+						t.Fatalf("%s session %d rehash differs", name, i)
+					}
+				}
+			}
+			if s.Sessions() != total {
+				t.Errorf("Sessions() = %d, want %d", s.Sessions(), total)
+			}
+		})
+	}
+}
+
+// canonResponse projects a Response to a pointer-free form whose JSON
+// serialization is injective on the float64 payloads, so byte equality
+// means bit-identical answers.
+func canonResponse(t *testing.T, r *ppd.Response) []byte {
+	t.Helper()
+	rows := func(sps []ppd.SessionProb) []map[string]any {
+		out := make([]map[string]any, len(sps))
+		for i, sp := range sps {
+			out[i] = map[string]any{"key": sp.Session.Key, "prob": sp.Prob}
+		}
+		return out
+	}
+	m := map[string]any{
+		"kind": r.Kind.String(), "prob": r.Prob, "count": r.Count,
+		"per": rows(r.PerSession), "top": rows(r.Top),
+		"solves": r.Solves, "cacheHits": r.CacheHits,
+	}
+	if r.Agg != nil {
+		m["agg"] = *r.Agg
+	}
+	if r.Dist != nil {
+		m["dist"] = map[string]any{"pmf": r.Dist.PMF, "probs": r.Dist.Probs}
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// kindRequests builds the full Request kind matrix for one fixture.
+func kindRequests(fx fixture) []*ppd.Request {
+	reqs := []*ppd.Request{
+		{Kind: ppd.KindBool, Query: fx.demo},
+		{Kind: ppd.KindCount, Query: fx.demo},
+		{Kind: ppd.KindTopK, Query: fx.demo, K: 2, BoundEdges: 1},
+		{Kind: ppd.KindCountDist, Query: fx.demo},
+	}
+	if fx.aggRel != "" {
+		reqs = append(reqs, &ppd.Request{Kind: ppd.KindAggregate, Query: fx.demo, AggRel: fx.aggRel, AggAttr: "age"})
+	}
+	return reqs
+}
+
+// TestRoundTripResponsesBitIdentical runs the full request kind matrix
+// against the RAM-built database and its reopened snapshot: every Response
+// must match bit for bit, including per-session rows and solver counts (the
+// snapshot must preserve session grouping).
+func TestRoundTripResponsesBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	for _, fx := range fixtures(t) {
+		t.Run(fx.name, func(t *testing.T) {
+			s := reopen(t, fx.db, fx.demo)
+			for _, req := range kindRequests(fx) {
+				ram, err := (&ppd.Engine{DB: fx.db, Method: ppd.MethodAuto}).Do(ctx, req)
+				if err != nil {
+					t.Fatalf("%v on RAM db: %v", req.Kind, err)
+				}
+				disk, err := (&ppd.Engine{DB: s.DB(), Method: ppd.MethodAuto}).Do(ctx, req)
+				if err != nil {
+					t.Fatalf("%v on store db: %v", req.Kind, err)
+				}
+				rb, db := canonResponse(t, ram), canonResponse(t, disk)
+				if !bytes.Equal(rb, db) {
+					t.Errorf("%v responses differ\n-- ram --\n%s\n-- store --\n%s", req.Kind, rb, db)
+				}
+			}
+		})
+	}
+}
+
+// TestWriteDeterministic pins snapshot bytes: writing the same database
+// twice must produce identical files (the registry rewrites snapshots and
+// must not churn them).
+func TestWriteDeterministic(t *testing.T) {
+	fx := fixtures(t)[0]
+	var a, b bytes.Buffer
+	if err := store.Write(&a, fx.db, fx.demo); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Write(&b, fx.db, fx.demo); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two writes of the same database differ")
+	}
+}
+
+// TestOpenFile exercises the mmap path: WriteFile, Open, answer a query,
+// Close.
+func TestOpenFile(t *testing.T) {
+	fx := fixtures(t)[0]
+	path := filepath.Join(t.TempDir(), "fig1.ppds")
+	if err := store.WriteFile(path, fx.db, fx.demo); err != nil {
+		t.Fatal(err)
+	}
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := (&ppd.Engine{DB: s.DB(), Method: ppd.MethodAuto}).Do(
+		context.Background(), &ppd.Request{Kind: ppd.KindBool, Query: fx.demo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := (&ppd.Engine{DB: fx.db, Method: ppd.MethodAuto}).Do(
+		context.Background(), &ppd.Request{Kind: ppd.KindBool, Query: fx.demo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(resp.Prob) != math.Float64bits(want.Prob) {
+		t.Fatalf("prob %v, want %v", resp.Prob, want.Prob)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestWriteFileAtomic checks that a failing Write never leaves anything at
+// the target path — neither a new partial file nor a clobbered old one —
+// and leaves no temp droppings behind.
+func TestWriteFileAtomic(t *testing.T) {
+	fx := fixtures(t)[0]
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ppds")
+
+	// A malformed database: a session whose key arity disagrees with the
+	// p-relation, smuggled in past validation. Write must reject it.
+	bad, _, err := dataset.Build(dataset.BuildConfig{Name: "figure1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := bad.Prefs["P"].Sessions.At(0)
+	if err := bad.AddPrefRelationUnchecked(&ppd.PrefRelation{
+		Name:         "Q",
+		SessionAttrs: []string{"a", "b"},
+		Sessions:     ppd.SessionSlice{{Key: []string{"only-one"}, Model: good.Model}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteFile(path, bad, ""); err == nil {
+		t.Fatal("want error writing malformed database")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("failed write left a file at %s", path)
+	}
+
+	// With a good snapshot in place, a failing overwrite keeps it intact.
+	if err := store.WriteFile(path, fx.db, fx.demo); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteFile(path, bad, ""); err == nil {
+		t.Fatal("want error overwriting with malformed database")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed overwrite changed the existing snapshot")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != "model.ppds" {
+			t.Fatalf("leftover file %q after failed writes", e.Name())
+		}
+	}
+}

@@ -1,0 +1,70 @@
+//go:build ignore
+
+// gen_corpus regenerates the committed seed corpus of FuzzStoreOpen:
+//
+//	go run ./internal/store/testdata/gen_corpus.go
+//
+// It writes one corpus file per entry into
+// internal/store/testdata/fuzz/FuzzStoreOpen, in the native Go fuzzing
+// corpus encoding. Entries are a valid Figure 1 snapshot plus targeted
+// corruptions of each validation path, so the mutator starts at every
+// branch of the decoder.
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"probpref/internal/dataset"
+	"probpref/internal/store"
+)
+
+func main() {
+	dir := filepath.Join("internal", "store", "testdata", "fuzz", "FuzzStoreOpen")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	db, demo, err := dataset.Build(dataset.BuildConfig{Name: "figure1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.Write(&buf, db, demo); err != nil {
+		log.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	mut := func(f func(c []byte)) []byte {
+		c := bytes.Clone(valid)
+		f(c)
+		return c
+	}
+	entries := map[string][]byte{
+		"valid":         valid,
+		"empty":         {},
+		"magic_only":    []byte(store.Magic),
+		"bad_magic":     mut(func(c []byte) { c[0] ^= 0xFF }),
+		"bad_version":   mut(func(c []byte) { binary.LittleEndian.PutUint32(c[8:], 99) }),
+		"bad_flags":     mut(func(c []byte) { binary.LittleEndian.PutUint32(c[12:], 0xFFFF) }),
+		"bad_filesize":  mut(func(c []byte) { binary.LittleEndian.PutUint64(c[16:], 1<<40) }),
+		"bad_count":     mut(func(c []byte) { binary.LittleEndian.PutUint32(c[24:], 64) }),
+		"bad_crc":       mut(func(c []byte) { c[33] ^= 1 }),
+		"bad_table":     mut(func(c []byte) { c[40+8] ^= 1 }),
+		"bad_payload":   mut(func(c []byte) { c[len(c)-1] ^= 1 }),
+		"truncated_mid": valid[:len(valid)/2],
+		"header_only":   valid[:40],
+	}
+	for name, data := range entries {
+		path := filepath.Join(dir, name)
+		content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+	}
+}

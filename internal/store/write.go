@@ -1,0 +1,286 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"probpref/internal/ppd"
+)
+
+// Write serializes db (with its demo query string) to w in the .ppds
+// format. It streams the session columns twice — one CRC pass, one output
+// pass — so no column is ever materialized in memory, and it validates
+// every session (key arity, permutation reference, stochastic insertion
+// rows) before emitting the first byte.
+func Write(w io.Writer, db *ppd.DB, demo string) error {
+	l, err := planLayout(db, demo)
+	if err != nil {
+		return err
+	}
+	emits := []func(io.Writer) error{l.emitMeta, l.emitSigma, l.emitPi, l.emitKeyOff, l.emitKeyDat}
+
+	// Pass 1: section CRCs.
+	var crcs [nSections]uint64
+	for i, emit := range emits {
+		h := crc64.New(crcTable)
+		if err := emit(h); err != nil {
+			return err
+		}
+		crcs[i] = h.Sum64()
+	}
+
+	// Header and section table.
+	tableEnd := uint64(headerSize + nSections*entrySize)
+	hdr := make([]byte, tableEnd)
+	copy(hdr, Magic)
+	binary.LittleEndian.PutUint32(hdr[offVersion:], Version)
+	binary.LittleEndian.PutUint32(hdr[offFlags:], flagLittleEndian)
+	binary.LittleEndian.PutUint32(hdr[offCount:], nSections)
+	cur := align8(tableEnd)
+	for i := range emits {
+		e := hdr[headerSize+i*entrySize:]
+		binary.LittleEndian.PutUint32(e, uint32(i+1)) // ids are 1..nSections in order
+		binary.LittleEndian.PutUint64(e[8:], cur)
+		binary.LittleEndian.PutUint64(e[16:], l.secLen[i])
+		binary.LittleEndian.PutUint64(e[24:], crcs[i])
+		cur += align8(l.secLen[i])
+	}
+	binary.LittleEndian.PutUint64(hdr[offFileSize:], cur)
+	h := crc64.New(crcTable)
+	h.Write(hdr[:offCRC])
+	h.Write(hdr[headerSize:])
+	binary.LittleEndian.PutUint64(hdr[offCRC:], h.Sum64())
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+
+	// Pass 2: section payloads with alignment padding.
+	var pad [7]byte
+	for i, emit := range emits {
+		if err := emit(w); err != nil {
+			return err
+		}
+		if n := align8(l.secLen[i]) - l.secLen[i]; n > 0 {
+			if _, err := w.Write(pad[:n]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFile atomically writes db to path: the snapshot is assembled in a
+// temporary file in the same directory, fsynced, and renamed into place, so
+// a crashed or failed write never leaves a partial file visible at path.
+func WriteFile(path string, db *ppd.DB, demo string) (err error) {
+	f, err := os.CreateTemp(filepath.Dir(path), ".ppds-tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if err = Write(bw, db, demo); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// layout is the write plan: sorted relations, column sizes and the encoded
+// meta section, computed by one validating pass over the database.
+type layout struct {
+	db     *ppd.DB
+	meta   []byte
+	prefs  []*ppd.PrefRelation // sorted by name; fixes column windows
+	m      int
+	tri    int
+	secLen [nSections]uint64
+}
+
+// planLayout validates db and computes the section layout.
+func planLayout(db *ppd.DB, demo string) (*layout, error) {
+	if db == nil || db.ItemRelation == nil {
+		return nil, fmt.Errorf("store: nil database")
+	}
+	m := db.M()
+	if m < 1 || m > maxM {
+		return nil, fmt.Errorf("store: %d items out of range [1,%d]", m, maxM)
+	}
+	l := &layout{db: db, m: m, tri: tri(m)}
+
+	mj := metaJSON{M: m, Demo: demo, Items: db.ItemRelation.Name}
+	relNames := make([]string, 0, len(db.Relations))
+	for name := range db.Relations {
+		if name != db.ItemRelation.Name {
+			relNames = append(relNames, name)
+		}
+	}
+	sort.Strings(relNames)
+	for _, r := range append([]*ppd.Relation{db.ItemRelation}, relsByName(db, relNames)...) {
+		for i, t := range r.Tuples {
+			if len(t) != len(r.Attrs) {
+				return nil, fmt.Errorf("store: relation %s tuple %d has %d values, want %d", r.Name, i, len(t), len(r.Attrs))
+			}
+		}
+		mj.Relations = append(mj.Relations, relationJSON{Name: r.Name, Attrs: r.Attrs, Tuples: r.Tuples})
+	}
+
+	prefNames := make([]string, 0, len(db.Prefs))
+	for name := range db.Prefs {
+		prefNames = append(prefNames, name)
+	}
+	sort.Strings(prefNames)
+	var total, totalKeys, keyDat uint64
+	for _, name := range prefNames {
+		p := db.Prefs[name]
+		if len(p.SessionAttrs) > maxAttrs {
+			return nil, fmt.Errorf("store: p-relation %q has %d session attributes, max %d", name, len(p.SessionAttrs), maxAttrs)
+		}
+		n := p.Sessions.Len()
+		for i, s := range p.Sessions.All() {
+			if len(s.Key) != len(p.SessionAttrs) {
+				return nil, fmt.Errorf("store: %s session %d key arity %d, want %d", name, i, len(s.Key), len(p.SessionAttrs))
+			}
+			if s.Model == nil {
+				return nil, fmt.Errorf("store: %s session %d has no model", name, i)
+			}
+			mdl := s.Model.Model()
+			if !mdl.Sigma().IsPermutation() || mdl.M() != m {
+				return nil, fmt.Errorf("store: %s session %d reference is not a permutation of 0..%d", name, i, m-1)
+			}
+			for j := 0; j < m; j++ {
+				if len(mdl.PiRow(j)) != j+1 {
+					return nil, fmt.Errorf("store: %s session %d Pi row %d has %d entries, want %d", name, i, j, len(mdl.PiRow(j)), j+1)
+				}
+			}
+			for _, k := range s.Key {
+				keyDat += uint64(len(k))
+			}
+		}
+		total += uint64(n)
+		totalKeys += uint64(n) * uint64(len(p.SessionAttrs))
+		l.prefs = append(l.prefs, p)
+		mj.Prefs = append(mj.Prefs, prefJSON{Name: p.Name, SessionAttrs: p.SessionAttrs, Sessions: n})
+	}
+	if total > maxSessions {
+		return nil, fmt.Errorf("store: %d sessions exceed the format limit %d", total, uint64(maxSessions))
+	}
+	if keyDat > 1<<32-1 {
+		return nil, fmt.Errorf("store: session keys total %d bytes, max %d", keyDat, uint64(1<<32-1))
+	}
+
+	meta, err := json.Marshal(&mj)
+	if err != nil {
+		return nil, err
+	}
+	l.meta = meta
+	l.secLen[secMeta-1] = uint64(len(meta))
+	l.secLen[secSigma-1] = total * uint64(l.m) * 4
+	l.secLen[secPi-1] = total * uint64(l.tri) * 8
+	l.secLen[secKeyOff-1] = (totalKeys + 1) * 4
+	l.secLen[secKeyDat-1] = keyDat
+	return l, nil
+}
+
+// relsByName resolves a sorted name list against db.Relations.
+func relsByName(db *ppd.DB, names []string) []*ppd.Relation {
+	out := make([]*ppd.Relation, len(names))
+	for i, n := range names {
+		out[i] = db.Relations[n]
+	}
+	return out
+}
+
+func (l *layout) emitMeta(w io.Writer) error {
+	_, err := w.Write(l.meta)
+	return err
+}
+
+func (l *layout) emitSigma(w io.Writer) error {
+	buf := make([]byte, 4*l.m)
+	for _, p := range l.prefs {
+		for _, s := range p.Sessions.All() {
+			for j, it := range s.Model.Model().Sigma() {
+				binary.LittleEndian.PutUint32(buf[4*j:], uint32(int32(it)))
+			}
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (l *layout) emitPi(w io.Writer) error {
+	buf := make([]byte, 8*l.tri)
+	for _, p := range l.prefs {
+		for _, s := range p.Sessions.All() {
+			mdl := s.Model.Model()
+			off := 0
+			for j := 0; j < l.m; j++ {
+				for _, v := range mdl.PiRow(j) {
+					binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+					off += 8
+				}
+			}
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (l *layout) emitKeyOff(w io.Writer) error {
+	var off uint32
+	var buf [4]byte
+	for _, p := range l.prefs {
+		for _, s := range p.Sessions.All() {
+			for _, k := range s.Key {
+				binary.LittleEndian.PutUint32(buf[:], off)
+				if _, err := w.Write(buf[:]); err != nil {
+					return err
+				}
+				off += uint32(len(k))
+			}
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[:], off)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func (l *layout) emitKeyDat(w io.Writer) error {
+	for _, p := range l.prefs {
+		for _, s := range p.Sessions.All() {
+			for _, k := range s.Key {
+				if _, err := io.WriteString(w, k); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -251,7 +251,20 @@ type (
 	AggregateResult = ppd.AggregateResult
 	// TopKDiag reports the work of a Most-Probable-Session evaluation.
 	TopKDiag = ppd.TopKDiag
+	// SessionStore is the session-source seam between the engine and
+	// storage: RAM slices, mmap-backed snapshots and ingest tails all
+	// serve sessions through it.
+	SessionStore = ppd.SessionStore
+	// SessionSlice is the RAM-backed SessionStore.
+	SessionSlice = ppd.SessionSlice
 )
+
+// ConcatSessions returns a store listing base's sessions followed by
+// tail's; it is how streaming ingest layers appended sessions over an
+// immutable snapshot.
+func ConcatSessions(base, tail SessionStore) SessionStore {
+	return ppd.ConcatSessions(base, tail)
+}
 
 // Solver methods.
 const (
