@@ -23,11 +23,20 @@
 //	GET    /stats                 service, catalog and cache statistics
 //	GET    /healthz               liveness probe
 //
+// The daemon also plays the two roles of the sharded serving tier
+// (internal/cluster): -shard serves only the listed contiguous session-range
+// partitions of each model (as models "<name>--p<i>"), and -coordinator runs
+// the fan-out/merge front end over a set of shards instead of serving local
+// models — same /v1/query wire format, byte-identical answers, plus the
+// /cluster/* management endpoints.
+//
 // Usage examples:
 //
 //	hardqd -dataset figure1 -addr :8080
 //	hardqd -manifest examples/registry/manifest.json -cache 65536 -parallel 8
 //	hardqd -dataset polls -voters 500 -snapshot-dir /var/lib/hardqd
+//	hardqd -dataset polls -voters 500 -shard 0,2/4 -addr :8081
+//	hardqd -coordinator "s0=http://localhost:8081,s1=http://localhost:8082" -partitions 4
 //	curl -d '{"kind":"bool","query":"P(_,_;a;b),C(a,_,F,_,_,_),C(b,_,M,_,_,_)"}' localhost:8080/v1/query
 //	curl -d '{"kind":"topk","query":"...","k":3,"stream":true}' localhost:8080/v1/query
 //	curl 'localhost:8080/eval?q=P(_,_;a;b),C(a,_,F,_,_,_),C(b,_,M,_,_,_)'
@@ -35,7 +44,8 @@
 //	curl localhost:8080/models
 //
 // See docs/API.md for the full endpoint reference and docs/ARCHITECTURE.md
-// for how the daemon, service, registry and engine layers fit together.
+// for how the daemon, service, registry, cluster and engine layers fit
+// together.
 package main
 
 import (
@@ -45,9 +55,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"probpref/internal/cluster"
 	"probpref/internal/dataset"
 	"probpref/internal/ppd"
 	"probpref/internal/registry"
@@ -62,7 +74,7 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
-	svc, addr, err := setup(args, out)
+	handler, addr, err := setup(args, out)
 	if err != nil {
 		return err
 	}
@@ -72,16 +84,18 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "listening on %s\n", ln.Addr())
 	srv := &http.Server{
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 	}
 	return srv.Serve(ln)
 }
 
-// setup parses flags, builds the dataset and wraps it in a Service; split
-// from run so tests can drive the handler without binding a port.
-func setup(args []string, out io.Writer) (*server.Service, string, error) {
+// setup parses flags and builds the daemon's handler — a model-serving
+// Service (whole models or, with -shard, partition models) or a cluster
+// Coordinator (-coordinator); split from run so tests can drive the handler
+// without binding a port.
+func setup(args []string, out io.Writer) (http.Handler, string, error) {
 	fs := flag.NewFlagSet("hardqd", flag.ContinueOnError)
 	var (
 		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
@@ -96,25 +110,81 @@ func setup(args []string, out io.Writer) (*server.Service, string, error) {
 		voters   = fs.Int("voters", 100, "polls: number of voters")
 		movies   = fs.Int("movies", 120, "movielens: catalog size")
 		workers  = fs.Int("workers", 500, "crowdrank: number of workers")
+
+		shardSpec = fs.String("shard", "", "serve as a cluster shard: \"i[,j...]/n\" lists the contiguous session-range partitions (of n) this shard holds; each model is served as \"<model>--p<i>\"")
+		coord     = fs.String("coordinator", "", "run as the cluster coordinator over comma-separated name=url shards: /v1/query fans out per partition and merges (no local models)")
+		parts     = fs.Int("partitions", 0, "coordinator: session-range partitions per model (default: shard count)")
+		hedge     = fs.Duration("hedge-after", cluster.DefaultHedgeAfter, "coordinator: hedge a slow partition fetch to the replica after this delay (adapts to the shard's latency p95 once warmed)")
+		probe     = fs.Duration("probe-every", 2*time.Second, "coordinator: background shard health-probe period (0 disables probing)")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
 	}
 
-	m, err := ppd.ParseMethod(*method)
-	if err != nil {
-		return nil, "", err
-	}
 	size := *cache
 	if size <= 0 {
 		size = -1 // flag semantics: 0 (or negative) disables, matching hardq
+	}
+
+	if *coord != "" {
+		// Everything that shapes local model serving is meaningless on the
+		// coordinator, which holds no models; reject it rather than ignore.
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "dataset", "manifest", "snapshot-dir", "method", "parallel",
+				"seed", "candidates", "voters", "movies", "workers", "shard":
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return nil, "", fmt.Errorf("%s cannot be combined with -coordinator: the coordinator serves no local models", strings.Join(conflict, ", "))
+		}
+		shards, err := parseShards(*coord)
+		if err != nil {
+			return nil, "", err
+		}
+		cl, err := cluster.New(shards, cluster.Config{
+			Partitions: *parts,
+			HedgeAfter: *hedge,
+			CacheSize:  size,
+			ProbeEvery: *probe,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		fmt.Fprintf(out, "coordinator: %d shards, %d partitions per model\n", len(shards), cl.Partitions())
+		for _, sc := range shards {
+			fmt.Fprintf(out, "  %-14s %s\n", sc.Name, sc.URL)
+		}
+		if size > 0 {
+			fmt.Fprintf(out, "cache   : %d merged results capacity\n", size)
+		} else {
+			fmt.Fprintf(out, "cache   : disabled\n")
+		}
+		return cl.Handler(), *addr, nil
+	}
+	if *parts != 0 || *hedge != cluster.DefaultHedgeAfter {
+		return nil, "", fmt.Errorf("-partitions and -hedge-after require -coordinator")
+	}
+
+	m, err := ppd.ParseMethod(*method)
+	if err != nil {
+		return nil, "", err
 	}
 	cfg := server.Config{
 		Method:    m,
 		Workers:   *par,
 		CacheSize: size,
 		Seed:      *seed,
+	}
+	var shardParts []int
+	shardTotal := 0
+	if *shardSpec != "" {
+		if shardParts, shardTotal, err = parseShardSpec(*shardSpec); err != nil {
+			return nil, "", err
+		}
 	}
 
 	if *snapDir != "" {
@@ -141,6 +211,9 @@ func setup(args []string, out io.Writer) (*server.Service, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
+		if shardTotal > 0 {
+			man = partitionManifest(man, shardParts, shardTotal)
+		}
 		reg := registry.New()
 		reg.SetSnapshotDir(*snapDir)
 		if err := reg.Apply(man); err != nil {
@@ -162,19 +235,29 @@ func setup(args []string, out io.Writer) (*server.Service, string, error) {
 		// ingests back.
 		reg := registry.New()
 		reg.SetSnapshotDir(*snapDir)
-		if err := reg.Register(registry.Spec{
+		base := registry.Spec{
 			Name: server.DefaultModel, Dataset: *ds, Seed: *seed,
 			Candidates: *cands, Voters: *voters, Movies: *movies, Workers: *workers,
 			Preload: true,
-		}); err != nil {
-			return nil, "", err
+		}
+		for _, spec := range partitionSpecs(base, shardParts, shardTotal) {
+			if err := reg.Register(spec); err != nil {
+				return nil, "", err
+			}
 		}
 		svc = server.NewMulti(reg, cfg)
-		in, err := reg.Lookup(server.DefaultModel)
-		if err != nil {
-			return nil, "", err
+		if shardTotal > 0 {
+			fmt.Fprintf(out, "shard   : dataset %s split %d ways\n", *ds, shardTotal)
+			for _, in := range reg.List() {
+				fmt.Fprintf(out, "  %-14s (m=%d items, %d sessions)\n", in.Name, in.Items, in.Sessions)
+			}
+		} else {
+			in, err := reg.Lookup(server.DefaultModel)
+			if err != nil {
+				return nil, "", err
+			}
+			fmt.Fprintf(out, "dataset : %s (m=%d items, %d sessions)\n", *ds, in.Items, in.Sessions)
 		}
-		fmt.Fprintf(out, "dataset : %s (m=%d items, %d sessions)\n", *ds, in.Items, in.Sessions)
 	}
 	fmt.Fprintf(out, "method  : %s\n", m)
 	if c := svc.Cache(); c != nil {
@@ -182,5 +265,78 @@ func setup(args []string, out io.Writer) (*server.Service, string, error) {
 	} else {
 		fmt.Fprintf(out, "cache   : disabled\n")
 	}
-	return svc, *addr, nil
+	return svc.Handler(), *addr, nil
+}
+
+// parseShards parses the -coordinator shard list: comma-separated name=url.
+func parseShards(s string) ([]cluster.ShardConfig, error) {
+	var out []cluster.ShardConfig
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad shard %q (want name=url)", part)
+		}
+		out = append(out, cluster.ShardConfig{Name: name, URL: url})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-coordinator needs at least one name=url shard")
+	}
+	return out, nil
+}
+
+// parseShardSpec parses the -shard value "i[,j...]/n" into the partition
+// indexes this shard holds and the total partition count.
+func parseShardSpec(s string) (parts []int, total int, err error) {
+	list, tot, ok := strings.Cut(s, "/")
+	if !ok {
+		return nil, 0, fmt.Errorf("bad -shard %q (want \"i[,j...]/n\", e.g. \"0,2/4\")", s)
+	}
+	if total, err = strconv.Atoi(tot); err != nil || total < 1 {
+		return nil, 0, fmt.Errorf("bad -shard %q: total partitions %q must be a positive integer", s, tot)
+	}
+	seen := make(map[int]bool)
+	for _, f := range strings.Split(list, ",") {
+		i, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || i < 0 || i >= total {
+			return nil, 0, fmt.Errorf("bad -shard %q: partition %q must be in [0, %d)", s, f, total)
+		}
+		if seen[i] {
+			return nil, 0, fmt.Errorf("bad -shard %q: partition %d listed twice", s, i)
+		}
+		seen[i] = true
+		parts = append(parts, i)
+	}
+	return parts, total, nil
+}
+
+// partitionSpecs expands a model spec into one spec per held partition
+// (named by cluster.PartitionModel); with no shard spec it returns the base
+// spec unchanged.
+func partitionSpecs(base registry.Spec, parts []int, total int) []registry.Spec {
+	if total == 0 {
+		return []registry.Spec{base}
+	}
+	out := make([]registry.Spec, 0, len(parts))
+	for _, p := range parts {
+		spec := base
+		spec.Name = cluster.PartitionModel(base.Name, p)
+		spec.Partition = p
+		spec.Partitions = total
+		out = append(out, spec)
+	}
+	return out
+}
+
+// partitionManifest expands every model of a manifest into the held
+// partitions, mirroring partitionSpecs.
+func partitionManifest(man *registry.Manifest, parts []int, total int) *registry.Manifest {
+	out := &registry.Manifest{}
+	for _, spec := range man.Models {
+		out.Models = append(out.Models, partitionSpecs(spec, parts, total)...)
+	}
+	return out
 }

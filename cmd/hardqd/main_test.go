@@ -44,14 +44,14 @@ func checkGolden(t *testing.T, name string, got []byte) {
 func testServer(t *testing.T, args ...string) (*httptest.Server, string) {
 	t.Helper()
 	var buf bytes.Buffer
-	svc, addr, err := setup(args, &buf)
+	handler, addr, err := setup(args, &buf)
 	if err != nil {
 		t.Fatalf("setup(%v): %v\noutput:\n%s", args, err, buf.String())
 	}
 	if addr == "" {
 		t.Fatal("empty addr")
 	}
-	srv := httptest.NewServer(svc.Handler())
+	srv := httptest.NewServer(handler)
 	t.Cleanup(srv.Close)
 	return srv, buf.String()
 }
@@ -141,6 +141,19 @@ func TestSetupErrors(t *testing.T) {
 		// Dataset-generator flags conflict with -manifest.
 		{"-manifest", "testdata/manifest.json", "-dataset", "polls"},
 		{"-manifest", "testdata/manifest.json", "-voters", "5"},
+		// -shard wants "i[,j...]/n" with in-range, distinct partitions.
+		{"-dataset", "figure1", "-shard", "nope"},
+		{"-dataset", "figure1", "-shard", "0,0/2"},
+		{"-dataset", "figure1", "-shard", "2/2"},
+		{"-dataset", "figure1", "-shard", "0/0"},
+		{"-dataset", "figure1", "-shard", "x/2"},
+		// Coordinator flags are meaningless without (or against) the role.
+		{"-partitions", "2"},
+		{"-hedge-after", "10ms"},
+		{"-coordinator", "nourl"},
+		{"-coordinator", "s0=http://localhost:1", "-dataset", "polls"},
+		{"-coordinator", "s0=http://localhost:1", "-shard", "0/2"},
+		{"-coordinator", "s0=http://localhost:1", "-manifest", "testdata/manifest.json"},
 	}
 	for _, args := range cases {
 		var buf bytes.Buffer
@@ -354,6 +367,11 @@ func TestAPIDocEndpointsCovered(t *testing.T) {
 		"DELETE /models/{name}",
 		"GET /stats",
 		"GET /healthz",
+		// Coordinator front end (internal/cluster), same doc page.
+		"GET /cluster/stats",
+		"GET /cluster/placement",
+		"POST /cluster/shards",
+		"DELETE /cluster/shards/{name}",
 	}
 	for _, ep := range endpoints {
 		if !strings.Contains(text, "## "+ep) {
@@ -366,6 +384,9 @@ func TestAPIDocEndpointsCovered(t *testing.T) {
 		// unified /v1/query surface
 		"kind", "query", "method", "k", "bound", "seed",
 		"agg_rel", "agg_attr", "stream", "requests",
+		// coordinator surface
+		"cluster", "partial", "failed_partitions", "owner", "replica",
+		"excluded", "hedge_wins", "degraded",
 	} {
 		if !strings.Contains(text, "`"+field+"`") {
 			t.Errorf("docs/API.md: field %q not documented", field)
@@ -413,4 +434,95 @@ func TestV1QueryStreamGolden(t *testing.T) {
 	req, _ := json.Marshal(map[string]any{"kind": "topk", "query": demoQuery, "k": 2, "bound": 1, "stream": true})
 	b := postBody(t, srv, "/v1/query", req)
 	checkGolden(t, "v1_query_stream", b)
+}
+
+// --- cluster roles (-shard / -coordinator) ---
+
+func TestShardBannerGolden(t *testing.T) {
+	_, banner := testServer(t, "-dataset", "figure1", "-shard", "0/2")
+	checkGolden(t, "shard_banner", []byte(banner))
+}
+
+// TestShardServesPartitionModels checks that a shard exposes exactly its
+// "<model>--p<i>" partition models and nothing else.
+func TestShardServesPartitionModels(t *testing.T) {
+	srv, _ := testServer(t, "-dataset", "figure1", "-shard", "0,1/2")
+	b := getBody(t, srv, "/models")
+	for _, name := range []string{"default--p0", "default--p1"} {
+		if !strings.Contains(string(b), `"`+name+`"`) {
+			t.Errorf("/models missing %s:\n%s", name, b)
+		}
+	}
+	// The unsplit model is not served; queries must name a partition.
+	if code, _ := statusOf(t, srv, "GET", "/eval?q="+url.QueryEscape(demoQuery), nil); code != http.StatusNotFound {
+		t.Fatalf("eval on unsplit model: status %d, want 404", code)
+	}
+	req, _ := json.Marshal(map[string]any{"kind": "bool", "query": demoQuery, "model": "default--p1", "per_session": true})
+	postBody(t, srv, "/v1/query", req)
+}
+
+// TestCoordinatorBannerGolden pins the coordinator's startup banner. Fixed
+// shard URLs keep it deterministic; nothing is dialed at setup time.
+func TestCoordinatorBannerGolden(t *testing.T) {
+	var buf bytes.Buffer
+	handler, _, err := setup([]string{
+		"-coordinator", "s0=http://shard0:8081,s1=http://shard1:8082",
+		"-partitions", "4", "-probe-every", "0", "-cache", "64",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("setup: %v\n%s", err, buf.String())
+	}
+	if handler == nil {
+		t.Fatal("nil handler")
+	}
+	checkGolden(t, "coord_banner", buf.Bytes())
+}
+
+// TestCoordinatorEndToEnd wires two shard daemons behind a coordinator
+// daemon, all through the real flag surface, and requires the merged
+// answers to match a single-process daemon byte for byte. Both shards hold
+// both partitions (full replication), so the answer is placement-invariant.
+func TestCoordinatorEndToEnd(t *testing.T) {
+	single, _ := testServer(t, "-dataset", "figure1")
+	s0, _ := testServer(t, "-dataset", "figure1", "-shard", "0,1/2")
+	s1, _ := testServer(t, "-dataset", "figure1", "-shard", "0,1/2")
+	// Hedging off: a hedge that wins on the other replica would still merge
+	// the same values but report its own solve counters.
+	coord, banner := testServer(t,
+		"-coordinator", "s0="+s0.URL+",s1="+s1.URL,
+		"-probe-every", "0", "-hedge-after", "-1ms")
+	if !strings.Contains(banner, "coordinator: 2 shards, 2 partitions per model") {
+		t.Fatalf("coordinator banner:\n%s", banner)
+	}
+
+	for _, body := range []string{
+		`{"kind": "bool", "query": ` + strconv.Quote(demoQuery) + `, "per_session": true}`,
+		// No "bound": the bounded top-k prunes sessions globally, which a
+		// per-partition fan-out legitimately cannot reproduce counter-exactly.
+		`{"kind": "topk", "query": ` + strconv.Quote(demoQuery) + `, "k": 2}`,
+		`{"kind": "countdist", "query": ` + strconv.Quote(demoQuery) + `}`,
+	} {
+		want := postBody(t, single, "/v1/query", []byte(body))
+		got := postBody(t, coord, "/v1/query", []byte(body))
+		if !bytes.Equal(got, want) {
+			t.Errorf("merged answer differs for %s:\n-- single --\n%s\n-- cluster --\n%s", body, want, got)
+		}
+	}
+
+	// The merged catalog regroups partitions into the unsplit model.
+	var models struct {
+		Models []struct {
+			Name     string `json:"name"`
+			Sessions int    `json:"sessions"`
+		} `json:"models"`
+	}
+	if err := json.Unmarshal(getBody(t, coord, "/models"), &models); err != nil {
+		t.Fatal(err)
+	}
+	if len(models.Models) != 1 || models.Models[0].Name != "default" || models.Models[0].Sessions != 3 {
+		t.Fatalf("merged /models = %+v, want one row default/3 sessions", models.Models)
+	}
+	getBody(t, coord, "/cluster/stats")
+	getBody(t, coord, "/cluster/placement")
+	getBody(t, coord, "/healthz")
 }

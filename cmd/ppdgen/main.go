@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"probpref/internal/dataset"
 	"probpref/internal/store"
@@ -42,6 +43,7 @@ func run(args []string, out io.Writer) error {
 		ds      = fs.String("dataset", "figure1", "dataset: figure1 | polls | movielens | crowdrank")
 		outDir  = fs.String("out", "", "output directory for CSV/JSON files")
 		snap    = fs.String("o", "", "write the dataset as one columnar snapshot file (<name>.ppds, see internal/store)")
+		parts   = fs.Int("partitions", 0, "with -o: split the snapshot into N contiguous session-range partition files (\"<name>--p<i>.ppds\", the naming hardqd -shard and the cluster coordinator expect) instead of one whole-model file")
 		seed    = fs.Int64("seed", 1, "generator seed")
 		cands   = fs.Int("candidates", 20, "polls: number of candidates")
 		voters  = fs.Int("voters", 100, "polls: number of voters")
@@ -62,20 +64,38 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *parts < 0 {
+		return fmt.Errorf("-partitions must be non-negative, got %d", *parts)
+	}
+	if *parts > 0 && *snap == "" {
+		return fmt.Errorf("-partitions requires -o (partition files are snapshot files)")
+	}
 	if *snap != "" {
 		if dir := filepath.Dir(*snap); dir != "." {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
 				return err
 			}
 		}
-		if err := store.WriteFile(*snap, db, demo); err != nil {
-			return err
-		}
 		sessions := 0
 		for _, p := range db.Prefs {
 			sessions += p.Sessions.Len()
 		}
-		fmt.Fprintf(out, "wrote %s (%d items, %d sessions)\n", *snap, db.M(), sessions)
+		if *parts > 0 {
+			base := strings.TrimSuffix(*snap, ".ppds")
+			for i := 0; i < *parts; i++ {
+				path := fmt.Sprintf("%s--p%d.ppds", base, i)
+				if err := store.WritePartitionFile(path, db, demo, i, *parts); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "wrote %s (partition %d/%d)\n", path, i, *parts)
+			}
+			fmt.Fprintf(out, "split %d sessions over %d partitions\n", sessions, *parts)
+		} else {
+			if err := store.WriteFile(*snap, db, demo); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s (%d items, %d sessions)\n", *snap, db.M(), sessions)
+		}
 		if *outDir == "" {
 			return nil
 		}

@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"probpref/internal/registry"
+	"probpref/internal/server"
+)
+
+// Distributed-equivalence suite: the same request posted to a single-process
+// service and to a sharded cluster over the same sessions must yield
+// byte-identical responses — aggregates refolded, top-k re-merged, count
+// distributions re-convolved, NDJSON streams interleaved in session order.
+
+// equivalenceBodies is the request matrix checked for byte identity: all
+// five kinds, per-session variants, union queries, and a batch.
+func equivalenceBodies() []string {
+	q := demoQuery
+	u := unionQuery
+	return []string{
+		fmt.Sprintf(`{"kind":"bool","query":%q}`, q),
+		fmt.Sprintf(`{"kind":"bool","query":%q,"per_session":true}`, q),
+		fmt.Sprintf(`{"kind":"count","query":%q,"per_session":true}`, u),
+		fmt.Sprintf(`{"kind":"topk","query":%q,"k":3}`, q),
+		fmt.Sprintf(`{"kind":"topk","query":%q,"k":5}`, u),
+		fmt.Sprintf(`{"kind":"countdist","query":%q,"per_session":true}`, q),
+		fmt.Sprintf(`{"kind":"aggregate","query":%q,"agg_rel":"V","agg_attr":"age"}`, q),
+		fmt.Sprintf(`{"kind":"aggregate","query":%q,"agg_rel":"V","agg_attr":"age","per_session":true}`, u),
+		fmt.Sprintf(`{"requests":[{"kind":"bool","query":%q},{"kind":"topk","query":%q,"k":2},{"kind":"count","query":%q},{"kind":"aggregate","query":%q,"agg_rel":"V","agg_attr":"age"},{"kind":"countdist","query":%q}]}`, q, u, q, q, u),
+	}
+}
+
+// streamBodies is the request matrix for NDJSON byte identity.
+func streamBodies() []string {
+	return []string{
+		fmt.Sprintf(`{"kind":"bool","query":%q,"stream":true}`, demoQuery),
+		fmt.Sprintf(`{"kind":"count","query":%q,"stream":true}`, unionQuery),
+		fmt.Sprintf(`{"kind":"countdist","query":%q,"stream":true}`, demoQuery),
+		fmt.Sprintf(`{"kind":"topk","query":%q,"k":4,"stream":true}`, demoQuery),
+	}
+}
+
+func TestClusterEquivalence(t *testing.T) {
+	db := testDB(t, 7)
+	for _, shards := range []int{1, 2, 5} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			h := newHarness(t, db, shards, 3, Config{})
+			for _, body := range equivalenceBodies() {
+				h.checkEqual(body)
+			}
+			for _, body := range streamBodies() {
+				h.checkEqual(body)
+			}
+		})
+	}
+}
+
+// TestClusterEquivalenceMorePartitionsThanSessions covers empty partitions:
+// 5 partitions over 3 sessions leaves ranges empty, which must not perturb
+// any merged answer.
+func TestClusterEquivalenceMorePartitionsThanSessions(t *testing.T) {
+	db := testDB(t, 3)
+	h := newHarness(t, db, 2, 5, Config{})
+	for _, body := range equivalenceBodies() {
+		h.checkEqual(body)
+	}
+}
+
+// TestClusterEquivalenceErrors checks that malformed requests fail with the
+// same status and body on both tiers.
+func TestClusterEquivalenceErrors(t *testing.T) {
+	db := testDB(t, 4)
+	h := newHarness(t, db, 2, 2, Config{})
+	for _, body := range []string{
+		`{"kind":"nope","query":"P(_, _; c1; c2)"}`,
+		`{"kind":"bool"}`,
+		`{"kind":"bool","query":"P(_, _; c1; c2)","bogus":1}`,
+		fmt.Sprintf(`{"kind":"aggregate","query":%q}`, demoQuery),
+		fmt.Sprintf(`{"kind":"topk","query":%q,"k":3,"requests":[{"kind":"bool","query":%q}]}`, demoQuery, demoQuery),
+		fmt.Sprintf(`{"requests":[{"kind":"bool","query":%q,"stream":true}]}`, demoQuery),
+		fmt.Sprintf(`{"kind":"aggregate","query":%q,"agg_rel":"V","agg_attr":"age","stream":true}`, demoQuery),
+	} {
+		h.checkEqual(body)
+	}
+}
+
+// TestClusterEquivalenceUnknownModel checks 404 propagation for a model no
+// shard holds.
+func TestClusterEquivalenceUnknownModel(t *testing.T) {
+	db := testDB(t, 4)
+	h := newHarness(t, db, 2, 2, Config{})
+	body := fmt.Sprintf(`{"kind":"bool","query":%q,"model":"missing"}`, demoQuery)
+	ss, sb := post(t, h.single.URL, body)
+	cs, cb := post(t, h.coordSrv.URL, body)
+	if ss != http.StatusNotFound || cs != http.StatusNotFound {
+		t.Fatalf("statuses = %d, %d, want 404 on both\nsingle: %s\ncluster: %s", ss, cs, sb, cb)
+	}
+	if !strings.Contains(string(cb), "missing") {
+		t.Fatalf("cluster 404 body does not name the model: %s", cb)
+	}
+}
+
+// TestClusterCacheCounterEquivalence repeats a request on both tiers: the
+// second single-process response is served from the shard-side solve cache,
+// the second cluster response from the coordinator result cache, and the
+// rewritten counters must agree byte for byte.
+func TestClusterCacheCounterEquivalence(t *testing.T) {
+	db := testDB(t, 6)
+	h := newHarness(t, db, 3, 3, Config{})
+	for _, body := range []string{
+		fmt.Sprintf(`{"kind":"bool","query":%q}`, demoQuery),
+		fmt.Sprintf(`{"kind":"topk","query":%q,"k":3}`, demoQuery),
+		fmt.Sprintf(`{"kind":"aggregate","query":%q,"agg_rel":"V","agg_attr":"age"}`, demoQuery),
+	} {
+		h.checkEqual(body) // cold
+		h.checkEqual(body) // warm: solve cache vs coordinator result cache
+	}
+	stats := h.coord.Stats()
+	if stats.Cache.Hits == 0 {
+		t.Fatalf("coordinator cache saw no hits: %+v", stats.Cache)
+	}
+}
+
+// TestClusterStreamIsNDJSON sanity-checks the coordinator stream framing
+// itself (one JSON object per line, head first) rather than just comparing
+// with the single process.
+func TestClusterStreamIsNDJSON(t *testing.T) {
+	db := testDB(t, 5)
+	h := newHarness(t, db, 2, 2, Config{})
+	body := fmt.Sprintf(`{"kind":"bool","query":%q,"stream":true}`, demoQuery)
+	resp, err := http.Post(h.coordSrv.URL+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	lines := 0
+	for sc.Scan() {
+		var v map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", lines, err, sc.Text())
+		}
+		if lines == 0 {
+			if _, ok := v["kind"]; !ok {
+				t.Fatalf("head line missing kind: %s", sc.Text())
+			}
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != 1+5 {
+		t.Fatalf("stream lines = %d, want head + 5 session rows", lines)
+	}
+}
+
+// TestClusterModelsMerge checks GET /models regroups partition rows under
+// the base model with summed session counts.
+func TestClusterModelsMerge(t *testing.T) {
+	db := testDB(t, 7)
+	h := newHarness(t, db, 3, 3, Config{})
+	resp, err := http.Get(h.coordSrv.URL + "/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var mr server.ModelsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Models) != 1 {
+		t.Fatalf("models = %+v, want exactly the regrouped base model", mr.Models)
+	}
+	got := mr.Models[0]
+	if got.Name != server.DefaultModel || got.Sessions != 7 || !got.Loaded {
+		t.Fatalf("merged model row = %+v, want name=%s sessions=7 loaded", got, server.DefaultModel)
+	}
+}
+
+// TestClusterGeneratorSpecProvisioning covers the registry generator-spec
+// path: shards provision their partitions from dataset specs (as hardqd
+// -shard does) instead of pre-built DB slices, and the cluster still matches
+// a single process over the same generated dataset.
+func TestClusterGeneratorSpecProvisioning(t *testing.T) {
+	const parts = 2
+	reg := registry.New()
+	if err := reg.Register(registry.Spec{
+		Name: server.DefaultModel, Dataset: "figure1", Preload: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	singleSvc := server.NewMulti(reg, server.Config{})
+	single := newTestServer(t, singleSvc)
+
+	shardRegs := make([]*registry.Registry, parts)
+	shardCfgs := make([]ShardConfig, parts)
+	for i := range shardRegs {
+		shardRegs[i] = registry.New()
+		srv := newTestServer(t, server.NewMulti(shardRegs[i], server.Config{}))
+		shardCfgs[i] = ShardConfig{Name: fmt.Sprintf("s%d", i), URL: srv.URL}
+	}
+	coord, err := New(shardCfgs, Config{Partitions: parts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	byName := map[string]int{"s0": 0, "s1": 1}
+	for _, row := range coord.Placement(server.DefaultModel) {
+		for _, name := range []string{row.Owner, row.Replica} {
+			if name == "" {
+				continue
+			}
+			err := shardRegs[byName[name]].Register(registry.Spec{
+				Name: row.Model, Dataset: "figure1", Preload: true,
+				Partition: row.Partition, Partitions: parts,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	coordSrv := newTestServer(t, coord)
+
+	for _, body := range []string{
+		fmt.Sprintf(`{"kind":"bool","query":%q,"per_session":true}`, demoQuery),
+		fmt.Sprintf(`{"kind":"topk","query":%q,"k":2}`, demoQuery),
+	} {
+		ss, sb := post(t, single.URL, body)
+		cs, cb := post(t, coordSrv.URL, body)
+		if ss != cs || !bytes.Equal(sb, cb) {
+			t.Errorf("spec-provisioned cluster differs for %s:\nsingle %d: %s\ncluster %d: %s", body, ss, sb, cs, cb)
+		}
+	}
+}

@@ -27,6 +27,7 @@ var lintedDirs = []string{
 	"internal/registry",
 	"internal/dataset",
 	"internal/store",
+	"internal/cluster",
 }
 
 // repoRoot locates the repository root relative to this package.

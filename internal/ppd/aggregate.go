@@ -23,6 +23,40 @@ type AggregateResult struct {
 	Avg float64
 	// Sessions is the number of sessions with a defined attribute value.
 	Sessions int
+	// Rows lists the per-session (probability, attribute value) terms the
+	// aggregates fold over, in session order. A distributed coordinator
+	// refolds concatenated partition rows through FoldAggregateRows to
+	// reproduce the single-process Sum/Count/Avg bit-for-bit — summing
+	// per-partition aggregates instead would reorder the float additions.
+	Rows []AggRow
+}
+
+// AggRow is one session's contribution to an aggregation: the probability
+// the session satisfies the query and the session's attribute value.
+type AggRow struct {
+	// Prob is the session's satisfaction probability.
+	Prob float64
+	// Value is the session's numeric attribute value.
+	Value float64
+}
+
+// FoldAggregateRows folds per-session aggregation rows (in session order)
+// into an AggregateResult using the exact accumulation order of the
+// single-process evaluator, so the same rows always produce bit-identical
+// Sum, Count and Avg regardless of how they were partitioned for transport.
+func FoldAggregateRows(rows []AggRow) *AggregateResult {
+	res := &AggregateResult{Rows: rows}
+	for _, r := range rows {
+		res.Sessions++
+		res.Sum += r.Prob * r.Value
+		res.Count += r.Prob
+	}
+	if res.Count > 0 {
+		res.Avg = res.Sum / res.Count
+	} else {
+		res.Avg = math.NaN()
+	}
+	return res
 }
 
 // aggregateQuery is the aggregation core behind KindAggregate (and the
@@ -48,7 +82,7 @@ func (e *Engine) aggregateQuery(ctx context.Context, q *Query, rel, attr string)
 	if err != nil {
 		return nil, err
 	}
-	res := &AggregateResult{}
+	var rows []AggRow
 	cache := make(map[string]float64)
 	for _, s := range g.Pref().Sessions.All() {
 		if len(s.Key) == 0 {
@@ -69,14 +103,7 @@ func (e *Engine) aggregateQuery(ctx context.Context, q *Query, rel, attr string)
 		if err != nil {
 			return nil, err
 		}
-		res.Sessions++
-		res.Sum += p * v
-		res.Count += p
+		rows = append(rows, AggRow{Prob: p, Value: v})
 	}
-	if res.Count > 0 {
-		res.Avg = res.Sum / res.Count
-	} else {
-		res.Avg = math.NaN()
-	}
-	return res, nil
+	return FoldAggregateRows(rows), nil
 }

@@ -1,0 +1,92 @@
+package ppd
+
+import (
+	"fmt"
+	"iter"
+)
+
+// PartitionRange returns the half-open session index range [lo, hi) owned by
+// partition part of parts over n sessions. Ranges are contiguous, cover
+// [0, n) exactly, and differ in size by at most one session; concatenating
+// the ranges for part = 0..parts-1 reproduces the original index order,
+// which is what lets a coordinator merge per-partition answers back into
+// the single-process session order.
+func PartitionRange(n, part, parts int) (lo, hi int) {
+	return part * n / parts, (part + 1) * n / parts
+}
+
+// RangeSessions returns a read-only view of base restricted to sessions
+// [lo, hi). The view shares base's storage (no sessions are copied), so it
+// works equally over RAM slices and mmap-backed snapshot stores; indexes are
+// rebased to start at 0. The bounds are clamped to [0, base.Len()].
+func RangeSessions(base SessionStore, lo, hi int) SessionStore {
+	n := base.Len()
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return SessionSlice(nil)
+	}
+	if lo == 0 && hi == n {
+		return base
+	}
+	return &rangeStore{base: base, lo: lo, n: hi - lo}
+}
+
+// rangeStore is the contiguous-slice view built by RangeSessions.
+type rangeStore struct {
+	base SessionStore
+	lo   int
+	n    int
+}
+
+func (r *rangeStore) Len() int          { return r.n }
+func (r *rangeStore) At(i int) *Session { return r.base.At(r.lo + i) }
+
+func (r *rangeStore) All() iter.Seq2[int, *Session] {
+	return func(yield func(int, *Session) bool) {
+		for i := 0; i < r.n; i++ {
+			if !yield(i, r.base.At(r.lo+i)) {
+				return
+			}
+		}
+	}
+}
+
+// PartitionDB returns a database that shares db's relations, item catalog
+// and labeling but restricts every p-relation to partition part of parts
+// (per-relation ranges computed by PartitionRange). This is the in-memory
+// shard source: a shard serving partition p of a model evaluates queries
+// against PartitionDB(db, p, parts) exactly as a single process would
+// against db, and because each partition is a contiguous session range the
+// coordinator can reassemble per-session answers in global order by
+// concatenating partitions 0..parts-1. The receiver is not modified.
+func PartitionDB(db *DB, part, parts int) (*DB, error) {
+	if parts < 1 {
+		return nil, fmt.Errorf("ppd: partition count %d < 1", parts)
+	}
+	if part < 0 || part >= parts {
+		return nil, fmt.Errorf("ppd: partition %d out of range [0,%d)", part, parts)
+	}
+	ndb := &DB{
+		ItemRelation: db.ItemRelation,
+		Relations:    db.Relations,
+		Prefs:        make(map[string]*PrefRelation, len(db.Prefs)),
+		vocab:        db.vocab,
+		labeling:     db.labeling,
+		itemIDs:      db.itemIDs,
+		itemKeys:     db.itemKeys,
+	}
+	for name, p := range db.Prefs {
+		lo, hi := PartitionRange(p.Sessions.Len(), part, parts)
+		ndb.Prefs[name] = &PrefRelation{
+			Name:         p.Name,
+			SessionAttrs: p.SessionAttrs,
+			Sessions:     RangeSessions(p.Sessions, lo, hi),
+		}
+	}
+	return ndb, nil
+}

@@ -1,0 +1,125 @@
+package ppd
+
+import (
+	"testing"
+)
+
+// TestPartitionRangeCoversExactly checks the defining property of the
+// partitioning: for every (n, parts), concatenating the ranges of
+// partitions 0..parts-1 covers [0, n) exactly, in order, with window sizes
+// differing by at most one.
+func TestPartitionRangeCoversExactly(t *testing.T) {
+	for n := 0; n <= 40; n++ {
+		for parts := 1; parts <= 12; parts++ {
+			next, minW, maxW := 0, n+1, -1
+			for p := 0; p < parts; p++ {
+				lo, hi := PartitionRange(n, p, parts)
+				if lo != next {
+					t.Fatalf("n=%d parts=%d: partition %d starts at %d, want %d", n, parts, p, lo, next)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d parts=%d: partition %d range [%d,%d) inverted", n, parts, p, lo, hi)
+				}
+				w := hi - lo
+				if w < minW {
+					minW = w
+				}
+				if w > maxW {
+					maxW = w
+				}
+				next = hi
+			}
+			if next != n {
+				t.Fatalf("n=%d parts=%d: partitions cover [0,%d), want [0,%d)", n, parts, next, n)
+			}
+			if maxW-minW > 1 {
+				t.Fatalf("n=%d parts=%d: window sizes range %d..%d, want spread <= 1", n, parts, minW, maxW)
+			}
+		}
+	}
+}
+
+// TestRangeSessionsView checks rebasing, clamping and the empty view.
+func TestRangeSessionsView(t *testing.T) {
+	base := make(SessionSlice, 5)
+	for i := range base {
+		base[i] = &Session{Key: []string{string(rune('a' + i))}}
+	}
+
+	v := RangeSessions(base, 1, 4)
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", v.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if v.At(i) != base[i+1] {
+			t.Fatalf("At(%d) not rebased to base[%d]", i, i+1)
+		}
+	}
+	got := 0
+	for i, s := range v.All() {
+		if s != base[i+1] {
+			t.Fatalf("All() index %d not rebased", i)
+		}
+		got++
+	}
+	if got != 3 {
+		t.Fatalf("All() yielded %d sessions, want 3", got)
+	}
+
+	if v := RangeSessions(base, -3, 99); v.Len() != 5 {
+		t.Fatalf("clamped view Len = %d, want 5", v.Len())
+	}
+	if v := RangeSessions(base, 4, 2); v.Len() != 0 {
+		t.Fatalf("inverted range Len = %d, want 0", v.Len())
+	}
+	if v := RangeSessions(base, 0, 5); v.Len() != 5 {
+		t.Fatalf("full range Len = %d, want 5", v.Len())
+	}
+}
+
+// TestPartitionDBValidation checks argument validation and that the view
+// shares (not copies) the catalog while slicing every p-relation.
+func TestPartitionDBValidation(t *testing.T) {
+	db := figure1DB(t)
+	if _, err := PartitionDB(db, 0, 0); err == nil {
+		t.Error("parts=0 accepted")
+	}
+	if _, err := PartitionDB(db, -1, 2); err == nil {
+		t.Error("negative partition accepted")
+	}
+	if _, err := PartitionDB(db, 2, 2); err == nil {
+		t.Error("partition == parts accepted")
+	}
+
+	const parts = 2
+	total := 0
+	for p := 0; p < parts; p++ {
+		pdb, err := PartitionDB(db, p, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pdb.ItemRelation != db.ItemRelation {
+			t.Error("item relation copied, want shared")
+		}
+		for name, want := range db.Prefs {
+			pp := pdb.Prefs[name]
+			lo, hi := PartitionRange(want.Sessions.Len(), p, parts)
+			if pp.Sessions.Len() != hi-lo {
+				t.Fatalf("partition %d of %q holds %d sessions, want %d", p, name, pp.Sessions.Len(), hi-lo)
+			}
+			for i := 0; i < pp.Sessions.Len(); i++ {
+				if pp.Sessions.At(i) != want.Sessions.At(lo+i) {
+					t.Fatalf("partition %d of %q session %d is not base session %d", p, name, i, lo+i)
+				}
+			}
+			total += pp.Sessions.Len()
+		}
+	}
+	want := 0
+	for _, p := range db.Prefs {
+		want += p.Sessions.Len()
+	}
+	if total != want {
+		t.Fatalf("partitions hold %d sessions, model has %d", total, want)
+	}
+}

@@ -65,6 +65,14 @@ type Spec struct {
 	// Preload builds the model at registration time (manifest load,
 	// POST /models) instead of on first use.
 	Preload bool `json:"preload,omitempty"`
+	// Partitions, when positive, restricts the model to one contiguous
+	// session slice of the dataset: the sessions in
+	// ppd.PartitionRange(n, Partition, Partitions) of each p-relation. This
+	// is how a shard serves its share of a model — same dataset spec, a
+	// different Partition per shard. 0 means the whole dataset.
+	Partitions int `json:"partitions,omitempty"`
+	// Partition is the slice index, 0 <= Partition < Partitions.
+	Partition int `json:"partition,omitempty"`
 }
 
 // Validate checks the spec's name, dataset and generator parameters
@@ -89,6 +97,15 @@ func (s Spec) Validate() error {
 		if p.v < 0 {
 			return fmt.Errorf("registry: model %q: %s must be non-negative, got %d", s.Name, p.name, p.v)
 		}
+	}
+	if s.Partitions < 0 {
+		return fmt.Errorf("registry: model %q: partitions must be non-negative, got %d", s.Name, s.Partitions)
+	}
+	if s.Partitions == 0 && s.Partition != 0 {
+		return fmt.Errorf("registry: model %q: partition %d set without partitions", s.Name, s.Partition)
+	}
+	if s.Partitions > 0 && (s.Partition < 0 || s.Partition >= s.Partitions) {
+		return fmt.Errorf("registry: model %q: partition %d out of range [0,%d)", s.Name, s.Partition, s.Partitions)
 	}
 	return nil
 }
@@ -196,23 +213,46 @@ func (r *Registry) snapshotPath(name string) string {
 }
 
 // buildLocked loads an entry's database — snapshot first, generator
-// otherwise — and records the result. The entry's buildMu must be held.
+// otherwise — and records the result. For a partitioned spec the snapshot
+// must be a partition file of the matching slice (a stale or whole-model
+// file under the same name is discarded and the generator rebuilds); a
+// generator build constructs the full dataset, persists this slice's
+// partition snapshot, and serves the slice. The entry's buildMu must be
+// held.
 func (r *Registry) buildLocked(name string, e *entry) {
 	defer func() { e.built = true }()
+	part, parts := e.spec.Partition, e.spec.Partitions
 	if path := r.snapshotPath(name); path != "" {
 		if s, err := store.Open(path); err == nil {
-			e.db, e.demo, e.closer = s.DB(), s.Demo(), s
-			e.items, e.sessions = dbSize(e.db)
-			return
+			pi, pc, ok := s.Partition()
+			if parts == 0 && !ok || parts > 0 && ok && pi == part && pc == parts {
+				e.db, e.demo, e.closer = s.DB(), s.Demo(), s
+				e.items, e.sessions = dbSize(e.db)
+				return
+			}
+			s.Close() // wrong slice for this spec
 		}
 	}
-	e.db, e.demo, e.buildErr = dataset.Build(e.spec.buildConfig())
+	var full *ppd.DB
+	full, e.demo, e.buildErr = dataset.Build(e.spec.buildConfig())
 	if e.buildErr != nil {
 		e.buildErr = fmt.Errorf("registry: building model %q: %w", name, e.buildErr)
 		return
 	}
+	if parts > 0 {
+		if path := r.snapshotPath(name); path != "" {
+			_ = store.WritePartitionFile(path, full, e.demo, part, parts)
+		}
+		e.db, e.buildErr = ppd.PartitionDB(full, part, parts)
+		if e.buildErr != nil {
+			e.buildErr = fmt.Errorf("registry: partitioning model %q: %w", name, e.buildErr)
+			return
+		}
+	} else {
+		e.db = full
+		r.writeSnapshot(name, e.db, e.demo)
+	}
 	e.items, e.sessions = dbSize(e.db)
-	r.writeSnapshot(name, e.db, e.demo)
 }
 
 // writeSnapshot persists a model snapshot when a snapshot directory is
@@ -379,7 +419,12 @@ func (r *Registry) Append(name, pref string, sessions []*ppd.Session) (int, erro
 	}
 	e.db = ndb
 	e.items, e.sessions = dbSize(ndb)
-	r.writeSnapshot(name, ndb, e.demo)
+	// A partitioned entry serves a slice; persisting it with WriteFile would
+	// produce a whole-model snapshot that misdescribes the slice (and would
+	// be discarded on restart anyway), so only whole models re-persist.
+	if e.spec.Partitions == 0 {
+		r.writeSnapshot(name, ndb, e.demo)
+	}
 	return e.sessions, nil
 }
 

@@ -187,6 +187,23 @@ type httpError struct {
 
 func (e *httpError) Error() string { return e.err.Error() }
 
+// HTTPError wraps err so ServeJSON reports it with the given HTTP status
+// instead of the default classification. The cluster coordinator uses it to
+// surface upstream shard failures as gateway errors.
+func HTTPError(status int, err error) error { return &httpError{status, err} }
+
+// ErrorStatus reports the HTTP status a HTTPError-wrapped error carries
+// (ok=false for any other error). The cluster coordinator uses it to tell a
+// shard's deterministic rejection, which must propagate, from a transient
+// failure, which triggers the replica.
+func ErrorStatus(err error) (status int, ok bool) {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status, true
+	}
+	return 0, false
+}
+
 // Handler returns the HTTP/JSON front end of the service:
 //
 //	POST   /v1/query               unified query endpoint: one typed request
@@ -299,6 +316,17 @@ func (s *Service) handleIngest(r *http.Request) (*IngestResponse, error) {
 		return nil, fmt.Errorf("decoding body: %w", err)
 	}
 	return s.IngestSessions(&req)
+}
+
+// ServeJSON runs fn and writes its result as indented JSON, mapping errors
+// to statuses: parse/validation failures are the client's fault (400),
+// failures while evaluating an accepted request are ours (500), catalog
+// misses and collisions get their idiomatic REST statuses, and HTTPError
+// overrides win. Every JSON endpoint of the service — and of the cluster
+// coordinator, which must stay byte-identical to it — responds through this
+// one function.
+func ServeJSON(w http.ResponseWriter, fn func() (any, error)) {
+	serveJSON(w, fn)
 }
 
 func serveJSON(w http.ResponseWriter, fn func() (any, error)) {

@@ -47,8 +47,10 @@ type V1Request struct {
 	AggAttr string `json:"agg_attr,omitempty"`
 	// PerSession includes per-session probabilities in the result.
 	PerSession bool `json:"per_session,omitempty"`
-	// Stream switches a single topk request to an NDJSON response that
-	// emits one session row per line (not valid in a batch).
+	// Stream switches a single request to an NDJSON response that emits one
+	// session row per line: the topk rows for kind topk, the per-session
+	// probabilities for kinds bool, count and countdist (not valid in a
+	// batch, or for kind aggregate).
 	Stream bool `json:"stream,omitempty"`
 }
 
@@ -71,6 +73,19 @@ type AggregateJSON struct {
 	Avg *float64 `json:"avg,omitempty"`
 	// Sessions counts sessions with a defined attribute value.
 	Sessions int `json:"sessions"`
+	// Rows lists the per-session (probability, value) terms the aggregates
+	// fold over, in session order; included only with per_session set. A
+	// distributed coordinator refolds concatenated partition rows through
+	// ppd.FoldAggregateRows, reproducing Sum/Count/Avg bit-for-bit.
+	Rows []AggRowJSON `json:"rows,omitempty"`
+}
+
+// AggRowJSON is the wire form of one session's aggregation term.
+type AggRowJSON struct {
+	// Prob is the session's satisfaction probability.
+	Prob float64 `json:"prob"`
+	// Value is the session's numeric attribute value.
+	Value float64 `json:"value"`
 }
 
 // CountDistJSON is the wire form of an exact count distribution.
@@ -134,6 +149,13 @@ type V1Response struct {
 	Batch *BatchJSON `json:"batch,omitempty"`
 }
 
+// ToRequest converts the wire request into the typed ppd.Request, with the
+// same validation (and error texts) the /v1/query handler applies. The
+// cluster coordinator validates incoming requests through it so a malformed
+// request is rejected identically whether it hits a shard or the
+// coordinator.
+func (vr *V1Request) ToRequest() (*ppd.Request, error) { return vr.toRequest() }
+
 // toRequest converts the wire request into the typed ppd.Request.
 func (vr *V1Request) toRequest() (*ppd.Request, error) {
 	kind, err := ppd.ParseKind(vr.Kind)
@@ -160,6 +182,13 @@ func (vr *V1Request) toRequest() (*ppd.Request, error) {
 	}
 	req.Deadline = time.Duration(vr.TimeoutMS) * time.Millisecond
 	return req, nil
+}
+
+// NewV1Result converts a unified response into its wire form, the same
+// conversion the /v1/query handler applies. The cluster coordinator reuses
+// it so shard-local and merged answers share one serialization.
+func NewV1Result(resp *ppd.Response, perSession bool) V1Result {
+	return v1Result(resp, perSession)
 }
 
 // v1Result converts a unified response into its wire form.
@@ -204,6 +233,11 @@ func v1Result(resp *ppd.Response, perSession bool) V1Result {
 		if !math.IsNaN(a.Avg) {
 			avg := a.Avg
 			out.Aggregate.Avg = &avg
+		}
+		if perSession {
+			for _, r := range a.Rows {
+				out.Aggregate.Rows = append(out.Aggregate.Rows, AggRowJSON{Prob: r.Prob, Value: r.Value})
+			}
 		}
 	}
 	if d := resp.Dist; d != nil {
@@ -292,13 +326,16 @@ func (s *Service) v1Batch(ctx context.Context, body V1Body) (*V1Response, error)
 
 // v1Stream answers one request as NDJSON: the first line is the V1Result
 // summary (diagnostics and plan included, session rows elided), each
-// following line is one session row, flushed as produced so consumers read
-// results incrementally. A client disconnect (or the request deadline)
+// following line is one session row — the topk rows for kind topk, the
+// per-session probabilities otherwise — flushed as produced so consumers
+// read results incrementally. A client disconnect (or the request deadline)
 // stops the stream between rows with a final {"error": ...} line.
 func (s *Service) v1Stream(w http.ResponseWriter, r *http.Request, req *ppd.Request) {
-	if req.Kind != ppd.KindTopK {
+	switch req.Kind {
+	case ppd.KindTopK, ppd.KindBool, ppd.KindCount, ppd.KindCountDist:
+	default:
 		serveJSON(w, func() (any, error) {
-			return nil, fmt.Errorf("stream is only valid for kind topk, not %s", req.Kind)
+			return nil, fmt.Errorf("stream is not valid for kind %s (topk, bool, count and countdist stream session rows)", req.Kind)
 		})
 		return
 	}

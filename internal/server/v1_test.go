@@ -140,7 +140,7 @@ func TestV1QueryErrors(t *testing.T) {
 		{`{"kind":"bool","query":` + jsonStr(doDemoQuery) + `,"k":3}`, "only valid for kind topk"},
 		{`{"kind":"topk","query":` + jsonStr(doDemoQuery) + `}`, "requires K"},
 		{`{"kind":"bool","query":` + jsonStr(doDemoQuery) + `,"timeout_ms":-1}`, "timeout_ms"},
-		{`{"kind":"bool","query":` + jsonStr(doDemoQuery) + `,"stream":true}`, "only valid for kind topk"},
+		{`{"kind":"aggregate","query":` + jsonStr(doDemoQuery) + `,"agg_rel":"r","agg_attr":"a","stream":true}`, "not valid for kind aggregate"},
 		{`{"bogus":1}`, "unknown field"},
 		{`{"requests":[{"kind":"bool","query":"x"}],"kind":"bool"}`, "must not mix"},
 		{`{"requests":[{"kind":"bool","query":"x"}],"model":"polls"}`, "must not mix"},

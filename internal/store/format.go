@@ -117,6 +117,21 @@ type metaJSON struct {
 	// Prefs holds every p-relation sorted by name; the order fixes each
 	// relation's window in the session columns.
 	Prefs []prefJSON `json:"prefs"`
+	// Partition, when present, marks a partition file holding the contiguous
+	// session range ppd.PartitionRange(total, Index, Count) of every
+	// p-relation; each pref then records its full-model session count in
+	// Total. Absent (and omitted from the JSON) in whole-model files, so
+	// files written before the field existed decode unchanged.
+	Partition *partitionJSON `json:"partition,omitempty"`
+}
+
+// partitionJSON identifies which slice of the full model a partition file
+// holds.
+type partitionJSON struct {
+	// Index is the partition number, 0 <= Index < Count.
+	Index int `json:"index"`
+	// Count is the total number of partitions the model was split into.
+	Count int `json:"count"`
 }
 
 type relationJSON struct {
@@ -129,6 +144,11 @@ type prefJSON struct {
 	Name         string   `json:"name"`
 	SessionAttrs []string `json:"attrs"`
 	Sessions     int      `json:"sessions"`
+	// Total is the full-model session count of the p-relation; set (non-zero
+	// sessions permitting) only in partition files, where Sessions counts
+	// just this file's slice and must equal the PartitionRange window of
+	// Total.
+	Total int `json:"total,omitempty"`
 }
 
 // tri returns the number of packed insertion-matrix entries per session,

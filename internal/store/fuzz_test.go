@@ -40,6 +40,12 @@ func FuzzStoreOpen(f *testing.F) {
 	short := bytes.Clone(valid)
 	binary.LittleEndian.PutUint64(short[16:], 1<<40) // absurd declared size
 	f.Add(short)
+	// A partitioned header seeds the mutator at the range-boundary checks.
+	var pbuf bytes.Buffer
+	if err := store.WritePartition(&pbuf, db, demo, 1, 2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(pbuf.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := store.OpenBytes(data)

@@ -28,6 +28,11 @@ type Store struct {
 	data     []byte
 	unmap    func() error
 
+	// part/parts record which slice of the full model this store serves:
+	// stamped from the partition header of a partition file, or by
+	// OpenPartition's range restriction. parts == 0 means a whole model.
+	part, parts int
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -60,8 +65,44 @@ func OpenBytes(data []byte) (*Store, error) {
 	return decode(data)
 }
 
+// OpenPartition maps a whole-model file at path and restricts it to
+// partition part of parts: the returned store's database serves only the
+// sessions in ppd.PartitionRange(n, part, parts) of each p-relation. The
+// mapping is demand-paged, so a shard opening its partition this way never
+// faults in the other partitions' session columns. The file must not itself
+// be a partition file (open that with Open; its header already fixes the
+// slice it holds).
+func OpenPartition(path string, part, parts int) (*Store, error) {
+	s, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, ok := s.Partition(); ok {
+		s.Close()
+		return nil, fmt.Errorf("%w: OpenPartition of a partition file", ErrFormat)
+	}
+	pdb, err := ppd.PartitionDB(s.db, part, parts)
+	if err != nil {
+		s.Close()
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	total := 0
+	for _, p := range pdb.Prefs {
+		total += p.Sessions.Len()
+	}
+	s.db, s.sessions, s.part, s.parts = pdb, total, part, parts
+	return s, nil
+}
+
 // DB returns the snapshot's database. Valid until Close.
 func (s *Store) DB() *ppd.DB { return s.db }
+
+// Partition reports which slice of the full model the store serves: the
+// partition index and count from a partition file's header or from an
+// OpenPartition restriction. ok is false for a whole-model store.
+func (s *Store) Partition() (part, parts int, ok bool) {
+	return s.part, s.parts, s.parts > 0
+}
 
 // Demo returns the demo query recorded in the snapshot (may be empty).
 func (s *Store) Demo() string { return s.demo }
@@ -201,6 +242,31 @@ func wire(meta *metaJSON, secs [nSections]section, data []byte) (*Store, error) 
 		total += uint64(p.Sessions)
 		totalKeys += uint64(p.Sessions) * uint64(len(p.SessionAttrs))
 	}
+	if meta.Partition == nil {
+		for _, p := range meta.Prefs {
+			if p.Total != 0 {
+				return nil, fmt.Errorf("%w: p-relation %q declares partition total %d without a partition header", ErrFormat, p.Name, p.Total)
+			}
+		}
+	} else {
+		pt := meta.Partition
+		if pt.Count < 1 || pt.Count > maxSessions || pt.Index < 0 || pt.Index >= pt.Count {
+			return nil, fmt.Errorf("%w: partition %d of %d out of range", ErrFormat, pt.Index, pt.Count)
+		}
+		for _, p := range meta.Prefs {
+			if p.Total < 0 || uint64(p.Total) > maxSessions {
+				return nil, fmt.Errorf("%w: p-relation %q partition total %d out of range", ErrFormat, p.Name, p.Total)
+			}
+			// The slice a partition file may hold is fully determined by
+			// (Total, Index, Count); a mismatched session count means the
+			// range boundary was corrupted and reassembly would drop or
+			// duplicate sessions.
+			lo, hi := ppd.PartitionRange(p.Total, pt.Index, pt.Count)
+			if p.Sessions != hi-lo {
+				return nil, fmt.Errorf("%w: p-relation %q holds %d sessions, partition %d/%d of %d spans %d", ErrFormat, p.Name, p.Sessions, pt.Index, pt.Count, p.Total, hi-lo)
+			}
+		}
+	}
 	if total > maxSessions {
 		return nil, fmt.Errorf("%w: %d sessions exceed the format limit", ErrFormat, total)
 	}
@@ -293,7 +359,11 @@ func wire(meta *metaJSON, secs [nSections]section, data []byte) (*Store, error) 
 			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 		}
 	}
-	return &Store{db: db, demo: meta.Demo, sessions: int(total), data: data}, nil
+	s := &Store{db: db, demo: meta.Demo, sessions: int(total), data: data}
+	if meta.Partition != nil {
+		s.part, s.parts = meta.Partition.Index, meta.Partition.Count
+	}
+	return s, nil
 }
 
 // verifySessions checks the structural invariants the solvers rely on:

@@ -39,9 +39,27 @@ func main() {
 	}
 	valid := buf.Bytes()
 
+	var pbuf bytes.Buffer
+	if err := store.WritePartition(&pbuf, db, demo, 1, 2); err != nil {
+		log.Fatal(err)
+	}
+	part := pbuf.Bytes()
+
 	mut := func(f func(c []byte)) []byte {
 		c := bytes.Clone(valid)
 		f(c)
+		return c
+	}
+	// pmut edits the partition file's meta JSON in place (same-length
+	// replacement, checksums left stale on purpose — the mutator explores
+	// both the checksum and, via further mutation, the structural paths).
+	pmut := func(old, new string) []byte {
+		c := bytes.Clone(part)
+		i := bytes.Index(c, []byte(old))
+		if i < 0 {
+			log.Fatalf("partition meta does not contain %q", old)
+		}
+		copy(c[i:], new)
 		return c
 	}
 	entries := map[string][]byte{
@@ -58,6 +76,16 @@ func main() {
 		"bad_payload":   mut(func(c []byte) { c[len(c)-1] ^= 1 }),
 		"truncated_mid": valid[:len(valid)/2],
 		"header_only":   valid[:40],
+
+		// Partitioned headers: a valid partition file plus range-boundary
+		// corruptions of the partition index, count and full-model total.
+		"valid_partition":     part,
+		"partition_bad_index": pmut(`"index":1,"count":2`, `"index":7,"count":2`),
+		"partition_bad_count": pmut(`"index":1,"count":2`, `"index":1,"count":0`),
+		"partition_bad_range": pmut(`"index":1,"count":2`, `"index":0,"count":2`),
+		"partition_bad_total": pmut(`"total":3`, `"total":9`),
+		"partition_no_header": pmut(`"partition":{`, `"partitioX":{`),
+		"partition_truncated": part[:len(part)/2],
 	}
 	for name, data := range entries {
 		path := filepath.Join(dir, name)

@@ -21,7 +21,47 @@ import (
 // every session (key arity, permutation reference, stochastic insertion
 // rows) before emitting the first byte.
 func Write(w io.Writer, db *ppd.DB, demo string) error {
-	l, err := planLayout(db, demo)
+	return write(w, db, demo, nil)
+}
+
+// WritePartition serializes partition part of parts of db to w: a
+// standalone .ppds file holding only the contiguous session range
+// ppd.PartitionRange(n, part, parts) of each p-relation, stamped with a
+// partition header recording (part, parts) and each p-relation's full
+// session count. A shard then maps just its slice of the model; writing all
+// parts and concatenating their sessions in partition order reproduces the
+// full model bit-identically.
+func WritePartition(w io.Writer, db *ppd.DB, demo string, part, parts int) error {
+	pdb, ps, err := partitionFor(db, part, parts)
+	if err != nil {
+		return err
+	}
+	return write(w, pdb, demo, ps)
+}
+
+// partitionFor slices db for WritePartition and records the full-model
+// session totals the partition header declares.
+func partitionFor(db *ppd.DB, part, parts int) (*ppd.DB, *partSpec, error) {
+	pdb, err := ppd.PartitionDB(db, part, parts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	ps := &partSpec{index: part, count: parts, totals: make(map[string]int, len(db.Prefs))}
+	for name, p := range db.Prefs {
+		ps.totals[name] = p.Sessions.Len()
+	}
+	return pdb, ps, nil
+}
+
+// partSpec carries WritePartition's header contribution into planLayout.
+type partSpec struct {
+	index, count int
+	totals       map[string]int // p-relation name → full-model session count
+}
+
+// write is the shared serialization core of Write and WritePartition.
+func write(w io.Writer, db *ppd.DB, demo string, ps *partSpec) error {
+	l, err := planLayout(db, demo, ps)
 	if err != nil {
 		return err
 	}
@@ -80,7 +120,19 @@ func Write(w io.Writer, db *ppd.DB, demo string) error {
 // WriteFile atomically writes db to path: the snapshot is assembled in a
 // temporary file in the same directory, fsynced, and renamed into place, so
 // a crashed or failed write never leaves a partial file visible at path.
-func WriteFile(path string, db *ppd.DB, demo string) (err error) {
+func WriteFile(path string, db *ppd.DB, demo string) error {
+	return writeFileWith(path, func(w io.Writer) error { return Write(w, db, demo) })
+}
+
+// WritePartitionFile atomically writes partition part of parts of db to
+// path, with the same temp+fsync+rename discipline as WriteFile.
+func WritePartitionFile(path string, db *ppd.DB, demo string, part, parts int) error {
+	return writeFileWith(path, func(w io.Writer) error { return WritePartition(w, db, demo, part, parts) })
+}
+
+// writeFileWith runs emit against a temporary file and renames it into
+// place on success.
+func writeFileWith(path string, emit func(io.Writer) error) (err error) {
 	f, err := os.CreateTemp(filepath.Dir(path), ".ppds-tmp-*")
 	if err != nil {
 		return err
@@ -93,7 +145,7 @@ func WriteFile(path string, db *ppd.DB, demo string) (err error) {
 		}
 	}()
 	bw := bufio.NewWriterSize(f, 1<<16)
-	if err = Write(bw, db, demo); err != nil {
+	if err = emit(bw); err != nil {
 		return err
 	}
 	if err = bw.Flush(); err != nil {
@@ -119,8 +171,9 @@ type layout struct {
 	secLen [nSections]uint64
 }
 
-// planLayout validates db and computes the section layout.
-func planLayout(db *ppd.DB, demo string) (*layout, error) {
+// planLayout validates db and computes the section layout. A non-nil ps
+// stamps the meta section with the partition header.
+func planLayout(db *ppd.DB, demo string, ps *partSpec) (*layout, error) {
 	if db == nil || db.ItemRelation == nil {
 		return nil, fmt.Errorf("store: nil database")
 	}
@@ -131,6 +184,9 @@ func planLayout(db *ppd.DB, demo string) (*layout, error) {
 	l := &layout{db: db, m: m, tri: tri(m)}
 
 	mj := metaJSON{M: m, Demo: demo, Items: db.ItemRelation.Name}
+	if ps != nil {
+		mj.Partition = &partitionJSON{Index: ps.index, Count: ps.count}
+	}
 	relNames := make([]string, 0, len(db.Relations))
 	for name := range db.Relations {
 		if name != db.ItemRelation.Name {
@@ -182,7 +238,11 @@ func planLayout(db *ppd.DB, demo string) (*layout, error) {
 		total += uint64(n)
 		totalKeys += uint64(n) * uint64(len(p.SessionAttrs))
 		l.prefs = append(l.prefs, p)
-		mj.Prefs = append(mj.Prefs, prefJSON{Name: p.Name, SessionAttrs: p.SessionAttrs, Sessions: n})
+		pj := prefJSON{Name: p.Name, SessionAttrs: p.SessionAttrs, Sessions: n}
+		if ps != nil {
+			pj.Total = ps.totals[name]
+		}
+		mj.Prefs = append(mj.Prefs, pj)
 	}
 	if total > maxSessions {
 		return nil, fmt.Errorf("store: %d sessions exceed the format limit %d", total, uint64(maxSessions))
