@@ -12,9 +12,9 @@
 //	experiments -list
 //	experiments -fig 4
 //	experiments -fig all -scale paper
-//	experiments -bench -benchtime 100ms -benchout BENCH_PR6.json
-//	experiments -bench -benchcompare BENCH_PR4.json            # fresh run vs old report
-//	experiments -benchcompare BENCH_PR4.json,BENCH_PR5.json    # file vs file
+//	experiments -bench -benchtime 100ms -benchout BENCH_PR9.json
+//	experiments -bench -benchcompare BENCH_PR6.json            # fresh run vs old report
+//	experiments -benchcompare BENCH_PR6.json,BENCH_PR9.json    # file vs file
 //	experiments -bench -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
@@ -34,7 +34,7 @@ import (
 // benchComparePrefixes are the case families gated by -benchcompare; the
 // rest of the registry (sampling, planner end-to-end) is archived for
 // trend-watching but too noisy for a hard gate.
-var benchComparePrefixes = []string{"solver/*", "do/*"}
+var benchComparePrefixes = []string{"solver/*", "do/*", "consensus/*"}
 
 // benchMaxRegress fails the compare when a gated case slows down (or grows
 // its allocations) by more than this fraction.
@@ -47,8 +47,8 @@ func main() {
 		list       = flag.Bool("list", false, "list available figures and exit")
 		runBench   = flag.Bool("bench", false, "run the benchmark regression harness instead of figures")
 		benchTime  = flag.Duration("benchtime", 100*time.Millisecond, "minimum measurement time per benchmark")
-		benchOut   = flag.String("benchout", "BENCH_PR6.json", "benchmark report path ('-' for stdout)")
-		benchCmp   = flag.String("benchcompare", "", "compare benchmark reports and fail on >25% regression of solver/* or do/* cases: OLD.json (against a fresh -bench run) or OLD.json,NEW.json (file vs file)")
+		benchOut   = flag.String("benchout", "BENCH_PR9.json", "benchmark report path ('-' for stdout)")
+		benchCmp   = flag.String("benchcompare", "", "compare benchmark reports and fail on >25% regression of solver/*, do/* or consensus/* cases: OLD.json (against a fresh -bench run) or OLD.json,NEW.json (file vs file)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)

@@ -8,6 +8,7 @@
 //	hardq -dataset crowdrank -workers 500 -mode topk -k 5 -bound 1
 //	hardq -dataset figure1 -mode countdist
 //	hardq -dataset figure1 -mode aggregate -agg-rel C -agg-attr age
+//	hardq -dataset figure1 -mode consensus -target median
 //	hardq -dataset figure1 -query 'P(_,_; a; b), C(a,_,F,_,_,_) | P(_,_; a; b), C(a,D,_,_,JD,_)'
 //	hardq -manifest examples/registry/manifest.json -model polls-small
 //
@@ -32,11 +33,22 @@ import (
 	"strings"
 	"time"
 
+	"probpref/internal/consensus"
 	"probpref/internal/dataset"
 	"probpref/internal/ppd"
 	"probpref/internal/registry"
 	"probpref/internal/server"
 )
+
+// consensusRanking renders a consensus ranking as its item keys, best
+// first.
+func consensusRanking(c *ppd.ConsensusResult) string {
+	keys := make([]string, len(c.Ranking))
+	for i, it := range c.Ranking {
+		keys[i] = c.Domain[it]
+	}
+	return strings.Join(keys, " > ")
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -74,7 +86,8 @@ func run(args []string, out io.Writer) error {
 		method   = fs.String("method", "auto", "solver: "+strings.Join(ppd.MethodNames(), " | "))
 		deadline = fs.Duration("deadline", 0, "per-run latency budget; implies -method adaptive (unless one is forced): groups whose predicted exact cost exceeds the remaining budget are sampled with reported error bars")
 		mode     = fs.String("mode", "bool", "query kind: "+strings.Join(ppd.KindNames(), " | "))
-		k        = fs.Int("k", 3, "k for -mode topk")
+		target   = fs.String("target", "", "consensus answer for -mode consensus: "+strings.Join(consensus.TargetNames(), " | "))
+		k        = fs.Int("k", 3, "k for -mode topk, or the cutoff of -target topk")
 		bound    = fs.Int("bound", 1, "upper-bound edges for topk (0 = naive)")
 		aggRel   = fs.String("agg-rel", "", "aggregate: o-relation providing the aggregated attribute")
 		aggAttr  = fs.String("agg-attr", "", "aggregate: numeric attribute to aggregate")
@@ -160,6 +173,9 @@ func run(args []string, out io.Writer) error {
 	if kind == ppd.KindAggregate && (*aggRel == "" || *aggAttr == "") {
 		return fmt.Errorf("-mode aggregate requires -agg-rel and -agg-attr")
 	}
+	if kind == ppd.KindConsensus && *target == "" {
+		return fmt.Errorf("-mode consensus requires -target (%s)", strings.Join(consensus.TargetNames(), " | "))
+	}
 	// The whole CLI answers through the unified request: one Do call per
 	// evaluation, whatever the kind.
 	req := &ppd.Request{Kind: kind, Queries: uq.Disjuncts}
@@ -168,6 +184,13 @@ func run(args []string, out io.Writer) error {
 		req.K, req.BoundEdges = *k, *bound
 	case ppd.KindAggregate:
 		req.AggRel, req.AggAttr = *aggRel, *aggAttr
+	case ppd.KindConsensus:
+		if req.ConsensusTarget, err = consensus.ParseTarget(*target); err != nil {
+			return err
+		}
+		if req.ConsensusTarget == consensus.TargetTopK {
+			req.K = *k
+		}
 	}
 	if _, err := req.Compile(); err != nil {
 		return err
@@ -289,6 +312,36 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "aggregate %s.%s over satisfying sessions:\n", *aggRel, *aggAttr)
 		fmt.Fprintf(out, "  E[sum] = %.6g  E[count] = %.6g  avg = %.6g  (%d sessions carry a value)\n",
 			agg.Sum, agg.Count, agg.Avg, agg.Sessions)
+	case ppd.KindConsensus:
+		c := resp.Consensus
+		how := "exact"
+		if c.Sampled {
+			how = fmt.Sprintf("sampled, %d draws, %d accepted", c.Samples, c.Accepts)
+		}
+		fmt.Fprintf(out, "consensus %s over %d live sessions (%s):\n", c.Target, c.LiveSessions, how)
+		switch c.Target {
+		case consensus.TargetMAP:
+			fmt.Fprintf(out, "  ranking %s  Pr = %.6g\n", consensusRanking(c), c.Prob)
+		case consensus.TargetMedian:
+			fmt.Fprintf(out, "  ranking %s  E[Kendall tau] = %.6g\n", consensusRanking(c), c.ExpectedTau)
+		case consensus.TargetTopK:
+			for i, it := range c.Items {
+				band := ""
+				if c.Sampled {
+					band = fmt.Sprintf(" ± %.3g (95%%)", it.Half)
+				}
+				fmt.Fprintf(out, "  %2d. %s  Pr(top-%d) = %.6g%s\n", i+1, c.Domain[it.Item], *k, it.Prob, band)
+			}
+		}
+		if *verbose {
+			for _, row := range c.Rows {
+				if row.Sampled {
+					fmt.Fprintf(out, "  session %v: %d/%d draws accepted\n", row.Session, row.Accepts, row.Draws)
+				} else {
+					fmt.Fprintf(out, "  session %v: mass %.6g\n", row.Session, row.Weight)
+				}
+			}
+		}
 	}
 	if solveCache != nil {
 		st := solveCache.Stats()

@@ -384,6 +384,9 @@ func TestAPIDocEndpointsCovered(t *testing.T) {
 		// unified /v1/query surface
 		"kind", "query", "method", "k", "bound", "seed",
 		"agg_rel", "agg_attr", "stream", "requests",
+		// consensus surface
+		"target", "ranking", "expected_tau", "pairwise", "pair_half_width",
+		"half_width", "items", "domain", "sampled",
 		// coordinator surface
 		"cluster", "partial", "failed_partitions", "owner", "replica",
 		"excluded", "hedge_wins", "degraded",
@@ -412,6 +415,9 @@ func TestAPIDocEndpointsCovered(t *testing.T) {
 		`{"kind": "topk", "query": ` + strconv.Quote(demoQuery) + `, "model": "figure1", "k": 2, "bound": 1}`,
 		`{"kind": "aggregate", "query": ` + strconv.Quote(demoQuery) + `, "model": "figure1", "agg_rel": "V", "agg_attr": "age"}`,
 		`{"kind": "countdist", "query": ` + strconv.Quote(demoQuery) + `, "model": "figure1"}`,
+		`{"kind": "consensus", "query": ` + strconv.Quote(demoQuery) + `, "model": "figure1", "target": "map"}`,
+		`{"kind": "consensus", "query": ` + strconv.Quote(demoQuery) + `, "model": "figure1", "target": "median", "per_session": true}`,
+		`{"kind": "consensus", "query": ` + strconv.Quote(demoQuery) + `, "model": "figure1", "target": "topk", "k": 2, "method": "rejection", "seed": 7}`,
 		`{"requests": [{"kind": "bool", "query": ` + strconv.Quote(demoQuery) + `, "model": "figure1"}]}`,
 		`{"kind": "topk", "query": ` + strconv.Quote(demoQuery) + `, "model": "figure1", "k": 2, "stream": true}`,
 	} {

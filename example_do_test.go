@@ -61,5 +61,5 @@ func ExampleRequest_Compile() {
 	}
 	// Output:
 	// ppd: K is only valid for kind topk, not bool
-	// unknown kind "topsecret" (valid: bool | count | topk | aggregate | countdist)
+	// unknown kind "topsecret" (valid: bool | count | topk | aggregate | countdist | consensus)
 }

@@ -1,17 +1,19 @@
 // Package bench is the benchmark regression harness: a fixed set of named
-// micro-benchmarks over the solver, sampling, planner and service hot
-// paths, runnable outside `go test` so cmd/experiments can emit a
-// machine-readable report (BENCH_PR6.json; earlier PRs archived
-// BENCH_PR2.json, BENCH_PR4.json and BENCH_PR5.json with the same format)
-// for CI to archive and compare across PRs. The do/* cases measure the
-// unified request API against the legacy entry points it wraps, so any
-// regression from the Do indirection shows up as a ratio drift between the
-// paired cases; the solver/* cases gate the packed-state DP core — the
-// solver/batched-* pairs additionally gate the compile-once / solve-many
-// layer, whose acceptance ratio is loop/batched — and every
-// measurement also reports allocations per op so steady-state allocation
-// regressions (a recycled arena that stops being recycled) fail the
-// compare step like time regressions do.
+// micro-benchmarks over the solver, sampling, planner, consensus and
+// service hot paths, runnable outside `go test` so cmd/experiments can emit
+// a machine-readable report (BENCH_PR9.json; earlier PRs archived
+// BENCH_PR2.json, BENCH_PR4.json, BENCH_PR5.json and BENCH_PR6.json with
+// the same format) for CI to archive and compare across PRs. The do/* cases
+// measure the unified request API against the legacy entry points it wraps,
+// so any regression from the Do indirection shows up as a ratio drift
+// between the paired cases; the solver/* cases gate the packed-state DP
+// core — the solver/batched-* pairs additionally gate the compile-once /
+// solve-many layer, whose acceptance ratio is loop/batched — the
+// consensus/* cases gate the rank-aggregation serving path (exact
+// enumeration fold, sampled fold, top-k bands), and every measurement also
+// reports allocations per op so steady-state allocation regressions (a
+// recycled arena that stops being recycled) fail the compare step like
+// time regressions do.
 package bench
 
 import (
@@ -25,6 +27,7 @@ import (
 	"runtime"
 	"time"
 
+	"probpref/internal/consensus"
 	"probpref/internal/dataset"
 	"probpref/internal/ppd"
 	"probpref/internal/rank"
@@ -115,6 +118,21 @@ func Cases() ([]Case, error) {
 	}
 	doReq := &ppd.Request{Kind: ppd.KindBool, Query: batchQueries[0]}
 	compileReq := &ppd.Request{Kind: ppd.KindTopK, Query: batchQueries[0], K: 3, BoundEdges: 1}
+
+	// Consensus fixtures: the exact path enumerates m! rankings per session
+	// over figure1 (m=4) and folds the sufficient statistics; the sampled
+	// path draws a fixed 512 rankings per session and folds counters. The
+	// sampled request pins a seed so it measures one reproducible stream
+	// instead of reseeding noise.
+	consensusEng := &ppd.Engine{DB: db, Method: ppd.MethodAuto}
+	consensusSampledEng := &ppd.Engine{DB: db, Method: ppd.MethodRejection,
+		RejectionN: 512, Rng: rand.New(rand.NewSource(1))}
+	consensusMedianReq := &ppd.Request{Kind: ppd.KindConsensus, Query: batchQueries[0],
+		ConsensusTarget: consensus.TargetMedian}
+	consensusMedianSampledReq := &ppd.Request{Kind: ppd.KindConsensus, Query: batchQueries[0],
+		ConsensusTarget: consensus.TargetMedian, Seed: 1}
+	consensusTopKReq := &ppd.Request{Kind: ppd.KindConsensus, Query: batchQueries[0],
+		ConsensusTarget: consensus.TargetTopK, K: 2}
 
 	// Compile-once / solve-many fixtures: one compiled plan per union shape
 	// and 64 session models sharing its reference ranking (a Mallows phi
@@ -265,6 +283,20 @@ func Cases() ([]Case, error) {
 		}},
 		{"do/service-batch-8", func(int) error {
 			_, err := svc.DoBatch(context.Background(), batchRequests)
+			return err
+		}},
+		// Consensus serving costs: exact enumeration + fold, the same fold
+		// fed by rejection sampling, and the top-k band construction.
+		{"consensus/median-exact", func(int) error {
+			_, err := consensusEng.Do(context.Background(), consensusMedianReq)
+			return err
+		}},
+		{"consensus/median-sampled", func(int) error {
+			_, err := consensusSampledEng.Do(context.Background(), consensusMedianSampledReq)
+			return err
+		}},
+		{"consensus/topk", func(int) error {
+			_, err := consensusEng.Do(context.Background(), consensusTopKReq)
 			return err
 		}},
 		// Grouped batch at a 100% plan-cache hit rate (solve cache off, so

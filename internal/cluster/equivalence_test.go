@@ -19,7 +19,10 @@ import (
 // distributions re-convolved, NDJSON streams interleaved in session order.
 
 // equivalenceBodies is the request matrix checked for byte identity: all
-// five kinds, per-session variants, union queries, and a batch.
+// six kinds, per-session variants, union queries, and a batch. Consensus
+// covers all three targets; the sampled variant carries a seed, because the
+// per-session sampling streams are derived from the request seed and only a
+// seeded request is reproducible across tiers at all.
 func equivalenceBodies() []string {
 	q := demoQuery
 	u := unionQuery
@@ -32,7 +35,12 @@ func equivalenceBodies() []string {
 		fmt.Sprintf(`{"kind":"countdist","query":%q,"per_session":true}`, q),
 		fmt.Sprintf(`{"kind":"aggregate","query":%q,"agg_rel":"V","agg_attr":"age"}`, q),
 		fmt.Sprintf(`{"kind":"aggregate","query":%q,"agg_rel":"V","agg_attr":"age","per_session":true}`, u),
-		fmt.Sprintf(`{"requests":[{"kind":"bool","query":%q},{"kind":"topk","query":%q,"k":2},{"kind":"count","query":%q},{"kind":"aggregate","query":%q,"agg_rel":"V","agg_attr":"age"},{"kind":"countdist","query":%q}]}`, q, u, q, q, u),
+		fmt.Sprintf(`{"kind":"consensus","query":%q,"target":"map"}`, q),
+		fmt.Sprintf(`{"kind":"consensus","query":%q,"target":"median","per_session":true}`, q),
+		fmt.Sprintf(`{"kind":"consensus","query":%q,"target":"topk","k":2}`, u),
+		fmt.Sprintf(`{"kind":"consensus","query":%q,"target":"median","method":"rejection","seed":5}`, q),
+		fmt.Sprintf(`{"kind":"consensus","query":%q,"target":"topk","k":2,"method":"rejection","seed":11,"per_session":true}`, q),
+		fmt.Sprintf(`{"requests":[{"kind":"bool","query":%q},{"kind":"topk","query":%q,"k":2},{"kind":"count","query":%q},{"kind":"aggregate","query":%q,"agg_rel":"V","agg_attr":"age"},{"kind":"countdist","query":%q},{"kind":"consensus","query":%q,"target":"median"}]}`, q, u, q, q, u, q),
 	}
 }
 
@@ -85,6 +93,9 @@ func TestClusterEquivalenceErrors(t *testing.T) {
 		fmt.Sprintf(`{"kind":"topk","query":%q,"k":3,"requests":[{"kind":"bool","query":%q}]}`, demoQuery, demoQuery),
 		fmt.Sprintf(`{"requests":[{"kind":"bool","query":%q,"stream":true}]}`, demoQuery),
 		fmt.Sprintf(`{"kind":"aggregate","query":%q,"agg_rel":"V","agg_attr":"age","stream":true}`, demoQuery),
+		fmt.Sprintf(`{"kind":"consensus","query":%q,"stream":true}`, demoQuery),
+		fmt.Sprintf(`{"kind":"consensus","query":%q,"target":"kemeny"}`, demoQuery),
+		fmt.Sprintf(`{"kind":"consensus","query":%q,"target":"median","stream":true}`, demoQuery),
 	} {
 		h.checkEqual(body)
 	}

@@ -112,6 +112,18 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 		server.ServeJSON(w, func() (any, error) { return nil, err })
 		return
 	}
+	// The stream allowlist is checked before Compile, matching the shard's
+	// validation order so both tiers report the same first error.
+	if body.Stream {
+		switch req.Kind {
+		case ppd.KindTopK, ppd.KindBool, ppd.KindCount, ppd.KindCountDist:
+		default:
+			server.ServeJSON(w, func() (any, error) {
+				return nil, fmt.Errorf("stream is not valid for kind %s (topk, bool, count and countdist stream session rows)", req.Kind)
+			})
+			return
+		}
+	}
 	cr, err := req.Compile()
 	if err != nil {
 		server.ServeJSON(w, func() (any, error) { return nil, err })
@@ -392,14 +404,6 @@ func (c *Coordinator) doBatch(ctx context.Context, body server.V1Body) (*Respons
 // incremental value is emission, not evaluation; a client disconnect stops
 // the stream between rows with a final {"error": ...} line.
 func (c *Coordinator) stream(w http.ResponseWriter, r *http.Request, vr server.V1Request, cr *ppd.CompiledRequest) {
-	switch cr.Kind {
-	case ppd.KindTopK, ppd.KindBool, ppd.KindCount, ppd.KindCountDist:
-	default:
-		server.ServeJSON(w, func() (any, error) {
-			return nil, fmt.Errorf("stream is not valid for kind %s (topk, bool, count and countdist stream session rows)", cr.Kind)
-		})
-		return
-	}
 	// Mirror the shard: one deadline governs the whole exchange, so the
 	// per-request timeout is armed here and not forwarded downstream.
 	ctx := r.Context()

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"probpref/internal/consensus"
 	"probpref/internal/ppd"
 	"probpref/internal/server"
 )
@@ -97,6 +98,37 @@ func mergeResults(kind ppd.Kind, k int, parts []*server.V1Result) (*ResultJSON, 
 		}
 		out.Top = tops
 		out.Plan = mergePlans(parts)
+	case ppd.KindConsensus:
+		// Partition rows concatenate in partition order (= session order)
+		// and the coordinator re-solves them through the same fold a single
+		// process runs; the target and item domain are partition-invariant,
+		// so the first surviving partition supplies them.
+		var rows []consensus.Row
+		var target string
+		var domain []string
+		found := false
+		for _, p := range parts {
+			if p == nil {
+				continue
+			}
+			if p.Consensus == nil {
+				return nil, fmt.Errorf("cluster: consensus partition answer missing consensus section")
+			}
+			if !found {
+				found = true
+				target = p.Consensus.Target
+				domain = p.Consensus.Domain
+			}
+			rows = append(rows, p.Consensus.Rows...)
+		}
+		if !found {
+			return nil, fmt.Errorf("cluster: consensus merge has no partition answers")
+		}
+		merged, err := server.MergeConsensus(target, domain, k, rows)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		out.Consensus = merged
 	case ppd.KindAggregate:
 		var rows []ppd.AggRow
 		for _, p := range parts {
@@ -192,6 +224,11 @@ func stripRows(res *ResultJSON, perSession bool) *ResultJSON {
 		agg := *out.Aggregate
 		agg.Rows = nil
 		out.Aggregate = &agg
+	}
+	if out.Consensus != nil && out.Consensus.Rows != nil {
+		cj := *out.Consensus
+		cj.Rows = nil
+		out.Consensus = &cj
 	}
 	return &out
 }

@@ -1,0 +1,519 @@
+// Package consensus computes consensus answers over a population of
+// probabilistic rankings: the single deterministic ranking (or top-k set)
+// that best represents a distribution of possible rankings, following
+// Li & Deshpande's "consensus answer" framing — the deterministic answer
+// minimizing the expected distance to the random possible answers, with
+// Kendall tau as the distance between rankings.
+//
+// The package is deliberately split from the evaluation engine: the engine
+// (internal/ppd) reduces a consensus request to one Row of sufficient
+// statistics per live session — exact permutation-enumeration numerators
+// for small item counts, rejection-sampling counters otherwise — and Solve
+// folds the rows into the answer. Because the fold is a deterministic
+// sequential pass in session order and every cross-session quantity is
+// either an integer counter or re-derived from the rows centrally, a
+// coordinator that concatenates per-partition rows in session order and
+// calls the same Solve reproduces a single process byte for byte (see
+// internal/cluster's merge).
+//
+// Three targets are served: the most-probable (MAP) ranking of the
+// posterior, the expected-Kendall-tau median ranking, and consensus top-k
+// membership probabilities with certainty bands.
+package consensus
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"probpref/internal/rank"
+)
+
+// Target selects which consensus answer a request asks for.
+type Target int
+
+const (
+	// TargetNone is the zero value: no target chosen (invalid in a
+	// compiled request; Compile rejects it with an enumerating error).
+	TargetNone Target = iota
+	// TargetMAP asks for the most-probable ranking of the conditioned
+	// posterior, with its probability.
+	TargetMAP
+	// TargetMedian asks for the ranking minimizing the expected Kendall
+	// tau distance to the population, with the pairwise-marginal matrix
+	// behind it.
+	TargetMedian
+	// TargetTopK asks for per-item top-k membership probabilities with
+	// certainty bands, trimmed to the k most certain members.
+	TargetTopK
+)
+
+// String returns the canonical target name (the form ParseTarget accepts
+// and the HTTP API serves).
+func (t Target) String() string {
+	switch t {
+	case TargetNone:
+		return "none"
+	case TargetMAP:
+		return "map"
+	case TargetMedian:
+		return "median"
+	case TargetTopK:
+		return "topk"
+	}
+	return fmt.Sprintf("target(%d)", int(t))
+}
+
+// TargetNames lists the canonical target names ParseTarget accepts, in the
+// order the CLIs and the HTTP API document them.
+func TargetNames() []string { return []string{"map", "median", "topk"} }
+
+// ParseTarget resolves a target name (as printed by Target.String) to its
+// Target; it is the shared parser of the CLI -target flag and the HTTP
+// "target" field. The error of an unknown name enumerates the valid names.
+func ParseTarget(s string) (Target, error) {
+	switch strings.ToLower(s) {
+	case "map":
+		return TargetMAP, nil
+	case "median":
+		return TargetMedian, nil
+	case "topk", "top-k":
+		return TargetTopK, nil
+	}
+	return 0, fmt.Errorf("unknown consensus target %q (valid: %s)", s, strings.Join(TargetNames(), " | "))
+}
+
+// MaxExactM is the largest item count for which exact consensus answers
+// enumerate all m! rankings (and the median search runs exhaustive
+// branch-and-bound). Beyond it the engine routes to sampling and the
+// median solve to deterministic local search.
+const MaxExactM = 7
+
+// Row is the sufficient statistic of one live session for one consensus
+// target: everything Solve needs, normalized only at fold time so rows
+// from different partitions concatenate without any floating-point merge.
+// Exact rows carry probability-mass numerators over the session's
+// conditioned posterior; sampled rows carry rejection-sampling counters.
+// Only the fields of the requested target are populated.
+type Row struct {
+	// Session holds the session-key attribute values identifying the row.
+	Session []string `json:"session"`
+	// Sampled marks a rejection-sampling row (counters instead of mass).
+	Sampled bool `json:"sampled,omitempty"`
+	// Weight is the session's conditioning mass Z_s = sum over matching
+	// rankings of Pr(tau); exact rows only, always > 0.
+	Weight float64 `json:"weight,omitempty"`
+	// Draws counts the Monte Carlo draws of a sampled row.
+	Draws int64 `json:"draws,omitempty"`
+	// Accepts counts the draws matching the conditioning union; sampled
+	// rows with zero accepts are dropped (they carry no information).
+	Accepts int64 `json:"accepts,omitempty"`
+	// Pair holds the m*m pairwise numerators of a median row:
+	// Pair[a*m+b] = Pr(a before b and U) (exact rows).
+	Pair []float64 `json:"pair,omitempty"`
+	// PairN holds the pairwise accept counters of a sampled median row.
+	PairN []int64 `json:"pair_n,omitempty"`
+	// Top holds the m top-k membership numerators of a topk row:
+	// Top[i] = Pr(item i within the first k positions and U) (exact rows).
+	Top []float64 `json:"top,omitempty"`
+	// TopN holds the top-k membership counters of a sampled topk row.
+	TopN []int64 `json:"top_n,omitempty"`
+	// Mode maps ranking keys (rank.Ranking.Key) to their conditioned mass
+	// Pr(tau and U) for a MAP row (exact rows).
+	Mode map[string]float64 `json:"mode,omitempty"`
+	// ModeN maps ranking keys to accept counters of a sampled MAP row.
+	ModeN map[string]int64 `json:"mode_n,omitempty"`
+}
+
+// Params configures a Solve.
+type Params struct {
+	// Target selects the consensus answer.
+	Target Target
+	// M is the item count of the model (ranking length).
+	M int
+	// K is the top-k cutoff (TargetTopK only).
+	K int
+	// Z is the normal CI multiplier for sampled certainty bands
+	// (0 = 1.96, the 95% band).
+	Z float64
+}
+
+// Item is one entry of a consensus top-k answer.
+type Item struct {
+	// Item is the model-internal item id.
+	Item rank.Item
+	// Prob is the population probability the item ranks within the top k.
+	Prob float64
+	// Half is the 95% confidence half-width of Prob (0 for exact rows).
+	Half float64
+}
+
+// Result is a consensus answer. Which sections are populated depends on
+// the target: Ranking and Prob for MAP; Ranking, ExpectedTau, Pairwise
+// (and PairHalf when sampled) for median; Items for topk.
+type Result struct {
+	// Target echoes the requested target.
+	Target Target
+	// Sampled reports whether the rows were rejection-sampled.
+	Sampled bool
+	// LiveSessions counts the rows (sessions with positive conditioned
+	// mass / at least one accepted draw).
+	LiveSessions int
+	// Samples totals the Monte Carlo draws across rows (sampled only).
+	Samples int64
+	// Accepts totals the accepted draws across rows (sampled only).
+	Accepts int64
+	// Ranking is the consensus ranking (MAP and median targets).
+	Ranking rank.Ranking
+	// ExpectedTau is the expected Kendall tau distance of Ranking to the
+	// population (median target).
+	ExpectedTau float64
+	// Prob is the population probability of Ranking (MAP target).
+	Prob float64
+	// Pairwise is the m x m population pairwise-marginal matrix:
+	// Pairwise[a][b] = Pr(a before b) (median target).
+	Pairwise [][]float64
+	// PairHalf carries the 95% half-widths of sampled Pairwise entries.
+	PairHalf [][]float64
+	// Items is the consensus top-k, most certain first (topk target).
+	Items []Item
+}
+
+// Solve folds per-session rows into the consensus answer. The fold is a
+// deterministic sequential pass in row order, so callers on both sides of
+// a fan-out/merge boundary must present rows in the same (session) order
+// to obtain byte-identical answers. Zero rows yield an empty (but valid)
+// Result rather than an error, so a partition without live sessions merges
+// cleanly.
+func Solve(rows []Row, p Params) (*Result, error) {
+	if p.Target < TargetMAP || p.Target > TargetTopK {
+		return nil, fmt.Errorf("consensus: unknown target %d (valid: %s)", int(p.Target), strings.Join(TargetNames(), " | "))
+	}
+	if p.M < 1 {
+		return nil, fmt.Errorf("consensus: M must be >= 1, got %d", p.M)
+	}
+	if p.Target == TargetTopK && p.K < 1 {
+		return nil, fmt.Errorf("consensus: target topk requires K >= 1, got %d", p.K)
+	}
+	z := p.Z
+	if z == 0 {
+		z = 1.96
+	}
+	res := &Result{Target: p.Target, LiveSessions: len(rows)}
+	for i := range rows {
+		r := &rows[i]
+		if r.Sampled {
+			res.Sampled = true
+			res.Samples += r.Draws
+			res.Accepts += r.Accepts
+		}
+	}
+	if len(rows) == 0 {
+		return res, nil
+	}
+	switch p.Target {
+	case TargetMAP:
+		if err := solveMAP(rows, p, res); err != nil {
+			return nil, err
+		}
+	case TargetMedian:
+		solveMedian(rows, p, z, res)
+	case TargetTopK:
+		solveTopK(rows, p, z, res)
+	}
+	return res, nil
+}
+
+// solveMAP scores every ranking observed in any row's mode map — score =
+// mean over sessions of the conditioned probability — and returns the
+// argmax. Keys are scored in sorted order with a strictly-greater update,
+// so ties resolve to the smallest key regardless of map iteration order.
+func solveMAP(rows []Row, p Params, res *Result) error {
+	seen := make(map[string]bool)
+	for i := range rows {
+		for k := range rows[i].Mode {
+			seen[k] = true
+		}
+		for k := range rows[i].ModeN {
+			seen[k] = true
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	n := float64(len(rows))
+	bestKey, bestScore := "", math.Inf(-1)
+	for _, key := range keys {
+		s := 0.0
+		for i := range rows {
+			r := &rows[i]
+			if r.Sampled {
+				if c, ok := r.ModeN[key]; ok {
+					s += float64(c) / float64(r.Accepts)
+				}
+			} else if m, ok := r.Mode[key]; ok {
+				s += m / r.Weight
+			}
+		}
+		s /= n
+		if s > bestScore {
+			bestKey, bestScore = key, s
+		}
+	}
+	tau, err := parseRankingKey(bestKey, p.M)
+	if err != nil {
+		return err
+	}
+	res.Ranking = tau
+	res.Prob = bestScore
+	return nil
+}
+
+// solveMedian folds the population pairwise-marginal matrix and minimizes
+// the expected Kendall tau over it: exhaustive branch-and-bound up to
+// MaxExactM items, deterministic Borda-seeded adjacent-swap local search
+// beyond.
+func solveMedian(rows []Row, p Params, z float64, res *Result) {
+	m := p.M
+	pw := matrix(m)
+	n := float64(len(rows))
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			if a == b {
+				continue
+			}
+			s := 0.0
+			for i := range rows {
+				r := &rows[i]
+				if r.Sampled {
+					s += float64(r.PairN[a*m+b]) / float64(r.Accepts)
+				} else {
+					s += r.Pair[a*m+b] / r.Weight
+				}
+			}
+			pw[a][b] = s / n
+		}
+	}
+	res.Pairwise = pw
+	if res.Sampled {
+		half := matrix(m)
+		for a := 0; a < m; a++ {
+			for b := 0; b < m; b++ {
+				if a == b {
+					continue
+				}
+				v := 0.0
+				for i := range rows {
+					r := &rows[i]
+					acc := float64(r.Accepts)
+					ph := float64(r.PairN[a*m+b]) / acc
+					v += ph * (1 - ph) / acc
+				}
+				half[a][b] = z * math.Sqrt(v) / n
+			}
+		}
+		res.PairHalf = half
+	}
+	var tau rank.Ranking
+	if m <= MaxExactM {
+		tau = medianExact(pw, m)
+	} else {
+		tau = medianLocalSearch(pw, m)
+	}
+	res.Ranking = tau
+	res.ExpectedTau = rank.ExpectedKendallTau(pw, tau)
+}
+
+// boundSlack absorbs floating-point rounding in the branch-and-bound lower
+// bound: a branch is pruned only when its bound beats the incumbent by
+// more than the slack, so rounding can never prune the true minimizer and
+// the search returns exactly the brute-force answer.
+const boundSlack = 1e-9
+
+// medianExact finds the expected-Kendall-tau-minimizing ranking by
+// branch-and-bound over prefixes. Candidates extend in ascending item
+// order and the incumbent updates only on strictly smaller cost, so the
+// result is the lexicographically smallest minimizer; the incremental
+// prefix cost adds terms in exactly ExpectedKendallTau's fold order, so
+// the reported minimum is bit-identical to evaluating every permutation
+// with ExpectedKendallTau and keeping the smallest.
+func medianExact(pw [][]float64, m int) rank.Ranking {
+	best := math.Inf(1)
+	bestTau := make(rank.Ranking, m)
+	tau := make(rank.Ranking, 0, m)
+	used := make([]bool, m)
+	var dfs func(cost float64)
+	dfs = func(cost float64) {
+		j := len(tau)
+		if j == m {
+			if cost < best {
+				best = cost
+				copy(bestTau, tau)
+			}
+			return
+		}
+		for e := 0; e < m; e++ {
+			if used[e] {
+				continue
+			}
+			// Same addition order as ExpectedKendallTau: position j's
+			// terms pw[tau[j]][tau[i]] for i ascending.
+			c := cost
+			for i := 0; i < j; i++ {
+				c += pw[e][tau[i]]
+			}
+			if bound := c + completionBound(pw, m, used, tau, e); bound > best+boundSlack {
+				continue
+			}
+			used[e] = true
+			tau = append(tau, rank.Item(e))
+			dfs(c)
+			tau = tau[:j]
+			used[e] = false
+		}
+	}
+	dfs(0)
+	return bestTau
+}
+
+// completionBound is an admissible lower bound on the cost still to come
+// after placing item e on top of the current prefix: pairs between an
+// unplaced item and a placed one are forced (the unplaced item ends up
+// after), pairs among unplaced items contribute at least the smaller of
+// their two orientations.
+func completionBound(pw [][]float64, m int, used []bool, tau rank.Ranking, e int) float64 {
+	b := 0.0
+	for f := 0; f < m; f++ {
+		if used[f] || f == e {
+			continue
+		}
+		for _, p := range tau {
+			b += pw[f][p]
+		}
+		b += pw[f][e]
+		for g := f + 1; g < m; g++ {
+			if used[g] || g == e {
+				continue
+			}
+			b += math.Min(pw[f][g], pw[g][f])
+		}
+	}
+	return b
+}
+
+// medianLocalSearch seeds a ranking by descending Borda score (row sums of
+// the pairwise matrix, ties to the smaller item) and improves it with
+// deterministic left-to-right adjacent-swap sweeps until a fixpoint. The
+// search is a heuristic — the exact minimization is NP-hard in general —
+// but fully deterministic, so replicas and coordinators agree exactly.
+func medianLocalSearch(pw [][]float64, m int) rank.Ranking {
+	type scored struct {
+		item  int
+		score float64
+	}
+	sc := make([]scored, m)
+	for i := 0; i < m; i++ {
+		s := 0.0
+		for j := 0; j < m; j++ {
+			s += pw[i][j]
+		}
+		sc[i] = scored{i, s}
+	}
+	sort.SliceStable(sc, func(a, b int) bool {
+		if sc[a].score != sc[b].score {
+			return sc[a].score > sc[b].score
+		}
+		return sc[a].item < sc[b].item
+	})
+	tau := make(rank.Ranking, m)
+	for i, s := range sc {
+		tau[i] = rank.Item(s.item)
+	}
+	for sweep := 0; sweep < m*m; sweep++ {
+		improved := false
+		for i := 0; i+1 < m; i++ {
+			a, b := tau[i], tau[i+1]
+			// Current pair cost is Pr(b before a); swapped it is
+			// Pr(a before b).
+			if pw[a][b] < pw[b][a] {
+				tau[i], tau[i+1] = b, a
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return tau
+}
+
+// solveTopK folds per-item top-k membership probabilities (with sampled
+// certainty bands) and trims to the k most probable members, ties to the
+// smaller item id.
+func solveTopK(rows []Row, p Params, z float64, res *Result) {
+	m := p.M
+	n := float64(len(rows))
+	items := make([]Item, m)
+	for i := 0; i < m; i++ {
+		s, v := 0.0, 0.0
+		for ri := range rows {
+			r := &rows[ri]
+			if r.Sampled {
+				acc := float64(r.Accepts)
+				ph := float64(r.TopN[i]) / acc
+				s += ph
+				v += ph * (1 - ph) / acc
+			} else {
+				s += r.Top[i] / r.Weight
+			}
+		}
+		items[i] = Item{Item: rank.Item(i), Prob: s / n}
+		if res.Sampled {
+			items[i].Half = z * math.Sqrt(v) / n
+		}
+	}
+	sort.SliceStable(items, func(a, b int) bool {
+		if items[a].Prob != items[b].Prob {
+			return items[a].Prob > items[b].Prob
+		}
+		return items[a].Item < items[b].Item
+	})
+	k := p.K
+	if k > m {
+		k = m
+	}
+	res.Items = items[:k]
+}
+
+// matrix allocates an m x m zero matrix.
+func matrix(m int) [][]float64 {
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = make([]float64, m)
+	}
+	return out
+}
+
+// parseRankingKey parses a rank.Ranking.Key string ("2,0,1") back into the
+// ranking, validating it is a permutation of 0..m-1.
+func parseRankingKey(key string, m int) (rank.Ranking, error) {
+	parts := strings.Split(key, ",")
+	if len(parts) != m {
+		return nil, fmt.Errorf("consensus: ranking key %q has %d items, want %d", key, len(parts), m)
+	}
+	tau := make(rank.Ranking, m)
+	seen := make([]bool, m)
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v >= m || seen[v] {
+			return nil, fmt.Errorf("consensus: ranking key %q is not a permutation of 0..%d", key, m-1)
+		}
+		seen[v] = true
+		tau[i] = rank.Item(v)
+	}
+	return tau, nil
+}

@@ -1,0 +1,302 @@
+package consensus
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"probpref/internal/rank"
+)
+
+func TestParseTargetRoundTrip(t *testing.T) {
+	for _, name := range TargetNames() {
+		tgt, err := ParseTarget(name)
+		if err != nil {
+			t.Fatalf("ParseTarget(%q): %v", name, err)
+		}
+		if tgt.String() != name {
+			t.Errorf("ParseTarget(%q).String() = %q", name, tgt.String())
+		}
+	}
+	if tgt, err := ParseTarget("top-k"); err != nil || tgt != TargetTopK {
+		t.Errorf("ParseTarget(top-k) = %v, %v", tgt, err)
+	}
+	if _, err := ParseTarget("kemeny"); err == nil {
+		t.Error("ParseTarget(kemeny): want error")
+	} else if !strings.Contains(err.Error(), "map | median | topk") {
+		t.Errorf("error does not enumerate targets: %v", err)
+	}
+	if got := TargetNone.String(); got != "none" {
+		t.Errorf("TargetNone.String() = %q", got)
+	}
+	if got := Target(9).String(); got != "target(9)" {
+		t.Errorf("Target(9).String() = %q", got)
+	}
+}
+
+// randomPairwise builds a consistent marginal matrix (pw[a][b]+pw[b][a]=1).
+func randomPairwise(m int, rng *rand.Rand) [][]float64 {
+	pw := matrix(m)
+	for a := 0; a < m; a++ {
+		for b := a + 1; b < m; b++ {
+			p := rng.Float64()
+			pw[a][b], pw[b][a] = p, 1-p
+		}
+	}
+	return pw
+}
+
+// bruteMedian evaluates every permutation with ExpectedKendallTau and keeps
+// the strictly smallest cost; Heap's order visits the identity first and
+// each candidate is compared with <, so ties keep the earliest-visited
+// ranking. The branch-and-bound must reproduce the cost bit for bit and an
+// equally-minimal ranking.
+func bruteMedian(pw [][]float64, m int) (rank.Ranking, float64) {
+	best := math.Inf(1)
+	var bestTau rank.Ranking
+	rank.ForEachPermutation(m, func(tau rank.Ranking) bool {
+		if c := rank.ExpectedKendallTau(pw, tau); c < best {
+			best = c
+			bestTau = append(rank.Ranking(nil), tau...)
+		}
+		return true
+	})
+	return bestTau, best
+}
+
+// TestMedianExactMatchesBruteForce: for every m up to MaxExactM, the
+// branch-and-bound minimum must equal exhaustive enumeration's minimum
+// bit for bit (not within epsilon) across many random matrices.
+func TestMedianExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for m := 1; m <= MaxExactM; m++ {
+		trials := 40
+		if m >= 6 {
+			trials = 10
+		}
+		for trial := 0; trial < trials; trial++ {
+			pw := randomPairwise(m, rng)
+			got := medianExact(pw, m)
+			_, wantCost := bruteMedian(pw, m)
+			gotCost := rank.ExpectedKendallTau(pw, got)
+			if gotCost != wantCost {
+				t.Fatalf("m=%d trial %d: B&B cost %v (%v), brute force %v (bitwise)", m, trial, gotCost, got, wantCost)
+			}
+		}
+	}
+}
+
+// TestMedianExactTieBreak: with an all-ties matrix (every orientation 0.5)
+// the branch-and-bound must return the lexicographically smallest ranking,
+// the identity.
+func TestMedianExactTieBreak(t *testing.T) {
+	const m = 5
+	pw := matrix(m)
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			if a != b {
+				pw[a][b] = 0.5
+			}
+		}
+	}
+	got := medianExact(pw, m)
+	for i, it := range got {
+		if int(it) != i {
+			t.Fatalf("tie-break ranking %v, want identity", got)
+		}
+	}
+}
+
+// TestMedianLocalSearchDeterministic: the heuristic beyond MaxExactM must
+// be a pure function of the matrix and must not worsen the Borda seed.
+func TestMedianLocalSearchDeterministic(t *testing.T) {
+	const m = 10
+	pw := randomPairwise(m, rand.New(rand.NewSource(3)))
+	a := medianLocalSearch(pw, m)
+	b := medianLocalSearch(pw, m)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("local search not deterministic: %v vs %v", a, b)
+		}
+	}
+	seen := make([]bool, m)
+	for _, it := range a {
+		seen[it] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("item %d missing from %v", i, a)
+		}
+	}
+	// On a small instance the heuristic should land on the true minimum of
+	// a strongly ordered matrix.
+	strong := matrix(5)
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			if x < y {
+				strong[x][y], strong[y][x] = 0.9, 0.1
+			}
+		}
+	}
+	got := medianLocalSearch(strong, 5)
+	want := medianExact(strong, 5)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("local search %v, exact %v on a strongly ordered matrix", got, want)
+		}
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(nil, Params{Target: TargetNone, M: 3}); err == nil {
+		t.Error("TargetNone: want error")
+	}
+	if _, err := Solve(nil, Params{Target: Target(5), M: 3}); err == nil {
+		t.Error("out-of-range target: want error")
+	}
+	if _, err := Solve(nil, Params{Target: TargetMAP, M: 0}); err == nil {
+		t.Error("M=0: want error")
+	}
+	if _, err := Solve(nil, Params{Target: TargetTopK, M: 3}); err == nil {
+		t.Error("topk without K: want error")
+	}
+}
+
+// TestSolveEmptyRows: zero rows are a valid empty answer, not an error —
+// the coordinator merges empty partitions through the same path.
+func TestSolveEmptyRows(t *testing.T) {
+	for _, tgt := range []Target{TargetMAP, TargetMedian, TargetTopK} {
+		res, err := Solve(nil, Params{Target: tgt, M: 4, K: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", tgt, err)
+		}
+		if res.LiveSessions != 0 || res.Sampled || res.Ranking != nil || res.Items != nil {
+			t.Fatalf("%v: empty solve produced %+v", tgt, res)
+		}
+	}
+}
+
+// exactRowFromModel builds the exact Row of a uniform two-ranking session.
+func exactRowFromModel(m int, target Target, k int, taus []rank.Ranking) Row {
+	row := Row{Session: []string{"s"}}
+	switch target {
+	case TargetMedian:
+		row.Pair = make([]float64, m*m)
+	case TargetTopK:
+		row.Top = make([]float64, m)
+	case TargetMAP:
+		row.Mode = make(map[string]float64)
+	}
+	p := 1.0 / float64(len(taus))
+	for _, tau := range taus {
+		row.Weight += p
+		switch target {
+		case TargetMedian:
+			for i := 0; i < m; i++ {
+				for j := i + 1; j < m; j++ {
+					row.Pair[int(tau[i])*m+int(tau[j])] += p
+				}
+			}
+		case TargetTopK:
+			for pos := 0; pos < k && pos < m; pos++ {
+				row.Top[tau[pos]] += p
+			}
+		case TargetMAP:
+			row.Mode[tau.Key()] += p
+		}
+	}
+	return row
+}
+
+// TestSolveMAPTieBreak: equal-probability modes resolve to the smallest
+// ranking key, independent of row or map iteration order.
+func TestSolveMAPTieBreak(t *testing.T) {
+	const m = 3
+	taus := []rank.Ranking{{2, 1, 0}, {0, 1, 2}}
+	rows := []Row{exactRowFromModel(m, TargetMAP, 0, taus)}
+	res, err := Solve(rows, Params{Target: TargetMAP, M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranking.Key() != "0,1,2" {
+		t.Fatalf("MAP tie resolved to %v, want 0,1,2", res.Ranking)
+	}
+	if res.Prob != 0.5 {
+		t.Fatalf("MAP prob %v, want 0.5", res.Prob)
+	}
+}
+
+// TestSolveTopK: membership probabilities fold as means over sessions and
+// trim to the k most probable items, ties to the smaller id.
+func TestSolveTopK(t *testing.T) {
+	const m, k = 3, 1
+	rows := []Row{
+		exactRowFromModel(m, TargetTopK, k, []rank.Ranking{{0, 1, 2}}),
+		exactRowFromModel(m, TargetTopK, k, []rank.Ranking{{1, 0, 2}}),
+	}
+	res, err := Solve(rows, Params{Target: TargetTopK, M: m, K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != k {
+		t.Fatalf("items %v, want %d entries", res.Items, k)
+	}
+	// Items 0 and 1 each lead in one of two sessions (prob 0.5 each); the
+	// tie goes to item 0.
+	if res.Items[0].Item != 0 || res.Items[0].Prob != 0.5 {
+		t.Fatalf("top item %+v, want item 0 at 0.5", res.Items[0])
+	}
+}
+
+// TestSolveSampledMergesCounters: sampled totals and the sampled flag fold
+// from the rows, and splitting the row list must not change the answer —
+// the property the coordinator's concatenate-and-re-solve merge relies on.
+func TestSolveSampledMergesCounters(t *testing.T) {
+	const m = 3
+	rows := []Row{
+		{Session: []string{"a"}, Sampled: true, Draws: 100, Accepts: 50,
+			PairN: []int64{0, 30, 40, 20, 0, 25, 10, 25, 0}},
+		{Session: []string{"b"}, Sampled: true, Draws: 100, Accepts: 20,
+			PairN: []int64{0, 10, 15, 10, 0, 12, 5, 8, 0}},
+	}
+	res, err := Solve(rows, Params{Target: TargetMedian, M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sampled || res.Samples != 200 || res.Accepts != 70 {
+		t.Fatalf("sampled fold wrong: %+v", res)
+	}
+	if res.PairHalf == nil {
+		t.Fatal("sampled median answer missing half-widths")
+	}
+	again, err := Solve(append([]Row(nil), rows...), Params{Target: TargetMedian, M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ExpectedTau != res.ExpectedTau || again.Ranking.Key() != res.Ranking.Key() {
+		t.Fatalf("re-solve diverged: %+v vs %+v", again, res)
+	}
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			if again.Pairwise[a][b] != res.Pairwise[a][b] {
+				t.Fatalf("pairwise[%d][%d] diverged", a, b)
+			}
+		}
+	}
+}
+
+func TestParseRankingKey(t *testing.T) {
+	tau, err := parseRankingKey("2,0,1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau.Key() != "2,0,1" {
+		t.Fatalf("round trip %v", tau)
+	}
+	for _, bad := range []string{"", "0,1", "0,1,3", "0,1,1", "x,1,2", "0,1,2,3"} {
+		if _, err := parseRankingKey(bad, 3); err == nil {
+			t.Errorf("parseRankingKey(%q): want error", bad)
+		}
+	}
+}

@@ -28,6 +28,7 @@ var lintedDirs = []string{
 	"internal/dataset",
 	"internal/store",
 	"internal/cluster",
+	"internal/consensus",
 }
 
 // repoRoot locates the repository root relative to this package.

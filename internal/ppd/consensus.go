@@ -1,0 +1,261 @@
+package ppd
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"probpref/internal/consensus"
+	"probpref/internal/pattern"
+	"probpref/internal/rank"
+)
+
+// This file is the engine side of the consensus query kind (Kind:
+// consensus, internal/consensus): it reduces the union-conditioned session
+// population to one consensus.Row of sufficient statistics per live
+// session — exact permutation enumeration when the item count (or an
+// adaptive budget) allows, per-session-seeded rejection sampling otherwise
+// — and folds the rows with consensus.Solve. Because rows are per-session
+// and the fold is sequential in session order, the cluster coordinator
+// reproduces this path byte-identically by concatenating per-partition
+// rows and re-solving centrally (internal/cluster's merge).
+
+// DefaultConsensusDraws is the per-session Monte Carlo draw count of a
+// sampled consensus evaluation when Engine.RejectionN is unset.
+const DefaultConsensusDraws = 2000
+
+// ConsensusResult is the consensus section of a Response: the folded
+// answer plus the item-key domain (decoding the model-internal item ids of
+// rankings and mode keys) and the per-session rows behind it. The rows
+// make the answer mergeable: a coordinator concatenates partition rows in
+// session order and re-solves, matching a single process bit for bit.
+type ConsensusResult struct {
+	// Result is the folded consensus answer.
+	consensus.Result
+	// Domain maps item ids to their catalog keys (Domain[i] names item i).
+	Domain []string
+	// Rows holds the per-session sufficient statistics in session order.
+	Rows []consensus.Row
+}
+
+// consensusUnion answers a consensus request: route exact or sampled,
+// build per-session rows, fold them. Sessions whose grounded union is
+// empty (structurally unsatisfiable) or whose conditioned mass/accept
+// count is zero are omitted — the population is "sessions that can
+// satisfy the query", mirroring the PerSession semantics of the
+// evaluation kinds.
+func (e *Engine) consensusUnion(ctx context.Context, cr *CompiledRequest) (*Response, error) {
+	sessions, ground, err := e.unionGround(cr.Union)
+	if err != nil {
+		return nil, err
+	}
+	m := e.DB.M()
+	exact, err := e.consensusRoute(ctx, m, sessions.Len())
+	if err != nil {
+		return nil, err
+	}
+	var rows []consensus.Row
+	if exact {
+		rows, err = e.consensusExactRows(ctx, sessions, ground, cr)
+	} else {
+		rows, err = e.consensusSampledRows(ctx, sessions, ground, cr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res, err := consensus.Solve(rows, consensus.Params{Target: cr.Target, M: m, K: cr.K})
+	if err != nil {
+		return nil, err
+	}
+	domain := make([]string, m)
+	for i := range domain {
+		domain[i] = e.DB.ItemKey(rank.Item(i))
+	}
+	return &Response{
+		Kind:      KindConsensus,
+		Consensus: &ConsensusResult{Result: *res, Domain: domain, Rows: rows},
+	}, nil
+}
+
+// consensusRoute decides exact enumeration vs rejection sampling. Exact
+// consensus evaluates all m! rankings per session, so it is capped at
+// consensus.MaxExactM items: an explicitly exact method beyond the cap is
+// an error, MethodAuto degrades to sampling, and MethodAdaptive
+// additionally compares EstimateConsensusCost against its budget.
+func (e *Engine) consensusRoute(ctx context.Context, m, sessions int) (bool, error) {
+	switch e.Method {
+	case MethodTwoLabel, MethodBipartite, MethodGeneral, MethodRelOrder:
+		if m > consensus.MaxExactM {
+			return false, fmt.Errorf("ppd: exact consensus enumerates m! rankings and m = %d exceeds the exact limit %d; use a sampling method or adaptive", m, consensus.MaxExactM)
+		}
+		return true, nil
+	case MethodMISAdaptive, MethodMISLite, MethodRejection:
+		return false, nil
+	case MethodAdaptive:
+		if m > consensus.MaxExactM {
+			return false, nil
+		}
+		return EstimateConsensusCost(m, sessions).States <= e.adaptiveBudget(ctx), nil
+	}
+	// MethodAuto (and anything Compile would have rejected).
+	return m <= consensus.MaxExactM, nil
+}
+
+// consensusExactRows enumerates every ranking of every live session,
+// accumulating the requested target's probability-mass numerators over
+// the rankings matching the session's grounded union.
+func (e *Engine) consensusExactRows(ctx context.Context, sessions SessionStore, ground func(*Session) (pattern.Union, error), cr *CompiledRequest) ([]consensus.Row, error) {
+	m := e.DB.M()
+	lab := e.DB.Labeling()
+	var rows []consensus.Row
+	for si, s := range sessions.All() {
+		if si&7 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		u, err := ground(s)
+		if err != nil {
+			return nil, err
+		}
+		if len(u) == 0 {
+			continue
+		}
+		row := consensus.Row{Session: s.Key}
+		switch cr.Target {
+		case consensus.TargetMedian:
+			row.Pair = make([]float64, m*m)
+		case consensus.TargetTopK:
+			row.Top = make([]float64, m)
+		case consensus.TargetMAP:
+			row.Mode = make(map[string]float64)
+		}
+		var stop error
+		count := 0
+		rank.ForEachPermutation(m, func(tau rank.Ranking) bool {
+			if count&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					stop = err
+					return false
+				}
+			}
+			count++
+			if !u.Matches(tau, lab) {
+				return true
+			}
+			p := s.Model.Prob(tau)
+			if p == 0 {
+				return true
+			}
+			row.Weight += p
+			switch cr.Target {
+			case consensus.TargetMedian:
+				for i := 0; i < m; i++ {
+					for j := i + 1; j < m; j++ {
+						row.Pair[int(tau[i])*m+int(tau[j])] += p
+					}
+				}
+			case consensus.TargetTopK:
+				for pos := 0; pos < cr.K && pos < m; pos++ {
+					row.Top[tau[pos]] += p
+				}
+			case consensus.TargetMAP:
+				row.Mode[tau.Key()] += p
+			}
+			return true
+		})
+		if stop != nil {
+			return nil, stop
+		}
+		if row.Weight > 0 {
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// consensusSampledRows estimates each live session's statistics by
+// rejection sampling: fixed draws per session (Engine.RejectionN, default
+// DefaultConsensusDraws) from the session's model, accepting rankings
+// that match its grounded union. Each session's RNG is seeded from a hash
+// of its key XORed with one base draw from the engine RNG, so the
+// counters depend only on (engine seed, session key) — not on which
+// process, partition or iteration order evaluates the session. That is
+// what makes sampled consensus answers byte-identical between a single
+// process and the sharded coordinator.
+func (e *Engine) consensusSampledRows(ctx context.Context, sessions SessionStore, ground func(*Session) (pattern.Union, error), cr *CompiledRequest) ([]consensus.Row, error) {
+	m := e.DB.M()
+	lab := e.DB.Labeling()
+	draws := e.RejectionN
+	if draws <= 0 {
+		draws = DefaultConsensusDraws
+	}
+	baseSeed := e.rng().Int63()
+	var rows []consensus.Row
+	for _, s := range sessions.All() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		u, err := ground(s)
+		if err != nil {
+			return nil, err
+		}
+		if len(u) == 0 {
+			continue
+		}
+		rng := rand.New(rand.NewSource(sessionSeed(baseSeed, s.Key)))
+		row := consensus.Row{Session: s.Key, Sampled: true, Draws: int64(draws)}
+		switch cr.Target {
+		case consensus.TargetMedian:
+			row.PairN = make([]int64, m*m)
+		case consensus.TargetTopK:
+			row.TopN = make([]int64, m)
+		case consensus.TargetMAP:
+			row.ModeN = make(map[string]int64)
+		}
+		for d := 0; d < draws; d++ {
+			if d&511 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			tau := s.Model.Sample(rng)
+			if !u.Matches(tau, lab) {
+				continue
+			}
+			row.Accepts++
+			switch cr.Target {
+			case consensus.TargetMedian:
+				for i := 0; i < m; i++ {
+					for j := i + 1; j < m; j++ {
+						row.PairN[int(tau[i])*m+int(tau[j])]++
+					}
+				}
+			case consensus.TargetTopK:
+				for pos := 0; pos < cr.K && pos < m; pos++ {
+					row.TopN[tau[pos]]++
+				}
+			case consensus.TargetMAP:
+				row.ModeN[tau.Key()]++
+			}
+		}
+		if row.Accepts > 0 {
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// sessionSeed derives a session's sampling seed from the request-level
+// base seed and the session key (FNV-1a over the NUL-joined key parts):
+// position-independent, so partitioned evaluation reproduces the
+// single-process draw streams exactly.
+func sessionSeed(baseSeed int64, key []string) int64 {
+	h := fnv.New64a()
+	for _, part := range key {
+		h.Write([]byte(part))
+		h.Write([]byte{0})
+	}
+	return baseSeed ^ int64(h.Sum64())
+}

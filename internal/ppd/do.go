@@ -81,6 +81,8 @@ func (e *Engine) DoCompiled(ctx context.Context, cr *CompiledRequest) (*Response
 		resp := evalResponse(KindCountDist, res)
 		resp.Dist = dist
 		return resp, nil
+	case KindConsensus:
+		return eng.consensusUnion(ctx, cr)
 	}
 	return nil, fmt.Errorf("ppd: unknown kind %v", cr.Kind)
 }

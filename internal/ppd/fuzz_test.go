@@ -3,6 +3,8 @@ package ppd
 import (
 	"strings"
 	"testing"
+
+	"probpref/internal/consensus"
 )
 
 // Native fuzz targets for the datalog-style query parser (go test -fuzz).
@@ -44,6 +46,51 @@ func FuzzParse(f *testing.F) {
 		}
 		if got := q2.String(); got != printed {
 			t.Fatalf("round-trip drift: %q -> %q (from %q)", printed, got, src)
+		}
+	})
+}
+
+// FuzzCompileRequest drives Request.Compile with arbitrary field
+// combinations — out-of-range kinds and consensus targets, hostile K /
+// BoundEdges / Seed values, malformed queries. The invariants are
+// crash-freedom and that every compiled request has a usable cache key.
+func FuzzCompileRequest(f *testing.F) {
+	const q = `P(_, _; a; b), C(a, _, F, _, _, _)`
+	seeds := []struct {
+		kind, target int
+		k, bound     int
+		seed         int64
+		query        string
+	}{
+		{int(KindBool), 0, 0, 0, 0, q},
+		{int(KindTopK), 0, 3, 1, 0, q},
+		{int(KindConsensus), int(consensus.TargetMAP), 0, 0, 0, q},
+		{int(KindConsensus), int(consensus.TargetMedian), 0, 0, 5, q},
+		{int(KindConsensus), int(consensus.TargetTopK), 2, 0, 0, q},
+		{int(KindConsensus), int(consensus.TargetTopK), -1, 0, 0, q},
+		{int(KindConsensus), 9, 0, 0, 0, q},
+		{int(KindConsensus), -1, 1 << 30, -5, -1, q},
+		{int(KindConsensus), int(consensus.TargetMedian), 7, 2, 0, "P("},
+		{-1, int(consensus.TargetMAP), 0, 0, 0, ""},
+	}
+	for _, s := range seeds {
+		f.Add(s.kind, s.target, s.k, s.bound, s.seed, s.query)
+	}
+	f.Fuzz(func(t *testing.T, kind, target, k, bound int, seed int64, query string) {
+		req := Request{
+			Kind:            Kind(kind),
+			ConsensusTarget: consensus.Target(target),
+			K:               k,
+			BoundEdges:      bound,
+			Seed:            seed,
+			Query:           query,
+		}
+		cr, err := req.Compile()
+		if err != nil {
+			return
+		}
+		if cr.Key() == "" {
+			t.Fatalf("compiled request %+v has an empty key", req)
 		}
 	})
 }

@@ -8,6 +8,7 @@ import (
 
 	"probpref/internal/label"
 	"probpref/internal/pattern"
+	"probpref/internal/rank"
 	"probpref/internal/rim"
 	"probpref/internal/sampling"
 	"probpref/internal/solver"
@@ -132,6 +133,21 @@ func EstimateBatchedCost(est CostEstimate, lanes int) CostEstimate {
 	}
 	est.States = est.States * (BatchedWalkFraction + BatchedLaneFraction*float64(lanes))
 	return est
+}
+
+// EstimateConsensusCost predicts the exact-enumeration work of a
+// consensus request alongside EstimateCost/EstimateBatchedCost: every
+// live session scores all m! rankings at O(m) insertion probabilities
+// each, so the predicted work is sessions * m! * m — comparable against
+// the same budgets (AdaptiveStatesPerSecond) the solver estimates use.
+// Solver is MethodAuto as a stand-in: exact consensus is enumeration, not
+// one of the DP solvers.
+func EstimateConsensusCost(m, sessions int) CostEstimate {
+	if m > 20 { // rank.Factorial's range; far beyond any budget anyway
+		return CostEstimate{Solver: methodNone, States: math.Inf(1)}
+	}
+	states := float64(sessions) * float64(rank.Factorial(m)) * float64(m)
+	return CostEstimate{Solver: MethodAuto, States: states}
 }
 
 // trackerCount counts the distinct (label set, role) slots the

@@ -6,6 +6,8 @@ import (
 	"iter"
 	"strings"
 	"time"
+
+	"probpref/internal/consensus"
 )
 
 // This file defines the unified request/response pair of the query API:
@@ -33,6 +35,11 @@ const (
 	// KindCountDist asks for the exact Poisson-binomial distribution of
 	// count(Q).
 	KindCountDist
+	// KindConsensus asks for a consensus answer over the union-conditioned
+	// session population — a MAP ranking, an expected-Kendall-tau median
+	// ranking, or consensus top-k membership with certainty bands —
+	// selected by Request.ConsensusTarget (internal/consensus).
+	KindConsensus
 )
 
 // String returns the canonical kind name (the form ParseKind accepts and
@@ -49,6 +56,8 @@ func (k Kind) String() string {
 		return "aggregate"
 	case KindCountDist:
 		return "countdist"
+	case KindConsensus:
+		return "consensus"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -56,7 +65,7 @@ func (k Kind) String() string {
 // KindNames lists the canonical kind names ParseKind accepts, in the order
 // the CLIs and the HTTP API document them.
 func KindNames() []string {
-	return []string{"bool", "count", "topk", "aggregate", "countdist"}
+	return []string{"bool", "count", "topk", "aggregate", "countdist", "consensus"}
 }
 
 // ParseKind resolves a kind name (as printed by Kind.String) to its Kind;
@@ -75,6 +84,8 @@ func ParseKind(s string) (Kind, error) {
 		return KindAggregate, nil
 	case "countdist", "count-dist":
 		return KindCountDist, nil
+	case "consensus":
+		return KindConsensus, nil
 	}
 	return 0, fmt.Errorf("unknown kind %q (valid: %s)", s, strings.Join(KindNames(), " | "))
 }
@@ -121,6 +132,10 @@ type Request struct {
 	// AggAttr names the numeric attribute of AggRel to aggregate
 	// (required for KindAggregate, rejected otherwise).
 	AggAttr string
+	// ConsensusTarget selects the consensus answer of a KindConsensus
+	// request — consensus.TargetMAP, TargetMedian or TargetTopK (required
+	// for KindConsensus, rejected otherwise; TargetTopK also requires K).
+	ConsensusTarget consensus.Target
 }
 
 // Compile validates the request and resolves it into its executable form.
@@ -129,7 +144,7 @@ type Request struct {
 // non-aggregate request, negative K/BoundEdges/Deadline — are rejected with
 // errors that enumerate the valid values where a closed set exists.
 func (r *Request) Compile() (*CompiledRequest, error) {
-	if r.Kind < KindBool || r.Kind > KindCountDist {
+	if r.Kind < KindBool || r.Kind > KindConsensus {
 		return nil, fmt.Errorf("ppd: unknown kind %d (valid: %s)", int(r.Kind), strings.Join(KindNames(), " | "))
 	}
 	if r.Method < MethodAuto || r.Method > MethodAdaptive {
@@ -159,15 +174,36 @@ func (r *Request) Compile() (*CompiledRequest, error) {
 	default:
 		return nil, fmt.Errorf("ppd: request has no query (set Query or Queries)")
 	}
-	if r.Kind == KindTopK {
+	if r.Kind == KindConsensus {
+		if r.ConsensusTarget == consensus.TargetNone {
+			return nil, fmt.Errorf("ppd: kind consensus requires a consensus target (valid: %s)", strings.Join(consensus.TargetNames(), " | "))
+		}
+		if r.ConsensusTarget < consensus.TargetMAP || r.ConsensusTarget > consensus.TargetTopK {
+			return nil, fmt.Errorf("ppd: unknown consensus target %d (valid: %s)", int(r.ConsensusTarget), strings.Join(consensus.TargetNames(), " | "))
+		}
+	} else if r.ConsensusTarget != consensus.TargetNone {
+		return nil, fmt.Errorf("ppd: ConsensusTarget is only valid for kind consensus, not %s", r.Kind)
+	}
+	switch {
+	case r.Kind == KindTopK:
 		if r.K < 1 {
 			return nil, fmt.Errorf("ppd: kind topk requires K >= 1, got %d", r.K)
 		}
 		if r.BoundEdges < 0 {
 			return nil, fmt.Errorf("ppd: BoundEdges must be non-negative, got %d", r.BoundEdges)
 		}
-	} else {
+	case r.Kind == KindConsensus && r.ConsensusTarget == consensus.TargetTopK:
+		if r.K < 1 {
+			return nil, fmt.Errorf("ppd: consensus target topk requires K >= 1, got %d", r.K)
+		}
+		if r.BoundEdges != 0 {
+			return nil, fmt.Errorf("ppd: BoundEdges is only valid for kind topk, not %s", r.Kind)
+		}
+	default:
 		if r.K != 0 {
+			if r.Kind == KindConsensus {
+				return nil, fmt.Errorf("ppd: K is only valid for consensus target topk, not %s", r.ConsensusTarget)
+			}
 			return nil, fmt.Errorf("ppd: K is only valid for kind topk, not %s", r.Kind)
 		}
 		if r.BoundEdges != 0 {
@@ -198,6 +234,7 @@ func (r *Request) Compile() (*CompiledRequest, error) {
 		Seed:       r.Seed,
 		AggRel:     r.AggRel,
 		AggAttr:    r.AggAttr,
+		Target:     r.ConsensusTarget,
 	}, nil
 }
 
@@ -233,6 +270,8 @@ type CompiledRequest struct {
 	Seed int64
 	// AggRel and AggAttr carry the aggregation target (empty otherwise).
 	AggRel, AggAttr string
+	// Target carries the consensus target (TargetNone otherwise).
+	Target consensus.Target
 }
 
 // Key returns the canonical identity of the compiled request: two requests
@@ -240,9 +279,9 @@ type CompiledRequest struct {
 // batch planners deduplicate on it and caches may key response entries off
 // it. The query part uses the union's canonical printed form.
 func (cr *CompiledRequest) Key() string {
-	return fmt.Sprintf("%s|%s|%s|k=%d|b=%d|d=%d|s=%d|%s.%s|%s",
+	return fmt.Sprintf("%s|%s|%s|k=%d|b=%d|d=%d|s=%d|t=%s|%s.%s|%s",
 		cr.Kind, cr.Model, cr.Method, cr.K, cr.BoundEdges, cr.Deadline, cr.Seed,
-		cr.AggRel, cr.AggAttr, cr.Union)
+		cr.Target, cr.AggRel, cr.AggAttr, cr.Union)
 }
 
 // Response is the unified answer of the query API: one struct carries the
@@ -277,6 +316,8 @@ type Response struct {
 	Plan *PlanStats
 	// Diag reports the work of a topk evaluation (topk kind).
 	Diag *TopKDiag
+	// Consensus is the consensus answer (consensus kind).
+	Consensus *ConsensusResult
 }
 
 // Sessions streams the response's per-session rows — the top-k answers for

@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"probpref/internal/consensus"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
@@ -58,6 +60,12 @@ func TestCompileErrorGolden(t *testing.T) {
 		{"aggregate union", Request{Kind: KindAggregate, AggRel: "V", AggAttr: "age",
 			Queries: MustParseUnion(`P(_, _; a; b), C(a, _, F, _, _, _) | P(_, _; a; b), C(a, D, _, _, _, _)`).Disjuncts}},
 		{"agg fields without aggregate", Request{Kind: KindBool, Queries: []*Query{q}, AggRel: "V", AggAttr: "age"}},
+		{"consensus without target", Request{Kind: KindConsensus, Queries: []*Query{q}}},
+		{"consensus unknown target", Request{Kind: KindConsensus, Queries: []*Query{q}, ConsensusTarget: consensus.Target(9)}},
+		{"target without consensus", Request{Kind: KindBool, Queries: []*Query{q}, ConsensusTarget: consensus.TargetMedian}},
+		{"consensus topk without k", Request{Kind: KindConsensus, Queries: []*Query{q}, ConsensusTarget: consensus.TargetTopK}},
+		{"consensus k without topk", Request{Kind: KindConsensus, Queries: []*Query{q}, ConsensusTarget: consensus.TargetMedian, K: 3}},
+		{"consensus bound", Request{Kind: KindConsensus, Queries: []*Query{q}, ConsensusTarget: consensus.TargetTopK, K: 2, BoundEdges: 1}},
 		{"negative deadline", Request{Kind: KindBool, Queries: []*Query{q}, Deadline: -time.Second}},
 		{"parse error passthrough", Request{Kind: KindBool, Query: "not a query("}},
 		{"invalid single query", Request{Kind: KindBool, Queries: []*Query{{}}}},
@@ -95,6 +103,9 @@ func TestCompileValidRequests(t *testing.T) {
 		{Kind: KindTopK, Query: `P(_, _; a; b), C(a, _, F, _, _, _)`, K: 1, BoundEdges: 2, Deadline: time.Second},
 		{Kind: KindAggregate, Query: `P(_, _; a; b), C(a, _, F, _, _, _)`, AggRel: "V", AggAttr: "age"},
 		{Kind: KindCountDist, Query: `P(_, _; a; b), C(a, _, F, _, _, _) | P(_, _; a; b), C(a, D, _, _, _, _)`},
+		{Kind: KindConsensus, Query: `P(_, _; a; b), C(a, _, F, _, _, _)`, ConsensusTarget: consensus.TargetMAP},
+		{Kind: KindConsensus, Query: `P(_, _; a; b), C(a, _, F, _, _, _)`, ConsensusTarget: consensus.TargetMedian, Seed: 5},
+		{Kind: KindConsensus, Query: `P(_, _; a; b), C(a, _, F, _, _, _)`, ConsensusTarget: consensus.TargetTopK, K: 2},
 	}
 	for i, req := range valid {
 		cr, err := req.Compile()
@@ -124,6 +135,7 @@ func TestCompiledRequestKey(t *testing.T) {
 		{Kind: KindTopK, Query: base.Query, K: 2, Method: MethodGeneral},
 		{Kind: KindTopK, Query: base.Query, K: 2, Seed: 9},
 		{Kind: KindTopK, Query: `P(_, _; a; b), C(a, D, _, _, _, _)`, K: 2},
+		{Kind: KindConsensus, Query: base.Query, ConsensusTarget: consensus.TargetTopK, K: 2},
 	}
 	baseKey := base.MustCompile().Key()
 	if got := same.MustCompile().Key(); got != baseKey {
@@ -133,6 +145,11 @@ func TestCompiledRequestKey(t *testing.T) {
 		if got := v.MustCompile().Key(); got == baseKey {
 			t.Errorf("variant %d collides with base key %q", i, baseKey)
 		}
+	}
+	med := Request{Kind: KindConsensus, Query: base.Query, ConsensusTarget: consensus.TargetMedian}
+	mp := Request{Kind: KindConsensus, Query: base.Query, ConsensusTarget: consensus.TargetMAP}
+	if med.MustCompile().Key() == mp.MustCompile().Key() {
+		t.Error("consensus requests differing only in target share a key")
 	}
 }
 

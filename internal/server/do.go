@@ -438,9 +438,12 @@ func (s *Service) doBatchFanOut(ctx context.Context, crs []*ppd.CompiledRequest,
 		// Exact methods answer independently of the sampler seed, so
 		// identical requests share one evaluation even though their derived
 		// seeds differ; seed-sensitive methods only dedup on an explicit
-		// shared seed (matching the legacy per-index seeding).
+		// shared seed (matching the legacy per-index seeding). Consensus
+		// requests are always seed-suffixed: even under MethodAuto the
+		// engine routes them to sampling when the item count exceeds the
+		// exact cap, so their answers may depend on the derived seed.
 		key := cr.Key()
-		if seedSensitive(s.effMethod(cr)) {
+		if seedSensitive(s.effMethod(cr)) || cr.Kind == ppd.KindConsensus {
 			key = fmt.Sprintf("%s#%d", key, seeds[ri])
 		}
 		if first, ok := firstOf[key]; ok {

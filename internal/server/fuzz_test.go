@@ -1,0 +1,55 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzConsensusRequest drives the wire-to-typed path of POST /v1/query
+// with arbitrary JSON bodies — hostile consensus targets, k values, seeds
+// and unknown fields. The invariant is crash-freedom: decoding, ToRequest
+// and Compile may reject the body but must never panic, and an accepted
+// request must produce a usable cache key. Seed inputs beyond the f.Add
+// calls live under testdata/fuzz/FuzzConsensusRequest.
+func FuzzConsensusRequest(f *testing.F) {
+	seeds := []string{
+		`{"kind":"consensus","query":"P(_, _; a; b), C(a, _, F, _, _, _)","target":"map"}`,
+		`{"kind":"consensus","query":"P(_, _; a; b), C(a, _, F, _, _, _)","target":"median","seed":5}`,
+		`{"kind":"consensus","query":"P(_, _; a; b), C(a, _, F, _, _, _)","target":"topk","k":2}`,
+		`{"kind":"consensus","query":"P(_;a;b)","target":"top-k","k":-1}`,
+		`{"kind":"consensus","query":"P(_;a;b)","target":"kemeny"}`,
+		`{"kind":"consensus","query":"P(_;a;b)"}`,
+		`{"kind":"consensus","target":"median"}`,
+		`{"kind":"bool","query":"P(_;a;b)","target":"median"}`,
+		`{"kind":"consensus","query":"P(_;a;b)","target":"median","k":9223372036854775807}`,
+		`{"kind":"consensus","query":"P(_;a;b)","target":"topk","k":1073741824,"bound":-3,"timeout_ms":-1}`,
+		`{"kind":"consensus","query":"P(","target":"map"}`,
+		`{"kind":"consensus","query":"P(_;a;b)","target":"\u0000"}`,
+		`{"target":"map"}`,
+		`{}`,
+		`{"kind":"consensus","query":"P(_;a;b)","target":"median","stream":true}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		var vb V1Body
+		if err := dec.Decode(&vb); err != nil {
+			return
+		}
+		req, err := vb.V1Request.ToRequest()
+		if err != nil {
+			return
+		}
+		cr, err := req.Compile()
+		if err != nil {
+			return
+		}
+		if cr.Key() == "" {
+			t.Fatalf("compiled request from %s has an empty key", body)
+		}
+	})
+}

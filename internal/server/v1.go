@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"probpref/internal/consensus"
 	"probpref/internal/ppd"
 )
 
@@ -20,7 +21,8 @@ import (
 // V1Request is the wire form of one unified query request (the body of
 // POST /v1/query, or one element of its "requests" batch).
 type V1Request struct {
-	// Kind is the query class: bool | count | topk | aggregate | countdist.
+	// Kind is the query class:
+	// bool | count | topk | aggregate | countdist | consensus.
 	Kind string `json:"kind"`
 	// Query is the conjunctive query, or a "|"-union of CQs.
 	Query string `json:"query"`
@@ -28,7 +30,11 @@ type V1Request struct {
 	Model string `json:"model,omitempty"`
 	// Method forces the inference solver ("" keeps the daemon's -method).
 	Method string `json:"method,omitempty"`
-	// K is how many sessions a topk request returns (required for topk).
+	// Target selects the consensus answer for kind consensus:
+	// map | median | topk (required for that kind).
+	Target string `json:"target,omitempty"`
+	// K is how many sessions a topk request returns (required for topk),
+	// or the cutoff of consensus target topk.
 	K int `json:"k,omitempty"`
 	// Bound is the number of topk upper-bound edges (0 = naive).
 	Bound int `json:"bound,omitempty"`
@@ -136,6 +142,8 @@ type V1Result struct {
 	Aggregate *AggregateJSON `json:"aggregate,omitempty"`
 	// CountDist is the exact count distribution (countdist kind).
 	CountDist *CountDistJSON `json:"countdist,omitempty"`
+	// Consensus is the consensus answer (consensus kind).
+	Consensus *ConsensusJSON `json:"consensus,omitempty"`
 }
 
 // V1Response is the JSON (non-streaming) response of POST /v1/query.
@@ -174,6 +182,11 @@ func (vr *V1Request) toRequest() (*ppd.Request, error) {
 	}
 	if vr.Method != "" {
 		if req.Method, err = ppd.ParseMethod(vr.Method); err != nil {
+			return nil, err
+		}
+	}
+	if vr.Target != "" {
+		if req.ConsensusTarget, err = consensus.ParseTarget(vr.Target); err != nil {
 			return nil, err
 		}
 	}
@@ -239,6 +252,9 @@ func v1Result(resp *ppd.Response, perSession bool) V1Result {
 				out.Aggregate.Rows = append(out.Aggregate.Rows, AggRowJSON{Prob: r.Prob, Value: r.Value})
 			}
 		}
+	}
+	if c := resp.Consensus; c != nil {
+		out.Consensus = newConsensusJSON(c, perSession)
 	}
 	if d := resp.Dist; d != nil {
 		out.CountDist = &CountDistJSON{

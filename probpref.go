@@ -81,6 +81,7 @@
 package probpref
 
 import (
+	"probpref/internal/consensus"
 	"probpref/internal/dataset"
 	"probpref/internal/label"
 	"probpref/internal/pattern"
@@ -312,6 +313,9 @@ const (
 	KindAggregate = ppd.KindAggregate
 	// KindCountDist asks for the exact distribution of count(Q).
 	KindCountDist = ppd.KindCountDist
+	// KindConsensus asks for a consensus answer over the conditioned
+	// session population (select which with Request.ConsensusTarget).
+	KindConsensus = ppd.KindConsensus
 )
 
 // ParseKind resolves a kind name to its Kind; the error of an unknown name
@@ -320,6 +324,41 @@ func ParseKind(s string) (Kind, error) { return ppd.ParseKind(s) }
 
 // KindNames lists the canonical kind names ParseKind accepts.
 func KindNames() []string { return ppd.KindNames() }
+
+// Consensus & rank aggregation (kind consensus).
+type (
+	// ConsensusTarget selects which consensus answer a consensus request
+	// asks for.
+	ConsensusTarget = consensus.Target
+	// ConsensusResult is the consensus section of a Response: the folded
+	// answer, the item-key domain and the mergeable per-session rows.
+	ConsensusResult = ppd.ConsensusResult
+	// ConsensusRow is one session's sufficient statistic of a consensus
+	// answer; a coordinator concatenates partition rows and re-solves.
+	ConsensusRow = consensus.Row
+)
+
+// Consensus targets of the consensus query kind.
+const (
+	// ConsensusMAP asks for the most-probable ranking of the conditioned
+	// posterior, with its probability.
+	ConsensusMAP = consensus.TargetMAP
+	// ConsensusMedian asks for the ranking minimizing the expected Kendall
+	// tau distance to the population.
+	ConsensusMedian = consensus.TargetMedian
+	// ConsensusTopK asks for per-item top-k membership probabilities with
+	// certainty bands.
+	ConsensusTopK = consensus.TargetTopK
+)
+
+// ParseConsensusTarget resolves a consensus target name ("map", "median",
+// "topk") to its ConsensusTarget; the error of an unknown name enumerates
+// the valid names.
+func ParseConsensusTarget(s string) (ConsensusTarget, error) { return consensus.ParseTarget(s) }
+
+// ConsensusTargetNames lists the canonical consensus target names
+// ParseConsensusTarget accepts.
+func ConsensusTargetNames() []string { return consensus.TargetNames() }
 
 // EstimateCost predicts the cheapest adequate exact solver and its work for
 // one (session model, pattern union) inference group; MethodAdaptive's
