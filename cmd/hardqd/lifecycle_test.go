@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// Lifecycle tests: SIGINT/SIGTERM walks the drain ladder — stop accepting,
+// finish in-flight requests and NDJSON streams, checkpoint, close the WAL —
+// and a restart over the same directories recovers every acked ingest.
+// serve takes the signal channel as a parameter precisely so these tests
+// can deliver signals without touching the process signal mask.
+
+// startDaemon runs a daemon built by setup on an ephemeral port and
+// returns its base URL, the signal channel, the serve error channel and
+// the banner buffer.
+func startDaemon(t *testing.T, args ...string) (string, chan os.Signal, chan error, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	d, err := setup(args, &buf)
+	if err != nil {
+		t.Fatalf("setup(%v): %v\n%s", args, err, buf.String())
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigc := make(chan os.Signal, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- serve(d, ln, sigc, &buf) }()
+	return "http://" + ln.Addr().String(), sigc, errc, &buf
+}
+
+func postJSON(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestDrainWaitsForInFlightThenRecovers is the end-to-end lifecycle check:
+// a request provably in flight when the signal lands (its body half
+// written over a raw connection) must complete with a 200, new
+// connections must be refused during the drain, serve must exit cleanly,
+// and a restarted daemon over the same WAL and snapshot directories must
+// serve the acked ingest.
+func TestDrainWaitsForInFlightThenRecovers(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	walDir := t.TempDir() + "/wal"
+	snapDir := t.TempDir()
+	args := []string{
+		"-dataset", "figure1", "-wal-dir", walDir, "-snapshot-dir", snapDir,
+		"-drain-timeout", "10s",
+	}
+	base, sigc, errc, buf := startDaemon(t, args...)
+
+	if code, b := postJSON(t, base+"/v1/sessions",
+		`{"pref":"P","sessions":[{"key":["Eve","7/7"],"sigma":[0,1,2,3],"phi":0.4}]}`); code != 200 {
+		t.Fatalf("ingest: status %d\n%s", code, b)
+	}
+
+	// A query whose body is only half delivered: active from the server's
+	// point of view, and provably un-finishable until we send the rest.
+	conn, err := net.Dial("tcp", strings.TrimPrefix(base, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	reqBody := fmt.Sprintf(`{"kind":"bool","query":%q}`, demoQuery)
+	head := fmt.Sprintf("POST /v1/query HTTP/1.1\r\nHost: h\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n", len(reqBody))
+	if _, err := conn.Write([]byte(head + reqBody[:4])); err != nil {
+		t.Fatal(err)
+	}
+	// Give the server a beat to read the partial request before the signal.
+	time.Sleep(50 * time.Millisecond)
+
+	sigc <- syscall.SIGTERM
+
+	// The listener closes first: new connections are refused while the
+	// in-flight request is still pending.
+	refused := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		c, err := net.Dial("tcp", strings.TrimPrefix(base, "http://"))
+		if err != nil {
+			refused = true
+			break
+		}
+		c.Close()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !refused {
+		t.Fatal("new connections still accepted during drain")
+	}
+
+	// Complete the pinned request; the drain must have waited for it.
+	if _, err := conn.Write([]byte(reqBody[4:])); err != nil {
+		t.Fatalf("finishing in-flight request: %v", err)
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatalf("in-flight request cut off during drain: %v", err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !bytes.Contains(b, []byte(`"prob"`)) {
+		t.Fatalf("in-flight request: status %d\n%s", resp.StatusCode, b)
+	}
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve never returned after drain")
+	}
+	out := buf.String()
+	for _, want := range []string{"draining", "shutdown complete"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("shutdown log missing %q:\n%s", want, out)
+		}
+	}
+
+	// No goroutines left behind by the daemon (workers, flush loops,
+	// connection handlers). Allow the runtime a moment to reap.
+	leaked := 0
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		leaked = runtime.NumGoroutine() - baseline
+		if leaked <= 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if leaked > 2 {
+		buf := make([]byte, 1<<16)
+		t.Errorf("%d goroutines leaked past shutdown:\n%s", leaked, buf[:runtime.Stack(buf, true)])
+	}
+
+	// Restart over the same directories: the acked ingest must be there.
+	base2, sigc2, errc2, _ := startDaemon(t, args...)
+	code, b2 := postJSON(t, base2+"/v1/query",
+		fmt.Sprintf(`{"kind":"topk","query":%q,"k":10}`, demoQuery))
+	if code != 200 {
+		t.Fatalf("query after restart: status %d\n%s", code, b2)
+	}
+	var vr struct {
+		Result struct {
+			Top []json.RawMessage `json:"top"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(b2, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if len(vr.Result.Top) != 4 {
+		t.Fatalf("restarted daemon serves %d sessions, want 4 (ingest lost)\n%s", len(vr.Result.Top), b2)
+	}
+	sigc2 <- syscall.SIGTERM
+	if err := <-errc2; err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+// TestDrainCompletesStream opens a /v1/query NDJSON stream, signals after
+// the first line, and requires the stream to run to completion — every
+// row plus clean termination — instead of being cut mid-body.
+func TestDrainCompletesStream(t *testing.T) {
+	base, sigc, errc, _ := startDaemon(t, "-dataset", "figure1", "-drain-timeout", "10s")
+	body := fmt.Sprintf(`{"kind":"topk","query":%q,"k":10,"stream":true}`, demoQuery)
+	resp, err := http.Post(base+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("missing stream summary line")
+	}
+	sigc <- syscall.SIGTERM
+	rows := 0
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), `"error"`) {
+			t.Fatalf("stream errored during drain: %s", sc.Text())
+		}
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream cut during drain: %v", err)
+	}
+	if rows != 3 {
+		t.Fatalf("drained stream delivered %d rows, want 3", rows)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("serve returned %v", err)
+	}
+}

@@ -49,14 +49,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"probpref/internal/cluster"
@@ -64,6 +68,7 @@ import (
 	"probpref/internal/ppd"
 	"probpref/internal/registry"
 	"probpref/internal/server"
+	"probpref/internal/wal"
 )
 
 func main() {
@@ -73,29 +78,96 @@ func main() {
 	}
 }
 
+// daemon is a configured hardqd ready to serve: the handler for its role
+// plus the durability state the graceful-shutdown path must flush. Exactly
+// one of reg/cl is non-nil (model-serving roles vs coordinator).
+type daemon struct {
+	handler http.Handler
+	addr    string
+	// drain bounds http.Server.Shutdown: in-flight queries and NDJSON
+	// streams get this long to finish before connections are cut.
+	drain time.Duration
+	reg   *registry.Registry   // model catalog (nil in the coordinator role)
+	wlog  *wal.Log             // ingest WAL (nil without -wal-dir)
+	cl    *cluster.Coordinator // fan-out front end (nil unless -coordinator)
+}
+
 func run(args []string, out io.Writer) error {
-	handler, addr, err := setup(args, out)
+	d, err := setup(args, out)
 	if err != nil {
 		return err
 	}
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", d.addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "listening on %s\n", ln.Addr())
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	return serve(d, ln, sigc, out)
+}
+
+// serve runs the HTTP server until it fails or a signal arrives, then walks
+// the drain ladder: stop accepting connections, let in-flight requests and
+// streams finish (bounded by -drain-timeout), write a final snapshot
+// checkpoint, compact and close the WAL. Split from run so shutdown tests
+// can deliver signals on a plain channel.
+func serve(d *daemon, ln net.Listener, sigc <-chan os.Signal, out io.Writer) error {
 	srv := &http.Server{
-		Handler:           handler,
+		Handler:           d.handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 	}
-	return srv.Serve(ln)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(out, "received %v, draining (timeout %s)\n", sig, d.drain)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d.drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		// Deadline passed with requests still running; cut them off rather
+		// than hang shutdown. Durability is unaffected: acked ingests are
+		// already in the WAL.
+		fmt.Fprintf(out, "drain timed out, closing %v\n", err)
+		srv.Close()
+	}
+	<-errc // Serve has returned ErrServerClosed by now
+	return d.shutdown(out)
 }
 
-// setup parses flags and builds the daemon's handler — a model-serving
+// shutdown flushes durability state after the listener is closed: a final
+// snapshot checkpoint (which compacts the WAL behind it) and a WAL close.
+// Checkpoint failures are reported but not fatal — the closed WAL still
+// holds every acked batch for the next start's replay.
+func (d *daemon) shutdown(out io.Writer) error {
+	var firstErr error
+	if d.cl != nil {
+		d.cl.Close()
+	}
+	if d.reg != nil && d.wlog != nil {
+		if err := d.reg.Checkpoint(); err != nil {
+			fmt.Fprintf(out, "checkpoint: %v (WAL retains the batches)\n", err)
+		}
+	}
+	if d.wlog != nil {
+		if err := d.wlog.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	fmt.Fprintln(out, "shutdown complete")
+	return firstErr
+}
+
+// setup parses flags and builds the daemon for its role — a model-serving
 // Service (whole models or, with -shard, partition models) or a cluster
 // Coordinator (-coordinator); split from run so tests can drive the handler
 // without binding a port.
-func setup(args []string, out io.Writer) (http.Handler, string, error) {
+func setup(args []string, out io.Writer) (*daemon, error) {
 	fs := flag.NewFlagSet("hardqd", flag.ContinueOnError)
 	var (
 		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
@@ -111,6 +183,12 @@ func setup(args []string, out io.Writer) (http.Handler, string, error) {
 		movies   = fs.Int("movies", 120, "movielens: catalog size")
 		workers  = fs.Int("workers", 500, "crowdrank: number of workers")
 
+		walDir  = fs.String("wal-dir", "", "write-ahead-log directory: ingest batches are logged and fsynced before they are acknowledged, and replayed over snapshots on startup")
+		walSync = fs.String("wal-sync", "always", "WAL fsync policy: always | interval | never (requires -wal-dir)")
+		maxInFl = fs.Int("max-inflight", server.DefaultMaxInFlight, "admitted query/ingest requests running at once; one queue of the same depth waits behind them, the rest are shed with 503 (negative disables admission control)")
+		maxQ    = fs.Int("max-queue", server.DefaultMaxQueue, "requests waiting for an admission slot before shedding (negative: shed as soon as all slots are busy)")
+		drain   = fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight requests and streams after SIGINT/SIGTERM")
+
 		shardSpec = fs.String("shard", "", "serve as a cluster shard: \"i[,j...]/n\" lists the contiguous session-range partitions (of n) this shard holds; each model is served as \"<model>--p<i>\"")
 		coord     = fs.String("coordinator", "", "run as the cluster coordinator over comma-separated name=url shards: /v1/query fans out per partition and merges (no local models)")
 		parts     = fs.Int("partitions", 0, "coordinator: session-range partitions per model (default: shard count)")
@@ -119,7 +197,7 @@ func setup(args []string, out io.Writer) (http.Handler, string, error) {
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
-		return nil, "", err
+		return nil, err
 	}
 
 	size := *cache
@@ -134,16 +212,17 @@ func setup(args []string, out io.Writer) (http.Handler, string, error) {
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "dataset", "manifest", "snapshot-dir", "method", "parallel",
-				"seed", "candidates", "voters", "movies", "workers", "shard":
+				"seed", "candidates", "voters", "movies", "workers", "shard",
+				"wal-dir", "wal-sync", "max-inflight", "max-queue":
 				conflict = append(conflict, "-"+f.Name)
 			}
 		})
 		if len(conflict) > 0 {
-			return nil, "", fmt.Errorf("%s cannot be combined with -coordinator: the coordinator serves no local models", strings.Join(conflict, ", "))
+			return nil, fmt.Errorf("%s cannot be combined with -coordinator: the coordinator serves no local models", strings.Join(conflict, ", "))
 		}
 		shards, err := parseShards(*coord)
 		if err != nil {
-			return nil, "", err
+			return nil, err
 		}
 		cl, err := cluster.New(shards, cluster.Config{
 			Partitions: *parts,
@@ -152,7 +231,7 @@ func setup(args []string, out io.Writer) (http.Handler, string, error) {
 			ProbeEvery: *probe,
 		})
 		if err != nil {
-			return nil, "", err
+			return nil, err
 		}
 		fmt.Fprintf(out, "coordinator: %d shards, %d partitions per model\n", len(shards), cl.Partitions())
 		for _, sc := range shards {
@@ -163,34 +242,51 @@ func setup(args []string, out io.Writer) (http.Handler, string, error) {
 		} else {
 			fmt.Fprintf(out, "cache   : disabled\n")
 		}
-		return cl.Handler(), *addr, nil
+		return &daemon{handler: cl.Handler(), addr: *addr, drain: *drain, cl: cl}, nil
 	}
 	if *parts != 0 || *hedge != cluster.DefaultHedgeAfter {
-		return nil, "", fmt.Errorf("-partitions and -hedge-after require -coordinator")
+		return nil, fmt.Errorf("-partitions and -hedge-after require -coordinator")
 	}
 
 	m, err := ppd.ParseMethod(*method)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	cfg := server.Config{
-		Method:    m,
-		Workers:   *par,
-		CacheSize: size,
-		Seed:      *seed,
+		Method:      m,
+		Workers:     *par,
+		CacheSize:   size,
+		Seed:        *seed,
+		MaxInFlight: *maxInFl,
+		MaxQueue:    *maxQ,
 	}
 	var shardParts []int
 	shardTotal := 0
 	if *shardSpec != "" {
 		if shardParts, shardTotal, err = parseShardSpec(*shardSpec); err != nil {
-			return nil, "", err
+			return nil, err
 		}
 	}
 
 	if *snapDir != "" {
 		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
-			return nil, "", err
+			return nil, err
 		}
+	}
+	var wlog *wal.Log
+	if *walDir != "" {
+		pol, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			return nil, err
+		}
+		if wlog, err = wal.Open(*walDir, wal.Options{Sync: pol}); err != nil {
+			return nil, err
+		}
+		if n := wlog.TornRepairs(); n > 0 {
+			fmt.Fprintf(out, "wal     : repaired %d torn segment tail(s)\n", n)
+		}
+	} else if walSet(fs) {
+		return nil, fmt.Errorf("-wal-sync requires -wal-dir")
 	}
 	var svc *server.Service
 	if *manifest != "" {
@@ -205,19 +301,21 @@ func setup(args []string, out io.Writer) (http.Handler, string, error) {
 			}
 		})
 		if len(conflict) > 0 {
-			return nil, "", fmt.Errorf("%s cannot be combined with -manifest: dataset parameters come from the manifest", strings.Join(conflict, ", "))
+			return nil, fmt.Errorf("%s cannot be combined with -manifest: dataset parameters come from the manifest", strings.Join(conflict, ", "))
 		}
 		man, err := registry.LoadManifest(*manifest)
 		if err != nil {
-			return nil, "", err
+			return nil, err
 		}
 		if shardTotal > 0 {
 			man = partitionManifest(man, shardParts, shardTotal)
 		}
-		reg := registry.New()
-		reg.SetSnapshotDir(*snapDir)
+		reg, err := newRegistry(*snapDir, wlog)
+		if err != nil {
+			return nil, err
+		}
 		if err := reg.Apply(man); err != nil {
-			return nil, "", err
+			return nil, err
 		}
 		svc = server.NewMulti(reg, cfg)
 		fmt.Fprintf(out, "manifest: %s (%d models)\n", *manifest, reg.Len())
@@ -233,8 +331,10 @@ func setup(args []string, out io.Writer) (http.Handler, string, error) {
 		// as manifest models, so -snapshot-dir restores it from
 		// default.ppds when present and persists generator builds and
 		// ingests back.
-		reg := registry.New()
-		reg.SetSnapshotDir(*snapDir)
+		reg, err := newRegistry(*snapDir, wlog)
+		if err != nil {
+			return nil, err
+		}
 		base := registry.Spec{
 			Name: server.DefaultModel, Dataset: *ds, Seed: *seed,
 			Candidates: *cands, Voters: *voters, Movies: *movies, Workers: *workers,
@@ -242,7 +342,7 @@ func setup(args []string, out io.Writer) (http.Handler, string, error) {
 		}
 		for _, spec := range partitionSpecs(base, shardParts, shardTotal) {
 			if err := reg.Register(spec); err != nil {
-				return nil, "", err
+				return nil, err
 			}
 		}
 		svc = server.NewMulti(reg, cfg)
@@ -254,7 +354,7 @@ func setup(args []string, out io.Writer) (http.Handler, string, error) {
 		} else {
 			in, err := reg.Lookup(server.DefaultModel)
 			if err != nil {
-				return nil, "", err
+				return nil, err
 			}
 			fmt.Fprintf(out, "dataset : %s (m=%d items, %d sessions)\n", *ds, in.Items, in.Sessions)
 		}
@@ -265,7 +365,38 @@ func setup(args []string, out io.Writer) (http.Handler, string, error) {
 	} else {
 		fmt.Fprintf(out, "cache   : disabled\n")
 	}
-	return svc.Handler(), *addr, nil
+	if wlog != nil {
+		fmt.Fprintf(out, "wal     : %s (sync %s, last seq %d)\n", *walDir, *walSync, wlog.LastSeq())
+	}
+	return &daemon{handler: svc.Handler(), addr: *addr, drain: *drain, reg: svc.Registry(), wlog: wlog}, nil
+}
+
+// walSet reports whether -wal-sync was given explicitly, so a policy
+// without a directory fails loudly instead of being ignored.
+func walSet(fs *flag.FlagSet) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "wal-sync" {
+			set = true
+		}
+	})
+	return set
+}
+
+// newRegistry builds the model registry shared by the -dataset and
+// -manifest roles: snapshots in snapDir, WAL replay and compaction against
+// wlog, operational messages (snapshot failures, compaction errors) on the
+// process log.
+func newRegistry(snapDir string, wlog *wal.Log) (*registry.Registry, error) {
+	reg := registry.New()
+	reg.SetSnapshotDir(snapDir)
+	reg.SetLogf(log.Printf)
+	if wlog != nil {
+		if err := reg.SetWAL(wlog); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
 }
 
 // parseShards parses the -coordinator shard list: comma-separated name=url.

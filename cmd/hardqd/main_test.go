@@ -44,15 +44,20 @@ func checkGolden(t *testing.T, name string, got []byte) {
 func testServer(t *testing.T, args ...string) (*httptest.Server, string) {
 	t.Helper()
 	var buf bytes.Buffer
-	handler, addr, err := setup(args, &buf)
+	d, err := setup(args, &buf)
 	if err != nil {
 		t.Fatalf("setup(%v): %v\noutput:\n%s", args, err, buf.String())
 	}
-	if addr == "" {
+	if d.addr == "" {
 		t.Fatal("empty addr")
 	}
-	srv := httptest.NewServer(handler)
-	t.Cleanup(srv.Close)
+	srv := httptest.NewServer(d.handler)
+	t.Cleanup(func() {
+		srv.Close()
+		if d.wlog != nil {
+			d.wlog.Close()
+		}
+	})
 	return srv, buf.String()
 }
 
@@ -154,10 +159,16 @@ func TestSetupErrors(t *testing.T) {
 		{"-coordinator", "s0=http://localhost:1", "-dataset", "polls"},
 		{"-coordinator", "s0=http://localhost:1", "-shard", "0/2"},
 		{"-coordinator", "s0=http://localhost:1", "-manifest", "testdata/manifest.json"},
+		// WAL flags: a policy without a directory is ignored config, an
+		// unknown policy is a typo, and the coordinator has no ingest path.
+		{"-wal-sync", "always"},
+		{"-dataset", "figure1", "-wal-dir", "testdata/never-created", "-wal-sync", "nope"},
+		{"-coordinator", "s0=http://localhost:1", "-wal-dir", "testdata/never-created"},
+		{"-coordinator", "s0=http://localhost:1", "-max-inflight", "4"},
 	}
 	for _, args := range cases {
 		var buf bytes.Buffer
-		if _, _, err := setup(args, &buf); err == nil {
+		if _, err := setup(args, &buf); err == nil {
 			t.Errorf("setup(%v): want error", args)
 		}
 	}
@@ -320,7 +331,7 @@ func TestManifestServesModelsConcurrently(t *testing.T) {
 // flag changes without regenerating the golden (go test -run Help -update).
 func TestHelpGolden(t *testing.T) {
 	var buf bytes.Buffer
-	if _, _, err := setup([]string{"-help"}, &buf); err != flag.ErrHelp {
+	if _, err := setup([]string{"-help"}, &buf); err != flag.ErrHelp {
 		t.Fatalf("setup(-help) = %v, want flag.ErrHelp", err)
 	}
 	path := filepath.Join("..", "..", "docs", "hardqd_help.txt")
@@ -390,6 +401,8 @@ func TestAPIDocEndpointsCovered(t *testing.T) {
 		// coordinator surface
 		"cluster", "partial", "failed_partitions", "owner", "replica",
 		"excluded", "hedge_wins", "degraded",
+		// durability & overload surface
+		"retry_after", "sheds", "in_flight", "queued", "snapshot_errors",
 	} {
 		if !strings.Contains(text, "`"+field+"`") {
 			t.Errorf("docs/API.md: field %q not documented", field)
@@ -471,16 +484,17 @@ func TestShardServesPartitionModels(t *testing.T) {
 // shard URLs keep it deterministic; nothing is dialed at setup time.
 func TestCoordinatorBannerGolden(t *testing.T) {
 	var buf bytes.Buffer
-	handler, _, err := setup([]string{
+	d, err := setup([]string{
 		"-coordinator", "s0=http://shard0:8081,s1=http://shard1:8082",
 		"-partitions", "4", "-probe-every", "0", "-cache", "64",
 	}, &buf)
 	if err != nil {
 		t.Fatalf("setup: %v\n%s", err, buf.String())
 	}
-	if handler == nil {
+	if d.handler == nil {
 		t.Fatal("nil handler")
 	}
+	d.cl.Close()
 	checkGolden(t, "coord_banner", buf.Bytes())
 }
 

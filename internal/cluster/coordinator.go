@@ -195,6 +195,7 @@ type Coordinator struct {
 	hedgeWins atomic.Uint64
 	retries   atomic.Uint64
 	degraded  atomic.Uint64
+	sheds     atomic.Uint64
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -532,6 +533,14 @@ func (c *Coordinator) post(ctx context.Context, s *shard, body []byte) (resp *se
 			s.recordSuccess(time.Since(start))
 			return nil, server.HTTPError(hres.StatusCode, fmt.Errorf("shard %s: %s", s.name, msg)), true
 		}
+		if hres.StatusCode == http.StatusServiceUnavailable {
+			// Overload shed, not a fault: the shard's admission gate said no.
+			// Retriable on the replica — which may have capacity — and the
+			// owner's health streak stays clean so one burst of load doesn't
+			// eject it from the ring.
+			c.sheds.Add(1)
+			return nil, fmt.Errorf("shard %s: %s", s.name, msg), false
+		}
 		s.recordFailure()
 		return nil, fmt.Errorf("shard %s: %s", s.name, msg), false
 	}
@@ -566,6 +575,7 @@ func (c *Coordinator) Stats() StatsJSON {
 		HedgeWins:  c.hedgeWins.Load(),
 		Retries:    c.retries.Load(),
 		Degraded:   c.degraded.Load(),
+		Sheds:      c.sheds.Load(),
 	}
 	for _, s := range shards {
 		s.mu.Lock()

@@ -438,6 +438,72 @@ func TestClusterShardMembership(t *testing.T) {
 	}
 }
 
+// TestClusterShedOwnerRetriesReplica injects 503 (an admission-gate shed,
+// the overload signal of internal/server) on one partition's owner: the
+// coordinator must treat it as retriable and answer from the replica
+// byte-identically — and, unlike a real fault, the shed must count in the
+// sheds stat without dirtying the owner's health. A transient overload
+// burst must never eject a live shard from the ring.
+func TestClusterShedOwnerRetriesReplica(t *testing.T) {
+	db := testDB(t, 6)
+	// FailAfter 1: a single recordFailure would exclude the owner — the
+	// sharpest possible check that sheds leave health untouched.
+	h := newHarness(t, db, 3, 3, Config{CacheSize: -1, FailAfter: 1})
+	owner, replica := h.shardURLsFor(0)
+	if replica == "" {
+		t.Fatal("partition 0 has no replica")
+	}
+	h.ft.set(owner, fault{status: http.StatusServiceUnavailable})
+
+	h.checkEqual(boolBody())
+	// Repeat traffic straight at the coordinator (checkEqual would warm the
+	// single-process cache and skew its solve counters): every round sheds
+	// on the owner and lands on the replica.
+	for i := 0; i < 2; i++ {
+		if status, body := post(t, h.coordSrv.URL, boolBody()); status != http.StatusOK {
+			t.Fatalf("query %d during owner sheds: status %d\n%s", i, status, body)
+		}
+	}
+	stats := h.coord.Stats()
+	if stats.Sheds == 0 {
+		t.Fatalf("sheds = 0 after 503s from the owner: %+v", stats)
+	}
+	if stats.Retries == 0 {
+		t.Fatalf("retries = 0, want replica retries after sheds: %+v", stats)
+	}
+	if stats.Degraded != 0 {
+		t.Fatalf("degraded = %d, want 0: every partition was served", stats.Degraded)
+	}
+	for _, s := range stats.Shards {
+		if s.URL == owner {
+			if s.Excluded || s.ConsecutiveFails != 0 {
+				t.Fatalf("shed owner's health dirtied (excluded=%v, consecutive_fails=%d): an overload burst must not eject a shard", s.Excluded, s.ConsecutiveFails)
+			}
+		}
+	}
+
+	// Overload over: the owner serves again with clean health.
+	h.ft.set(owner, fault{})
+	if status, body := post(t, h.coordSrv.URL, boolBody()); status != http.StatusOK {
+		t.Fatalf("query after overload cleared: status %d\n%s", status, body)
+	}
+}
+
+// TestClusterAllCopiesShed502 sheds both copies of a partition: with no
+// third copy to try, the client sees the fan-out failure, not a hang or an
+// empty merge.
+func TestClusterAllCopiesShed502(t *testing.T) {
+	db := testDB(t, 4)
+	h := newHarness(t, db, 2, 2, Config{})
+	for _, srv := range h.shardSrvs {
+		h.ft.set(srv.URL, fault{status: http.StatusServiceUnavailable})
+	}
+	status, body := post(t, h.coordSrv.URL, boolBody())
+	if status != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502 when every copy sheds\n%s", status, body)
+	}
+}
+
 // postJSON posts a JSON body and returns the status code.
 func postJSON(t *testing.T, url, body string) int {
 	t.Helper()

@@ -94,6 +94,10 @@ type StatsJSON struct {
 	Retries uint64 `json:"retries"`
 	// Degraded counts merged answers that carried a partial-failure marker.
 	Degraded uint64 `json:"degraded"`
+	// Sheds counts shard attempts answered 503 by a shard's admission gate
+	// (overload, retried on the replica without dirtying the owner's
+	// health).
+	Sheds uint64 `json:"sheds"`
 	// Cache reports the merged-result cache.
 	Cache CacheStatsJSON `json:"cache"`
 }

@@ -29,6 +29,7 @@ var lintedDirs = []string{
 	"internal/store",
 	"internal/cluster",
 	"internal/consensus",
+	"internal/wal",
 }
 
 // repoRoot locates the repository root relative to this package.

@@ -45,56 +45,57 @@ func (r *Relation) WriteCSV(w io.Writer) error {
 type prefJSON struct {
 	Name         string        `json:"name"`
 	SessionAttrs []string      `json:"session_attrs"`
-	Sessions     []sessionJSON `json:"sessions"`
+	Sessions     []SessionJSON `json:"sessions"`
 }
 
-type sessionJSON struct {
-	Key   []string `json:"key"`
-	Sigma []int    `json:"sigma"`
-	// Phi parameterizes a Mallows session; Phis (when present) a
-	// Generalized Mallows session.
-	Phi  float64   `json:"phi,omitempty"`
+// SessionJSON is the JSON wire form of one session, shared by the
+// p-relation files of ppdgen, the ingest endpoint of the server, and the
+// write-ahead-log records of the registry: a center ranking over item ids
+// plus Mallows (phi) or Generalized Mallows (phis) dispersion.
+type SessionJSON struct {
+	// Key holds the session-attribute values, in the p-relation's
+	// SessionAttrs order.
+	Key []string `json:"key"`
+	// Sigma is the center (reference) ranking as item ids.
+	Sigma []int `json:"sigma"`
+	// Phi parameterizes a Mallows session.
+	Phi float64 `json:"phi,omitempty"`
+	// Phis, when present, parameterizes a Generalized Mallows session
+	// instead (one dispersion per insertion step).
 	Phis []float64 `json:"phis,omitempty"`
 }
 
-// WriteJSON serializes the p-relation. Mallows and Generalized Mallows
-// sessions are supported (general RIM insertion matrices are not
-// serialized).
-func (p *PrefRelation) WriteJSON(w io.Writer) error {
-	out := prefJSON{Name: p.Name, SessionAttrs: p.SessionAttrs}
-	for i, s := range p.Sessions.All() {
+// SessionsJSON converts sessions to their wire form. Mallows and
+// Generalized Mallows sessions are supported (general RIM insertion
+// matrices are not serialized).
+func SessionsJSON(sessions []*Session) ([]SessionJSON, error) {
+	out := make([]SessionJSON, 0, len(sessions))
+	for i, s := range sessions {
 		sigma := make([]int, s.Model.M())
 		for j, it := range s.Model.Reference() {
 			sigma[j] = int(it)
 		}
-		sj := sessionJSON{Key: s.Key, Sigma: sigma}
+		sj := SessionJSON{Key: s.Key, Sigma: sigma}
 		switch m := s.Model.(type) {
 		case *rim.Mallows:
 			sj.Phi = m.Phi
 		case *rim.GeneralizedMallows:
 			sj.Phis = m.Phis
 		default:
-			return fmt.Errorf("ppd: session %d: cannot serialize model type %T", i, s.Model)
+			return nil, fmt.Errorf("ppd: session %d: cannot serialize model type %T", i, s.Model)
 		}
-		out.Sessions = append(out.Sessions, sj)
+		out = append(out, sj)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return out, nil
 }
 
-// LoadPrefJSON deserializes a p-relation written by WriteJSON. Sessions
+// ParseSessionsJSON converts wire-form sessions back to sessions. Sessions
 // with identical parameters share one model instance, preserving the
 // grouping behavior of the evaluator.
-func LoadPrefJSON(r io.Reader) (*PrefRelation, error) {
-	var in prefJSON
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, fmt.Errorf("ppd: decoding p-relation: %w", err)
-	}
-	p := &PrefRelation{Name: in.Name, SessionAttrs: in.SessionAttrs}
-	var sessions SessionSlice
+func ParseSessionsJSON(in []SessionJSON) ([]*Session, error) {
+	sessions := make([]*Session, 0, len(in))
 	shared := make(map[string]rim.SessionModel)
-	for i, s := range in.Sessions {
+	for i, s := range in {
 		sigma := make(rank.Ranking, len(s.Sigma))
 		for j, it := range s.Sigma {
 			sigma[j] = rank.Item(it)
@@ -118,6 +119,34 @@ func LoadPrefJSON(r io.Reader) (*PrefRelation, error) {
 		}
 		sessions = append(sessions, &Session{Key: s.Key, Model: sm})
 	}
-	p.Sessions = sessions
-	return p, nil
+	return sessions, nil
+}
+
+// WriteJSON serializes the p-relation.
+func (p *PrefRelation) WriteJSON(w io.Writer) error {
+	all := make([]*Session, 0, p.Sessions.Len())
+	for _, s := range p.Sessions.All() {
+		all = append(all, s)
+	}
+	sessions, err := SessionsJSON(all)
+	if err != nil {
+		return err
+	}
+	out := prefJSON{Name: p.Name, SessionAttrs: p.SessionAttrs, Sessions: sessions}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadPrefJSON deserializes a p-relation written by WriteJSON.
+func LoadPrefJSON(r io.Reader) (*PrefRelation, error) {
+	var in prefJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("ppd: decoding p-relation: %w", err)
+	}
+	sessions, err := ParseSessionsJSON(in.Sessions)
+	if err != nil {
+		return nil, err
+	}
+	return &PrefRelation{Name: in.Name, SessionAttrs: in.SessionAttrs, Sessions: SessionSlice(sessions)}, nil
 }

@@ -1,0 +1,523 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"probpref/internal/ppd"
+	"probpref/internal/wal"
+)
+
+// This file is the crash-injection harness of the durable-ingest path: it
+// kills a registry (by copying its on-disk state: WAL directory + snapshot
+// directory) at every stage of Append — after the log sync, after the
+// publish, after the snapshot — plus torn and bit-flipped WAL tails, and
+// proves the recovery contract on restart: every acknowledged batch is
+// present, every batch whose log record never completed is absent.
+
+// copyTree copies the file tree rooted at src into dst (which must not
+// exist). It is the harness's "kill -9": whatever bytes the OS holds at
+// this instant are what the next process gets.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+	if err != nil {
+		t.Fatalf("copying %s: %v", src, err)
+	}
+}
+
+// diskState is one captured crash point.
+type diskState struct {
+	walDir, snapDir string
+}
+
+// capture snapshots both directories under root/<label>.
+func capture(t *testing.T, walDir, snapDir, root, label string) diskState {
+	t.Helper()
+	st := diskState{
+		walDir:  filepath.Join(root, label, "wal"),
+		snapDir: filepath.Join(root, label, "snap"),
+	}
+	copyTree(t, walDir, st.walDir)
+	copyTree(t, snapDir, st.snapDir)
+	return st
+}
+
+// restart plays the recovery path over a captured state: open the WAL
+// (repairing a torn tail if the crash left one), attach it to a fresh
+// catalog, register the model, and force the build. It returns the
+// restarted registry and log; the caller owns closing the log.
+func restart(t *testing.T, st diskState) (*Registry, *wal.Log) {
+	t.Helper()
+	l, err := wal.Open(st.walDir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatalf("reopening wal: %v", err)
+	}
+	r := New()
+	r.SetSnapshotDir(st.snapDir)
+	if err := r.SetWAL(l); err != nil {
+		t.Fatalf("attaching wal: %v", err)
+	}
+	if err := r.Register(Spec{Name: "fig", Dataset: "figure1"}); err != nil {
+		t.Fatalf("re-registering: %v", err)
+	}
+	return r, l
+}
+
+// sessionKeys opens the model and returns the sorted first key component of
+// every session — the observable ingest history.
+func sessionKeys(t *testing.T, r *Registry) []string {
+	t.Helper()
+	h, err := r.Open("fig")
+	if err != nil {
+		t.Fatalf("open after restart: %v", err)
+	}
+	defer h.Close()
+	ss := h.DB().Prefs["P"].Sessions
+	keys := make([]string, 0, ss.Len())
+	for i := 0; i < ss.Len(); i++ {
+		keys = append(keys, ss.At(i).Key[0])
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// newSession builds one session compatible with figure1's P relation.
+func newSession(db *ppd.DB, name string) *ppd.Session {
+	base := db.Prefs["P"].Sessions.At(0)
+	return &ppd.Session{Key: []string{name, "7/7"}, Model: base.Model}
+}
+
+// walGrown is the harness's live fixture: a registry with WAL and snapshot
+// directories, the model built, and a capture callback wired into Append.
+func walGrown(t *testing.T) (*Registry, *wal.Log, string, string) {
+	t.Helper()
+	walDir := filepath.Join(t.TempDir(), "wal")
+	snapDir := t.TempDir()
+	l, err := wal.Open(walDir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	r := New()
+	r.SetSnapshotDir(snapDir)
+	if err := r.SetWAL(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Spec{Name: "fig", Dataset: "figure1", Preload: true}); err != nil {
+		t.Fatal(err)
+	}
+	return r, l, walDir, snapDir
+}
+
+// TestCrashAtEveryAppendStage kills the process at each stage of two
+// consecutive ingests and requires every batch whose log record was synced
+// (the precondition of the ack) to be present after restart. At "logged"
+// the snapshot still predates the batch, so recovery exercises replay; at
+// "snapshotted" it exercises the stamp that makes replay idempotent.
+func TestCrashAtEveryAppendStage(t *testing.T) {
+	r, _, walDir, snapDir := walGrown(t)
+	captures := t.TempDir()
+
+	states := make(map[string]diskState)
+	var batch string
+	r.appendHook = func(stage string) {
+		states[batch+"-"+stage] = capture(t, walDir, snapDir, captures, batch+"-"+stage)
+	}
+
+	h, err := r.Open("fig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := h.DB()
+	h.Close()
+	batch = "eve"
+	if _, err := r.Append("fig", "P", []*ppd.Session{newSession(db, "Eve")}); err != nil {
+		t.Fatal(err)
+	}
+	batch = "frank"
+	if _, err := r.Append("fig", "P", []*ppd.Session{newSession(db, "Frank")}); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[string][]string{
+		"eve-logged":        {"Ann", "Bob", "Dave", "Eve"},
+		"eve-published":     {"Ann", "Bob", "Dave", "Eve"},
+		"eve-snapshotted":   {"Ann", "Bob", "Dave", "Eve"},
+		"frank-logged":      {"Ann", "Bob", "Dave", "Eve", "Frank"},
+		"frank-published":   {"Ann", "Bob", "Dave", "Eve", "Frank"},
+		"frank-snapshotted": {"Ann", "Bob", "Dave", "Eve", "Frank"},
+	}
+	for label, st := range states {
+		r2, l2 := restart(t, st)
+		got := sessionKeys(t, r2)
+		if fmt.Sprint(got) != fmt.Sprint(want[label]) {
+			t.Errorf("crash at %s: restart sees %v, want %v", label, got, want[label])
+		}
+		l2.Close()
+	}
+	if len(states) != len(want) {
+		t.Fatalf("captured %d crash points, want %d", len(states), len(want))
+	}
+}
+
+// TestCrashedUnackedBatchAbsent mutates the captured WAL to simulate a
+// crash mid-record-write — a truncated tail and a bit-flipped tail — and
+// requires the half-written batch to be absent after restart while every
+// earlier acked batch survives. The restart must also report the repair.
+func TestCrashedUnackedBatchAbsent(t *testing.T) {
+	r, _, walDir, snapDir := walGrown(t)
+	captures := t.TempDir()
+
+	// Batch 1 (Eve) completes: logged, published, snapshotted. Batch 2
+	// (Frank) reaches the log; the capture at "logged" then gets its record
+	// damaged to simulate the write never finishing.
+	var logged diskState
+	h, err := r.Open("fig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := h.DB()
+	h.Close()
+	if _, err := r.Append("fig", "P", []*ppd.Session{newSession(db, "Eve")}); err != nil {
+		t.Fatal(err)
+	}
+	r.appendHook = func(stage string) {
+		if stage == "logged" {
+			logged = capture(t, walDir, snapDir, captures, "frank-logged")
+		}
+	}
+	if _, err := r.Append("fig", "P", []*ppd.Session{newSession(db, "Frank")}); err != nil {
+		t.Fatal(err)
+	}
+
+	mutations := map[string]func(t *testing.T, seg string){
+		"truncated-tail": func(t *testing.T, seg string) {
+			fi, err := os.Stat(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(seg, fi.Size()-5); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"bit-flipped-tail": func(t *testing.T, seg string) {
+			data, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-1] ^= 0x40
+			if err := os.WriteFile(seg, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			st := diskState{
+				walDir:  filepath.Join(t.TempDir(), "wal"),
+				snapDir: filepath.Join(t.TempDir(), "snap"),
+			}
+			copyTree(t, logged.walDir, st.walDir)
+			copyTree(t, logged.snapDir, st.snapDir)
+			segs, err := filepath.Glob(filepath.Join(st.walDir, "wal-*.seg"))
+			if err != nil || len(segs) == 0 {
+				t.Fatalf("no wal segments: %v", err)
+			}
+			sort.Strings(segs)
+			mutate(t, segs[len(segs)-1])
+
+			r2, l2 := restart(t, st)
+			defer l2.Close()
+			if n := l2.TornRepairs(); n != 1 {
+				t.Errorf("TornRepairs = %d, want 1", n)
+			}
+			got := sessionKeys(t, r2)
+			want := []string{"Ann", "Bob", "Dave", "Eve"}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Errorf("restart sees %v, want %v (Frank was never acked)", got, want)
+			}
+			// The repaired log keeps accepting: the retried batch lands at
+			// the sequence the torn record vacated.
+			if _, err := r2.Append("fig", "P", []*ppd.Session{newSession(db, "Frank")}); err != nil {
+				t.Fatalf("append after repair: %v", err)
+			}
+			if got := sessionKeys(t, r2); fmt.Sprint(got) != fmt.Sprint([]string{"Ann", "Bob", "Dave", "Eve", "Frank"}) {
+				t.Errorf("after retried ingest: %v", got)
+			}
+		})
+	}
+}
+
+// TestRestartReplayIsIdempotent restarts twice from the same crash point
+// (crash after publish, before snapshot) with a checkpoint in between: the
+// second restart finds the batch inside the stamped snapshot and must not
+// apply the still-present log record again.
+func TestRestartReplayIsIdempotent(t *testing.T) {
+	r, _, walDir, snapDir := walGrown(t)
+	captures := t.TempDir()
+
+	var published diskState
+	r.appendHook = func(stage string) {
+		if stage == "published" {
+			published = capture(t, walDir, snapDir, captures, "published")
+		}
+	}
+	h, err := r.Open("fig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := h.DB()
+	h.Close()
+	if _, err := r.Append("fig", "P", []*ppd.Session{newSession(db, "Eve")}); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, l2 := restart(t, published)
+	want := []string{"Ann", "Bob", "Dave", "Eve"}
+	if got := sessionKeys(t, r2); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("first restart sees %v, want %v", got, want)
+	}
+	// Checkpoint stamps the snapshot with the replayed seq; the record is
+	// deliberately NOT compacted away here (it is the only record of the
+	// active segment), so the second restart sees snapshot and record.
+	if err := r2.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	l2.Close()
+
+	st := diskState{walDir: published.walDir, snapDir: published.snapDir}
+	r3, l3 := restart(t, st)
+	defer l3.Close()
+	if got := sessionKeys(t, r3); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("second restart sees %v, want %v (double replay?)", got, want)
+	}
+}
+
+// TestCheckpointCompactsLog grows the model across several small segments,
+// checkpoints, and requires the sealed, durably-snapshotted segments to be
+// deleted while the acked history survives a restart.
+func TestCheckpointCompactsLog(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "wal")
+	snapDir := t.TempDir()
+	l, err := wal.Open(walDir, wal.Options{Sync: wal.SyncAlways, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	r := New()
+	r.SetSnapshotDir(snapDir)
+	if err := r.SetWAL(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Spec{Name: "fig", Dataset: "figure1", Preload: true}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Open("fig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := h.DB()
+	h.Close()
+	for i := 0; i < 6; i++ {
+		if _, err := r.Append("fig", "P", []*ppd.Session{newSession(db, fmt.Sprintf("G%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every append snapshotted durably, so compaction should have pruned all
+	// sealed segments already; at most the active one remains.
+	if n := l.Segments(); n != 1 {
+		t.Errorf("after snapshotted appends: %d segments, want 1 (compaction lagging)", n)
+	}
+	if err := r.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	st := diskState{walDir: walDir, snapDir: snapDir}
+	// The live log stays open — recovery reads the same bytes a crashed
+	// process would have left, which Open on a second handle tolerates only
+	// after the first closes; copy instead.
+	cp := diskState{
+		walDir:  filepath.Join(t.TempDir(), "wal"),
+		snapDir: filepath.Join(t.TempDir(), "snap"),
+	}
+	copyTree(t, st.walDir, cp.walDir)
+	copyTree(t, st.snapDir, cp.snapDir)
+	r2, l2 := restart(t, cp)
+	defer l2.Close()
+	keys := sessionKeys(t, r2)
+	if len(keys) != 9 {
+		t.Fatalf("restart sees %d sessions, want 9: %v", len(keys), keys)
+	}
+}
+
+// TestSnapshotErrorsSurfaceAndIngestSurvives is the regression test for the
+// silent writeSnapshot failure: with an unwritable snapshot location every
+// failed write must count (SnapshotErrors) and log, the ingest must still
+// be acknowledged, and — with the WAL holding the only durable copy — a
+// restart must recover the acked batch from the log alone.
+func TestSnapshotErrorsSurfaceAndIngestSurvives(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "wal")
+	// A regular file where the snapshot directory should be: every write
+	// under it fails with ENOTDIR, root or not.
+	notADir := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.Open(walDir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	r := New()
+	r.SetSnapshotDir(notADir)
+	var logged []string
+	r.SetLogf(func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	})
+	if err := r.SetWAL(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Spec{Name: "fig", Dataset: "figure1", Preload: true}); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.SnapshotErrors(); n != 1 {
+		t.Fatalf("SnapshotErrors after failed build snapshot = %d, want 1", n)
+	}
+	h, err := r.Open("fig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := h.DB()
+	h.Close()
+	total, err := r.Append("fig", "P", []*ppd.Session{newSession(db, "Eve")})
+	if err != nil {
+		t.Fatalf("append must still ack when only the snapshot fails: %v", err)
+	}
+	if total != 4 {
+		t.Fatalf("append total = %d, want 4", total)
+	}
+	if n := r.SnapshotErrors(); n != 2 {
+		t.Fatalf("SnapshotErrors after failed append snapshot = %d, want 2", n)
+	}
+	if len(logged) < 2 || !strings.Contains(logged[0], "snapshot fig") {
+		t.Fatalf("snapshot failures not logged: %q", logged)
+	}
+	if err := r.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint with unwritable snapshot dir: want error")
+	}
+
+	// Recovery needs only the log: restart with a *writable* snapshot dir
+	// and require the acked batch back.
+	l.Close()
+	st := diskState{walDir: walDir, snapDir: t.TempDir()}
+	r2, l2 := restart(t, st)
+	defer l2.Close()
+	want := []string{"Ann", "Bob", "Dave", "Eve"}
+	if got := sessionKeys(t, r2); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("restart from WAL alone sees %v, want %v", got, want)
+	}
+	if r2.SnapshotErrors() != 0 {
+		t.Fatalf("fresh registry inherited snapshot errors")
+	}
+}
+
+// TestSetWALRejectsForeignLog guards the attach: a log holding records that
+// do not decode to ingest batches is someone else's data (or corruption
+// below the checksum's reach), and silently compacting it away later would
+// destroy it.
+func TestSetWALRejectsForeignLog(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]byte("not an ingest batch")); err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	if err := r.SetWAL(l); err == nil {
+		t.Fatal("SetWAL accepted a log of undecodable records")
+	}
+}
+
+// TestReplayPoisonsBuildOnUndecodableRecord: a record that decodes at
+// attach time but fails replay later (here: the model rejects the batch
+// because the log belongs to a different model shape) must poison the
+// build rather than serve a model missing acked data.
+func TestReplayPoisonsBuildOnUndecodableRecord(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "wal")
+	l, err := wal.Open(walDir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	if err := r.SetWAL(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Spec{Name: "fig", Dataset: "figure1", Preload: true}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Open("fig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := h.DB()
+	h.Close()
+	if _, err := r.Append("fig", "P", []*ppd.Session{newSession(db, "Eve")}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Restart the log under a model whose relation shapes don't match: the
+	// record replays against "polls", whose P has a different key arity.
+	l2, err := wal.Open(walDir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	r2 := New()
+	if err := r2.SetWAL(l2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Register(Spec{Name: "fig", Dataset: "polls", Voters: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Open("fig"); err == nil {
+		t.Fatal("open served a model that failed to replay an acked batch")
+	} else if errors.Is(err, ErrNotFound) {
+		t.Fatalf("unexpected error class: %v", err)
+	}
+}

@@ -21,10 +21,12 @@ import (
 	"regexp"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"probpref/internal/dataset"
 	"probpref/internal/ppd"
 	"probpref/internal/store"
+	"probpref/internal/wal"
 )
 
 // Catalog errors. Callers branch on them with errors.Is; the HTTP layer
@@ -174,6 +176,10 @@ type entry struct {
 	// it: every post-append database layers a RAM tail over the same
 	// mapping, so the mapping lives exactly as long as the entry.
 	closer io.Closer
+	// walSeq is the last write-ahead-log sequence whose batch e.db
+	// includes: the snapshot's wal_seq stamp at build, advanced by replay
+	// and by each logged Append. Guarded by buildMu.
+	walSeq uint64
 }
 
 // Registry is the concurrent catalog. The zero value is not usable; call
@@ -182,6 +188,26 @@ type Registry struct {
 	mu      sync.Mutex
 	models  map[string]*entry
 	snapDir string
+
+	// walMu guards the attached write-ahead log and the pending map
+	// (model → sorted seqs acked but not yet durably snapshotted). Lock
+	// ordering: r.mu and buildMu may be held when taking walMu, never the
+	// reverse.
+	walMu      sync.Mutex
+	wal        *wal.Log
+	walPending map[string][]uint64
+
+	// snapErrs counts failed snapshot writes (snapshot_errors in /stats).
+	snapErrs atomic.Uint64
+
+	logMu sync.Mutex
+	logf  func(format string, args ...any)
+
+	// appendHook, when non-nil, is called at the named stages of Append
+	// ("logged", "published", "snapshotted"). Test-only: the crash-injection
+	// harness copies the on-disk state at each stage to simulate a kill
+	// there. Set before any concurrent use.
+	appendHook func(stage string)
 }
 
 // New returns an empty catalog.
@@ -227,7 +253,9 @@ func (r *Registry) buildLocked(name string, e *entry) {
 			pi, pc, ok := s.Partition()
 			if parts == 0 && !ok || parts > 0 && ok && pi == part && pc == parts {
 				e.db, e.demo, e.closer = s.DB(), s.Demo(), s
+				e.walSeq = s.WALSeq()
 				e.items, e.sessions = dbSize(e.db)
+				r.replayWAL(name, e)
 				return
 			}
 			s.Close() // wrong slice for this spec
@@ -241,28 +269,54 @@ func (r *Registry) buildLocked(name string, e *entry) {
 	}
 	if parts > 0 {
 		if path := r.snapshotPath(name); path != "" {
-			_ = store.WritePartitionFile(path, full, e.demo, part, parts)
+			if err := store.WritePartitionFile(path, full, e.demo, part, parts); err != nil {
+				r.noteSnapshotErr(name, err)
+			}
 		}
 		e.db, e.buildErr = ppd.PartitionDB(full, part, parts)
 		if e.buildErr != nil {
 			e.buildErr = fmt.Errorf("registry: partitioning model %q: %w", name, e.buildErr)
 			return
 		}
+		r.replayWAL(name, e)
 	} else {
 		e.db = full
-		r.writeSnapshot(name, e.db, e.demo)
+		r.replayWAL(name, e)
+		if e.buildErr != nil {
+			return
+		}
+		// Snapshot after replay, stamped with the covered seq, so the
+		// replayed batches become durably snapshotted in the same pass.
+		if err := r.writeSnapshot(name, e.db, e.demo, e.walSeq); err == nil && e.walSeq > 0 {
+			r.markDurable(name, e.walSeq)
+		}
 	}
 	e.items, e.sessions = dbSize(e.db)
 }
 
 // writeSnapshot persists a model snapshot when a snapshot directory is
-// configured. Best-effort: serving a model must not fail because its cache
-// file cannot be written, so errors are dropped (the atomic WriteFile
-// guarantees no partial file becomes visible either way).
-func (r *Registry) writeSnapshot(name string, db *ppd.DB, demo string) {
-	if path := r.snapshotPath(name); path != "" {
-		_ = store.WriteFile(path, db, demo)
+// configured, stamped (when walSeq > 0) with the last write-ahead-log
+// sequence the database includes. Serving or acking must not fail because
+// the cache file cannot be written — with a WAL attached the acked
+// batches are already durable, and without one the snapshot was always
+// best-effort — so callers treat the error as advisory; it is counted
+// (snapshot_errors in /stats) and logged here, never dropped silently.
+func (r *Registry) writeSnapshot(name string, db *ppd.DB, demo string, walSeq uint64) error {
+	path := r.snapshotPath(name)
+	if path == "" {
+		return nil
 	}
+	err := store.WriteFileSeq(path, db, demo, walSeq)
+	if err != nil {
+		r.noteSnapshotErr(name, err)
+	}
+	return err
+}
+
+// noteSnapshotErr counts and logs one failed snapshot write.
+func (r *Registry) noteSnapshotErr(name string, err error) {
+	r.snapErrs.Add(1)
+	r.noteLog("registry: snapshot %s: %v", name, err)
 }
 
 // Register adds a dataset-backed model to the catalog. The database is
@@ -357,12 +411,15 @@ func (r *Registry) Open(name string) (*Handle, error) {
 // Delete evicts name from the catalog: subsequent Opens fail with
 // ErrNotFound immediately, while handles already open keep working until
 // closed — only when the last one closes is the database released. A
-// model with no open handles is released synchronously.
+// model with no open handles is released synchronously. The model's
+// pending write-ahead-log records stop pinning the log, but the records
+// themselves stay until compaction reaches them: re-registering the same
+// name before then replays them into the new model.
 func (r *Registry) Delete(name string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	e, ok := r.models[name]
 	if !ok {
+		r.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	delete(r.models, name)
@@ -370,6 +427,8 @@ func (r *Registry) Delete(name string) error {
 	if e.refs == 0 {
 		unload(e)
 	}
+	r.mu.Unlock()
+	r.dropModelPending(name)
 	return nil
 }
 
@@ -402,8 +461,16 @@ func unload(e *entry) {
 // mutation: a new database layering the appended sessions over the current
 // one replaces the entry's database, handles opened before the append keep
 // answering on the version they captured, and handles opened after see the
-// new sessions. When a snapshot directory is configured the grown model is
-// re-persisted (best-effort) so the ingest survives a restart.
+// new sessions.
+//
+// With a write-ahead log attached (SetWAL) the batch is logged and synced
+// *before* the swap publishes it, so by the time the caller can
+// acknowledge the ingest it is durable; the snapshot rewrite behind it is
+// then an optimization that lets replay — and eventually compaction —
+// skip the batch. Without a log the snapshot rewrite is the only
+// persistence and remains best-effort (its failure is counted and logged,
+// not returned). A failed log write rejects the append: nothing was
+// published, nothing may be acked.
 func (r *Registry) Append(name, pref string, sessions []*ppd.Session) (int, error) {
 	h, err := r.Open(name) // holds a ref: a concurrent Delete cannot unload mid-append
 	if err != nil {
@@ -413,17 +480,38 @@ func (r *Registry) Append(name, pref string, sessions []*ppd.Session) (int, erro
 	e := h.e
 	e.buildMu.Lock()
 	defer e.buildMu.Unlock()
+	// Validate by building the grown database first: a batch the model
+	// rejects must never reach the log, or replay would fail on it forever.
 	ndb, err := e.db.AppendSessions(pref, sessions)
 	if err != nil {
 		return 0, err
 	}
+	seq, err := r.logBatch(name, pref, sessions)
+	if err != nil {
+		return 0, err
+	}
+	if r.appendHook != nil {
+		r.appendHook("logged")
+	}
 	e.db = ndb
+	if seq > 0 {
+		e.walSeq = seq
+	}
 	e.items, e.sessions = dbSize(ndb)
+	if r.appendHook != nil {
+		r.appendHook("published")
+	}
 	// A partitioned entry serves a slice; persisting it with WriteFile would
 	// produce a whole-model snapshot that misdescribes the slice (and would
 	// be discarded on restart anyway), so only whole models re-persist.
 	if e.spec.Partitions == 0 {
-		r.writeSnapshot(name, ndb, e.demo)
+		if err := r.writeSnapshot(name, ndb, e.demo, e.walSeq); err == nil && seq > 0 {
+			r.markDurable(name, seq)
+			r.compactWAL()
+		}
+	}
+	if r.appendHook != nil {
+		r.appendHook("snapshotted")
 	}
 	return e.sessions, nil
 }

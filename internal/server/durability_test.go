@@ -1,0 +1,198 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"probpref/internal/registry"
+	"probpref/internal/wal"
+)
+
+// End-to-end crash recovery at the service layer: a daemon that acked
+// ingest batches over a WAL is killed (its disk state copied at an ack
+// boundary — with SyncAlways every ack IS a record boundary), restarted,
+// and must answer queries byte-identically to the uncrashed process.
+
+// walService assembles the durable-ingest stack over the given directories
+// and returns the service; the log is closed via t.Cleanup.
+func walService(t *testing.T, walDir, snapDir string) *Service {
+	t.Helper()
+	l, err := wal.Open(walDir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	reg := registry.New()
+	reg.SetSnapshotDir(snapDir)
+	if err := reg.SetWAL(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(registry.Spec{Name: DefaultModel, Dataset: "figure1", Preload: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Caches off: answer bytes must not depend on how warm the process is,
+	// only on the model state — the property under test.
+	return NewMulti(reg, Config{CacheSize: -1, PlanCacheSize: -1})
+}
+
+// copyTree is the kill: duplicate the on-disk state byte for byte.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copying %s: %v", src, err)
+	}
+}
+
+// queryBodies is the fixed probe set compared byte-for-byte. Deterministic
+// kinds only (exact method answers all of them on figure1).
+var queryBodies = []string{
+	fmt.Sprintf(`{"kind":"bool","query":%q,"per_session":true}`, q1),
+	fmt.Sprintf(`{"kind":"topk","query":%q,"k":10}`, q1),
+	fmt.Sprintf(`{"kind":"countdist","query":%q}`, q1),
+}
+
+// answers runs the probe set against a service and returns the raw bodies.
+func answers(t *testing.T, svc *Service) [][]byte {
+	t.Helper()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	out := make([][]byte, len(queryBodies))
+	for i, body := range queryBodies {
+		resp, err := srv.Client().Post(srv.URL+"/v1/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("query %s: status %d\n%s", body, resp.StatusCode, b)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// TestCrashRecoveryBitIdenticalAnswers ingests three batches through the
+// HTTP surface, captures the disk state after every ack, and requires each
+// restarted process to answer the probe set byte-identically to the live
+// process at the same ingest depth — including a capture whose WAL tail is
+// torn (crash mid-write of the next batch) and a restart whose snapshot
+// directory has become unwritable (recovery from the log alone).
+func TestCrashRecoveryBitIdenticalAnswers(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "wal")
+	snapDir := t.TempDir()
+	svc := walService(t, walDir, snapDir)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	captures := t.TempDir()
+	type point struct {
+		walDir, snapDir string
+		want            [][]byte
+	}
+	points := make([]point, 0, 3)
+	for i, key := range []string{"Eve", "Frank", "Gail"} {
+		body := fmt.Sprintf(`{"pref":"P","sessions":[{"key":[%q,"9/7"],"sigma":[0,1,2,3],"phi":0.4}]}`, key)
+		resp, err := srv.Client().Post(srv.URL+"/v1/sessions", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("ingest %d: status %d", i, resp.StatusCode)
+		}
+		// The 200 has been written: everything acked is on disk (SyncAlways).
+		p := point{
+			walDir:  filepath.Join(captures, fmt.Sprintf("c%d", i), "wal"),
+			snapDir: filepath.Join(captures, fmt.Sprintf("c%d", i), "snap"),
+		}
+		copyTree(t, walDir, p.walDir)
+		copyTree(t, snapDir, p.snapDir)
+		p.want = answers(t, svc) // the uncrashed process's answers at depth i+1
+		points = append(points, p)
+	}
+
+	for i, p := range points {
+		restarted := walService(t, p.walDir, p.snapDir)
+		for j, got := range answers(t, restarted) {
+			if !bytes.Equal(got, p.want[j]) {
+				t.Errorf("capture %d, probe %d: restarted answer differs\n-- restarted --\n%s\n-- uncrashed --\n%s", i, j, got, p.want[j])
+			}
+		}
+	}
+
+	// Torn tail: damage the final record of the depth-3 capture so the WAL
+	// holds two complete batches and half of a third; the restart must
+	// answer exactly like the uncrashed process at depth 2.
+	torn := point{
+		walDir:  filepath.Join(captures, "torn", "wal"),
+		snapDir: filepath.Join(captures, "torn", "snap"),
+	}
+	copyTree(t, points[2].walDir, torn.walDir)
+	copyTree(t, points[1].snapDir, torn.snapDir) // snapshot as of depth 2
+	segs, err := filepath.Glob(filepath.Join(torn.walDir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments: %v", err)
+	}
+	sort.Strings(segs)
+	last := segs[len(segs)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+	tornSvc := walService(t, torn.walDir, torn.snapDir)
+	for j, got := range answers(t, tornSvc) {
+		if !bytes.Equal(got, points[1].want[j]) {
+			t.Errorf("torn tail, probe %d: answer differs from uncrashed depth-2 process\n-- restarted --\n%s\n-- uncrashed --\n%s", j, got, points[1].want[j])
+		}
+	}
+
+	// Snapshot directory lost: restart depth-3 with a bogus snapshot
+	// location; the generator rebuild plus WAL replay alone must reproduce
+	// the uncrashed answers (snapshot writes fail, queries do not).
+	noSnap := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(noSnap, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	logOnly := point{walDir: filepath.Join(captures, "logonly", "wal")}
+	copyTree(t, points[2].walDir, logOnly.walDir)
+	logSvc := walService(t, logOnly.walDir, noSnap)
+	for j, got := range answers(t, logSvc) {
+		if !bytes.Equal(got, points[2].want[j]) {
+			t.Errorf("log-only recovery, probe %d: answer differs\n-- restarted --\n%s\n-- uncrashed --\n%s", j, got, points[2].want[j])
+		}
+	}
+	if n := logSvc.Registry().SnapshotErrors(); n == 0 {
+		t.Error("unwritable snapshot dir recorded no snapshot_errors")
+	}
+}

@@ -158,6 +158,11 @@ type StatsResponse struct {
 	Models []registry.Info `json:"models"`
 	// Service snapshots the request and cache counters.
 	Service Stats `json:"service"`
+	// SnapshotErrors counts the registry's failed snapshot writes since
+	// startup; a non-zero value means restart recovery depends entirely on
+	// the write-ahead log (or, without one, that ingest durability is
+	// degraded).
+	SnapshotErrors uint64 `json:"snapshot_errors"`
 }
 
 // ModelsResponse is the wire form of GET /models: the catalog listing,
@@ -231,16 +236,18 @@ func ErrorStatus(err error) (status int, ok bool) {
 // docs/API.md for the request/response schemas with curl examples.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/query", s.handleV1Query)
-	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+	// The work-bearing endpoints run behind the admission gate (see
+	// admission.go); probe and management routes below stay ungated.
+	mux.HandleFunc("POST /v1/query", s.gated(s.handleV1Query))
+	mux.HandleFunc("POST /v1/sessions", s.gated(func(w http.ResponseWriter, r *http.Request) {
 		serveJSON(w, func() (any, error) { return s.handleIngest(r) })
-	})
-	mux.HandleFunc("/eval", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/eval", s.gated(func(w http.ResponseWriter, r *http.Request) {
 		serveJSON(w, func() (any, error) { return s.handleEval(r) })
-	})
-	mux.HandleFunc("/topk", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/topk", s.gated(func(w http.ResponseWriter, r *http.Request) {
 		serveJSON(w, func() (any, error) { return s.handleTopK(r) })
-	})
+	}))
 	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
 		serveJSON(w, func() (any, error) {
 			return &ModelsResponse{Models: s.reg.List()}, nil
@@ -275,7 +282,10 @@ func (s *Service) Handler() http.Handler {
 				items += m.Items
 				sessions += m.Sessions
 			}
-			return &StatsResponse{Items: items, Sessions: sessions, Models: models, Service: s.Stats()}, nil
+			return &StatsResponse{
+				Items: items, Sessions: sessions, Models: models,
+				Service: s.Stats(), SnapshotErrors: s.reg.SnapshotErrors(),
+			}, nil
 		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -4,25 +4,15 @@ import (
 	"fmt"
 
 	"probpref/internal/ppd"
-	"probpref/internal/rank"
-	"probpref/internal/rim"
 )
 
 // IngestSessionJSON is the wire form of one session to ingest: a center
 // ranking over item ids plus Mallows (phi) or Generalized Mallows (phis)
-// dispersion, mirroring the p-relation JSON schema of ppdgen.
-type IngestSessionJSON struct {
-	// Key holds the session-attribute values, in the p-relation's
-	// SessionAttrs order.
-	Key []string `json:"key"`
-	// Sigma is the center (reference) ranking as item ids.
-	Sigma []int `json:"sigma"`
-	// Phi parameterizes a Mallows session.
-	Phi float64 `json:"phi,omitempty"`
-	// Phis, when present, parameterizes a Generalized Mallows session
-	// instead (one dispersion per insertion step).
-	Phis []float64 `json:"phis,omitempty"`
-}
+// dispersion. It is the shared session wire form of ppd — the same schema
+// the p-relation JSON files of ppdgen and the write-ahead-log records of
+// the registry use, so an acked batch is logged byte-compatibly with how
+// it arrived.
+type IngestSessionJSON = ppd.SessionJSON
 
 // IngestRequest is the body of POST /v1/sessions.
 type IngestRequest struct {
@@ -73,31 +63,9 @@ func (s *Service) IngestSessions(req *IngestRequest) (*IngestResponse, error) {
 	if len(req.Sessions) == 0 {
 		return nil, fmt.Errorf("empty sessions")
 	}
-	parsed := make([]*ppd.Session, len(req.Sessions))
-	shared := make(map[string]rim.SessionModel)
-	for i, sj := range req.Sessions {
-		sigma := make(rank.Ranking, len(sj.Sigma))
-		for j, it := range sj.Sigma {
-			sigma[j] = rank.Item(it)
-		}
-		var (
-			sm  rim.SessionModel
-			err error
-		)
-		if len(sj.Phis) > 0 {
-			sm, err = rim.NewGeneralizedMallows(sigma, sj.Phis)
-		} else {
-			sm, err = rim.NewMallows(sigma, sj.Phi)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("session %d: %w", i+1, err)
-		}
-		if prev, ok := shared[sm.Rehash()]; ok {
-			sm = prev
-		} else {
-			shared[sm.Rehash()] = sm
-		}
-		parsed[i] = &ppd.Session{Key: sj.Key, Model: sm}
+	parsed, err := ppd.ParseSessionsJSON(req.Sessions)
+	if err != nil {
+		return nil, err
 	}
 	total, err := s.reg.Append(model, req.Pref, parsed)
 	if err != nil {

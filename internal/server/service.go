@@ -33,6 +33,17 @@ type Config struct {
 	// the engines derive seed+groupIndex, so batch answers are deterministic
 	// for a fixed seed (default 1).
 	Seed int64
+	// MaxInFlight bounds the concurrently admitted query and ingest
+	// requests of the HTTP handler; 0 means DefaultMaxInFlight, a negative
+	// value disables admission control entirely.
+	MaxInFlight int
+	// MaxQueue bounds the requests waiting for an admission slot; one more
+	// is shed with 503 + Retry-After. 0 means DefaultMaxQueue, a negative
+	// value sheds as soon as every slot is busy (no queue).
+	MaxQueue int
+	// RetryAfterSeconds is the Retry-After hint on shed responses (default
+	// DefaultRetryAfterSeconds).
+	RetryAfterSeconds int
 }
 
 // DefaultCacheSize is the solve-cache capacity used when Config.CacheSize
@@ -55,6 +66,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = DefaultMaxInFlight
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = DefaultMaxQueue
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.RetryAfterSeconds <= 0 {
+		c.RetryAfterSeconds = DefaultRetryAfterSeconds
 	}
 	return c
 }
@@ -87,6 +110,12 @@ type Stats struct {
 	// disabled). A hit skips recompiling a union shape; the solved
 	// probabilities themselves live in Cache.
 	PlanCache CacheStats `json:"plan_cache"`
+	// Sheds counts requests rejected with 503 by the admission gate.
+	Sheds uint64 `json:"sheds"`
+	// InFlight is the currently admitted request count (a gauge).
+	InFlight int `json:"in_flight"`
+	// Queued is the current admission-queue depth (a gauge).
+	Queued int `json:"queued"`
 }
 
 // Service is a concurrent query front end over a catalog of RIM-PPD
@@ -104,6 +133,7 @@ type Service struct {
 	cache *Cache
 	plans *PlanCache
 	cfg   Config
+	gate  *gate
 
 	evals   atomic.Uint64
 	topks   atomic.Uint64
@@ -147,6 +177,9 @@ func NewMulti(reg *registry.Registry, cfg Config) *Service {
 	}
 	if cfg.PlanCacheSize > 0 {
 		s.plans = NewPlanCache(cfg.PlanCacheSize)
+	}
+	if cfg.MaxInFlight > 0 {
+		s.gate = newGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.RetryAfterSeconds)
 	}
 	return s
 }
@@ -228,6 +261,11 @@ func (s *Service) Stats() Stats {
 	}
 	if s.plans != nil {
 		st.PlanCache = s.plans.Stats()
+	}
+	if s.gate != nil {
+		st.Sheds = s.gate.sheds.Load()
+		st.InFlight = s.gate.inFlight()
+		st.Queued = int(s.gate.queued.Load())
 	}
 	return st
 }

@@ -123,6 +123,13 @@ type metaJSON struct {
 	// Total. Absent (and omitted from the JSON) in whole-model files, so
 	// files written before the field existed decode unchanged.
 	Partition *partitionJSON `json:"partition,omitempty"`
+	// WALSeq, when non-zero, records the last write-ahead-log sequence
+	// number whose batch this snapshot includes: replay-on-startup skips
+	// records at or below it, so a crash between snapshot write and WAL
+	// compaction never applies a batch twice. Absent (and omitted from the
+	// JSON) in snapshots written outside a WAL-backed registry, so files
+	// written before the field existed decode unchanged.
+	WALSeq uint64 `json:"wal_seq,omitempty"`
 }
 
 // partitionJSON identifies which slice of the full model a partition file

@@ -33,6 +33,10 @@ type Store struct {
 	// OpenPartition's range restriction. parts == 0 means a whole model.
 	part, parts int
 
+	// walSeq is the snapshot's covered write-ahead-log sequence (0 when
+	// unstamped); see WriteFileSeq.
+	walSeq uint64
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -106,6 +110,10 @@ func (s *Store) Partition() (part, parts int, ok bool) {
 
 // Demo returns the demo query recorded in the snapshot (may be empty).
 func (s *Store) Demo() string { return s.demo }
+
+// WALSeq returns the last write-ahead-log sequence number the snapshot
+// covers, or 0 for snapshots written outside a WAL-backed registry.
+func (s *Store) WALSeq() uint64 { return s.walSeq }
 
 // Sessions returns the total session count across all p-relations.
 func (s *Store) Sessions() int { return s.sessions }
@@ -359,7 +367,7 @@ func wire(meta *metaJSON, secs [nSections]section, data []byte) (*Store, error) 
 			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 		}
 	}
-	s := &Store{db: db, demo: meta.Demo, sessions: int(total), data: data}
+	s := &Store{db: db, demo: meta.Demo, sessions: int(total), data: data, walSeq: meta.WALSeq}
 	if meta.Partition != nil {
 		s.part, s.parts = meta.Partition.Index, meta.Partition.Count
 	}

@@ -21,7 +21,7 @@ import (
 // every session (key arity, permutation reference, stochastic insertion
 // rows) before emitting the first byte.
 func Write(w io.Writer, db *ppd.DB, demo string) error {
-	return write(w, db, demo, nil)
+	return write(w, db, demo, nil, 0)
 }
 
 // WritePartition serializes partition part of parts of db to w: a
@@ -36,7 +36,7 @@ func WritePartition(w io.Writer, db *ppd.DB, demo string, part, parts int) error
 	if err != nil {
 		return err
 	}
-	return write(w, pdb, demo, ps)
+	return write(w, pdb, demo, ps, 0)
 }
 
 // partitionFor slices db for WritePartition and records the full-model
@@ -60,8 +60,8 @@ type partSpec struct {
 }
 
 // write is the shared serialization core of Write and WritePartition.
-func write(w io.Writer, db *ppd.DB, demo string, ps *partSpec) error {
-	l, err := planLayout(db, demo, ps)
+func write(w io.Writer, db *ppd.DB, demo string, ps *partSpec, walSeq uint64) error {
+	l, err := planLayout(db, demo, ps, walSeq)
 	if err != nil {
 		return err
 	}
@@ -124,6 +124,14 @@ func WriteFile(path string, db *ppd.DB, demo string) error {
 	return writeFileWith(path, func(w io.Writer) error { return Write(w, db, demo) })
 }
 
+// WriteFileSeq is WriteFile with the snapshot stamped as covering every
+// write-ahead-log record up to and including walSeq (0 writes an unstamped
+// file, identical to WriteFile). The registry uses the stamp to make
+// replay idempotent and to pick its WAL compaction floor.
+func WriteFileSeq(path string, db *ppd.DB, demo string, walSeq uint64) error {
+	return writeFileWith(path, func(w io.Writer) error { return write(w, db, demo, nil, walSeq) })
+}
+
 // WritePartitionFile atomically writes partition part of parts of db to
 // path, with the same temp+fsync+rename discipline as WriteFile.
 func WritePartitionFile(path string, db *ppd.DB, demo string, part, parts int) error {
@@ -172,8 +180,9 @@ type layout struct {
 }
 
 // planLayout validates db and computes the section layout. A non-nil ps
-// stamps the meta section with the partition header.
-func planLayout(db *ppd.DB, demo string, ps *partSpec) (*layout, error) {
+// stamps the meta section with the partition header; a non-zero walSeq
+// stamps it with the covered write-ahead-log sequence.
+func planLayout(db *ppd.DB, demo string, ps *partSpec, walSeq uint64) (*layout, error) {
 	if db == nil || db.ItemRelation == nil {
 		return nil, fmt.Errorf("store: nil database")
 	}
@@ -183,7 +192,7 @@ func planLayout(db *ppd.DB, demo string, ps *partSpec) (*layout, error) {
 	}
 	l := &layout{db: db, m: m, tri: tri(m)}
 
-	mj := metaJSON{M: m, Demo: demo, Items: db.ItemRelation.Name}
+	mj := metaJSON{M: m, Demo: demo, Items: db.ItemRelation.Name, WALSeq: walSeq}
 	if ps != nil {
 		mj.Partition = &partitionJSON{Index: ps.index, Count: ps.count}
 	}

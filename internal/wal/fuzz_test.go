@@ -1,0 +1,135 @@
+package wal_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"probpref/internal/wal"
+)
+
+// fuzzSegment builds a valid one-segment log holding the given payloads
+// and returns the raw segment bytes.
+func fuzzSegment(f *testing.F, payloads ...[]byte) []byte {
+	f.Helper()
+	dir := f.TempDir()
+	l, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range payloads {
+		if _, err := l.Append(p); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		f.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		f.Fatalf("want exactly one segment, got %d (err %v)", len(ents), err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, ents[0].Name()))
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// FuzzWALReplay throws arbitrary bytes at the segment decoder, as both a
+// read-only replay cursor and a repairing Open. The contract under
+// fuzzing: neither ever panics; every decode failure classifies as exactly
+// one typed error (ErrTornTail, ErrChecksum, ErrFormat) yielded once, at
+// the end of the iteration; records before a failure are fully decoded
+// with dense sequence numbers; and when Open accepts (possibly repairing)
+// the bytes, the repaired directory replays cleanly — repair converges in
+// one pass.
+//
+// The committed corpus under testdata/fuzz/FuzzWALReplay (regenerate with
+// `go run ./internal/wal/testdata/gen_corpus.go`) seeds the mutator with a
+// valid segment and targeted damage on each validation path.
+func FuzzWALReplay(f *testing.F) {
+	valid := fuzzSegment(f, []byte("alpha"), []byte("beta"), []byte("gamma"))
+	f.Add([]byte{})
+	f.Add([]byte(wal.Magic))
+	f.Add(bytes.Clone(valid))
+	f.Add(valid[:len(valid)-3]) // torn tail
+	flip := bytes.Clone(valid)
+	flip[len(flip)-1] ^= 0x80
+	f.Add(flip) // bit-flipped tail
+	huge := bytes.Clone(valid)
+	binary.LittleEndian.PutUint32(huge[32:], 1<<30)
+	f.Add(huge) // oversized declared length
+	crc := bytes.Clone(valid)
+	binary.LittleEndian.PutUint64(crc[24:], crc64.Checksum([]byte("nope"), crc64.MakeTable(crc64.ECMA)))
+	f.Add(crc) // header checksum mismatch
+
+	typed := func(t *testing.T, err error) {
+		t.Helper()
+		n := 0
+		for _, sentinel := range []error{wal.ErrTornTail, wal.ErrChecksum, wal.ErrFormat} {
+			if errors.Is(err, sentinel) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("error matches %d typed sentinels, want exactly 1: %v", n, err)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		seg := filepath.Join(dir, "wal-0000000000000001.seg")
+		if err := os.WriteFile(seg, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		// Read-only replay: records decode densely, then at most one typed
+		// error ends the iteration.
+		var lastSeq uint64
+		var sawErr bool
+		for r, err := range wal.Replay(dir) {
+			if sawErr {
+				t.Fatal("cursor yielded past its error")
+			}
+			if err != nil {
+				typed(t, err)
+				sawErr = true
+				continue
+			}
+			if lastSeq != 0 && r.Seq != lastSeq+1 {
+				t.Fatalf("sequence jumped %d -> %d", lastSeq, r.Seq)
+			}
+			lastSeq = r.Seq
+			_ = append([]byte(nil), r.Payload...) // payload must be readable
+		}
+
+		// Repairing open: accept-and-repair or fail typed; never both halves.
+		l, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+		if err != nil {
+			typed(t, err)
+			return
+		}
+		repaired := l.LastSeq()
+		if err := l.Close(); err != nil {
+			t.Fatalf("close after open: %v", err)
+		}
+		// The repaired directory must now replay cleanly and completely.
+		var n uint64
+		for r, err := range wal.Replay(dir) {
+			if err != nil {
+				t.Fatalf("replay after repair: %v", err)
+			}
+			n = r.Seq
+		}
+		// Open of the fuzzed bytes may itself have created a fresh first
+		// segment (torn-header removal), so compare against its view.
+		if n != repaired {
+			t.Fatalf("replay after repair ends at seq %d, Open saw %d", n, repaired)
+		}
+	})
+}

@@ -1,0 +1,224 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"iter"
+	"os"
+	"path/filepath"
+)
+
+// This file is the read side of the log: the segment decoder shared by
+// Open's validation/repair scan, the replay cursors and the fuzz target.
+//
+// Decode classification. A crashed append only ever shortens the log
+// (segments are never preallocated), so a record that runs past the end of
+// the final segment, or whose checksum fails with no decodable record
+// after it, is a torn tail (ErrTornTail) — truncating it loses nothing
+// that was ever durable. The same damage followed by a decodable record,
+// or in any non-final segment, cannot be a torn write and is surfaced as
+// corruption (ErrChecksum / ErrFormat) instead of repaired, because
+// repairing it would silently drop acknowledged records.
+
+// decodeHeader validates a segment header and returns the segment's first
+// sequence number.
+func decodeHeader(data []byte) (uint64, error) {
+	if string(data[:8]) != Magic {
+		return 0, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != Version {
+		return 0, fmt.Errorf("%w: version %d, want %d", ErrFormat, v, Version)
+	}
+	if crc64.Checksum(data[:24], crcTable) != binary.LittleEndian.Uint64(data[24:]) {
+		return 0, fmt.Errorf("%w: header checksum mismatch", ErrFormat)
+	}
+	first := binary.LittleEndian.Uint64(data[16:])
+	if first == 0 {
+		return 0, fmt.Errorf("%w: first sequence 0 (sequences are 1-based)", ErrFormat)
+	}
+	return first, nil
+}
+
+// recordAt tries to decode one record at off; ok reports a complete,
+// checksum-valid record.
+func recordAt(data []byte, off int64) (payload []byte, end int64, ok bool) {
+	if int64(len(data))-off < recHeaderSize {
+		return nil, 0, false
+	}
+	n := int64(binary.LittleEndian.Uint32(data[off:]))
+	end = off + recHeaderSize + n
+	if n > maxRecordLen || end > int64(len(data)) {
+		return nil, 0, false
+	}
+	payload = data[off+recHeaderSize : end]
+	if crc64.Checksum(payload, crcTable) != binary.LittleEndian.Uint64(data[off+4:]) {
+		return nil, end, false
+	}
+	return payload, end, true
+}
+
+// replaySegment yields one segment's records. wantFirst, when non-zero,
+// pins the expected first sequence (continuity across segments). last
+// marks the log's final segment, where tail damage decodes as ErrTornTail
+// at offset tornAt; elsewhere tornAt stays -1. Returns the sequence the
+// next segment must start at and whether iteration may continue.
+func replaySegment(data []byte, wantFirst uint64, last bool, yield func(Record, error) bool) (nextSeq uint64, tornAt int64, ok bool) {
+	if int64(len(data)) < segHeaderSize {
+		if last {
+			return wantFirst, 0, yield(Record{}, fmt.Errorf("%w: truncated header", ErrTornTail))
+		}
+		return 0, -1, yield(Record{}, fmt.Errorf("%w: truncated header", ErrFormat))
+	}
+	first, err := decodeHeader(data)
+	if err != nil {
+		return 0, -1, yield(Record{}, err)
+	}
+	if wantFirst != 0 && first != wantFirst {
+		return 0, -1, yield(Record{}, fmt.Errorf("%w: segment starts at seq %d, want %d", ErrFormat, first, wantFirst))
+	}
+	seq := first
+	off := int64(segHeaderSize)
+	for off < int64(len(data)) {
+		payload, end, recOK := recordAt(data, off)
+		if !recOK {
+			// Torn tail iff this is the final segment and nothing decodable
+			// follows the damaged record; otherwise real corruption.
+			if last && !decodableAfter(data, end) {
+				return seq, off, yield(Record{}, fmt.Errorf("%w: record %d at offset %d", ErrTornTail, seq, off))
+			}
+			if end == 0 || end > int64(len(data)) {
+				return seq, -1, yield(Record{}, fmt.Errorf("%w: record %d at offset %d overruns the segment", ErrFormat, seq, off))
+			}
+			return seq, -1, yield(Record{}, fmt.Errorf("%w: record %d at offset %d", ErrChecksum, seq, off))
+		}
+		if !yield(Record{Seq: seq, Payload: append([]byte(nil), payload...)}, nil) {
+			return seq + 1, -1, false
+		}
+		seq++
+		off = end
+	}
+	return seq, -1, true
+}
+
+// decodableAfter reports whether a complete, checksum-valid record starts
+// at off — evidence that damage before off is mid-log corruption rather
+// than a torn tail. An out-of-range off (a corrupt length) counts as "no".
+func decodableAfter(data []byte, off int64) bool {
+	if off < segHeaderSize || off > int64(len(data)) {
+		return false
+	}
+	_, _, ok := recordAt(data, off)
+	return ok
+}
+
+// Replay reads a log directory without opening it for appends and yields
+// its records in sequence order. Decode failures yield exactly one typed
+// error (ErrTornTail, ErrChecksum or ErrFormat) and end the iteration; a
+// torn tail therefore yields every record before the tear first. I/O
+// errors (an unreadable directory or file) are yielded as-is.
+func Replay(dir string) iter.Seq2[Record, error] {
+	return func(yield func(Record, error) bool) {
+		names, err := segmentNames(dir)
+		if err != nil {
+			yield(Record{}, err)
+			return
+		}
+		want := uint64(0)
+		for i, name := range names {
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				yield(Record{}, err)
+				return
+			}
+			next, _, ok := replaySegment(data, want, i == len(names)-1, yield)
+			if !ok {
+				return
+			}
+			want = next
+		}
+	}
+}
+
+// Replay yields the log's records in sequence order, bounded to what was
+// appended before the call: records appended concurrently with the
+// iteration are not yielded, and a concurrent append never makes the
+// cursor misread a partially written tail. The log stays usable for
+// appends throughout. Damage inside the bound decodes as a typed error
+// (never ErrTornTail — the bound ends at a record boundary by
+// construction).
+func (l *Log) Replay() iter.Seq2[Record, error] {
+	l.mu.Lock()
+	segs := append([]segment{}, l.sealed...)
+	segs = append(segs, l.activeSeg)
+	l.mu.Unlock()
+	return func(yield func(Record, error) bool) {
+		want := uint64(0)
+		for _, seg := range segs {
+			data, err := readSegmentPrefix(seg.path, seg.size)
+			if err != nil {
+				yield(Record{}, err)
+				return
+			}
+			next, _, ok := replaySegment(data, want, false, yield)
+			if !ok {
+				return
+			}
+			want = next
+		}
+	}
+}
+
+// readSegmentPrefix reads the first size bytes of path (the bound captured
+// when the cursor was created).
+func readSegmentPrefix(path string, size int64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return nil, fmt.Errorf("wal: reading %s: %w", filepath.Base(path), err)
+	}
+	return buf, nil
+}
+
+// scanSegment validates one segment for Open: it decodes every record
+// (discarding payloads) and reports the segment bookkeeping, the number of
+// valid records, and — for the final segment — the byte offset a torn tail
+// must be truncated at (-1 when the segment is clean).
+func scanSegment(path string, last bool) (seg segment, recs int, tornAt int64, err error) {
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		return segment{}, 0, -1, rerr
+	}
+	seg = segment{path: path, size: int64(len(data))}
+	tornAt = -1
+	var derr error
+	next, torn, _ := replaySegment(data, 0, last, func(r Record, e error) bool {
+		if e != nil {
+			derr = e
+			return false
+		}
+		if recs == 0 {
+			seg.firstSeq = r.Seq
+		}
+		seg.lastSeq = r.Seq
+		recs++
+		return true
+	})
+	if recs == 0 && int64(len(data)) >= segHeaderSize {
+		// No record set firstSeq (a header-only segment, or a tear before the
+		// first record): fall back to the header's declared value.
+		seg.firstSeq, _ = decodeHeader(data)
+	}
+	if derr != nil {
+		if last && torn >= 0 {
+			return seg, recs, torn, nil // repairable: truncate at torn
+		}
+		return segment{}, 0, -1, derr
+	}
+	_ = next
+	return seg, recs, -1, nil
+}
